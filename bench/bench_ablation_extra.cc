@@ -1,0 +1,92 @@
+// Extra design-choice ablations beyond the paper's Figure 10 (DESIGN.md's
+// per-experiment index calls these out):
+//   (a) MIN_TILE_SIZE sweep — Algorithm 2's smallest cooperative group;
+//   (b) tile alignment on/off — the Section 5.3 sector-alignment strategy;
+//   (c) L2 capacity sensitivity — how much of SAGE's win is cache-borne;
+//   (d) sampling-threshold sweep — the paper fixes the Sampling-based
+//       Reordering stage threshold at |E|; this sweep shows the
+//       convergence-speed/quality trade-off that justifies the benches'
+//       |E|/2 setting.
+// BFS on twitter-s (the most skewed dataset) in GTEPS.
+
+#include "bench_common.h"
+
+namespace sage::bench {
+namespace {
+
+void Run() {
+  graph::Csr csr = LoadDataset(graph::DatasetId::kTwitters);
+  std::printf("=== Extra ablations (BFS on twitter-s, GTEPS) ===\n");
+
+  std::printf("\n(a) MIN_TILE_SIZE sweep\n");
+  PrintHeader("min_tile", {"GTEPS"});
+  for (uint32_t mts : {4u, 8u, 16u, 32u, 64u}) {
+    sim::GpuDevice device(BenchSpec());
+    core::EngineOptions opts;
+    opts.min_tile_size = mts;
+    PrintRow(std::to_string(mts), {BfsGteps(device, csr, opts)});
+  }
+
+  std::printf("\n(b) tile alignment (Section 5.3)\n");
+  PrintHeader("alignment", {"GTEPS", "amplif."});
+  for (bool align : {false, true}) {
+    sim::GpuDevice device(BenchSpec());
+    core::EngineOptions opts;
+    opts.tile_alignment = align;
+    double g = BfsGteps(device, csr, opts);
+    PrintRow(align ? "aligned" : "unaligned",
+             {g, device.mem().device_stats().Amplification()});
+  }
+
+  std::printf("\n(c) L2 capacity sensitivity\n");
+  PrintHeader("l2_kb", {"GTEPS", "hit-rate"});
+  for (uint64_t kb : {16ull, 64ull, 256ull, 1024ull, 4096ull}) {
+    sim::DeviceSpec spec = BenchSpec();
+    spec.l2_bytes = kb << 10;
+    sim::GpuDevice device(spec);
+    double g = BfsGteps(device, csr, core::EngineOptions());
+    PrintRow(std::to_string(kb),
+             {g, device.mem().device_stats().L2HitRate()});
+  }
+
+  std::printf("\n(d) sampling-threshold sweep (speed measured after 5 "
+              "applied rounds)\n");
+  PrintHeader("threshold", {"GTEPS@r5", "runs-to-r5"});
+  for (uint64_t div : {8ull, 4ull, 2ull, 1ull}) {
+    sim::GpuDevice device(BenchSpec());
+    core::EngineOptions opts;
+    opts.sampling_reorder = true;
+    opts.sampling_threshold_edges = csr.num_edges() / div + 1;
+    core::Engine engine(&device, csr, opts);
+    apps::BfsProgram bfs;
+    auto sources = PickSources(csr, 64, 0xfeed);
+    size_t si = 0;
+    int runs = 0;
+    while (engine.reorder_rounds() < 5 && runs < 300) {
+      auto s = apps::RunBfs(engine, bfs, sources[si++ % sources.size()]);
+      SAGE_CHECK(s.ok());
+      ++runs;
+    }
+    sim::GpuDevice fresh(BenchSpec());
+    core::Engine measured(&fresh, engine.csr(), core::EngineOptions());
+    apps::BfsProgram bfs2;
+    double te = 0;
+    double ts = 0;
+    for (graph::NodeId src : PickSources(csr, kSourcesPerDataset)) {
+      auto s = apps::RunBfs(measured, bfs2, engine.InternalId(src));
+      SAGE_CHECK(s.ok());
+      te += static_cast<double>(s->edges_traversed);
+      ts += s->seconds;
+    }
+    PrintRow("|E|/" + std::to_string(div),
+             {ts <= 0 ? 0 : te / ts / 1e9, static_cast<double>(runs)});
+  }
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() {
+  sage::bench::Run();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Reproduces Figure 7: SAGE vs parallel-graph-processing baselines, with
+// and without Gorder preprocessing, for BFS / BC / PR on all datasets.
+// All GPU baselines run on the same simulated device and cost model; only
+// the scheduling strategy differs (DESIGN.md §1):
+//   Ligra   — CPU direction-optimizing engine (work-based cost model)
+//   Tigr    — UDT preprocessing (split degree 32) + warp mapping
+//   Gunrock — per-warp dynamic grouping
+//   B40C    — three-bucket rescheduling
+//   SAGE    — tiled partitioning + resident tile stealing
+// Values are GTEPS. The +G columns traverse the Gorder-relabeled replica
+// (SAGE has no +G column in the paper; shown here for completeness).
+
+#include "baselines/ligra.h"
+#include "bench_common.h"
+#include "reorder/permutation.h"
+
+namespace sage::bench {
+namespace {
+
+enum class App { kBfs, kBc, kPr };
+
+double GpuMethod(const graph::Csr& csr, const core::EngineOptions& opts,
+                 App app) {
+  sim::GpuDevice device(BenchSpec());
+  switch (app) {
+    case App::kBfs:
+      return BfsGteps(device, csr, opts);
+    case App::kBc:
+      return BcGteps(device, csr, opts);
+    case App::kPr:
+      return PrGteps(device, csr, opts);
+  }
+  return 0;
+}
+
+double LigraMethod(const graph::Csr& csr, App app) {
+  baselines::LigraEngine ligra(csr);
+  double total_edges = 0;
+  double total_seconds = 0;
+  switch (app) {
+    case App::kBfs:
+      for (graph::NodeId src : PickSources(csr, kSourcesPerDataset)) {
+        auto s = ligra.Bfs(src);
+        total_edges += static_cast<double>(s.edges_traversed);
+        total_seconds += s.seconds;
+      }
+      break;
+    case App::kBc:
+      for (graph::NodeId src : PickSources(csr, 1)) {
+        auto s = ligra.Bc(src);
+        total_edges += static_cast<double>(s.edges_traversed);
+        total_seconds += s.seconds;
+      }
+      break;
+    case App::kPr: {
+      auto s = ligra.PageRank(kPrIterations);
+      total_edges = static_cast<double>(s.edges_traversed);
+      total_seconds = s.seconds;
+      break;
+    }
+  }
+  return total_seconds <= 0 ? 0 : total_edges / total_seconds / 1e9;
+}
+
+core::EngineOptions TigrOptions() {
+  core::EngineOptions o;
+  o.strategy = core::ExpandStrategy::kWarpCentric;
+  o.tiled_partitioning = false;
+  o.resident_tiles = false;
+  o.udt_split_degree = 32;
+  return o;
+}
+
+core::EngineOptions GunrockOptions() {
+  core::EngineOptions o;
+  o.strategy = core::ExpandStrategy::kWarpCentric;
+  o.tiled_partitioning = false;
+  o.resident_tiles = false;
+  return o;
+}
+
+core::EngineOptions B40cOptions() {
+  core::EngineOptions o;
+  o.strategy = core::ExpandStrategy::kB40c;
+  o.tiled_partitioning = false;
+  o.resident_tiles = false;
+  return o;
+}
+
+void RunApp(const char* name, App app) {
+  std::printf("\n--- Figure 7 (%s): SAGE vs PGP baselines, GTEPS "
+              "(+G = on Gorder replica) ---\n",
+              name);
+  PrintHeader("dataset", {"Ligra", "Ligra+G", "Tigr", "Tigr+G", "Gunrock",
+                          "Gunrock+G", "B40C", "B40C+G", "SAGE", "SAGE+G"});
+  for (graph::DatasetId id : graph::AllDatasets()) {
+    graph::Csr csr = LoadDataset(id);
+    auto gorder = CachedReorder("gorder", id, csr);
+    graph::Csr gcsr = reorder::ApplyToCsr(csr, gorder.new_of_old);
+
+    std::vector<double> row;
+    row.push_back(LigraMethod(csr, app));
+    row.push_back(LigraMethod(gcsr, app));
+    for (const auto& opts : {TigrOptions(), GunrockOptions(), B40cOptions(),
+                             core::EngineOptions()}) {
+      row.push_back(GpuMethod(csr, opts, app));
+      row.push_back(GpuMethod(gcsr, opts, app));
+    }
+    PrintRow(graph::DatasetName(id), row, "%12.3f");
+  }
+}
+
+void Run() {
+  std::printf("=== Figure 7: comparison between SAGE and PGP approaches "
+              "===\n");
+  RunApp("bfs", App::kBfs);
+  RunApp("bc", App::kBc);
+  RunApp("pr", App::kPr);
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() {
+  sage::bench::Run();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark) for the substrate primitives: the
+// segmented sort used by Sampling-based Reordering, CSR construction, the
+// memory-system model, tile decomposition, and the reordering baselines on
+// a small graph. These guard the simulator's own performance (a slow
+// simulator caps every experiment above).
+
+#include <benchmark/benchmark.h>
+
+#include "core/resident.h"
+#include "graph/generators.h"
+#include "reorder/permutation.h"
+#include "reorder/reorderers.h"
+#include "sim/gpu_device.h"
+#include "util/prefix_sum.h"
+#include "util/random.h"
+#include "util/segsort.h"
+
+namespace sage {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_PrefixSum(benchmark::State& state) {
+  std::vector<uint32_t> in(state.range(0), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::ExclusivePrefixSum(in));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PrefixSum)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SegmentedSort(benchmark::State& state) {
+  util::Rng rng(2);
+  size_t n = state.range(0);
+  std::vector<uint32_t> keys(n);
+  std::vector<uint32_t> vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<uint32_t>(rng.Next());
+    vals[i] = static_cast<uint32_t>(i);
+  }
+  std::vector<uint64_t> offsets{0, n / 3, n / 2, n};
+  for (auto _ : state) {
+    auto k = keys;
+    auto v = vals;
+    util::SegmentedSortKV(offsets, k, v);
+    benchmark::DoNotOptimize(k.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SegmentedSort)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_CsrFromCoo(benchmark::State& state) {
+  graph::Csr csr = graph::GenerateRmat(12, 60000, 0.5, 0.2, 0.2, 3);
+  graph::Coo coo = csr.ToCoo();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::Csr::FromCoo(coo));
+  }
+  state.SetItemsProcessed(state.iterations() * coo.num_edges());
+}
+BENCHMARK(BM_CsrFromCoo);
+
+void BM_ApplyPermutation(benchmark::State& state) {
+  graph::Csr csr = graph::GenerateRmat(12, 60000, 0.5, 0.2, 0.2, 3);
+  auto perm = reorder::RandomOrder(csr, 1).new_of_old;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reorder::ApplyToCsr(csr, perm));
+  }
+  state.SetItemsProcessed(state.iterations() * csr.num_edges());
+}
+BENCHMARK(BM_ApplyPermutation);
+
+void BM_MemoryAccessBatch(benchmark::State& state) {
+  sim::DeviceSpec spec;
+  sim::MemorySim mem(spec);
+  sim::Buffer buf = mem.Register("x", 1 << 20, 4);
+  util::Rng rng(4);
+  std::vector<uint64_t> idx(32);
+  for (auto& i : idx) i = rng.UniformU64(1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.Access(buf, idx));
+  }
+  state.SetItemsProcessed(state.iterations() * idx.size());
+}
+BENCHMARK(BM_MemoryAccessBatch);
+
+void BM_DecomposeAdjacency(benchmark::State& state) {
+  core::TiledOptions opts;
+  std::vector<core::TileEntry> out;
+  for (auto _ : state) {
+    out.clear();
+    core::DecomposeAdjacency(7, 12345, static_cast<uint32_t>(state.range(0)),
+                             opts, 8, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DecomposeAdjacency)->Arg(17)->Arg(1000)->Arg(100000);
+
+void BM_RcmOrder(benchmark::State& state) {
+  graph::Csr csr = graph::GenerateCommunity(4096, 16, 256, 0.8, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reorder::RcmOrder(csr));
+  }
+}
+BENCHMARK(BM_RcmOrder);
+
+void BM_GorderOrder(benchmark::State& state) {
+  graph::Csr csr = graph::GenerateCommunity(4096, 16, 256, 0.8, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reorder::GorderOrder(csr));
+  }
+}
+BENCHMARK(BM_GorderOrder);
+
+}  // namespace
+}  // namespace sage
+
+BENCHMARK_MAIN();

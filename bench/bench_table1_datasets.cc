@@ -1,0 +1,23 @@
+// Reproduces Table 1: statistics of the (scaled synthetic) datasets. The
+// |V|, |E| columns are ~500x below the paper's originals by design; the
+// category signatures (E/V ratio ordering, skew ordering) are the
+// reproduction target — see DESIGN.md §1.
+
+#include "bench_common.h"
+
+int main() {
+  std::printf("=== Table 1: statistics of datasets (scaled) ===\n");
+  std::printf("%-14s %-16s %10s %12s %8s %8s %10s\n", "dataset", "category",
+              "|V|", "|E|", "E/V", "maxdeg", "deg-gini");
+  for (sage::graph::DatasetId id : sage::graph::AllDatasets()) {
+    sage::graph::Csr csr = sage::bench::LoadDataset(id);
+    auto stats = sage::graph::ComputeStats(csr);
+    std::printf("%-14s %-16s %10llu %12llu %8.1f %8u %10.3f\n",
+                sage::graph::DatasetName(id).c_str(),
+                sage::graph::DatasetCategory(id).c_str(),
+                static_cast<unsigned long long>(stats.num_nodes),
+                static_cast<unsigned long long>(stats.num_edges),
+                stats.avg_degree, stats.max_degree, stats.degree_gini);
+  }
+  return 0;
+}

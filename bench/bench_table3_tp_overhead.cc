@@ -1,0 +1,63 @@
+// Reproduces Table 3: Tiled Partitioning scheduling cost (leader
+// elections, votes, cg::partition) as overhead / total running time, in
+// milliseconds, for BFS / BC / PR on every dataset.
+
+#include "bench_common.h"
+
+namespace sage::bench {
+namespace {
+
+struct Overhead {
+  double tp_ms = 0;
+  double total_ms = 0;
+};
+
+Overhead Measure(const graph::Csr& csr, const char* app) {
+  sim::GpuDevice device(BenchSpec());
+  core::EngineOptions opts;  // full SAGE
+  core::Engine engine(&device, csr, opts);
+  core::RunStats stats;
+  if (std::string(app) == "bfs") {
+    apps::BfsProgram bfs;
+    auto s = apps::RunBfs(engine, bfs, PickSources(csr, 1)[0]);
+    SAGE_CHECK(s.ok());
+    stats = *s;
+  } else if (std::string(app) == "bc") {
+    apps::Betweenness bc(csr.num_nodes());
+    auto s = bc.Run(engine, PickSources(csr, 1)[0]);
+    SAGE_CHECK(s.ok());
+    stats = *s;
+  } else {
+    apps::PageRankProgram pr;
+    auto s = apps::RunPageRank(engine, pr, kPrIterations);
+    SAGE_CHECK(s.ok());
+    stats = *s;
+  }
+  return Overhead{stats.tp_overhead_seconds * 1e3, stats.seconds * 1e3};
+}
+
+void Run() {
+  std::printf("=== Table 3: Tiled Partitioning costs out of running time "
+              "(msec.) ===\n");
+  std::printf("%-14s %22s %22s %22s\n", "dataset", "BFS", "BC", "PR");
+  for (graph::DatasetId id : graph::AllDatasets()) {
+    graph::Csr csr = LoadDataset(id);
+    std::printf("%-14s", graph::DatasetName(id).c_str());
+    for (const char* app : {"bfs", "bc", "pr"}) {
+      Overhead o = Measure(csr, app);
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%.3f/%.3f (%.1f%%)", o.tp_ms,
+                    o.total_ms, 100.0 * o.tp_ms / std::max(o.total_ms, 1e-12));
+      std::printf(" %22s", cell);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() {
+  sage::bench::Run();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Writing a custom graph algorithm on SAGE: implement the filtering step
+// (Algorithm 1's interface) and the framework supplies expansion, runtime
+// load reallocation, work stealing and contraction. This example builds
+// "reachability with hop budget and forbidden nodes" — the kind of
+// bespoke query (Section 1: "real-world applications require customized
+// algorithms") that dedicated preprocessing-based systems make painful.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/generators.h"
+#include "reorder/permutation.h"
+#include "sim/gpu_device.h"
+
+namespace {
+
+using sage::graph::NodeId;
+
+/// Constrained reachability: a node is reachable if there is a path from
+/// the source of length <= hop_budget that avoids the forbidden set.
+class ConstrainedReachability : public sage::core::FilterProgram {
+ public:
+  ConstrainedReachability(uint32_t hop_budget, std::vector<bool> forbidden)
+      : hop_budget_(hop_budget), forbidden_(std::move(forbidden)) {}
+
+  void Bind(sage::core::Engine* engine) override {
+    engine_ = engine;
+    hops_.assign(engine->csr().num_nodes(), kUnset);
+    hops_buf_ = engine->RegisterAttribute("cr.hops", sizeof(uint32_t));
+    footprint_.neighbor_reads = {&hops_buf_};
+    footprint_.neighbor_writes = {&hops_buf_};
+    footprint_.frontier_reads = {&hops_buf_};
+  }
+
+  void SetSource(NodeId source_original) {
+    std::fill(hops_.begin(), hops_.end(), kUnset);
+    hops_[engine_->InternalId(source_original)] = 0;
+  }
+
+  // The filtering step: one line of application logic per concern.
+  bool Filter(NodeId frontier, NodeId neighbor) override {
+    if (forbidden_[engine_->OriginalId(neighbor)]) return false;
+    uint32_t candidate = hops_[frontier] + 1;
+    if (candidate > hop_budget_) return false;
+    if (hops_[neighbor] != kUnset) return false;
+    hops_[neighbor] = candidate;
+    return true;
+  }
+
+  void OnPermutation(std::span<const NodeId> new_of_old) override {
+    hops_ = sage::reorder::PermuteVector(hops_, new_of_old);
+  }
+
+  const sage::core::Footprint& footprint() const override {
+    return footprint_;
+  }
+  const char* name() const override { return "constrained-reachability"; }
+
+  bool Reachable(NodeId original) const {
+    return hops_[engine_->InternalId(original)] != kUnset;
+  }
+
+ private:
+  static constexpr uint32_t kUnset = 0xffffffffu;
+
+  uint32_t hop_budget_;
+  std::vector<bool> forbidden_;
+  sage::core::Engine* engine_ = nullptr;
+  std::vector<uint32_t> hops_;
+  sage::sim::Buffer hops_buf_;
+  sage::core::Footprint footprint_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sage;
+  graph::Csr csr = graph::GenerateWebCopy(20000, 12, 0.7, 7);
+
+  // Forbid the top-degree "hub" pages and ask what is still reachable
+  // within 4 hops — e.g. crawling with a blocklist.
+  std::vector<bool> forbidden(csr.num_nodes(), false);
+  int banned = 0;
+  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (csr.OutDegree(v) > 100) {
+      forbidden[v] = true;
+      ++banned;
+    }
+  }
+
+  sim::GpuDevice device{sim::DeviceSpec()};
+  core::Engine engine(&device, csr, core::EngineOptions());
+  ConstrainedReachability query(/*hop_budget=*/4, forbidden);
+  if (!engine.Bind(&query).ok()) return 1;
+
+  // Crawl from the busiest page that is not itself banned.
+  graph::NodeId start = 0;
+  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (!forbidden[v] && csr.OutDegree(v) > csr.OutDegree(start)) start = v;
+  }
+  query.SetSource(start);
+  graph::NodeId sources[1] = {start};
+  auto stats = engine.Run(sources);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+
+  uint64_t reachable = 0;
+  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (query.Reachable(v)) ++reachable;
+  }
+  std::printf("graph: %u pages, %d banned hubs\n", csr.num_nodes(), banned);
+  std::printf("constrained reachability from page %u (<=4 hops, avoiding "
+              "hubs): %llu pages\n",
+              start, static_cast<unsigned long long>(reachable));
+  std::printf("%llu edges in %.3f ms modeled (%.2f GTEPS) — no "
+              "preprocessing, ~30 lines of filtering logic\n",
+              static_cast<unsigned long long>(stats->edges_traversed),
+              stats->seconds * 1e3, stats->GTeps());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The out-of-core scenario (Section 3.3 / Figure 8): the adjacency array
+// does not fit in device memory and is accessed across PCIe. This example
+// contrasts on-demand scattered access, Subway-style planned preloading,
+// and SAGE's merged/aligned tile access on the same graph, and prints the
+// link-level accounting that explains the gap (frames, payload ratio).
+
+#include <cstdio>
+
+#include "apps/bfs.h"
+#include "baselines/subway.h"
+#include "core/engine.h"
+#include "graph/datasets.h"
+#include "sim/gpu_device.h"
+
+int main() {
+  using namespace sage;
+  graph::Csr csr = graph::MakeDataset(graph::DatasetId::kFriendsters,
+                                      graph::DatasetScale::kTiny);
+  std::printf("graph: %u nodes, %llu edges; adjacency held in host memory\n\n",
+              csr.num_nodes(),
+              static_cast<unsigned long long>(csr.num_edges()));
+  const graph::NodeId source = 0;
+
+  // --- On-demand scattered access (UM-style; the slow baseline). ----------
+  {
+    sim::GpuDevice device{sim::DeviceSpec()};
+    core::EngineOptions options;
+    options.adjacency_on_host = true;
+    options.tiled_partitioning = false;
+    options.resident_tiles = false;
+    core::Engine engine(&device, csr, options);
+    apps::BfsProgram bfs;
+    auto stats = apps::RunBfs(engine, bfs, source);
+    if (!stats.ok()) return 1;
+    const auto& link = device.host_link().stats();
+    std::printf("on-demand : %6.3f GTEPS | frames %8llu, payload ratio "
+                "%.2f\n",
+                stats->GTeps(), static_cast<unsigned long long>(link.frames),
+                link.Efficiency());
+  }
+
+  // --- Subway: extract the active subgraph, preload it asynchronously. ----
+  {
+    sim::GpuDevice device{sim::DeviceSpec()};
+    baselines::SubwayBfs subway(&device, &csr);
+    auto result = subway.Run(source);
+    std::printf("subway    : %6.3f GTEPS | transferred %.1f MB, extraction "
+                "%.2f ms, transfer %.2f ms\n",
+                result.stats.GTeps(),
+                result.bytes_transferred / 1e6,
+                result.extraction_seconds * 1e3,
+                result.transfer_seconds * 1e3);
+  }
+
+  // --- SAGE: tile-aligned merged host reads + resident-tile stealing. -----
+  {
+    sim::GpuDevice device{sim::DeviceSpec()};
+    core::EngineOptions options;
+    options.adjacency_on_host = true;  // everything else: full SAGE
+    core::Engine engine(&device, csr, options);
+    apps::BfsProgram bfs;
+    auto stats = apps::RunBfs(engine, bfs, source);
+    if (!stats.ok()) return 1;
+    const auto& link = device.host_link().stats();
+    std::printf("SAGE      : %6.3f GTEPS | frames %8llu, payload ratio "
+                "%.2f\n",
+                stats->GTeps(), static_cast<unsigned long long>(link.frames),
+                link.Efficiency());
+  }
+
+  std::printf("\nSAGE's tiles turn scattered neighbor reads into merged, "
+              "sector-aligned PCIe frames;\nresident-tile stealing keeps "
+              "the link pipeline occupied (Section 7.2).\n");
+  return 0;
+}

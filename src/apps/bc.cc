@@ -1,0 +1,128 @@
+#include "apps/bc.h"
+
+#include <algorithm>
+
+#include "reorder/permutation.h"
+#include "util/logging.h"
+
+namespace sage::apps {
+
+using graph::NodeId;
+
+namespace {
+constexpr uint32_t kUnreached = 0xffffffffu;
+}  // namespace
+
+void BcProgram::Bind(core::Engine* engine) {
+  if (engine_ == engine) return;
+  engine_ = engine;
+  const NodeId n = engine->csr().num_nodes();
+  dist_.assign(n, kUnreached);
+  sigma_.assign(n, 0.0);
+  delta_.assign(n, 0.0);
+  dist_buf_ = engine->RegisterAttribute("bc.dist", sizeof(uint32_t));
+  sigma_buf_ = engine->RegisterAttribute("bc.sigma", sizeof(double));
+  delta_buf_ = engine->RegisterAttribute("bc.delta", sizeof(double));
+
+  footprint_forward_ = core::Footprint();
+  footprint_forward_.neighbor_reads = {&dist_buf_};
+  footprint_forward_.neighbor_writes = {&dist_buf_, &sigma_buf_};
+  footprint_forward_.frontier_reads = {&dist_buf_, &sigma_buf_};
+  footprint_forward_.atomic_neighbor = true;  // atomicCAS + atomicAdd
+
+  footprint_backward_ = core::Footprint();
+  footprint_backward_.neighbor_reads = {&dist_buf_, &sigma_buf_, &delta_buf_};
+  footprint_backward_.frontier_reads = {&dist_buf_, &sigma_buf_};
+  footprint_backward_.frontier_writes = {&delta_buf_};
+  footprint_backward_.atomic_frontier = true;  // atomicAdd(delta[frontier])
+}
+
+void BcProgram::SetSource(NodeId source_original) {
+  SAGE_CHECK(engine_ != nullptr);
+  std::fill(dist_.begin(), dist_.end(), kUnreached);
+  std::fill(sigma_.begin(), sigma_.end(), 0.0);
+  std::fill(delta_.begin(), delta_.end(), 0.0);
+  NodeId s = engine_->InternalId(source_original);
+  dist_[s] = 0;
+  sigma_[s] = 1.0;
+  phase_ = Phase::kForward;
+}
+
+bool BcProgram::Filter(NodeId frontier, NodeId neighbor) {
+  if (phase_ == Phase::kForward) {
+    bool pass = false;
+    if (dist_[neighbor] == kUnreached) {  // atomicCAS
+      dist_[neighbor] = dist_[frontier] + 1;
+      pass = true;
+    }
+    if (dist_[neighbor] == dist_[frontier] + 1) {
+      sigma_[neighbor] += sigma_[frontier];  // atomicAdd
+    }
+    return pass;
+  }
+  // Backward: frontier at level l pulls dependency from out-neighbors at
+  // level l+1 (Algorithm 1 lines 20-24).
+  if (dist_[neighbor] == dist_[frontier] + 1 && sigma_[neighbor] > 0.0) {
+    double increment = sigma_[frontier] / sigma_[neighbor];
+    increment *= delta_[neighbor] + 1.0;
+    delta_[frontier] += increment;  // atomicAdd
+  }
+  return false;
+}
+
+void BcProgram::OnPermutation(std::span<const NodeId> new_of_old) {
+  dist_ = reorder::PermuteVector(dist_, new_of_old);
+  sigma_ = reorder::PermuteVector(sigma_, new_of_old);
+  delta_ = reorder::PermuteVector(delta_, new_of_old);
+}
+
+util::StatusOr<core::RunStats> Betweenness::Run(core::Engine& engine,
+                                                NodeId source_original) {
+  SAGE_RETURN_IF_ERROR(engine.Bind(&program_));
+  program_.SetSource(source_original);
+  core::RunStats total;
+
+  NodeId src[1] = {source_original};
+  SAGE_ASSIGN_OR_RETURN(core::RunStats fwd, engine.Run(src));
+  total.Accumulate(fwd);
+
+  program_.SetPhase(BcProgram::Phase::kBackward);
+  SAGE_RETURN_IF_ERROR(engine.Bind(&program_));
+
+  // Deepest reached level.
+  const auto& dist = program_.dist_internal();
+  uint32_t max_level = 0;
+  for (uint32_t d : dist) {
+    if (d != kUnreached) max_level = std::max(max_level, d);
+  }
+  // Walk levels from the deepest-1 up to the source. Frontiers are
+  // recomputed from dist each level so a mid-run reordering stays safe.
+  for (int64_t level = static_cast<int64_t>(max_level) - 1; level >= 0;
+       --level) {
+    std::vector<NodeId> frontier;
+    for (NodeId v = 0; v < dist.size(); ++v) {
+      if (dist[v] == static_cast<uint32_t>(level)) frontier.push_back(v);
+    }
+    if (frontier.empty()) continue;
+    SAGE_ASSIGN_OR_RETURN(core::RunStats it,
+                          engine.RunOneIteration(frontier, nullptr));
+    total.Accumulate(it);
+  }
+
+  // Fold per-source dependencies into centrality, keyed by original id.
+  const auto& delta = program_.delta_internal();
+  NodeId s_int = engine.InternalId(source_original);
+  for (NodeId v = 0; v < delta.size(); ++v) {
+    if (v == s_int) continue;
+    centrality_[engine.OriginalId(v)] += delta[v];
+  }
+  return total;
+}
+
+double Betweenness::DeltaOf(NodeId original) const {
+  core::Engine* engine = program_.engine();
+  SAGE_CHECK(engine != nullptr);
+  return program_.delta_internal()[engine->InternalId(original)];
+}
+
+}  // namespace sage::apps

@@ -1,0 +1,81 @@
+#ifndef SAGE_APPS_BC_H_
+#define SAGE_APPS_BC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/types.h"
+
+namespace sage::apps {
+
+/// The filter program behind Betweenness Centrality (Brandes): a forward
+/// phase (Algorithm 1 lines 8-17 — BFS with atomicCAS on dist plus
+/// shortest-path counting into sigma) and a backward phase (lines 19-24 —
+/// dependency accumulation from the deepest level up).
+class BcProgram : public core::FilterProgram {
+ public:
+  enum class Phase { kForward, kBackward };
+
+  void Bind(core::Engine* engine) override;
+  bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
+  void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
+  const core::Footprint& footprint() const override {
+    return phase_ == Phase::kForward ? footprint_forward_
+                                     : footprint_backward_;
+  }
+  const char* name() const override {
+    return phase_ == Phase::kForward ? "bc-forward" : "bc-backward";
+  }
+
+  /// Resets per-source state and seeds the forward phase.
+  void SetSource(graph::NodeId source_original);
+
+  /// Switches phase. Rebind the engine afterwards so it picks up the
+  /// phase's footprint: engine.Bind(&program).
+  void SetPhase(Phase phase) { phase_ = phase; }
+
+  const std::vector<uint32_t>& dist_internal() const { return dist_; }
+  const std::vector<double>& sigma_internal() const { return sigma_; }
+  const std::vector<double>& delta_internal() const { return delta_; }
+  core::Engine* engine() const { return engine_; }
+
+ private:
+  core::Engine* engine_ = nullptr;
+  Phase phase_ = Phase::kForward;
+  std::vector<uint32_t> dist_;
+  std::vector<double> sigma_;
+  std::vector<double> delta_;
+  sim::Buffer dist_buf_;
+  sim::Buffer sigma_buf_;
+  sim::Buffer delta_buf_;
+  core::Footprint footprint_forward_;
+  core::Footprint footprint_backward_;
+};
+
+/// Driver for one full Brandes source sweep: forward BFS, then the
+/// level-by-level backward dependency accumulation. Accumulates centrality
+/// (indexed by *original* node id) across calls.
+class Betweenness {
+ public:
+  explicit Betweenness(graph::NodeId num_nodes)
+      : centrality_(num_nodes, 0.0) {}
+
+  /// Runs Brandes from one source; returns combined forward+backward stats.
+  util::StatusOr<core::RunStats> Run(core::Engine& engine,
+                                     graph::NodeId source_original);
+
+  /// Dependency (delta) of a node from the most recent Run, by original id.
+  double DeltaOf(graph::NodeId original) const;
+
+  const std::vector<double>& centrality() const { return centrality_; }
+
+ private:
+  BcProgram program_;
+  std::vector<double> centrality_;
+};
+
+}  // namespace sage::apps
+
+#endif  // SAGE_APPS_BC_H_

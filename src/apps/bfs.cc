@@ -1,0 +1,58 @@
+#include "apps/bfs.h"
+
+#include <algorithm>
+
+#include "reorder/permutation.h"
+#include "util/logging.h"
+
+namespace sage::apps {
+
+using graph::NodeId;
+
+void BfsProgram::Bind(core::Engine* engine) {
+  if (engine_ == engine) return;  // idempotent rebind on the same engine
+  engine_ = engine;
+  dist_.assign(engine->csr().num_nodes(), kUnreached);
+  dist_buf_ = engine->RegisterAttribute("bfs.dist", sizeof(uint32_t));
+  footprint_ = core::Footprint();
+  footprint_.neighbor_reads = {&dist_buf_};
+  footprint_.neighbor_writes = {&dist_buf_};
+  footprint_.frontier_reads = {&dist_buf_};
+}
+
+void BfsProgram::SetSource(NodeId source_original) {
+  SAGE_CHECK(engine_ != nullptr) << "Bind before SetSource";
+  std::fill(dist_.begin(), dist_.end(), kUnreached);
+  dist_[engine_->InternalId(source_original)] = 0;
+}
+
+bool BfsProgram::Filter(NodeId frontier, NodeId neighbor) {
+  if (dist_[neighbor] == kUnreached) {
+    dist_[neighbor] = dist_[frontier] + 1;
+    return true;
+  }
+  return false;
+}
+
+void BfsProgram::OnPermutation(std::span<const NodeId> new_of_old) {
+  dist_ = reorder::PermuteVector(dist_, new_of_old);
+}
+
+uint32_t BfsProgram::DistanceOf(NodeId original) const {
+  return dist_[engine_->InternalId(original)];
+}
+
+void BfsProgram::SetDistance(NodeId original, uint32_t dist) {
+  dist_[engine_->InternalId(original)] = dist;
+}
+
+util::StatusOr<core::RunStats> RunBfs(core::Engine& engine,
+                                      BfsProgram& program,
+                                      NodeId source_original) {
+  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
+  program.SetSource(source_original);
+  NodeId src[1] = {source_original};
+  return engine.Run(src);
+}
+
+}  // namespace sage::apps

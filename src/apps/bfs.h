@@ -1,0 +1,55 @@
+#ifndef SAGE_APPS_BFS_H_
+#define SAGE_APPS_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/types.h"
+
+namespace sage::apps {
+
+/// Breadth-First Search as a SAGE filter program (Algorithm 1, lines 2-6):
+/// a neighbor passes the filter the first time it is reached; its distance
+/// is the frontier's plus one. BFS tolerates dirty writes, so it needs no
+/// atomics (Section 7.2).
+class BfsProgram : public core::FilterProgram {
+ public:
+  static constexpr uint32_t kUnreached = 0xffffffffu;
+
+  void Bind(core::Engine* engine) override;
+  bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
+  void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "bfs"; }
+
+  /// Resets distances and seeds the given source (original id). Call after
+  /// Bind and before every Run.
+  void SetSource(graph::NodeId source_original);
+
+  /// Distance of a node (original id); kUnreached if not reached.
+  uint32_t DistanceOf(graph::NodeId original) const;
+
+  /// Directly sets a node's distance (original id). Used by multi-GPU
+  /// drivers to inject discoveries received from peer partitions.
+  void SetDistance(graph::NodeId original, uint32_t dist);
+
+  /// Internal-id distance array (for level-driven consumers like BC).
+  const std::vector<uint32_t>& dist_internal() const { return dist_; }
+
+ private:
+  core::Engine* engine_ = nullptr;
+  std::vector<uint32_t> dist_;
+  sim::Buffer dist_buf_;
+  core::Footprint footprint_;
+};
+
+/// Convenience: full BFS from `source`; returns the run stats.
+util::StatusOr<core::RunStats> RunBfs(core::Engine& engine,
+                                      BfsProgram& program,
+                                      graph::NodeId source_original);
+
+}  // namespace sage::apps
+
+#endif  // SAGE_APPS_BFS_H_

@@ -1,0 +1,56 @@
+#include "apps/cc.h"
+
+#include "reorder/permutation.h"
+#include "util/logging.h"
+
+namespace sage::apps {
+
+using graph::NodeId;
+
+void CcProgram::Bind(core::Engine* engine) {
+  if (engine_ == engine) return;
+  engine_ = engine;
+  label_.resize(engine->csr().num_nodes());
+  label_buf_ = engine->RegisterAttribute("cc.label", sizeof(NodeId));
+  footprint_ = core::Footprint();
+  footprint_.neighbor_reads = {&label_buf_};
+  footprint_.neighbor_writes = {&label_buf_};
+  footprint_.frontier_reads = {&label_buf_};
+  footprint_.atomic_neighbor = true;  // atomicMin
+  Reset();
+}
+
+void CcProgram::Reset() {
+  SAGE_CHECK(engine_ != nullptr);
+  for (NodeId v = 0; v < label_.size(); ++v) {
+    label_[v] = engine_->OriginalId(v);
+  }
+}
+
+bool CcProgram::Filter(NodeId frontier, NodeId neighbor) {
+  if (label_[frontier] < label_[neighbor]) {  // atomicMin
+    label_[neighbor] = label_[frontier];
+    return true;
+  }
+  return false;
+}
+
+void CcProgram::OnPermutation(std::span<const NodeId> new_of_old) {
+  label_ = reorder::PermuteVector(label_, new_of_old);
+}
+
+NodeId CcProgram::ComponentOf(NodeId original) const {
+  return label_[engine_->InternalId(original)];
+}
+
+util::StatusOr<core::RunStats> RunConnectedComponents(core::Engine& engine,
+                                                      CcProgram& program) {
+  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
+  program.Reset();
+  // Every node starts as a frontier carrying its own label.
+  std::vector<NodeId> sources(engine.csr().num_nodes());
+  for (NodeId v = 0; v < sources.size(); ++v) sources[v] = v;
+  return engine.Run(sources);
+}
+
+}  // namespace sage::apps

@@ -1,0 +1,44 @@
+#ifndef SAGE_APPS_CC_H_
+#define SAGE_APPS_CC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/types.h"
+
+namespace sage::apps {
+
+/// Connected Components by min-label propagation (one of the primitives
+/// Section 4 lists). Labels are *original* node ids, so they are stable
+/// under Sampling-based Reordering's relabelings. Run on a symmetrized
+/// graph with every node in the initial frontier.
+class CcProgram : public core::FilterProgram {
+ public:
+  void Bind(core::Engine* engine) override;
+  bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
+  void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "cc"; }
+
+  /// Re-initializes every node's label to its own (original) id.
+  void Reset();
+
+  /// Component label of a node (original ids on both sides).
+  graph::NodeId ComponentOf(graph::NodeId original) const;
+
+ private:
+  core::Engine* engine_ = nullptr;
+  std::vector<graph::NodeId> label_;
+  sim::Buffer label_buf_;
+  core::Footprint footprint_;
+};
+
+/// Runs min-label CC to convergence; returns run stats.
+util::StatusOr<core::RunStats> RunConnectedComponents(core::Engine& engine,
+                                                      CcProgram& program);
+
+}  // namespace sage::apps
+
+#endif  // SAGE_APPS_CC_H_

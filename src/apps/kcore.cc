@@ -1,0 +1,94 @@
+#include "apps/kcore.h"
+
+#include <deque>
+
+#include "reorder/permutation.h"
+#include "util/logging.h"
+
+namespace sage::apps {
+
+using graph::NodeId;
+
+void KCoreProgram::Bind(core::Engine* engine) {
+  if (engine_ == engine) return;
+  engine_ = engine;
+  const NodeId n = engine->csr().num_nodes();
+  degree_.assign(n, 0);
+  removed_.assign(n, 0);
+  degree_buf_ = engine->RegisterAttribute("kcore.degree", sizeof(uint32_t));
+  footprint_ = core::Footprint();
+  footprint_.neighbor_reads = {&degree_buf_};
+  footprint_.neighbor_writes = {&degree_buf_};
+  footprint_.atomic_neighbor = true;  // atomicSub on the degree counter
+}
+
+std::vector<NodeId> KCoreProgram::Reset(uint32_t k) {
+  SAGE_CHECK(engine_ != nullptr);
+  k_ = k;
+  const auto& csr = engine_->csr();
+  std::vector<NodeId> initial;
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    degree_[v] = csr.OutDegree(v);
+    removed_[v] = degree_[v] < k_ ? 1 : 0;
+    if (removed_[v]) initial.push_back(engine_->OriginalId(v));
+  }
+  return initial;
+}
+
+bool KCoreProgram::Filter(NodeId frontier, NodeId neighbor) {
+  (void)frontier;
+  if (removed_[neighbor]) return false;
+  // atomicSub(degree[neighbor], 1); removal triggers when it drops below k.
+  if (--degree_[neighbor] < k_) {
+    removed_[neighbor] = 1;
+    return true;
+  }
+  return false;
+}
+
+void KCoreProgram::OnPermutation(std::span<const NodeId> new_of_old) {
+  degree_ = reorder::PermuteVector(degree_, new_of_old);
+  removed_ = reorder::PermuteVector(removed_, new_of_old);
+}
+
+bool KCoreProgram::InCore(NodeId original) const {
+  return removed_[engine_->InternalId(original)] == 0;
+}
+
+util::StatusOr<core::RunStats> RunKCore(core::Engine& engine,
+                                        KCoreProgram& program, uint32_t k) {
+  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
+  std::vector<NodeId> initial = program.Reset(k);
+  if (initial.empty()) return core::RunStats{};
+  return engine.Run(initial);
+}
+
+std::vector<uint8_t> KCoreReference(const graph::Csr& csr, uint32_t k) {
+  const NodeId n = csr.num_nodes();
+  std::vector<uint32_t> degree(n);
+  std::vector<uint8_t> removed(n, 0);
+  std::deque<NodeId> queue;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = csr.OutDegree(v);
+    if (degree[v] < k) {
+      removed[v] = 1;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : csr.Neighbors(u)) {
+      if (removed[v]) continue;
+      if (--degree[v] < k) {
+        removed[v] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  std::vector<uint8_t> in_core(n);
+  for (NodeId v = 0; v < n; ++v) in_core[v] = removed[v] ? 0 : 1;
+  return in_core;
+}
+
+}  // namespace sage::apps

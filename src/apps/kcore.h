@@ -1,0 +1,54 @@
+#ifndef SAGE_APPS_KCORE_H_
+#define SAGE_APPS_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/types.h"
+
+namespace sage::apps {
+
+/// K-core decomposition by iterative peeling, expressed as a filtering
+/// step (another of the customized primitives Section 4's interface
+/// supports): the frontier carries freshly removed nodes; each removal
+/// decrements its neighbors' remaining degrees, and a neighbor whose
+/// degree drops below k is removed and becomes frontier. Run on a
+/// symmetrized graph; nodes left standing form the k-core.
+class KCoreProgram : public core::FilterProgram {
+ public:
+  void Bind(core::Engine* engine) override;
+  bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
+  void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "kcore"; }
+
+  /// Resets state for a decomposition with threshold k and returns the
+  /// initial frontier (original ids of nodes already below k).
+  std::vector<graph::NodeId> Reset(uint32_t k);
+
+  /// True if the node survived peeling (member of the k-core).
+  bool InCore(graph::NodeId original) const;
+
+ private:
+  core::Engine* engine_ = nullptr;
+  uint32_t k_ = 0;
+  std::vector<uint32_t> degree_;
+  std::vector<uint8_t> removed_;
+  sim::Buffer degree_buf_;
+  core::Footprint footprint_;
+};
+
+/// Runs the full peeling; returns stats. The program afterwards answers
+/// InCore queries.
+util::StatusOr<core::RunStats> RunKCore(core::Engine& engine,
+                                        KCoreProgram& program, uint32_t k);
+
+/// Sequential reference peeling. Treats the graph as already symmetrized
+/// (the program's contract). Returns an in-core flag per node.
+std::vector<uint8_t> KCoreReference(const graph::Csr& csr, uint32_t k);
+
+}  // namespace sage::apps
+
+#endif  // SAGE_APPS_KCORE_H_

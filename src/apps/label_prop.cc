@@ -1,0 +1,98 @@
+#include "apps/label_prop.h"
+
+#include <algorithm>
+
+#include "reorder/permutation.h"
+#include "util/logging.h"
+
+namespace sage::apps {
+
+using graph::NodeId;
+
+void LabelPropProgram::Bind(core::Engine* engine) {
+  if (engine_ == engine) return;
+  engine_ = engine;
+  label_.resize(engine->csr().num_nodes());
+  label_buf_ = engine->RegisterAttribute("lp.label", sizeof(NodeId));
+  footprint_ = core::Footprint();
+  footprint_.frontier_reads = {&label_buf_};
+  footprint_.neighbor_writes = {&label_buf_};
+  footprint_.atomic_neighbor = true;
+  Reset();
+}
+
+void LabelPropProgram::Reset() {
+  SAGE_CHECK(engine_ != nullptr);
+  for (NodeId v = 0; v < label_.size(); ++v) {
+    label_[v] = engine_->OriginalId(v);
+  }
+  votes_.clear();
+  pending_votes_ = false;
+}
+
+bool LabelPropProgram::Filter(NodeId frontier, NodeId neighbor) {
+  votes_.emplace_back(neighbor, label_[frontier]);
+  return false;  // globally driven
+}
+
+void LabelPropProgram::BeginIteration(uint32_t iteration) {
+  (void)iteration;
+  if (pending_votes_) ApplyVotes();
+  pending_votes_ = true;
+}
+
+void LabelPropProgram::ApplyVotes() {
+  // Majority per voted-on node; ties break toward the smaller label.
+  std::sort(votes_.begin(), votes_.end());
+  size_t i = 0;
+  while (i < votes_.size()) {
+    NodeId node = votes_[i].first;
+    NodeId best_label = votes_[i].second;
+    size_t best_count = 0;
+    while (i < votes_.size() && votes_[i].first == node) {
+      NodeId lbl = votes_[i].second;
+      size_t count = 0;
+      while (i < votes_.size() && votes_[i].first == node &&
+             votes_[i].second == lbl) {
+        ++count;
+        ++i;
+      }
+      if (count > best_count) {
+        best_count = count;
+        best_label = lbl;
+      }
+    }
+    label_[node] = best_label;
+  }
+  votes_.clear();
+}
+
+void LabelPropProgram::Finalize() {
+  if (pending_votes_) {
+    ApplyVotes();
+    pending_votes_ = false;
+  }
+}
+
+void LabelPropProgram::OnPermutation(std::span<const NodeId> new_of_old) {
+  label_ = reorder::PermuteVector(label_, new_of_old);
+  for (auto& [node, lbl] : votes_) {
+    node = new_of_old[node];  // labels are original ids; only keys remap
+  }
+}
+
+NodeId LabelPropProgram::LabelOf(NodeId original) const {
+  return label_[engine_->InternalId(original)];
+}
+
+util::StatusOr<core::RunStats> RunLabelPropagation(core::Engine& engine,
+                                                   LabelPropProgram& program,
+                                                   uint32_t iterations) {
+  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
+  program.Reset();
+  auto stats = engine.RunGlobal(iterations);
+  if (stats.ok()) program.Finalize();
+  return stats;
+}
+
+}  // namespace sage::apps

@@ -1,0 +1,54 @@
+#ifndef SAGE_APPS_LABEL_PROP_H_
+#define SAGE_APPS_LABEL_PROP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/types.h"
+
+namespace sage::apps {
+
+/// Synchronous Label Propagation — "identify the label majority among all
+/// neighbors of a frontier" (Section 4's primitive list). Every iteration,
+/// frontiers push their label as a vote to each neighbor; at the next
+/// iteration boundary, every voted-on node adopts its majority label (ties
+/// broken toward the smaller label). Labels are original ids, stable under
+/// reordering. Drive with RunGlobal for a fixed number of rounds.
+class LabelPropProgram : public core::FilterProgram {
+ public:
+  void Bind(core::Engine* engine) override;
+  bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
+  void BeginIteration(uint32_t iteration) override;
+  void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "label-prop"; }
+
+  void Reset();
+
+  /// Applies any pending votes; call once after the final iteration.
+  void Finalize();
+
+  graph::NodeId LabelOf(graph::NodeId original) const;
+
+ private:
+  void ApplyVotes();
+
+  core::Engine* engine_ = nullptr;
+  std::vector<graph::NodeId> label_;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> votes_;
+  sim::Buffer label_buf_;
+  core::Footprint footprint_;
+  bool pending_votes_ = false;
+};
+
+/// Runs `iterations` synchronous LP rounds; returns run stats.
+util::StatusOr<core::RunStats> RunLabelPropagation(core::Engine& engine,
+                                                   LabelPropProgram& program,
+                                                   uint32_t iterations);
+
+}  // namespace sage::apps
+
+#endif  // SAGE_APPS_LABEL_PROP_H_

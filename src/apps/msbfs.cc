@@ -1,0 +1,65 @@
+#include "apps/msbfs.h"
+
+#include <algorithm>
+
+#include "reorder/permutation.h"
+#include "util/logging.h"
+
+namespace sage::apps {
+
+using graph::NodeId;
+
+void MultiSourceBfsProgram::Bind(core::Engine* engine) {
+  if (engine_ == engine) return;
+  engine_ = engine;
+  mask_.assign(engine->csr().num_nodes(), 0);
+  mask_buf_ = engine->RegisterAttribute("msbfs.mask", sizeof(uint64_t));
+  footprint_ = core::Footprint();
+  footprint_.neighbor_reads = {&mask_buf_};
+  footprint_.neighbor_writes = {&mask_buf_};
+  footprint_.frontier_reads = {&mask_buf_};
+  footprint_.atomic_neighbor = true;  // atomicOr on the mask
+}
+
+void MultiSourceBfsProgram::SetSources(
+    std::span<const NodeId> sources_original) {
+  SAGE_CHECK(engine_ != nullptr);
+  SAGE_CHECK_LE(sources_original.size(), kMaxSources);
+  std::fill(mask_.begin(), mask_.end(), 0);
+  for (size_t i = 0; i < sources_original.size(); ++i) {
+    mask_[engine_->InternalId(sources_original[i])] |= 1ull << i;
+  }
+}
+
+bool MultiSourceBfsProgram::Filter(NodeId frontier, NodeId neighbor) {
+  uint64_t missing = mask_[frontier] & ~mask_[neighbor];
+  if (missing == 0) return false;
+  mask_[neighbor] |= missing;  // atomicOr
+  return true;
+}
+
+void MultiSourceBfsProgram::OnPermutation(
+    std::span<const NodeId> new_of_old) {
+  mask_ = reorder::PermuteVector(mask_, new_of_old);
+}
+
+bool MultiSourceBfsProgram::Reached(uint32_t source_index,
+                                    NodeId original) const {
+  return (mask_[engine_->InternalId(original)] >> source_index) & 1;
+}
+
+uint64_t MultiSourceBfsProgram::ReachedCount(uint32_t source_index) const {
+  uint64_t count = 0;
+  for (uint64_t m : mask_) count += (m >> source_index) & 1;
+  return count;
+}
+
+util::StatusOr<core::RunStats> RunMultiSourceBfs(
+    core::Engine& engine, MultiSourceBfsProgram& program,
+    std::span<const NodeId> sources_original) {
+  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
+  program.SetSources(sources_original);
+  return engine.Run(sources_original);
+}
+
+}  // namespace sage::apps

@@ -1,0 +1,51 @@
+#ifndef SAGE_APPS_MSBFS_H_
+#define SAGE_APPS_MSBFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/types.h"
+
+namespace sage::apps {
+
+/// Concurrent multi-source BFS (the iBFS workload the paper cites [27]):
+/// up to 64 BFS instances share one traversal, each owning a bit in a
+/// per-node reachability mask. A node joins the frontier whenever it
+/// gains new bits, so all instances amortize the same adjacency reads —
+/// far cheaper than 64 separate traversals.
+class MultiSourceBfsProgram : public core::FilterProgram {
+ public:
+  static constexpr uint32_t kMaxSources = 64;
+
+  void Bind(core::Engine* engine) override;
+  bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
+  void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "multi-source-bfs"; }
+
+  /// Resets state and seeds the sources (original ids; at most 64).
+  void SetSources(std::span<const graph::NodeId> sources_original);
+
+  /// True if BFS instance `source_index` reached the node.
+  bool Reached(uint32_t source_index, graph::NodeId original) const;
+
+  /// Number of nodes reached by instance `source_index`.
+  uint64_t ReachedCount(uint32_t source_index) const;
+
+ private:
+  core::Engine* engine_ = nullptr;
+  std::vector<uint64_t> mask_;
+  sim::Buffer mask_buf_;
+  core::Footprint footprint_;
+};
+
+/// Runs all instances to convergence; returns combined stats.
+util::StatusOr<core::RunStats> RunMultiSourceBfs(
+    core::Engine& engine, MultiSourceBfsProgram& program,
+    std::span<const graph::NodeId> sources_original);
+
+}  // namespace sage::apps
+
+#endif  // SAGE_APPS_MSBFS_H_

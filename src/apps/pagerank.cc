@@ -1,0 +1,91 @@
+#include "apps/pagerank.h"
+
+#include <algorithm>
+
+#include "reorder/permutation.h"
+#include "util/logging.h"
+
+namespace sage::apps {
+
+using graph::NodeId;
+
+void PageRankProgram::Bind(core::Engine* engine) {
+  if (engine_ == engine) return;
+  engine_ = engine;
+  const auto& csr = engine->csr();
+  const NodeId n = csr.num_nodes();
+  pr_in_.assign(n, 0.0);
+  pr_out_.assign(n, 0.0);
+  outdeg_.resize(n);
+  for (NodeId u = 0; u < n; ++u) outdeg_[u] = csr.OutDegree(u);
+  // 8-byte rank cells; the outdegree table is 4-byte.
+  pr_in_buf_ = engine->RegisterAttribute("pr.in", sizeof(double));
+  pr_out_buf_ = engine->RegisterAttribute("pr.out", sizeof(double));
+  outdeg_buf_ = engine->RegisterAttribute("pr.outdeg", sizeof(uint32_t));
+  footprint_ = core::Footprint();
+  footprint_.frontier_reads = {&pr_in_buf_, &outdeg_buf_};
+  footprint_.neighbor_writes = {&pr_out_buf_};
+  footprint_.atomic_neighbor = true;
+  Reset();
+}
+
+void PageRankProgram::Reset() {
+  SAGE_CHECK(engine_ != nullptr);
+  const double init = 1.0 / std::max<size_t>(pr_in_.size(), 1);
+  std::fill(pr_in_.begin(), pr_in_.end(), init);
+  std::fill(pr_out_.begin(), pr_out_.end(), 0.0);
+  pending_fold_ = false;
+}
+
+bool PageRankProgram::Filter(NodeId frontier, NodeId neighbor) {
+  // Dangling nodes never appear as frontiers with outdeg 0 here: the engine
+  // only calls Filter for actual edges, so outdeg_[frontier] >= 1.
+  double increment = pr_in_[frontier] * kDamping;
+  increment /= static_cast<double>(outdeg_[frontier]);
+  pr_out_[neighbor] += increment;
+  return false;  // global traversal: the driver supplies every frontier
+}
+
+void PageRankProgram::BeginIteration(uint32_t iteration) {
+  (void)iteration;
+  if (pending_fold_) FoldIteration();
+  pending_fold_ = true;
+}
+
+void PageRankProgram::FoldIteration() {
+  const double base =
+      (1.0 - kDamping) / std::max<size_t>(pr_in_.size(), 1);
+  for (size_t v = 0; v < pr_in_.size(); ++v) {
+    pr_in_[v] = base + pr_out_[v];
+    pr_out_[v] = 0.0;
+  }
+}
+
+void PageRankProgram::Finalize() {
+  if (pending_fold_) {
+    FoldIteration();
+    pending_fold_ = false;
+  }
+}
+
+void PageRankProgram::OnPermutation(std::span<const NodeId> new_of_old) {
+  pr_in_ = reorder::PermuteVector(pr_in_, new_of_old);
+  pr_out_ = reorder::PermuteVector(pr_out_, new_of_old);
+  outdeg_ = reorder::PermuteVector(outdeg_, new_of_old);
+}
+
+double PageRankProgram::RankOf(NodeId original) const {
+  return pr_in_[engine_->InternalId(original)];
+}
+
+util::StatusOr<core::RunStats> RunPageRank(core::Engine& engine,
+                                           PageRankProgram& program,
+                                           uint32_t iterations) {
+  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
+  program.Reset();
+  auto stats = engine.RunGlobal(iterations);
+  if (stats.ok()) program.Finalize();
+  return stats;
+}
+
+}  // namespace sage::apps

@@ -1,0 +1,60 @@
+#ifndef SAGE_APPS_PAGERANK_H_
+#define SAGE_APPS_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/types.h"
+
+namespace sage::apps {
+
+/// Push-style PageRank (Algorithm 1, lines 26-29): every iteration each
+/// node pushes pr_in[frontier] * d / outdeg(frontier) to all its neighbors
+/// with atomic adds; the engine drives it as a global traversal (the
+/// frontier is all of V every iteration; Section 7.2).
+class PageRankProgram : public core::FilterProgram {
+ public:
+  static constexpr double kDamping = 0.85;
+
+  void Bind(core::Engine* engine) override;
+  bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
+  void BeginIteration(uint32_t iteration) override;
+  void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "pagerank"; }
+
+  /// Resets ranks to the uniform distribution. Call before every run.
+  void Reset();
+
+  /// Folds the final push results into ranks; call once after RunGlobal.
+  void Finalize();
+
+  /// Rank of a node by original id (after Finalize).
+  double RankOf(graph::NodeId original) const;
+
+  const std::vector<double>& ranks_internal() const { return pr_in_; }
+
+ private:
+  void FoldIteration();
+
+  core::Engine* engine_ = nullptr;
+  std::vector<double> pr_in_;
+  std::vector<double> pr_out_;
+  std::vector<uint32_t> outdeg_;
+  sim::Buffer pr_in_buf_;
+  sim::Buffer pr_out_buf_;
+  sim::Buffer outdeg_buf_;
+  core::Footprint footprint_;
+  bool pending_fold_ = false;
+};
+
+/// Convenience: `iterations` PageRank iterations; returns run stats.
+util::StatusOr<core::RunStats> RunPageRank(core::Engine& engine,
+                                           PageRankProgram& program,
+                                           uint32_t iterations);
+
+}  // namespace sage::apps
+
+#endif  // SAGE_APPS_PAGERANK_H_

@@ -1,0 +1,107 @@
+#include "apps/pr_delta.h"
+
+#include <algorithm>
+
+#include "reorder/permutation.h"
+#include "util/logging.h"
+
+namespace sage::apps {
+
+using graph::NodeId;
+
+void DeltaPageRankProgram::Bind(core::Engine* engine) {
+  if (engine_ == engine) return;
+  engine_ = engine;
+  const auto& csr = engine->csr();
+  const NodeId n = csr.num_nodes();
+  pr_.assign(n, 0.0);
+  resid_.assign(n, 0.0);
+  delta_.assign(n, 0.0);
+  touched_.assign(n, 0);
+  queued_.assign(n, 0);
+  outdeg_.resize(n);
+  for (NodeId u = 0; u < n; ++u) outdeg_[u] = csr.OutDegree(u);
+  pr_buf_ = engine->RegisterAttribute("prd.rank", sizeof(double));
+  resid_buf_ = engine->RegisterAttribute("prd.resid", sizeof(double));
+  outdeg_buf_ = engine->RegisterAttribute("prd.outdeg", sizeof(uint32_t));
+  footprint_ = core::Footprint();
+  footprint_.frontier_reads = {&resid_buf_, &outdeg_buf_};
+  footprint_.frontier_writes = {&pr_buf_};
+  footprint_.neighbor_reads = {&resid_buf_};
+  footprint_.neighbor_writes = {&resid_buf_};
+  footprint_.atomic_neighbor = true;  // atomicAdd on residuals
+}
+
+void DeltaPageRankProgram::Reset(double epsilon) {
+  SAGE_CHECK(engine_ != nullptr);
+  epsilon_ = epsilon;
+  iteration_ = 0;
+  const double init =
+      (1.0 - kDamping) / std::max<size_t>(pr_.size(), 1);
+  std::fill(pr_.begin(), pr_.end(), 0.0);
+  std::fill(resid_.begin(), resid_.end(), init);
+  std::fill(delta_.begin(), delta_.end(), 0.0);
+  std::fill(touched_.begin(), touched_.end(), 0);
+  std::fill(queued_.begin(), queued_.end(), 0);
+}
+
+void DeltaPageRankProgram::BeginIteration(uint32_t iteration) {
+  (void)iteration;  // tags use a monotone local counter across runs
+  ++iteration_;
+}
+
+void DeltaPageRankProgram::Touch(NodeId frontier) {
+  if (touched_[frontier] == iteration_) return;
+  touched_[frontier] = iteration_;
+  delta_[frontier] = resid_[frontier];
+  pr_[frontier] += resid_[frontier];
+  resid_[frontier] = 0.0;
+}
+
+bool DeltaPageRankProgram::Filter(NodeId frontier, NodeId neighbor) {
+  Touch(frontier);
+  if (delta_[frontier] <= 0.0) return false;
+  resid_[neighbor] +=
+      kDamping * delta_[frontier] / static_cast<double>(outdeg_[frontier]);
+  if (resid_[neighbor] > epsilon_ && queued_[neighbor] != iteration_) {
+    queued_[neighbor] = iteration_;
+    return true;
+  }
+  return false;
+}
+
+void DeltaPageRankProgram::Finalize() {
+  // Sub-threshold residuals never propagate; fold them into the ranks so
+  // the total converged mass matches the power iteration's.
+  for (size_t v = 0; v < pr_.size(); ++v) {
+    pr_[v] += resid_[v];
+    resid_[v] = 0.0;
+  }
+}
+
+void DeltaPageRankProgram::OnPermutation(std::span<const NodeId> new_of_old) {
+  pr_ = reorder::PermuteVector(pr_, new_of_old);
+  resid_ = reorder::PermuteVector(resid_, new_of_old);
+  delta_ = reorder::PermuteVector(delta_, new_of_old);
+  touched_ = reorder::PermuteVector(touched_, new_of_old);
+  queued_ = reorder::PermuteVector(queued_, new_of_old);
+  outdeg_ = reorder::PermuteVector(outdeg_, new_of_old);
+}
+
+double DeltaPageRankProgram::RankOf(NodeId original) const {
+  return pr_[engine_->InternalId(original)];
+}
+
+util::StatusOr<core::RunStats> RunDeltaPageRank(core::Engine& engine,
+                                                DeltaPageRankProgram& program,
+                                                double epsilon) {
+  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
+  program.Reset(epsilon);
+  std::vector<NodeId> all(engine.csr().num_nodes());
+  for (NodeId v = 0; v < all.size(); ++v) all[v] = v;
+  auto stats = engine.Run(all);
+  if (stats.ok()) program.Finalize();
+  return stats;
+}
+
+}  // namespace sage::apps

@@ -1,0 +1,73 @@
+#ifndef SAGE_APPS_PR_DELTA_H_
+#define SAGE_APPS_PR_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/types.h"
+
+namespace sage::apps {
+
+/// Delta (residual-push) PageRank: instead of the global traversal of
+/// PageRankProgram, ranks converge through SAGE's *local* traversal — a
+/// node re-enters the frontier only while it still holds enough residual
+/// to push. Formulation (Gauss-Southwell / PageRankDelta family):
+///
+///   pr[v] = 0, resid[v] = (1-d)/|V|, frontier = V
+///   processing v:  pr[v] += resid[v];
+///                  push d·resid[v]/outdeg(v) onto each neighbor's resid
+///   v re-activates once resid[v] > epsilon
+///
+/// Converges to the same fixpoint as the power iteration (with the same
+/// dangling-mass convention). Its value is *adaptivity*: the frontier
+/// shrinks as residuals drain, concentrating the remaining work on the
+/// nodes that still hold mass instead of re-sweeping the whole graph.
+class DeltaPageRankProgram : public core::FilterProgram {
+ public:
+  static constexpr double kDamping = 0.85;
+
+  void Bind(core::Engine* engine) override;
+  bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
+  void BeginIteration(uint32_t iteration) override;
+  void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "pagerank-delta"; }
+
+  /// Resets state; `epsilon` is the residual activation threshold.
+  void Reset(double epsilon);
+
+  /// Flushes remaining residuals into the ranks; call after Run.
+  void Finalize();
+
+  double RankOf(graph::NodeId original) const;
+
+ private:
+  /// Lazily snapshots a frontier node on its first edge of the iteration:
+  /// absorb its residual into the rank and fix the pushed delta.
+  void Touch(graph::NodeId frontier);
+
+  core::Engine* engine_ = nullptr;
+  double epsilon_ = 1e-9;
+  uint32_t iteration_ = 0;
+  std::vector<double> pr_;
+  std::vector<double> resid_;
+  std::vector<double> delta_;
+  std::vector<uint32_t> touched_;   ///< iteration tag: processed
+  std::vector<uint32_t> queued_;    ///< iteration tag: admitted to next
+  std::vector<uint32_t> outdeg_;
+  sim::Buffer pr_buf_;
+  sim::Buffer resid_buf_;
+  sim::Buffer outdeg_buf_;
+  core::Footprint footprint_;
+};
+
+/// Runs delta PageRank to convergence (residuals below epsilon).
+util::StatusOr<core::RunStats> RunDeltaPageRank(core::Engine& engine,
+                                                DeltaPageRankProgram& program,
+                                                double epsilon = 1e-9);
+
+}  // namespace sage::apps
+
+#endif  // SAGE_APPS_PR_DELTA_H_

@@ -1,0 +1,134 @@
+#include "apps/reference.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "apps/sssp.h"
+#include "util/logging.h"
+
+namespace sage::apps {
+
+using graph::Csr;
+using graph::NodeId;
+
+std::vector<uint32_t> BfsReference(const Csr& csr, NodeId source) {
+  constexpr uint32_t kUnreached = 0xffffffffu;
+  std::vector<uint32_t> dist(csr.num_nodes(), kUnreached);
+  SAGE_CHECK_LT(source, csr.num_nodes());
+  dist[source] = 0;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : csr.Neighbors(u)) {
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> BrandesReference(const Csr& csr, NodeId source) {
+  constexpr uint32_t kUnreached = 0xffffffffu;
+  const NodeId n = csr.num_nodes();
+  std::vector<uint32_t> dist(n, kUnreached);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+  std::vector<NodeId> order;  // BFS visitation order
+  dist[source] = 0;
+  sigma[source] = 1.0;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (NodeId v : csr.Neighbors(u)) {
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+      if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId u = *it;
+    for (NodeId v : csr.Neighbors(u)) {
+      if (dist[v] == dist[u] + 1 && sigma[v] > 0.0) {
+        delta[u] += sigma[u] / sigma[v] * (delta[v] + 1.0);
+      }
+    }
+  }
+  return delta;
+}
+
+std::vector<double> PageRankReference(const Csr& csr, uint32_t iterations) {
+  constexpr double kDamping = 0.85;
+  const NodeId n = csr.num_nodes();
+  std::vector<double> pr(n, n == 0 ? 0.0 : 1.0 / n);
+  std::vector<double> out(n, 0.0);
+  for (uint32_t it = 0; it < iterations; ++it) {
+    std::fill(out.begin(), out.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      uint32_t deg = csr.OutDegree(u);
+      if (deg == 0) continue;
+      double inc = pr[u] * kDamping / deg;
+      for (NodeId v : csr.Neighbors(u)) out[v] += inc;
+    }
+    const double base = (1.0 - kDamping) / n;
+    for (NodeId v = 0; v < n; ++v) pr[v] = base + out[v];
+  }
+  return pr;
+}
+
+namespace {
+NodeId Find(std::vector<NodeId>& parent, NodeId x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+}  // namespace
+
+std::vector<NodeId> ConnectedComponentsReference(const Csr& csr) {
+  const NodeId n = csr.num_nodes();
+  std::vector<NodeId> parent(n);
+  for (NodeId v = 0; v < n; ++v) parent[v] = v;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : csr.Neighbors(u)) {
+      NodeId ru = Find(parent, u);
+      NodeId rv = Find(parent, v);
+      if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+  }
+  std::vector<NodeId> label(n);
+  for (NodeId v = 0; v < n; ++v) label[v] = Find(parent, v);
+  return label;
+}
+
+std::vector<uint64_t> SsspReference(const Csr& csr, NodeId source) {
+  constexpr uint64_t kInf = 0xffffffffffffffffull;
+  std::vector<uint64_t> dist(csr.num_nodes(), kInf);
+  dist[source] = 0;
+  using Entry = std::pair<uint64_t, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;
+    for (NodeId v : csr.Neighbors(u)) {
+      uint64_t nd = d + SyntheticEdgeWeight(u, v);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace sage::apps

@@ -1,0 +1,40 @@
+#ifndef SAGE_APPS_REFERENCE_H_
+#define SAGE_APPS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace sage::apps {
+
+/// Sequential reference implementations used as correctness oracles for
+/// every engine and baseline (all of which must reproduce these results
+/// exactly, up to floating-point tolerance for PR/BC).
+
+/// BFS distances from `source` (0xffffffff = unreached).
+std::vector<uint32_t> BfsReference(const graph::Csr& csr,
+                                   graph::NodeId source);
+
+/// Brandes dependency scores (delta) from one source.
+std::vector<double> BrandesReference(const graph::Csr& csr,
+                                     graph::NodeId source);
+
+/// Push-style PageRank with damping 0.85 and `iterations` rounds,
+/// matching PageRankProgram's update order and dangling handling.
+std::vector<double> PageRankReference(const graph::Csr& csr,
+                                      uint32_t iterations);
+
+/// Connected components via union-find over the symmetrized edge set;
+/// each node's label is the minimum original id in its component.
+std::vector<graph::NodeId> ConnectedComponentsReference(
+    const graph::Csr& csr);
+
+/// Dijkstra with SyntheticEdgeWeight (see sssp.h).
+std::vector<uint64_t> SsspReference(const graph::Csr& csr,
+                                    graph::NodeId source);
+
+}  // namespace sage::apps
+
+#endif  // SAGE_APPS_REFERENCE_H_

@@ -1,0 +1,71 @@
+#include "apps/sssp.h"
+
+#include <algorithm>
+
+#include "reorder/permutation.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sage::apps {
+
+using graph::NodeId;
+
+uint32_t SyntheticEdgeWeight(NodeId u_original, NodeId v_original) {
+  uint64_t h = util::SplitMix64(
+      (static_cast<uint64_t>(u_original) << 32) | v_original);
+  return static_cast<uint32_t>(h % 16) + 1;
+}
+
+void SsspProgram::Bind(core::Engine* engine) {
+  if (engine_ == engine) return;
+  engine_ = engine;
+  dist_.assign(engine->csr().num_nodes(), kInfinity);
+  dist_buf_ = engine->RegisterAttribute("sssp.dist", sizeof(uint64_t));
+  // The weight array lives alongside csr.v (one 4-byte weight per edge);
+  // its *values* are derived by SyntheticEdgeWeight so the CPU oracle
+  // needs no extra plumbing, but its memory traffic is fully charged.
+  weight_buf_ = engine->RegisterEdgeAttribute("sssp.weights",
+                                              sizeof(uint32_t));
+  footprint_ = core::Footprint();
+  footprint_.neighbor_reads = {&dist_buf_};
+  footprint_.neighbor_writes = {&dist_buf_};
+  footprint_.frontier_reads = {&dist_buf_};
+  footprint_.edge_reads = {&weight_buf_};
+  footprint_.atomic_neighbor = true;  // atomicMin on 64-bit distance
+}
+
+void SsspProgram::SetSource(NodeId source_original) {
+  SAGE_CHECK(engine_ != nullptr);
+  std::fill(dist_.begin(), dist_.end(), kInfinity);
+  dist_[engine_->InternalId(source_original)] = 0;
+}
+
+bool SsspProgram::Filter(NodeId frontier, NodeId neighbor) {
+  uint64_t candidate =
+      dist_[frontier] + SyntheticEdgeWeight(engine_->OriginalId(frontier),
+                                            engine_->OriginalId(neighbor));
+  if (candidate < dist_[neighbor]) {  // atomicMin
+    dist_[neighbor] = candidate;
+    return true;
+  }
+  return false;
+}
+
+void SsspProgram::OnPermutation(std::span<const NodeId> new_of_old) {
+  dist_ = reorder::PermuteVector(dist_, new_of_old);
+}
+
+uint64_t SsspProgram::DistanceOf(NodeId original) const {
+  return dist_[engine_->InternalId(original)];
+}
+
+util::StatusOr<core::RunStats> RunSssp(core::Engine& engine,
+                                       SsspProgram& program,
+                                       NodeId source_original) {
+  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
+  program.SetSource(source_original);
+  NodeId src[1] = {source_original};
+  return engine.Run(src);
+}
+
+}  // namespace sage::apps

@@ -1,0 +1,52 @@
+#ifndef SAGE_APPS_SSSP_H_
+#define SAGE_APPS_SSSP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/types.h"
+
+namespace sage::apps {
+
+/// Edge weight derived on the fly from the (original) endpoint ids — the
+/// CSR carries no weight array, and hashing keeps weights stable under
+/// reordering. Range: [1, 16].
+uint32_t SyntheticEdgeWeight(graph::NodeId u_original,
+                             graph::NodeId v_original);
+
+/// Single-Source Shortest Path by Bellman-Ford-style relaxation — the
+/// "iteratively update neighbors' distances" primitive of Section 4. A
+/// neighbor re-enters the frontier whenever its distance improves.
+class SsspProgram : public core::FilterProgram {
+ public:
+  static constexpr uint64_t kInfinity = 0xffffffffffffffffull;
+
+  void Bind(core::Engine* engine) override;
+  bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
+  void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "sssp"; }
+
+  void SetSource(graph::NodeId source_original);
+
+  /// Shortest distance by original id; kInfinity if unreachable.
+  uint64_t DistanceOf(graph::NodeId original) const;
+
+ private:
+  core::Engine* engine_ = nullptr;
+  std::vector<uint64_t> dist_;
+  sim::Buffer dist_buf_;
+  sim::Buffer weight_buf_;
+  core::Footprint footprint_;
+};
+
+/// Runs SSSP to convergence; returns run stats.
+util::StatusOr<core::RunStats> RunSssp(core::Engine& engine,
+                                       SsspProgram& program,
+                                       graph::NodeId source_original);
+
+}  // namespace sage::apps
+
+#endif  // SAGE_APPS_SSSP_H_

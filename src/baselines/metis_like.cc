@@ -1,0 +1,323 @@
+#include "baselines/metis_like.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace sage::baselines {
+
+using graph::Csr;
+using graph::NodeId;
+
+namespace {
+
+// Weighted undirected graph used across coarsening levels.
+struct Level {
+  // adj[v] = (neighbor, edge weight); deduped, no self loops.
+  std::vector<std::vector<std::pair<NodeId, uint32_t>>> adj;
+  std::vector<uint32_t> node_weight;
+  std::vector<NodeId> coarse_of_fine;  // map from the finer level
+
+  NodeId size() const { return static_cast<NodeId>(adj.size()); }
+};
+
+Level BuildBaseLevel(const Csr& csr) {
+  Level level;
+  const NodeId n = csr.num_nodes();
+  level.adj.resize(n);
+  level.node_weight.assign(n, 1);
+  // Symmetrize with unit weights; merge duplicates.
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : csr.Neighbors(u)) {
+      if (u == v) continue;
+      level.adj[u].emplace_back(v, 1);
+      level.adj[v].emplace_back(u, 1);
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    auto& list = level.adj[u];
+    std::sort(list.begin(), list.end());
+    std::vector<std::pair<NodeId, uint32_t>> merged;
+    for (const auto& [v, w] : list) {
+      if (!merged.empty() && merged.back().first == v) {
+        merged.back().second += w;
+      } else {
+        merged.emplace_back(v, w);
+      }
+    }
+    list.swap(merged);
+  }
+  return level;
+}
+
+// Heavy-edge matching: returns the coarse graph.
+Level Coarsen(const Level& fine, util::Rng& rng) {
+  const NodeId n = fine.size();
+  std::vector<NodeId> match(n, graph::kInvalidNode);
+  std::vector<NodeId> visit(n);
+  std::iota(visit.begin(), visit.end(), 0);
+  rng.Shuffle(visit);
+  for (NodeId u : visit) {
+    if (match[u] != graph::kInvalidNode) continue;
+    NodeId best = graph::kInvalidNode;
+    uint32_t best_w = 0;
+    for (const auto& [v, w] : fine.adj[u]) {
+      if (match[v] != graph::kInvalidNode) continue;
+      if (w > best_w) {
+        best_w = w;
+        best = v;
+      }
+    }
+    if (best == graph::kInvalidNode) {
+      match[u] = u;  // unmatched: singleton
+    } else {
+      match[u] = best;
+      match[best] = u;
+    }
+  }
+  // Assign coarse ids.
+  Level coarse;
+  coarse.coarse_of_fine.assign(n, graph::kInvalidNode);
+  NodeId next_id = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (coarse.coarse_of_fine[u] != graph::kInvalidNode) continue;
+    coarse.coarse_of_fine[u] = next_id;
+    coarse.coarse_of_fine[match[u]] = next_id;
+    ++next_id;
+  }
+  coarse.adj.resize(next_id);
+  coarse.node_weight.assign(next_id, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    NodeId cu = coarse.coarse_of_fine[u];
+    // Each pair contributes its weight once via the u <= match[u] member.
+    if (u <= match[u]) {
+      coarse.node_weight[cu] =
+          fine.node_weight[u] +
+          (match[u] != u ? fine.node_weight[match[u]] : 0);
+    }
+    for (const auto& [v, w] : fine.adj[u]) {
+      NodeId cv = coarse.coarse_of_fine[v];
+      if (cu != cv) coarse.adj[cu].emplace_back(cv, w);
+    }
+  }
+  for (NodeId cu = 0; cu < next_id; ++cu) {
+    auto& list = coarse.adj[cu];
+    std::sort(list.begin(), list.end());
+    std::vector<std::pair<NodeId, uint32_t>> merged;
+    for (const auto& [v, w] : list) {
+      if (!merged.empty() && merged.back().first == v) {
+        merged.back().second += w;
+      } else {
+        merged.emplace_back(v, w);
+      }
+    }
+    list.swap(merged);
+  }
+  return coarse;
+}
+
+// Greedy region-growing bisection: grow part 0 from a seed by strongest
+// attachment until it holds half the node weight.
+std::vector<uint32_t> InitialBisect(const Level& level, util::Rng& rng) {
+  const NodeId n = level.size();
+  uint64_t total_weight = 0;
+  for (uint32_t w : level.node_weight) total_weight += w;
+  const uint64_t target = total_weight / 2;
+
+  std::vector<uint32_t> part(n, 1);
+  if (n == 0) return part;
+  std::vector<int64_t> gain(n, 0);
+  std::vector<bool> in_zero(n, false);
+  NodeId seed = rng.UniformU32(n);
+  std::priority_queue<std::pair<int64_t, NodeId>> heap;
+  heap.emplace(0, seed);
+  uint64_t grown = 0;
+  while (grown < target && !heap.empty()) {
+    auto [g, u] = heap.top();
+    heap.pop();
+    if (in_zero[u] || g != gain[u]) continue;
+    in_zero[u] = true;
+    part[u] = 0;
+    grown += level.node_weight[u];
+    for (const auto& [v, w] : level.adj[u]) {
+      if (in_zero[v]) continue;
+      gain[v] += w;
+      heap.emplace(gain[v], v);
+    }
+    if (heap.empty() && grown < target) {
+      // Disconnected remainder: restart from any node still in part 1.
+      for (NodeId v = 0; v < n; ++v) {
+        if (!in_zero[v]) {
+          heap.emplace(gain[v], v);
+          break;
+        }
+      }
+    }
+  }
+  return part;
+}
+
+// Boundary refinement: greedy single-node moves with positive gain while
+// balance stays within 5%.
+void Refine(const Level& level, std::vector<uint32_t>& part, int passes) {
+  const NodeId n = level.size();
+  uint64_t total_weight = 0;
+  for (uint32_t w : level.node_weight) total_weight += w;
+  uint64_t weight0 = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (part[v] == 0) weight0 += level.node_weight[v];
+  }
+  const uint64_t max_side = total_weight / 2 + total_weight / 20 + 1;
+
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (NodeId u = 0; u < n; ++u) {
+      int64_t internal = 0;
+      int64_t external = 0;
+      for (const auto& [v, w] : level.adj[u]) {
+        if (part[v] == part[u]) {
+          internal += w;
+        } else {
+          external += w;
+        }
+      }
+      if (external <= internal) continue;  // no gain
+      uint32_t from = part[u];
+      uint64_t new0 = from == 0 ? weight0 - level.node_weight[u]
+                                : weight0 + level.node_weight[u];
+      uint64_t new1 = total_weight - new0;
+      if (new0 > max_side || new1 > max_side) continue;
+      part[u] = 1 - from;
+      weight0 = new0;
+      moved = true;
+    }
+    if (!moved) break;
+  }
+}
+
+// Full multilevel bisection of `level`; fills part with 0/1.
+std::vector<uint32_t> MultilevelBisect(Level base, util::Rng& rng) {
+  std::vector<Level> levels;
+  levels.push_back(std::move(base));
+  while (levels.back().size() > 256) {
+    Level coarse = Coarsen(levels.back(), rng);
+    if (coarse.size() >= levels.back().size() * 95 / 100) break;  // stalled
+    levels.push_back(std::move(coarse));
+  }
+  std::vector<uint32_t> part = InitialBisect(levels.back(), rng);
+  Refine(levels.back(), part, 4);
+  for (size_t l = levels.size() - 1; l > 0; --l) {
+    // Project to the finer level l-1.
+    const auto& map = levels[l].coarse_of_fine;
+    std::vector<uint32_t> fine_part(levels[l - 1].size());
+    for (NodeId v = 0; v < levels[l - 1].size(); ++v) {
+      fine_part[v] = part[map[v]];
+    }
+    part = std::move(fine_part);
+    Refine(levels[l - 1], part, 2);
+  }
+  return part;
+}
+
+}  // namespace
+
+uint64_t ComputeEdgeCut(const Csr& csr, const std::vector<uint32_t>& part) {
+  uint64_t cut = 0;
+  for (NodeId u = 0; u < csr.num_nodes(); ++u) {
+    for (NodeId v : csr.Neighbors(u)) {
+      if (part[u] != part[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+PartitionResult MetisLikePartition(const Csr& csr, uint32_t num_parts,
+                                   uint64_t seed) {
+  SAGE_CHECK_GE(num_parts, 1u);
+  SAGE_CHECK((num_parts & (num_parts - 1)) == 0)
+      << "recursive bisection supports power-of-two part counts";
+  util::WallTimer timer;
+  util::Rng rng(seed);
+  const NodeId n = csr.num_nodes();
+  PartitionResult result;
+  result.num_parts = num_parts;
+  result.part.assign(n, 0);
+  if (num_parts > 1 && n > 0) {
+    Level base = BuildBaseLevel(csr);
+    // Recursive bisection over index sets.
+    struct Task {
+      std::vector<NodeId> nodes;  // base-level ids
+      uint32_t first_part;
+      uint32_t parts;
+    };
+    std::deque<Task> tasks;
+    std::vector<NodeId> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    tasks.push_back({std::move(all), 0, num_parts});
+    while (!tasks.empty()) {
+      Task task = std::move(tasks.front());
+      tasks.pop_front();
+      if (task.parts == 1) {
+        for (NodeId v : task.nodes) result.part[v] = task.first_part;
+        continue;
+      }
+      // Induced subgraph of task.nodes.
+      std::vector<NodeId> local_of_base(n, graph::kInvalidNode);
+      for (NodeId i = 0; i < task.nodes.size(); ++i) {
+        local_of_base[task.nodes[i]] = i;
+      }
+      Level sub;
+      sub.adj.resize(task.nodes.size());
+      sub.node_weight.assign(task.nodes.size(), 1);
+      for (NodeId i = 0; i < task.nodes.size(); ++i) {
+        for (const auto& [v, w] : base.adj[task.nodes[i]]) {
+          NodeId lv = local_of_base[v];
+          if (lv != graph::kInvalidNode) sub.adj[i].emplace_back(lv, w);
+        }
+      }
+      std::vector<uint32_t> bisect = MultilevelBisect(std::move(sub), rng);
+      Task left{{}, task.first_part, task.parts / 2};
+      Task right{{}, task.first_part + task.parts / 2, task.parts / 2};
+      for (NodeId i = 0; i < task.nodes.size(); ++i) {
+        (bisect[i] == 0 ? left.nodes : right.nodes).push_back(task.nodes[i]);
+      }
+      tasks.push_back(std::move(left));
+      tasks.push_back(std::move(right));
+    }
+  }
+  result.edge_cut = ComputeEdgeCut(csr, result.part);
+  std::vector<uint64_t> sizes(num_parts, 0);
+  for (uint32_t p : result.part) ++sizes[p];
+  uint64_t max_size = *std::max_element(sizes.begin(), sizes.end());
+  result.balance =
+      n == 0 ? 1.0
+             : static_cast<double>(max_size) * num_parts / static_cast<double>(n);
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+PartitionResult HashPartition(const Csr& csr, uint32_t num_parts) {
+  util::WallTimer timer;
+  PartitionResult result;
+  result.num_parts = num_parts;
+  result.part.resize(csr.num_nodes());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) result.part[v] = v % num_parts;
+  result.edge_cut = ComputeEdgeCut(csr, result.part);
+  std::vector<uint64_t> sizes(num_parts, 0);
+  for (uint32_t p : result.part) ++sizes[p];
+  uint64_t max_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  result.balance = csr.num_nodes() == 0
+                       ? 1.0
+                       : static_cast<double>(max_size) * num_parts /
+                             static_cast<double>(csr.num_nodes());
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace sage::baselines

@@ -1,0 +1,317 @@
+#include "baselines/multi_gpu.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/bfs.h"
+#include "baselines/metis_like.h"
+#include "core/engine.h"
+#include "sim/gpu_device.h"
+#include "sim/link.h"
+#include "util/logging.h"
+
+namespace sage::baselines {
+
+using graph::Csr;
+using graph::NodeId;
+
+namespace {
+
+// Induced per-device sub-CSR: full node-id space, but only the adjacency of
+// nodes owned by `gpu` (targets keep global ids).
+Csr OwnedSubgraph(const Csr& csr, const std::vector<uint32_t>& part,
+                  uint32_t gpu) {
+  graph::Coo coo;
+  coo.num_nodes = csr.num_nodes();
+  for (NodeId u = 0; u < csr.num_nodes(); ++u) {
+    if (part[u] != gpu) continue;
+    for (NodeId v : csr.Neighbors(u)) {
+      coo.u.push_back(u);
+      coo.v.push_back(v);
+    }
+  }
+  return Csr::FromCoo(coo);
+}
+
+core::EngineOptions EngineOptionsFor(MultiGpuStrategy strategy) {
+  core::EngineOptions opts;
+  switch (strategy) {
+    case MultiGpuStrategy::kSage:
+      break;  // full SAGE defaults
+    case MultiGpuStrategy::kGunrockLike:
+    case MultiGpuStrategy::kGrouteLike:
+      opts.strategy = core::ExpandStrategy::kWarpCentric;
+      opts.tiled_partitioning = false;
+      opts.resident_tiles = false;
+      break;
+  }
+  return opts;
+}
+
+}  // namespace
+
+util::StatusOr<MultiGpuResult> MultiGpuBfs(const Csr& csr, NodeId source,
+                                           const MultiGpuOptions& options) {
+  if (options.num_gpus == 0) {
+    return util::Status::InvalidArgument("num_gpus must be positive");
+  }
+  if (source >= csr.num_nodes()) {
+    return util::Status::InvalidArgument("source out of range");
+  }
+  const uint32_t g_count = options.num_gpus;
+
+  MultiGpuResult result;
+  PartitionResult partition =
+      options.partition == PartitionScheme::kMetisLike
+          ? MetisLikePartition(csr, g_count, options.partition_seed)
+          : HashPartition(csr, g_count);
+  result.partition_seconds = partition.seconds;
+  result.edge_cut = partition.edge_cut;
+
+  // Per-device state.
+  std::vector<std::unique_ptr<sim::GpuDevice>> devices;
+  std::vector<std::unique_ptr<core::Engine>> engines;
+  std::vector<std::unique_ptr<apps::BfsProgram>> programs;
+  std::vector<std::vector<NodeId>> frontiers(g_count);
+  for (uint32_t g = 0; g < g_count; ++g) {
+    devices.push_back(std::make_unique<sim::GpuDevice>(options.spec));
+    engines.push_back(std::make_unique<core::Engine>(
+        devices.back().get(), OwnedSubgraph(csr, partition.part, g),
+        EngineOptionsFor(options.strategy)));
+    programs.push_back(std::make_unique<apps::BfsProgram>());
+    SAGE_RETURN_IF_ERROR(engines[g]->Bind(programs[g].get()));
+  }
+  programs[partition.part[source]]->SetSource(source);
+  frontiers[partition.part[source]].push_back(source);
+
+  // One peer link model shared by all pairs (the paper's testbed has a
+  // single inter-GPU path).
+  sim::LinkModel peer(options.spec.PeerBytesPerCycle(),
+                      options.spec.peer_latency_cycles,
+                      options.spec.pcie_frame_header_bytes,
+                      options.spec.pcie_max_payload_bytes);
+
+  uint32_t level = 0;
+  double prev_compute = 0.0;
+  while (true) {
+    bool any = false;
+    for (const auto& f : frontiers) any |= !f.empty();
+    if (!any) break;
+    ++level;
+
+    // Compute phase: every device expands its owned frontier.
+    double compute_seconds = 0.0;
+    std::vector<std::vector<NodeId>> nexts(g_count);
+    for (uint32_t g = 0; g < g_count; ++g) {
+      if (frontiers[g].empty()) continue;
+      auto stats_or =
+          engines[g]->RunOneIteration(frontiers[g], &nexts[g]);
+      SAGE_RETURN_IF_ERROR(stats_or.status());
+      compute_seconds = std::max(compute_seconds, stats_or->seconds);
+      result.stats.edges_traversed += stats_or->edges_traversed;
+      result.stats.frontier_nodes += frontiers[g].size();
+    }
+
+    // Exchange phase: ship foreign discoveries to their owners.
+    uint64_t exchanged = 0;
+    std::vector<std::vector<NodeId>> incoming(g_count);
+    for (uint32_t g = 0; g < g_count; ++g) {
+      std::vector<NodeId> kept;
+      for (NodeId v : nexts[g]) {
+        uint32_t owner = partition.part[v];
+        if (owner == g) {
+          kept.push_back(v);
+        } else {
+          incoming[owner].push_back(v);
+          ++exchanged;
+        }
+      }
+      frontiers[g] = std::move(kept);
+    }
+    for (uint32_t g = 0; g < g_count; ++g) {
+      for (NodeId v : incoming[g]) {
+        if (programs[g]->DistanceOf(v) == apps::BfsProgram::kUnreached) {
+          programs[g]->SetDistance(v, level);
+          frontiers[g].push_back(v);
+        }
+      }
+    }
+
+    double comm_seconds = 0.0;
+    if (exchanged > 0) {
+      sim::LinkModel::Transfer t =
+          peer.BulkTransfer(exchanged * sizeof(NodeId));
+      comm_seconds = t.cycles / (options.spec.clock_ghz * 1e9);
+      result.message_bytes += t.wire_bytes;
+    }
+    result.comm_seconds += comm_seconds;
+
+    // BSP: iteration = compute + synchronized exchange. Groute overlaps
+    // communication with the next compute wave.
+    double iter_seconds;
+    if (options.strategy == MultiGpuStrategy::kGrouteLike) {
+      iter_seconds =
+          compute_seconds + std::max(0.0, comm_seconds - 0.5 * prev_compute);
+    } else {
+      iter_seconds = compute_seconds + comm_seconds;
+    }
+    prev_compute = compute_seconds;
+    result.stats.seconds += iter_seconds;
+    result.stats.iterations += 1;
+  }
+
+  // Merge owners' distances.
+  result.dist.assign(csr.num_nodes(), apps::BfsProgram::kUnreached);
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    result.dist[v] = programs[partition.part[v]]->DistanceOf(v);
+  }
+  return result;
+}
+
+namespace {
+
+// Push-PageRank filter for one device of an owner-computes cluster: local
+// targets are applied directly; foreign targets become messages.
+class PrPartProgram : public core::FilterProgram {
+ public:
+  PrPartProgram(uint32_t gpu, const std::vector<uint32_t>* part,
+                const std::vector<uint32_t>* outdeg,
+                std::vector<double>* pr_in, std::vector<double>* pr_out,
+                std::vector<std::pair<NodeId, double>>* outbox)
+      : gpu_(gpu),
+        part_(part),
+        outdeg_(outdeg),
+        pr_in_(pr_in),
+        pr_out_(pr_out),
+        outbox_(outbox) {}
+
+  void Bind(core::Engine* engine) override {
+    if (engine_ == engine) return;
+    engine_ = engine;
+    pr_in_buf_ = engine->RegisterAttribute("mgpr.in", sizeof(double));
+    pr_out_buf_ = engine->RegisterAttribute("mgpr.out", sizeof(double));
+    outdeg_buf_ = engine->RegisterAttribute("mgpr.outdeg", sizeof(uint32_t));
+    footprint_.frontier_reads = {&pr_in_buf_, &outdeg_buf_};
+    footprint_.neighbor_writes = {&pr_out_buf_};
+    footprint_.atomic_neighbor = true;
+  }
+
+  bool Filter(NodeId frontier, NodeId neighbor) override {
+    double inc = (*pr_in_)[frontier] * 0.85 /
+                 static_cast<double>((*outdeg_)[frontier]);
+    if ((*part_)[neighbor] == gpu_) {
+      (*pr_out_)[neighbor] += inc;
+    } else {
+      outbox_->emplace_back(neighbor, inc);
+    }
+    return false;
+  }
+
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "multi-gpu-pagerank"; }
+
+ private:
+  uint32_t gpu_;
+  const std::vector<uint32_t>* part_;
+  const std::vector<uint32_t>* outdeg_;
+  std::vector<double>* pr_in_;
+  std::vector<double>* pr_out_;
+  std::vector<std::pair<NodeId, double>>* outbox_;
+  core::Engine* engine_ = nullptr;
+  sim::Buffer pr_in_buf_;
+  sim::Buffer pr_out_buf_;
+  sim::Buffer outdeg_buf_;
+  core::Footprint footprint_;
+};
+
+}  // namespace
+
+util::StatusOr<MultiGpuPrResult> MultiGpuPageRank(
+    const Csr& csr, uint32_t iterations, const MultiGpuOptions& options) {
+  if (options.num_gpus == 0) {
+    return util::Status::InvalidArgument("num_gpus must be positive");
+  }
+  const uint32_t g_count = options.num_gpus;
+  const NodeId n = csr.num_nodes();
+
+  MultiGpuPrResult result;
+  PartitionResult partition =
+      options.partition == PartitionScheme::kMetisLike
+          ? MetisLikePartition(csr, g_count, options.partition_seed)
+          : HashPartition(csr, g_count);
+  result.partition_seconds = partition.seconds;
+
+  std::vector<uint32_t> outdeg(n);
+  for (NodeId u = 0; u < n; ++u) outdeg[u] = csr.OutDegree(u);
+
+  // Full-size rank arrays; entries are authoritative only at the owner.
+  std::vector<double> pr_in(n, n == 0 ? 0.0 : 1.0 / n);
+  std::vector<double> pr_out(n, 0.0);
+
+  std::vector<std::unique_ptr<sim::GpuDevice>> devices;
+  std::vector<std::unique_ptr<core::Engine>> engines;
+  std::vector<std::unique_ptr<PrPartProgram>> programs;
+  std::vector<std::vector<std::pair<NodeId, double>>> outboxes(g_count);
+  std::vector<std::vector<NodeId>> owned(g_count);
+  for (NodeId v = 0; v < n; ++v) owned[partition.part[v]].push_back(v);
+  for (uint32_t g = 0; g < g_count; ++g) {
+    devices.push_back(std::make_unique<sim::GpuDevice>(options.spec));
+    engines.push_back(std::make_unique<core::Engine>(
+        devices.back().get(), OwnedSubgraph(csr, partition.part, g),
+        EngineOptionsFor(options.strategy)));
+    programs.push_back(std::make_unique<PrPartProgram>(
+        g, &partition.part, &outdeg, &pr_in, &pr_out, &outboxes[g]));
+    SAGE_RETURN_IF_ERROR(engines[g]->Bind(programs[g].get()));
+  }
+
+  sim::LinkModel peer(options.spec.PeerBytesPerCycle(),
+                      options.spec.peer_latency_cycles,
+                      options.spec.pcie_frame_header_bytes,
+                      options.spec.pcie_max_payload_bytes);
+
+  double prev_compute = 0.0;
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    double compute_seconds = 0.0;
+    for (uint32_t g = 0; g < g_count; ++g) {
+      if (owned[g].empty()) continue;
+      auto stats = engines[g]->RunOneIteration(owned[g], nullptr);
+      SAGE_RETURN_IF_ERROR(stats.status());
+      compute_seconds = std::max(compute_seconds, stats->seconds);
+      result.stats.edges_traversed += stats->edges_traversed;
+      result.stats.frontier_nodes += owned[g].size();
+    }
+    // Exchange: deliver foreign increments to their owners.
+    uint64_t messages = 0;
+    for (uint32_t g = 0; g < g_count; ++g) {
+      messages += outboxes[g].size();
+      for (const auto& [v, inc] : outboxes[g]) pr_out[v] += inc;
+      outboxes[g].clear();
+    }
+    double comm_seconds = 0.0;
+    if (messages > 0) {
+      sim::LinkModel::Transfer t =
+          peer.BulkTransfer(messages * (sizeof(NodeId) + sizeof(double)));
+      comm_seconds = t.cycles / (options.spec.clock_ghz * 1e9);
+      result.message_bytes += t.wire_bytes;
+    }
+    result.comm_seconds += comm_seconds;
+    // Fold the iteration.
+    const double base = n == 0 ? 0.0 : (1.0 - 0.85) / n;
+    for (NodeId v = 0; v < n; ++v) {
+      pr_in[v] = base + pr_out[v];
+      pr_out[v] = 0.0;
+    }
+    double iter_seconds =
+        options.strategy == MultiGpuStrategy::kGrouteLike
+            ? compute_seconds +
+                  std::max(0.0, comm_seconds - 0.5 * prev_compute)
+            : compute_seconds + comm_seconds;
+    prev_compute = compute_seconds;
+    result.stats.seconds += iter_seconds;
+    result.stats.iterations += 1;
+  }
+  result.ranks = std::move(pr_in);
+  return result;
+}
+
+}  // namespace sage::baselines

@@ -1,0 +1,77 @@
+#ifndef SAGE_BASELINES_MULTI_GPU_H_
+#define SAGE_BASELINES_MULTI_GPU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/filter.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "sim/device_spec.h"
+#include "util/status.h"
+
+namespace sage::baselines {
+
+/// Multi-GPU engine families compared in Figure 9. All execute the same
+/// owner-computes BFS; they differ in per-device scheduling and in how
+/// frontier-exchange communication overlaps computation.
+enum class MultiGpuStrategy {
+  /// SAGE per device (tiled partitioning + resident tile stealing), BSP
+  /// frontier exchange. Preprocessing-free.
+  kSage,
+  /// Gunrock-like: per-warp dynamic grouping, BSP exchange.
+  kGunrockLike,
+  /// Groute-like: per-warp grouping with asynchronous communication that
+  /// overlaps the next compute phase.
+  kGrouteLike,
+};
+
+/// How nodes are placed onto devices.
+enum class PartitionScheme {
+  kHash,       ///< v mod num_gpus; no preprocessing
+  kMetisLike,  ///< multilevel partitioner (cost reported separately)
+};
+
+struct MultiGpuOptions {
+  uint32_t num_gpus = 2;
+  MultiGpuStrategy strategy = MultiGpuStrategy::kSage;
+  PartitionScheme partition = PartitionScheme::kHash;
+  sim::DeviceSpec spec;
+  uint64_t partition_seed = 1;
+};
+
+struct MultiGpuResult {
+  core::RunStats stats;          ///< end-to-end: max-per-iteration + comm
+  double comm_seconds = 0.0;
+  double partition_seconds = 0.0;  ///< excluded from stats (as in Fig. 9)
+  uint64_t message_bytes = 0;
+  uint64_t edge_cut = 0;
+  std::vector<uint32_t> dist;    ///< final BFS distances by node id
+};
+
+/// Owner-computes BFS across `num_gpus` simulated devices: each device
+/// expands the frontier nodes it owns; discoveries of foreign nodes are
+/// shipped to their owner over the peer link at every level.
+util::StatusOr<MultiGpuResult> MultiGpuBfs(const graph::Csr& csr,
+                                           graph::NodeId source,
+                                           const MultiGpuOptions& options);
+
+struct MultiGpuPrResult {
+  core::RunStats stats;
+  double comm_seconds = 0.0;
+  double partition_seconds = 0.0;
+  uint64_t message_bytes = 0;
+  std::vector<double> ranks;  ///< final PageRank by node id
+};
+
+/// Owner-computes PageRank across devices (an extension beyond the paper's
+/// BFS-only multi-GPU evaluation): every iteration each device pushes its
+/// owned nodes' contributions; increments destined for foreign nodes
+/// travel as (node, increment) messages over the peer link.
+util::StatusOr<MultiGpuPrResult> MultiGpuPageRank(
+    const graph::Csr& csr, uint32_t iterations,
+    const MultiGpuOptions& options);
+
+}  // namespace sage::baselines
+
+#endif  // SAGE_BASELINES_MULTI_GPU_H_

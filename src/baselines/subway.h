@@ -1,0 +1,73 @@
+#ifndef SAGE_BASELINES_SUBWAY_H_
+#define SAGE_BASELINES_SUBWAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/expand.h"
+#include "core/filter.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "sim/gpu_device.h"
+
+namespace sage::baselines {
+
+/// Result of an out-of-core run (Figure 8's scenario).
+struct OutOfCoreResult {
+  core::RunStats stats;  ///< end-to-end modeled time and work
+  double transfer_seconds = 0.0;
+  double extraction_seconds = 0.0;
+  double compute_seconds = 0.0;
+  uint64_t bytes_transferred = 0;
+};
+
+/// Subway (Sabet et al., EuroSys'20) for BFS: the adjacency lives in host
+/// memory; every iteration the driver identifies the active subgraph (the
+/// frontier's adjacency), preloads it over PCIe with a planned bulk DMA
+/// that overlaps the compute kernel, then traverses the compacted subgraph
+/// entirely device-locally.
+class SubwayBfs {
+ public:
+  /// The CSR stays host-side; `device` models the GPU and its PCIe link.
+  SubwayBfs(sim::GpuDevice* device, const graph::Csr* csr);
+
+  /// Full BFS from `source`; distances (by node id) via dist_out.
+  OutOfCoreResult Run(graph::NodeId source,
+                      std::vector<uint32_t>* dist_out = nullptr);
+
+ private:
+  sim::GpuDevice* device_;
+  const graph::Csr* csr_;
+  sim::Buffer dist_buf_;
+  sim::Buffer sub_v_buf_;
+  sim::Buffer sub_offsets_buf_;
+  sim::Buffer map_buf_;
+  sim::Buffer frontier_buf_;
+};
+
+/// Subway for PageRank: the global traversal touches every adjacency list
+/// each iteration, so the whole (compacted) edge set is preloaded per
+/// round — bulk DMA efficiency, but no sparsity to exploit (contrast with
+/// SAGE's on-demand tile reads, which pay headers but skip nothing).
+class SubwayPageRank {
+ public:
+  SubwayPageRank(sim::GpuDevice* device, const graph::Csr* csr);
+
+  /// Runs `iterations` rounds; final ranks (by node id) via ranks_out.
+  OutOfCoreResult Run(uint32_t iterations,
+                      std::vector<double>* ranks_out = nullptr);
+
+ private:
+  sim::GpuDevice* device_;
+  const graph::Csr* csr_;
+  sim::Buffer pr_in_buf_;
+  sim::Buffer pr_out_buf_;
+  sim::Buffer outdeg_buf_;
+  sim::Buffer sub_v_buf_;
+  sim::Buffer sub_offsets_buf_;
+  sim::Buffer frontier_buf_;
+};
+
+}  // namespace sage::baselines
+
+#endif  // SAGE_BASELINES_SUBWAY_H_

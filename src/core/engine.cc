@@ -1,0 +1,512 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "reorder/permutation.h"
+#include "util/logging.h"
+
+namespace sage::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
+               const EngineOptions& options)
+    : device_(device),
+      csr_(std::move(csr)),
+      options_(options),
+      ctx_(device, &csr_, nullptr, nullptr),
+      store_(csr_.num_nodes()) {
+  SAGE_CHECK(device != nullptr);
+  SAGE_CHECK(!options_.resident_tiles || options_.tiled_partitioning)
+      << "resident tiles require tiled partitioning";
+  const auto& spec = device_->spec();
+  tiled_options_.block_size = spec.block_size;
+  tiled_options_.min_tile_size = options_.min_tile_size;
+  tiled_options_.tile_alignment = options_.tile_alignment;
+
+  const NodeId n = csr_.num_nodes();
+  const uint64_t m = csr_.num_edges();
+  auto& mem = device_->mem();
+  offsets_buf_ = mem.Register("csr.u_offsets", static_cast<uint64_t>(n) + 1,
+                              sizeof(EdgeId));
+  v_buf_ = mem.Register(
+      "csr.v", std::max<uint64_t>(m, 1), sizeof(NodeId),
+      options_.adjacency_on_host ? sim::MemSpace::kHost
+                                 : sim::MemSpace::kDevice);
+  uint64_t frontier_cap = std::max<uint64_t>(m + n, 1);
+  frontier_buf_[0] = mem.Register("frontier.a", frontier_cap, sizeof(NodeId));
+  frontier_buf_[1] = mem.Register("frontier.b", frontier_cap, sizeof(NodeId));
+  uint64_t tile_cap =
+      m / std::max<uint32_t>(options_.min_tile_size, 1) + 2ull * n + 64;
+  head_buf_ = mem.Register("resident.head", std::max<uint64_t>(n, 1), 8);
+  pool_buf_ = mem.Register("resident.pool", tile_cap, sizeof(TileEntry));
+  tile_array_buf_ = mem.Register("resident.iter_tiles", tile_cap,
+                                 sizeof(TileEntry));
+
+  if (options_.udt_split_degree > 0) {
+    SAGE_CHECK(!options_.resident_tiles && !options_.sampling_reorder)
+        << "UDT layer is incompatible with resident tiles / reordering";
+    udt_ = std::make_unique<UdtLayout>(
+        BuildUdt(csr_, options_.udt_split_degree));
+    const uint64_t vn = udt_->virtual_nodes();
+    udt_offsets_buf_ = mem.Register("udt.u_offsets", vn + 1, sizeof(EdgeId));
+    udt_v_buf_ = mem.Register(
+        "udt.v", std::max<uint64_t>(udt_->virtual_csr.num_edges(), 1),
+        sizeof(NodeId),
+        options_.adjacency_on_host ? sim::MemSpace::kHost
+                                   : sim::MemSpace::kDevice);
+    udt_map_buf_ = mem.Register("udt.real_of_virtual",
+                                std::max<uint64_t>(vn, 1), sizeof(NodeId));
+    udt_group_buf_ = mem.Register("udt.group_offsets",
+                                  static_cast<uint64_t>(n) + 1,
+                                  sizeof(EdgeId));
+    ctx_ = ExpandContext(device_, &udt_->virtual_csr, &udt_v_buf_,
+                         &udt_offsets_buf_);
+    ctx_.set_frontier_map(&udt_->real_of_virtual, &udt_map_buf_);
+  } else {
+    ctx_ = ExpandContext(device_, &csr_, &v_buf_, &offsets_buf_);
+  }
+
+  orig_to_int_ = reorder::IdentityPermutation(n);
+  int_to_orig_ = orig_to_int_;
+
+  if (options_.sampling_reorder) {
+    SamplingReorderer::Options sopts;
+    sopts.threshold_edges = options_.sampling_threshold_edges;
+    sampler_ = std::make_unique<SamplingReorderer>(
+        n, m, spec.ValuesPerSector(), device_, sopts);
+    ctx_.set_observer(sampler_.get());
+  }
+}
+
+void Engine::PauseSampling() { ctx_.set_observer(nullptr); }
+
+void Engine::ResumeSampling() {
+  if (sampler_ != nullptr) ctx_.set_observer(sampler_.get());
+}
+
+util::Status Engine::Bind(FilterProgram* program) {
+  if (program == nullptr) {
+    return util::Status::InvalidArgument("null filter program");
+  }
+  program->Bind(this);
+  program_ = program;
+  ctx_.set_filter(program);
+  return util::Status::OK();
+}
+
+sim::Buffer Engine::RegisterAttribute(const std::string& name,
+                                      uint32_t elem_bytes) {
+  return device_->mem().Register(name, std::max<uint64_t>(csr_.num_nodes(), 1),
+                                 elem_bytes);
+}
+
+sim::Buffer Engine::RegisterEdgeAttribute(const std::string& name,
+                                          uint32_t elem_bytes) {
+  return device_->mem().Register(name, std::max<uint64_t>(csr_.num_edges(), 1),
+                                 elem_bytes);
+}
+
+util::StatusOr<RunStats> Engine::Run(std::span<const NodeId> sources,
+                                     uint32_t max_iterations) {
+  if (program_ == nullptr) {
+    return util::Status::FailedPrecondition("no program bound");
+  }
+  std::vector<NodeId> frontier;
+  frontier.reserve(sources.size());
+  for (NodeId s : sources) {
+    if (s >= csr_.num_nodes()) {
+      return util::Status::InvalidArgument("source node out of range");
+    }
+    frontier.push_back(orig_to_int_[s]);
+  }
+  RunStats total;
+  std::vector<NodeId> next;
+  uint32_t iter = 0;
+  while (!frontier.empty() && iter < max_iterations) {
+    program_->BeginIteration(iter);
+    RunStats it = ExpandIteration(frontier, &next);
+    total.Accumulate(it);
+    frontier.swap(next);
+    MaybeApplyReordering(&frontier, &total);
+    ++iter;
+  }
+  return total;
+}
+
+util::StatusOr<RunStats> Engine::RunGlobal(uint32_t iterations) {
+  if (program_ == nullptr) {
+    return util::Status::FailedPrecondition("no program bound");
+  }
+  std::vector<NodeId> all(csr_.num_nodes());
+  for (NodeId u = 0; u < csr_.num_nodes(); ++u) all[u] = u;
+  RunStats total;
+  std::vector<NodeId> next;
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    program_->BeginIteration(iter);
+    RunStats it = ExpandIteration(all, &next);
+    total.Accumulate(it);
+    next.clear();
+    MaybeApplyReordering(&all, &total);
+    // A relabeling permutes `all`, which must stay the full node list.
+    // (It always is — a permutation of [0,n) is [0,n) — but keep it sorted
+    // for deterministic block composition.)
+    if (total.reorder_rounds > 0) std::sort(all.begin(), all.end());
+  }
+  return total;
+}
+
+util::StatusOr<RunStats> Engine::RunOneIteration(
+    std::span<const NodeId> frontier_internal, std::vector<NodeId>* next) {
+  if (program_ == nullptr) {
+    return util::Status::FailedPrecondition("no program bound");
+  }
+  std::vector<NodeId> frontier(frontier_internal.begin(),
+                               frontier_internal.end());
+  std::vector<NodeId> local_next;
+  RunStats stats = ExpandIteration(frontier, &local_next);
+  MaybeApplyReordering(&local_next, &stats);
+  if (next != nullptr) *next = std::move(local_next);
+  return stats;
+}
+
+RunStats Engine::ExpandIteration(const std::vector<NodeId>& frontier,
+                                 std::vector<NodeId>* next) {
+  const auto& spec = device_->spec();
+  next->clear();
+  device_->BeginKernel();
+  uint64_t edges = 0;
+
+  // UDT layer: translate the real frontier into its virtual-node groups
+  // (one group-offsets read per frontier node).
+  const std::vector<NodeId>* work = &frontier;
+  std::vector<NodeId> virtual_frontier;
+  if (udt_ != nullptr) {
+    std::vector<uint64_t> gidx;
+    gidx.reserve(frontier.size());
+    for (NodeId f : frontier) gidx.push_back(f);
+    if (!gidx.empty()) device_->Access(0, udt_group_buf_, gidx);
+    for (NodeId f : frontier) {
+      for (graph::EdgeId g = udt_->group_offsets[f];
+           g < udt_->group_offsets[f + 1]; ++g) {
+        virtual_frontier.push_back(static_cast<NodeId>(g));
+      }
+    }
+    work = &virtual_frontier;
+  }
+
+  if (options_.strategy == ExpandStrategy::kB40c) {
+    edges = ExpandB40c(*work, next);
+  } else if (options_.strategy == ExpandStrategy::kWarpCentric) {
+    edges = ExpandWarpCentric(*work, next);
+  } else if (options_.resident_tiles) {
+    edges = ExpandResident(*work, next);
+  } else {
+    const uint32_t bs = spec.block_size;
+    uint64_t num_blocks = (work->size() + bs - 1) / bs;
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+      uint32_t sm = device_->StaticSmForBlock(b);
+      size_t beg = b * bs;
+      size_t len = std::min<size_t>(bs, work->size() - beg);
+      std::span<const NodeId> slice(work->data() + beg, len);
+      ctx_.ChargeBlockFrontierReads(sm, &frontier_buf_[0], beg, slice);
+      if (options_.tiled_partitioning) {
+        edges += ExpandBlockTiled(ctx_, sm, slice, tiled_options_, next);
+      } else {
+        edges += ExpandBlockScalar(ctx_, sm, slice, bs, spec.warp_size, next);
+      }
+    }
+  }
+
+  ctx_.ChargeContraction(&frontier_buf_[1], next->size());
+  sim::KernelResult kr = device_->EndKernel();
+
+  RunStats stats;
+  stats.iterations = 1;
+  stats.edges_traversed = edges;
+  stats.frontier_nodes = frontier.size();
+  stats.seconds = kr.seconds;
+  stats.tp_overhead_seconds = device_->CyclesToSeconds(
+      static_cast<double>(kr.total_tp_overhead_cycles) / spec.num_sms);
+  if (trace_ != nullptr) trace_->push_back(stats);
+  return stats;
+}
+
+uint64_t Engine::ExpandResident(const std::vector<NodeId>& frontier,
+                                std::vector<NodeId>* next) {
+  const auto& spec = device_->spec();
+  const uint32_t bs = spec.block_size;
+  uint64_t edges = 0;
+
+  // ---- Phase A: expand tiled partitions into device memory (Alg 3 l.2-7).
+  iter_tiles_.clear();
+  uint64_t num_blocks = (frontier.size() + bs - 1) / bs;
+  std::vector<uint64_t> pool_reads;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    uint32_t sm = device_->StaticSmForBlock(b);
+    size_t beg = b * bs;
+    size_t len = std::min<size_t>(bs, frontier.size() - beg);
+    std::span<const NodeId> slice(frontier.data() + beg, len);
+    ctx_.ChargeBlockFrontierReads(sm, &frontier_buf_[0], beg, slice);
+    device_->ChargeWarps(sm, (len + spec.warp_size - 1) / spec.warp_size);
+
+    // Read the per-node store heads.
+    std::vector<uint64_t> head_idx(slice.begin(), slice.end());
+    device_->Access(sm, head_buf_, head_idx);
+
+    pool_reads.clear();
+    uint64_t pool_write_begin = store_.size();
+    uint64_t new_entries = 0;
+    uint64_t appended = 0;
+    for (NodeId f : slice) {
+      if (store_.Has(f)) {
+        // Reuse the resident decomposition: read it from the pool.
+        auto entries = store_.Get(f);
+        uint64_t head = store_.HeadIndex(f);
+        for (size_t i = 0; i < entries.size(); ++i) {
+          pool_reads.push_back(head + i);
+        }
+        iter_tiles_.insert(iter_tiles_.end(), entries.begin(), entries.end());
+        appended += entries.size();
+      } else {
+        // First visit: run tiled partitioning online and persist it.
+        decompose_scratch_.clear();
+        DecomposeAdjacency(f, csr_.NeighborBegin(f), csr_.OutDegree(f),
+                           tiled_options_, spec.ValuesPerSector(),
+                           &decompose_scratch_);
+        // Scheduling cost: one pass of elections over the adjacency.
+        device_->ChargeTpOverhead(
+            sm, static_cast<uint64_t>(ExpandCosts::kElectionOps) *
+                        spec.cg_op_cycles * decompose_scratch_.size() +
+                    spec.cg_op_cycles);
+        store_.Put(f, decompose_scratch_);
+        new_entries += decompose_scratch_.size();
+        iter_tiles_.insert(iter_tiles_.end(), decompose_scratch_.begin(),
+                           decompose_scratch_.end());
+        appended += decompose_scratch_.size();
+      }
+    }
+    if (!pool_reads.empty()) device_->Access(sm, pool_buf_, pool_reads);
+    if (new_entries > 0) {
+      device_->AccessRange(sm, pool_buf_, pool_write_begin, new_entries);
+    }
+    if (appended > 0) {
+      device_->AccessRange(sm, tile_array_buf_,
+                           iter_tiles_.size() - appended, appended);
+    }
+  }
+
+  // ---- Phase B: device-wide consumption with stealing (Alg 3 l.9-17).
+  // Tile records are globally visible; each is popped by whichever SM has
+  // spare capacity (modeled as least-loaded assignment).
+  fragment_scratch_.clear();
+  for (size_t i = 0; i < iter_tiles_.size(); ++i) {
+    const TileEntry& t = iter_tiles_[i];
+    if (t.size >= options_.min_tile_size) {
+      uint32_t sm = device_->LeastLoadedSm();
+      device_->ChargeCompute(sm, ExpandCosts::kQueuePopOps);
+      device_->ChargeWarps(sm, (t.size + spec.warp_size - 1) / spec.warp_size);
+      std::vector<uint64_t> one{i};
+      device_->Access(sm, tile_array_buf_, one);
+      edges += ctx_.ProcessTileChunk(sm, t.node, t.offset, t.size, next);
+    } else {
+      for (uint32_t k = 0; k < t.size; ++k) {
+        fragment_scratch_.emplace_back(t.node, t.offset + k);
+      }
+    }
+  }
+  // Fragments: warp-sized scan-gathered batches, also stolen.
+  for (size_t base = 0; base < fragment_scratch_.size();
+       base += spec.warp_size) {
+    size_t len =
+        std::min<size_t>(spec.warp_size, fragment_scratch_.size() - base);
+    uint32_t sm = device_->LeastLoadedSm();
+    device_->ChargeCompute(sm, ExpandCosts::kScanOps);
+    device_->ChargeWarps(sm, 1);
+    edges += ctx_.ProcessScatteredEdges(
+        sm,
+        std::span<const std::pair<NodeId, EdgeId>>(
+            fragment_scratch_.data() + base, len),
+        next);
+  }
+  return edges;
+}
+
+uint64_t Engine::ExpandB40c(const std::vector<NodeId>& frontier,
+                            std::vector<NodeId>* next) {
+  const auto& spec = device_->spec();
+  const graph::Csr& csr = ctx_.csr();
+  const uint32_t bs = spec.block_size;
+  const uint32_t ws = spec.warp_size;
+  uint64_t edges = 0;
+
+  // Classification pass: every block reads its frontier slice, looks up
+  // degrees and scatters nodes into the three buckets via scans + syncs
+  // (the synchronization-heavy rescheduling Section 5.3 describes).
+  std::vector<NodeId> big;
+  std::vector<NodeId> medium;
+  std::vector<NodeId> small;
+  uint64_t num_blocks = (frontier.size() + bs - 1) / bs;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    uint32_t sm = device_->StaticSmForBlock(b);
+    size_t beg = b * bs;
+    size_t len = std::min<size_t>(bs, frontier.size() - beg);
+    std::span<const NodeId> slice(frontier.data() + beg, len);
+    ctx_.ChargeBlockFrontierReads(sm, &frontier_buf_[0], beg, slice);
+    device_->ChargeCompute(sm, 2ull * ExpandCosts::kScanOps +
+                                   2ull * spec.sync_cycles);
+    for (NodeId f : slice) {
+      uint32_t deg = csr.OutDegree(f);
+      if (deg >= bs) {
+        big.push_back(f);
+      } else if (deg >= ws) {
+        medium.push_back(f);
+      } else if (deg > 0) {
+        small.push_back(f);
+      }
+    }
+  }
+
+  uint64_t block_counter = 0;
+  // Bucket 1: block-sized gathering — one thread block per super node.
+  for (NodeId f : big) {
+    uint32_t sm = device_->StaticSmForBlock(block_counter++);
+    device_->ChargeWarps(sm, bs / ws);
+    graph::EdgeId g = csr.NeighborBegin(f);
+    uint64_t remaining = csr.OutDegree(f);
+    while (remaining > 0) {
+      uint32_t m = static_cast<uint32_t>(std::min<uint64_t>(bs, remaining));
+      edges += ctx_.ProcessTileChunk(sm, f, g, m, next);
+      device_->ChargeCompute(sm, spec.sync_cycles);  // block-wide stepping
+      g += m;
+      remaining -= m;
+    }
+  }
+  // Bucket 2: warp-sized gathering — one warp per medium node.
+  const uint32_t warps_per_block = bs / ws;
+  for (size_t i = 0; i < medium.size(); ++i) {
+    uint32_t sm =
+        device_->StaticSmForBlock(block_counter + i / warps_per_block);
+    NodeId f = medium[i];
+    device_->ChargeWarps(sm, 1);
+    device_->ChargeCompute(sm, 2ull * spec.cg_op_cycles);
+    graph::EdgeId g = csr.NeighborBegin(f);
+    uint64_t remaining = csr.OutDegree(f);
+    while (remaining > 0) {
+      uint32_t m = static_cast<uint32_t>(std::min<uint64_t>(ws, remaining));
+      edges += ctx_.ProcessTileChunk(sm, f, g, m, next);
+      g += m;
+      remaining -= m;
+    }
+  }
+  block_counter += (medium.size() + warps_per_block - 1) / warps_per_block;
+  // Bucket 3: fine-grained scan-based gathering of the small remainder.
+  std::vector<std::pair<NodeId, graph::EdgeId>> fine;
+  for (NodeId f : small) {
+    for (graph::EdgeId e = csr.NeighborBegin(f); e < csr.NeighborEnd(f);
+         ++e) {
+      fine.emplace_back(f, e);
+    }
+  }
+  for (size_t base = 0; base < fine.size(); base += ws) {
+    size_t len = std::min<size_t>(ws, fine.size() - base);
+    uint32_t sm = device_->StaticSmForBlock(block_counter + base / bs);
+    device_->ChargeWarps(sm, 1);
+    device_->ChargeCompute(sm, ExpandCosts::kScanOps);
+    edges += ctx_.ProcessScatteredEdges(
+        sm,
+        std::span<const std::pair<NodeId, graph::EdgeId>>(fine.data() + base,
+                                                          len),
+        next);
+  }
+  return edges;
+}
+
+uint64_t Engine::ExpandWarpCentric(const std::vector<NodeId>& frontier,
+                                   std::vector<NodeId>* next) {
+  const auto& spec = device_->spec();
+  const graph::Csr& csr = ctx_.csr();
+  const uint32_t bs = spec.block_size;
+  const uint32_t ws = spec.warp_size;
+  const uint32_t warps_per_block = bs / ws;
+  uint64_t edges = 0;
+
+  uint64_t num_warps = (frontier.size() + ws - 1) / ws;
+  for (uint64_t w = 0; w < num_warps; ++w) {
+    uint32_t sm = device_->StaticSmForBlock(w / warps_per_block);
+    size_t beg = w * ws;
+    size_t len = std::min<size_t>(ws, frontier.size() - beg);
+    std::span<const NodeId> slice(frontier.data() + beg, len);
+    ctx_.ChargeBlockFrontierReads(sm, &frontier_buf_[0], beg, slice);
+    device_->ChargeWarps(sm, 1);
+    // The warp serially drains each of its frontiers' adjacencies in
+    // warp-wide strides; short lists leave lanes idle (no finer regrouping).
+    for (NodeId f : slice) {
+      device_->ChargeCompute(sm, 2ull * spec.cg_op_cycles);
+      graph::EdgeId g = csr.NeighborBegin(f);
+      uint64_t remaining = csr.OutDegree(f);
+      while (remaining > 0) {
+        uint32_t m = static_cast<uint32_t>(std::min<uint64_t>(ws, remaining));
+        edges += ctx_.ProcessTileChunk(sm, f, g, m, next);
+        g += m;
+        remaining -= m;
+      }
+    }
+  }
+  return edges;
+}
+
+void Engine::MaybeApplyReordering(std::vector<NodeId>* live_frontier,
+                                  RunStats* stats) {
+  if (!sampler_) return;
+  auto perm = sampler_->MaybeTakePermutation();
+  if (!perm.has_value()) return;
+
+  // Relabel the graph representation in place (Section 6's update step).
+  csr_ = reorder::ApplyToCsr(csr_, *perm);
+  orig_to_int_ = reorder::ComposePermutations(orig_to_int_, *perm);
+  int_to_orig_ = reorder::InvertPermutation(orig_to_int_);
+  if (live_frontier != nullptr) {
+    reorder::RemapIds(*perm, *live_frontier);
+  }
+  if (program_ != nullptr) {
+    program_->OnPermutation(*perm);
+  }
+  // Resident decompositions refer to pre-relabeling offsets.
+  store_.Invalidate();
+
+  ChargeReorderUpdateKernel(stats);
+  stats->reorder_rounds += 1;
+}
+
+void Engine::ChargeReorderUpdateKernel(RunStats* stats) {
+  // Modeled cost of the update step: radix-sorting the expected-index
+  // array (4 passes over keys+values) and rewriting u_offsets / v plus the
+  // bound program's attribute arrays. All streaming traffic.
+  const auto& spec = device_->spec();
+  const uint64_t n = csr_.num_nodes();
+  const uint64_t m = csr_.num_edges();
+  uint64_t bytes = 0;
+  bytes += 4ull * 2 * (n * 4 + n * 4);            // radix sort passes
+  bytes += 2ull * (n + 1) * sizeof(EdgeId);       // offsets rebuild
+  bytes += 2ull * m * sizeof(NodeId);             // v relabel + scatter
+  size_t attr_arrays = program_ == nullptr
+                           ? 0
+                           : program_->footprint().neighbor_reads.size() +
+                                 program_->footprint().neighbor_writes.size();
+  bytes += 2ull * attr_arrays * n * 4;            // permute attributes
+
+  device_->BeginKernel();
+  uint64_t per_sm = bytes / spec.num_sms + 1;
+  for (uint32_t s = 0; s < spec.num_sms; ++s) {
+    device_->ChargeStreamingBytes(s, per_sm);
+  }
+  sim::KernelResult kr = device_->EndKernel();
+  stats->reorder_seconds += kr.seconds;
+  reorder_seconds_total_ += kr.seconds;
+  // The relabeled layout invalidates cached graph data.
+  device_->mem().FlushL2();
+}
+
+}  // namespace sage::core

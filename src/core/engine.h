@@ -1,0 +1,192 @@
+#ifndef SAGE_CORE_ENGINE_H_
+#define SAGE_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/expand.h"
+#include "core/filter.h"
+#include "core/resident.h"
+#include "core/sampling_reorder.h"
+#include "core/udt.h"
+#include "graph/csr.h"
+#include "sim/gpu_device.h"
+#include "util/status.h"
+
+namespace sage::core {
+
+/// Expansion scheduling strategy. kSage is the paper's contribution
+/// (driven by the tiled_partitioning / resident_tiles switches); the other
+/// two are the re-implemented baselines of Section 7.1 running on the same
+/// simulator and cost model.
+enum class ExpandStrategy {
+  kSage,
+  /// B40C (Merrill et al.): three predefined buckets — block-sized,
+  /// warp-sized, and scan-gathered frontiers — with synchronization-based
+  /// rescheduling, intra-SM only.
+  kB40c,
+  /// Gunrock-style per-warp dynamic grouping: each warp cooperatively
+  /// walks its frontiers' adjacencies in warp-sized strides.
+  kWarpCentric,
+};
+
+/// Feature switches of the SAGE engine. The defaults are full SAGE; the
+/// ablation study (Figure 10) toggles them incrementally.
+struct EngineOptions {
+  /// Scheduling strategy; non-kSage values ignore tiled_partitioning /
+  /// resident_tiles (which must then be left false/true-compatible).
+  ExpandStrategy strategy = ExpandStrategy::kSage;
+  /// >0 enables Tigr's UDT preprocessing layer with this split degree
+  /// (virtual nodes of bounded out-degree; see core/udt.h). Incompatible
+  /// with resident_tiles and sampling_reorder.
+  uint32_t udt_split_degree = 0;
+  /// Algorithm 2: in-block load reallocation by tiled partitions.
+  bool tiled_partitioning = true;
+  /// Section 5.2 / Algorithm 3: resident tiles + device-wide stealing.
+  /// Requires tiled_partitioning.
+  bool resident_tiles = true;
+  /// Section 6: sampling-based reordering on the fly.
+  bool sampling_reorder = false;
+  /// Smallest cooperative-group size (Algorithm 2's MIN_TILE_SIZE).
+  uint32_t min_tile_size = 8;
+  /// Align tiles with physical memory sectors (Section 5.3).
+  bool tile_alignment = true;
+  /// Edges sampled per reordering stage; 0 → |E| (the paper's setting).
+  uint64_t sampling_threshold_edges = 0;
+  /// Out-of-core: keep the adjacency array csr.v in host memory and access
+  /// it through the PCIe link (Figure 8's scenario).
+  bool adjacency_on_host = false;
+};
+
+/// SAGE: self-adaptive graph traversal. Constructed directly from a CSR —
+/// no preprocessing — the engine runs the expansion / filtering /
+/// contraction pipeline (Figure 2) with runtime load reallocation,
+/// resident-tile work stealing, and optional on-the-fly reordering.
+///
+/// Node ids: the public API speaks *original* ids; internally the engine
+/// may relabel nodes (Sampling-based Reordering). FilterPrograms see
+/// internal ids and are notified of relabelings via OnPermutation.
+class Engine {
+ public:
+  /// The engine copies the CSR (reordering mutates the copy; the caller's
+  /// graph is never touched).
+  Engine(sim::GpuDevice* device, graph::Csr csr, const EngineOptions& options);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Binds a filter program: the program registers its attribute buffers
+  /// and sizes its state. Must be called before Run.
+  util::Status Bind(FilterProgram* program);
+
+  /// Registers a per-node attribute array on the simulated device (called
+  /// by programs from Bind).
+  sim::Buffer RegisterAttribute(const std::string& name, uint32_t elem_bytes);
+
+  /// Registers a per-edge attribute array (parallel to csr.v; e.g. edge
+  /// weights). Declared through Footprint::edge_reads, it is charged
+  /// coalesced alongside every adjacency gather.
+  sim::Buffer RegisterEdgeAttribute(const std::string& name,
+                                    uint32_t elem_bytes);
+
+  /// Runs the bound program from the given source nodes (original ids)
+  /// until the frontier empties or max_iterations is reached.
+  util::StatusOr<RunStats> Run(std::span<const graph::NodeId> sources,
+                               uint32_t max_iterations = 0xffffffffu);
+
+  /// Runs `iterations` global-traversal iterations: every node is a
+  /// frontier each time (PageRank's pattern; Section 7.2).
+  util::StatusOr<RunStats> RunGlobal(uint32_t iterations);
+
+  /// Runs exactly one iteration over an explicit internal-id frontier
+  /// (used by level-driven algorithms like BC's backward phase). The next
+  /// frontier produced by the filter is returned through next (optional).
+  util::StatusOr<RunStats> RunOneIteration(
+      std::span<const graph::NodeId> frontier_internal,
+      std::vector<graph::NodeId>* next);
+
+  /// Id mapping between the caller's original ids and the engine's current
+  /// internal ids.
+  graph::NodeId InternalId(graph::NodeId original) const {
+    return orig_to_int_[original];
+  }
+  graph::NodeId OriginalId(graph::NodeId internal) const {
+    return int_to_orig_[internal];
+  }
+
+  const graph::Csr& csr() const { return csr_; }
+  sim::GpuDevice* device() { return device_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Streams per-iteration RunStats into `trace` (appended as iterations
+  /// execute; pass nullptr to disable). Useful for convergence plots and
+  /// per-level analysis.
+  void set_iteration_trace(std::vector<RunStats>* trace) { trace_ = trace; }
+
+  /// Temporarily stops tile-access sampling (checkpoint measurements in
+  /// benchmarks measure the *current* order without mid-run stage churn).
+  void PauseSampling();
+  void ResumeSampling();
+
+  uint32_t reorder_rounds() const {
+    return sampler_ ? sampler_->rounds_completed() : 0;
+  }
+  double reorder_seconds_total() const { return reorder_seconds_total_; }
+  const ResidentTileStore& tile_store() const { return store_; }
+
+  /// The UDT layout when udt_split_degree > 0 (Tigr baseline), else null.
+  const UdtLayout* udt() const { return udt_.get(); }
+
+ private:
+  RunStats ExpandIteration(const std::vector<graph::NodeId>& frontier,
+                           std::vector<graph::NodeId>* next);
+  uint64_t ExpandResident(const std::vector<graph::NodeId>& frontier,
+                          std::vector<graph::NodeId>* next);
+  uint64_t ExpandB40c(const std::vector<graph::NodeId>& frontier,
+                      std::vector<graph::NodeId>* next);
+  uint64_t ExpandWarpCentric(const std::vector<graph::NodeId>& frontier,
+                             std::vector<graph::NodeId>* next);
+  void MaybeApplyReordering(std::vector<graph::NodeId>* live_frontier,
+                            RunStats* stats);
+  void ChargeReorderUpdateKernel(RunStats* stats);
+
+  sim::GpuDevice* device_;
+  graph::Csr csr_;
+  EngineOptions options_;
+  TiledOptions tiled_options_;
+
+  sim::Buffer offsets_buf_;
+  sim::Buffer v_buf_;
+  sim::Buffer frontier_buf_[2];
+  sim::Buffer head_buf_;
+  sim::Buffer pool_buf_;
+  sim::Buffer tile_array_buf_;
+
+  std::unique_ptr<UdtLayout> udt_;
+  sim::Buffer udt_offsets_buf_;
+  sim::Buffer udt_v_buf_;
+  sim::Buffer udt_map_buf_;
+  sim::Buffer udt_group_buf_;
+
+  ExpandContext ctx_;
+  ResidentTileStore store_;
+  std::unique_ptr<SamplingReorderer> sampler_;
+  FilterProgram* program_ = nullptr;
+
+  std::vector<RunStats>* trace_ = nullptr;
+  std::vector<graph::NodeId> orig_to_int_;
+  std::vector<graph::NodeId> int_to_orig_;
+  double reorder_seconds_total_ = 0.0;
+
+  // Scratch reused across iterations.
+  std::vector<TileEntry> iter_tiles_;
+  std::vector<TileEntry> decompose_scratch_;
+  std::vector<std::pair<graph::NodeId, graph::EdgeId>> fragment_scratch_;
+};
+
+}  // namespace sage::core
+
+#endif  // SAGE_CORE_ENGINE_H_

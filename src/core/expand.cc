@@ -1,0 +1,385 @@
+#include "core/expand.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sage::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+ExpandContext::ExpandContext(sim::GpuDevice* device, const graph::Csr* csr,
+                             const sim::Buffer* v_buf,
+                             const sim::Buffer* offsets_buf)
+    : device_(device), csr_(csr), v_buf_(v_buf), offsets_buf_(offsets_buf) {}
+
+uint64_t ExpandContext::ProcessTileChunk(uint32_t sm, NodeId frontier,
+                                         EdgeId gather, uint32_t m,
+                                         std::vector<NodeId>* next) {
+  SAGE_DCHECK(filter_ != nullptr);
+  if (m == 0) return 0;
+  const auto& spec = device_->spec();
+
+  // Coalesced read of m consecutive neighbor indices from csr.v.
+  device_->AccessRange(sm, *v_buf_, gather, m);
+  // Edge-indexed attribute arrays (weights etc.) ride the same gather.
+  for (const sim::Buffer* buf : footprint_->edge_reads) {
+    device_->AccessRange(sm, *buf, gather, m);
+  }
+
+  // Materialize the neighbor ids (the functional part of the gather).
+  auto& neighbors = nbr_scratch_;
+  neighbors.clear();
+  const auto& v = csr_->v();
+  for (uint32_t i = 0; i < m; ++i) {
+    neighbors.push_back(v[gather + i]);
+  }
+
+  if (observer_ != nullptr) {
+    observer_->ObserveTileAccess(neighbors, sm);
+  }
+
+  // Virtual→real translation (UDT layer): one extra indirection read.
+  if (frontier_map_ != nullptr) {
+    std::vector<uint64_t> midx{frontier};
+    device_->Access(sm, *frontier_map_buf_, midx);
+    frontier = (*frontier_map_)[frontier];
+  }
+
+  // Scattered attribute batches at the neighbors' indices: the
+  // locality-sensitive accesses of the filtering step (Section 6).
+  auto& idx = idx_scratch_;
+  idx.clear();
+  for (NodeId nbr : neighbors) idx.push_back(nbr);
+  for (const sim::Buffer* buf : footprint_->neighbor_reads) {
+    device_->Access(sm, *buf, idx);
+  }
+  for (const sim::Buffer* buf : footprint_->neighbor_writes) {
+    device_->Access(sm, *buf, idx);
+  }
+  // Broadcast reads/writes at the frontier's index: one address per tile.
+  std::vector<uint64_t> fidx{frontier};
+  for (const sim::Buffer* buf : footprint_->frontier_reads) {
+    device_->Access(sm, *buf, fidx);
+  }
+  for (const sim::Buffer* buf : footprint_->frontier_writes) {
+    device_->Access(sm, *buf, fidx);
+  }
+
+  // Atomic serialization: duplicate neighbor ids within one concurrent
+  // tile access conflict on the same address.
+  if (footprint_->atomic_neighbor) {
+    std::vector<NodeId> sorted(neighbors.begin(), neighbors.end());
+    std::sort(sorted.begin(), sorted.end());
+    uint32_t distinct = sorted.empty() ? 0 : 1;
+    for (size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i] != sorted[i - 1]) ++distinct;
+    }
+    device_->ChargeAtomicConflicts(sm, m - distinct);
+  }
+  if (footprint_->atomic_frontier) {
+    // Warp-aggregated reduction leaves one RMW per tile access.
+    device_->ChargeAtomicConflicts(sm, 1);
+  }
+
+  // Filter body instructions, issued per warp.
+  uint32_t warps = (m + spec.warp_size - 1) / spec.warp_size;
+  device_->ChargeCompute(
+      sm, static_cast<uint64_t>(ExpandCosts::kEdgeInstr) * warps +
+              ExpandCosts::kChunkLoopOps);
+
+  // Functional execution of the filtering step.
+  for (NodeId nbr : neighbors) {
+    if (filter_->Filter(frontier, nbr)) next->push_back(nbr);
+  }
+  return m;
+}
+
+uint64_t ExpandContext::ProcessScatteredEdges(
+    uint32_t sm, std::span<const std::pair<NodeId, EdgeId>> edges,
+    std::vector<NodeId>* next) {
+  SAGE_DCHECK(filter_ != nullptr);
+  if (edges.empty()) return 0;
+  const auto& spec = device_->spec();
+
+  // Scattered adjacency reads: lanes gather from unrelated list positions.
+  auto& idx = idx_scratch_;
+  idx.clear();
+  for (const auto& [f, e] : edges) {
+    (void)f;
+    idx.push_back(e);
+  }
+  device_->Access(sm, *v_buf_, idx);
+  for (const sim::Buffer* buf : footprint_->edge_reads) {
+    device_->Access(sm, *buf, idx);
+  }
+
+  auto& neighbors = nbr_scratch_;
+  neighbors.clear();
+  const auto& v = csr_->v();
+  for (const auto& [f, e] : edges) {
+    (void)f;
+    neighbors.push_back(v[e]);
+  }
+
+  // Note: scattered fragment batches are NOT sampled for reordering —
+  // Algorithm 4 observes *tile* accesses (one frontier's consecutive
+  // neighbors); fragment batches mix unrelated frontiers' leftovers, whose
+  // co-residency is scheduling noise rather than reusable locality.
+
+  // Virtual→real translation for every distinct frontier in the batch.
+  auto map_frontier = [this](NodeId f) {
+    return frontier_map_ == nullptr ? f : (*frontier_map_)[f];
+  };
+  if (frontier_map_ != nullptr) {
+    std::vector<uint64_t> midx;
+    for (const auto& [f, e] : edges) {
+      (void)e;
+      midx.push_back(f);
+    }
+    std::sort(midx.begin(), midx.end());
+    midx.erase(std::unique(midx.begin(), midx.end()), midx.end());
+    device_->Access(sm, *frontier_map_buf_, midx);
+  }
+
+  idx.clear();
+  for (NodeId nbr : neighbors) idx.push_back(nbr);
+  for (const sim::Buffer* buf : footprint_->neighbor_reads) {
+    device_->Access(sm, *buf, idx);
+  }
+  for (const sim::Buffer* buf : footprint_->neighbor_writes) {
+    device_->Access(sm, *buf, idx);
+  }
+  // Frontier-side accesses: one per distinct frontier in the batch.
+  idx.clear();
+  for (const auto& [f, e] : edges) {
+    (void)e;
+    idx.push_back(map_frontier(f));
+  }
+  std::sort(idx.begin(), idx.end());
+  idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+  for (const sim::Buffer* buf : footprint_->frontier_reads) {
+    device_->Access(sm, *buf, idx);
+  }
+  for (const sim::Buffer* buf : footprint_->frontier_writes) {
+    device_->Access(sm, *buf, idx);
+  }
+
+  if (footprint_->atomic_neighbor) {
+    std::vector<NodeId> sorted(neighbors.begin(), neighbors.end());
+    std::sort(sorted.begin(), sorted.end());
+    uint32_t distinct = sorted.empty() ? 0 : 1;
+    for (size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i] != sorted[i - 1]) ++distinct;
+    }
+    device_->ChargeAtomicConflicts(
+        sm, static_cast<uint32_t>(edges.size()) - distinct);
+  }
+
+  uint32_t warps = (static_cast<uint32_t>(edges.size()) + spec.warp_size - 1) /
+                   spec.warp_size;
+  device_->ChargeCompute(
+      sm, static_cast<uint64_t>(ExpandCosts::kEdgeInstr) * warps);
+
+  for (const auto& [f, e] : edges) {
+    if (filter_->Filter(map_frontier(f), v[e])) next->push_back(v[e]);
+  }
+  return edges.size();
+}
+
+void ExpandContext::ChargeBlockFrontierReads(
+    uint32_t sm, const sim::Buffer* frontier_buf, uint64_t frontier_base,
+    std::span<const NodeId> frontiers) {
+  // Coalesced read of the block's frontier slice.
+  device_->AccessRange(sm, *frontier_buf, frontier_base, frontiers.size());
+  // UDT layer: read the virtual→real map entries for the block.
+  if (frontier_map_ != nullptr) {
+    std::vector<uint64_t> midx(frontiers.begin(), frontiers.end());
+    device_->Access(sm, *frontier_map_buf_, midx);
+  }
+  // Scattered reads of u_offsets[f] and u_offsets[f+1].
+  auto& idx = idx_scratch_;
+  idx.clear();
+  for (NodeId f : frontiers) {
+    idx.push_back(f);
+    idx.push_back(static_cast<uint64_t>(f) + 1);
+  }
+  device_->Access(sm, *offsets_buf_, idx);
+}
+
+void ExpandContext::ChargeContraction(const sim::Buffer* frontier_buf,
+                                      uint64_t size) {
+  if (size == 0) return;
+  const uint32_t num_sms = device_->spec().num_sms;
+  uint64_t chunk = (size + num_sms - 1) / num_sms;
+  uint64_t base = 0;
+  for (uint32_t s = 0; s < num_sms && base < size; ++s) {
+    uint64_t len = std::min<uint64_t>(chunk, size - base);
+    device_->AccessRange(s, *frontier_buf, base, len);
+    // Prefix-sum compute for the compaction.
+    device_->ChargeCompute(s, ExpandCosts::kScanOps);
+    base += len;
+  }
+}
+
+namespace {
+
+// Recursive tiled partitioning over lanes [lo, hi): the functional model of
+// Algorithm 2 lines 8-29. Each lane owns a remaining range [beg[i], end[i])
+// of csr.v. Elections and chunk consumption happen at the current tile
+// size; afterwards the tile splits in two (cg::partition) and recurses.
+struct TiledState {
+  std::vector<NodeId> frontier;
+  std::vector<EdgeId> beg;
+  std::vector<EdgeId> end;
+};
+
+uint64_t ProcessTileLevel(ExpandContext& ctx, uint32_t sm, TiledState& st,
+                          size_t lo, size_t hi, uint32_t tile_size,
+                          const TiledOptions& options,
+                          std::vector<NodeId>* next) {
+  const auto& spec = ctx.device()->spec();
+  uint64_t edges = 0;
+  if (tile_size < options.min_tile_size || lo >= hi) return 0;
+
+  // Election loop: while any lane's remaining degree >= tile size. The
+  // terminating vote is one more cg op.
+  while (true) {
+    size_t leader = hi;
+    for (size_t i = lo; i < hi; ++i) {
+      if (st.end[i] - st.beg[i] >= tile_size) {
+        leader = i;
+        break;
+      }
+    }
+    // any() vote that found (or did not find) a candidate.
+    ctx.device()->ChargeTpOverhead(sm, spec.cg_op_cycles);
+    if (leader == hi) break;
+    // elect() + shfl of u_beg / u_end / frontier.
+    ctx.device()->ChargeTpOverhead(
+        sm, static_cast<uint64_t>(ExpandCosts::kElectionOps) *
+                spec.cg_op_cycles);
+
+    EdgeId g = st.beg[leader];
+    EdgeId g_end = st.end[leader];
+    NodeId leader_frontier = st.frontier[leader];
+    uint64_t remaining = g_end - g;
+
+    // (Tile alignment applies to the *resident* decomposition — see
+    // DecomposeAdjacency — where misaligned prefixes amortize into the
+    // shared scan-gather path; inline consumption keeps natural layout.)
+    // Full collaborative chunks of tile_size.
+    while (remaining >= tile_size) {
+      edges += ctx.ProcessTileChunk(sm, leader_frontier, g, tile_size, next);
+      g += tile_size;
+      remaining -= tile_size;
+    }
+    // Leader keeps the sub-tile remainder (lines 14-17).
+    st.beg[leader] = g;
+  }
+
+  // cg::partition into two halves (line 28).
+  uint32_t half = tile_size / 2;
+  if (half >= options.min_tile_size && hi - lo > 1) {
+    ctx.device()->ChargeTpOverhead(
+        sm, static_cast<uint64_t>(ExpandCosts::kPartitionOps) *
+                    spec.cg_op_cycles +
+                spec.sync_cycles);
+    size_t mid = lo + (hi - lo) / 2;
+    edges += ProcessTileLevel(ctx, sm, st, lo, mid, half, options, next);
+    edges += ProcessTileLevel(ctx, sm, st, mid, hi, half, options, next);
+  }
+  return edges;
+}
+
+}  // namespace
+
+uint64_t ExpandBlockTiled(ExpandContext& ctx, uint32_t sm,
+                          std::span<const NodeId> frontiers,
+                          const TiledOptions& options,
+                          std::vector<NodeId>* next) {
+  if (frontiers.empty()) return 0;
+  const auto& spec = ctx.device()->spec();
+  const graph::Csr& csr = ctx.csr();
+
+  TiledState st;
+  st.frontier.assign(frontiers.begin(), frontiers.end());
+  st.beg.resize(frontiers.size());
+  st.end.resize(frontiers.size());
+  for (size_t i = 0; i < frontiers.size(); ++i) {
+    st.beg[i] = csr.NeighborBegin(frontiers[i]);
+    st.end[i] = csr.NeighborEnd(frontiers[i]);
+  }
+
+  ctx.device()->ChargeWarps(
+      sm, (frontiers.size() + spec.warp_size - 1) / spec.warp_size);
+
+  uint64_t edges = ProcessTileLevel(ctx, sm, st, 0, st.frontier.size(),
+                                    options.block_size, options, next);
+
+  // Block-wide sync before fragment handling (line 31).
+  ctx.device()->ChargeCompute(sm, spec.sync_cycles);
+
+  // Scan-based fragment gathering [Merrill et al. 30]: compact every
+  // lane's sub-minimum remainder and process warp-sized scattered batches.
+  std::vector<std::pair<NodeId, EdgeId>> fragments;
+  for (size_t i = 0; i < st.frontier.size(); ++i) {
+    for (EdgeId e = st.beg[i]; e < st.end[i]; ++e) {
+      fragments.emplace_back(st.frontier[i], e);
+    }
+  }
+  if (!fragments.empty()) {
+    ctx.device()->ChargeCompute(sm, ExpandCosts::kScanOps + spec.sync_cycles);
+    for (size_t base = 0; base < fragments.size(); base += spec.warp_size) {
+      size_t len = std::min<size_t>(spec.warp_size, fragments.size() - base);
+      edges += ctx.ProcessScatteredEdges(
+          sm, std::span<const std::pair<NodeId, EdgeId>>(
+                  fragments.data() + base, len),
+          next);
+    }
+  }
+  return edges;
+}
+
+uint64_t ExpandBlockScalar(ExpandContext& ctx, uint32_t sm,
+                           std::span<const NodeId> frontiers,
+                           uint32_t block_size, uint32_t warp_size,
+                           std::vector<NodeId>* next) {
+  if (frontiers.empty()) return 0;
+  const graph::Csr& csr = ctx.csr();
+  ctx.device()->ChargeWarps(sm, (frontiers.size() + warp_size - 1) / warp_size);
+  (void)block_size;
+
+  uint64_t edges = 0;
+  std::vector<std::pair<NodeId, EdgeId>> step;
+  for (size_t warp_base = 0; warp_base < frontiers.size();
+       warp_base += warp_size) {
+    size_t lanes = std::min<size_t>(warp_size, frontiers.size() - warp_base);
+    // The warp runs until its slowest lane finishes (warp divergence):
+    // every step processes at most one edge per still-active lane.
+    std::vector<EdgeId> cur(lanes);
+    std::vector<EdgeId> stop(lanes);
+    uint32_t max_deg = 0;
+    for (size_t i = 0; i < lanes; ++i) {
+      NodeId f = frontiers[warp_base + i];
+      cur[i] = csr.NeighborBegin(f);
+      stop[i] = csr.NeighborEnd(f);
+      max_deg = std::max<uint32_t>(max_deg,
+                                   static_cast<uint32_t>(stop[i] - cur[i]));
+    }
+    for (uint32_t s = 0; s < max_deg; ++s) {
+      step.clear();
+      for (size_t i = 0; i < lanes; ++i) {
+        if (cur[i] < stop[i]) {
+          step.emplace_back(frontiers[warp_base + i], cur[i]);
+          ++cur[i];
+        }
+      }
+      edges += ctx.ProcessScatteredEdges(sm, step, next);
+    }
+  }
+  return edges;
+}
+
+}  // namespace sage::core

@@ -1,0 +1,140 @@
+#ifndef SAGE_CORE_EXPAND_H_
+#define SAGE_CORE_EXPAND_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/filter.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "sim/gpu_device.h"
+
+namespace sage::core {
+
+/// Observer of concurrent tile accesses in the filtering step; the hook
+/// Sampling-based Reordering uses to collect its locality statistics
+/// (Algorithm 4 runs "along with the tile access").
+class TileAccessObserver {
+ public:
+  virtual ~TileAccessObserver() = default;
+
+  /// One tile access: the internal ids of the neighbors a tile<m> read
+  /// concurrently. `sm` is where the access executed (sampling cost is
+  /// charged there).
+  virtual void ObserveTileAccess(std::span<const graph::NodeId> neighbors,
+                                 uint32_t sm) = 0;
+};
+
+/// Instruction-cost constants of the expansion machinery (in issued warp
+/// instructions). These model code the real kernels would execute; the
+/// election/partition costs are the Tiled Partitioning overhead of Table 3.
+struct ExpandCosts {
+  static constexpr uint32_t kEdgeInstr = 6;       ///< filter body per edge
+  static constexpr uint32_t kElectionOps = 6;     ///< any+elect+shfl per election
+  static constexpr uint32_t kChunkLoopOps = 3;    ///< gather-loop bookkeeping
+  static constexpr uint32_t kPartitionOps = 4;    ///< cg::partition per level
+  static constexpr uint32_t kScanOps = 12;        ///< scan-based fragment gather
+  static constexpr uint32_t kQueuePopOps = 4;     ///< resident-tile queue pop
+};
+
+/// Shared charging + functional-execution context for one expansion kernel.
+/// Both the SAGE engine and the PGP baselines express their scheduling
+/// strategies through this context, so all of them face the same memory
+/// system and cost model (DESIGN.md §1: isolating the scheduling variable).
+class ExpandContext {
+ public:
+  ExpandContext(sim::GpuDevice* device, const graph::Csr* csr,
+                const sim::Buffer* v_buf, const sim::Buffer* offsets_buf);
+
+  void set_filter(FilterProgram* filter) {
+    filter_ = filter;
+    footprint_ = &filter->footprint();
+  }
+  void set_observer(TileAccessObserver* observer) { observer_ = observer; }
+
+  /// Installs a virtual→real frontier-id translation (Tigr's UDT layer):
+  /// adjacency ranges come from virtual ids, while the filter program and
+  /// frontier-side attribute accesses see real ids. Each translation
+  /// charges a read of `map_buf`.
+  void set_frontier_map(const std::vector<graph::NodeId>* map,
+                        const sim::Buffer* map_buf) {
+    frontier_map_ = map;
+    frontier_map_buf_ = map_buf;
+  }
+
+  sim::GpuDevice* device() { return device_; }
+  const graph::Csr& csr() const { return *csr_; }
+
+  /// Processes one tile<m> access: the tile reads csr.v[gather, gather+m)
+  /// (neighbors of `frontier`), runs the filtering step on every neighbor,
+  /// and appends passing neighbors to `next`. Charges: coalesced adjacency
+  /// read, per-footprint attribute batches, filter instructions, atomic
+  /// conflicts. Returns edges processed (== m).
+  uint64_t ProcessTileChunk(uint32_t sm, graph::NodeId frontier,
+                            graph::EdgeId gather, uint32_t m,
+                            std::vector<graph::NodeId>* next);
+
+  /// Processes scattered single edges — the fragment / per-thread path.
+  /// Each element is (frontier, edge index into csr.v). Charged as one
+  /// scattered adjacency batch plus scattered attribute batches.
+  uint64_t ProcessScatteredEdges(
+      uint32_t sm,
+      std::span<const std::pair<graph::NodeId, graph::EdgeId>> edges,
+      std::vector<graph::NodeId>* next);
+
+  /// Charges a block's reads of its frontier slice and the corresponding
+  /// u_offsets entries.
+  void ChargeBlockFrontierReads(uint32_t sm, const sim::Buffer* frontier_buf,
+                                uint64_t frontier_base,
+                                std::span<const graph::NodeId> frontiers);
+
+  /// Charges writing the contracted next-frontier array, spread over SMs.
+  void ChargeContraction(const sim::Buffer* frontier_buf, uint64_t size);
+
+ private:
+  sim::GpuDevice* device_;
+  const graph::Csr* csr_;
+  const sim::Buffer* v_buf_;
+  const sim::Buffer* offsets_buf_;
+  FilterProgram* filter_ = nullptr;
+  const Footprint* footprint_ = nullptr;
+  TileAccessObserver* observer_ = nullptr;
+  const std::vector<graph::NodeId>* frontier_map_ = nullptr;
+  const sim::Buffer* frontier_map_buf_ = nullptr;
+  // Reused scratch to avoid per-chunk allocation.
+  std::vector<uint64_t> idx_scratch_;
+  std::vector<graph::NodeId> nbr_scratch_;
+};
+
+/// Options for the Algorithm 2 executor.
+struct TiledOptions {
+  uint32_t block_size = 256;
+  uint32_t min_tile_size = 8;
+  /// Align collaborative chunks to memory-sector boundaries (Section 5.3's
+  /// tile alignment strategy).
+  bool tile_alignment = true;
+};
+
+/// Executes Algorithm 2 — Load Reallocation by Tiled Partitions — for one
+/// block of frontier nodes on SM `sm`: leader elections at every tile size
+/// from the block down to min_tile_size (binary cg::partition), then
+/// scan-based fragment gathering for the sub-minimum remainders.
+/// Returns edges processed.
+uint64_t ExpandBlockTiled(ExpandContext& ctx, uint32_t sm,
+                          std::span<const graph::NodeId> frontiers,
+                          const TiledOptions& options,
+                          std::vector<graph::NodeId>* next);
+
+/// Baseline expansion without load reallocation: each lane serially walks
+/// its own adjacency; a warp advances in lock step, so its cost is driven
+/// by the maximum degree among its 32 lanes (warp divergence).
+uint64_t ExpandBlockScalar(ExpandContext& ctx, uint32_t sm,
+                           std::span<const graph::NodeId> frontiers,
+                           uint32_t block_size, uint32_t warp_size,
+                           std::vector<graph::NodeId>* next);
+
+}  // namespace sage::core
+
+#endif  // SAGE_CORE_EXPAND_H_

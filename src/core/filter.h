@@ -1,0 +1,109 @@
+#ifndef SAGE_CORE_FILTER_H_
+#define SAGE_CORE_FILTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "sim/memory_sim.h"
+
+namespace sage::core {
+
+class Engine;
+
+/// Which node-attribute buffers a filter touches per traversed edge. The
+/// engine charges one memory batch per listed buffer per tile access, with
+/// the neighbor-side batches being the scattered, locality-sensitive
+/// accesses that Sampling-based Reordering optimizes (Section 6).
+struct Footprint {
+  /// Arrays read at index `neighbor` for every edge (e.g. BFS dist[]).
+  std::vector<const sim::Buffer*> neighbor_reads;
+  /// Arrays written at index `neighbor` for every passing edge.
+  std::vector<const sim::Buffer*> neighbor_writes;
+  /// Arrays read at index `frontier` once per tile access (broadcast).
+  std::vector<const sim::Buffer*> frontier_reads;
+  /// Arrays indexed by *edge position* (parallel to csr.v), read for every
+  /// traversed edge — e.g. an edge-weight array. Tile accesses read them
+  /// coalesced alongside the adjacency gather.
+  std::vector<const sim::Buffer*> edge_reads;
+  /// Arrays written at index `frontier` (e.g. BC backward delta[]).
+  std::vector<const sim::Buffer*> frontier_writes;
+  /// Neighbor-side updates use atomics; duplicate neighbor ids within one
+  /// tile access serialize (Section 7.2's atomicity factor).
+  bool atomic_neighbor = false;
+  /// Frontier-side updates use atomics; lanes of a tile hit the same
+  /// address but a warp-aggregated reduction leaves one RMW per tile.
+  bool atomic_frontier = false;
+};
+
+/// The user-facing programming interface of SAGE (Section 4, Algorithm 1):
+/// applications implement the filtering step, which is invoked for every
+/// (frontier, neighbor) edge during traversal; returning true admits the
+/// neighbor into the next iteration's frontier. Everything else —
+/// expansion, load reallocation, contraction — is the framework's job.
+///
+/// All NodeIds passed to this interface are *internal* ids (they follow the
+/// engine's current node ordering). OnPermutation tells the program to
+/// remap its own state when Sampling-based Reordering relabels the graph.
+class FilterProgram {
+ public:
+  virtual ~FilterProgram() = default;
+
+  /// Called once before the program runs: register attribute buffers with
+  /// the engine's device and size internal state to the graph.
+  virtual void Bind(Engine* engine) = 0;
+
+  /// The filtering step. Must be deterministic given its inputs.
+  virtual bool Filter(graph::NodeId frontier, graph::NodeId neighbor) = 0;
+
+  /// Invoked at the start of every traversal iteration.
+  virtual void BeginIteration(uint32_t iteration) { (void)iteration; }
+
+  /// The engine relabeled node ids: new_of_old[old] == new. Programs must
+  /// permute their attribute arrays and any cached id lists.
+  virtual void OnPermutation(std::span<const graph::NodeId> new_of_old) {
+    (void)new_of_old;
+  }
+
+  /// Memory behaviour per edge; must remain stable while running.
+  virtual const Footprint& footprint() const = 0;
+
+  /// A short name for reports ("bfs", "bc-forward", ...).
+  virtual const char* name() const = 0;
+};
+
+/// Aggregate result of a traversal run (one or more kernels).
+struct RunStats {
+  uint32_t iterations = 0;
+  uint64_t edges_traversed = 0;
+  uint64_t frontier_nodes = 0;
+  /// Modeled GPU seconds (cost model; DESIGN.md §3).
+  double seconds = 0.0;
+  /// Portion of `seconds` spent in Tiled Partitioning scheduling (Table 3).
+  double tp_overhead_seconds = 0.0;
+  /// Modeled seconds spent applying Sampling-based Reordering rounds.
+  double reorder_seconds = 0.0;
+  uint32_t reorder_rounds = 0;
+
+  /// Traversal speed in billions of edges per second — the paper's metric.
+  double GTeps() const {
+    return seconds <= 0.0 ? 0.0
+                          : static_cast<double>(edges_traversed) / seconds /
+                                1e9;
+  }
+
+  void Accumulate(const RunStats& other) {
+    iterations += other.iterations;
+    edges_traversed += other.edges_traversed;
+    frontier_nodes += other.frontier_nodes;
+    seconds += other.seconds;
+    tp_overhead_seconds += other.tp_overhead_seconds;
+    reorder_seconds += other.reorder_seconds;
+    reorder_rounds += other.reorder_rounds;
+  }
+};
+
+}  // namespace sage::core
+
+#endif  // SAGE_CORE_FILTER_H_

@@ -1,0 +1,64 @@
+#include "core/resident.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sage::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+ResidentTileStore::ResidentTileStore(NodeId num_nodes)
+    : head_(num_nodes, -1), count_(num_nodes, 0) {}
+
+uint64_t ResidentTileStore::Put(NodeId u, std::span<const TileEntry> entries) {
+  SAGE_DCHECK(!Has(u));
+  uint64_t at = pool_.size();
+  head_[u] = static_cast<int64_t>(at);
+  count_[u] = static_cast<uint32_t>(entries.size());
+  pool_.insert(pool_.end(), entries.begin(), entries.end());
+  return at;
+}
+
+void ResidentTileStore::Invalidate() {
+  std::fill(head_.begin(), head_.end(), -1);
+  std::fill(count_.begin(), count_.end(), 0);
+  pool_.clear();
+}
+
+void DecomposeAdjacency(NodeId node, EdgeId begin, uint32_t degree,
+                        const TiledOptions& options,
+                        uint32_t values_per_sector,
+                        std::vector<TileEntry>* out) {
+  EdgeId g = begin;
+  uint32_t remaining = degree;
+
+  if (options.tile_alignment && remaining >= options.min_tile_size) {
+    uint32_t mis = static_cast<uint32_t>(g % values_per_sector);
+    if (mis != 0) {
+      uint32_t prefix = values_per_sector - mis;
+      if (prefix < remaining) {
+        out->push_back(TileEntry{node, g, prefix});
+        g += prefix;
+        remaining -= prefix;
+      }
+    }
+  }
+
+  for (uint32_t size = options.block_size; size >= options.min_tile_size;
+       size /= 2) {
+    while (remaining >= size) {
+      out->push_back(TileEntry{node, g, size});
+      g += size;
+      remaining -= size;
+    }
+    if (size == 1) break;  // guard against min_tile_size == 1
+  }
+  if (remaining > 0) {
+    // Fragment record: consumed by the scan-based gather path.
+    out->push_back(TileEntry{node, g, remaining});
+  }
+}
+
+}  // namespace sage::core

@@ -1,0 +1,71 @@
+#ifndef SAGE_CORE_RESIDENT_H_
+#define SAGE_CORE_RESIDENT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/expand.h"
+#include "graph/types.h"
+#include "sim/gpu_device.h"
+
+namespace sage::core {
+
+/// One resident tile: a pre-partitioned slice of a node's adjacency that a
+/// cooperative group of exactly `size` threads consumes (Algorithm 3).
+/// Sizes below min_tile_size mark fragment records (scan-gathered).
+struct TileEntry {
+  graph::NodeId node = 0;
+  graph::EdgeId offset = 0;
+  uint32_t size = 0;
+};
+
+/// The scheduling log of Section 5.2: tiled-partitioning results kept in
+/// device memory so revisited nodes skip online scheduling entirely, and —
+/// because the log is visible device-wide — any SM can steal tiles.
+class ResidentTileStore {
+ public:
+  /// `pool_buf` is the device buffer the entries notionally live in (for
+  /// memory charging); capacity grows as nodes are first visited.
+  explicit ResidentTileStore(graph::NodeId num_nodes);
+
+  bool Has(graph::NodeId u) const { return head_[u] >= 0; }
+
+  std::span<const TileEntry> Get(graph::NodeId u) const {
+    return std::span<const TileEntry>(pool_.data() + head_[u], count_[u]);
+  }
+
+  /// Records a node's decomposition; entries become contiguous in the pool.
+  /// Returns the pool index of the first entry.
+  uint64_t Put(graph::NodeId u, std::span<const TileEntry> entries);
+
+  /// Pool index of a node's first entry (valid only if Has(u)).
+  uint64_t HeadIndex(graph::NodeId u) const {
+    return static_cast<uint64_t>(head_[u]);
+  }
+
+  uint64_t size() const { return pool_.size(); }
+
+  /// Drops every cached decomposition (after a reordering round relabels
+  /// the graph, all offsets are stale).
+  void Invalidate();
+
+ private:
+  std::vector<int64_t> head_;
+  std::vector<uint32_t> count_;
+  std::vector<TileEntry> pool_;
+};
+
+/// Computes the tiled decomposition of a degree-d adjacency starting at
+/// `begin`: power-of-two tile sizes from block_size down to min_tile_size
+/// (one entry per binary digit, exactly what Algorithm 2's election loop
+/// consumes), then one fragment record for the remainder. With
+/// tile_alignment, an unaligned prefix is split off first so the full
+/// tiles start on sector boundaries.
+void DecomposeAdjacency(graph::NodeId node, graph::EdgeId begin, uint32_t degree,
+                        const TiledOptions& options, uint32_t values_per_sector,
+                        std::vector<TileEntry>* out);
+
+}  // namespace sage::core
+
+#endif  // SAGE_CORE_RESIDENT_H_

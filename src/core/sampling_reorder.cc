@@ -1,0 +1,210 @@
+#include "core/sampling_reorder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/segsort.h"
+
+namespace sage::core {
+
+using graph::NodeId;
+
+SamplingReorderer::SamplingReorderer(NodeId num_nodes, uint64_t num_edges,
+                                     uint32_t values_per_sector,
+                                     sim::GpuDevice* device,
+                                     const Options& options)
+    : num_nodes_(num_nodes),
+      threshold_(options.threshold_edges == 0 ? num_edges
+                                              : options.threshold_edges),
+      values_per_sector_(values_per_sector),
+      device_(device),
+      options_(options) {
+  SAGE_CHECK_GT(values_per_sector, 0u);
+  if (threshold_ == 0) threshold_ = 1;
+  locality1_.assign(num_nodes_, 0);
+  locality3_.assign(num_nodes_, 0);
+  lo_.assign(num_nodes_, 0);
+  hi_.assign(num_nodes_, num_nodes_);
+  left_count_.assign(num_nodes_, 0);
+  right_count_.assign(num_nodes_, 0);
+  observations_.assign(num_nodes_, 0);
+  candidate_.assign(num_nodes_, 0);
+}
+
+void SamplingReorderer::BuildSectorCounts(std::span<const NodeId> neighbors) {
+  sorted_ids_.assign(neighbors.begin(), neighbors.end());
+  std::sort(sorted_ids_.begin(), sorted_ids_.end());
+  sector_counts_.clear();
+  for (NodeId id : sorted_ids_) {
+    uint32_t s = SectorOf(id);
+    if (!sector_counts_.empty() && sector_counts_.back().first == s) {
+      ++sector_counts_.back().second;
+    } else {
+      sector_counts_.emplace_back(s, 1);
+    }
+  }
+}
+
+namespace {
+// Count of sorted ids in [lo, hi).
+uint32_t CountInRange(const std::vector<NodeId>& sorted, NodeId lo,
+                      NodeId hi) {
+  auto b = std::lower_bound(sorted.begin(), sorted.end(), lo);
+  auto e = std::lower_bound(sorted.begin(), sorted.end(), hi);
+  return static_cast<uint32_t>(e - b);
+}
+}  // namespace
+
+void SamplingReorderer::SampleStage1(std::span<const NodeId> neighbors) {
+  // Algorithm 4: each lane counts intra-tile co-members in its own sector.
+  for (NodeId id : neighbors) {
+    uint32_t s = SectorOf(id);
+    auto it = std::lower_bound(
+        sector_counts_.begin(), sector_counts_.end(), s,
+        [](const auto& p, uint32_t key) { return p.first < key; });
+    SAGE_DCHECK(it != sector_counts_.end() && it->first == s);
+    locality1_[id] += it->second - 1;
+  }
+}
+
+void SamplingReorderer::SampleStage2(std::span<const NodeId> neighbors) {
+  for (NodeId id : neighbors) {
+    NodeId lo = lo_[id];
+    NodeId hi = hi_[id];
+    if (hi - lo <= values_per_sector_) continue;  // converged
+    NodeId mid = lo + (hi - lo) / 2;
+    // Count intra-tile co-members in each half of the search interval
+    // (excluding the node itself).
+    uint32_t in_left = CountInRange(sorted_ids_, lo, mid);
+    uint32_t in_right = CountInRange(sorted_ids_, mid, hi);
+    if (id >= lo && id < mid && in_left > 0) --in_left;
+    if (id >= mid && id < hi && in_right > 0) --in_right;
+    left_count_[id] += in_left;
+    right_count_[id] += in_right;
+    observations_[id] += in_left + in_right;
+    if (observations_[id] >= options_.min_observations_per_step) {
+      if (left_count_[id] >= right_count_[id]) {
+        hi_[id] = mid;
+      } else {
+        lo_[id] = mid;
+      }
+      left_count_[id] = 0;
+      right_count_[id] = 0;
+      observations_[id] = 0;
+    }
+  }
+}
+
+void SamplingReorderer::SampleStage3(std::span<const NodeId> neighbors) {
+  for (NodeId id : neighbors) {
+    uint32_t cand_sector = SectorOf(candidate_[id]);
+    auto it = std::lower_bound(
+        sector_counts_.begin(), sector_counts_.end(), cand_sector,
+        [](const auto& p, uint32_t key) { return p.first < key; });
+    if (it == sector_counts_.end() || it->first != cand_sector) continue;
+    uint32_t cnt = it->second;
+    if (SectorOf(id) == cand_sector) --cnt;  // exclude self
+    locality3_[id] += cnt;
+  }
+}
+
+void SamplingReorderer::ObserveTileAccess(std::span<const NodeId> neighbors,
+                                          uint32_t sm) {
+  // A completed round is waiting to be applied (the engine relabels between
+  // iterations): suspend sampling, otherwise the next round's Stage 1 would
+  // accumulate statistics against the soon-to-be-stale layout.
+  if (pending_.has_value()) return;
+  if (neighbors.size() < 2) return;
+  // The sampling loop of Algorithm 4 runs in shared memory alongside the
+  // filtering step; charge its (small) instruction cost.
+  const auto& spec = device_->spec();
+  uint32_t warps = (static_cast<uint32_t>(neighbors.size()) + spec.warp_size -
+                    1) /
+                   spec.warp_size;
+  device_->ChargeCompute(sm, 2ull * warps + spec.sync_cycles / 4);
+
+  BuildSectorCounts(neighbors);
+  switch (stage_) {
+    case 1:
+      SampleStage1(neighbors);
+      break;
+    case 2:
+      SampleStage2(neighbors);
+      break;
+    case 3:
+      SampleStage3(neighbors);
+      break;
+  }
+  sampled_in_stage_ += neighbors.size();
+  if (sampled_in_stage_ >= threshold_) AdvanceStage();
+}
+
+void SamplingReorderer::FinishStage2() {
+  // Unconverged intervals fall back to their current midpoint; converged
+  // ones use the interval base. The in-sector slot keeps nodes distinct.
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    NodeId base =
+        hi_[u] - lo_[u] <= values_per_sector_ ? lo_[u] : lo_[u] + (hi_[u] - lo_[u]) / 2;
+    candidate_[u] = std::min<NodeId>(
+        base + (u % values_per_sector_),
+        num_nodes_ == 0 ? 0 : num_nodes_ - 1);
+  }
+}
+
+void SamplingReorderer::AdvanceStage() {
+  sampled_in_stage_ = 0;
+  if (stage_ == 1) {
+    stage_ = 2;
+    return;
+  }
+  if (stage_ == 2) {
+    FinishStage2();
+    stage_ = 3;
+    return;
+  }
+  // Stage 3 complete: a full round is done.
+  pending_ = BuildPermutation();
+  ResetRound();
+}
+
+std::vector<NodeId> SamplingReorderer::BuildPermutation() {
+  // Expected index per node: adopt the candidate only if its measured
+  // locality beats the current one (Stage 1 vs Stage 3 comparison) by a
+  // clear margin — marginal wins churn the layout (each adoption displaces
+  // neighbors in the sorted order) without paying for themselves.
+  std::vector<uint32_t> expected(num_nodes_);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    bool adopt = locality3_[u] > locality1_[u] + locality1_[u] / 2 + 1;
+    expected[u] = adopt ? candidate_[u] : u;
+  }
+  // Sort the expected-index array (bb_segsort stand-in; stable radix
+  // argsort) to obtain the actual order: duplicates / gaps collapse.
+  std::vector<uint32_t> order = util::RadixArgsort(expected);
+  std::vector<NodeId> new_of_old(num_nodes_);
+  for (NodeId rank = 0; rank < num_nodes_; ++rank) {
+    new_of_old[order[rank]] = rank;
+  }
+  return new_of_old;
+}
+
+void SamplingReorderer::ResetRound() {
+  stage_ = 1;
+  ++rounds_completed_;
+  std::fill(locality1_.begin(), locality1_.end(), 0);
+  std::fill(locality3_.begin(), locality3_.end(), 0);
+  std::fill(lo_.begin(), lo_.end(), 0);
+  std::fill(hi_.begin(), hi_.end(), num_nodes_);
+  std::fill(left_count_.begin(), left_count_.end(), 0);
+  std::fill(right_count_.begin(), right_count_.end(), 0);
+  std::fill(observations_.begin(), observations_.end(), 0);
+  std::fill(candidate_.begin(), candidate_.end(), 0);
+}
+
+std::optional<std::vector<NodeId>> SamplingReorderer::MaybeTakePermutation() {
+  if (!pending_.has_value()) return std::nullopt;
+  auto out = std::move(*pending_);
+  pending_.reset();
+  return out;
+}
+
+}  // namespace sage::core

@@ -1,0 +1,101 @@
+#ifndef SAGE_CORE_SAMPLING_REORDER_H_
+#define SAGE_CORE_SAMPLING_REORDER_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/expand.h"
+#include "graph/types.h"
+#include "sim/gpu_device.h"
+
+namespace sage::core {
+
+/// Sampling-based Reordering (Section 6, Algorithm 4): a lightweight,
+/// on-the-fly node relabeling that raises intra-tile sector locality.
+/// Because computing the optimal permutation is NP-hard (Theorem 6.1), SAGE
+/// samples the *actual* tile accesses of the running workload and proceeds
+/// in rounds of three stages:
+///
+///   Stage 1 — measure each node's current locality: how many intra-tile
+///             co-accessed neighbors share its memory sector.
+///   Stage 2 — binary-search a candidate sector for each node: repeatedly
+///             sample which half of the shrinking id interval holds more of
+///             the node's co-accessed neighbors.
+///   Stage 3 — measure the locality the candidate index would achieve;
+///             nodes whose locality improves adopt the candidate.
+///
+/// A stage advances after `threshold_edges` sampled edges (the paper uses
+/// |E|). After Stage 3 the expected-index array is sorted (segmented radix
+/// sort — the bb_segsort stand-in) into a permutation the engine applies.
+class SamplingReorderer : public TileAccessObserver {
+ public:
+  struct Options {
+    /// Edges sampled per stage before advancing; 0 → use |E|.
+    uint64_t threshold_edges = 0;
+    /// Observations required before one binary-search halving in Stage 2.
+    uint32_t min_observations_per_step = 4;
+  };
+
+  SamplingReorderer(graph::NodeId num_nodes, uint64_t num_edges,
+                    uint32_t values_per_sector, sim::GpuDevice* device,
+                    const Options& options);
+
+  /// TileAccessObserver: samples one concurrent tile access. Charges the
+  /// (cheap, shared-memory) counting cost to `sm`.
+  void ObserveTileAccess(std::span<const graph::NodeId> neighbors,
+                         uint32_t sm) override;
+
+  /// If a full round (Stages 1-3) has completed since the last call,
+  /// returns the permutation (new_of_old) to apply and resets for the next
+  /// round. The engine calls this between traversal iterations.
+  std::optional<std::vector<graph::NodeId>> MaybeTakePermutation();
+
+  /// Current stage (1, 2 or 3) — exposed for tests and reports.
+  int stage() const { return stage_; }
+  uint32_t rounds_completed() const { return rounds_completed_; }
+  uint64_t sampled_edges_in_stage() const { return sampled_in_stage_; }
+
+ private:
+  void BuildSectorCounts(std::span<const graph::NodeId> neighbors);
+  void SampleStage1(std::span<const graph::NodeId> neighbors);
+  void SampleStage2(std::span<const graph::NodeId> neighbors);
+  void SampleStage3(std::span<const graph::NodeId> neighbors);
+  void AdvanceStage();
+  void FinishStage2();
+  std::vector<graph::NodeId> BuildPermutation();
+  void ResetRound();
+
+  uint32_t SectorOf(graph::NodeId id) const { return id / values_per_sector_; }
+
+  graph::NodeId num_nodes_;
+  uint64_t threshold_;
+  uint32_t values_per_sector_;
+  sim::GpuDevice* device_;
+  Options options_;
+
+  int stage_ = 1;
+  uint64_t sampled_in_stage_ = 0;
+  uint32_t rounds_completed_ = 0;
+  std::optional<std::vector<graph::NodeId>> pending_;
+
+  // Stage 1 / 3 locality tallies.
+  std::vector<uint32_t> locality1_;
+  std::vector<uint32_t> locality3_;
+  // Stage 2 binary-search state per node.
+  std::vector<graph::NodeId> lo_;
+  std::vector<graph::NodeId> hi_;
+  std::vector<uint32_t> left_count_;
+  std::vector<uint32_t> right_count_;
+  std::vector<uint32_t> observations_;
+  std::vector<graph::NodeId> candidate_;
+
+  // Scratch reused per tile access.
+  std::vector<graph::NodeId> sorted_ids_;
+  std::vector<std::pair<uint32_t, uint32_t>> sector_counts_;
+};
+
+}  // namespace sage::core
+
+#endif  // SAGE_CORE_SAMPLING_REORDER_H_

@@ -1,0 +1,53 @@
+#include "core/udt.h"
+
+#include "util/logging.h"
+
+namespace sage::core {
+
+using graph::Csr;
+using graph::EdgeId;
+using graph::NodeId;
+
+UdtLayout BuildUdt(const Csr& csr, uint32_t split_degree) {
+  SAGE_CHECK_GE(split_degree, 1u);
+  UdtLayout layout;
+  layout.real_nodes = csr.num_nodes();
+  layout.split_degree = split_degree;
+  layout.group_offsets.assign(static_cast<size_t>(csr.num_nodes()) + 1, 0);
+
+  // Pass 1: group sizes (every node gets at least one virtual node).
+  uint64_t total_virtual = 0;
+  for (NodeId u = 0; u < csr.num_nodes(); ++u) {
+    uint32_t deg = csr.OutDegree(u);
+    uint32_t group =
+        deg == 0 ? 1 : (deg + split_degree - 1) / split_degree;
+    layout.group_offsets[u] = total_virtual;
+    total_virtual += group;
+  }
+  layout.group_offsets[csr.num_nodes()] = total_virtual;
+  SAGE_CHECK_LE(total_virtual, 0xfffffffeull) << "virtual id overflow";
+
+  // Pass 2: emit virtual adjacency (targets stay real ids).
+  layout.real_of_virtual.resize(total_virtual);
+  graph::Coo coo;
+  coo.num_nodes = static_cast<NodeId>(total_virtual);
+  coo.u.reserve(csr.num_edges());
+  coo.v.reserve(csr.num_edges());
+  for (NodeId u = 0; u < csr.num_nodes(); ++u) {
+    EdgeId vbase = layout.group_offsets[u];
+    EdgeId vcount = layout.group_offsets[u + 1] - vbase;
+    for (EdgeId g = 0; g < vcount; ++g) {
+      layout.real_of_virtual[vbase + g] = u;
+    }
+    uint32_t deg = csr.OutDegree(u);
+    auto nbrs = csr.Neighbors(u);
+    for (uint32_t k = 0; k < deg; ++k) {
+      coo.u.push_back(static_cast<NodeId>(vbase + k / split_degree));
+      coo.v.push_back(nbrs[k]);
+    }
+  }
+  layout.virtual_csr = Csr::FromCoo(coo);
+  return layout;
+}
+
+}  // namespace sage::core

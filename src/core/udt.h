@@ -1,0 +1,37 @@
+#ifndef SAGE_CORE_UDT_H_
+#define SAGE_CORE_UDT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace sage::core {
+
+/// Tigr's Uniform-Degree Tree transformation (Sabet et al., ASPLOS'18;
+/// Section 5.3 of the SAGE paper): nodes whose out-degree exceeds a fixed
+/// cutpoint are split into virtual nodes of at most `split_degree`
+/// out-edges each. The transformed graph is regular, which suits simple
+/// per-thread/per-warp mapping — at the price of a preprocessing pass,
+/// auxiliary structures, and an extra virtual→real indirection per access.
+///
+/// Virtual ids of one real node are contiguous: [group_offsets[u],
+/// group_offsets[u+1]). Edges of the virtual graph point at *real* target
+/// ids, so filter programs keep operating on real-node attributes.
+struct UdtLayout {
+  graph::Csr virtual_csr;                    ///< virtual source adjacency
+  std::vector<graph::NodeId> real_of_virtual;///< virtual id -> real id
+  std::vector<graph::EdgeId> group_offsets;  ///< real id -> virtual id range
+  graph::NodeId real_nodes = 0;
+  uint32_t split_degree = 0;
+
+  graph::NodeId virtual_nodes() const { return virtual_csr.num_nodes(); }
+};
+
+/// Builds the UDT layout. split_degree must be >= 1.
+UdtLayout BuildUdt(const graph::Csr& csr, uint32_t split_degree);
+
+}  // namespace sage::core
+
+#endif  // SAGE_CORE_UDT_H_

@@ -1,0 +1,25 @@
+#include "graph/builder.h"
+
+#include <string>
+
+namespace sage::graph {
+
+util::StatusOr<Csr> GraphBuilder::Build(const BuildOptions& options) {
+  for (size_t i = 0; i < coo_.u.size(); ++i) {
+    if (coo_.u[i] >= num_nodes_ || coo_.v[i] >= num_nodes_) {
+      return util::Status::InvalidArgument(
+          "edge endpoint out of range at index " + std::to_string(i) + ": (" +
+          std::to_string(coo_.u[i]) + "," + std::to_string(coo_.v[i]) +
+          "), num_nodes=" + std::to_string(num_nodes_));
+    }
+  }
+  Coo coo = coo_;
+  coo.num_nodes = num_nodes_;
+  if (options.symmetrize) Symmetrize(coo);
+  if (options.remove_self_loops) RemoveSelfLoops(coo);
+  SortCoo(coo);
+  if (options.dedup) DedupSortedCoo(coo);
+  return Csr::FromCoo(coo);
+}
+
+}  // namespace sage::graph

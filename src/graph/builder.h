@@ -1,0 +1,49 @@
+#ifndef SAGE_GRAPH_BUILDER_H_
+#define SAGE_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace sage::graph {
+
+/// Options controlling edge-list normalization before CSR construction.
+struct BuildOptions {
+  bool remove_self_loops = true;
+  bool dedup = true;
+  bool symmetrize = false;
+};
+
+/// Incrementally collects edges and produces a normalized CSR. This is the
+/// entry point applications use; SAGE itself needs nothing beyond the
+/// resulting CSR (no preprocessing stage).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds a directed edge; ids must be < num_nodes (checked at Build).
+  void AddEdge(NodeId u, NodeId v) {
+    coo_.u.push_back(u);
+    coo_.v.push_back(v);
+  }
+
+  void AddEdges(const std::vector<std::pair<NodeId, NodeId>>& edges) {
+    for (auto [u, v] : edges) AddEdge(u, v);
+  }
+
+  uint64_t num_pending_edges() const { return coo_.num_edges(); }
+
+  /// Normalizes (sort / dedup / drop loops / optional symmetrize) and builds
+  /// the CSR. Returns InvalidArgument if any endpoint is out of range.
+  util::StatusOr<Csr> Build(const BuildOptions& options = BuildOptions());
+
+ private:
+  NodeId num_nodes_;
+  Coo coo_;
+};
+
+}  // namespace sage::graph
+
+#endif  // SAGE_GRAPH_BUILDER_H_

@@ -1,0 +1,88 @@
+#include "graph/coo.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sage::graph {
+namespace {
+
+// Stable counting sort of (u, v) pairs by `keys`, permuting both arrays.
+void CountingSortBy(std::vector<NodeId>& keys, std::vector<NodeId>& other,
+                    NodeId key_bound) {
+  std::vector<uint64_t> count(static_cast<size_t>(key_bound) + 1, 0);
+  for (NodeId k : keys) {
+    SAGE_DCHECK(k < key_bound);
+    ++count[k + 1];
+  }
+  for (size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
+  std::vector<NodeId> keys_out(keys.size());
+  std::vector<NodeId> other_out(other.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint64_t pos = count[keys[i]]++;
+    keys_out[pos] = keys[i];
+    other_out[pos] = other[i];
+  }
+  keys.swap(keys_out);
+  other.swap(other_out);
+}
+
+}  // namespace
+
+void SortCoo(Coo& coo) {
+  SAGE_CHECK_EQ(coo.u.size(), coo.v.size());
+  if (coo.num_nodes == 0) {
+    SAGE_CHECK(coo.u.empty());
+    return;
+  }
+  // LSD order: sort by secondary key v first, then stably by primary key u.
+  CountingSortBy(coo.v, coo.u, coo.num_nodes);
+  CountingSortBy(coo.u, coo.v, coo.num_nodes);
+}
+
+void DedupSortedCoo(Coo& coo) {
+  SAGE_DCHECK(IsSorted(coo));
+  size_t out = 0;
+  for (size_t i = 0; i < coo.u.size(); ++i) {
+    if (out > 0 && coo.u[i] == coo.u[out - 1] && coo.v[i] == coo.v[out - 1]) {
+      continue;
+    }
+    coo.u[out] = coo.u[i];
+    coo.v[out] = coo.v[i];
+    ++out;
+  }
+  coo.u.resize(out);
+  coo.v.resize(out);
+}
+
+void RemoveSelfLoops(Coo& coo) {
+  size_t out = 0;
+  for (size_t i = 0; i < coo.u.size(); ++i) {
+    if (coo.u[i] == coo.v[i]) continue;
+    coo.u[out] = coo.u[i];
+    coo.v[out] = coo.v[i];
+    ++out;
+  }
+  coo.u.resize(out);
+  coo.v.resize(out);
+}
+
+void Symmetrize(Coo& coo) {
+  size_t n = coo.u.size();
+  coo.u.reserve(2 * n);
+  coo.v.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    coo.u.push_back(coo.v[i]);
+    coo.v.push_back(coo.u[i]);
+  }
+}
+
+bool IsSorted(const Coo& coo) {
+  for (size_t i = 1; i < coo.u.size(); ++i) {
+    if (coo.u[i] < coo.u[i - 1]) return false;
+    if (coo.u[i] == coo.u[i - 1] && coo.v[i] < coo.v[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace sage::graph

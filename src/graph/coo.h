@@ -1,0 +1,42 @@
+#ifndef SAGE_GRAPH_COO_H_
+#define SAGE_GRAPH_COO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace sage::graph {
+
+/// Coordinate-format edge list (Figure 1 of the paper): two parallel arrays
+/// u and v with one entry per directed edge (u[i] -> v[i]). Passive data
+/// container; invariants (sortedness etc.) are established by the free
+/// functions below and by GraphBuilder.
+struct Coo {
+  NodeId num_nodes = 0;
+  std::vector<NodeId> u;
+  std::vector<NodeId> v;
+
+  uint64_t num_edges() const { return u.size(); }
+};
+
+/// Sorts edges by (u, v) using a two-pass stable counting sort — the host
+/// analogue of the GPU radix sort used to build CSR without preprocessing.
+void SortCoo(Coo& coo);
+
+/// Removes duplicate edges; requires the Coo to be sorted.
+void DedupSortedCoo(Coo& coo);
+
+/// Removes self loops (u == v).
+void RemoveSelfLoops(Coo& coo);
+
+/// Appends the reverse of every edge, making the edge set symmetric.
+/// (Does not dedup; call SortCoo + DedupSortedCoo afterwards.)
+void Symmetrize(Coo& coo);
+
+/// True if edges are sorted by (u, v).
+bool IsSorted(const Coo& coo);
+
+}  // namespace sage::graph
+
+#endif  // SAGE_GRAPH_COO_H_

@@ -1,0 +1,96 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+
+namespace sage::graph {
+
+Csr Csr::FromCoo(const Coo& coo) {
+  Csr csr;
+  csr.num_nodes_ = coo.num_nodes;
+  csr.u_offsets_.assign(static_cast<size_t>(coo.num_nodes) + 1, 0);
+  for (NodeId u : coo.u) {
+    SAGE_CHECK_LT(u, coo.num_nodes);
+    ++csr.u_offsets_[u + 1];
+  }
+  for (size_t i = 1; i < csr.u_offsets_.size(); ++i) {
+    csr.u_offsets_[i] += csr.u_offsets_[i - 1];
+  }
+  csr.v_.resize(coo.num_edges());
+  std::vector<EdgeId> cursor(csr.u_offsets_.begin(), csr.u_offsets_.end() - 1);
+  for (size_t i = 0; i < coo.num_edges(); ++i) {
+    SAGE_CHECK_LT(coo.v[i], coo.num_nodes);
+    csr.v_[cursor[coo.u[i]]++] = coo.v[i];
+  }
+  // Keep each adjacency list sorted: the scatter above preserves input edge
+  // order per node, so sort only if the input was unsorted.
+  if (!IsSorted(coo)) {
+    for (NodeId u = 0; u < csr.num_nodes_; ++u) {
+      std::sort(csr.v_.begin() + static_cast<ptrdiff_t>(csr.u_offsets_[u]),
+                csr.v_.begin() + static_cast<ptrdiff_t>(csr.u_offsets_[u + 1]));
+    }
+  }
+  return csr;
+}
+
+util::Status Csr::Validate() const {
+  if (u_offsets_.size() != static_cast<size_t>(num_nodes_) + 1) {
+    return util::Status::Corruption("u_offsets size != num_nodes + 1");
+  }
+  if (u_offsets_.front() != 0) {
+    return util::Status::Corruption("u_offsets[0] != 0");
+  }
+  for (size_t i = 1; i < u_offsets_.size(); ++i) {
+    if (u_offsets_[i] < u_offsets_[i - 1]) {
+      return util::Status::Corruption("u_offsets not monotone at " +
+                                      std::to_string(i));
+    }
+  }
+  if (u_offsets_.back() != v_.size()) {
+    return util::Status::Corruption("u_offsets back != |E|");
+  }
+  for (size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] >= num_nodes_) {
+      return util::Status::Corruption("neighbor id out of range at " +
+                                      std::to_string(i));
+    }
+  }
+  return util::Status::OK();
+}
+
+Csr Csr::Transpose() const {
+  Coo coo;
+  coo.num_nodes = num_nodes_;
+  coo.u.reserve(v_.size());
+  coo.v.reserve(v_.size());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId w : Neighbors(u)) {
+      coo.u.push_back(w);
+      coo.v.push_back(u);
+    }
+  }
+  return FromCoo(coo);
+}
+
+Coo Csr::ToCoo() const {
+  Coo coo;
+  coo.num_nodes = num_nodes_;
+  coo.u.reserve(v_.size());
+  coo.v.assign(v_.begin(), v_.end());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (EdgeId e = u_offsets_[u]; e < u_offsets_[u + 1]; ++e) {
+      coo.u.push_back(u);
+    }
+  }
+  return coo;
+}
+
+uint32_t Csr::MaxOutDegree() const {
+  uint32_t best = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) best = std::max(best, OutDegree(u));
+  return best;
+}
+
+}  // namespace sage::graph

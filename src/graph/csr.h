@@ -1,0 +1,82 @@
+#ifndef SAGE_GRAPH_CSR_H_
+#define SAGE_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/coo.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace sage::graph {
+
+/// Compressed Sparse Row graph (Figure 1): `u_offsets` (|V|+1 entries) plus
+/// the neighbor array `v`. This is the *only* representation SAGE requires —
+/// the framework is preprocessing-free and operates on it directly
+/// (Section 1). All SAGE-side mutation (Sampling-based Reordering) rewrites
+/// this structure in place through ApplyPermutation in reorder/.
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds a CSR from an edge list. The Coo does not need to be sorted;
+  /// a counting pass + scatter is used (no comparison sort), mirroring how
+  /// a GPU builds CSR from COO with a radix scatter.
+  static Csr FromCoo(const Coo& coo);
+
+  /// Validates structural invariants (monotone offsets, neighbor ids in
+  /// range). Returns an error describing the first violation.
+  util::Status Validate() const;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return v_.empty() ? 0 : v_.size(); }
+
+  /// Out-degree of node u.
+  uint32_t OutDegree(NodeId u) const {
+    return static_cast<uint32_t>(u_offsets_[u + 1] - u_offsets_[u]);
+  }
+
+  /// Begin offset of u's adjacency in v().
+  EdgeId NeighborBegin(NodeId u) const { return u_offsets_[u]; }
+  EdgeId NeighborEnd(NodeId u) const { return u_offsets_[u + 1]; }
+
+  /// Read-only view of u's neighbors.
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return std::span<const NodeId>(v_.data() + u_offsets_[u], OutDegree(u));
+  }
+
+  const std::vector<EdgeId>& u_offsets() const { return u_offsets_; }
+  const std::vector<NodeId>& v() const { return v_; }
+  std::vector<NodeId>& mutable_v() { return v_; }
+  std::vector<EdgeId>& mutable_u_offsets() { return u_offsets_; }
+
+  /// Transposed graph (in-edges become out-edges); used by pull-style
+  /// baselines (Ligra's pull direction) and by Gorder's indegree windows.
+  Csr Transpose() const;
+
+  /// Converts back to a (sorted) edge list.
+  Coo ToCoo() const;
+
+  /// Maximum out-degree; the skew headline number for each dataset.
+  uint32_t MaxOutDegree() const;
+
+  /// Bytes occupied by the representation (offsets + neighbor array).
+  uint64_t MemoryBytes() const {
+    return u_offsets_.size() * sizeof(EdgeId) + v_.size() * sizeof(NodeId);
+  }
+
+  friend bool operator==(const Csr& a, const Csr& b) {
+    return a.num_nodes_ == b.num_nodes_ && a.u_offsets_ == b.u_offsets_ &&
+           a.v_ == b.v_;
+  }
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<EdgeId> u_offsets_{0};
+  std::vector<NodeId> v_;
+};
+
+}  // namespace sage::graph
+
+#endif  // SAGE_GRAPH_CSR_H_

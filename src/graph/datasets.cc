@@ -1,0 +1,95 @@
+#include "graph/datasets.h"
+
+#include "graph/generators.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace sage::graph {
+
+std::vector<DatasetId> AllDatasets() {
+  return {DatasetId::kUk2002s, DatasetId::kBrains, DatasetId::kLjournals,
+          DatasetId::kTwitters, DatasetId::kFriendsters};
+}
+
+std::string DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kUk2002s:
+      return "uk-2002s";
+    case DatasetId::kBrains:
+      return "brain-s";
+    case DatasetId::kLjournals:
+      return "ljournal-s";
+    case DatasetId::kTwitters:
+      return "twitter-s";
+    case DatasetId::kFriendsters:
+      return "friendster-s";
+  }
+  return "?";
+}
+
+std::string DatasetCategory(DatasetId id) {
+  switch (id) {
+    case DatasetId::kUk2002s:
+      return "Web";
+    case DatasetId::kBrains:
+      return "Biology";
+    case DatasetId::kLjournals:
+    case DatasetId::kTwitters:
+    case DatasetId::kFriendsters:
+      return "Social Network";
+  }
+  return "?";
+}
+
+Csr MakeDataset(DatasetId id, DatasetScale scale) {
+  const bool tiny = scale == DatasetScale::kTiny;
+  switch (id) {
+    case DatasetId::kUk2002s:
+      // Table 1: E/V = 16.1, regular crawl hierarchy.
+      return tiny ? GenerateWebCopy(/*num_nodes=*/3000, /*out_degree=*/16,
+                                    /*copy_prob=*/0.75, /*seed=*/11)
+                  : GenerateWebCopy(48'000, 16, 0.75, 11);
+    case DatasetId::kBrains:
+      // Table 1: E/V = 683 (dense, regular). Scaled to E/V ~ 160 to keep
+      // simulated runs tractable while remaining an order denser than the
+      // social graphs.
+      return tiny ? GenerateCommunity(/*num_nodes=*/512, /*degree=*/60,
+                                      /*community_size=*/64,
+                                      /*locality=*/0.8, /*seed=*/12)
+                  : GenerateCommunity(4096, 170, 256, 0.8, 12);
+    case DatasetId::kLjournals:
+      // Table 1: E/V = 14.9, moderate skew.
+      return tiny ? GenerateRmat(/*scale=*/11, /*num_edges=*/30'000,
+                                 /*a=*/0.45, /*b=*/0.22, /*c=*/0.22,
+                                 /*seed=*/13)
+                  : GenerateRmat(15, 520'000, 0.45, 0.22, 0.22, 13);
+    case DatasetId::kTwitters:
+      // Table 1: E/V = 35.1, extreme skew (super nodes).
+      return tiny ? GenerateRmat(12, 140'000, 0.62, 0.18, 0.17, 14)
+                  : GenerateRmat(16, 2'400'000, 0.62, 0.18, 0.17, 14);
+    case DatasetId::kFriendsters:
+      // Table 1: E/V = 27.5, large with milder skew than twitter.
+      return tiny ? GenerateRmat(12, 110'000, 0.50, 0.21, 0.21, 15)
+                  : GenerateRmat(17, 3'600'000, 0.50, 0.21, 0.21, 15);
+  }
+  SAGE_LOG(Fatal) << "unknown dataset id";
+  return Csr();
+}
+
+DatasetStats ComputeStats(const Csr& csr) {
+  DatasetStats stats;
+  stats.num_nodes = csr.num_nodes();
+  stats.num_edges = csr.num_edges();
+  stats.avg_degree =
+      stats.num_nodes == 0
+          ? 0.0
+          : static_cast<double>(stats.num_edges) /
+                static_cast<double>(stats.num_nodes);
+  stats.max_degree = csr.MaxOutDegree();
+  std::vector<uint64_t> degrees(csr.num_nodes());
+  for (NodeId u = 0; u < csr.num_nodes(); ++u) degrees[u] = csr.OutDegree(u);
+  stats.degree_gini = util::GiniCoefficient(std::move(degrees));
+  return stats;
+}
+
+}  // namespace sage::graph

@@ -1,0 +1,61 @@
+#ifndef SAGE_GRAPH_DATASETS_H_
+#define SAGE_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace sage::graph {
+
+/// The five evaluation datasets of Table 1, reproduced as scaled synthetic
+/// graphs with matching category signatures (see DESIGN.md §1):
+///   uk2002s     — web crawl: copying model, power-law indegree, strong
+///                 id-locality and shallow hierarchy.
+///   brains      — biology: dense (E/V in the hundreds), near-uniform
+///                 degrees, clear community/hierarchical structure.
+///   ljournals   — social: RMAT, moderate skew, E/V ≈ 15.
+///   twitters    — social: RMAT with extreme skew (public follow graph);
+///                 super nodes hold a large fraction of all edges.
+///   friendsters — social: RMAT, large, milder skew than twitter.
+enum class DatasetId {
+  kUk2002s = 0,
+  kBrains = 1,
+  kLjournals = 2,
+  kTwitters = 3,
+  kFriendsters = 4,
+};
+
+/// Scale knob: kTiny for unit tests, kBench for the benchmark harness.
+enum class DatasetScale {
+  kTiny,
+  kBench,
+};
+
+/// All five ids, in Table 1 order.
+std::vector<DatasetId> AllDatasets();
+
+/// Stable short name ("uk-2002s", "brain-s", ...).
+std::string DatasetName(DatasetId id);
+
+/// Category column of Table 1 ("Web", "Biology", "Social Network").
+std::string DatasetCategory(DatasetId id);
+
+/// Deterministically generates the dataset at the given scale.
+Csr MakeDataset(DatasetId id, DatasetScale scale);
+
+/// Summary statistics used to print the Table 1 reproduction.
+struct DatasetStats {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  double avg_degree = 0.0;
+  uint32_t max_degree = 0;
+  /// Gini coefficient of out-degrees; the skew signature (twitter highest).
+  double degree_gini = 0.0;
+};
+
+DatasetStats ComputeStats(const Csr& csr);
+
+}  // namespace sage::graph
+
+#endif  // SAGE_GRAPH_DATASETS_H_

@@ -1,0 +1,69 @@
+#include "graph/dynamic.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sage::graph {
+
+util::StatusOr<Csr> ApplyUpdates(const Csr& csr,
+                                 const EdgeUpdateBatch& batch) {
+  const NodeId n = csr.num_nodes();
+  for (const auto& [u, v] : batch.insertions) {
+    if (u >= n || v >= n) {
+      return util::Status::InvalidArgument(
+          "insertion endpoint out of range: (" + std::to_string(u) + "," +
+          std::to_string(v) + ")");
+    }
+  }
+  for (const auto& [u, v] : batch.deletions) {
+    if (u >= n || v >= n) {
+      return util::Status::InvalidArgument(
+          "deletion endpoint out of range: (" + std::to_string(u) + "," +
+          std::to_string(v) + ")");
+    }
+  }
+
+  auto ins = batch.insertions;
+  auto del = batch.deletions;
+  std::sort(ins.begin(), ins.end());
+  ins.erase(std::unique(ins.begin(), ins.end()), ins.end());
+  std::sort(del.begin(), del.end());
+  del.erase(std::unique(del.begin(), del.end()), del.end());
+
+  Coo out;
+  out.num_nodes = n;
+  out.u.reserve(csr.num_edges() + ins.size());
+  out.v.reserve(csr.num_edges() + ins.size());
+
+  size_t ins_pos = 0;
+  size_t del_pos = 0;
+  auto emit = [&out](NodeId u, NodeId v) {
+    out.u.push_back(u);
+    out.v.push_back(v);
+  };
+  // Merge the (sorted) existing adjacency with the sorted batches.
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : csr.Neighbors(u)) {
+      std::pair<NodeId, NodeId> edge{u, v};
+      // Flush insertions that come before this edge.
+      while (ins_pos < ins.size() && ins[ins_pos] < edge) {
+        emit(ins[ins_pos].first, ins[ins_pos].second);
+        ++ins_pos;
+      }
+      if (ins_pos < ins.size() && ins[ins_pos] == edge) ++ins_pos;
+      while (del_pos < del.size() && del[del_pos] < edge) ++del_pos;
+      if (del_pos < del.size() && del[del_pos] == edge) {
+        ++del_pos;
+        continue;  // deleted
+      }
+      emit(u, v);
+    }
+  }
+  while (ins_pos < ins.size()) {
+    emit(ins[ins_pos].first, ins[ins_pos].second);
+    ++ins_pos;
+  }
+  return Csr::FromCoo(out);
+}
+
+}  // namespace sage::graph

@@ -1,0 +1,29 @@
+#ifndef SAGE_GRAPH_DYNAMIC_H_
+#define SAGE_GRAPH_DYNAMIC_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace sage::graph {
+
+/// A batch of graph updates. The paper argues (Section 7.2) that SAGE works
+/// on dynamic graphs "as long as the CSR format is used": apply the batch,
+/// keep traversing, and Sampling-based Reordering re-optimizes the new CSR
+/// on the fly. This module provides the CSR merge.
+struct EdgeUpdateBatch {
+  std::vector<std::pair<NodeId, NodeId>> insertions;
+  std::vector<std::pair<NodeId, NodeId>> deletions;
+};
+
+/// Merges a batch into a CSR, producing the updated CSR. Duplicate
+/// insertions of existing edges are ignored; deletions of missing edges are
+/// ignored. Runs in O(|V| + |E| + |batch| log |batch|).
+/// Returns InvalidArgument if an endpoint is out of range.
+util::StatusOr<Csr> ApplyUpdates(const Csr& csr, const EdgeUpdateBatch& batch);
+
+}  // namespace sage::graph
+
+#endif  // SAGE_GRAPH_DYNAMIC_H_

@@ -1,0 +1,201 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sage::graph {
+namespace {
+
+Csr BuildFromCoo(Coo coo) {
+  RemoveSelfLoops(coo);
+  SortCoo(coo);
+  DedupSortedCoo(coo);
+  return Csr::FromCoo(coo);
+}
+
+}  // namespace
+
+Csr GenerateUniform(NodeId num_nodes, uint64_t num_edges, uint64_t seed) {
+  SAGE_CHECK_GT(num_nodes, 0u);
+  util::Rng rng(seed);
+  Coo coo;
+  coo.num_nodes = num_nodes;
+  coo.u.reserve(num_edges);
+  coo.v.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    coo.u.push_back(rng.UniformU32(num_nodes));
+    coo.v.push_back(rng.UniformU32(num_nodes));
+  }
+  return BuildFromCoo(std::move(coo));
+}
+
+Csr GenerateRmat(uint32_t scale, uint64_t num_edges, double a, double b,
+                 double c, uint64_t seed) {
+  SAGE_CHECK_LE(scale, 31u);
+  const double d = 1.0 - a - b - c;
+  SAGE_CHECK(d >= -1e-9) << "RMAT probabilities exceed 1";
+  util::Rng rng(seed);
+  const NodeId n = static_cast<NodeId>(1u) << scale;
+  Coo coo;
+  coo.num_nodes = n;
+  coo.u.reserve(num_edges);
+  coo.v.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    NodeId u = 0;
+    NodeId v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.UniformDouble();
+      // Slight per-level noise prevents the degenerate exactly-self-similar
+      // structure (standard RMAT practice).
+      double aa = a * (0.95 + 0.1 * rng.UniformDouble());
+      double bb = b * (0.95 + 0.1 * rng.UniformDouble());
+      double cc = c * (0.95 + 0.1 * rng.UniformDouble());
+      double norm = aa + bb + cc + d * (0.95 + 0.1 * rng.UniformDouble());
+      r *= norm;
+      u <<= 1;
+      v <<= 1;
+      if (r < aa) {
+        // top-left quadrant: no bits set
+      } else if (r < aa + bb) {
+        v |= 1;
+      } else if (r < aa + bb + cc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    coo.u.push_back(u);
+    coo.v.push_back(v);
+  }
+  return BuildFromCoo(std::move(coo));
+}
+
+Csr GenerateCommunity(NodeId num_nodes, uint32_t degree, NodeId community_size,
+                      double locality, uint64_t seed) {
+  SAGE_CHECK_GT(num_nodes, 0u);
+  SAGE_CHECK_GT(community_size, 0u);
+  util::Rng rng(seed);
+  Coo coo;
+  coo.num_nodes = num_nodes;
+  coo.u.reserve(static_cast<uint64_t>(num_nodes) * degree);
+  coo.v.reserve(static_cast<uint64_t>(num_nodes) * degree);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    NodeId comm_begin = (u / community_size) * community_size;
+    NodeId comm_end = std::min<NodeId>(comm_begin + community_size, num_nodes);
+    NodeId comm_n = comm_end - comm_begin;
+    for (uint32_t k = 0; k < degree; ++k) {
+      NodeId v;
+      if (rng.Bernoulli(locality) && comm_n > 1) {
+        v = comm_begin + rng.UniformU32(comm_n);
+      } else {
+        v = rng.UniformU32(num_nodes);
+      }
+      coo.u.push_back(u);
+      coo.v.push_back(v);
+    }
+  }
+  return BuildFromCoo(std::move(coo));
+}
+
+Csr GenerateWebCopy(NodeId num_nodes, uint32_t out_degree, double copy_prob,
+                    uint64_t seed) {
+  SAGE_CHECK_GT(num_nodes, 1u);
+  util::Rng rng(seed);
+  Coo coo;
+  coo.num_nodes = num_nodes;
+  coo.u.reserve(static_cast<uint64_t>(num_nodes) * out_degree);
+  coo.v.reserve(static_cast<uint64_t>(num_nodes) * out_degree);
+  // Adjacency of already-generated nodes, needed for copying.
+  std::vector<std::vector<NodeId>> adj(num_nodes);
+  adj[0] = {};
+  for (NodeId t = 1; t < num_nodes; ++t) {
+    NodeId tmpl = rng.UniformU32(t);
+    auto& mine = adj[t];
+    const auto& theirs = adj[tmpl];
+    // Heavy-tailed per-page out-degree around the requested mean: most
+    // pages are small, a few are link hubs (web directories).
+    uint32_t degree;
+    if (rng.Bernoulli(0.05)) {
+      degree = out_degree + rng.UniformU32(out_degree * 19 + 1);
+    } else {
+      degree = 1 + rng.UniformU32(out_degree);
+    }
+    for (uint32_t k = 0; k < degree; ++k) {
+      NodeId v;
+      if (k < theirs.size() && rng.Bernoulli(copy_prob)) {
+        v = theirs[k];
+      } else {
+        v = rng.UniformU32(t);
+      }
+      mine.push_back(v);
+      coo.u.push_back(t);
+      coo.v.push_back(v);
+    }
+  }
+  return BuildFromCoo(std::move(coo));
+}
+
+Csr GenerateGrid2d(NodeId rows, NodeId cols) {
+  SAGE_CHECK_GT(rows, 0u);
+  SAGE_CHECK_GT(cols, 0u);
+  Coo coo;
+  coo.num_nodes = rows * cols;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (r + 1 < rows) {
+        coo.u.push_back(id(r, c));
+        coo.v.push_back(id(r + 1, c));
+        coo.u.push_back(id(r + 1, c));
+        coo.v.push_back(id(r, c));
+      }
+      if (c + 1 < cols) {
+        coo.u.push_back(id(r, c));
+        coo.v.push_back(id(r, c + 1));
+        coo.u.push_back(id(r, c + 1));
+        coo.v.push_back(id(r, c));
+      }
+    }
+  }
+  return BuildFromCoo(std::move(coo));
+}
+
+Csr GeneratePath(NodeId num_nodes) {
+  Coo coo;
+  coo.num_nodes = num_nodes;
+  for (NodeId u = 0; u + 1 < num_nodes; ++u) {
+    coo.u.push_back(u);
+    coo.v.push_back(u + 1);
+  }
+  return Csr::FromCoo(coo);
+}
+
+Csr GenerateStar(NodeId num_nodes) {
+  SAGE_CHECK_GT(num_nodes, 0u);
+  Coo coo;
+  coo.num_nodes = num_nodes;
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    coo.u.push_back(0);
+    coo.v.push_back(v);
+  }
+  return Csr::FromCoo(coo);
+}
+
+Csr GenerateComplete(NodeId num_nodes) {
+  Coo coo;
+  coo.num_nodes = num_nodes;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      if (u == v) continue;
+      coo.u.push_back(u);
+      coo.v.push_back(v);
+    }
+  }
+  return Csr::FromCoo(coo);
+}
+
+}  // namespace sage::graph

@@ -1,0 +1,56 @@
+#ifndef SAGE_GRAPH_GENERATORS_H_
+#define SAGE_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace sage::graph {
+
+/// Synthetic graph generators. These stand in for the paper's real datasets
+/// (Table 1), which are not redistributable in this environment; each
+/// generator is parameterised to reproduce the *category signature* the
+/// paper's analysis depends on (degree-distribution shape, locality,
+/// hierarchy). All generators are deterministic in `seed`.
+
+/// Erdős–Rényi style: m directed edges with uniformly random endpoints
+/// (self loops and duplicates removed, so the result has ≤ m edges).
+Csr GenerateUniform(NodeId num_nodes, uint64_t num_edges, uint64_t seed);
+
+/// RMAT / Kronecker generator (Chakrabarti et al.). `scale` gives
+/// |V| = 2^scale; skew grows with `a` (a=b=c=d=0.25 is uniform; a=0.57 is
+/// Graph500-like; a>=0.65 produces twitter-grade super nodes).
+Csr GenerateRmat(uint32_t scale, uint64_t num_edges, double a, double b,
+                 double c, uint64_t seed);
+
+/// Community graph with near-uniform degrees: nodes live in contiguous
+/// communities; each node draws `degree` neighbors, a `locality` fraction
+/// from its own community and the rest uniformly. With high degree and high
+/// locality this mimics the `brain` dataset: dense, regular, hierarchical.
+Csr GenerateCommunity(NodeId num_nodes, uint32_t degree, NodeId community_size,
+                      double locality, uint64_t seed);
+
+/// Web-crawl-like graph via the copying model: node t links to a random
+/// earlier "template" node and copies each of the template's out-links with
+/// probability `copy_prob`, otherwise links uniformly at random among
+/// earlier nodes. Produces power-law in-degrees with strong id-locality and
+/// the shallow-hierarchy feel of crawled web graphs (uk-2002).
+Csr GenerateWebCopy(NodeId num_nodes, uint32_t out_degree, double copy_prob,
+                    uint64_t seed);
+
+/// 2D grid with 4-neighborhood; handy regular topology for tests.
+Csr GenerateGrid2d(NodeId rows, NodeId cols);
+
+/// Directed path 0 -> 1 -> ... -> n-1.
+Csr GeneratePath(NodeId num_nodes);
+
+/// Star: hub 0 points to all others (the worst-case skew microbenchmark).
+Csr GenerateStar(NodeId num_nodes);
+
+/// Complete directed graph (no self loops); only for tiny tests.
+Csr GenerateComplete(NodeId num_nodes);
+
+}  // namespace sage::graph
+
+#endif  // SAGE_GRAPH_GENERATORS_H_

@@ -1,0 +1,211 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+namespace sage::graph {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'A', 'G', 'E', 'C', 'S', 'R', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+util::StatusOr<Coo> LoadEdgeListText(const std::string& path,
+                                     NodeId num_nodes_hint) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  Coo coo;
+  NodeId max_id = 0;
+  bool any_edge = false;
+  char line[256];
+  uint64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++line_no;
+    // Skip comments and blank lines.
+    char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    unsigned long long u = 0;
+    unsigned long long v = 0;
+    if (std::sscanf(p, "%llu %llu", &u, &v) != 2) {
+      return util::Status::Corruption("malformed edge at " + path + ":" +
+                                      std::to_string(line_no));
+    }
+    if (u > 0xfffffffeull || v > 0xfffffffeull) {
+      return util::Status::OutOfRange("node id exceeds 32-bit range at " +
+                                      path + ":" + std::to_string(line_no));
+    }
+    coo.u.push_back(static_cast<NodeId>(u));
+    coo.v.push_back(static_cast<NodeId>(v));
+    max_id = std::max(max_id, static_cast<NodeId>(std::max(u, v)));
+    any_edge = true;
+  }
+  coo.num_nodes = any_edge ? max_id + 1 : 0;
+  if (num_nodes_hint > coo.num_nodes) coo.num_nodes = num_nodes_hint;
+  return coo;
+}
+
+util::Status SaveEdgeListText(const Coo& coo, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path + " for writing");
+  }
+  for (size_t i = 0; i < coo.u.size(); ++i) {
+    if (std::fprintf(f.get(), "%u %u\n", coo.u[i], coo.v[i]) < 0) {
+      return util::Status::IoError("write failed for " + path);
+    }
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<Csr> LoadMetisGraph(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  std::string line;
+  char buf[1 << 16];
+  uint64_t line_no = 0;
+  // Header (skipping comment lines that start with '%').
+  unsigned long long n = 0;
+  unsigned long long m = 0;
+  unsigned long long fmt = 0;
+  while (std::fgets(buf, sizeof(buf), f.get()) != nullptr) {
+    ++line_no;
+    if (buf[0] == '%') continue;
+    int fields = std::sscanf(buf, "%llu %llu %llu", &n, &m, &fmt);
+    if (fields < 2) {
+      return util::Status::Corruption("bad METIS header in " + path);
+    }
+    break;
+  }
+  if (fmt != 0) {
+    return util::Status::Unimplemented(
+        "weighted METIS graphs are not supported");
+  }
+  if (n > 0xfffffffeull) {
+    return util::Status::OutOfRange("node count exceeds 32-bit id space");
+  }
+  Coo coo;
+  coo.num_nodes = static_cast<NodeId>(n);
+  coo.u.reserve(2 * m);
+  coo.v.reserve(2 * m);
+  NodeId u = 0;
+  while (u < n && std::fgets(buf, sizeof(buf), f.get()) != nullptr) {
+    ++line_no;
+    if (buf[0] == '%') continue;
+    char* p = buf;
+    while (true) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(p, &end, 10);
+      if (end == p) break;
+      p = end;
+      if (v == 0 || v > n) {
+        return util::Status::Corruption("neighbor id out of range at " +
+                                        path + ":" + std::to_string(line_no));
+      }
+      coo.u.push_back(u);
+      coo.v.push_back(static_cast<NodeId>(v - 1));  // 1-indexed format
+    }
+    ++u;
+  }
+  if (u != n) {
+    return util::Status::Corruption("expected " + std::to_string(n) +
+                                    " adjacency lines, got " +
+                                    std::to_string(u));
+  }
+  // METIS lists each undirected edge twice; the count is edges, not arcs.
+  if (coo.u.size() != 2 * m) {
+    return util::Status::Corruption(
+        "arc count mismatch: header says " + std::to_string(2 * m) +
+        ", file has " + std::to_string(coo.u.size()));
+  }
+  return Csr::FromCoo(coo);
+}
+
+util::Status SaveCsrBinary(const Csr& csr, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path + " for writing");
+  }
+  uint64_t n = csr.num_nodes();
+  uint64_t m = csr.num_edges();
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic) ||
+      std::fwrite(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fwrite(&m, sizeof(m), 1, f.get()) != 1) {
+    return util::Status::IoError("header write failed for " + path);
+  }
+  const auto& offsets = csr.u_offsets();
+  if (std::fwrite(offsets.data(), sizeof(EdgeId), offsets.size(), f.get()) !=
+      offsets.size()) {
+    return util::Status::IoError("offset write failed for " + path);
+  }
+  if (m > 0 && std::fwrite(csr.v().data(), sizeof(NodeId), csr.v().size(),
+                           f.get()) != csr.v().size()) {
+    return util::Status::IoError("edge write failed for " + path);
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<Csr> LoadCsrBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  char magic[8];
+  uint64_t n = 0;
+  uint64_t m = 0;
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    return util::Status::Corruption("bad magic in " + path);
+  }
+  if (std::fread(&n, sizeof(n), 1, f.get()) != 1 ||
+      std::fread(&m, sizeof(m), 1, f.get()) != 1) {
+    return util::Status::Corruption("truncated header in " + path);
+  }
+  if (n > 0xffffffffull) {
+    return util::Status::OutOfRange("num_nodes exceeds 32-bit range");
+  }
+  Csr csr;
+  auto& offsets = csr.mutable_u_offsets();
+  offsets.assign(n + 1, 0);
+  if (std::fread(offsets.data(), sizeof(EdgeId), offsets.size(), f.get()) !=
+      offsets.size()) {
+    return util::Status::Corruption("truncated offsets in " + path);
+  }
+  auto& v = csr.mutable_v();
+  v.assign(m, 0);
+  if (m > 0 && std::fread(v.data(), sizeof(NodeId), m, f.get()) != m) {
+    return util::Status::Corruption("truncated edges in " + path);
+  }
+  // Re-create through Coo to set num_nodes_ and enforce invariants.
+  Csr out;
+  {
+    Coo coo;
+    coo.num_nodes = static_cast<NodeId>(n);
+    coo.v.assign(v.begin(), v.end());
+    coo.u.reserve(m);
+    for (uint64_t u = 0; u < n; ++u) {
+      for (EdgeId e = offsets[u]; e < offsets[u + 1]; ++e) {
+        coo.u.push_back(static_cast<NodeId>(u));
+      }
+    }
+    out = Csr::FromCoo(coo);
+  }
+  SAGE_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace sage::graph

@@ -1,0 +1,35 @@
+#ifndef SAGE_GRAPH_IO_H_
+#define SAGE_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace sage::graph {
+
+/// Loads a whitespace-separated "u v" edge-list text file (SNAP style).
+/// Lines starting with '#' or '%' are comments. num_nodes is inferred as
+/// max id + 1 unless a larger hint is given.
+util::StatusOr<Coo> LoadEdgeListText(const std::string& path,
+                                     NodeId num_nodes_hint = 0);
+
+/// Writes "u v" lines.
+util::Status SaveEdgeListText(const Coo& coo, const std::string& path);
+
+/// Loads a METIS .graph file: header "num_nodes num_edges [fmt]", then one
+/// line per node listing its (1-indexed) neighbors. Weighted variants
+/// (fmt != 0) are rejected as Unimplemented.
+util::StatusOr<Csr> LoadMetisGraph(const std::string& path);
+
+/// Binary CSR container:
+///   magic "SAGECSR1" | u64 num_nodes | u64 num_edges |
+///   u64 u_offsets[num_nodes+1] | u32 v[num_edges]
+/// Round-trips exactly; used so benchmarks can cache generated datasets.
+util::Status SaveCsrBinary(const Csr& csr, const std::string& path);
+util::StatusOr<Csr> LoadCsrBinary(const std::string& path);
+
+}  // namespace sage::graph
+
+#endif  // SAGE_GRAPH_IO_H_

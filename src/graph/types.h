@@ -1,0 +1,23 @@
+#ifndef SAGE_GRAPH_TYPES_H_
+#define SAGE_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace sage::graph {
+
+/// Node identifier. 32 bits covers every dataset in the paper (friendster is
+/// 65.6M nodes) and matches the 4-byte labels the paper's memory-access
+/// amplification analysis assumes (Section 3.2).
+using NodeId = uint32_t;
+
+/// Edge index into a CSR adjacency array; 64 bits because edge counts exceed
+/// 2^32 (twitter: 1.46B, friendster: 1.81B).
+using EdgeId = uint64_t;
+
+/// Sentinel for "no node" (e.g., unreached BFS parents).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace sage::graph
+
+#endif  // SAGE_GRAPH_TYPES_H_

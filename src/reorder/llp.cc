@@ -1,0 +1,76 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "reorder/reorderers.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace sage::reorder {
+
+using graph::Csr;
+using graph::NodeId;
+
+ReorderResult LlpOrder(const Csr& csr, uint32_t passes, uint64_t seed) {
+  util::WallTimer timer;
+  const NodeId n = csr.num_nodes();
+
+  // Symmetrized adjacency for clustering.
+  Csr sym;
+  {
+    graph::Coo coo = csr.ToCoo();
+    graph::Symmetrize(coo);
+    graph::RemoveSelfLoops(coo);
+    graph::SortCoo(coo);
+    graph::DedupSortedCoo(coo);
+    sym = Csr::FromCoo(coo);
+  }
+
+  std::vector<NodeId> label(n);
+  for (NodeId v = 0; v < n; ++v) label[v] = v;
+
+  util::Rng rng(seed);
+  std::vector<NodeId> sweep(n);
+  for (NodeId v = 0; v < n; ++v) sweep[v] = v;
+
+  std::unordered_map<NodeId, uint32_t> counts;
+  for (uint32_t pass = 0; pass < passes; ++pass) {
+    rng.Shuffle(sweep);
+    bool changed = false;
+    for (NodeId u : sweep) {
+      auto nbrs = sym.Neighbors(u);
+      if (nbrs.empty()) continue;
+      counts.clear();
+      for (NodeId v : nbrs) ++counts[label[v]];
+      // Majority label; ties toward the smaller label for determinism.
+      NodeId best = label[u];
+      uint32_t best_count = 0;
+      for (const auto& [lbl, cnt] : counts) {
+        if (cnt > best_count || (cnt == best_count && lbl < best)) {
+          best = lbl;
+          best_count = cnt;
+        }
+      }
+      if (best != label[u]) {
+        label[u] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Group nodes by cluster label (stable within a cluster by id): nodes of
+  // a cluster receive contiguous indices.
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(),
+                   [&label](NodeId a, NodeId b) { return label[a] < label[b]; });
+
+  ReorderResult result;
+  result.new_of_old.resize(n);
+  for (NodeId rank = 0; rank < n; ++rank) result.new_of_old[order[rank]] = rank;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace sage::reorder

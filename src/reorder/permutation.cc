@@ -1,0 +1,69 @@
+#include "reorder/permutation.h"
+
+namespace sage::reorder {
+
+using graph::Csr;
+using graph::NodeId;
+
+std::vector<NodeId> IdentityPermutation(NodeId n) {
+  std::vector<NodeId> perm(n);
+  for (NodeId i = 0; i < n; ++i) perm[i] = i;
+  return perm;
+}
+
+bool IsPermutation(std::span<const NodeId> perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (NodeId p : perm) {
+    if (p >= perm.size() || seen[p]) return false;
+    seen[p] = true;
+  }
+  return true;
+}
+
+std::vector<NodeId> InvertPermutation(std::span<const NodeId> new_of_old) {
+  std::vector<NodeId> inverse(new_of_old.size());
+  for (size_t old_id = 0; old_id < new_of_old.size(); ++old_id) {
+    SAGE_DCHECK(new_of_old[old_id] < new_of_old.size());
+    inverse[new_of_old[old_id]] = static_cast<NodeId>(old_id);
+  }
+  return inverse;
+}
+
+std::vector<NodeId> ComposePermutations(std::span<const NodeId> first,
+                                        std::span<const NodeId> second) {
+  SAGE_CHECK_EQ(first.size(), second.size());
+  std::vector<NodeId> out(first.size());
+  for (size_t i = 0; i < first.size(); ++i) out[i] = second[first[i]];
+  return out;
+}
+
+Csr ApplyToCsr(const Csr& csr, std::span<const NodeId> new_of_old) {
+  SAGE_CHECK_EQ(static_cast<size_t>(csr.num_nodes()), new_of_old.size());
+  const NodeId n = csr.num_nodes();
+  std::vector<NodeId> old_of_new = InvertPermutation(new_of_old);
+
+  graph::Coo coo;
+  coo.num_nodes = n;
+  coo.u.reserve(csr.num_edges());
+  coo.v.reserve(csr.num_edges());
+  // Emit nodes in *new* id order so FromCoo's scatter preserves each
+  // adjacency list's relative order without a sort.
+  for (NodeId new_u = 0; new_u < n; ++new_u) {
+    NodeId old_u = old_of_new[new_u];
+    for (NodeId old_v : csr.Neighbors(old_u)) {
+      coo.u.push_back(new_u);
+      coo.v.push_back(new_of_old[old_v]);
+    }
+  }
+  return Csr::FromCoo(coo);
+}
+
+void RemapIds(std::span<const NodeId> new_of_old,
+              std::vector<NodeId>& ids) {
+  for (NodeId& id : ids) {
+    SAGE_DCHECK(id < new_of_old.size());
+    id = new_of_old[id];
+  }
+}
+
+}  // namespace sage::reorder

@@ -1,0 +1,56 @@
+#ifndef SAGE_REORDER_PERMUTATION_H_
+#define SAGE_REORDER_PERMUTATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "util/logging.h"
+
+namespace sage::reorder {
+
+/// A node relabeling σ is represented as `new_of_old`: new_of_old[old] is
+/// the node's new id. All reordering methods (RCM, LLP, Gorder and SAGE's
+/// Sampling-based Reordering) produce this form.
+
+/// Identity permutation of size n.
+std::vector<graph::NodeId> IdentityPermutation(graph::NodeId n);
+
+/// True if `perm` is a bijection on [0, perm.size()).
+bool IsPermutation(std::span<const graph::NodeId> perm);
+
+/// inverse[new] == old.
+std::vector<graph::NodeId> InvertPermutation(
+    std::span<const graph::NodeId> new_of_old);
+
+/// Composition: applying `first` then `second`; result[old] ==
+/// second[first[old]].
+std::vector<graph::NodeId> ComposePermutations(
+    std::span<const graph::NodeId> first,
+    std::span<const graph::NodeId> second);
+
+/// Relabels a CSR under σ: node u becomes new_of_old[u] and every neighbor
+/// id is mapped. Adjacency lists keep their relative edge order (the engine
+/// does not require sorted lists; memory behaviour is what changes).
+graph::Csr ApplyToCsr(const graph::Csr& csr,
+                      std::span<const graph::NodeId> new_of_old);
+
+/// Permutes a node-attribute vector: out[new_of_old[i]] = in[i].
+template <typename T>
+std::vector<T> PermuteVector(const std::vector<T>& in,
+                             std::span<const graph::NodeId> new_of_old) {
+  SAGE_CHECK_EQ(in.size(), new_of_old.size());
+  std::vector<T> out(in.size());
+  for (size_t i = 0; i < in.size(); ++i) out[new_of_old[i]] = in[i];
+  return out;
+}
+
+/// Remaps a list of node ids in place: id -> new_of_old[id].
+void RemapIds(std::span<const graph::NodeId> new_of_old,
+              std::vector<graph::NodeId>& ids);
+
+}  // namespace sage::reorder
+
+#endif  // SAGE_REORDER_PERMUTATION_H_

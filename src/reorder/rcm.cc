@@ -1,0 +1,106 @@
+#include <algorithm>
+#include <deque>
+
+#include "reorder/permutation.h"
+#include "reorder/reorderers.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace sage::reorder {
+
+using graph::Csr;
+using graph::NodeId;
+
+namespace {
+
+// Symmetrized adjacency (union of out- and in-edges), deduped.
+Csr Symmetrized(const Csr& csr) {
+  graph::Coo coo = csr.ToCoo();
+  graph::Symmetrize(coo);
+  graph::RemoveSelfLoops(coo);
+  graph::SortCoo(coo);
+  graph::DedupSortedCoo(coo);
+  return Csr::FromCoo(coo);
+}
+
+}  // namespace
+
+ReorderResult RcmOrder(const Csr& csr) {
+  util::WallTimer timer;
+  const NodeId n = csr.num_nodes();
+  Csr sym = Symmetrized(csr);
+
+  std::vector<NodeId> order;  // Cuthill-McKee visitation order
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+
+  // Nodes sorted by (degree, id): component seeds are minimum-degree.
+  std::vector<NodeId> by_degree(n);
+  for (NodeId v = 0; v < n; ++v) by_degree[v] = v;
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&sym](NodeId a, NodeId b) {
+                     return sym.OutDegree(a) < sym.OutDegree(b);
+                   });
+
+  std::vector<NodeId> nbrs;
+  for (NodeId seed : by_degree) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    std::deque<NodeId> queue{seed};
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      order.push_back(u);
+      nbrs.assign(sym.Neighbors(u).begin(), sym.Neighbors(u).end());
+      std::stable_sort(nbrs.begin(), nbrs.end(),
+                       [&sym](NodeId a, NodeId b) {
+                         return sym.OutDegree(a) < sym.OutDegree(b);
+                       });
+      for (NodeId v : nbrs) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  SAGE_CHECK_EQ(order.size(), static_cast<size_t>(n));
+
+  ReorderResult result;
+  result.new_of_old.resize(n);
+  // Reverse Cuthill-McKee: last visited gets the smallest index.
+  for (NodeId rank = 0; rank < n; ++rank) {
+    result.new_of_old[order[rank]] = n - 1 - rank;
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+ReorderResult DegreeOrder(const Csr& csr) {
+  util::WallTimer timer;
+  const NodeId n = csr.num_nodes();
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&csr](NodeId a, NodeId b) {
+    return csr.OutDegree(a) > csr.OutDegree(b);
+  });
+  ReorderResult result;
+  result.new_of_old.resize(n);
+  for (NodeId rank = 0; rank < n; ++rank) result.new_of_old[order[rank]] = rank;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+ReorderResult RandomOrder(const Csr& csr, uint64_t seed) {
+  util::WallTimer timer;
+  const NodeId n = csr.num_nodes();
+  ReorderResult result;
+  result.new_of_old = IdentityPermutation(n);
+  util::Rng rng(seed);
+  rng.Shuffle(result.new_of_old);
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace sage::reorder

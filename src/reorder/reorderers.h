@@ -1,0 +1,51 @@
+#ifndef SAGE_REORDER_REORDERERS_H_
+#define SAGE_REORDER_REORDERERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace sage::reorder {
+
+/// A reordering baseline's output: the relabeling plus its preprocessing
+/// wall-clock cost (the quantity Table 2 reports). These are the offline,
+/// whole-graph methods SAGE's on-the-fly Sampling-based Reordering is
+/// compared against (Section 7.2).
+struct ReorderResult {
+  std::vector<graph::NodeId> new_of_old;
+  double seconds = 0.0;
+};
+
+/// Reversed Cuthill-McKee [10]: BFS over the symmetrized graph from a
+/// minimum-degree seed per component, neighbors visited in ascending-degree
+/// order, final order reversed. Reduces adjacency-matrix bandwidth.
+ReorderResult RcmOrder(const graph::Csr& csr);
+
+/// Layered Label Propagation [5] (simplified single-layer variant):
+/// `passes` synchronous label-propagation sweeps over the symmetrized
+/// graph; nodes are then grouped by their final cluster label, giving
+/// contiguous indices within clusters.
+ReorderResult LlpOrder(const graph::Csr& csr, uint32_t passes = 8,
+                       uint64_t seed = 1);
+
+/// Gorder [49]: greedy maximization of the windowed locality score
+/// Gscore (shared in-neighbors + direct edges within a sliding window of
+/// `window`), via a lazy max-heap. `hub_cap` skips score propagation
+/// through nodes whose degree exceeds the cap (the standard practical
+/// mitigation; without it the update cost is quadratic in hub degree —
+/// which is exactly why Gorder's preprocessing dominates Table 2).
+ReorderResult GorderOrder(const graph::Csr& csr, uint32_t window = 5,
+                          uint32_t hub_cap = 32);
+
+/// Descending out-degree order (a cheap locality heuristic baseline).
+ReorderResult DegreeOrder(const graph::Csr& csr);
+
+/// Uniformly random relabeling — the adversarial baseline for tests.
+ReorderResult RandomOrder(const graph::Csr& csr, uint64_t seed);
+
+}  // namespace sage::reorder
+
+#endif  // SAGE_REORDER_REORDERERS_H_

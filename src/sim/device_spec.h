@@ -1,0 +1,86 @@
+#ifndef SAGE_SIM_DEVICE_SPEC_H_
+#define SAGE_SIM_DEVICE_SPEC_H_
+
+#include <cstdint>
+
+namespace sage::sim {
+
+/// Parameters of the simulated GPU. Defaults approximate one NVIDIA Quadro
+/// RTX 8000 (the paper's testbed; Section 7.1) at the granularity the cost
+/// model needs. Every constant is a knob so benchmarks can run sensitivity
+/// sweeps (see bench_ablation_extra).
+///
+/// The simulator is *functionally exact* (it executes the real algorithms)
+/// and *cost-approximate*: time = modeled cycles / clock. See DESIGN.md §3.
+struct DeviceSpec {
+  // --- Compute geometry -------------------------------------------------
+  /// Number of streaming multiprocessors (RTX 8000: 72).
+  uint32_t num_sms = 72;
+  /// SIMT width; the minimum scheduling granularity (Section 2.1).
+  uint32_t warp_size = 32;
+  /// Threads per block used by the graph kernels.
+  uint32_t block_size = 256;
+  /// Resident-warp capacity per SM; bounds latency hiding.
+  uint32_t max_resident_warps = 32;
+
+  // --- Memory geometry ---------------------------------------------------
+  /// Physical memory sector: the unit the paper's locality objective counts
+  /// (Section 6). NVIDIA DRAM sectors are 32 bytes.
+  uint32_t sector_bytes = 32;
+  /// L2 cache line (4 sectors on NVIDIA parts; "as large as 128 bytes",
+  /// Section 3.2).
+  uint32_t cacheline_bytes = 128;
+  /// Device-level L2 capacity. Scaled down with the scaled datasets so the
+  /// cache-pressure regime matches the paper's (graph >> L2).
+  uint64_t l2_bytes = 2ull << 20;
+  /// L2 associativity (sectored, LRU within a set).
+  uint32_t l2_ways = 16;
+
+  // --- Timing ------------------------------------------------------------
+  /// SM clock in GHz (RTX 8000 boost ~1.77; we use a round base clock).
+  double clock_ghz = 1.5;
+  /// Sector service cost when it hits in L2 (bandwidth term).
+  uint32_t l2_hit_sector_cycles = 2;
+  /// Sector service cost on an L2 miss (DRAM bandwidth term).
+  uint32_t dram_sector_cycles = 8;
+  /// Exposed latency of a dependent L2 hit / DRAM access before hiding.
+  uint32_t l2_latency_cycles = 120;
+  uint32_t dram_latency_cycles = 400;
+  /// Fraction of a stalled batch's latency hidden per resident warp.
+  double latency_hide_per_warp = 0.35;
+  /// Fixed cost of launching a kernel (driver + dispatch).
+  uint32_t kernel_launch_cycles = 4000;
+  /// Cooperative-group vote / shuffle / elect instruction cost.
+  uint32_t cg_op_cycles = 2;
+  /// Block-wide barrier cost (__syncthreads / cg sync).
+  uint32_t sync_cycles = 24;
+  /// Cost of one atomic RMW that conflicts with another lane in the same
+  /// tile access (serialization penalty; Section 7.2's "atomicity" factor).
+  uint32_t atomic_conflict_cycles = 12;
+
+  // --- Host link (out-of-core; Section 3.3) -------------------------------
+  /// Effective PCIe payload bandwidth in GB/s (PCIe 3.0 x16 ~ 12 GB/s).
+  double pcie_gbps = 12.0;
+  /// One-way request latency in SM cycles.
+  uint32_t pcie_latency_cycles = 2000;
+  /// Per-frame control-segment overhead (header) in bytes.
+  uint32_t pcie_frame_header_bytes = 24;
+  /// Maximum payload per frame (PCIe TLP max payload).
+  uint32_t pcie_max_payload_bytes = 256;
+
+  // --- Peer link (multi-GPU; Figure 9) ------------------------------------
+  double peer_gbps = 40.0;
+  uint32_t peer_latency_cycles = 900;
+
+  /// Node-attribute values per sector (paper's example: 4-byte labels →
+  /// 8 per 32-byte sector).
+  uint32_t ValuesPerSector() const { return sector_bytes / 4; }
+
+  /// Payload bytes transferred per cycle on the host link.
+  double PcieBytesPerCycle() const { return pcie_gbps / clock_ghz; }
+  double PeerBytesPerCycle() const { return peer_gbps / clock_ghz; }
+};
+
+}  // namespace sage::sim
+
+#endif  // SAGE_SIM_DEVICE_SPEC_H_

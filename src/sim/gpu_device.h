@@ -1,0 +1,117 @@
+#ifndef SAGE_SIM_GPU_DEVICE_H_
+#define SAGE_SIM_GPU_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/device_spec.h"
+#include "sim/kernel_stats.h"
+#include "sim/link.h"
+#include "sim/memory_sim.h"
+
+namespace sage::sim {
+
+/// One simulated GPU: a memory system, a host (PCIe) link, and per-SM
+/// execution counters. Engines (SAGE and the baselines) express their work
+/// as charges against SMs; EndKernel() folds the counters through the cost
+/// model (DESIGN.md §3) into modeled seconds.
+///
+/// The cost model per SM:
+///   service  = hit_sectors·c_hit + miss_sectors·c_dram + host_link_cycles
+///   busy     = max(compute_cycles, service)          (issue/memory overlap)
+///   exposed  = Σ latency_events·latency / (1 + h·(resident_warps − 1))
+///   T_sm     = busy + exposed
+///   T_kernel = max_sm T_sm + launch_overhead
+///
+/// `exposed` is how Resident Tile Stealing shows up: feeding every SM keeps
+/// resident_warps high, which hides the long dependent-load latencies that
+/// otherwise dominate memory-intensive traversal (Section 5.2).
+class GpuDevice {
+ public:
+  explicit GpuDevice(const DeviceSpec& spec);
+
+  GpuDevice(const GpuDevice&) = delete;
+  GpuDevice& operator=(const GpuDevice&) = delete;
+
+  const DeviceSpec& spec() const { return spec_; }
+  MemorySim& mem() { return mem_; }
+  const MemorySim& mem() const { return mem_; }
+  LinkModel& host_link() { return host_link_; }
+  const LinkModel& host_link() const { return host_link_; }
+
+  /// Resets per-kernel counters; must bracket every kernel.
+  void BeginKernel();
+
+  /// Charges plain instruction cycles to an SM.
+  void ChargeCompute(uint32_t sm, uint64_t cycles);
+
+  /// Charges runtime-scheduling cycles (elections, votes, partitioning) —
+  /// counted both as compute and as Tiled Partitioning overhead (Table 3).
+  void ChargeTpOverhead(uint32_t sm, uint64_t cycles);
+
+  /// Registers `count` warps' worth of work dispatched to an SM (occupancy).
+  void ChargeWarps(uint32_t sm, uint64_t count = 1);
+
+  /// Charges one dependent memory batch (a tile gather) to an SM. Device
+  /// buffers go through the L2 model; host buffers go through the PCIe
+  /// on-demand path with frame accounting.
+  AccessResult Access(uint32_t sm, const Buffer& buffer,
+                      const std::vector<uint64_t>& elem_indices);
+
+  /// Contiguous batch [first, first+count).
+  AccessResult AccessRange(uint32_t sm, const Buffer& buffer, uint64_t first,
+                           uint64_t count);
+
+  /// Charges `n` intra-tile atomic conflicts (serialized RMWs).
+  void ChargeAtomicConflicts(uint32_t sm, uint64_t n);
+
+  /// Charges a bulk streaming sweep of `bytes` (sort / permute / compaction
+  /// kernels): pure DRAM bandwidth, no reuse (bypasses the L2 model), one
+  /// exposed-latency event. O(1) — use for whole-array kernels where
+  /// element-wise simulation would add nothing.
+  void ChargeStreamingBytes(uint32_t sm, uint64_t bytes);
+
+  /// Charges an asynchronous bulk host transfer overlapping the kernel
+  /// (Subway-style preloading). Returns the transfer's cycles; the caller
+  /// decides how much of it overlaps compute.
+  LinkModel::Transfer BulkHostTransfer(uint64_t payload_bytes);
+
+  /// Ends the kernel and returns its modeled result; accumulates totals.
+  KernelResult EndKernel();
+
+  /// SM with the smallest accumulated busy proxy — the simulator's model of
+  /// a global work queue pop (work stealing assigns the next unit here).
+  uint32_t LeastLoadedSm() const;
+
+  /// Static round-robin block placement used by non-stealing engines.
+  uint32_t StaticSmForBlock(uint64_t block_index) const {
+    return static_cast<uint32_t>(block_index % spec_.num_sms);
+  }
+
+  DeviceTotals& totals() { return totals_; }
+  const DeviceTotals& totals() const { return totals_; }
+  void ResetTotals();
+
+  /// Adds host-side pipeline seconds that are not kernel time (e.g. the
+  /// synchronous part of an out-of-core transfer) to the running totals.
+  void AddExternalSeconds(double seconds);
+
+  double CyclesToSeconds(double cycles) const {
+    return cycles / (spec_.clock_ghz * 1e9);
+  }
+
+ private:
+  double SmBusyProxy(uint32_t sm) const;
+
+  DeviceSpec spec_;
+  MemorySim mem_;
+  LinkModel host_link_;
+  std::vector<SmCounters> sms_;
+  bool in_kernel_ = false;
+  DeviceTotals totals_;
+  std::vector<uint64_t> scratch_idx_;
+};
+
+}  // namespace sage::sim
+
+#endif  // SAGE_SIM_GPU_DEVICE_H_

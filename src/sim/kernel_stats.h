@@ -1,0 +1,54 @@
+#ifndef SAGE_SIM_KERNEL_STATS_H_
+#define SAGE_SIM_KERNEL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sage::sim {
+
+/// Per-SM counters accumulated while a kernel executes.
+struct SmCounters {
+  /// Issued instruction cycles (includes tp_overhead_cycles).
+  uint64_t compute_cycles = 0;
+  /// The subset of compute spent on runtime scheduling: leader elections,
+  /// votes, shuffles and tile partitioning. This is what Table 3 reports.
+  uint64_t tp_overhead_cycles = 0;
+  /// Sector bandwidth demand, split by where it was serviced.
+  uint64_t hit_sectors = 0;
+  uint64_t miss_sectors = 0;
+  /// Dependent-access stalls (one per tile gather), by latency class.
+  uint64_t l2_latency_events = 0;
+  uint64_t dram_latency_events = 0;
+  /// Serialized on-demand host-link service cycles and request count.
+  double host_link_cycles = 0.0;
+  uint64_t host_latency_events = 0;
+  /// Warps' worth of work dispatched to this SM (occupancy proxy).
+  uint64_t warps_launched = 0;
+  /// Atomic RMW serialization events charged to this SM.
+  uint64_t atomic_conflicts = 0;
+};
+
+/// Modeled result of one kernel launch.
+struct KernelResult {
+  double seconds = 0.0;
+  double max_sm_cycles = 0.0;
+  /// Busy cycles of the least- and most-loaded SM; their ratio is the
+  /// inter-SM load-balance metric the ablation study reports.
+  double min_sm_busy = 0.0;
+  double max_sm_busy = 0.0;
+  uint64_t total_compute_cycles = 0;
+  uint64_t total_tp_overhead_cycles = 0;
+  uint64_t total_sectors = 0;
+};
+
+/// Running totals across all kernels of an app execution.
+struct DeviceTotals {
+  double seconds = 0.0;
+  uint64_t kernels = 0;
+  double tp_overhead_seconds = 0.0;
+  std::vector<double> per_kernel_seconds;
+};
+
+}  // namespace sage::sim
+
+#endif  // SAGE_SIM_KERNEL_STATS_H_

@@ -1,0 +1,64 @@
+#include "sim/link.h"
+
+#include "util/logging.h"
+
+namespace sage::sim {
+
+LinkModel::LinkModel(double bytes_per_cycle, uint32_t latency_cycles,
+                     uint32_t frame_header_bytes, uint32_t max_payload_bytes)
+    : bytes_per_cycle_(bytes_per_cycle),
+      latency_cycles_(latency_cycles),
+      frame_header_bytes_(frame_header_bytes),
+      max_payload_bytes_(max_payload_bytes) {
+  SAGE_CHECK_GT(bytes_per_cycle, 0.0);
+  SAGE_CHECK_GT(max_payload_bytes, 0u);
+}
+
+LinkModel::Transfer LinkModel::Finish(uint64_t frames, uint64_t payload) {
+  Transfer t;
+  t.frames = frames;
+  t.payload_bytes = payload;
+  t.wire_bytes = payload + frames * frame_header_bytes_;
+  t.cycles = static_cast<double>(latency_cycles_) +
+             static_cast<double>(t.wire_bytes) / bytes_per_cycle_;
+  ++stats_.transfers;
+  stats_.frames += t.frames;
+  stats_.payload_bytes += t.payload_bytes;
+  stats_.wire_bytes += t.wire_bytes;
+  stats_.busy_cycles += t.cycles;
+  return t;
+}
+
+LinkModel::Transfer LinkModel::RequestSectors(
+    const std::vector<uint64_t>& sorted_sector_ids, uint32_t sector_bytes) {
+  if (sorted_sector_ids.empty()) return Transfer{};
+  const uint64_t sectors_per_frame =
+      std::max<uint64_t>(1, max_payload_bytes_ / sector_bytes);
+  uint64_t frames = 0;
+  uint64_t run_len = 0;
+  uint64_t prev = ~0ull;
+  for (uint64_t s : sorted_sector_ids) {
+    SAGE_DCHECK(prev == ~0ull || s >= prev);
+    if (run_len > 0 && s == prev + 1 && run_len < sectors_per_frame) {
+      ++run_len;
+    } else if (run_len > 0 && s == prev) {
+      // duplicate sector (caller should have deduped; tolerate it)
+      continue;
+    } else {
+      ++frames;
+      run_len = 1;
+    }
+    prev = s;
+  }
+  return Finish(frames,
+                static_cast<uint64_t>(sorted_sector_ids.size()) * sector_bytes);
+}
+
+LinkModel::Transfer LinkModel::BulkTransfer(uint64_t payload_bytes) {
+  if (payload_bytes == 0) return Transfer{};
+  uint64_t frames =
+      (payload_bytes + max_payload_bytes_ - 1) / max_payload_bytes_;
+  return Finish(frames, payload_bytes);
+}
+
+}  // namespace sage::sim

@@ -1,0 +1,71 @@
+#ifndef SAGE_SIM_LINK_H_
+#define SAGE_SIM_LINK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sage::sim {
+
+/// Communication-link model (PCIe host link or GPU peer link). Every frame
+/// carries a control segment (header) and a data segment (payload); small
+/// scattered requests waste bandwidth on headers while merged/aligned bulk
+/// transfers approach the payload bandwidth — exactly the trade-off
+/// Section 3.3 describes for out-of-core graph access.
+class LinkModel {
+ public:
+  /// One logical transfer over the link.
+  struct Transfer {
+    uint64_t frames = 0;
+    uint64_t payload_bytes = 0;
+    uint64_t wire_bytes = 0;  ///< payload + per-frame headers
+    double cycles = 0.0;      ///< service time incl. one request latency
+  };
+
+  /// Cumulative link counters.
+  struct Stats {
+    uint64_t transfers = 0;
+    uint64_t frames = 0;
+    uint64_t payload_bytes = 0;
+    uint64_t wire_bytes = 0;
+    double busy_cycles = 0.0;
+
+    /// Effective payload ratio (1.0 = no header overhead).
+    double Efficiency() const {
+      return wire_bytes == 0 ? 0.0
+                             : static_cast<double>(payload_bytes) /
+                                   static_cast<double>(wire_bytes);
+    }
+  };
+
+  LinkModel(double bytes_per_cycle, uint32_t latency_cycles,
+            uint32_t frame_header_bytes, uint32_t max_payload_bytes);
+
+  /// On-demand access to a set of sectors. Consecutive sector ids are merged
+  /// into one frame (up to max payload) — the "merged and aligned" behaviour
+  /// of [Min et al., 31]; scattered ids pay one header each.
+  Transfer RequestSectors(const std::vector<uint64_t>& sorted_sector_ids,
+                          uint32_t sector_bytes);
+
+  /// Planned bulk DMA of payload_bytes (Subway-style preloading): headers
+  /// amortize over maximal frames.
+  Transfer BulkTransfer(uint64_t payload_bytes);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  double bytes_per_cycle() const { return bytes_per_cycle_; }
+  uint32_t latency_cycles() const { return latency_cycles_; }
+
+ private:
+  Transfer Finish(uint64_t frames, uint64_t payload);
+
+  double bytes_per_cycle_;
+  uint32_t latency_cycles_;
+  uint32_t frame_header_bytes_;
+  uint32_t max_payload_bytes_;
+  Stats stats_;
+};
+
+}  // namespace sage::sim
+
+#endif  // SAGE_SIM_LINK_H_

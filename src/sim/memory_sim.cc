@@ -1,0 +1,131 @@
+#include "sim/memory_sim.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sage::sim {
+
+MemorySim::MemorySim(const DeviceSpec& spec) : spec_(spec) {
+  SAGE_CHECK_GT(spec.sector_bytes, 0u);
+  SAGE_CHECK_EQ(spec.cacheline_bytes % spec.sector_bytes, 0u);
+  uint64_t num_sectors_in_l2 = spec.l2_bytes / spec.sector_bytes;
+  uint64_t num_sets = std::max<uint64_t>(1, num_sectors_in_l2 / spec.l2_ways);
+  sets_.resize(num_sets);
+  for (auto& set : sets_) {
+    set.tags.assign(spec.l2_ways, 0);
+    set.stamps.assign(spec.l2_ways, 0);
+  }
+}
+
+Buffer MemorySim::Register(const std::string& name, uint64_t num_elems,
+                           uint32_t elem_bytes, MemSpace space) {
+  (void)name;  // kept for debugging hooks
+  SAGE_CHECK_GT(elem_bytes, 0u);
+  Buffer buf;
+  buf.id = next_id_++;
+  buf.base = next_base_;
+  buf.elem_bytes = elem_bytes;
+  buf.num_elems = num_elems;
+  buf.space = space;
+  uint64_t bytes = num_elems * elem_bytes;
+  // Align the next base to a cache line so buffers never share sectors.
+  uint64_t line = spec_.cacheline_bytes;
+  next_base_ += (bytes + line - 1) / line * line + line;
+  return buf;
+}
+
+bool MemorySim::ProbeL2(uint64_t sector) {
+  // Tag 0 marks an empty way, so displace real tags by 1.
+  uint64_t tag = sector + 1;
+  L2Set& set = sets_[sector % sets_.size()];
+  ++lru_clock_;
+  uint32_t victim = 0;
+  uint64_t oldest = ~0ull;
+  for (uint32_t w = 0; w < set.tags.size(); ++w) {
+    if (set.tags[w] == tag) {
+      set.stamps[w] = lru_clock_;
+      return true;
+    }
+    if (set.stamps[w] < oldest) {
+      oldest = set.stamps[w];
+      victim = w;
+    }
+  }
+  set.tags[victim] = tag;
+  set.stamps[victim] = lru_clock_;
+  return false;
+}
+
+AccessResult MemorySim::Access(const Buffer& buffer,
+                               const std::vector<uint64_t>& elem_indices) {
+  AccessResult result;
+  if (elem_indices.empty()) return result;
+  auto& sectors = scratch_sectors_;
+  sectors.clear();
+  for (uint64_t i : elem_indices) {
+    SAGE_DCHECK(i < buffer.num_elems);
+    sectors.push_back(buffer.Addr(i) / spec_.sector_bytes);
+  }
+  std::sort(sectors.begin(), sectors.end());
+  sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
+  result.sectors = static_cast<uint32_t>(sectors.size());
+  result.useful_bytes =
+      static_cast<uint32_t>(elem_indices.size() * buffer.elem_bytes);
+
+  MemStats& stats =
+      buffer.space == MemSpace::kDevice ? device_stats_ : host_stats_;
+  if (buffer.space == MemSpace::kDevice) {
+    for (uint64_t s : sectors) {
+      if (ProbeL2(s)) {
+        ++result.l2_hits;
+      } else {
+        ++result.l2_misses;
+      }
+    }
+  } else {
+    // Host memory is not cached by the device L2 in the on-demand model.
+    result.l2_misses = result.sectors;
+  }
+  ++stats.batches;
+  stats.sectors += result.sectors;
+  stats.l2_hits += result.l2_hits;
+  stats.l2_misses += result.l2_misses;
+  stats.useful_bytes += result.useful_bytes;
+  stats.loaded_bytes +=
+      static_cast<uint64_t>(result.sectors) * spec_.sector_bytes;
+  return result;
+}
+
+AccessResult MemorySim::AccessRange(const Buffer& buffer, uint64_t first,
+                                    uint64_t count) {
+  std::vector<uint64_t> idx(count);
+  for (uint64_t i = 0; i < count; ++i) idx[i] = first + i;
+  return Access(buffer, idx);
+}
+
+uint32_t MemorySim::CountDistinctSectors(
+    const Buffer& buffer, const std::vector<uint64_t>& elem_indices) const {
+  auto& sectors = scratch_sectors_;
+  sectors.clear();
+  for (uint64_t i : elem_indices) {
+    sectors.push_back(buffer.Addr(i) / spec_.sector_bytes);
+  }
+  std::sort(sectors.begin(), sectors.end());
+  sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
+  return static_cast<uint32_t>(sectors.size());
+}
+
+void MemorySim::FlushL2() {
+  for (auto& set : sets_) {
+    std::fill(set.tags.begin(), set.tags.end(), 0);
+    std::fill(set.stamps.begin(), set.stamps.end(), 0);
+  }
+}
+
+void MemorySim::ResetStats() {
+  device_stats_ = MemStats();
+  host_stats_ = MemStats();
+}
+
+}  // namespace sage::sim

@@ -1,0 +1,123 @@
+#ifndef SAGE_SIM_MEMORY_SIM_H_
+#define SAGE_SIM_MEMORY_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/device_spec.h"
+
+namespace sage::sim {
+
+/// Where a registered buffer physically lives. Host buffers are reached
+/// through the PCIe link model (out-of-core scenario, Section 3.3).
+enum class MemSpace {
+  kDevice,
+  kHost,
+};
+
+/// Handle to a registered linear buffer in the simulated address space.
+struct Buffer {
+  uint32_t id = 0;
+  uint64_t base = 0;
+  uint32_t elem_bytes = 4;
+  uint64_t num_elems = 0;
+  MemSpace space = MemSpace::kDevice;
+
+  /// Simulated byte address of element i.
+  uint64_t Addr(uint64_t i) const { return base + i * elem_bytes; }
+};
+
+/// Result of charging one batch of addresses to the memory system.
+struct AccessResult {
+  uint32_t sectors = 0;      ///< distinct sectors touched
+  uint32_t l2_hits = 0;      ///< of which serviced from L2
+  uint32_t l2_misses = 0;    ///< of which went to DRAM (or host link)
+  uint32_t useful_bytes = 0; ///< bytes the lanes actually consumed
+};
+
+/// Cumulative counters for one memory space.
+struct MemStats {
+  uint64_t batches = 0;
+  uint64_t sectors = 0;
+  uint64_t l2_hits = 0;
+  uint64_t l2_misses = 0;
+  uint64_t useful_bytes = 0;
+  uint64_t loaded_bytes = 0;
+
+  /// Memory access amplification (Section 3.2): loaded / useful. 1.0 is
+  /// perfect coalescing; 8.0 means 4-byte values scattered one per sector.
+  double Amplification() const {
+    return useful_bytes == 0
+               ? 0.0
+               : static_cast<double>(loaded_bytes) /
+                     static_cast<double>(useful_bytes);
+  }
+  double L2HitRate() const {
+    uint64_t total = l2_hits + l2_misses;
+    return total == 0 ? 0.0 : static_cast<double>(l2_hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Sector-granular memory system model: a linear simulated address space
+/// plus a sectored, set-associative, LRU L2. This is where the paper's
+/// central quantity — "count(distinct(floor(neighbors / sector_wide)))",
+/// Section 6 — is measured for every tile access.
+class MemorySim {
+ public:
+  explicit MemorySim(const DeviceSpec& spec);
+
+  /// Registers a buffer of num_elems elements of elem_bytes each; the base
+  /// address is cacheline-aligned and buffers never overlap.
+  Buffer Register(const std::string& name, uint64_t num_elems,
+                  uint32_t elem_bytes, MemSpace space = MemSpace::kDevice);
+
+  /// Charges a batch of element addresses (one per lane of a tile access).
+  /// Deduplicates to distinct sectors and probes the L2 once per sector.
+  /// Host-space addresses bypass the L2 (they are charged to the PCIe
+  /// model by the caller) and are reported entirely as misses.
+  AccessResult Access(const Buffer& buffer,
+                      const std::vector<uint64_t>& elem_indices);
+
+  /// Convenience for a single contiguous range [first, first+count) of a
+  /// buffer (fully coalesced access).
+  AccessResult AccessRange(const Buffer& buffer, uint64_t first,
+                           uint64_t count);
+
+  /// Distinct sectors spanned by a set of element indices, without charging
+  /// the cache (used by the reorder sampler's hypothetical evaluations).
+  uint32_t CountDistinctSectors(const Buffer& buffer,
+                                const std::vector<uint64_t>& elem_indices) const;
+
+  /// Invalidates the entire L2 (between kernels of unrelated apps).
+  void FlushL2();
+
+  const MemStats& device_stats() const { return device_stats_; }
+  const MemStats& host_stats() const { return host_stats_; }
+  void ResetStats();
+
+  const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  struct L2Set {
+    std::vector<uint64_t> tags;    // sector tags, one per way (0 = empty)
+    std::vector<uint64_t> stamps;  // LRU stamps
+  };
+
+  /// Probes (and fills) the L2 for a sector tag; returns true on hit.
+  bool ProbeL2(uint64_t sector);
+
+  DeviceSpec spec_;
+  uint64_t next_base_ = 0;
+  uint32_t next_id_ = 1;
+  std::vector<L2Set> sets_;
+  uint64_t lru_clock_ = 0;
+  MemStats device_stats_;
+  MemStats host_stats_;
+  mutable std::vector<uint64_t> scratch_sectors_;
+};
+
+}  // namespace sage::sim
+
+#endif  // SAGE_SIM_MEMORY_SIM_H_

@@ -1,0 +1,73 @@
+#include "sim/profile.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace sage::sim {
+
+namespace {
+
+void Appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string FormatDeviceProfile(const GpuDevice& device) {
+  std::string out;
+  const DeviceTotals& totals = device.totals();
+  Appendf(out, "=== device profile ===\n");
+  Appendf(out, "kernels launched : %llu\n",
+          static_cast<unsigned long long>(totals.kernels));
+  Appendf(out, "total GPU time   : %.3f ms\n", totals.seconds * 1e3);
+  Appendf(out, "TP scheduling    : %.3f ms (%.1f%%)\n",
+          totals.tp_overhead_seconds * 1e3,
+          totals.seconds > 0
+              ? 100.0 * totals.tp_overhead_seconds / totals.seconds
+              : 0.0);
+  if (!totals.per_kernel_seconds.empty()) {
+    auto sorted = totals.per_kernel_seconds;
+    std::sort(sorted.begin(), sorted.end());
+    auto pct = [&sorted](double p) {
+      size_t i = static_cast<size_t>(p * (sorted.size() - 1));
+      return sorted[i] * 1e6;
+    };
+    Appendf(out, "kernel time      : p50 %.1fus  p90 %.1fus  max %.1fus\n",
+            pct(0.5), pct(0.9), pct(1.0));
+  }
+
+  const MemStats& mem = device.mem().device_stats();
+  Appendf(out, "--- device memory ---\n");
+  Appendf(out, "batches          : %llu\n",
+          static_cast<unsigned long long>(mem.batches));
+  Appendf(out, "sectors touched  : %llu (%.1f MB loaded)\n",
+          static_cast<unsigned long long>(mem.sectors),
+          static_cast<double>(mem.loaded_bytes) / 1e6);
+  Appendf(out, "L2 hit rate      : %.1f%%\n", 100.0 * mem.L2HitRate());
+  Appendf(out, "amplification    : %.2fx (useful %.1f MB)\n",
+          mem.Amplification(),
+          static_cast<double>(mem.useful_bytes) / 1e6);
+
+  const LinkModel::Stats& link = device.host_link().stats();
+  if (link.transfers > 0) {
+    Appendf(out, "--- host link (PCIe) ---\n");
+    Appendf(out, "transfers        : %llu (%llu frames)\n",
+            static_cast<unsigned long long>(link.transfers),
+            static_cast<unsigned long long>(link.frames));
+    Appendf(out, "wire traffic     : %.1f MB, payload ratio %.2f\n",
+            static_cast<double>(link.wire_bytes) / 1e6, link.Efficiency());
+  }
+  return out;
+}
+
+}  // namespace sage::sim

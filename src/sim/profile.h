@@ -1,0 +1,19 @@
+#ifndef SAGE_SIM_PROFILE_H_
+#define SAGE_SIM_PROFILE_H_
+
+#include <string>
+
+#include "sim/gpu_device.h"
+
+namespace sage::sim {
+
+/// Renders a human-readable profile of everything a device executed —
+/// kernel counts and time distribution, memory-system behaviour (sectors,
+/// hit rate, access amplification) and host-link accounting. The
+/// simulator's stand-in for an Nsight Compute summary (Section 7.1 uses
+/// Nsight as the profiling tool).
+std::string FormatDeviceProfile(const GpuDevice& device);
+
+}  // namespace sage::sim
+
+#endif  // SAGE_SIM_PROFILE_H_

@@ -1,0 +1,98 @@
+#ifndef SAGE_UTIL_LOGGING_H_
+#define SAGE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sage::util {
+
+/// Severity levels for the process-wide logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum severity that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log message; emits on destruction. Fatal messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a log statement is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed expression into void so it can sit on one arm of a
+/// ternary (the classic glog "voidify" trick); & binds looser than <<.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace sage::util
+
+#define SAGE_LOG(level)                                                   \
+  ::sage::util::internal::LogMessage(::sage::util::LogLevel::k##level,    \
+                                     __FILE__, __LINE__)                  \
+      .stream()
+
+/// CHECK-style invariant assertions: always on, abort with a message.
+#define SAGE_CHECK(cond)                                       \
+  (cond) ? (void)0                                             \
+         : ::sage::util::internal::LogMessageVoidify() &       \
+               ::sage::util::internal::LogMessage(             \
+                   ::sage::util::LogLevel::kFatal, __FILE__,   \
+                   __LINE__)                                   \
+                   .stream()                                   \
+               << "Check failed: " #cond " "
+
+#define SAGE_CHECK_OP(a, b, op)                                \
+  SAGE_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define SAGE_CHECK_EQ(a, b) SAGE_CHECK_OP(a, b, ==)
+#define SAGE_CHECK_NE(a, b) SAGE_CHECK_OP(a, b, !=)
+#define SAGE_CHECK_LT(a, b) SAGE_CHECK_OP(a, b, <)
+#define SAGE_CHECK_LE(a, b) SAGE_CHECK_OP(a, b, <=)
+#define SAGE_CHECK_GT(a, b) SAGE_CHECK_OP(a, b, >)
+#define SAGE_CHECK_GE(a, b) SAGE_CHECK_OP(a, b, >=)
+
+/// CHECKs that an expression returning Status is OK.
+#define SAGE_CHECK_OK(expr)                                    \
+  do {                                                         \
+    const ::sage::util::Status _sage_check_status = (expr);    \
+    SAGE_CHECK(_sage_check_status.ok())                        \
+        << _sage_check_status.ToString();                      \
+  } while (0)
+
+#ifndef NDEBUG
+#define SAGE_DCHECK(cond) SAGE_CHECK(cond)
+#else
+#define SAGE_DCHECK(cond) \
+  while (false) ::sage::util::internal::NullStream() << !(cond)
+#endif
+
+#endif  // SAGE_UTIL_LOGGING_H_

@@ -1,0 +1,36 @@
+#include "util/prefix_sum.h"
+
+namespace sage::util {
+
+std::vector<uint64_t> ExclusivePrefixSum(const std::vector<uint32_t>& in) {
+  std::vector<uint64_t> out(in.size() + 1, 0);
+  uint64_t acc = 0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc += in[i];
+  }
+  out[in.size()] = acc;
+  return out;
+}
+
+uint64_t ExclusivePrefixSumInPlace(std::vector<uint64_t>& v) {
+  uint64_t acc = 0;
+  for (auto& x : v) {
+    uint64_t cur = x;
+    x = acc;
+    acc += cur;
+  }
+  return acc;
+}
+
+std::vector<uint64_t> InclusivePrefixSum(const std::vector<uint32_t>& in) {
+  std::vector<uint64_t> out(in.size(), 0);
+  uint64_t acc = 0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace sage::util

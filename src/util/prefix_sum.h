@@ -1,0 +1,24 @@
+#ifndef SAGE_UTIL_PREFIX_SUM_H_
+#define SAGE_UTIL_PREFIX_SUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sage::util {
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i), out has size
+/// in.size() + 1 with out.back() == total. This mirrors the scan primitive
+/// graph engines use for frontier contraction and CSR offset construction.
+std::vector<uint64_t> ExclusivePrefixSum(const std::vector<uint32_t>& in);
+
+/// In-place exclusive prefix sum over a vector of 64-bit counts; returns the
+/// total. After the call v[i] holds the sum of the original v[0..i).
+uint64_t ExclusivePrefixSumInPlace(std::vector<uint64_t>& v);
+
+/// Inclusive prefix sum (out[i] = sum of in[0..i]).
+std::vector<uint64_t> InclusivePrefixSum(const std::vector<uint32_t>& in);
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_PREFIX_SUM_H_

@@ -1,0 +1,106 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sage::util {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    sm = SplitMix64(sm);
+    s = sm;
+  }
+  // xoshiro256** requires a nonzero state; SplitMix64 of anything is
+  // astronomically unlikely to produce all zeros, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  SAGE_DCHECK(bound > 0);
+  // Lemire's multiply-shift rejection method for unbiased bounded draws.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint32_t Rng::UniformU32(uint32_t bound) {
+  return static_cast<uint32_t>(UniformU64(bound));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  // Avoid log(0).
+  if (u1 <= 1e-300) u1 = 1e-300;
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double alpha) {
+  SAGE_DCHECK(n > 0);
+  if (n == 1) return 0;
+  // Inverse-CDF approximation over the continuous envelope
+  // p(x) ~ x^-alpha on [1, n+1); good enough for workload generation and
+  // O(1) per draw.
+  double u = UniformDouble();
+  double x;
+  if (std::abs(alpha - 1.0) < 1e-9) {
+    x = std::exp(u * std::log(static_cast<double>(n) + 1.0));
+  } else {
+    double one_minus = 1.0 - alpha;
+    double hi = std::pow(static_cast<double>(n) + 1.0, one_minus);
+    x = std::pow(u * (hi - 1.0) + 1.0, 1.0 / one_minus);
+  }
+  uint64_t k = static_cast<uint64_t>(x) - 1;
+  if (k >= n) k = n - 1;
+  return k;
+}
+
+}  // namespace sage::util

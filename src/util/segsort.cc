@@ -1,0 +1,80 @@
+#include "util/segsort.h"
+
+#include <array>
+
+#include "util/logging.h"
+
+namespace sage::util {
+namespace {
+
+// One LSD radix pass (8-bit digits) over pairs in [begin, end) of
+// keys/values, using scratch buffers of the same span size.
+void RadixPass(uint32_t* keys, uint32_t* values, uint32_t* keys_tmp,
+               uint32_t* values_tmp, size_t n, int shift) {
+  std::array<size_t, 257> count{};
+  for (size_t i = 0; i < n; ++i) {
+    ++count[((keys[i] >> shift) & 0xff) + 1];
+  }
+  for (size_t d = 1; d <= 256; ++d) count[d] += count[d - 1];
+  for (size_t i = 0; i < n; ++i) {
+    size_t pos = count[(keys[i] >> shift) & 0xff]++;
+    keys_tmp[pos] = keys[i];
+    values_tmp[pos] = values[i];
+  }
+}
+
+void RadixSortRange(uint32_t* keys, uint32_t* values, size_t n,
+                    std::vector<uint32_t>& keys_scratch,
+                    std::vector<uint32_t>& values_scratch) {
+  if (n <= 1) return;
+  if (keys_scratch.size() < n) {
+    keys_scratch.resize(n);
+    values_scratch.resize(n);
+  }
+  uint32_t* a_k = keys;
+  uint32_t* a_v = values;
+  uint32_t* b_k = keys_scratch.data();
+  uint32_t* b_v = values_scratch.data();
+  for (int pass = 0; pass < 4; ++pass) {
+    RadixPass(a_k, a_v, b_k, b_v, n, pass * 8);
+    std::swap(a_k, b_k);
+    std::swap(a_v, b_v);
+  }
+  // Four passes means the sorted data ended up back in (keys, values):
+  // after an even number of swaps a_k == keys again. Nothing to copy.
+  SAGE_DCHECK(a_k == keys);
+}
+
+}  // namespace
+
+void SegmentedSortKV(const std::vector<uint64_t>& offsets,
+                     std::vector<uint32_t>& keys,
+                     std::vector<uint32_t>& values) {
+  SAGE_CHECK_EQ(keys.size(), values.size());
+  SAGE_CHECK(!offsets.empty());
+  SAGE_CHECK_EQ(offsets.back(), keys.size());
+  std::vector<uint32_t> ks, vs;
+  for (size_t s = 0; s + 1 < offsets.size(); ++s) {
+    uint64_t beg = offsets[s];
+    uint64_t end = offsets[s + 1];
+    SAGE_DCHECK(beg <= end);
+    RadixSortRange(keys.data() + beg, values.data() + beg,
+                   static_cast<size_t>(end - beg), ks, vs);
+  }
+}
+
+void RadixSortKV(std::vector<uint32_t>& keys, std::vector<uint32_t>& values) {
+  SAGE_CHECK_EQ(keys.size(), values.size());
+  std::vector<uint32_t> ks, vs;
+  RadixSortRange(keys.data(), values.data(), keys.size(), ks, vs);
+}
+
+std::vector<uint32_t> RadixArgsort(const std::vector<uint32_t>& keys) {
+  std::vector<uint32_t> keys_copy = keys;
+  std::vector<uint32_t> idx(keys.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<uint32_t>(i);
+  RadixSortKV(keys_copy, idx);
+  return idx;
+}
+
+}  // namespace sage::util

@@ -1,0 +1,31 @@
+#ifndef SAGE_UTIL_SEGSORT_H_
+#define SAGE_UTIL_SEGSORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sage::util {
+
+/// Segmented key-value sort, the host-side stand-in for bb_segsort
+/// (Hou et al., ICS'17) which the paper uses to apply the expected-index
+/// array when updating the graph representation after Sampling-based
+/// Reordering (Section 6).
+///
+/// Sorts each segment [offsets[i], offsets[i+1]) of `keys` ascending and
+/// applies the same permutation to `values`. The sort is stable within each
+/// segment (LSD radix), matching the GPU primitive's semantics, and runs in
+/// O(k * n) for 32-bit keys.
+void SegmentedSortKV(const std::vector<uint64_t>& offsets,
+                     std::vector<uint32_t>& keys,
+                     std::vector<uint32_t>& values);
+
+/// Single-segment stable LSD radix sort of (key, value) pairs.
+void RadixSortKV(std::vector<uint32_t>& keys, std::vector<uint32_t>& values);
+
+/// Stable LSD radix argsort: returns the permutation `idx` such that
+/// keys[idx[0]] <= keys[idx[1]] <= ... with ties in original order.
+std::vector<uint32_t> RadixArgsort(const std::vector<uint32_t>& keys);
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_SEGSORT_H_

@@ -1,0 +1,86 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sage::util {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+// Bucket index: 0 for value 0, otherwise 1 + floor(log2(value)).
+int BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  return 64 - __builtin_clzll(value);
+}
+}  // namespace
+
+void Histogram::Add(uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  ++total_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    uint64_t lo = b == 0 ? 0 : (1ull << (b - 1));
+    uint64_t hi = b == 0 ? 1 : (1ull << b);
+    os << "[" << lo << "," << hi << "): " << buckets_[b] << "\n";
+  }
+  return os.str();
+}
+
+double Histogram::Percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  double target = p / 100.0 * static_cast<double>(total_);
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (static_cast<double>(seen + buckets_[b]) >= target) {
+      double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+      double hi = b == 0 ? 1.0 : std::ldexp(1.0, b);
+      double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[b]);
+      return lo + frac * (hi - lo);
+    }
+    seen += buckets_[b];
+  }
+  return std::ldexp(1.0, kNumBuckets - 1);
+}
+
+double GiniCoefficient(std::vector<uint64_t> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double cum_weighted = 0.0;
+  double cum = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    cum_weighted += static_cast<double>(values[i]) * static_cast<double>(i + 1);
+    cum += static_cast<double>(values[i]);
+  }
+  if (cum == 0.0) return 0.0;
+  double n = static_cast<double>(values.size());
+  return (2.0 * cum_weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+}  // namespace sage::util

@@ -1,0 +1,60 @@
+#ifndef SAGE_UTIL_STATS_H_
+#define SAGE_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sage::util {
+
+/// Streaming mean/variance accumulator (Welford). Used by benchmarks to
+/// aggregate repeated measurements and by graph statistics.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over non-negative integer values; used for degree
+/// distributions and tile-size distributions in reports.
+class Histogram {
+ public:
+  /// Buckets are powers of two: [0,1), [1,2), [2,4), ... up to 2^63.
+  void Add(uint64_t value);
+
+  uint64_t total_count() const { return total_; }
+
+  /// Renders "bucket_lo..bucket_hi: count" lines for non-empty buckets.
+  std::string ToString() const;
+
+  /// Approximate p-th percentile (p in [0,100]) assuming uniform
+  /// distribution within a bucket.
+  double Percentile(double p) const;
+
+ private:
+  static constexpr int kNumBuckets = 65;
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t total_ = 0;
+};
+
+/// Gini coefficient of a list of non-negative values — the skewness measure
+/// we report for synthetic dataset degree distributions.
+double GiniCoefficient(std::vector<uint64_t> values);
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_STATS_H_

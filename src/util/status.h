@@ -1,0 +1,155 @@
+#ifndef SAGE_UTIL_STATUS_H_
+#define SAGE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace sage::util {
+
+/// Error codes used across the SAGE library. Modeled after the RocksDB /
+/// Abseil canonical codes; the library never throws — every fallible
+/// operation returns a Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,
+  kIoError,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result. Cheap to copy in the error-free
+/// case (a code plus an empty string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored StatusOr aborts the process (library code must check ok() first).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse (`return value;` / `return Status::NotFound(...);`).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  T value_{};
+};
+
+namespace internal {
+[[noreturn]] void DieStatusOrValueOnError(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!status_.ok()) internal::DieStatusOrValueOnError(status_);
+}
+
+/// Propagates an error status out of the current function.
+#define SAGE_RETURN_IF_ERROR(expr)                        \
+  do {                                                    \
+    ::sage::util::Status _sage_status = (expr);           \
+    if (!_sage_status.ok()) return _sage_status;          \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define SAGE_ASSIGN_OR_RETURN(lhs, expr)                  \
+  SAGE_ASSIGN_OR_RETURN_IMPL_(                            \
+      SAGE_STATUS_CONCAT_(_sage_statusor, __LINE__), lhs, expr)
+#define SAGE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)       \
+  auto tmp = (expr);                                      \
+  if (!tmp.ok()) return tmp.status();                     \
+  lhs = std::move(tmp).value()
+#define SAGE_STATUS_CONCAT_(a, b) SAGE_STATUS_CONCAT_IMPL_(a, b)
+#define SAGE_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_STATUS_H_

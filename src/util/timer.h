@@ -1,0 +1,32 @@
+#ifndef SAGE_UTIL_TIMER_H_
+#define SAGE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace sage::util {
+
+/// Monotonic wall-clock stopwatch used to time host-side work (reordering
+/// preprocessing, graph builds). GPU-side "time" comes from the simulator's
+/// cost model, never from this timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_TIMER_H_

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include "apps/bfs.h"
+#include "apps/pagerank.h"
+#include "apps/reference.h"
+#include "baselines/ligra.h"
+#include "baselines/metis_like.h"
+#include "baselines/multi_gpu.h"
+#include "baselines/subway.h"
+#include "core/engine.h"
+#include "core/udt.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "sim/gpu_device.h"
+
+namespace sage {
+namespace {
+
+using baselines::HashPartition;
+using baselines::MetisLikePartition;
+using core::Engine;
+using core::EngineOptions;
+using graph::Csr;
+using graph::NodeId;
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;
+  spec.l2_bytes = 256 << 10;
+  return spec;
+}
+
+// --- Baseline engine strategies (B40C, warp-centric, Tigr/UDT) must be
+// functionally identical to the reference.
+
+struct StrategyCase {
+  const char* label;
+  core::ExpandStrategy strategy;
+  uint32_t udt_split;
+};
+
+class StrategyTest : public ::testing::TestWithParam<StrategyCase> {};
+
+TEST_P(StrategyTest, BfsMatchesReference) {
+  const StrategyCase& c = GetParam();
+  Csr csr = graph::GenerateRmat(10, 9000, 0.57, 0.19, 0.19, 33);
+  auto ref = apps::BfsReference(csr, 0);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;
+  opts.strategy = c.strategy;
+  opts.tiled_partitioning = false;
+  opts.resident_tiles = false;
+  opts.udt_split_degree = c.udt_split;
+  Engine engine(&device, csr, opts);
+  apps::BfsProgram bfs;
+  auto stats = apps::RunBfs(engine, bfs, 0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(bfs.DistanceOf(v), ref[v]) << "node " << v;
+  }
+  EXPECT_EQ(stats->edges_traversed, [&] {
+    uint64_t e = 0;
+    for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+      if (ref[v] != apps::BfsProgram::kUnreached) e += csr.OutDegree(v);
+    }
+    return e;
+  }());
+}
+
+TEST_P(StrategyTest, PageRankMatchesReference) {
+  const StrategyCase& c = GetParam();
+  Csr csr = graph::GenerateRmat(9, 4000, 0.5, 0.2, 0.2, 44);
+  auto ref = apps::PageRankReference(csr, 4);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;
+  opts.strategy = c.strategy;
+  opts.tiled_partitioning = false;
+  opts.resident_tiles = false;
+  opts.udt_split_degree = c.udt_split;
+  Engine engine(&device, csr, opts);
+  apps::PageRankProgram pr;
+  auto stats = apps::RunPageRank(engine, pr, 4);
+  ASSERT_TRUE(stats.ok());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_NEAR(pr.RankOf(v), ref[v], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, StrategyTest,
+    ::testing::Values(StrategyCase{"b40c", core::ExpandStrategy::kB40c, 0},
+                      StrategyCase{"warp", core::ExpandStrategy::kWarpCentric,
+                                   0},
+                      StrategyCase{"tigr", core::ExpandStrategy::kWarpCentric,
+                                   32}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+// --- UDT structural invariants.
+
+TEST(UdtTest, CoversEveryEdgeWithBoundedDegree) {
+  Csr csr = graph::GenerateRmat(9, 6000, 0.6, 0.18, 0.18, 2);
+  core::UdtLayout udt = core::BuildUdt(csr, 32);
+  EXPECT_EQ(udt.virtual_csr.num_edges(), csr.num_edges());
+  EXPECT_LE(udt.virtual_csr.MaxOutDegree(), 32u);
+  // Group offsets partition the virtual id space.
+  EXPECT_EQ(udt.group_offsets.front(), 0u);
+  EXPECT_EQ(udt.group_offsets.back(), udt.virtual_nodes());
+  // Edge multiset is preserved (u side collapses to real ids).
+  std::multiset<std::pair<NodeId, NodeId>> original;
+  for (NodeId u = 0; u < csr.num_nodes(); ++u) {
+    for (NodeId v : csr.Neighbors(u)) original.emplace(u, v);
+  }
+  std::multiset<std::pair<NodeId, NodeId>> transformed;
+  for (NodeId vu = 0; vu < udt.virtual_nodes(); ++vu) {
+    for (NodeId v : udt.virtual_csr.Neighbors(vu)) {
+      transformed.emplace(udt.real_of_virtual[vu], v);
+    }
+  }
+  EXPECT_EQ(original, transformed);
+}
+
+TEST(UdtTest, ZeroDegreeNodesGetOneVirtualNode) {
+  Csr csr = graph::GenerateStar(10);  // nodes 1..9 have degree 0
+  core::UdtLayout udt = core::BuildUdt(csr, 4);
+  for (NodeId u = 1; u < 10; ++u) {
+    EXPECT_EQ(udt.group_offsets[u + 1] - udt.group_offsets[u], 1u);
+  }
+  EXPECT_EQ(udt.group_offsets[1] - udt.group_offsets[0], 3u);  // ceil(9/4)
+}
+
+// --- Ligra.
+
+TEST(LigraTest, BfsMatchesReference) {
+  Csr csr = graph::GenerateRmat(10, 9000, 0.5, 0.2, 0.2, 3);
+  baselines::LigraEngine ligra(csr);
+  std::vector<uint32_t> dist;
+  auto stats = ligra.Bfs(2, &dist);
+  auto ref = apps::BfsReference(csr, 2);
+  EXPECT_EQ(dist, ref);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(LigraTest, DirectionOptimizationScansLessOnDenseFrontiers) {
+  // On a dense small-diameter graph, DO-BFS should scan far fewer edges
+  // than degree-sum expansion of every frontier would.
+  Csr csr = graph::GenerateCommunity(4096, 60, 512, 0.5, 9);
+  baselines::LigraEngine ligra(csr);
+  std::vector<uint32_t> dist;
+  auto stats = ligra.Bfs(0, &dist);
+  uint64_t full_push = 0;
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (dist[v] != 0xffffffffu) full_push += csr.OutDegree(v);
+  }
+  EXPECT_LT(stats.edges_traversed, full_push);
+}
+
+TEST(LigraTest, PageRankMatchesReference) {
+  Csr csr = graph::GenerateRmat(9, 4000, 0.5, 0.2, 0.2, 12);
+  baselines::LigraEngine ligra(csr);
+  std::vector<double> pr;
+  ligra.PageRank(5, &pr);
+  auto ref = apps::PageRankReference(csr, 5);
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_NEAR(pr[v], ref[v], 1e-9);
+  }
+}
+
+TEST(LigraTest, BcMatchesReference) {
+  Csr csr = graph::GenerateRmat(9, 5000, 0.45, 0.25, 0.2, 9);
+  baselines::LigraEngine ligra(csr);
+  std::vector<double> delta;
+  ligra.Bc(3, &delta);
+  auto ref = apps::BrandesReference(csr, 3);
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_NEAR(delta[v], ref[v], 1e-9);
+  }
+}
+
+// --- Subway.
+
+TEST(SubwayTest, BfsMatchesReference) {
+  Csr csr = graph::GenerateRmat(10, 9000, 0.57, 0.19, 0.19, 21);
+  sim::GpuDevice device(TestSpec());
+  baselines::SubwayBfs subway(&device, &csr);
+  std::vector<uint32_t> dist;
+  auto result = subway.Run(0, &dist);
+  auto ref = apps::BfsReference(csr, 0);
+  EXPECT_EQ(dist, ref);
+  EXPECT_GT(result.stats.seconds, 0.0);
+  EXPECT_GT(result.bytes_transferred, 0u);
+  EXPECT_GT(result.transfer_seconds, 0.0);
+}
+
+TEST(SubwayTest, TransfersScaleWithActiveEdges) {
+  Csr small = graph::GenerateRmat(8, 1500, 0.5, 0.2, 0.2, 2);
+  Csr large = graph::GenerateRmat(10, 12000, 0.5, 0.2, 0.2, 2);
+  sim::GpuDevice d1(TestSpec());
+  sim::GpuDevice d2(TestSpec());
+  auto r1 = baselines::SubwayBfs(&d1, &small).Run(0);
+  auto r2 = baselines::SubwayBfs(&d2, &large).Run(0);
+  EXPECT_GT(r2.bytes_transferred, r1.bytes_transferred);
+}
+
+// --- Partitioners.
+
+TEST(PartitionTest, HashIsBalanced) {
+  Csr csr = graph::GenerateRmat(10, 8000, 0.5, 0.2, 0.2, 4);
+  auto p = HashPartition(csr, 2);
+  EXPECT_LE(p.balance, 1.01);
+  EXPECT_TRUE(std::all_of(p.part.begin(), p.part.end(),
+                          [](uint32_t x) { return x < 2; }));
+}
+
+TEST(PartitionTest, MetisLikeCutsFewerEdgesThanHash) {
+  // Strong community structure: a good partitioner must find it.
+  Csr csr = graph::GenerateCommunity(4096, 16, 2048, 0.95, 6);
+  auto hash = HashPartition(csr, 2);
+  auto metis = MetisLikePartition(csr, 2, 1);
+  EXPECT_LT(metis.edge_cut, hash.edge_cut / 2);
+  EXPECT_LE(metis.balance, 1.15);
+  EXPECT_GT(metis.seconds, 0.0);
+}
+
+TEST(PartitionTest, FourWayPartition) {
+  Csr csr = graph::GenerateCommunity(2048, 12, 512, 0.9, 7);
+  auto p = MetisLikePartition(csr, 4, 1);
+  std::set<uint32_t> parts(p.part.begin(), p.part.end());
+  EXPECT_EQ(parts.size(), 4u);
+  EXPECT_LE(p.balance, 1.4);
+}
+
+// --- Multi-GPU BFS.
+
+class MultiGpuTest
+    : public ::testing::TestWithParam<baselines::MultiGpuStrategy> {};
+
+TEST_P(MultiGpuTest, MatchesReferenceWithBothPartitionings) {
+  Csr csr = graph::GenerateRmat(10, 9000, 0.57, 0.19, 0.19, 15);
+  auto ref = apps::BfsReference(csr, 0);
+  for (auto scheme : {baselines::PartitionScheme::kHash,
+                      baselines::PartitionScheme::kMetisLike}) {
+    baselines::MultiGpuOptions opts;
+    opts.spec = TestSpec();
+    opts.strategy = GetParam();
+    opts.partition = scheme;
+    auto result = baselines::MultiGpuBfs(csr, 0, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->dist, ref);
+    EXPECT_GT(result->stats.seconds, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, MultiGpuTest,
+    ::testing::Values(baselines::MultiGpuStrategy::kSage,
+                      baselines::MultiGpuStrategy::kGunrockLike,
+                      baselines::MultiGpuStrategy::kGrouteLike),
+    [](const auto& info) {
+      switch (info.param) {
+        case baselines::MultiGpuStrategy::kSage:
+          return "sage";
+        case baselines::MultiGpuStrategy::kGunrockLike:
+          return "gunrock";
+        case baselines::MultiGpuStrategy::kGrouteLike:
+          return "groute";
+      }
+      return "?";
+    });
+
+TEST(MultiGpuTest, InvalidArgs) {
+  Csr csr = graph::GeneratePath(4);
+  baselines::MultiGpuOptions opts;
+  opts.num_gpus = 0;
+  EXPECT_FALSE(baselines::MultiGpuBfs(csr, 0, opts).ok());
+  opts.num_gpus = 2;
+  EXPECT_FALSE(baselines::MultiGpuBfs(csr, 99, opts).ok());
+}
+
+class MultiGpuPrTest
+    : public ::testing::TestWithParam<baselines::MultiGpuStrategy> {};
+
+TEST_P(MultiGpuPrTest, MatchesReference) {
+  Csr csr = graph::GenerateRmat(9, 5000, 0.5, 0.2, 0.2, 19);
+  auto ref = apps::PageRankReference(csr, 4);
+  for (auto scheme : {baselines::PartitionScheme::kHash,
+                      baselines::PartitionScheme::kMetisLike}) {
+    baselines::MultiGpuOptions opts;
+    opts.spec = TestSpec();
+    opts.strategy = GetParam();
+    opts.partition = scheme;
+    auto result = baselines::MultiGpuPageRank(csr, 4, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+      ASSERT_NEAR(result->ranks[v], ref[v], 1e-9) << "node " << v;
+    }
+    EXPECT_GT(result->stats.seconds, 0.0);
+    EXPECT_GT(result->message_bytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, MultiGpuPrTest,
+    ::testing::Values(baselines::MultiGpuStrategy::kSage,
+                      baselines::MultiGpuStrategy::kGunrockLike,
+                      baselines::MultiGpuStrategy::kGrouteLike),
+    [](const auto& info) {
+      switch (info.param) {
+        case baselines::MultiGpuStrategy::kSage:
+          return "sage";
+        case baselines::MultiGpuStrategy::kGunrockLike:
+          return "gunrock";
+        case baselines::MultiGpuStrategy::kGrouteLike:
+          return "groute";
+      }
+      return "?";
+    });
+
+TEST(MultiGpuTest, MetisReducesCommunication) {
+  Csr csr = graph::GenerateCommunity(4096, 16, 2048, 0.95, 8);
+  baselines::MultiGpuOptions opts;
+  opts.spec = TestSpec();
+  opts.partition = baselines::PartitionScheme::kHash;
+  auto hash = baselines::MultiGpuBfs(csr, 0, opts);
+  opts.partition = baselines::PartitionScheme::kMetisLike;
+  auto metis = baselines::MultiGpuBfs(csr, 0, opts);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(metis.ok());
+  EXPECT_LT(metis->message_bytes, hash->message_bytes);
+}
+
+}  // namespace
+}  // namespace sage

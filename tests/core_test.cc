@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/bfs.h"
+#include "apps/reference.h"
+#include "core/engine.h"
+#include "core/expand.h"
+#include "core/resident.h"
+#include "core/sampling_reorder.h"
+#include "graph/generators.h"
+#include "reorder/permutation.h"
+#include "sim/gpu_device.h"
+#include "sim/profile.h"
+#include "util/random.h"
+
+namespace sage::core {
+namespace {
+
+using graph::Csr;
+using graph::EdgeId;
+using graph::NodeId;
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;
+  spec.l2_bytes = 128 << 10;
+  return spec;
+}
+
+// --- DecomposeAdjacency (property sweep) ----------------------------------
+
+struct DecomposeCase {
+  uint32_t degree;
+  uint32_t min_tile;
+  bool align;
+  uint64_t begin;
+};
+
+class DecomposeTest : public ::testing::TestWithParam<DecomposeCase> {};
+
+TEST_P(DecomposeTest, CoversAdjacencyExactlyOnce) {
+  const DecomposeCase& c = GetParam();
+  TiledOptions opts;
+  opts.block_size = 256;
+  opts.min_tile_size = c.min_tile;
+  opts.tile_alignment = c.align;
+  std::vector<TileEntry> entries;
+  DecomposeAdjacency(7, c.begin, c.degree, opts, 8, &entries);
+
+  // Entries tile [begin, begin + degree) contiguously, in order.
+  uint64_t cursor = c.begin;
+  uint32_t covered = 0;
+  for (const TileEntry& t : entries) {
+    EXPECT_EQ(t.node, 7u);
+    EXPECT_EQ(t.offset, cursor);
+    EXPECT_GT(t.size, 0u);
+    EXPECT_LE(t.size, opts.block_size);
+    cursor += t.size;
+    covered += t.size;
+  }
+  EXPECT_EQ(covered, c.degree);
+
+  // At most one sub-minimum fragment plus (with alignment) one prefix.
+  uint32_t small = 0;
+  for (const TileEntry& t : entries) {
+    if (t.size < c.min_tile) ++small;
+  }
+  EXPECT_LE(small, c.align ? 2u : 1u);
+
+  if (c.align && c.degree >= 2 * opts.min_tile_size + 8) {
+    // Full tiles must start sector-aligned once past the prefix.
+    for (const TileEntry& t : entries) {
+      if (t.size >= c.min_tile && t.offset != c.begin) {
+        EXPECT_EQ(t.offset % 8, 0u) << "tile at " << t.offset;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecomposeTest,
+    ::testing::Values(DecomposeCase{0, 8, true, 3},
+                      DecomposeCase{1, 8, true, 5},
+                      DecomposeCase{7, 8, true, 11},
+                      DecomposeCase{8, 8, true, 12},
+                      DecomposeCase{17, 8, false, 0},
+                      DecomposeCase{100, 8, true, 13},
+                      DecomposeCase{255, 4, true, 1},
+                      DecomposeCase{256, 8, false, 7},
+                      DecomposeCase{1000, 16, true, 9},
+                      DecomposeCase{65536, 8, true, 21},
+                      DecomposeCase{123457, 32, true, 3}));
+
+// --- ResidentTileStore -----------------------------------------------------
+
+TEST(ResidentTileStoreTest, PutGetInvalidate) {
+  ResidentTileStore store(10);
+  EXPECT_FALSE(store.Has(3));
+  std::vector<TileEntry> entries{{3, 100, 64}, {3, 164, 8}};
+  store.Put(3, entries);
+  ASSERT_TRUE(store.Has(3));
+  auto got = store.Get(3);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].offset, 100u);
+  EXPECT_EQ(store.size(), 2u);
+  store.Invalidate();
+  EXPECT_FALSE(store.Has(3));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// --- Edge-exactly-once invariant across all expansion paths -----------------
+
+// Filter that records every (frontier, neighbor) call.
+class RecordingFilter : public FilterProgram {
+ public:
+  void Bind(Engine* engine) override {
+    engine_ = engine;
+    buf_ = engine->RegisterAttribute("rec.attr", 4);
+    footprint_.neighbor_reads = {&buf_};
+  }
+  bool Filter(NodeId frontier, NodeId neighbor) override {
+    ++calls_[{frontier, neighbor}];
+    return false;
+  }
+  const Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "recording"; }
+
+  const std::map<std::pair<NodeId, NodeId>, int>& calls() const {
+    return calls_;
+  }
+  void Clear() { calls_.clear(); }
+
+ private:
+  Engine* engine_ = nullptr;
+  sim::Buffer buf_;
+  Footprint footprint_;
+  std::map<std::pair<NodeId, NodeId>, int> calls_;
+};
+
+struct PathCase {
+  const char* label;
+  ExpandStrategy strategy;
+  bool tiled;
+  bool resident;
+};
+
+class EdgeOnceTest : public ::testing::TestWithParam<PathCase> {};
+
+TEST_P(EdgeOnceTest, EveryFrontierEdgeFiltersExactlyOnce) {
+  const PathCase& c = GetParam();
+  Csr csr = graph::GenerateRmat(9, 5000, 0.57, 0.19, 0.19, 12);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;
+  opts.strategy = c.strategy;
+  opts.tiled_partitioning = c.tiled;
+  opts.resident_tiles = c.resident;
+  Engine engine(&device, csr, opts);
+  RecordingFilter filter;
+  ASSERT_TRUE(engine.Bind(&filter).ok());
+
+  // One iteration over a mixed frontier (hub + small nodes).
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < csr.num_nodes() && frontier.size() < 300; v += 7) {
+    frontier.push_back(v);
+  }
+  auto stats = engine.RunOneIteration(frontier, nullptr);
+  ASSERT_TRUE(stats.ok());
+
+  std::map<std::pair<NodeId, NodeId>, int> expected;
+  uint64_t edge_count = 0;
+  for (NodeId f : frontier) {
+    for (NodeId n : csr.Neighbors(f)) {
+      ++expected[{f, n}];
+      ++edge_count;
+    }
+  }
+  EXPECT_EQ(stats->edges_traversed, edge_count);
+  EXPECT_EQ(filter.calls(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, EdgeOnceTest,
+    ::testing::Values(
+        PathCase{"scalar", ExpandStrategy::kSage, false, false},
+        PathCase{"tiled", ExpandStrategy::kSage, true, false},
+        PathCase{"resident", ExpandStrategy::kSage, true, true},
+        PathCase{"b40c", ExpandStrategy::kB40c, false, false},
+        PathCase{"warp", ExpandStrategy::kWarpCentric, false, false}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+// --- Footprint charging -----------------------------------------------------
+
+TEST(FootprintTest, NeighborArraysAreCharged) {
+  Csr csr = graph::GenerateRmat(8, 3000, 0.5, 0.2, 0.2, 3);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  RecordingFilter filter;
+  ASSERT_TRUE(engine.Bind(&filter).ok());
+  uint64_t batches_before = device.mem().device_stats().batches;
+  std::vector<NodeId> frontier{0, 1, 2, 3};
+  ASSERT_TRUE(engine.RunOneIteration(frontier, nullptr).ok());
+  EXPECT_GT(device.mem().device_stats().batches, batches_before);
+  EXPECT_GT(device.mem().device_stats().useful_bytes, 0u);
+}
+
+// --- SamplingReorderer unit behaviour ---------------------------------------
+
+TEST(SamplingReorderTest, StagesAdvanceAndRoundCompletes) {
+  sim::GpuDevice device(TestSpec());
+  SamplingReorderer::Options opts;
+  opts.threshold_edges = 64;
+  SamplingReorderer sampler(256, 10000, 8, &device, opts);
+  EXPECT_EQ(sampler.stage(), 1);
+
+  util::Rng rng(3);
+  std::vector<NodeId> tile(16);
+  device.BeginKernel();
+  int guard = 0;
+  while (sampler.rounds_completed() == 0 && guard++ < 1000) {
+    for (auto& id : tile) id = rng.UniformU32(256);
+    sampler.ObserveTileAccess(tile, 0);
+    auto perm = sampler.MaybeTakePermutation();
+    if (perm.has_value()) {
+      EXPECT_TRUE(reorder::IsPermutation(*perm));
+      break;
+    }
+  }
+  device.EndKernel();
+  EXPECT_EQ(sampler.rounds_completed(), 1u);
+}
+
+TEST(SamplingReorderTest, ClusteredWorkloadImprovesObjective) {
+  // Synthetic workload: tiles repeatedly co-access fixed groups of 8 nodes
+  // that are scattered across the id space. A good permutation packs each
+  // group into one sector.
+  const NodeId n = 512;
+  const uint32_t vps = 8;
+  util::Rng rng(17);
+  // 64 groups of 8 random distinct nodes.
+  std::vector<NodeId> ids(n);
+  for (NodeId i = 0; i < n; ++i) ids[i] = i;
+  rng.Shuffle(ids);
+  std::vector<std::vector<NodeId>> groups;
+  for (NodeId g = 0; g < n / 8; ++g) {
+    groups.emplace_back(ids.begin() + g * 8, ids.begin() + (g + 1) * 8);
+  }
+  auto objective = [&](const std::vector<NodeId>& new_of_old) {
+    uint64_t sectors = 0;
+    for (const auto& group : groups) {
+      std::set<NodeId> s;
+      for (NodeId v : group) s.insert(new_of_old[v] / vps);
+      sectors += s.size();
+    }
+    return sectors;
+  };
+
+  sim::GpuDevice device(TestSpec());
+  SamplingReorderer::Options opts;
+  opts.threshold_edges = 4096;
+  SamplingReorderer sampler(n, 100000, vps, &device, opts);
+  std::vector<NodeId> total = reorder::IdentityPermutation(n);
+
+  device.BeginKernel();
+  int rounds = 0;
+  int guard = 0;
+  while (rounds < 6 && guard++ < 200000) {
+    const auto& group = groups[rng.UniformU32(groups.size())];
+    // Present the group under the *current* labeling.
+    std::vector<NodeId> tile;
+    for (NodeId v : group) tile.push_back(total[v]);
+    sampler.ObserveTileAccess(tile, 0);
+    auto perm = sampler.MaybeTakePermutation();
+    if (perm.has_value()) {
+      ASSERT_TRUE(reorder::IsPermutation(*perm));
+      total = reorder::ComposePermutations(total, *perm);
+      ++rounds;
+    }
+  }
+  device.EndKernel();
+  ASSERT_GE(rounds, 3);
+  EXPECT_LT(objective(total),
+            objective(reorder::IdentityPermutation(n)));
+}
+
+// --- Engine odds and ends ----------------------------------------------------
+
+TEST(EngineDetailTest, MaxIterationsBoundsTheRun) {
+  Csr csr = graph::GeneratePath(100);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  apps::BfsProgram bfs;
+  ASSERT_TRUE(engine.Bind(&bfs).ok());
+  bfs.SetSource(0);
+  NodeId src[1] = {0};
+  auto stats = engine.Run(src, /*max_iterations=*/3);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->iterations, 3u);
+  EXPECT_EQ(bfs.DistanceOf(3), 3u);
+  EXPECT_EQ(bfs.DistanceOf(4), apps::BfsProgram::kUnreached);
+}
+
+TEST(EngineDetailTest, OutOfCoreBfsIsCorrectAndSlower) {
+  Csr csr = graph::GenerateRmat(10, 9000, 0.55, 0.2, 0.2, 8);
+  auto ref = apps::BfsReference(csr, 0);
+
+  sim::GpuDevice in_core(TestSpec());
+  Engine fast(&in_core, csr, EngineOptions());
+  apps::BfsProgram bfs1;
+  auto s1 = apps::RunBfs(fast, bfs1, 0);
+  ASSERT_TRUE(s1.ok());
+
+  sim::GpuDevice ooc_dev(TestSpec());
+  EngineOptions ooc_opts;
+  ooc_opts.adjacency_on_host = true;
+  Engine ooc(&ooc_dev, csr, ooc_opts);
+  apps::BfsProgram bfs2;
+  auto s2 = apps::RunBfs(ooc, bfs2, 0);
+  ASSERT_TRUE(s2.ok());
+
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(bfs2.DistanceOf(v), ref[v]);
+  }
+  EXPECT_GT(s2->seconds, s1->seconds);
+  EXPECT_GT(ooc_dev.host_link().stats().transfers, 0u);
+}
+
+TEST(EngineDetailTest, PauseSamplingFreezesRounds) {
+  Csr csr = graph::GenerateRmat(9, 6000, 0.5, 0.2, 0.2, 4);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;
+  opts.sampling_reorder = true;
+  opts.sampling_threshold_edges = 1000;
+  Engine engine(&device, csr, opts);
+  apps::BfsProgram bfs;
+  ASSERT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
+  uint32_t rounds = engine.reorder_rounds();
+  engine.PauseSampling();
+  ASSERT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
+  ASSERT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
+  EXPECT_EQ(engine.reorder_rounds(), rounds);
+  engine.ResumeSampling();
+  for (int i = 0; i < 10 && engine.reorder_rounds() == rounds; ++i) {
+    ASSERT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
+  }
+  EXPECT_GT(engine.reorder_rounds(), rounds);
+}
+
+TEST(EngineDetailTest, ProfileReportMentionsKeySections) {
+  Csr csr = graph::GenerateRmat(8, 2000, 0.5, 0.2, 0.2, 2);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  apps::BfsProgram bfs;
+  ASSERT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
+  std::string report = sim::FormatDeviceProfile(device);
+  EXPECT_NE(report.find("kernels launched"), std::string::npos);
+  EXPECT_NE(report.find("L2 hit rate"), std::string::npos);
+  EXPECT_NE(report.find("amplification"), std::string::npos);
+}
+
+// Identical runs on identical engines must produce identical modeled time
+// (the simulator is fully deterministic).
+TEST(EngineDetailTest, DeterministicModeledTime) {
+  Csr csr = graph::GenerateRmat(9, 5000, 0.55, 0.2, 0.2, 6);
+  double t[2];
+  for (int i = 0; i < 2; ++i) {
+    sim::GpuDevice device(TestSpec());
+    Engine engine(&device, csr, EngineOptions());
+    apps::BfsProgram bfs;
+    auto stats = apps::RunBfs(engine, bfs, 0);
+    ASSERT_TRUE(stats.ok());
+    t[i] = stats->seconds;
+  }
+  EXPECT_EQ(t[0], t[1]);
+}
+
+}  // namespace
+}  // namespace sage::core

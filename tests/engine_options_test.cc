@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "apps/bfs.h"
+#include "apps/reference.h"
+#include "core/engine.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "sim/gpu_device.h"
+#include "util/random.h"
+
+namespace sage::core {
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;
+  spec.l2_bytes = 128 << 10;
+  return spec;
+}
+
+// --- Invalid option combinations are rejected loudly ------------------------
+
+TEST(EngineOptionsDeathTest, ResidentWithoutTiledAborts) {
+  Csr csr = graph::GeneratePath(4);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;
+  opts.tiled_partitioning = false;
+  opts.resident_tiles = true;
+  EXPECT_DEATH({ Engine engine(&device, csr, opts); },
+               "resident tiles require tiled partitioning");
+}
+
+TEST(EngineOptionsDeathTest, UdtWithReorderingAborts) {
+  Csr csr = graph::GeneratePath(4);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;
+  opts.udt_split_degree = 8;
+  opts.tiled_partitioning = false;
+  opts.resident_tiles = false;
+  opts.sampling_reorder = true;
+  EXPECT_DEATH({ Engine engine(&device, csr, opts); }, "incompatible");
+}
+
+// --- B40C bucket coverage: graphs that exercise exactly one bucket ----------
+
+TEST(B40cBucketsTest, BlockBucketOnly) {
+  // One super node: lands in the block-sized bucket.
+  Csr csr = graph::GenerateStar(2000);
+  auto ref = apps::BfsReference(csr, 0);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;
+  opts.strategy = ExpandStrategy::kB40c;
+  opts.tiled_partitioning = false;
+  opts.resident_tiles = false;
+  Engine engine(&device, csr, opts);
+  apps::BfsProgram bfs;
+  auto stats = apps::RunBfs(engine, bfs, 0);
+  ASSERT_TRUE(stats.ok());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(bfs.DistanceOf(v), ref[v]);
+  }
+}
+
+TEST(B40cBucketsTest, WarpBucketOnly) {
+  // Uniform degree 48: above warp size, below block size.
+  Csr csr = graph::GenerateCommunity(512, 48, 512, 1.0, 3);
+  auto ref = apps::BfsReference(csr, 0);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;
+  opts.strategy = ExpandStrategy::kB40c;
+  opts.tiled_partitioning = false;
+  opts.resident_tiles = false;
+  Engine engine(&device, csr, opts);
+  apps::BfsProgram bfs;
+  auto stats = apps::RunBfs(engine, bfs, 0);
+  ASSERT_TRUE(stats.ok());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(bfs.DistanceOf(v), ref[v]);
+  }
+}
+
+TEST(B40cBucketsTest, ScanBucketOnly) {
+  // Grid: every degree <= 4, all edges go through the scan-gather path.
+  Csr csr = graph::GenerateGrid2d(30, 30);
+  auto ref = apps::BfsReference(csr, 0);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;
+  opts.strategy = ExpandStrategy::kB40c;
+  opts.tiled_partitioning = false;
+  opts.resident_tiles = false;
+  Engine engine(&device, csr, opts);
+  apps::BfsProgram bfs;
+  auto stats = apps::RunBfs(engine, bfs, 0);
+  ASSERT_TRUE(stats.ok());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(bfs.DistanceOf(v), ref[v]);
+  }
+}
+
+// --- Min-tile sweep: functional invariance, monotone scheduling cost ---------
+
+class MinTileTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MinTileTest, ResultsInvariantAcrossTileSizes) {
+  Csr csr = graph::GenerateRmat(9, 5000, 0.57, 0.19, 0.19, 41);
+  auto ref = apps::BfsReference(csr, 0);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;
+  opts.min_tile_size = GetParam();
+  Engine engine(&device, csr, opts);
+  apps::BfsProgram bfs;
+  auto stats = apps::RunBfs(engine, bfs, 0);
+  ASSERT_TRUE(stats.ok());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(bfs.DistanceOf(v), ref[v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MinTileTest,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 128u));
+
+// --- Randomized property sweep: every config agrees with the oracle ----------
+
+TEST(PropertySweepTest, RandomGraphsRandomConfigs) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 12; ++trial) {
+    uint32_t scale = 7 + rng.UniformU32(3);
+    uint64_t edges = 500 + rng.UniformU64(4000);
+    double a = 0.3 + 0.35 * rng.UniformDouble();
+    Csr csr = graph::GenerateRmat(scale, edges, a, 0.2, 0.2, rng.Next());
+    NodeId source = rng.UniformU32(csr.num_nodes());
+    auto ref = apps::BfsReference(csr, source);
+
+    EngineOptions opts;
+    opts.tiled_partitioning = rng.Bernoulli(0.7);
+    opts.resident_tiles = opts.tiled_partitioning && rng.Bernoulli(0.6);
+    opts.tile_alignment = rng.Bernoulli(0.5);
+    opts.min_tile_size = 4u << rng.UniformU32(3);
+    opts.adjacency_on_host = rng.Bernoulli(0.3);
+    if (rng.Bernoulli(0.3)) {
+      opts.sampling_reorder = true;
+      opts.sampling_threshold_edges = 500 + rng.UniformU64(2000);
+    }
+
+    sim::GpuDevice device(TestSpec());
+    Engine engine(&device, csr, opts);
+    apps::BfsProgram bfs;
+    auto stats = apps::RunBfs(engine, bfs, source);
+    ASSERT_TRUE(stats.ok()) << "trial " << trial;
+    for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+      ASSERT_EQ(bfs.DistanceOf(v), ref[v])
+          << "trial " << trial << " node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sage::core

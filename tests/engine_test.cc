@@ -1,0 +1,225 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/bc.h"
+#include "apps/bfs.h"
+#include "apps/cc.h"
+#include "apps/label_prop.h"
+#include "apps/pagerank.h"
+#include "apps/reference.h"
+#include "apps/sssp.h"
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "sim/gpu_device.h"
+#include "util/random.h"
+
+namespace sage {
+namespace {
+
+using core::Engine;
+using core::EngineOptions;
+using graph::Csr;
+using graph::NodeId;
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;  // small device keeps tests fast
+  spec.l2_bytes = 256 << 10;
+  return spec;
+}
+
+// Engine configurations the whole functional suite runs under: every
+// feature combination must produce identical traversal results.
+struct EngineConfig {
+  const char* label;
+  bool tiled;
+  bool resident;
+  bool reorder;
+  bool align;
+};
+
+const EngineConfig kConfigs[] = {
+    {"scalar", false, false, false, true},
+    {"tiled", true, false, false, true},
+    {"tiled_noalign", true, false, false, false},
+    {"resident", true, true, false, true},
+    {"resident_reorder", true, true, true, true},
+};
+
+class EngineAllConfigsTest : public ::testing::TestWithParam<EngineConfig> {
+ protected:
+  EngineOptions MakeOptions() const {
+    const EngineConfig& c = GetParam();
+    EngineOptions o;
+    o.tiled_partitioning = c.tiled;
+    o.resident_tiles = c.resident;
+    o.sampling_reorder = c.reorder;
+    o.tile_alignment = c.align;
+    if (c.reorder) o.sampling_threshold_edges = 2000;  // force rounds
+    return o;
+  }
+};
+
+TEST_P(EngineAllConfigsTest, BfsMatchesReferenceOnRmat) {
+  Csr csr = graph::GenerateRmat(10, 8000, 0.55, 0.2, 0.2, 42);
+  auto ref = apps::BfsReference(csr, 0);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, MakeOptions());
+  apps::BfsProgram bfs;
+  auto stats = apps::RunBfs(engine, bfs, 0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(bfs.DistanceOf(v), ref[v]) << "node " << v;
+  }
+  EXPECT_GT(stats->edges_traversed, 0u);
+  EXPECT_GT(stats->seconds, 0.0);
+}
+
+TEST_P(EngineAllConfigsTest, BfsMatchesReferenceOnStar) {
+  Csr csr = graph::GenerateStar(5000);
+  auto ref = apps::BfsReference(csr, 0);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, MakeOptions());
+  apps::BfsProgram bfs;
+  auto stats = apps::RunBfs(engine, bfs, 0);
+  ASSERT_TRUE(stats.ok());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(bfs.DistanceOf(v), ref[v]);
+  }
+  EXPECT_EQ(stats->edges_traversed, csr.num_edges());
+}
+
+TEST_P(EngineAllConfigsTest, PageRankMatchesReference) {
+  Csr csr = graph::GenerateRmat(9, 4000, 0.5, 0.2, 0.2, 7);
+  auto ref = apps::PageRankReference(csr, 5);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, MakeOptions());
+  apps::PageRankProgram pr;
+  auto stats = apps::RunPageRank(engine, pr, 5);
+  ASSERT_TRUE(stats.ok());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_NEAR(pr.RankOf(v), ref[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST_P(EngineAllConfigsTest, BcMatchesReference) {
+  Csr csr = graph::GenerateRmat(9, 5000, 0.45, 0.25, 0.2, 9);
+  auto ref = apps::BrandesReference(csr, 3);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, MakeOptions());
+  apps::Betweenness bc(csr.num_nodes());
+  auto stats = bc.Run(engine, 3);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_NEAR(bc.DeltaOf(v), ref[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST_P(EngineAllConfigsTest, SsspMatchesDijkstra) {
+  Csr csr = graph::GenerateRmat(9, 4000, 0.5, 0.2, 0.2, 17);
+  auto ref = apps::SsspReference(csr, 1);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, MakeOptions());
+  apps::SsspProgram sssp;
+  auto stats = apps::RunSssp(engine, sssp, 1);
+  ASSERT_TRUE(stats.ok());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(sssp.DistanceOf(v), ref[v]) << "node " << v;
+  }
+}
+
+TEST_P(EngineAllConfigsTest, CcMatchesUnionFind) {
+  // Symmetric graph: CC requires undirected connectivity.
+  graph::GraphBuilder builder(2000);
+  util::Rng rng(5);
+  for (int i = 0; i < 4000; ++i) {
+    builder.AddEdge(rng.UniformU32(2000), rng.UniformU32(2000));
+  }
+  graph::BuildOptions bopts;
+  bopts.symmetrize = true;
+  auto csr_or = builder.Build(bopts);
+  ASSERT_TRUE(csr_or.ok());
+  const Csr& csr = csr_or.value();
+  auto ref = apps::ConnectedComponentsReference(csr);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, MakeOptions());
+  apps::CcProgram cc;
+  auto stats = apps::RunConnectedComponents(engine, cc);
+  ASSERT_TRUE(stats.ok());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(cc.ComponentOf(v), ref[v]) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, EngineAllConfigsTest,
+                         ::testing::ValuesIn(kConfigs),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(EngineTest, ReorderingActuallyHappens) {
+  Csr csr = graph::GenerateRmat(10, 10000, 0.55, 0.2, 0.2, 21);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;
+  opts.sampling_reorder = true;
+  opts.sampling_threshold_edges = 3000;
+  Engine engine(&device, csr, opts);
+  apps::PageRankProgram pr;
+  auto stats = apps::RunPageRank(engine, pr, 6);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(engine.reorder_rounds(), 0u);
+  EXPECT_GT(engine.reorder_seconds_total(), 0.0);
+}
+
+TEST(EngineTest, RunWithoutBindFails) {
+  Csr csr = graph::GeneratePath(10);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  NodeId src[1] = {0};
+  auto stats = engine.Run(src);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, SourceOutOfRangeFails) {
+  Csr csr = graph::GeneratePath(10);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  apps::BfsProgram bfs;
+  ASSERT_TRUE(engine.Bind(&bfs).ok());
+  NodeId src[1] = {10};
+  auto stats = engine.Run(src);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, EmptyGraphBfs) {
+  Csr csr = graph::GeneratePath(1);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  apps::BfsProgram bfs;
+  auto stats = apps::RunBfs(engine, bfs, 0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(bfs.DistanceOf(0), 0u);
+}
+
+TEST(EngineTest, ResidentTilesAreReused) {
+  Csr csr = graph::GenerateRmat(10, 8000, 0.55, 0.2, 0.2, 42);
+  sim::GpuDevice device(TestSpec());
+  EngineOptions opts;  // resident tiles on by default
+  Engine engine(&device, csr, opts);
+  apps::BfsProgram bfs;
+  auto s1 = apps::RunBfs(engine, bfs, 0);
+  ASSERT_TRUE(s1.ok());
+  uint64_t pool_after_first = engine.tile_store().size();
+  EXPECT_GT(pool_after_first, 0u);
+  auto s2 = apps::RunBfs(engine, bfs, 0);
+  ASSERT_TRUE(s2.ok());
+  // Second identical run revisits the same nodes: no new decompositions.
+  EXPECT_EQ(engine.tile_store().size(), pool_after_first);
+  // And it should be no slower (reuse skips online scheduling).
+  EXPECT_LE(s2->tp_overhead_seconds, s1->tp_overhead_seconds + 1e-12);
+}
+
+}  // namespace
+}  // namespace sage

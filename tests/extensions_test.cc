@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "apps/bfs.h"
+#include "apps/msbfs.h"
+#include "apps/pagerank.h"
+#include "apps/pr_delta.h"
+#include "apps/reference.h"
+#include "apps/sssp.h"
+#include "baselines/subway.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "sim/gpu_device.h"
+
+namespace sage {
+namespace {
+
+using core::Engine;
+using core::EngineOptions;
+using graph::Csr;
+using graph::NodeId;
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;
+  spec.l2_bytes = 128 << 10;
+  return spec;
+}
+
+// --- Multi-source BFS -------------------------------------------------------
+
+TEST(MsBfsTest, EachInstanceMatchesSingleSourceReachability) {
+  Csr csr = graph::GenerateRmat(9, 5000, 0.55, 0.2, 0.2, 13);
+  std::vector<NodeId> sources{0, 7, 42, 100};
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  apps::MultiSourceBfsProgram msbfs;
+  auto stats = apps::RunMultiSourceBfs(engine, msbfs, sources);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (uint32_t i = 0; i < sources.size(); ++i) {
+    auto ref = apps::BfsReference(csr, sources[i]);
+    for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+      ASSERT_EQ(msbfs.Reached(i, v), ref[v] != 0xffffffffu)
+          << "instance " << i << " node " << v;
+    }
+  }
+}
+
+TEST(MsBfsTest, SharedTraversalIsCheaperThanSeparateRuns) {
+  Csr csr = graph::GenerateRmat(10, 9000, 0.55, 0.2, 0.2, 29);
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; sources.size() < 16 && v < csr.num_nodes(); v += 37) {
+    if (csr.OutDegree(v) > 0) sources.push_back(v);
+  }
+
+  sim::GpuDevice d1(TestSpec());
+  Engine e1(&d1, csr, EngineOptions());
+  apps::MultiSourceBfsProgram msbfs;
+  auto shared = apps::RunMultiSourceBfs(e1, msbfs, sources);
+  ASSERT_TRUE(shared.ok());
+
+  sim::GpuDevice d2(TestSpec());
+  Engine e2(&d2, csr, EngineOptions());
+  apps::BfsProgram bfs;
+  double separate_seconds = 0;
+  for (NodeId src : sources) {
+    auto s = apps::RunBfs(e2, bfs, src);
+    ASSERT_TRUE(s.ok());
+    separate_seconds += s->seconds;
+  }
+  EXPECT_LT(shared->seconds, separate_seconds);
+}
+
+TEST(MsBfsTest, TooManySourcesIsChecked) {
+  Csr csr = graph::GeneratePath(100);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  apps::MultiSourceBfsProgram msbfs;
+  ASSERT_TRUE(engine.Bind(&msbfs).ok());
+  std::vector<NodeId> ok_sources(64, 0);
+  msbfs.SetSources(ok_sources);  // exactly the limit: fine
+  EXPECT_DEATH(
+      {
+        std::vector<NodeId> too_many(65, 0);
+        msbfs.SetSources(too_many);
+      },
+      "Check failed");
+}
+
+// --- Weighted SSSP edge-array charging ---------------------------------------
+
+TEST(SsspWeightsTest, EdgeArrayTrafficIsCharged) {
+  Csr csr = graph::GenerateRmat(9, 5000, 0.5, 0.2, 0.2, 31);
+  // Run BFS (no edge arrays) and SSSP (with the weight array) and compare
+  // useful bytes: SSSP must read strictly more per traversed edge.
+  sim::GpuDevice d1(TestSpec());
+  Engine e1(&d1, csr, EngineOptions());
+  apps::BfsProgram bfs;
+  ASSERT_TRUE(apps::RunBfs(e1, bfs, 0).ok());
+  double bfs_bytes = static_cast<double>(d1.mem().device_stats().useful_bytes);
+
+  sim::GpuDevice d2(TestSpec());
+  Engine e2(&d2, csr, EngineOptions());
+  apps::SsspProgram sssp;
+  ASSERT_TRUE(apps::RunSssp(e2, sssp, 0).ok());
+  double sssp_bytes =
+      static_cast<double>(d2.mem().device_stats().useful_bytes);
+  EXPECT_GT(sssp_bytes, bfs_bytes);
+}
+
+// --- Subway PageRank ----------------------------------------------------------
+
+TEST(SubwayPrTest, MatchesReference) {
+  Csr csr = graph::GenerateRmat(9, 5000, 0.5, 0.2, 0.2, 23);
+  sim::GpuDevice device(TestSpec());
+  baselines::SubwayPageRank subway(&device, &csr);
+  std::vector<double> ranks;
+  auto result = subway.Run(4, &ranks);
+  auto ref = apps::PageRankReference(csr, 4);
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_NEAR(ranks[v], ref[v], 1e-9);
+  }
+  EXPECT_GT(result.stats.seconds, 0.0);
+  // Whole-graph preload every iteration.
+  EXPECT_GE(result.bytes_transferred,
+            4 * csr.num_edges() * sizeof(NodeId));
+}
+
+// --- Delta PageRank ----------------------------------------------------------
+
+TEST(DeltaPrTest, ConvergesToPowerIterationFixpoint) {
+  Csr csr = graph::GenerateRmat(9, 4000, 0.5, 0.2, 0.2, 37);
+  auto ref = apps::PageRankReference(csr, 100);  // ~fixpoint
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  apps::DeltaPageRankProgram prd;
+  auto stats = apps::RunDeltaPageRank(engine, prd, 1e-11);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_NEAR(prd.RankOf(v), ref[v], 1e-6) << "node " << v;
+  }
+}
+
+TEST(DeltaPrTest, FrontierShrinksAsResidualsDrain) {
+  // The point of the delta formulation: work adapts. Early iterations are
+  // global; once residuals drain, only the nodes still holding mass (the
+  // hubs) stay active — unlike the fixed full-graph rounds of the global
+  // traversal.
+  Csr csr = graph::GenerateRmat(10, 9000, 0.57, 0.19, 0.19, 51);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  std::vector<core::RunStats> trace;
+  engine.set_iteration_trace(&trace);
+  apps::DeltaPageRankProgram prd;
+  ASSERT_TRUE(apps::RunDeltaPageRank(engine, prd, 1e-7).ok());
+  ASSERT_GT(trace.size(), 3u);
+  // First iteration is the full node set; the last active iterations are
+  // a small fraction of it.
+  EXPECT_EQ(trace.front().frontier_nodes, csr.num_nodes());
+  EXPECT_LT(trace.back().frontier_nodes, csr.num_nodes() / 10);
+  // And the shrink is (weakly) sustained: the second half of the run
+  // touches fewer edges than the first half.
+  uint64_t first_half = 0;
+  uint64_t second_half = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    (i < trace.size() / 2 ? first_half : second_half) +=
+        trace[i].edges_traversed;
+  }
+  EXPECT_LT(second_half, first_half);
+}
+
+// --- Per-iteration trace -------------------------------------------------------
+
+TEST(IterationTraceTest, TraceMatchesAggregate) {
+  Csr csr = graph::GenerateRmat(9, 5000, 0.55, 0.2, 0.2, 61);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  std::vector<core::RunStats> trace;
+  engine.set_iteration_trace(&trace);
+  apps::BfsProgram bfs;
+  auto stats = apps::RunBfs(engine, bfs, 0);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(trace.size(), stats->iterations);
+  uint64_t edges = 0;
+  double seconds = 0;
+  for (const auto& it : trace) {
+    edges += it.edges_traversed;
+    seconds += it.seconds;
+  }
+  EXPECT_EQ(edges, stats->edges_traversed);
+  EXPECT_DOUBLE_EQ(seconds, stats->seconds);
+}
+
+// --- METIS loader --------------------------------------------------------------
+
+TEST(MetisLoaderTest, ParsesUnweightedGraph) {
+  // Triangle 1-2-3 plus pendant 4 attached to 1 (1-indexed METIS ids).
+  std::string path = testing::TempDir() + "/test.metis";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("% a comment\n4 4\n2 3 4\n1 3\n1 2\n1\n", f);
+  fclose(f);
+  auto csr = graph::LoadMetisGraph(path);
+  ASSERT_TRUE(csr.ok()) << csr.status().ToString();
+  EXPECT_EQ(csr->num_nodes(), 4u);
+  EXPECT_EQ(csr->num_edges(), 8u);  // 4 undirected edges = 8 arcs
+  EXPECT_EQ(csr->OutDegree(0), 3u);
+  EXPECT_EQ(csr->Neighbors(3)[0], 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MetisLoaderTest, RejectsWeightedFormat) {
+  std::string path = testing::TempDir() + "/weighted.metis";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("2 1 1\n2 5\n1 5\n", f);
+  fclose(f);
+  auto csr = graph::LoadMetisGraph(path);
+  EXPECT_FALSE(csr.ok());
+  EXPECT_EQ(csr.status().code(), util::StatusCode::kUnimplemented);
+  std::remove(path.c_str());
+}
+
+TEST(MetisLoaderTest, RejectsBadNeighborIds) {
+  std::string path = testing::TempDir() + "/bad.metis";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("2 1\n9\n1\n", f);  // neighbor 9 > n=2
+  fclose(f);
+  auto csr = graph::LoadMetisGraph(path);
+  EXPECT_FALSE(csr.ok());
+  EXPECT_EQ(csr.status().code(), util::StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(MetisLoaderTest, RejectsArcCountMismatch) {
+  std::string path = testing::TempDir() + "/mismatch.metis";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("2 2\n2\n1\n", f);  // header claims 2 edges, file has 1
+  fclose(f);
+  auto csr = graph::LoadMetisGraph(path);
+  EXPECT_FALSE(csr.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sage

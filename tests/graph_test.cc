@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "graph/datasets.h"
+#include "graph/dynamic.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace sage::graph {
+namespace {
+
+TEST(CooTest, SortAndDedup) {
+  Coo coo;
+  coo.num_nodes = 4;
+  coo.u = {2, 0, 2, 0, 1};
+  coo.v = {1, 3, 1, 3, 0};
+  SortCoo(coo);
+  EXPECT_TRUE(IsSorted(coo));
+  DedupSortedCoo(coo);
+  EXPECT_EQ(coo.num_edges(), 3u);
+  EXPECT_EQ(coo.u, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(coo.v, (std::vector<NodeId>{3, 0, 1}));
+}
+
+TEST(CooTest, RemoveSelfLoops) {
+  Coo coo;
+  coo.num_nodes = 3;
+  coo.u = {0, 1, 2};
+  coo.v = {0, 2, 2};
+  RemoveSelfLoops(coo);
+  EXPECT_EQ(coo.num_edges(), 1u);
+  EXPECT_EQ(coo.u[0], 1u);
+}
+
+TEST(CooTest, SymmetrizeDoublesEdges) {
+  Coo coo;
+  coo.num_nodes = 3;
+  coo.u = {0};
+  coo.v = {1};
+  Symmetrize(coo);
+  EXPECT_EQ(coo.num_edges(), 2u);
+}
+
+TEST(CsrTest, FromCooBasics) {
+  Coo coo;
+  coo.num_nodes = 4;
+  coo.u = {0, 0, 1, 3};
+  coo.v = {1, 2, 2, 0};
+  Csr csr = Csr::FromCoo(coo);
+  EXPECT_EQ(csr.num_nodes(), 4u);
+  EXPECT_EQ(csr.num_edges(), 4u);
+  EXPECT_EQ(csr.OutDegree(0), 2u);
+  EXPECT_EQ(csr.OutDegree(2), 0u);
+  EXPECT_TRUE(csr.Validate().ok());
+  auto nbrs = csr.Neighbors(0);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+}
+
+TEST(CsrTest, FromUnsortedCooSortsAdjacency) {
+  Coo coo;
+  coo.num_nodes = 3;
+  coo.u = {1, 0, 0};
+  coo.v = {2, 2, 1};
+  Csr csr = Csr::FromCoo(coo);
+  auto nbrs = csr.Neighbors(0);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[1], 2u);
+}
+
+TEST(CsrTest, TransposeRoundTrip) {
+  Csr csr = GenerateRmat(8, 2000, 0.5, 0.2, 0.2, 3);
+  Csr t = csr.Transpose();
+  EXPECT_EQ(t.num_edges(), csr.num_edges());
+  Csr tt = t.Transpose();
+  EXPECT_EQ(tt, csr);
+}
+
+TEST(CsrTest, ToCooRoundTrip) {
+  Csr csr = GenerateRmat(8, 1500, 0.5, 0.2, 0.2, 4);
+  Csr back = Csr::FromCoo(csr.ToCoo());
+  EXPECT_EQ(back, csr);
+}
+
+TEST(CsrTest, MaxOutDegreeOnStar) {
+  EXPECT_EQ(GenerateStar(100).MaxOutDegree(), 99u);
+}
+
+TEST(BuilderTest, RejectsOutOfRangeEdges) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 5);
+  auto result = builder.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, NormalizesEdges) {
+  GraphBuilder builder(4);
+  builder.AddEdge(1, 1);  // self loop
+  builder.AddEdge(0, 2);
+  builder.AddEdge(0, 2);  // dup
+  builder.AddEdge(2, 0);
+  auto result = builder.Build();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 2u);
+}
+
+TEST(BuilderTest, SymmetrizeOption) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  BuildOptions opts;
+  opts.symmetrize = true;
+  auto result = builder.Build(opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 2u);
+  EXPECT_EQ(result->Neighbors(1)[0], 0u);
+}
+
+TEST(IoTest, EdgeListRoundTrip) {
+  Coo coo;
+  coo.num_nodes = 5;
+  coo.u = {0, 1, 4};
+  coo.v = {1, 2, 0};
+  std::string path = testing::TempDir() + "/edges.txt";
+  ASSERT_TRUE(SaveEdgeListText(coo, path).ok());
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->u, coo.u);
+  EXPECT_EQ(loaded->v, coo.v);
+  EXPECT_EQ(loaded->num_nodes, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EdgeListSkipsComments) {
+  std::string path = testing::TempDir() + "/commented.txt";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("# comment\n% other\n0 1\n\n2 3\n", f);
+  fclose(f);
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, EdgeListMalformedFails) {
+  std::string path = testing::TempDir() + "/bad.txt";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("0 1\nnot numbers\n", f);
+  fclose(f);
+  auto loaded = LoadEdgeListText(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileFails) {
+  auto loaded = LoadEdgeListText("/nonexistent/nope.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(IoTest, CsrBinaryRoundTrip) {
+  Csr csr = GenerateRmat(8, 2000, 0.5, 0.2, 0.2, 8);
+  std::string path = testing::TempDir() + "/graph.sage";
+  ASSERT_TRUE(SaveCsrBinary(csr, path).ok());
+  auto loaded = LoadCsrBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, csr);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CsrBinaryBadMagicFails) {
+  std::string path = testing::TempDir() + "/junk.sage";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("JUNKJUNKJUNKJUNK", f);
+  fclose(f);
+  auto loaded = LoadCsrBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GeneratorsTest, UniformHasRequestedShape) {
+  Csr csr = GenerateUniform(1000, 5000, 1);
+  EXPECT_EQ(csr.num_nodes(), 1000u);
+  EXPECT_LE(csr.num_edges(), 5000u);
+  EXPECT_GT(csr.num_edges(), 4500u);  // few dup/self-loop losses
+  EXPECT_TRUE(csr.Validate().ok());
+}
+
+TEST(GeneratorsTest, RmatIsDeterministic) {
+  Csr a = GenerateRmat(9, 3000, 0.5, 0.2, 0.2, 7);
+  Csr b = GenerateRmat(9, 3000, 0.5, 0.2, 0.2, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeneratorsTest, RmatSkewGrowsWithA) {
+  Csr mild = GenerateRmat(11, 40000, 0.3, 0.25, 0.25, 5);
+  Csr harsh = GenerateRmat(11, 40000, 0.65, 0.15, 0.15, 5);
+  auto gini = [](const Csr& c) {
+    std::vector<uint64_t> deg(c.num_nodes());
+    for (NodeId u = 0; u < c.num_nodes(); ++u) deg[u] = c.OutDegree(u);
+    return util::GiniCoefficient(std::move(deg));
+  };
+  EXPECT_GT(gini(harsh), gini(mild));
+}
+
+TEST(GeneratorsTest, CommunityIsDenseAndRegular) {
+  Csr csr = GenerateCommunity(512, 60, 64, 0.8, 2);
+  auto stats = ComputeStats(csr);
+  EXPECT_GT(stats.avg_degree, 40.0);  // dedup trims intra-community collisions
+  EXPECT_LT(stats.degree_gini, 0.2);  // near-uniform degrees
+}
+
+TEST(GeneratorsTest, WebCopyHasPowerLawIndegree) {
+  Csr csr = GenerateWebCopy(3000, 12, 0.7, 3);
+  Csr t = csr.Transpose();
+  EXPECT_GT(t.MaxOutDegree(), 100u);  // hub pages emerge
+}
+
+TEST(GeneratorsTest, GridPathStarComplete) {
+  EXPECT_EQ(GenerateGrid2d(3, 4).num_edges(), 2u * (3 * 3 + 2 * 4));
+  EXPECT_EQ(GeneratePath(5).num_edges(), 4u);
+  EXPECT_EQ(GenerateStar(5).num_edges(), 4u);
+  EXPECT_EQ(GenerateComplete(5).num_edges(), 20u);
+}
+
+TEST(DatasetsTest, AllTinyDatasetsAreValid) {
+  for (DatasetId id : AllDatasets()) {
+    Csr csr = MakeDataset(id, DatasetScale::kTiny);
+    EXPECT_TRUE(csr.Validate().ok()) << DatasetName(id);
+    EXPECT_GT(csr.num_edges(), 0u) << DatasetName(id);
+  }
+}
+
+TEST(DatasetsTest, SkewOrderingMatchesPaper) {
+  // twitter-s must be the most skewed social graph; brain-s the most
+  // regular dataset overall (Section 7.2's analysis).
+  auto gini = [](DatasetId id) {
+    return ComputeStats(MakeDataset(id, DatasetScale::kTiny)).degree_gini;
+  };
+  EXPECT_GT(gini(DatasetId::kTwitters), gini(DatasetId::kLjournals));
+  EXPECT_GT(gini(DatasetId::kTwitters), gini(DatasetId::kFriendsters));
+  for (DatasetId other :
+       {DatasetId::kUk2002s, DatasetId::kLjournals, DatasetId::kTwitters,
+        DatasetId::kFriendsters}) {
+    EXPECT_LT(gini(DatasetId::kBrains), gini(other));
+  }
+}
+
+TEST(DatasetsTest, BrainIsDensest) {
+  auto avg = [](DatasetId id) {
+    return ComputeStats(MakeDataset(id, DatasetScale::kTiny)).avg_degree;
+  };
+  for (DatasetId other :
+       {DatasetId::kUk2002s, DatasetId::kLjournals, DatasetId::kTwitters,
+        DatasetId::kFriendsters}) {
+    EXPECT_GT(avg(DatasetId::kBrains), avg(other));
+  }
+}
+
+TEST(DynamicTest, InsertAndDelete) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  Csr csr = builder.Build().value();
+  EdgeUpdateBatch batch;
+  batch.insertions = {{2, 3}, {0, 1}};  // one dup of existing
+  batch.deletions = {{1, 2}, {3, 0}};   // one missing
+  auto updated = ApplyUpdates(csr, batch);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->num_edges(), 2u);
+  EXPECT_EQ(updated->Neighbors(2)[0], 3u);
+  EXPECT_EQ(updated->OutDegree(1), 0u);
+}
+
+TEST(DynamicTest, OutOfRangeRejected) {
+  Csr csr = GeneratePath(3);
+  EdgeUpdateBatch batch;
+  batch.insertions = {{0, 9}};
+  EXPECT_FALSE(ApplyUpdates(csr, batch).ok());
+}
+
+TEST(DynamicTest, EmptyBatchIsIdentity) {
+  Csr csr = GenerateRmat(7, 500, 0.5, 0.2, 0.2, 5);
+  auto updated = ApplyUpdates(csr, EdgeUpdateBatch());
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, csr);
+}
+
+}  // namespace
+}  // namespace sage::graph

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/generators.h"
+#include "reorder/permutation.h"
+#include "reorder/reorderers.h"
+#include "util/random.h"
+
+namespace sage::reorder {
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+
+TEST(PermutationTest, IdentityAndValidity) {
+  auto id = IdentityPermutation(5);
+  EXPECT_TRUE(IsPermutation(id));
+  EXPECT_EQ(id[3], 3u);
+  EXPECT_FALSE(IsPermutation(std::vector<NodeId>{0, 0, 1}));
+  EXPECT_FALSE(IsPermutation(std::vector<NodeId>{0, 5, 1}));
+}
+
+TEST(PermutationTest, InvertAndCompose) {
+  std::vector<NodeId> perm{2, 0, 3, 1};
+  auto inv = InvertPermutation(perm);
+  EXPECT_EQ(ComposePermutations(perm, inv), IdentityPermutation(4));
+  EXPECT_EQ(ComposePermutations(inv, perm), IdentityPermutation(4));
+}
+
+TEST(PermutationTest, PermuteVectorPlacesByNewId) {
+  std::vector<int> v{10, 20, 30};
+  std::vector<NodeId> perm{2, 0, 1};
+  auto out = PermuteVector(v, perm);
+  EXPECT_EQ(out, (std::vector<int>{20, 30, 10}));
+}
+
+TEST(PermutationTest, RemapIds) {
+  std::vector<NodeId> perm{2, 0, 1};
+  std::vector<NodeId> ids{0, 1, 2, 0};
+  RemapIds(perm, ids);
+  EXPECT_EQ(ids, (std::vector<NodeId>{2, 0, 1, 2}));
+}
+
+// The relabeled graph must be isomorphic to the original: edge (u,v)
+// exists iff (σ(u),σ(v)) exists in the new graph.
+TEST(PermutationTest, ApplyToCsrPreservesIsomorphism) {
+  Csr csr = graph::GenerateRmat(8, 1500, 0.5, 0.2, 0.2, 6);
+  auto perm = RandomOrder(csr, 77).new_of_old;
+  Csr relabeled = ApplyToCsr(csr, perm);
+  ASSERT_TRUE(relabeled.Validate().ok());
+  ASSERT_EQ(relabeled.num_edges(), csr.num_edges());
+  std::set<std::pair<NodeId, NodeId>> original_edges;
+  for (NodeId u = 0; u < csr.num_nodes(); ++u) {
+    for (NodeId v : csr.Neighbors(u)) {
+      original_edges.emplace(perm[u], perm[v]);
+    }
+  }
+  std::set<std::pair<NodeId, NodeId>> new_edges;
+  for (NodeId u = 0; u < relabeled.num_nodes(); ++u) {
+    for (NodeId v : relabeled.Neighbors(u)) new_edges.emplace(u, v);
+  }
+  EXPECT_EQ(original_edges, new_edges);
+}
+
+// Mean distinct memory sectors touched per adjacency list, normalized by
+// list length — the paper's own locality objective (Section 6) with
+// 8 values per 32-byte sector. Lower is better.
+double MeanSectorRatio(const Csr& csr) {
+  double total = 0;
+  uint64_t lists = 0;
+  for (NodeId u = 0; u < csr.num_nodes(); ++u) {
+    auto nbrs = csr.Neighbors(u);
+    if (nbrs.size() < 2) continue;
+    std::set<NodeId> sectors;
+    for (NodeId v : nbrs) sectors.insert(v / 8);
+    total += static_cast<double>(sectors.size()) /
+             static_cast<double>(nbrs.size());
+    ++lists;
+  }
+  return lists == 0 ? 0.0 : total / static_cast<double>(lists);
+}
+
+class ReordererValidityTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReordererValidityTest, ProducesValidPermutation) {
+  Csr csr = graph::GenerateWebCopy(2000, 10, 0.7, 5);
+  std::string which = GetParam();
+  ReorderResult result;
+  if (which == "rcm") {
+    result = RcmOrder(csr);
+  } else if (which == "llp") {
+    result = LlpOrder(csr, 4, 1);
+  } else if (which == "gorder") {
+    result = GorderOrder(csr);
+  } else if (which == "degree") {
+    result = DegreeOrder(csr);
+  } else {
+    result = RandomOrder(csr, 9);
+  }
+  EXPECT_TRUE(IsPermutation(result.new_of_old)) << which;
+  EXPECT_GE(result.seconds, 0.0);
+  // Relabeled graph stays structurally valid.
+  Csr relabeled = ApplyToCsr(csr, result.new_of_old);
+  EXPECT_TRUE(relabeled.Validate().ok());
+  EXPECT_EQ(relabeled.num_edges(), csr.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ReordererValidityTest,
+                         ::testing::Values("rcm", "llp", "gorder", "degree",
+                                           "random"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(ReordererQualityTest, RcmBeatsRandomOnLocality) {
+  // A community graph has strong structure for RCM to exploit.
+  Csr csr = graph::GenerateCommunity(2048, 16, 128, 0.9, 3);
+  Csr shuffled = ApplyToCsr(csr, RandomOrder(csr, 123).new_of_old);
+  Csr rcm = ApplyToCsr(shuffled, RcmOrder(shuffled).new_of_old);
+  EXPECT_LT(MeanSectorRatio(rcm), 0.9 * MeanSectorRatio(shuffled));
+}
+
+TEST(ReordererQualityTest, GorderBeatsRandomOnLocality) {
+  Csr csr = graph::GenerateCommunity(2048, 16, 128, 0.9, 3);
+  Csr shuffled = ApplyToCsr(csr, RandomOrder(csr, 123).new_of_old);
+  Csr gorder = ApplyToCsr(shuffled, GorderOrder(shuffled).new_of_old);
+  EXPECT_LT(MeanSectorRatio(gorder), 0.9 * MeanSectorRatio(shuffled));
+}
+
+TEST(ReordererQualityTest, LlpGroupsCommunities) {
+  Csr csr = graph::GenerateCommunity(1024, 12, 64, 0.95, 4);
+  Csr shuffled = ApplyToCsr(csr, RandomOrder(csr, 5).new_of_old);
+  Csr llp = ApplyToCsr(shuffled, LlpOrder(shuffled, 8, 2).new_of_old);
+  EXPECT_LT(MeanSectorRatio(llp), MeanSectorRatio(shuffled));
+}
+
+TEST(ReordererQualityTest, DegreeOrderPutsHubsFirst) {
+  Csr csr = graph::GenerateRmat(9, 4000, 0.6, 0.18, 0.18, 7);
+  auto perm = DegreeOrder(csr).new_of_old;
+  Csr ordered = ApplyToCsr(csr, perm);
+  // New node 0 must have the maximum degree.
+  EXPECT_EQ(ordered.OutDegree(0), ordered.MaxOutDegree());
+}
+
+TEST(ReordererEdgeCases, SingleNodeAndEmpty) {
+  Csr one = graph::GeneratePath(1);
+  EXPECT_TRUE(IsPermutation(RcmOrder(one).new_of_old));
+  EXPECT_TRUE(IsPermutation(GorderOrder(one).new_of_old));
+  EXPECT_TRUE(IsPermutation(LlpOrder(one).new_of_old));
+}
+
+}  // namespace
+}  // namespace sage::reorder

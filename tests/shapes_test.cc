@@ -1,0 +1,159 @@
+// Regression net for the *qualitative* reproduction claims: the paper's
+// headline orderings must hold on the tiny dataset scale so a cost-model
+// or scheduling regression is caught by ctest, not only by eyeballing the
+// benches. Thresholds are deliberately loose — shape, not magnitude.
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.h"
+#include "apps/pagerank.h"
+#include "baselines/multi_gpu.h"
+#include "baselines/subway.h"
+#include "core/engine.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "sim/gpu_device.h"
+
+namespace sage {
+namespace {
+
+using core::Engine;
+using core::EngineOptions;
+using graph::Csr;
+using graph::NodeId;
+
+// The bench device, shrunk L2 to keep the cache-pressure regime.
+sim::DeviceSpec ShapeSpec() {
+  sim::DeviceSpec spec;
+  spec.l2_bytes = 16 << 10;
+  return spec;
+}
+
+double Bfs(const Csr& csr, const EngineOptions& opts, NodeId source = 0) {
+  sim::GpuDevice device(ShapeSpec());
+  Engine engine(&device, csr, opts);
+  apps::BfsProgram bfs;
+  auto stats = apps::RunBfs(engine, bfs, source);
+  EXPECT_TRUE(stats.ok());
+  return stats->GTeps();
+}
+
+EngineOptions Base() {
+  EngineOptions o;
+  o.tiled_partitioning = false;
+  o.resident_tiles = false;
+  return o;
+}
+EngineOptions Tp() {
+  EngineOptions o;
+  o.resident_tiles = false;
+  return o;
+}
+EngineOptions Full() { return EngineOptions(); }
+
+// Figure 10's ordering: Base < +TP < +TP+RTS on the skewed social graph.
+TEST(ShapeTest, AblationOrderingOnSkewedGraph) {
+  Csr csr = graph::MakeDataset(graph::DatasetId::kTwitters,
+                               graph::DatasetScale::kTiny);
+  double base = Bfs(csr, Base());
+  double tp = Bfs(csr, Tp());
+  double full = Bfs(csr, Full());
+  EXPECT_GT(tp, base);
+  EXPECT_GT(full, tp);
+}
+
+// Section 7.2: Tiled Partitioning matters *more* on the skewed graph than
+// on the regular one (relative gain ordering).
+TEST(ShapeTest, TpGainLargerOnSkewedThanRegular) {
+  Csr twitter = graph::MakeDataset(graph::DatasetId::kTwitters,
+                                   graph::DatasetScale::kTiny);
+  Csr brain = graph::MakeDataset(graph::DatasetId::kBrains,
+                                 graph::DatasetScale::kTiny);
+  double twitter_gain = Bfs(twitter, Tp()) / Bfs(twitter, Base());
+  double brain_gain = Bfs(brain, Tp()) / Bfs(brain, Base());
+  EXPECT_GT(twitter_gain, brain_gain);
+}
+
+// Figure 7's Tigr column: UDT helps on the skewed social graph relative
+// to the same scheduling without it, and the advantage shrinks (or
+// reverses) on the naturally regular graph.
+TEST(ShapeTest, TigrHelpsSkewHurtsRegular) {
+  EngineOptions warp;
+  warp.strategy = core::ExpandStrategy::kWarpCentric;
+  warp.tiled_partitioning = false;
+  warp.resident_tiles = false;
+  EngineOptions tigr = warp;
+  tigr.udt_split_degree = 32;
+
+  Csr twitter = graph::MakeDataset(graph::DatasetId::kTwitters,
+                                   graph::DatasetScale::kTiny);
+  Csr brain = graph::MakeDataset(graph::DatasetId::kBrains,
+                                 graph::DatasetScale::kTiny);
+  double twitter_ratio = Bfs(twitter, tigr) / Bfs(twitter, warp);
+  double brain_ratio = Bfs(brain, tigr) / Bfs(brain, warp);
+  EXPECT_GT(twitter_ratio, 1.0);  // UDT pays off on super nodes
+  EXPECT_GT(twitter_ratio, brain_ratio);
+}
+
+// Figure 8: out-of-core SAGE beats both on-demand scattered access and
+// Subway, and its link efficiency beats on-demand's.
+TEST(ShapeTest, OutOfCoreOrdering) {
+  Csr csr = graph::MakeDataset(graph::DatasetId::kTwitters,
+                               graph::DatasetScale::kTiny);
+  EngineOptions naive = Base();
+  naive.adjacency_on_host = true;
+  EngineOptions sage_ooc = Full();
+  sage_ooc.adjacency_on_host = true;
+
+  double on_demand = Bfs(csr, naive);
+  double sage = Bfs(csr, sage_ooc);
+
+  sim::GpuDevice sdev(ShapeSpec());
+  baselines::SubwayBfs subway(&sdev, &csr);
+  double sub = subway.Run(0).stats.GTeps();
+
+  EXPECT_GT(sage, sub);
+  EXPECT_GT(sub, on_demand);
+}
+
+// Figure 9: with a community-structured graph, metis-like partitioning
+// moves less data than hash partitioning.
+TEST(ShapeTest, MetisBeatsHashOnCommunities) {
+  Csr csr = graph::GenerateCommunity(2048, 16, 1024, 0.95, 5);
+  baselines::MultiGpuOptions opts;
+  opts.spec = ShapeSpec();
+  opts.strategy = baselines::MultiGpuStrategy::kGunrockLike;
+  opts.partition = baselines::PartitionScheme::kHash;
+  auto hash = baselines::MultiGpuBfs(csr, 0, opts);
+  opts.partition = baselines::PartitionScheme::kMetisLike;
+  auto metis = baselines::MultiGpuBfs(csr, 0, opts);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(metis.ok());
+  EXPECT_LT(metis->message_bytes, hash->message_bytes);
+  EXPECT_GE(metis->stats.GTeps(), hash->stats.GTeps() * 0.8);
+}
+
+// Table 3's ordering: TP overhead fraction is largest for BFS (local
+// traversal with small frontiers re-scheduled every level) and smaller
+// for the global-traversal PR.
+TEST(ShapeTest, TpOverheadFractionBfsAbovePr) {
+  Csr csr = graph::MakeDataset(graph::DatasetId::kTwitters,
+                               graph::DatasetScale::kTiny);
+  sim::GpuDevice d1(ShapeSpec());
+  Engine e1(&d1, csr, Full());
+  apps::BfsProgram bfs;
+  auto b = apps::RunBfs(e1, bfs, 0);
+  ASSERT_TRUE(b.ok());
+  double bfs_frac = b->tp_overhead_seconds / b->seconds;
+
+  sim::GpuDevice d2(ShapeSpec());
+  Engine e2(&d2, csr, Full());
+  apps::PageRankProgram pr;
+  auto p = apps::RunPageRank(e2, pr, 5);
+  ASSERT_TRUE(p.ok());
+  double pr_frac = p->tp_overhead_seconds / p->seconds;
+  EXPECT_GT(bfs_frac, pr_frac);
+}
+
+}  // namespace
+}  // namespace sage

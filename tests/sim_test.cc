@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "sim/device_spec.h"
+#include "sim/gpu_device.h"
+#include "sim/link.h"
+#include "sim/memory_sim.h"
+
+namespace sage::sim {
+namespace {
+
+DeviceSpec SmallSpec() {
+  DeviceSpec spec;
+  spec.num_sms = 4;
+  spec.l2_bytes = 8 << 10;  // tiny L2: 256 sectors
+  spec.l2_ways = 4;
+  return spec;
+}
+
+TEST(MemorySimTest, DistinctSectorCounting) {
+  MemorySim mem(SmallSpec());
+  Buffer buf = mem.Register("labels", 1000, 4);
+  // 8 consecutive 4-byte values fit one 32-byte sector.
+  auto r = mem.Access(buf, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(r.sectors, 1u);
+  // Stride-8 values hit 8 distinct sectors.
+  r = mem.Access(buf, {0, 8, 16, 24, 32, 40, 48, 56});
+  EXPECT_EQ(r.sectors, 8u);
+}
+
+TEST(MemorySimTest, BuffersDoNotShareSectors) {
+  MemorySim mem(SmallSpec());
+  Buffer a = mem.Register("a", 1, 4);
+  Buffer b = mem.Register("b", 1, 4);
+  EXPECT_NE(a.Addr(0) / 32, b.Addr(0) / 32);
+}
+
+TEST(MemorySimTest, L2HitOnRepeatedAccess) {
+  MemorySim mem(SmallSpec());
+  Buffer buf = mem.Register("x", 64, 4);
+  auto miss = mem.Access(buf, {0});
+  EXPECT_EQ(miss.l2_misses, 1u);
+  auto hit = mem.Access(buf, {1});  // same sector
+  EXPECT_EQ(hit.l2_hits, 1u);
+  EXPECT_EQ(hit.l2_misses, 0u);
+}
+
+TEST(MemorySimTest, L2EvictsLru) {
+  DeviceSpec spec = SmallSpec();
+  spec.l2_bytes = 4 * 32;  // 4 sectors total
+  spec.l2_ways = 4;        // one set
+  MemorySim mem(spec);
+  Buffer buf = mem.Register("x", 8 * 64, 4);
+  // Fill the set with sectors 0..3 (element stride 8 = one sector each).
+  for (uint64_t s = 0; s < 4; ++s) mem.Access(buf, {s * 8});
+  // Touch sector 0 so sector 1 is LRU; insert sector 4 -> evicts 1.
+  mem.Access(buf, {0});
+  mem.Access(buf, {4 * 8});
+  EXPECT_EQ(mem.Access(buf, {0}).l2_hits, 1u);       // still cached
+  EXPECT_EQ(mem.Access(buf, {1 * 8}).l2_misses, 1u); // evicted
+}
+
+TEST(MemorySimTest, FlushInvalidatesEverything) {
+  MemorySim mem(SmallSpec());
+  Buffer buf = mem.Register("x", 64, 4);
+  mem.Access(buf, {0});
+  mem.FlushL2();
+  EXPECT_EQ(mem.Access(buf, {0}).l2_misses, 1u);
+}
+
+TEST(MemorySimTest, AmplificationScattered) {
+  MemorySim mem(SmallSpec());
+  Buffer buf = mem.Register("labels", 100000, 4);
+  // Perfectly scattered: one 4-byte value per 32-byte sector -> 8x.
+  std::vector<uint64_t> idx;
+  for (uint64_t i = 0; i < 32; ++i) idx.push_back(i * 8);
+  mem.Access(buf, idx);
+  EXPECT_NEAR(mem.device_stats().Amplification(), 8.0, 1e-9);
+}
+
+TEST(MemorySimTest, HostSpaceBypassesL2) {
+  MemorySim mem(SmallSpec());
+  Buffer buf = mem.Register("host", 64, 4, MemSpace::kHost);
+  auto r1 = mem.Access(buf, {0});
+  auto r2 = mem.Access(buf, {0});
+  EXPECT_EQ(r1.l2_misses, 1u);
+  EXPECT_EQ(r2.l2_misses, 1u);  // never cached
+  EXPECT_EQ(mem.host_stats().batches, 2u);
+  EXPECT_EQ(mem.device_stats().batches, 0u);
+}
+
+TEST(LinkModelTest, ScatteredSectorsPayPerFrameHeaders) {
+  LinkModel link(8.0, 100, 24, 256);
+  // 4 scattered sectors -> 4 frames.
+  auto t = link.RequestSectors({0, 10, 20, 30}, 32);
+  EXPECT_EQ(t.frames, 4u);
+  EXPECT_EQ(t.payload_bytes, 128u);
+  EXPECT_EQ(t.wire_bytes, 128u + 4 * 24u);
+}
+
+TEST(LinkModelTest, ConsecutiveSectorsMerge) {
+  LinkModel link(8.0, 100, 24, 256);
+  // 8 consecutive sectors of 32B fit one 256B frame.
+  auto t = link.RequestSectors({0, 1, 2, 3, 4, 5, 6, 7}, 32);
+  EXPECT_EQ(t.frames, 1u);
+  // 9 consecutive need a second frame.
+  t = link.RequestSectors({0, 1, 2, 3, 4, 5, 6, 7, 8}, 32);
+  EXPECT_EQ(t.frames, 2u);
+}
+
+TEST(LinkModelTest, BulkEfficiencyBeatsScattered) {
+  LinkModel bulk(8.0, 100, 24, 256);
+  LinkModel scattered(8.0, 100, 24, 256);
+  bulk.BulkTransfer(32 * 1024);
+  std::vector<uint64_t> ids;
+  for (uint64_t i = 0; i < 1024; ++i) ids.push_back(i * 7);
+  scattered.RequestSectors(ids, 32);
+  EXPECT_GT(bulk.stats().Efficiency(), scattered.stats().Efficiency());
+}
+
+TEST(GpuDeviceTest, KernelBracketsRequired) {
+  GpuDevice device(SmallSpec());
+  device.BeginKernel();
+  device.ChargeCompute(0, 100);
+  KernelResult r = device.EndKernel();
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_EQ(device.totals().kernels, 1u);
+}
+
+TEST(GpuDeviceTest, MaxSmDominatesKernelTime) {
+  DeviceSpec spec = SmallSpec();
+  GpuDevice balanced(spec);
+  balanced.BeginKernel();
+  for (uint32_t s = 0; s < 4; ++s) balanced.ChargeCompute(s, 100000);
+  double t_balanced = balanced.EndKernel().seconds;
+
+  GpuDevice skewed(spec);
+  skewed.BeginKernel();
+  skewed.ChargeCompute(0, 400000);  // same total work, one SM
+  double t_skewed = skewed.EndKernel().seconds;
+  EXPECT_GT(t_skewed, t_balanced * 2);
+}
+
+TEST(GpuDeviceTest, LeastLoadedSmBalances) {
+  GpuDevice device(SmallSpec());
+  device.BeginKernel();
+  device.ChargeCompute(0, 1000);
+  EXPECT_NE(device.LeastLoadedSm(), 0u);
+  for (uint32_t s = 1; s < 4; ++s) device.ChargeCompute(s, 2000);
+  EXPECT_EQ(device.LeastLoadedSm(), 0u);
+  device.EndKernel();
+}
+
+TEST(GpuDeviceTest, ResidentWarpsHideLatency) {
+  DeviceSpec spec = SmallSpec();
+  GpuDevice low(spec);
+  low.BeginKernel();
+  Buffer buf = low.mem().Register("x", 1 << 20, 4);
+  for (int i = 0; i < 100; ++i) low.AccessRange(0, buf, i * 4096, 8);
+  low.ChargeWarps(0, 1);
+  double t_low = low.EndKernel().seconds;
+
+  GpuDevice high(spec);
+  high.BeginKernel();
+  Buffer buf2 = high.mem().Register("x", 1 << 20, 4);
+  for (int i = 0; i < 100; ++i) high.AccessRange(0, buf2, i * 4096, 8);
+  high.ChargeWarps(0, 32);
+  double t_high = high.EndKernel().seconds;
+  EXPECT_GT(t_low, t_high * 2);
+}
+
+TEST(GpuDeviceTest, TpOverheadTracked) {
+  GpuDevice device(SmallSpec());
+  device.BeginKernel();
+  device.ChargeTpOverhead(0, 500);
+  device.ChargeCompute(0, 500);
+  KernelResult r = device.EndKernel();
+  EXPECT_EQ(r.total_tp_overhead_cycles, 500u);
+  EXPECT_EQ(r.total_compute_cycles, 1000u);
+  EXPECT_GT(device.totals().tp_overhead_seconds, 0.0);
+}
+
+TEST(GpuDeviceTest, HostAccessChargesLink) {
+  GpuDevice device(SmallSpec());
+  Buffer host = device.mem().Register("adj", 1 << 16, 4, MemSpace::kHost);
+  device.BeginKernel();
+  device.AccessRange(0, host, 0, 32);
+  device.EndKernel();
+  EXPECT_GT(device.host_link().stats().transfers, 0u);
+  EXPECT_GT(device.host_link().stats().wire_bytes,
+            device.host_link().stats().payload_bytes - 1);
+}
+
+TEST(GpuDeviceTest, StreamingBytesAreCheapButNotFree) {
+  GpuDevice device(SmallSpec());
+  device.BeginKernel();
+  device.ChargeStreamingBytes(0, 1 << 20);
+  KernelResult r = device.EndKernel();
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_EQ(r.total_sectors, (1u << 20) / 32);
+}
+
+TEST(MemorySimTest, CountDistinctSectorsDoesNotTouchCache) {
+  MemorySim mem(SmallSpec());
+  Buffer buf = mem.Register("x", 1024, 4);
+  EXPECT_EQ(mem.CountDistinctSectors(buf, {0, 1, 2, 3, 4, 5, 6, 7}), 1u);
+  EXPECT_EQ(mem.CountDistinctSectors(buf, {0, 8, 16}), 3u);
+  // No stats were recorded.
+  EXPECT_EQ(mem.device_stats().batches, 0u);
+  // And the L2 was not filled: the first real access still misses.
+  EXPECT_EQ(mem.Access(buf, {0}).l2_misses, 1u);
+}
+
+TEST(GpuDeviceTest, ResetTotalsClearsEverything) {
+  GpuDevice device(SmallSpec());
+  Buffer buf = device.mem().Register("x", 64, 4);
+  device.BeginKernel();
+  device.AccessRange(0, buf, 0, 8);
+  device.EndKernel();
+  EXPECT_GT(device.totals().kernels, 0u);
+  device.ResetTotals();
+  EXPECT_EQ(device.totals().kernels, 0u);
+  EXPECT_EQ(device.totals().seconds, 0.0);
+  EXPECT_EQ(device.mem().device_stats().batches, 0u);
+}
+
+TEST(GpuDeviceTest, ExternalSecondsAccumulate) {
+  GpuDevice device(SmallSpec());
+  device.AddExternalSeconds(0.25);
+  device.AddExternalSeconds(0.25);
+  EXPECT_DOUBLE_EQ(device.totals().seconds, 0.5);
+}
+
+TEST(GpuDeviceTest, AtomicConflictsCostCompute) {
+  GpuDevice a(SmallSpec());
+  a.BeginKernel();
+  a.ChargeAtomicConflicts(0, 1000);
+  double with = a.EndKernel().seconds;
+  GpuDevice b(SmallSpec());
+  b.BeginKernel();
+  double without = b.EndKernel().seconds;
+  EXPECT_GT(with, without);
+}
+
+TEST(DeviceSpecTest, DerivedQuantities) {
+  DeviceSpec spec;
+  EXPECT_EQ(spec.ValuesPerSector(), 8u);
+  EXPECT_GT(spec.PcieBytesPerCycle(), 0.0);
+  EXPECT_GT(spec.PeerBytesPerCycle(), spec.PcieBytesPerCycle());
+}
+
+}  // namespace
+}  // namespace sage::sim

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/prefix_sum.h"
+#include "util/random.h"
+#include "util/segsort.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace sage::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad node");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad node");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Corruption("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kResourceExhausted);
+       ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Doubler(StatusOr<int> in) {
+  SAGE_ASSIGN_OR_RETURN(int x, std::move(in));
+  return 2 * x;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_FALSE(Doubler(Status::Internal("boom")).ok());
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[rng.UniformU64(8)];
+  for (int c : seen) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallIndices) {
+  Rng rng(13);
+  uint64_t small = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Zipf(1000, 1.2) < 10) ++small;
+  }
+  EXPECT_GT(small, 3000u);  // head-heavy
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(PrefixSumTest, ExclusiveBasics) {
+  auto out = ExclusivePrefixSum({3, 1, 4, 1, 5});
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 3u);
+  EXPECT_EQ(out[5], 14u);
+}
+
+TEST(PrefixSumTest, EmptyInput) {
+  auto out = ExclusivePrefixSum({});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0u);
+}
+
+TEST(PrefixSumTest, InPlaceReturnsTotal) {
+  std::vector<uint64_t> v{2, 2, 2};
+  EXPECT_EQ(ExclusivePrefixSumInPlace(v), 6u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[2], 4u);
+}
+
+TEST(PrefixSumTest, InclusiveMatchesExclusiveShifted) {
+  std::vector<uint32_t> in{5, 0, 7, 2};
+  auto inc = InclusivePrefixSum(in);
+  auto exc = ExclusivePrefixSum(in);
+  for (size_t i = 0; i < in.size(); ++i) EXPECT_EQ(inc[i], exc[i + 1]);
+}
+
+TEST(SegsortTest, SortsEachSegmentIndependently) {
+  std::vector<uint32_t> keys{5, 3, 9, 2, 8, 1};
+  std::vector<uint32_t> vals{0, 1, 2, 3, 4, 5};
+  std::vector<uint64_t> offsets{0, 3, 6};
+  SegmentedSortKV(offsets, keys, vals);
+  EXPECT_EQ(keys, (std::vector<uint32_t>{3, 5, 9, 1, 2, 8}));
+  EXPECT_EQ(vals, (std::vector<uint32_t>{1, 0, 2, 5, 3, 4}));
+}
+
+TEST(SegsortTest, StableWithinSegment) {
+  std::vector<uint32_t> keys{7, 7, 7, 7};
+  std::vector<uint32_t> vals{0, 1, 2, 3};
+  std::vector<uint64_t> offsets{0, 4};
+  SegmentedSortKV(offsets, keys, vals);
+  EXPECT_EQ(vals, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(SegsortTest, RandomizedAgainstStdSort) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 1 + rng.UniformU64(500);
+    std::vector<uint32_t> keys(n);
+    std::vector<uint32_t> vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<uint32_t>(rng.Next());
+      vals[i] = static_cast<uint32_t>(i);
+    }
+    // Random segment boundaries.
+    std::vector<uint64_t> offsets{0};
+    while (offsets.back() < n) {
+      offsets.push_back(
+          std::min<uint64_t>(n, offsets.back() + 1 + rng.UniformU64(50)));
+    }
+    auto keys_copy = keys;
+    SegmentedSortKV(offsets, keys, vals);
+    for (size_t s = 0; s + 1 < offsets.size(); ++s) {
+      std::sort(keys_copy.begin() + offsets[s],
+                keys_copy.begin() + offsets[s + 1]);
+      for (uint64_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+        EXPECT_EQ(keys[i], keys_copy[i]);
+      }
+    }
+    // Values carried along: keys[vals] must reconstruct.
+    for (size_t s = 0; s + 1 < offsets.size(); ++s) {
+      for (uint64_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+        EXPECT_GE(vals[i], offsets[s]);
+        EXPECT_LT(vals[i], offsets[s + 1]);
+      }
+    }
+  }
+}
+
+TEST(SegsortTest, ArgsortIsStablePermutation) {
+  std::vector<uint32_t> keys{4, 1, 4, 1, 0};
+  auto idx = RadixArgsort(keys);
+  EXPECT_EQ(idx, (std::vector<uint32_t>{4, 1, 3, 0, 2}));
+}
+
+TEST(StatsTest, RunningStatsMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(StatsTest, HistogramPercentiles) {
+  Histogram h;
+  for (uint64_t i = 0; i < 1000; ++i) h.Add(i);
+  EXPECT_EQ(h.total_count(), 1000u);
+  EXPECT_GT(h.Percentile(99), h.Percentile(50));
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+TEST(StatsTest, GiniUniformIsZero) {
+  EXPECT_NEAR(GiniCoefficient({5, 5, 5, 5}), 0.0, 1e-9);
+}
+
+TEST(StatsTest, GiniSkewedIsHigh) {
+  std::vector<uint64_t> v(100, 0);
+  v[0] = 1000;
+  EXPECT_GT(GiniCoefficient(v), 0.9);
+}
+
+TEST(StatsTest, GiniEmptyAndZeros) {
+  EXPECT_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_EQ(GiniCoefficient({0, 0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace sage::util

@@ -1,0 +1,308 @@
+// sage_cli — command-line front end for the SAGE library.
+//
+//   sage_cli generate <kind> <out.sagecsr> [args...]   synthesize a graph
+//       kinds: rmat <scale> <edges> | uniform <nodes> <edges> |
+//              web <nodes> <degree> | community <nodes> <degree>
+//   sage_cli convert <edges.txt> <out.sagecsr>         text -> binary CSR
+//   sage_cli stats <graph>                             Table-1-style stats
+//   sage_cli bfs <graph> <source>                      run BFS on SAGE
+//   sage_cli pagerank <graph> <iterations>             run PageRank
+//   sage_cli kcore <graph> <k>                         k-core size
+//   sage_cli sssp <graph> <source>                     weighted SSSP
+//   sage_cli msbfs <graph> <k>                         k concurrent BFS
+//   sage_cli reorder <graph> <method> <out.sagecsr>    rcm|llp|gorder|random
+//   sage_cli partition <graph> <num_parts>             metis-like partition
+//
+// <graph> is either a binary .sagecsr file (from generate/convert) or a
+// whitespace edge-list text file.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/bfs.h"
+#include "apps/kcore.h"
+#include "apps/msbfs.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "baselines/metis_like.h"
+#include "core/engine.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "reorder/permutation.h"
+#include "reorder/reorderers.h"
+#include "sim/gpu_device.h"
+#include "sim/profile.h"
+
+namespace {
+
+using namespace sage;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sage_cli "
+               "<generate|convert|stats|bfs|pagerank|kcore|sssp|msbfs|reorder|"
+               "partition> "
+               "...\n(see the header of tools/sage_cli.cc)\n");
+  return 2;
+}
+
+util::StatusOr<graph::Csr> LoadGraph(const std::string& path) {
+  auto bin = graph::LoadCsrBinary(path);
+  if (bin.ok()) return bin;
+  auto coo = graph::LoadEdgeListText(path);
+  if (!coo.ok()) return coo.status();
+  return graph::Csr::FromCoo(*coo);
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string kind = argv[0];
+  graph::Csr csr;
+  if (kind == "rmat" && argc >= 4) {
+    csr = graph::GenerateRmat(std::stoul(argv[2]), std::stoull(argv[3]),
+                              0.57, 0.19, 0.19, 1);
+  } else if (kind == "uniform" && argc >= 4) {
+    csr = graph::GenerateUniform(std::stoul(argv[2]), std::stoull(argv[3]), 1);
+  } else if (kind == "web" && argc >= 4) {
+    csr = graph::GenerateWebCopy(std::stoul(argv[2]), std::stoul(argv[3]),
+                                 0.75, 1);
+  } else if (kind == "community" && argc >= 4) {
+    csr = graph::GenerateCommunity(std::stoul(argv[2]), std::stoul(argv[3]),
+                                   std::stoul(argv[2]) / 16 + 1, 0.8, 1);
+  } else {
+    return Usage();
+  }
+  auto status = graph::SaveCsrBinary(csr, argv[1]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u nodes, %llu edges\n", argv[1], csr.num_nodes(),
+              static_cast<unsigned long long>(csr.num_edges()));
+  return 0;
+}
+
+int CmdConvert(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto coo = graph::LoadEdgeListText(argv[0]);
+  if (!coo.ok()) {
+    std::fprintf(stderr, "%s\n", coo.status().ToString().c_str());
+    return 1;
+  }
+  graph::Csr csr = graph::Csr::FromCoo(*coo);
+  auto status = graph::SaveCsrBinary(csr, argv[1]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u nodes, %llu edges\n", argv[1], csr.num_nodes(),
+              static_cast<unsigned long long>(csr.num_edges()));
+  return 0;
+}
+
+int CmdStats(const graph::Csr& csr) {
+  auto stats = graph::ComputeStats(csr);
+  std::printf("nodes        : %llu\n",
+              static_cast<unsigned long long>(stats.num_nodes));
+  std::printf("edges        : %llu\n",
+              static_cast<unsigned long long>(stats.num_edges));
+  std::printf("avg degree   : %.2f\n", stats.avg_degree);
+  std::printf("max degree   : %u\n", stats.max_degree);
+  std::printf("degree gini  : %.3f\n", stats.degree_gini);
+  std::printf("CSR bytes    : %llu\n",
+              static_cast<unsigned long long>(csr.MemoryBytes()));
+  return 0;
+}
+
+int CmdBfs(const graph::Csr& csr, graph::NodeId source) {
+  sim::GpuDevice device{sim::DeviceSpec()};
+  core::Engine engine(&device, csr, core::EngineOptions());
+  apps::BfsProgram bfs;
+  auto stats = apps::RunBfs(engine, bfs, source);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t reached = 0;
+  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (bfs.DistanceOf(v) != apps::BfsProgram::kUnreached) ++reached;
+  }
+  std::printf("reached %llu nodes in %u iterations; %.3f GTEPS\n",
+              static_cast<unsigned long long>(reached), stats->iterations,
+              stats->GTeps());
+  std::printf("%s", sim::FormatDeviceProfile(device).c_str());
+  return 0;
+}
+
+int CmdPageRank(const graph::Csr& csr, uint32_t iterations) {
+  sim::GpuDevice device{sim::DeviceSpec()};
+  core::Engine engine(&device, csr, core::EngineOptions());
+  apps::PageRankProgram pr;
+  auto stats = apps::RunPageRank(engine, pr, iterations);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  double top = 0;
+  graph::NodeId who = 0;
+  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (pr.RankOf(v) > top) {
+      top = pr.RankOf(v);
+      who = v;
+    }
+  }
+  std::printf("%u iterations, %.3f GTEPS; top node %u (rank %.6f)\n",
+              iterations, stats->GTeps(), who, top);
+  std::printf("%s", sim::FormatDeviceProfile(device).c_str());
+  return 0;
+}
+
+int CmdKcore(const graph::Csr& csr, uint32_t k) {
+  sim::GpuDevice device{sim::DeviceSpec()};
+  // Peeling needs the symmetrized graph.
+  graph::Coo coo = csr.ToCoo();
+  graph::Symmetrize(coo);
+  graph::RemoveSelfLoops(coo);
+  graph::SortCoo(coo);
+  graph::DedupSortedCoo(coo);
+  core::Engine engine(&device, graph::Csr::FromCoo(coo),
+                      core::EngineOptions());
+  apps::KCoreProgram kcore;
+  auto stats = apps::RunKCore(engine, kcore, k);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t in_core = 0;
+  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (kcore.InCore(v)) ++in_core;
+  }
+  std::printf("%llu of %u nodes are in the %u-core\n",
+              static_cast<unsigned long long>(in_core), csr.num_nodes(), k);
+  return 0;
+}
+
+int CmdSssp(const graph::Csr& csr, graph::NodeId source) {
+  sim::GpuDevice device{sim::DeviceSpec()};
+  core::Engine engine(&device, csr, core::EngineOptions());
+  apps::SsspProgram sssp;
+  auto stats = apps::RunSssp(engine, sssp, source);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t reached = 0;
+  uint64_t max_dist = 0;
+  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+    uint64_t d = sssp.DistanceOf(v);
+    if (d != apps::SsspProgram::kInfinity) {
+      ++reached;
+      max_dist = std::max(max_dist, d);
+    }
+  }
+  std::printf("reached %llu nodes; max weighted distance %llu; %.3f GTEPS\n",
+              static_cast<unsigned long long>(reached),
+              static_cast<unsigned long long>(max_dist), stats->GTeps());
+  return 0;
+}
+
+int CmdMsBfs(const graph::Csr& csr, uint32_t k) {
+  if (k == 0 || k > apps::MultiSourceBfsProgram::kMaxSources) {
+    std::fprintf(stderr, "k must be in [1, 64]\n");
+    return 1;
+  }
+  sim::GpuDevice device{sim::DeviceSpec()};
+  core::Engine engine(&device, csr, core::EngineOptions());
+  apps::MultiSourceBfsProgram msbfs;
+  std::vector<graph::NodeId> sources;
+  for (graph::NodeId v = 0; v < csr.num_nodes() && sources.size() < k; ++v) {
+    if (csr.OutDegree(v) > 0) sources.push_back(v);
+  }
+  auto stats = apps::RunMultiSourceBfs(engine, msbfs, sources);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  for (uint32_t i = 0; i < sources.size(); ++i) {
+    std::printf("instance %2u (source %u): reached %llu nodes\n", i,
+                sources[i],
+                static_cast<unsigned long long>(msbfs.ReachedCount(i)));
+  }
+  std::printf("%zu concurrent BFS in one traversal: %.3f GTEPS\n",
+              sources.size(), stats->GTeps());
+  return 0;
+}
+
+int CmdReorder(const graph::Csr& csr, const std::string& method,
+               const std::string& out) {
+  reorder::ReorderResult result;
+  if (method == "rcm") {
+    result = reorder::RcmOrder(csr);
+  } else if (method == "llp") {
+    result = reorder::LlpOrder(csr);
+  } else if (method == "gorder") {
+    result = reorder::GorderOrder(csr);
+  } else if (method == "random") {
+    result = reorder::RandomOrder(csr, 1);
+  } else {
+    return Usage();
+  }
+  graph::Csr relabeled = reorder::ApplyToCsr(csr, result.new_of_old);
+  auto status = graph::SaveCsrBinary(relabeled, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s reordering took %.3f s; wrote %s\n", method.c_str(),
+              result.seconds, out.c_str());
+  return 0;
+}
+
+int CmdPartition(const graph::Csr& csr, uint32_t parts) {
+  auto result = baselines::MetisLikePartition(csr, parts);
+  std::printf("%u-way partition: edge cut %llu (%.2f%% of edges), balance "
+              "%.3f, %.3f s\n",
+              parts, static_cast<unsigned long long>(result.edge_cut),
+              csr.num_edges() > 0
+                  ? 100.0 * static_cast<double>(result.edge_cut) /
+                        static_cast<double>(csr.num_edges())
+                  : 0.0,
+              result.balance, result.seconds);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(argc - 2, argv + 2);
+  if (cmd == "convert") return CmdConvert(argc - 2, argv + 2);
+
+  if (argc < 3) return Usage();
+  auto csr = LoadGraph(argv[2]);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", argv[2],
+                 csr.status().ToString().c_str());
+    return 1;
+  }
+  if (cmd == "stats") return CmdStats(*csr);
+  if (cmd == "bfs" && argc >= 4) {
+    return CmdBfs(*csr, static_cast<graph::NodeId>(std::stoul(argv[3])));
+  }
+  if (cmd == "pagerank" && argc >= 4) {
+    return CmdPageRank(*csr, std::stoul(argv[3]));
+  }
+  if (cmd == "kcore" && argc >= 4) return CmdKcore(*csr, std::stoul(argv[3]));
+  if (cmd == "sssp" && argc >= 4) {
+    return CmdSssp(*csr, static_cast<graph::NodeId>(std::stoul(argv[3])));
+  }
+  if (cmd == "msbfs" && argc >= 4) return CmdMsBfs(*csr, std::stoul(argv[3]));
+  if (cmd == "reorder" && argc >= 5) return CmdReorder(*csr, argv[3], argv[4]);
+  if (cmd == "partition" && argc >= 4) {
+    return CmdPartition(*csr, std::stoul(argv[3]));
+  }
+  return Usage();
+}
