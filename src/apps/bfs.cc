@@ -18,6 +18,9 @@ void BfsProgram::Bind(core::Engine* engine) {
   footprint_.neighbor_reads = {&dist_buf_};
   footprint_.neighbor_writes = {&dist_buf_};
   footprint_.frontier_reads = {&dist_buf_};
+  // Dirty level writes need no atomics: every SM that races on dist[nbr]
+  // in one iteration stores the same level (Section 7.2).
+  footprint_.idempotent_neighbor_writes = true;
 }
 
 void BfsProgram::SetSource(NodeId source_original) {

@@ -30,6 +30,9 @@ void DeltaPageRankProgram::Bind(core::Engine* engine) {
   footprint_.neighbor_reads = {&resid_buf_};
   footprint_.neighbor_writes = {&resid_buf_};
   footprint_.atomic_neighbor = true;  // atomicAdd on residuals
+  // pr[f] is claimed exactly once per iteration by the frontier node's own
+  // tiles; duplicate tiles of one frontier store the same accumulated value.
+  footprint_.idempotent_frontier_writes = true;
 }
 
 void DeltaPageRankProgram::Reset(double epsilon) {

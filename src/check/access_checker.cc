@@ -1,0 +1,301 @@
+#include "check/access_checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace sage::check {
+namespace {
+
+/// conflict_mask[i] is the bitmask of intents that race against intent i
+/// when issued from a different SM within one kernel phase. Bit positions
+/// follow the AccessIntent enum values (read=0, write=1, atomic=2,
+/// idempotent-write=3).
+constexpr uint8_t kConflictMask[4] = {
+    /*kRead*/ 0b0010,             // races only against plain writes
+    /*kWrite*/ 0b1111,            // races against everything, incl. writes
+    /*kAtomic*/ 0b1010,           // plain and idempotent writes
+    /*kWriteIdempotent*/ 0b0110,  // plain writes and atomics
+};
+
+constexpr bool IsWriteIntent(sim::AccessIntent intent) {
+  return intent != sim::AccessIntent::kRead;
+}
+
+uint64_t ElemKey(const sim::Buffer& buffer, uint64_t elem) {
+  // Buffer ids are small and dense; element indices fit well under 2^44 for
+  // any graph this simulator models.
+  return (static_cast<uint64_t>(buffer.id) << 44) | elem;
+}
+
+}  // namespace
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kOutOfBounds:
+      return "out-of-bounds";
+    case ViolationKind::kRaceWriteWrite:
+      return "write-write race";
+    case ViolationKind::kRaceReadWrite:
+      return "read-write race";
+    case ViolationKind::kUninitRead:
+      return "uninitialized read";
+    case ViolationKind::kBracketing:
+      return "kernel bracketing";
+  }
+  return "unknown";
+}
+
+AccessChecker::AccessChecker(sim::CheckLevel level) : level_(level) {}
+
+void AccessChecker::OnKernelBegin(uint64_t kernel_seq) {
+  kernel_open_ = true;
+  kernel_ = kernel_seq;
+  ++era_;
+  // A fresh kernel cannot race against a finished one; dropping the map
+  // here bounds its size by the footprint of a single kernel.
+  race_.clear();
+}
+
+void AccessChecker::OnKernelEnd(uint64_t /*kernel_seq*/) {
+  kernel_open_ = false;
+}
+
+void AccessChecker::OnPhaseFence(uint64_t /*kernel_seq*/) {
+  // Accesses separated by a grid-wide sync are ordered. Bumping the era
+  // lazily invalidates every ElemState without walking the map.
+  ++era_;
+}
+
+void AccessChecker::OnAccess(uint32_t sm, const sim::Buffer& buffer,
+                             std::span<const uint64_t> elem_indices,
+                             sim::AccessIntent intent) {
+  for (uint64_t elem : elem_indices) {
+    if (elem >= buffer.num_elems) {
+      ReportOob(sm, buffer, elem, intent);
+      continue;
+    }
+    CheckElem(sm, buffer, elem, intent);
+  }
+}
+
+void AccessChecker::OnAccessRange(uint32_t sm, const sim::Buffer& buffer,
+                                  uint64_t first, uint64_t count,
+                                  sim::AccessIntent intent) {
+  if (count == 0) return;
+  uint64_t last = first + count - 1;
+  if (last >= buffer.num_elems) {
+    // Report the first offending index only; a range overflow is one bug,
+    // not (count - in_bounds) bugs.
+    uint64_t bad = std::max(first, buffer.num_elems);
+    ReportOob(sm, buffer, bad, intent);
+    if (first >= buffer.num_elems) return;
+    last = buffer.num_elems - 1;
+  }
+  for (uint64_t elem = first; elem <= last; ++elem) {
+    CheckElem(sm, buffer, elem, intent);
+  }
+}
+
+void AccessChecker::OnBufferNote(const sim::Buffer& buffer, uint64_t first,
+                                 uint64_t count, sim::AccessIntent intent) {
+  // Notes are uncharged functional writes (uploads, memsets, metadata
+  // publishes): they initialize shadow memory but carry no SM identity, so
+  // they do not participate in race detection.
+  if (IsWriteIntent(intent)) MarkWrittenRange(buffer, first, count);
+}
+
+void AccessChecker::OnBracketingViolation(std::string_view what) {
+  Violation v;
+  v.kind = ViolationKind::kBracketing;
+  v.kernel = kernel_;
+  v.message = std::string("bracketing: ") + std::string(what);
+  AddViolation(std::move(v));
+}
+
+void AccessChecker::CheckElem(uint32_t sm, const sim::Buffer& buffer,
+                              uint64_t elem, sim::AccessIntent intent) {
+  if (level_ != sim::CheckLevel::kFull) return;
+
+  // initcheck: a read of an element nothing has ever written.
+  if (intent == sim::AccessIntent::kRead) {
+    auto shadow_it = shadow_.find(buffer.id);
+    if (shadow_it == shadow_.end() ||
+        !IsWritten(shadow_it->second, elem)) {
+      auto& seen = uninit_reported_[buffer.id];
+      if (seen.insert(elem).second) {
+        Violation v;
+        v.kind = ViolationKind::kUninitRead;
+        v.buffer_id = buffer.id;
+        v.buffer_name = buffer.name;
+        v.elem = elem;
+        v.sm_a = sm;
+        v.intent_a = intent;
+        v.kernel = kernel_;
+        std::ostringstream os;
+        os << "uninitialized read: buffer '" << buffer.name << "' elem "
+           << elem << " read by SM " << sm << " in kernel " << kernel_
+           << " before any write";
+        v.message = os.str();
+        AddViolation(std::move(v));
+      }
+    }
+  } else {
+    MarkWritten(buffer, elem);
+  }
+
+  // racecheck: pair this access against every intent class already seen on
+  // the element in the current kernel phase.
+  ElemState& st = race_[ElemKey(buffer, elem)];
+  if (st.era != era_) {
+    st = ElemState();
+    st.era = era_;
+  }
+  uint8_t idx = static_cast<uint8_t>(intent);
+  if (!st.reported) {
+    uint8_t conflicts = kConflictMask[idx] & st.seen;
+    for (uint8_t j = 0; j < 4 && conflicts != 0; ++j) {
+      if ((conflicts & (1u << j)) == 0) continue;
+      // Same-SM accesses are program-ordered; a conflict needs a second SM:
+      // either the prior intent came from a different SM, or it was already
+      // seen from at least two SMs.
+      bool cross_sm = st.first_sm[j] != sm || (st.multi & (1u << j)) != 0;
+      if (!cross_sm) continue;
+      sim::AccessIntent other = static_cast<sim::AccessIntent>(j);
+      Violation v;
+      v.kind = (intent == sim::AccessIntent::kRead ||
+                other == sim::AccessIntent::kRead)
+                   ? ViolationKind::kRaceReadWrite
+                   : ViolationKind::kRaceWriteWrite;
+      v.buffer_id = buffer.id;
+      v.buffer_name = buffer.name;
+      v.elem = elem;
+      v.sm_a = st.first_sm[j];
+      v.sm_b = sm;
+      v.intent_a = other;
+      v.intent_b = intent;
+      v.kernel = kernel_;
+      std::ostringstream os;
+      os << ViolationKindName(v.kind) << ": buffer '" << buffer.name
+         << "' elem " << elem << ", " << sim::AccessIntentName(other)
+         << " by SM " << v.sm_a << " vs " << sim::AccessIntentName(intent)
+         << " by SM " << sm << " in kernel " << kernel_
+         << " with no ordering between them";
+      v.message = os.str();
+      AddViolation(std::move(v));
+      st.reported = true;  // one report per element per phase
+      break;
+    }
+  }
+  if ((st.seen & (1u << idx)) == 0) {
+    st.seen |= static_cast<uint8_t>(1u << idx);
+    st.first_sm[idx] = sm;
+  } else if (st.first_sm[idx] != sm) {
+    st.multi |= static_cast<uint8_t>(1u << idx);
+  }
+}
+
+void AccessChecker::ReportOob(uint32_t sm, const sim::Buffer& buffer,
+                              uint64_t elem, sim::AccessIntent intent) {
+  // Bounds violations are detected at kBounds and above.
+  if (level_ == sim::CheckLevel::kOff) return;
+  Violation v;
+  v.kind = ViolationKind::kOutOfBounds;
+  v.buffer_id = buffer.id;
+  v.buffer_name = buffer.name;
+  v.elem = elem;
+  v.sm_a = sm;
+  v.intent_a = intent;
+  v.kernel = kernel_;
+  std::ostringstream os;
+  os << "out-of-bounds " << sim::AccessIntentName(intent) << ": buffer '"
+     << buffer.name << "' elem " << elem << " >= num_elems "
+     << buffer.num_elems << " by SM " << sm << " in kernel " << kernel_;
+  v.message = os.str();
+  AddViolation(std::move(v));
+}
+
+void AccessChecker::MarkWritten(const sim::Buffer& buffer, uint64_t elem) {
+  Shadow& shadow = shadow_[buffer.id];
+  if (shadow.all) return;
+  if (shadow.bits.size() < buffer.num_elems) {
+    shadow.bits.resize(buffer.num_elems, false);
+  }
+  shadow.bits[elem] = true;
+}
+
+void AccessChecker::MarkWrittenRange(const sim::Buffer& buffer, uint64_t first,
+                                     uint64_t count) {
+  if (count == 0) return;
+  Shadow& shadow = shadow_[buffer.id];
+  if (shadow.all) return;
+  if (first == 0 && count >= buffer.num_elems) {
+    shadow.all = true;
+    shadow.bits.clear();
+    shadow.bits.shrink_to_fit();
+    return;
+  }
+  if (shadow.bits.size() < buffer.num_elems) {
+    shadow.bits.resize(buffer.num_elems, false);
+  }
+  uint64_t last = std::min(first + count, buffer.num_elems);
+  for (uint64_t i = first; i < last; ++i) shadow.bits[i] = true;
+}
+
+bool AccessChecker::IsWritten(const Shadow& shadow, uint64_t elem) const {
+  if (shadow.all) return true;
+  return elem < shadow.bits.size() && shadow.bits[elem];
+}
+
+void AccessChecker::AddViolation(Violation v) {
+  ++total_violations_;
+  ++counts_[static_cast<size_t>(v.kind)];
+  SAGE_LOG(Warning) << "sagecheck: " << v.message;
+  if (recorded_.size() < kMaxRecorded) recorded_.push_back(std::move(v));
+}
+
+std::string AccessChecker::Report() const {
+  std::ostringstream os;
+  os << "SageCheck (" << sim::CheckLevelName(level_) << "): ";
+  if (clean()) {
+    os << "no violations\n";
+    return os.str();
+  }
+  os << total_violations_ << " violation(s)\n";
+  for (size_t k = 0; k < kNumViolationKinds; ++k) {
+    if (counts_[k] == 0) continue;
+    os << "  " << ViolationKindName(static_cast<ViolationKind>(k)) << ": "
+       << counts_[k] << "\n";
+  }
+  for (const Violation& v : recorded_) {
+    os << "  [" << ViolationKindName(v.kind) << "] " << v.message << "\n";
+  }
+  if (total_violations_ > recorded_.size()) {
+    os << "  ... " << (total_violations_ - recorded_.size())
+       << " more not recorded\n";
+  }
+  return os.str();
+}
+
+util::Status AccessChecker::ToStatus() const {
+  if (clean()) return util::Status::OK();
+  std::ostringstream os;
+  os << "SageCheck found " << total_violations_ << " violation(s):";
+  for (size_t k = 0; k < kNumViolationKinds; ++k) {
+    if (counts_[k] == 0) continue;
+    os << " " << ViolationKindName(static_cast<ViolationKind>(k)) << "="
+       << counts_[k];
+  }
+  return util::Status::Corruption(os.str());
+}
+
+void AccessChecker::ResetFindings() {
+  race_.clear();
+  uninit_reported_.clear();
+  recorded_.clear();
+  total_violations_ = 0;
+  counts_.fill(0);
+}
+
+}  // namespace sage::check

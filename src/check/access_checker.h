@@ -1,0 +1,154 @@
+#ifndef SAGE_CHECK_ACCESS_CHECKER_H_
+#define SAGE_CHECK_ACCESS_CHECKER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/access_event.h"
+#include "sim/memory_sim.h"
+#include "util/status.h"
+
+namespace sage::check {
+
+/// Violation classes SageCheck detects — the simulator's analogue of
+/// NVIDIA compute-sanitizer's memcheck / racecheck / initcheck tools.
+enum class ViolationKind : uint8_t {
+  /// memcheck: an element index at or past Buffer::num_elems.
+  kOutOfBounds = 0,
+  /// racecheck: two writes (or a write and an atomic / idempotent write)
+  /// to one element from different SMs in the same kernel phase.
+  kRaceWriteWrite = 1,
+  /// racecheck: a plain write and a read of one element from different SMs
+  /// in the same kernel phase.
+  kRaceReadWrite = 2,
+  /// initcheck: a read of an element no kernel, upload, or memset ever
+  /// wrote.
+  kUninitRead = 3,
+  /// BeginKernel/EndKernel bracketing misuse (double begin, end without
+  /// begin, access outside any kernel).
+  kBracketing = 4,
+};
+inline constexpr size_t kNumViolationKinds = 5;
+
+const char* ViolationKindName(ViolationKind kind);
+
+/// One detected violation. `message` is the full human-readable line; the
+/// structured fields let tests assert precisely.
+struct Violation {
+  ViolationKind kind = ViolationKind::kOutOfBounds;
+  uint32_t buffer_id = 0;
+  std::string buffer_name;
+  uint64_t elem = 0;
+  uint32_t sm_a = 0;
+  uint32_t sm_b = 0;
+  sim::AccessIntent intent_a = sim::AccessIntent::kRead;
+  sim::AccessIntent intent_b = sim::AccessIntent::kRead;
+  uint64_t kernel = 0;
+  std::string message;
+};
+
+/// SageCheck's core: an AccessEventSink that validates every memory event a
+/// GpuDevice emits. Attach with device->set_access_sink(&checker) — or let
+/// core::Engine own one by setting EngineOptions::check_level.
+///
+/// Race model: two accesses to the same element conflict when they come
+/// from different SMs within the same kernel *phase* (FenceKernelPhase
+/// resets the window, modeling grid-wide synchronization) and their intents
+/// are incompatible:
+///
+///              read   write  atomic  idem-write
+///   read        ok    RACE     ok       ok
+///   write      RACE   RACE    RACE     RACE
+///   atomic      ok    RACE     ok      RACE
+///   idem-write  ok    RACE    RACE      ok
+///
+/// Shadow-init model: per-buffer write bitmaps persist for the checker's
+/// lifetime; any write intent (charged, atomic, idempotent, or an uncharged
+/// NoteBufferWrite upload) marks elements written. Reads of never-written
+/// elements report once per element.
+class AccessChecker final : public sim::AccessEventSink {
+ public:
+  explicit AccessChecker(sim::CheckLevel level);
+
+  // --- sim::AccessEventSink ----------------------------------------------
+  void OnKernelBegin(uint64_t kernel_seq) override;
+  void OnKernelEnd(uint64_t kernel_seq) override;
+  void OnPhaseFence(uint64_t kernel_seq) override;
+  void OnAccess(uint32_t sm, const sim::Buffer& buffer,
+                std::span<const uint64_t> elem_indices,
+                sim::AccessIntent intent) override;
+  void OnAccessRange(uint32_t sm, const sim::Buffer& buffer, uint64_t first,
+                     uint64_t count, sim::AccessIntent intent) override;
+  void OnBufferNote(const sim::Buffer& buffer, uint64_t first, uint64_t count,
+                    sim::AccessIntent intent) override;
+  void OnBracketingViolation(std::string_view what) override;
+
+  // --- results ------------------------------------------------------------
+  sim::CheckLevel level() const { return level_; }
+  bool clean() const { return total_violations_ == 0; }
+  uint64_t total_violations() const { return total_violations_; }
+  uint64_t count(ViolationKind kind) const {
+    return counts_[static_cast<size_t>(kind)];
+  }
+  /// The first violations in detection order (detail capped; counts are
+  /// complete).
+  const std::vector<Violation>& violations() const { return recorded_; }
+
+  /// Multi-line report: per-class totals plus the recorded details.
+  std::string Report() const;
+
+  /// OK when clean, else StatusCode::kCorruption summarizing the counts.
+  util::Status ToStatus() const;
+
+  /// Drops all findings and per-kernel state; shadow-init memory is kept
+  /// (the device's buffers are still initialized).
+  void ResetFindings();
+
+ private:
+  /// Per-element per-phase conflict bookkeeping. `era` stamps which
+  /// kernel-phase the entry belongs to; stale entries reset lazily.
+  struct ElemState {
+    uint64_t era = 0;
+    uint8_t seen = 0;      ///< bitmask over AccessIntent values
+    uint8_t multi = 0;     ///< intents seen from >= 2 distinct SMs
+    bool reported = false;
+    std::array<uint32_t, 4> first_sm{};
+  };
+  /// Per-buffer ever-written shadow memory. `all` short-circuits full-range
+  /// markings (whole-buffer uploads) without allocating bits.
+  struct Shadow {
+    bool all = false;
+    std::vector<bool> bits;
+  };
+
+  void CheckElem(uint32_t sm, const sim::Buffer& buffer, uint64_t elem,
+                 sim::AccessIntent intent);
+  void ReportOob(uint32_t sm, const sim::Buffer& buffer, uint64_t elem,
+                 sim::AccessIntent intent);
+  void MarkWritten(const sim::Buffer& buffer, uint64_t elem);
+  void MarkWrittenRange(const sim::Buffer& buffer, uint64_t first,
+                        uint64_t count);
+  bool IsWritten(const Shadow& shadow, uint64_t elem) const;
+  void AddViolation(Violation v);
+
+  sim::CheckLevel level_;
+  bool kernel_open_ = false;
+  uint64_t kernel_ = 0;
+  uint64_t era_ = 0;  ///< bumped at every kernel begin and phase fence
+  std::unordered_map<uint64_t, ElemState> race_;
+  std::unordered_map<uint32_t, Shadow> shadow_;
+  std::unordered_map<uint32_t, std::unordered_set<uint64_t>> uninit_reported_;
+  std::vector<Violation> recorded_;
+  uint64_t total_violations_ = 0;
+  std::array<uint64_t, kNumViolationKinds> counts_{};
+
+  static constexpr size_t kMaxRecorded = 128;
+};
+
+}  // namespace sage::check
+
+#endif  // SAGE_CHECK_ACCESS_CHECKER_H_

@@ -1,0 +1,129 @@
+#include "check/determinism.h"
+
+#include <numeric>
+#include <sstream>
+
+#include "apps/bfs.h"
+#include "sim/gpu_device.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sage::check {
+namespace {
+
+const char* StrategyName(core::ExpandStrategy s) {
+  switch (s) {
+    case core::ExpandStrategy::kSage:
+      return "sage";
+    case core::ExpandStrategy::kB40c:
+      return "b40c";
+    case core::ExpandStrategy::kWarpCentric:
+      return "warp-centric";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;  // FNV-1a prime
+  }
+  return h;
+}
+
+std::vector<uint32_t> PermutationFromSeed(uint32_t n, uint64_t seed) {
+  if (seed == 0) return {};
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  util::Rng rng(util::SplitMix64(seed ^ 0x5347435045524dull));  // "SGCPERM"
+  rng.Shuffle(perm);
+  return perm;
+}
+
+DeterminismReport RunDeterminismHarness(const core::EngineOptions& base,
+                                        const DeterminismOptions& options,
+                                        const TrialFn& trial) {
+  DeterminismReport report;
+  std::ostringstream os;
+  for (core::ExpandStrategy s : options.strategies) {
+    core::EngineOptions opts = base;
+    opts.strategy = s;
+    opts.dispatch_permutation_seed = 0;
+    TrialResult ref = trial(opts, 0);
+    os << StrategyName(s) << ": baseline hash=" << std::hex << ref.output_hash
+       << std::dec << " sectors=" << ref.total_sectors << "\n";
+    for (uint64_t t = 1; t <= options.perturbed_trials; ++t) {
+      // (a) SM placement only: same access stream from different SM ids, so
+      // both the output and the sector accounting must be bit-identical.
+      opts.dispatch_permutation_seed = 0;
+      TrialResult perm = trial(opts, t);
+      bool same_hash = perm.output_hash == ref.output_hash;
+      bool same_sectors = perm.total_sectors == ref.total_sectors;
+      os << StrategyName(s) << ": sm-perm trial " << t
+         << (same_hash && same_sectors ? " MATCH" : " MISMATCH");
+      if (!same_hash) {
+        os << " (hash " << std::hex << perm.output_hash << " != "
+           << ref.output_hash << std::dec << ")";
+      }
+      if (!same_sectors) {
+        os << " (sectors " << perm.total_sectors << " != "
+           << ref.total_sectors << ")";
+      }
+      os << "\n";
+      if (!same_hash || !same_sectors) report.deterministic = false;
+
+      // (b) Dispatch order shuffled on top: the stream order through the
+      // LRU L2 changes, so only the algorithm output is an invariant.
+      opts.dispatch_permutation_seed = t;
+      TrialResult shuf = trial(opts, t);
+      same_hash = shuf.output_hash == ref.output_hash;
+      os << StrategyName(s) << ": dispatch trial " << t
+         << (same_hash ? " MATCH" : " MISMATCH");
+      if (!same_hash) {
+        os << " (hash " << std::hex << shuf.output_hash << " != "
+           << ref.output_hash << std::dec << ")";
+      }
+      os << " (sectors " << shuf.total_sectors << ")\n";
+      if (!same_hash) report.deterministic = false;
+    }
+  }
+  report.details = os.str();
+  return report;
+}
+
+DeterminismReport RunBfsDeterminism(const graph::Csr& csr,
+                                    const sim::DeviceSpec& spec,
+                                    graph::NodeId source,
+                                    const core::EngineOptions& base,
+                                    const DeterminismOptions& options) {
+  TrialFn trial = [&csr, &spec, source](const core::EngineOptions& opts,
+                                        uint64_t sm_perm_seed) {
+    sim::GpuDevice device(spec);
+    device.SetSmPermutation(PermutationFromSeed(spec.num_sms, sm_perm_seed));
+    core::Engine engine(&device, csr, opts);
+    apps::BfsProgram bfs;
+    SAGE_CHECK(engine.Bind(&bfs).ok());
+    auto stats = apps::RunBfs(engine, bfs, source);
+    SAGE_CHECK(stats.ok()) << stats.status().message();
+    TrialResult r;
+    r.seconds = stats->seconds;
+    // Digest distances in original-id order so any internal relabeling the
+    // engine performed is invisible to the comparison.
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (graph::NodeId u = 0; u < csr.num_nodes(); ++u) {
+      uint32_t d = bfs.DistanceOf(u);
+      h = HashBytes(&d, sizeof(d), h);
+    }
+    r.output_hash = h;
+    const auto& mem = device.mem();
+    r.total_sectors = mem.device_stats().sectors + mem.host_stats().sectors;
+    return r;
+  };
+  return RunDeterminismHarness(base, options, trial);
+}
+
+}  // namespace sage::check

@@ -1,0 +1,94 @@
+#ifndef SAGE_CHECK_DETERMINISM_H_
+#define SAGE_CHECK_DETERMINISM_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/csr.h"
+#include "sim/device_spec.h"
+
+namespace sage::check {
+
+/// What one traversal trial produced, reduced to comparable invariants.
+/// `output_hash` digests the algorithm's result (e.g. the BFS distance
+/// array in original-id order) and must be bit-identical across SM
+/// placements AND dispatch orders. `total_sectors` is the device-wide count
+/// of distinct sectors charged per batch: invariant under SM permutation
+/// (the access stream is unchanged, only issued from different SM ids) but
+/// NOT under dispatch shuffling, which reorders the stream through the LRU
+/// L2 and legitimately changes hit/sector accounting. `seconds` may vary
+/// and is reported for context only.
+struct TrialResult {
+  uint64_t output_hash = 0;
+  uint64_t total_sectors = 0;
+  double seconds = 0.0;
+};
+
+/// Runs one traversal under the given engine options with the SM placement
+/// permuted by `sm_perm_seed` (0 = identity; see PermutationFromSeed). The
+/// callback owns device + engine + program construction so every trial
+/// starts from pristine state.
+using TrialFn =
+    std::function<TrialResult(const core::EngineOptions&, uint64_t)>;
+
+struct DeterminismOptions {
+  /// Perturbed re-runs per strategy. Each trial index runs twice: once with
+  /// only the SM placement permuted (hash and sector totals must match the
+  /// baseline) and once with the dispatch order also shuffled (hash must
+  /// match; sectors are reported for context).
+  uint32_t perturbed_trials = 3;
+  std::vector<core::ExpandStrategy> strategies = {
+      core::ExpandStrategy::kSage, core::ExpandStrategy::kB40c,
+      core::ExpandStrategy::kWarpCentric};
+};
+
+struct DeterminismReport {
+  bool deterministic = true;
+  /// Per-strategy, per-trial comparison lines (human-readable).
+  std::string details;
+};
+
+/// The determinism harness: for every strategy, runs an unperturbed
+/// baseline trial, then for each trial index (a) a re-run with a shuffled
+/// SM placement via GpuDevice::SetSmPermutation — output hash and total
+/// charged sectors must be bit-identical, because the access stream is the
+/// same — and (b) a re-run that additionally shuffles the tile / block
+/// dispatch order via EngineOptions::dispatch_permutation_seed — output
+/// hash must still be bit-identical (scheduling must never change what a
+/// traversal computes, only when and where; Section 5.2's stealing is safe
+/// exactly because tile work units are independent), while sector totals
+/// may shift with the reordered stream.
+DeterminismReport RunDeterminismHarness(const core::EngineOptions& base,
+                                        const DeterminismOptions& options,
+                                        const TrialFn& trial);
+
+/// Ready-made harness instantiation: BFS from `source` on `csr`. BFS output
+/// is execution-order-independent (level = shortest hop count regardless of
+/// visit order), which makes it the canonical determinism workload.
+DeterminismReport RunBfsDeterminism(const graph::Csr& csr,
+                                    const sim::DeviceSpec& spec,
+                                    graph::NodeId source,
+                                    const core::EngineOptions& base,
+                                    const DeterminismOptions& options);
+
+/// A seeded permutation of [0, n): seed 0 returns the empty vector (the
+/// identity — GpuDevice::SetSmPermutation's "no permutation" form).
+std::vector<uint32_t> PermutationFromSeed(uint32_t n, uint64_t seed);
+
+/// FNV-1a-style 64-bit digest, chainable via `seed`.
+uint64_t HashBytes(const void* data, size_t len,
+                   uint64_t seed = 0xcbf29ce484222325ull);
+
+template <typename T>
+uint64_t HashSpan(std::span<const T> values,
+                  uint64_t seed = 0xcbf29ce484222325ull) {
+  return HashBytes(values.data(), values.size() * sizeof(T), seed);
+}
+
+}  // namespace sage::check
+
+#endif  // SAGE_CHECK_DETERMINISM_H_

@@ -1,14 +1,35 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <numeric>
 
+#include "check/access_checker.h"
 #include "reorder/permutation.h"
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace sage::core {
 
 using graph::EdgeId;
 using graph::NodeId;
+
+namespace {
+
+/// Processing order of `n` independent dispatch units: the identity when
+/// seed == 0 (the canonical schedule — byte-identical to the engine's
+/// historical behaviour), else a seeded shuffle. `salt` decorrelates the
+/// different dispatch sites within one run.
+std::vector<size_t> DispatchOrder(size_t n, uint64_t seed, uint64_t salt) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (seed != 0 && n > 1) {
+    util::Rng rng(util::SplitMix64(seed) ^ util::SplitMix64(salt + 1));
+    rng.Shuffle(order);
+  }
+  return order;
+}
+
+}  // namespace
 
 Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
                const EngineOptions& options)
@@ -20,6 +41,12 @@ Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
   SAGE_CHECK(device != nullptr);
   SAGE_CHECK(!options_.resident_tiles || options_.tiled_partitioning)
       << "resident tiles require tiled partitioning";
+  if (options_.check_level != sim::CheckLevel::kOff) {
+    SAGE_CHECK(device->access_sink() == nullptr)
+        << "device already has an access sink; one checker per device";
+    checker_ = std::make_unique<check::AccessChecker>(options_.check_level);
+    device->set_access_sink(checker_.get());
+  }
   const auto& spec = device_->spec();
   tiled_options_.block_size = spec.block_size;
   tiled_options_.min_tile_size = options_.min_tile_size;
@@ -78,6 +105,26 @@ Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
         n, m, spec.ValuesPerSector(), device_, sopts);
     ctx_.set_observer(sampler_.get());
   }
+
+  // Setup-time uploads/memsets, marked for SageCheck's shadow-init memory:
+  // the graph representation and the zeroed resident-store heads exist
+  // before the first kernel reads them.
+  device_->NoteBufferWrite(offsets_buf_, 0, offsets_buf_.num_elems);
+  device_->NoteBufferWrite(v_buf_, 0, v_buf_.num_elems);
+  device_->NoteBufferWrite(head_buf_, 0, head_buf_.num_elems);
+  if (udt_ != nullptr) {
+    device_->NoteBufferWrite(udt_offsets_buf_, 0, udt_offsets_buf_.num_elems);
+    device_->NoteBufferWrite(udt_v_buf_, 0, udt_v_buf_.num_elems);
+    device_->NoteBufferWrite(udt_map_buf_, 0, udt_map_buf_.num_elems);
+    device_->NoteBufferWrite(udt_group_buf_, 0, udt_group_buf_.num_elems);
+  }
+}
+
+Engine::~Engine() {
+  // Detach the engine-owned checker; leave any externally-attached sink.
+  if (checker_ != nullptr && device_->access_sink() == checker_.get()) {
+    device_->set_access_sink(nullptr);
+  }
 }
 
 void Engine::PauseSampling() { ctx_.set_observer(nullptr); }
@@ -98,14 +145,20 @@ util::Status Engine::Bind(FilterProgram* program) {
 
 sim::Buffer Engine::RegisterAttribute(const std::string& name,
                                       uint32_t elem_bytes) {
-  return device_->mem().Register(name, std::max<uint64_t>(csr_.num_nodes(), 1),
-                                 elem_bytes);
+  sim::Buffer buf = device_->mem().Register(
+      name, std::max<uint64_t>(csr_.num_nodes(), 1), elem_bytes);
+  // Programs initialize their attribute arrays host-side before launching;
+  // mark the upload so reads are not flagged as uninitialized.
+  device_->NoteBufferWrite(buf, 0, buf.num_elems);
+  return buf;
 }
 
 sim::Buffer Engine::RegisterEdgeAttribute(const std::string& name,
                                           uint32_t elem_bytes) {
-  return device_->mem().Register(name, std::max<uint64_t>(csr_.num_edges(), 1),
-                                 elem_bytes);
+  sim::Buffer buf = device_->mem().Register(
+      name, std::max<uint64_t>(csr_.num_edges(), 1), elem_bytes);
+  device_->NoteBufferWrite(buf, 0, buf.num_elems);
+  return buf;
 }
 
 util::StatusOr<RunStats> Engine::Run(std::span<const NodeId> sources,
@@ -196,6 +249,11 @@ RunStats Engine::ExpandIteration(const std::vector<NodeId>& frontier,
     work = &virtual_frontier;
   }
 
+  // The iteration's frontier was swapped (or uploaded) into the read
+  // buffer between kernels; an uncharged pointer-swap, but a functional
+  // write for shadow-init purposes.
+  device_->NoteBufferWrite(frontier_buf_[0], 0, work->size());
+
   if (options_.strategy == ExpandStrategy::kB40c) {
     edges = ExpandB40c(*work, next);
   } else if (options_.strategy == ExpandStrategy::kWarpCentric) {
@@ -205,7 +263,8 @@ RunStats Engine::ExpandIteration(const std::vector<NodeId>& frontier,
   } else {
     const uint32_t bs = spec.block_size;
     uint64_t num_blocks = (work->size() + bs - 1) / bs;
-    for (uint64_t b = 0; b < num_blocks; ++b) {
+    for (size_t b : DispatchOrder(num_blocks,
+                                  options_.dispatch_permutation_seed, 0xA1)) {
       uint32_t sm = device_->StaticSmForBlock(b);
       size_t beg = b * bs;
       size_t len = std::min<size_t>(bs, work->size() - beg);
@@ -243,7 +302,8 @@ uint64_t Engine::ExpandResident(const std::vector<NodeId>& frontier,
   iter_tiles_.clear();
   uint64_t num_blocks = (frontier.size() + bs - 1) / bs;
   std::vector<uint64_t> pool_reads;
-  for (uint64_t b = 0; b < num_blocks; ++b) {
+  for (size_t b : DispatchOrder(num_blocks,
+                                options_.dispatch_permutation_seed, 0xB2)) {
     uint32_t sm = device_->StaticSmForBlock(b);
     size_t beg = b * bs;
     size_t len = std::min<size_t>(bs, frontier.size() - beg);
@@ -280,7 +340,17 @@ uint64_t Engine::ExpandResident(const std::vector<NodeId>& frontier,
             sm, static_cast<uint64_t>(ExpandCosts::kElectionOps) *
                         spec.cg_op_cycles * decompose_scratch_.size() +
                     spec.cg_op_cycles);
-        store_.Put(f, decompose_scratch_);
+        uint64_t at = store_.Put(f, decompose_scratch_);
+        // Entries are globally visible before the head CAS publishes them
+        // (write + threadfence precede the CAS), so a duplicate frontier
+        // occurrence that wins the Has() check later in this kernel reads
+        // initialized memory. Note the functional write now; the streaming
+        // bytes are still charged once per block below.
+        device_->NoteBufferWrite(pool_buf_, at, decompose_scratch_.size(),
+                                 sim::AccessIntent::kWriteIdempotent);
+        // The head pointer publish is a CAS the cost model folds into the
+        // TP overhead above; record it for the shadow/race model.
+        device_->NoteBufferWrite(head_buf_, f, 1, sim::AccessIntent::kAtomic);
         new_entries += decompose_scratch_.size();
         iter_tiles_.insert(iter_tiles_.end(), decompose_scratch_.begin(),
                            decompose_scratch_.end());
@@ -289,36 +359,65 @@ uint64_t Engine::ExpandResident(const std::vector<NodeId>& frontier,
     }
     if (!pool_reads.empty()) device_->Access(sm, pool_buf_, pool_reads);
     if (new_entries > 0) {
-      device_->AccessRange(sm, pool_buf_, pool_write_begin, new_entries);
+      // Idempotent: if the same node appears twice in one frontier, both
+      // writers would persist the identical decomposition (and the head CAS
+      // publishes it exactly once).
+      device_->AccessRange(sm, pool_buf_, pool_write_begin, new_entries,
+                           sim::AccessIntent::kWriteIdempotent);
+    }
+    if (iter_tiles_.size() > tile_array_buf_.num_elems) {
+      // Duplicate-heavy frontiers (a node admitted once per parent under
+      // idempotent dirty writes) re-append a node's entries per occurrence,
+      // so the per-iteration tile array can outgrow any static cap tied to
+      // unique nodes. Model the queue realloc; runs that fit the original
+      // capacity are charged identically.
+      device_->mem().Grow(&tile_array_buf_,
+                          std::max<uint64_t>(iter_tiles_.size(),
+                                             2 * tile_array_buf_.num_elems));
     }
     if (appended > 0) {
       device_->AccessRange(sm, tile_array_buf_,
-                           iter_tiles_.size() - appended, appended);
+                           iter_tiles_.size() - appended, appended,
+                           sim::AccessIntent::kWrite);
     }
   }
 
   // ---- Phase B: device-wide consumption with stealing (Alg 3 l.9-17).
   // Tile records are globally visible; each is popped by whichever SM has
-  // spare capacity (modeled as least-loaded assignment).
+  // spare capacity (modeled as least-loaded assignment). Publishing the
+  // tile array and switching every SM to consumption is a device-wide
+  // ordering point (grid sync / queue publish + threadfence): tell the
+  // race checker Phase A writes cannot race Phase B reads.
+  device_->FenceKernelPhase();
   fragment_scratch_.clear();
+  big_tile_scratch_.clear();
   for (size_t i = 0; i < iter_tiles_.size(); ++i) {
     const TileEntry& t = iter_tiles_[i];
     if (t.size >= options_.min_tile_size) {
-      uint32_t sm = device_->LeastLoadedSm();
-      device_->ChargeCompute(sm, ExpandCosts::kQueuePopOps);
-      device_->ChargeWarps(sm, (t.size + spec.warp_size - 1) / spec.warp_size);
-      std::vector<uint64_t> one{i};
-      device_->Access(sm, tile_array_buf_, one);
-      edges += ctx_.ProcessTileChunk(sm, t.node, t.offset, t.size, next);
+      big_tile_scratch_.push_back(i);
     } else {
       for (uint32_t k = 0; k < t.size; ++k) {
         fragment_scratch_.emplace_back(t.node, t.offset + k);
       }
     }
   }
+  for (size_t oi : DispatchOrder(big_tile_scratch_.size(),
+                                 options_.dispatch_permutation_seed, 0xB3)) {
+    size_t i = big_tile_scratch_[oi];
+    const TileEntry& t = iter_tiles_[i];
+    uint32_t sm = device_->LeastLoadedSm();
+    device_->ChargeCompute(sm, ExpandCosts::kQueuePopOps);
+    device_->ChargeWarps(sm, (t.size + spec.warp_size - 1) / spec.warp_size);
+    std::vector<uint64_t> one{i};
+    device_->Access(sm, tile_array_buf_, one);
+    edges += ctx_.ProcessTileChunk(sm, t.node, t.offset, t.size, next);
+  }
   // Fragments: warp-sized scan-gathered batches, also stolen.
-  for (size_t base = 0; base < fragment_scratch_.size();
-       base += spec.warp_size) {
+  size_t num_batches =
+      (fragment_scratch_.size() + spec.warp_size - 1) / spec.warp_size;
+  for (size_t bi : DispatchOrder(num_batches,
+                                 options_.dispatch_permutation_seed, 0xB4)) {
+    size_t base = bi * spec.warp_size;
     size_t len =
         std::min<size_t>(spec.warp_size, fragment_scratch_.size() - base);
     uint32_t sm = device_->LeastLoadedSm();
@@ -348,7 +447,8 @@ uint64_t Engine::ExpandB40c(const std::vector<NodeId>& frontier,
   std::vector<NodeId> medium;
   std::vector<NodeId> small;
   uint64_t num_blocks = (frontier.size() + bs - 1) / bs;
-  for (uint64_t b = 0; b < num_blocks; ++b) {
+  for (size_t b : DispatchOrder(num_blocks,
+                                options_.dispatch_permutation_seed, 0xC1)) {
     uint32_t sm = device_->StaticSmForBlock(b);
     size_t beg = b * bs;
     size_t len = std::min<size_t>(bs, frontier.size() - beg);
@@ -370,7 +470,9 @@ uint64_t Engine::ExpandB40c(const std::vector<NodeId>& frontier,
 
   uint64_t block_counter = 0;
   // Bucket 1: block-sized gathering — one thread block per super node.
-  for (NodeId f : big) {
+  for (size_t bi : DispatchOrder(big.size(),
+                                 options_.dispatch_permutation_seed, 0xC2)) {
+    NodeId f = big[bi];
     uint32_t sm = device_->StaticSmForBlock(block_counter++);
     device_->ChargeWarps(sm, bs / ws);
     graph::EdgeId g = csr.NeighborBegin(f);
@@ -385,7 +487,8 @@ uint64_t Engine::ExpandB40c(const std::vector<NodeId>& frontier,
   }
   // Bucket 2: warp-sized gathering — one warp per medium node.
   const uint32_t warps_per_block = bs / ws;
-  for (size_t i = 0; i < medium.size(); ++i) {
+  for (size_t i : DispatchOrder(medium.size(),
+                                options_.dispatch_permutation_seed, 0xC3)) {
     uint32_t sm =
         device_->StaticSmForBlock(block_counter + i / warps_per_block);
     NodeId f = medium[i];
@@ -409,7 +512,10 @@ uint64_t Engine::ExpandB40c(const std::vector<NodeId>& frontier,
       fine.emplace_back(f, e);
     }
   }
-  for (size_t base = 0; base < fine.size(); base += ws) {
+  size_t fine_batches = (fine.size() + ws - 1) / ws;
+  for (size_t fb : DispatchOrder(fine_batches,
+                                 options_.dispatch_permutation_seed, 0xC4)) {
+    size_t base = fb * ws;
     size_t len = std::min<size_t>(ws, fine.size() - base);
     uint32_t sm = device_->StaticSmForBlock(block_counter + base / bs);
     device_->ChargeWarps(sm, 1);
@@ -433,7 +539,8 @@ uint64_t Engine::ExpandWarpCentric(const std::vector<NodeId>& frontier,
   uint64_t edges = 0;
 
   uint64_t num_warps = (frontier.size() + ws - 1) / ws;
-  for (uint64_t w = 0; w < num_warps; ++w) {
+  for (size_t w : DispatchOrder(num_warps,
+                                options_.dispatch_permutation_seed, 0xC5)) {
     uint32_t sm = device_->StaticSmForBlock(w / warps_per_block);
     size_t beg = w * ws;
     size_t len = std::min<size_t>(ws, frontier.size() - beg);

@@ -14,7 +14,12 @@
 #include "core/udt.h"
 #include "graph/csr.h"
 #include "sim/gpu_device.h"
+#include "util/logging.h"
 #include "util/status.h"
+
+namespace sage::check {
+class AccessChecker;
+}  // namespace sage::check
 
 namespace sage::core {
 
@@ -59,6 +64,17 @@ struct EngineOptions {
   /// Out-of-core: keep the adjacency array csr.v in host memory and access
   /// it through the PCIe link (Figure 8's scenario).
   bool adjacency_on_host = false;
+  /// SageCheck level. Anything above kOff makes the engine own an
+  /// AccessChecker and attach it to the device for the engine's lifetime
+  /// (see checker()). kOff records nothing — zero hot-path overhead.
+  sim::CheckLevel check_level = sim::CheckLevel::kOff;
+  /// Non-zero: perturb the dispatch order of independent work units (tile
+  /// pops, warp batches, block launches) with this seed. Charges and SM
+  /// assignments follow the shuffled schedule, so modeled seconds and L2
+  /// behaviour may shift, but algorithm output must not — the determinism
+  /// harness (src/check/determinism.h) re-runs traversals under different
+  /// seeds and asserts exactly that. 0 = the canonical order.
+  uint64_t dispatch_permutation_seed = 0;
 };
 
 /// SAGE: self-adaptive graph traversal. Constructed directly from a CSR —
@@ -74,6 +90,7 @@ class Engine {
   /// The engine copies the CSR (reordering mutates the copy; the caller's
   /// graph is never touched).
   Engine(sim::GpuDevice* device, graph::Csr csr, const EngineOptions& options);
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -109,13 +126,24 @@ class Engine {
       std::vector<graph::NodeId>* next);
 
   /// Id mapping between the caller's original ids and the engine's current
-  /// internal ids.
+  /// internal ids. Out-of-range ids are a caller bug and abort with a
+  /// diagnostic rather than indexing out of bounds.
   graph::NodeId InternalId(graph::NodeId original) const {
+    SAGE_CHECK(original < orig_to_int_.size())
+        << "InternalId: original node id " << original
+        << " out of range [0, " << orig_to_int_.size() << ")";
     return orig_to_int_[original];
   }
   graph::NodeId OriginalId(graph::NodeId internal) const {
+    SAGE_CHECK(internal < int_to_orig_.size())
+        << "OriginalId: internal node id " << internal
+        << " out of range [0, " << int_to_orig_.size() << ")";
     return int_to_orig_[internal];
   }
+
+  /// The engine-owned SageCheck instance, or nullptr when
+  /// options.check_level == kOff.
+  const check::AccessChecker* checker() const { return checker_.get(); }
 
   const graph::Csr& csr() const { return csr_; }
   sim::GpuDevice* device() { return device_; }
@@ -181,10 +209,13 @@ class Engine {
   std::vector<graph::NodeId> int_to_orig_;
   double reorder_seconds_total_ = 0.0;
 
+  std::unique_ptr<check::AccessChecker> checker_;
+
   // Scratch reused across iterations.
   std::vector<TileEntry> iter_tiles_;
   std::vector<TileEntry> decompose_scratch_;
   std::vector<std::pair<graph::NodeId, graph::EdgeId>> fragment_scratch_;
+  std::vector<size_t> big_tile_scratch_;
 };
 
 }  // namespace sage::core

@@ -9,6 +9,24 @@ namespace sage::core {
 using graph::EdgeId;
 using graph::NodeId;
 
+namespace {
+
+// Declared write semantics for the checker: atomics dominate, then the
+// program's idempotence claim, else a plain (race-prone) store.
+sim::AccessIntent NeighborWriteIntent(const Footprint& fp) {
+  if (fp.atomic_neighbor) return sim::AccessIntent::kAtomic;
+  if (fp.idempotent_neighbor_writes) return sim::AccessIntent::kWriteIdempotent;
+  return sim::AccessIntent::kWrite;
+}
+
+sim::AccessIntent FrontierWriteIntent(const Footprint& fp) {
+  if (fp.atomic_frontier) return sim::AccessIntent::kAtomic;
+  if (fp.idempotent_frontier_writes) return sim::AccessIntent::kWriteIdempotent;
+  return sim::AccessIntent::kWrite;
+}
+
+}  // namespace
+
 ExpandContext::ExpandContext(sim::GpuDevice* device, const graph::Csr* csr,
                              const sim::Buffer* v_buf,
                              const sim::Buffer* offsets_buf)
@@ -56,7 +74,7 @@ uint64_t ExpandContext::ProcessTileChunk(uint32_t sm, NodeId frontier,
     device_->Access(sm, *buf, idx);
   }
   for (const sim::Buffer* buf : footprint_->neighbor_writes) {
-    device_->Access(sm, *buf, idx);
+    device_->Access(sm, *buf, idx, NeighborWriteIntent(*footprint_));
   }
   // Broadcast reads/writes at the frontier's index: one address per tile.
   std::vector<uint64_t> fidx{frontier};
@@ -64,7 +82,7 @@ uint64_t ExpandContext::ProcessTileChunk(uint32_t sm, NodeId frontier,
     device_->Access(sm, *buf, fidx);
   }
   for (const sim::Buffer* buf : footprint_->frontier_writes) {
-    device_->Access(sm, *buf, fidx);
+    device_->Access(sm, *buf, fidx, FrontierWriteIntent(*footprint_));
   }
 
   // Atomic serialization: duplicate neighbor ids within one concurrent
@@ -149,7 +167,7 @@ uint64_t ExpandContext::ProcessScatteredEdges(
     device_->Access(sm, *buf, idx);
   }
   for (const sim::Buffer* buf : footprint_->neighbor_writes) {
-    device_->Access(sm, *buf, idx);
+    device_->Access(sm, *buf, idx, NeighborWriteIntent(*footprint_));
   }
   // Frontier-side accesses: one per distinct frontier in the batch.
   idx.clear();
@@ -163,7 +181,7 @@ uint64_t ExpandContext::ProcessScatteredEdges(
     device_->Access(sm, *buf, idx);
   }
   for (const sim::Buffer* buf : footprint_->frontier_writes) {
-    device_->Access(sm, *buf, idx);
+    device_->Access(sm, *buf, idx, FrontierWriteIntent(*footprint_));
   }
 
   if (footprint_->atomic_neighbor) {
@@ -216,7 +234,9 @@ void ExpandContext::ChargeContraction(const sim::Buffer* frontier_buf,
   uint64_t base = 0;
   for (uint32_t s = 0; s < num_sms && base < size; ++s) {
     uint64_t len = std::min<uint64_t>(chunk, size - base);
-    device_->AccessRange(s, *frontier_buf, base, len);
+    // Compaction writes the next frontier; SMs own disjoint chunks.
+    device_->AccessRange(s, *frontier_buf, base, len,
+                         sim::AccessIntent::kWrite);
     // Prefix-sum compute for the compaction.
     device_->ChargeCompute(s, ExpandCosts::kScanOps);
     base += len;

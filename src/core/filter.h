@@ -35,6 +35,14 @@ struct Footprint {
   /// Frontier-side updates use atomics; lanes of a tile hit the same
   /// address but a warp-aggregated reduction leaves one RMW per tile.
   bool atomic_frontier = false;
+  /// Non-atomic neighbor writes are value-idempotent: any two writers that
+  /// can hit the same element in one iteration store the same value (BFS's
+  /// dirty level writes — Section 7.2's "no atomics needed" class). Declares
+  /// the benign race to SageCheck; ignored when atomic_neighbor is set.
+  bool idempotent_neighbor_writes = false;
+  /// Same declaration for non-atomic frontier-side writes (e.g. a program
+  /// that claims a frontier cell once per iteration under its own guard).
+  bool idempotent_frontier_writes = false;
 };
 
 /// The user-facing programming interface of SAGE (Section 4, Algorithm 1):

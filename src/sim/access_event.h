@@ -1,0 +1,82 @@
+#ifndef SAGE_SIM_ACCESS_EVENT_H_
+#define SAGE_SIM_ACCESS_EVENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace sage::sim {
+
+struct Buffer;
+
+/// Declared semantics of one memory batch, used by correctness tooling
+/// (SageCheck) to classify inter-SM conflicts the way compute-sanitizer's
+/// racecheck would on real hardware. The cost model itself is intent-blind;
+/// call sites default to kRead so existing code keeps compiling.
+enum class AccessIntent : uint8_t {
+  kRead = 0,
+  /// Plain store. Concurrent same-element accesses from other SMs (reads,
+  /// writes, or atomics) within one kernel phase are data races.
+  kWrite = 1,
+  /// Atomic RMW (atomicMin/Add/CAS...). Serializes against other atomics,
+  /// and dirty reads of atomically-updated cells are device-coherent.
+  kAtomic = 2,
+  /// Plain store declared value-idempotent by the program: every writer
+  /// that can race on the element stores the same value (BFS's dirty level
+  /// writes, Section 7.2's "no atomics needed" class). Races only against
+  /// non-idempotent plain stores and atomics.
+  kWriteIdempotent = 3,
+};
+
+const char* AccessIntentName(AccessIntent intent);
+
+/// How much checking the simulator's sanitizer layer performs.
+enum class CheckLevel : uint8_t {
+  kOff = 0,     ///< no event recording at all (zero hot-path overhead)
+  kBounds = 1,  ///< out-of-bounds element indices + kernel bracketing
+  kFull = 2,    ///< bounds + intra-kernel races + read-before-ever-written
+};
+
+const char* CheckLevelName(CheckLevel level);
+
+/// Observer of every memory-system event a GpuDevice produces. Attached via
+/// GpuDevice::set_access_sink; when no sink is attached the device skips all
+/// event plumbing. SageCheck's AccessChecker is the canonical implementation
+/// (src/check/access_checker.h).
+class AccessEventSink {
+ public:
+  virtual ~AccessEventSink() = default;
+
+  /// A kernel launch began / ended. `kernel_seq` counts launches.
+  virtual void OnKernelBegin(uint64_t kernel_seq) = 0;
+  virtual void OnKernelEnd(uint64_t kernel_seq) = 0;
+
+  /// A device-wide execution phase boundary inside the current kernel
+  /// (grid sync / queue publish with memory fence): accesses on opposite
+  /// sides of a fence are ordered and cannot race.
+  virtual void OnPhaseFence(uint64_t kernel_seq) = 0;
+
+  /// One charged batch of element indices against `buffer` from SM `sm`.
+  virtual void OnAccess(uint32_t sm, const Buffer& buffer,
+                        std::span<const uint64_t> elem_indices,
+                        AccessIntent intent) = 0;
+
+  /// One charged contiguous batch [first, first + count).
+  virtual void OnAccessRange(uint32_t sm, const Buffer& buffer, uint64_t first,
+                             uint64_t count, AccessIntent intent) = 0;
+
+  /// An *uncharged* functional write marking (host uploads, memsets, and
+  /// store-metadata publishes the cost model does not meter). Participates
+  /// in shadow-init and race bookkeeping but not in timing.
+  virtual void OnBufferNote(const Buffer& buffer, uint64_t first,
+                            uint64_t count, AccessIntent intent) = 0;
+
+  /// A BeginKernel/EndKernel bracketing violation the device tolerated
+  /// because a sink is attached (sanitizer mode): double Begin, End without
+  /// Begin, or a charge outside any kernel.
+  virtual void OnBracketingViolation(std::string_view what) = 0;
+};
+
+}  // namespace sage::sim
+
+#endif  // SAGE_SIM_ACCESS_EVENT_H_

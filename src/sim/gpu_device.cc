@@ -6,6 +6,32 @@
 
 namespace sage::sim {
 
+const char* AccessIntentName(AccessIntent intent) {
+  switch (intent) {
+    case AccessIntent::kRead:
+      return "read";
+    case AccessIntent::kWrite:
+      return "write";
+    case AccessIntent::kAtomic:
+      return "atomic";
+    case AccessIntent::kWriteIdempotent:
+      return "idempotent-write";
+  }
+  return "unknown";
+}
+
+const char* CheckLevelName(CheckLevel level) {
+  switch (level) {
+    case CheckLevel::kOff:
+      return "off";
+    case CheckLevel::kBounds:
+      return "bounds";
+    case CheckLevel::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
 GpuDevice::GpuDevice(const DeviceSpec& spec)
     : spec_(spec),
       mem_(spec),
@@ -14,9 +40,17 @@ GpuDevice::GpuDevice(const DeviceSpec& spec)
       sms_(spec.num_sms) {}
 
 void GpuDevice::BeginKernel() {
-  SAGE_CHECK(!in_kernel_) << "BeginKernel without EndKernel";
+  if (in_kernel_ && sink_ != nullptr) {
+    // Sanitizer mode: report the bracketing bug and recover (the previous
+    // kernel is abandoned) instead of aborting the process.
+    sink_->OnBracketingViolation("BeginKernel while another kernel is open");
+  } else {
+    SAGE_CHECK(!in_kernel_) << "BeginKernel without EndKernel";
+  }
   in_kernel_ = true;
+  ++kernel_seq_;
   std::fill(sms_.begin(), sms_.end(), SmCounters());
+  if (sink_ != nullptr) sink_->OnKernelBegin(kernel_seq_);
 }
 
 void GpuDevice::ChargeCompute(uint32_t sm, uint64_t cycles) {
@@ -36,8 +70,41 @@ void GpuDevice::ChargeWarps(uint32_t sm, uint64_t count) {
 }
 
 AccessResult GpuDevice::Access(uint32_t sm, const Buffer& buffer,
-                               const std::vector<uint64_t>& elem_indices) {
-  SAGE_DCHECK(in_kernel_);
+                               const std::vector<uint64_t>& elem_indices,
+                               AccessIntent intent) {
+  if (sink_ != nullptr) {
+    if (!in_kernel_) {
+      sink_->OnBracketingViolation("Access outside BeginKernel/EndKernel");
+    }
+    sink_->OnAccess(sm, buffer, elem_indices, intent);
+    // Sanitizer semantics: out-of-bounds lanes were reported above; charge
+    // only the valid subset so the memory model sees real addresses.
+    bool oob = false;
+    for (uint64_t i : elem_indices) {
+      if (i >= buffer.num_elems) {
+        oob = true;
+        break;
+      }
+    }
+    if (oob) {
+      std::vector<uint64_t> valid;
+      valid.reserve(elem_indices.size());
+      for (uint64_t i : elem_indices) {
+        if (i < buffer.num_elems) valid.push_back(i);
+      }
+      return AccessCharged(sm, buffer, valid);
+    }
+  }
+  return AccessCharged(sm, buffer, elem_indices);
+}
+
+AccessResult GpuDevice::AccessCharged(
+    uint32_t sm, const Buffer& buffer,
+    const std::vector<uint64_t>& elem_indices) {
+  // With a sink attached the device runs in sanitizer mode: the bracketing
+  // violation was already reported and execution recovers; only sink-less
+  // runs treat it as a programming error.
+  SAGE_DCHECK(in_kernel_ || sink_ != nullptr);
   AccessResult result = mem_.Access(buffer, elem_indices);
   SmCounters& c = sms_[sm];
   if (buffer.space == MemSpace::kDevice) {
@@ -68,13 +135,55 @@ AccessResult GpuDevice::Access(uint32_t sm, const Buffer& buffer,
 }
 
 AccessResult GpuDevice::AccessRange(uint32_t sm, const Buffer& buffer,
-                                    uint64_t first, uint64_t count) {
+                                    uint64_t first, uint64_t count,
+                                    AccessIntent intent) {
+  if (sink_ != nullptr) {
+    if (!in_kernel_) {
+      sink_->OnBracketingViolation("Access outside BeginKernel/EndKernel");
+    }
+    sink_->OnAccessRange(sm, buffer, first, count, intent);
+    // Clamp an overflowing range to the buffer after reporting it.
+    if (first >= buffer.num_elems) {
+      count = 0;
+    } else if (first + count > buffer.num_elems) {
+      count = buffer.num_elems - first;
+    }
+  }
   auto& idx = scratch_idx_;
   idx.clear();
   for (uint64_t i = 0; i < count; ++i) idx.push_back(first + i);
-  // scratch_idx_ is reused inside Access for host buffers; copy locally.
+  // scratch_idx_ is reused inside AccessCharged for host buffers; copy
+  // locally.
   std::vector<uint64_t> local(idx.begin(), idx.end());
-  return Access(sm, buffer, local);
+  return AccessCharged(sm, buffer, local);
+}
+
+void GpuDevice::NoteBufferWrite(const Buffer& buffer, uint64_t first,
+                                uint64_t count, AccessIntent intent) {
+  if (sink_ != nullptr) sink_->OnBufferNote(buffer, first, count, intent);
+}
+
+void GpuDevice::FenceKernelPhase() {
+  if (sink_ == nullptr) return;
+  if (!in_kernel_) {
+    sink_->OnBracketingViolation("FenceKernelPhase outside a kernel");
+    return;
+  }
+  sink_->OnPhaseFence(kernel_seq_);
+}
+
+void GpuDevice::SetSmPermutation(std::vector<uint32_t> perm) {
+  if (perm.empty()) {
+    sm_perm_.clear();
+    return;
+  }
+  SAGE_CHECK_EQ(perm.size(), spec_.num_sms);
+  std::vector<bool> seen(perm.size(), false);
+  for (uint32_t s : perm) {
+    SAGE_CHECK(s < perm.size() && !seen[s]) << "not a permutation of SM ids";
+    seen[s] = true;
+  }
+  sm_perm_ = std::move(perm);
 }
 
 void GpuDevice::ChargeAtomicConflicts(uint32_t sm, uint64_t n) {
@@ -105,9 +214,12 @@ double GpuDevice::SmBusyProxy(uint32_t sm) const {
 }
 
 uint32_t GpuDevice::LeastLoadedSm() const {
-  uint32_t best = 0;
-  double best_load = SmBusyProxy(0);
-  for (uint32_t s = 1; s < sms_.size(); ++s) {
+  // Scan in permuted order when a permutation is installed so equal-load
+  // ties break differently (the determinism harness perturbs exactly this).
+  uint32_t best = sm_perm_.empty() ? 0 : sm_perm_[0];
+  double best_load = SmBusyProxy(best);
+  for (uint32_t i = 1; i < sms_.size(); ++i) {
+    uint32_t s = sm_perm_.empty() ? i : sm_perm_[i];
     double load = SmBusyProxy(s);
     if (load < best_load) {
       best_load = load;
@@ -118,7 +230,12 @@ uint32_t GpuDevice::LeastLoadedSm() const {
 }
 
 KernelResult GpuDevice::EndKernel() {
+  if (!in_kernel_ && sink_ != nullptr) {
+    sink_->OnBracketingViolation("EndKernel without BeginKernel");
+    return KernelResult();
+  }
   SAGE_CHECK(in_kernel_) << "EndKernel without BeginKernel";
+  if (sink_ != nullptr) sink_->OnKernelEnd(kernel_seq_);
   in_kernel_ = false;
   KernelResult result;
   double max_cycles = 0.0;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/access_event.h"
 #include "sim/device_spec.h"
 #include "sim/kernel_stats.h"
 #include "sim/link.h"
@@ -54,13 +55,42 @@ class GpuDevice {
 
   /// Charges one dependent memory batch (a tile gather) to an SM. Device
   /// buffers go through the L2 model; host buffers go through the PCIe
-  /// on-demand path with frame accounting.
+  /// on-demand path with frame accounting. `intent` declares read/write/
+  /// atomic semantics to the attached access sink (the cost model itself is
+  /// intent-blind). With a sink attached, out-of-bounds lanes are reported
+  /// and suppressed before charging (sanitizer semantics).
   AccessResult Access(uint32_t sm, const Buffer& buffer,
-                      const std::vector<uint64_t>& elem_indices);
+                      const std::vector<uint64_t>& elem_indices,
+                      AccessIntent intent = AccessIntent::kRead);
 
   /// Contiguous batch [first, first+count).
   AccessResult AccessRange(uint32_t sm, const Buffer& buffer, uint64_t first,
-                           uint64_t count);
+                           uint64_t count,
+                           AccessIntent intent = AccessIntent::kRead);
+
+  /// Records an *uncharged* functional write of [first, first+count) for
+  /// correctness tooling: host uploads, memsets at setup, and metadata
+  /// publishes the cost model deliberately does not meter. No-op without a
+  /// sink.
+  void NoteBufferWrite(const Buffer& buffer, uint64_t first, uint64_t count,
+                       AccessIntent intent = AccessIntent::kWrite);
+
+  /// Marks a device-wide execution phase boundary inside the current kernel
+  /// (cooperative grid sync / queue publish + threadfence). Accesses on
+  /// opposite sides are ordered: the race checker will not pair them.
+  void FenceKernelPhase();
+
+  /// Attaches / detaches the access-event sink (SageCheck). At most one
+  /// sink; pass nullptr to detach. With no sink the hot path records
+  /// nothing.
+  void set_access_sink(AccessEventSink* sink) { sink_ = sink; }
+  AccessEventSink* access_sink() const { return sink_; }
+
+  /// Installs a permutation of [0, num_sms) that remaps static block
+  /// placement and the LeastLoadedSm scan order. Used by the determinism
+  /// harness to prove results are independent of SM placement. Pass an
+  /// empty vector to restore the identity.
+  void SetSmPermutation(std::vector<uint32_t> perm);
 
   /// Charges `n` intra-tile atomic conflicts (serialized RMWs).
   void ChargeAtomicConflicts(uint32_t sm, uint64_t n);
@@ -85,7 +115,8 @@ class GpuDevice {
 
   /// Static round-robin block placement used by non-stealing engines.
   uint32_t StaticSmForBlock(uint64_t block_index) const {
-    return static_cast<uint32_t>(block_index % spec_.num_sms);
+    uint32_t slot = static_cast<uint32_t>(block_index % spec_.num_sms);
+    return sm_perm_.empty() ? slot : sm_perm_[slot];
   }
 
   DeviceTotals& totals() { return totals_; }
@@ -103,6 +134,10 @@ class GpuDevice {
  private:
   double SmBusyProxy(uint32_t sm) const;
 
+  /// The pre-sink charging body shared by Access and AccessRange.
+  AccessResult AccessCharged(uint32_t sm, const Buffer& buffer,
+                             const std::vector<uint64_t>& elem_indices);
+
   DeviceSpec spec_;
   MemorySim mem_;
   LinkModel host_link_;
@@ -110,6 +145,9 @@ class GpuDevice {
   bool in_kernel_ = false;
   DeviceTotals totals_;
   std::vector<uint64_t> scratch_idx_;
+  AccessEventSink* sink_ = nullptr;
+  std::vector<uint32_t> sm_perm_;
+  uint64_t kernel_seq_ = 0;
 };
 
 }  // namespace sage::sim

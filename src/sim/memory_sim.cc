@@ -20,9 +20,9 @@ MemorySim::MemorySim(const DeviceSpec& spec) : spec_(spec) {
 
 Buffer MemorySim::Register(const std::string& name, uint64_t num_elems,
                            uint32_t elem_bytes, MemSpace space) {
-  (void)name;  // kept for debugging hooks
   SAGE_CHECK_GT(elem_bytes, 0u);
   Buffer buf;
+  buf.name = name;
   buf.id = next_id_++;
   buf.base = next_base_;
   buf.elem_bytes = elem_bytes;
@@ -33,6 +33,20 @@ Buffer MemorySim::Register(const std::string& name, uint64_t num_elems,
   uint64_t line = spec_.cacheline_bytes;
   next_base_ += (bytes + line - 1) / line * line + line;
   return buf;
+}
+
+void MemorySim::Grow(Buffer* buffer, uint64_t new_num_elems) {
+  SAGE_CHECK(buffer != nullptr);
+  if (new_num_elems <= buffer->num_elems) return;
+  // Models a realloc: fresh allocation, contents conceptually copied (the
+  // buffer id — and so any shadow-memory state keyed on it — is preserved),
+  // old range abandoned. The old sectors linger in the L2 as dead lines,
+  // exactly as after a cudaFree.
+  buffer->base = next_base_;
+  buffer->num_elems = new_num_elems;
+  uint64_t bytes = new_num_elems * buffer->elem_bytes;
+  uint64_t line = spec_.cacheline_bytes;
+  next_base_ += (bytes + line - 1) / line * line + line;
 }
 
 bool MemorySim::ProbeL2(uint64_t sector) {
@@ -64,7 +78,9 @@ AccessResult MemorySim::Access(const Buffer& buffer,
   auto& sectors = scratch_sectors_;
   sectors.clear();
   for (uint64_t i : elem_indices) {
-    SAGE_DCHECK(i < buffer.num_elems);
+    SAGE_DCHECK(i < buffer.num_elems)
+        << "buffer '" << buffer.name << "' elem " << i << " >= "
+        << buffer.num_elems;
     sectors.push_back(buffer.Addr(i) / spec_.sector_bytes);
   }
   std::sort(sectors.begin(), sectors.end());

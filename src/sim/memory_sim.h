@@ -23,6 +23,9 @@ struct Buffer {
   uint32_t elem_bytes = 4;
   uint64_t num_elems = 0;
   MemSpace space = MemSpace::kDevice;
+  /// Registration name ("csr.v", "bfs.dist", ...), kept for diagnostics —
+  /// SageCheck violation reports name the offending buffer with it.
+  std::string name;
 
   /// Simulated byte address of element i.
   uint64_t Addr(uint64_t i) const { return base + i * elem_bytes; }
@@ -72,6 +75,13 @@ class MemorySim {
   /// address is cacheline-aligned and buffers never overlap.
   Buffer Register(const std::string& name, uint64_t num_elems,
                   uint32_t elem_bytes, MemSpace space = MemSpace::kDevice);
+
+  /// Grows a registered buffer to at least new_num_elems (no-op if already
+  /// that large), reallocating it at a fresh base address while keeping its
+  /// id — so SageCheck shadow state survives, like a realloc that copies.
+  /// Used for per-iteration work arrays whose worst case (duplicate-heavy
+  /// frontiers) exceeds any reasonable static capacity.
+  void Grow(Buffer* buffer, uint64_t new_num_elems);
 
   /// Charges a batch of element addresses (one per lane of a tile access).
   /// Deduplicates to distinct sectors and probes the L2 once per sector.

@@ -1,0 +1,512 @@
+// SageCheck tests: synthetic buggy mini-kernels must trigger exactly the
+// expected violations, and every seed application must run violation-free
+// at check_level=full (zero false positives).
+#include "check/access_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/bc.h"
+#include "apps/bfs.h"
+#include "apps/cc.h"
+#include "apps/kcore.h"
+#include "apps/label_prop.h"
+#include "apps/pagerank.h"
+#include "apps/pr_delta.h"
+#include "apps/sssp.h"
+#include "check/determinism.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "sim/gpu_device.h"
+
+namespace sage {
+namespace {
+
+using check::AccessChecker;
+using check::ViolationKind;
+using core::Engine;
+using core::EngineOptions;
+using graph::Csr;
+using graph::NodeId;
+using sim::AccessIntent;
+using sim::CheckLevel;
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;
+  spec.l2_bytes = 256 << 10;
+  return spec;
+}
+
+// A raw device + checker pair for hand-written buggy kernels.
+struct Harness {
+  explicit Harness(CheckLevel level)
+      : device(TestSpec()), checker(level) {
+    device.set_access_sink(&checker);
+  }
+  ~Harness() { device.set_access_sink(nullptr); }
+  sim::GpuDevice device;
+  AccessChecker checker;
+};
+
+// --- memcheck: out-of-bounds --------------------------------------------
+
+TEST(SageCheckTest, DetectsOutOfBoundsAccess) {
+  Harness h(CheckLevel::kBounds);
+  sim::Buffer buf = h.device.mem().Register("victim", 100, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {5, 100, 7});  // elem 100 is one past the end
+  h.device.EndKernel();
+  EXPECT_FALSE(h.checker.clean());
+  EXPECT_EQ(h.checker.count(ViolationKind::kOutOfBounds), 1u);
+  EXPECT_EQ(h.checker.total_violations(), 1u);
+  ASSERT_EQ(h.checker.violations().size(), 1u);
+  const auto& v = h.checker.violations()[0];
+  EXPECT_EQ(v.buffer_name, "victim");
+  EXPECT_EQ(v.elem, 100u);
+  EXPECT_NE(h.checker.Report().find("out-of-bounds"), std::string::npos);
+  EXPECT_FALSE(h.checker.ToStatus().ok());
+}
+
+TEST(SageCheckTest, DetectsOutOfBoundsRange) {
+  Harness h(CheckLevel::kBounds);
+  sim::Buffer buf = h.device.mem().Register("victim", 100, 4);
+  h.device.BeginKernel();
+  // [90, 110): overflows by 10 elements — reported once, as one bug.
+  h.device.AccessRange(0, buf, 90, 20, AccessIntent::kWrite);
+  h.device.EndKernel();
+  EXPECT_EQ(h.checker.count(ViolationKind::kOutOfBounds), 1u);
+  EXPECT_EQ(h.checker.violations()[0].elem, 100u);
+}
+
+TEST(SageCheckTest, OobLanesAreSuppressedBeforeCharging) {
+  // Sanitizer semantics: the memory model must only see valid addresses,
+  // so the charged sector count excludes the out-of-bounds lane.
+  Harness h(CheckLevel::kBounds);
+  sim::Buffer buf = h.device.mem().Register("victim", 8, 4);
+  h.device.BeginKernel();
+  auto r = h.device.Access(0, buf, {0, 1000000});
+  h.device.EndKernel();
+  EXPECT_EQ(r.sectors, 1u);  // only elem 0's sector
+}
+
+// --- racecheck ------------------------------------------------------------
+
+TEST(SageCheckTest, DetectsWriteWriteRace) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("shared", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {7}, AccessIntent::kWrite);
+  h.device.Access(1, buf, {7}, AccessIntent::kWrite);  // same elem, other SM
+  h.device.EndKernel();
+  EXPECT_EQ(h.checker.count(ViolationKind::kRaceWriteWrite), 1u);
+  const auto& v = h.checker.violations()[0];
+  EXPECT_EQ(v.elem, 7u);
+  EXPECT_EQ(v.sm_a, 0u);
+  EXPECT_EQ(v.sm_b, 1u);
+}
+
+TEST(SageCheckTest, DetectsReadWriteRace) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("shared", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {3}, AccessIntent::kWrite);
+  h.device.Access(1, buf, {3}, AccessIntent::kRead);
+  h.device.EndKernel();
+  EXPECT_EQ(h.checker.count(ViolationKind::kRaceReadWrite), 1u);
+  EXPECT_EQ(h.checker.count(ViolationKind::kRaceWriteWrite), 0u);
+}
+
+TEST(SageCheckTest, SameSmAccessesDoNotRace) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("private", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(2, buf, {9}, AccessIntent::kWrite);
+  h.device.Access(2, buf, {9}, AccessIntent::kWrite);  // program order
+  h.device.Access(2, buf, {9}, AccessIntent::kRead);
+  h.device.EndKernel();
+  EXPECT_TRUE(h.checker.clean()) << h.checker.Report();
+}
+
+TEST(SageCheckTest, AtomicsDoNotRaceWithAtomics) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("counter", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {1}, AccessIntent::kAtomic);
+  h.device.Access(1, buf, {1}, AccessIntent::kAtomic);
+  h.device.Access(2, buf, {1}, AccessIntent::kRead);  // coherent dirty read
+  h.device.EndKernel();
+  EXPECT_TRUE(h.checker.clean()) << h.checker.Report();
+}
+
+TEST(SageCheckTest, IdempotentWritesDoNotRaceWithEachOther) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("level", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {4}, AccessIntent::kWriteIdempotent);
+  h.device.Access(1, buf, {4}, AccessIntent::kWriteIdempotent);
+  h.device.Access(2, buf, {4}, AccessIntent::kRead);
+  h.device.EndKernel();
+  EXPECT_TRUE(h.checker.clean()) << h.checker.Report();
+}
+
+TEST(SageCheckTest, IdempotentWriteRacesWithPlainWrite) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("level", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {4}, AccessIntent::kWriteIdempotent);
+  h.device.Access(1, buf, {4}, AccessIntent::kWrite);
+  h.device.EndKernel();
+  EXPECT_EQ(h.checker.count(ViolationKind::kRaceWriteWrite), 1u);
+}
+
+TEST(SageCheckTest, IdempotentWriteRacesWithAtomic) {
+  // A non-atomic store can tear / be lost against a concurrent RMW.
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("cell", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {4}, AccessIntent::kAtomic);
+  h.device.Access(1, buf, {4}, AccessIntent::kWriteIdempotent);
+  h.device.EndKernel();
+  EXPECT_EQ(h.checker.count(ViolationKind::kRaceWriteWrite), 1u);
+}
+
+TEST(SageCheckTest, PhaseFenceOrdersAccesses) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("queue", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {5}, AccessIntent::kWrite);
+  h.device.FenceKernelPhase();  // grid-wide sync
+  h.device.Access(1, buf, {5}, AccessIntent::kRead);
+  h.device.EndKernel();
+  EXPECT_TRUE(h.checker.clean()) << h.checker.Report();
+}
+
+TEST(SageCheckTest, NewKernelResetsRaceWindow) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("x", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {5}, AccessIntent::kWrite);
+  h.device.EndKernel();
+  h.device.BeginKernel();
+  h.device.Access(1, buf, {5}, AccessIntent::kWrite);
+  h.device.EndKernel();
+  EXPECT_TRUE(h.checker.clean()) << h.checker.Report();
+}
+
+TEST(SageCheckTest, RaceReportedOncePerElementPerPhase) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("x", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {5}, AccessIntent::kWrite);
+  h.device.Access(1, buf, {5}, AccessIntent::kWrite);
+  h.device.Access(2, buf, {5}, AccessIntent::kWrite);
+  h.device.Access(3, buf, {5}, AccessIntent::kWrite);
+  h.device.EndKernel();
+  EXPECT_EQ(h.checker.count(ViolationKind::kRaceWriteWrite), 1u);
+}
+
+// --- initcheck ------------------------------------------------------------
+
+TEST(SageCheckTest, DetectsReadBeforeEverWritten) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("uninit", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {10});
+  h.device.Access(0, buf, {10});  // second read: reported once only
+  h.device.EndKernel();
+  EXPECT_EQ(h.checker.count(ViolationKind::kUninitRead), 1u);
+  EXPECT_EQ(h.checker.violations()[0].elem, 10u);
+}
+
+TEST(SageCheckTest, NoteBufferWriteInitializesShadow) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("uploaded", 64, 4);
+  h.device.NoteBufferWrite(buf, 0, 64);  // host upload before the kernel
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {10});
+  h.device.EndKernel();
+  EXPECT_TRUE(h.checker.clean()) << h.checker.Report();
+}
+
+TEST(SageCheckTest, ChargedWriteInitializesShadowAcrossKernels) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("x", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {10}, AccessIntent::kWrite);
+  h.device.EndKernel();
+  h.device.BeginKernel();
+  h.device.Access(1, buf, {10});  // read what the previous kernel wrote
+  h.device.EndKernel();
+  EXPECT_TRUE(h.checker.clean()) << h.checker.Report();
+}
+
+// --- bracketing -----------------------------------------------------------
+
+TEST(SageCheckTest, DetectsEndWithoutBegin) {
+  Harness h(CheckLevel::kBounds);
+  h.device.EndKernel();  // recovered, not fatal, because a sink is attached
+  EXPECT_EQ(h.checker.count(ViolationKind::kBracketing), 1u);
+}
+
+TEST(SageCheckTest, DetectsDoubleBegin) {
+  Harness h(CheckLevel::kBounds);
+  h.device.BeginKernel();
+  h.device.BeginKernel();
+  h.device.EndKernel();
+  EXPECT_EQ(h.checker.count(ViolationKind::kBracketing), 1u);
+}
+
+TEST(SageCheckTest, DetectsAccessOutsideKernel) {
+  Harness h(CheckLevel::kBounds);
+  sim::Buffer buf = h.device.mem().Register("x", 64, 4);
+  h.device.Access(0, buf, {0});
+  EXPECT_EQ(h.checker.count(ViolationKind::kBracketing), 1u);
+}
+
+// --- check levels ---------------------------------------------------------
+
+TEST(SageCheckTest, BoundsLevelIgnoresRacesAndShadow) {
+  Harness h(CheckLevel::kBounds);
+  sim::Buffer buf = h.device.mem().Register("x", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {5});  // uninit read
+  h.device.Access(0, buf, {5}, AccessIntent::kWrite);
+  h.device.Access(1, buf, {5}, AccessIntent::kWrite);  // race
+  h.device.EndKernel();
+  EXPECT_TRUE(h.checker.clean()) << h.checker.Report();
+}
+
+TEST(SageCheckTest, ResetFindingsClearsCountsButKeepsShadow) {
+  Harness h(CheckLevel::kFull);
+  sim::Buffer buf = h.device.mem().Register("x", 64, 4);
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {5}, AccessIntent::kWrite);
+  h.device.Access(1, buf, {5}, AccessIntent::kWrite);
+  h.device.EndKernel();
+  EXPECT_FALSE(h.checker.clean());
+  h.checker.ResetFindings();
+  EXPECT_TRUE(h.checker.clean());
+  EXPECT_TRUE(h.checker.violations().empty());
+  // Shadow memory survived the reset: elem 5 is still "written".
+  h.device.BeginKernel();
+  h.device.Access(0, buf, {5});
+  h.device.EndKernel();
+  EXPECT_TRUE(h.checker.clean()) << h.checker.Report();
+}
+
+// --- engine integration: zero false positives on the seed apps -----------
+
+struct EngineLevelCase {
+  const char* label;
+  EngineOptions options;
+};
+
+std::vector<EngineLevelCase> FullCheckConfigs() {
+  std::vector<EngineLevelCase> cases;
+  {
+    EngineOptions o;
+    o.check_level = CheckLevel::kFull;
+    cases.push_back({"resident", o});
+  }
+  {
+    EngineOptions o;
+    o.check_level = CheckLevel::kFull;
+    o.resident_tiles = false;
+    cases.push_back({"tiled", o});
+  }
+  {
+    EngineOptions o;
+    o.check_level = CheckLevel::kFull;
+    o.strategy = core::ExpandStrategy::kB40c;
+    o.resident_tiles = false;
+    cases.push_back({"b40c", o});
+  }
+  {
+    EngineOptions o;
+    o.check_level = CheckLevel::kFull;
+    o.strategy = core::ExpandStrategy::kWarpCentric;
+    o.resident_tiles = false;
+    cases.push_back({"warp-centric", o});
+  }
+  return cases;
+}
+
+Csr CleanRunGraph() {
+  return graph::GenerateRmat(9, 4000, 0.55, 0.2, 0.2, 7);
+}
+
+TEST(SageCheckCleanRunTest, AllSeedAppsAreViolationFreeAtFull) {
+  const Csr csr = CleanRunGraph();
+  for (const auto& c : FullCheckConfigs()) {
+    auto expect_clean = [&](Engine& engine, const char* app) {
+      ASSERT_NE(engine.checker(), nullptr);
+      EXPECT_TRUE(engine.checker()->clean())
+          << "config " << c.label << ", app " << app << "\n"
+          << engine.checker()->Report();
+    };
+    {
+      sim::GpuDevice device(TestSpec());
+      Engine engine(&device, csr, c.options);
+      apps::BfsProgram bfs;
+      ASSERT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
+      expect_clean(engine, "bfs");
+    }
+    {
+      sim::GpuDevice device(TestSpec());
+      Engine engine(&device, csr, c.options);
+      apps::SsspProgram sssp;
+      ASSERT_TRUE(apps::RunSssp(engine, sssp, 0).ok());
+      expect_clean(engine, "sssp");
+    }
+    {
+      sim::GpuDevice device(TestSpec());
+      Engine engine(&device, csr, c.options);
+      apps::PageRankProgram pr;
+      ASSERT_TRUE(apps::RunPageRank(engine, pr, 3).ok());
+      expect_clean(engine, "pagerank");
+    }
+    {
+      sim::GpuDevice device(TestSpec());
+      Engine engine(&device, csr, c.options);
+      apps::CcProgram cc;
+      ASSERT_TRUE(apps::RunConnectedComponents(engine, cc).ok());
+      expect_clean(engine, "cc");
+    }
+    {
+      sim::GpuDevice device(TestSpec());
+      Engine engine(&device, csr, c.options);
+      apps::Betweenness bc(csr.num_nodes());
+      ASSERT_TRUE(bc.Run(engine, 0).ok());
+      expect_clean(engine, "bc");
+    }
+    {
+      sim::GpuDevice device(TestSpec());
+      Engine engine(&device, csr, c.options);
+      apps::KCoreProgram kcore;
+      ASSERT_TRUE(apps::RunKCore(engine, kcore, 3).ok());
+      expect_clean(engine, "kcore");
+    }
+    {
+      sim::GpuDevice device(TestSpec());
+      Engine engine(&device, csr, c.options);
+      apps::LabelPropProgram lp;
+      ASSERT_TRUE(apps::RunLabelPropagation(engine, lp, 3).ok());
+      expect_clean(engine, "label_prop");
+    }
+    {
+      sim::GpuDevice device(TestSpec());
+      Engine engine(&device, csr, c.options);
+      apps::DeltaPageRankProgram dpr;
+      ASSERT_TRUE(apps::RunDeltaPageRank(engine, dpr, 1e-4).ok());
+      expect_clean(engine, "pr_delta");
+    }
+  }
+}
+
+TEST(SageCheckCleanRunTest, ReorderingRunIsViolationFree) {
+  const Csr csr = CleanRunGraph();
+  EngineOptions o;
+  o.check_level = CheckLevel::kFull;
+  o.sampling_reorder = true;
+  o.sampling_threshold_edges = 2000;  // force reorder rounds
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, o);
+  apps::BfsProgram bfs;
+  ASSERT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
+  ASSERT_NE(engine.checker(), nullptr);
+  EXPECT_TRUE(engine.checker()->clean()) << engine.checker()->Report();
+}
+
+TEST(SageCheckCleanRunTest, CheckLevelOffAttachesNothing) {
+  const Csr csr = CleanRunGraph();
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  EXPECT_EQ(engine.checker(), nullptr);
+  EXPECT_EQ(device.access_sink(), nullptr);
+}
+
+TEST(SageCheckCleanRunTest, EngineDetachesCheckerOnDestruction) {
+  const Csr csr = CleanRunGraph();
+  sim::GpuDevice device(TestSpec());
+  {
+    EngineOptions o;
+    o.check_level = CheckLevel::kBounds;
+    Engine engine(&device, csr, o);
+    EXPECT_NE(device.access_sink(), nullptr);
+  }
+  EXPECT_EQ(device.access_sink(), nullptr);
+}
+
+// --- id-map bounds checking ----------------------------------------------
+
+TEST(SageCheckDeathTest, InternalIdOutOfRangeAborts) {
+  const Csr csr = graph::GeneratePath(8);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  EXPECT_EQ(engine.InternalId(7), 7u);
+  EXPECT_DEATH(engine.InternalId(8), "out of range");
+}
+
+TEST(SageCheckDeathTest, OriginalIdOutOfRangeAborts) {
+  const Csr csr = graph::GeneratePath(8);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  EXPECT_EQ(engine.OriginalId(7), 7u);
+  EXPECT_DEATH(engine.OriginalId(1000), "out of range");
+}
+
+// --- determinism harness --------------------------------------------------
+
+TEST(DeterminismHarnessTest, BfsIsScheduleInvariantAcrossStrategies) {
+  const Csr csr = graph::GenerateRmat(9, 4000, 0.57, 0.19, 0.19, 11);
+  check::DeterminismOptions dopts;  // all three strategies, 3 trials each
+  check::DeterminismReport report = check::RunBfsDeterminism(
+      csr, TestSpec(), 0, EngineOptions(), dopts);
+  EXPECT_TRUE(report.deterministic) << report.details;
+}
+
+TEST(DeterminismHarnessTest, SmPermutationPreservesSectorTotals) {
+  const Csr csr = graph::GenerateRmat(8, 2000, 0.55, 0.2, 0.2, 3);
+  check::DeterminismOptions dopts;
+  dopts.perturbed_trials = 2;
+  check::DeterminismReport report = check::RunBfsDeterminism(
+      csr, TestSpec(), 0, EngineOptions(), dopts);
+  EXPECT_TRUE(report.deterministic) << report.details;
+  // The details must include per-trial sector comparisons.
+  EXPECT_NE(report.details.find("sectors="), std::string::npos);
+}
+
+TEST(DeterminismHarnessTest, PermutationFromSeedIsValid) {
+  EXPECT_TRUE(check::PermutationFromSeed(8, 0).empty());
+  auto perm = check::PermutationFromSeed(8, 42);
+  ASSERT_EQ(perm.size(), 8u);
+  std::vector<bool> seen(8, false);
+  for (uint32_t s : perm) {
+    ASSERT_LT(s, 8u);
+    ASSERT_FALSE(seen[s]);
+    seen[s] = true;
+  }
+  // Seeded shuffles are reproducible.
+  EXPECT_EQ(check::PermutationFromSeed(8, 42), perm);
+  EXPECT_NE(check::PermutationFromSeed(8, 43), perm);
+}
+
+TEST(DeterminismHarnessTest, HarnessFlagsAnOrderDependentTrial) {
+  // A deliberately schedule-dependent "algorithm": its output hash is the
+  // dispatch seed itself, so perturbed trials must mismatch the baseline.
+  check::DeterminismOptions dopts;
+  dopts.perturbed_trials = 1;
+  dopts.strategies = {core::ExpandStrategy::kSage};
+  auto trial = [](const EngineOptions& opts, uint64_t) {
+    check::TrialResult r;
+    r.output_hash = opts.dispatch_permutation_seed;  // order-dependent!
+    r.total_sectors = 1;
+    return r;
+  };
+  auto report = check::RunDeterminismHarness(EngineOptions(), dopts, trial);
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_NE(report.details.find("MISMATCH"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sage

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Correctness gate for SAGE: sanitizer build + full test suite + clang-tidy.
+#
+#   tools/run_checks.sh [build-dir]
+#
+# Builds Debug with ASan+UBSan into build-checks/ (or the given directory),
+# runs ctest under the sanitizers, then runs clang-tidy over src/ if it is
+# installed (skipped with a notice otherwise — the container image does not
+# always ship it).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-checks"}"
+
+echo "== configure (Debug, address+undefined sanitizers) =="
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DSAGE_SANITIZE="address;undefined" \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+echo "== build =="
+cmake --build "${build_dir}" -j "$(nproc)"
+
+echo "== ctest under sanitizers =="
+# halt_on_error keeps UBSan findings fatal so ctest actually fails on them.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
+    -name '*.cc' | sort)
+  clang-tidy -p "${build_dir}" "${sources[@]}"
+else
+  echo "clang-tidy not installed; skipping lint pass (config: .clang-tidy)"
+fi
+
+echo "== all checks passed =="

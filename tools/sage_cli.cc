@@ -12,6 +12,12 @@
 //   sage_cli msbfs <graph> <k>                         k concurrent BFS
 //   sage_cli reorder <graph> <method> <out.sagecsr>    rcm|llp|gorder|random
 //   sage_cli partition <graph> <num_parts>             metis-like partition
+//   sage_cli determinism <graph>                       schedule-invariance check
+//
+// Global flags (anywhere on the command line):
+//   --check[=bounds|full]   run under SageCheck (bare --check means full);
+//                           prints the violation report and exits 3 if the
+//                           run was not clean.
 //
 // <graph> is either a binary .sagecsr file (from generate/convert) or a
 // whitespace edge-list text file.
@@ -26,6 +32,8 @@
 #include "apps/pagerank.h"
 #include "apps/sssp.h"
 #include "baselines/metis_like.h"
+#include "check/access_checker.h"
+#include "check/determinism.h"
 #include "core/engine.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
@@ -43,9 +51,29 @@ int Usage() {
   std::fprintf(stderr,
                "usage: sage_cli "
                "<generate|convert|stats|bfs|pagerank|kcore|sssp|msbfs|reorder|"
-               "partition> "
+               "partition|determinism> "
+               "[--check[=bounds|full]] "
                "...\n(see the header of tools/sage_cli.cc)\n");
   return 2;
+}
+
+/// Checker severity requested via --check; kOff when the flag is absent.
+sim::CheckLevel g_check_level = sim::CheckLevel::kOff;
+
+core::EngineOptions BaseOptions() {
+  core::EngineOptions options;
+  options.check_level = g_check_level;
+  return options;
+}
+
+/// Prints the SageCheck report for a finished run and folds any violations
+/// into the exit code (3 = run completed but the checker found bugs).
+int FinishChecked(const core::Engine& engine, int rc) {
+  const check::AccessChecker* checker = engine.checker();
+  if (checker == nullptr) return rc;
+  std::printf("%s", checker->Report().c_str());
+  if (rc == 0 && !checker->clean()) return 3;
+  return rc;
 }
 
 util::StatusOr<graph::Csr> LoadGraph(const std::string& path) {
@@ -118,12 +146,12 @@ int CmdStats(const graph::Csr& csr) {
 
 int CmdBfs(const graph::Csr& csr, graph::NodeId source) {
   sim::GpuDevice device{sim::DeviceSpec()};
-  core::Engine engine(&device, csr, core::EngineOptions());
+  core::Engine engine(&device, csr, BaseOptions());
   apps::BfsProgram bfs;
   auto stats = apps::RunBfs(engine, bfs, source);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
-    return 1;
+    return FinishChecked(engine, 1);
   }
   uint64_t reached = 0;
   for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
@@ -133,17 +161,17 @@ int CmdBfs(const graph::Csr& csr, graph::NodeId source) {
               static_cast<unsigned long long>(reached), stats->iterations,
               stats->GTeps());
   std::printf("%s", sim::FormatDeviceProfile(device).c_str());
-  return 0;
+  return FinishChecked(engine, 0);
 }
 
 int CmdPageRank(const graph::Csr& csr, uint32_t iterations) {
   sim::GpuDevice device{sim::DeviceSpec()};
-  core::Engine engine(&device, csr, core::EngineOptions());
+  core::Engine engine(&device, csr, BaseOptions());
   apps::PageRankProgram pr;
   auto stats = apps::RunPageRank(engine, pr, iterations);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
-    return 1;
+    return FinishChecked(engine, 1);
   }
   double top = 0;
   graph::NodeId who = 0;
@@ -156,7 +184,7 @@ int CmdPageRank(const graph::Csr& csr, uint32_t iterations) {
   std::printf("%u iterations, %.3f GTEPS; top node %u (rank %.6f)\n",
               iterations, stats->GTeps(), who, top);
   std::printf("%s", sim::FormatDeviceProfile(device).c_str());
-  return 0;
+  return FinishChecked(engine, 0);
 }
 
 int CmdKcore(const graph::Csr& csr, uint32_t k) {
@@ -167,13 +195,12 @@ int CmdKcore(const graph::Csr& csr, uint32_t k) {
   graph::RemoveSelfLoops(coo);
   graph::SortCoo(coo);
   graph::DedupSortedCoo(coo);
-  core::Engine engine(&device, graph::Csr::FromCoo(coo),
-                      core::EngineOptions());
+  core::Engine engine(&device, graph::Csr::FromCoo(coo), BaseOptions());
   apps::KCoreProgram kcore;
   auto stats = apps::RunKCore(engine, kcore, k);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
-    return 1;
+    return FinishChecked(engine, 1);
   }
   uint64_t in_core = 0;
   for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
@@ -181,17 +208,17 @@ int CmdKcore(const graph::Csr& csr, uint32_t k) {
   }
   std::printf("%llu of %u nodes are in the %u-core\n",
               static_cast<unsigned long long>(in_core), csr.num_nodes(), k);
-  return 0;
+  return FinishChecked(engine, 0);
 }
 
 int CmdSssp(const graph::Csr& csr, graph::NodeId source) {
   sim::GpuDevice device{sim::DeviceSpec()};
-  core::Engine engine(&device, csr, core::EngineOptions());
+  core::Engine engine(&device, csr, BaseOptions());
   apps::SsspProgram sssp;
   auto stats = apps::RunSssp(engine, sssp, source);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
-    return 1;
+    return FinishChecked(engine, 1);
   }
   uint64_t reached = 0;
   uint64_t max_dist = 0;
@@ -205,7 +232,7 @@ int CmdSssp(const graph::Csr& csr, graph::NodeId source) {
   std::printf("reached %llu nodes; max weighted distance %llu; %.3f GTEPS\n",
               static_cast<unsigned long long>(reached),
               static_cast<unsigned long long>(max_dist), stats->GTeps());
-  return 0;
+  return FinishChecked(engine, 0);
 }
 
 int CmdMsBfs(const graph::Csr& csr, uint32_t k) {
@@ -214,7 +241,7 @@ int CmdMsBfs(const graph::Csr& csr, uint32_t k) {
     return 1;
   }
   sim::GpuDevice device{sim::DeviceSpec()};
-  core::Engine engine(&device, csr, core::EngineOptions());
+  core::Engine engine(&device, csr, BaseOptions());
   apps::MultiSourceBfsProgram msbfs;
   std::vector<graph::NodeId> sources;
   for (graph::NodeId v = 0; v < csr.num_nodes() && sources.size() < k; ++v) {
@@ -223,7 +250,7 @@ int CmdMsBfs(const graph::Csr& csr, uint32_t k) {
   auto stats = apps::RunMultiSourceBfs(engine, msbfs, sources);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
-    return 1;
+    return FinishChecked(engine, 1);
   }
   for (uint32_t i = 0; i < sources.size(); ++i) {
     std::printf("instance %2u (source %u): reached %llu nodes\n", i,
@@ -232,7 +259,7 @@ int CmdMsBfs(const graph::Csr& csr, uint32_t k) {
   }
   std::printf("%zu concurrent BFS in one traversal: %.3f GTEPS\n",
               sources.size(), stats->GTeps());
-  return 0;
+  return FinishChecked(engine, 0);
 }
 
 int CmdReorder(const graph::Csr& csr, const std::string& method,
@@ -260,6 +287,28 @@ int CmdReorder(const graph::Csr& csr, const std::string& method,
   return 0;
 }
 
+int CmdDeterminism(const graph::Csr& csr) {
+  graph::NodeId source = 0;
+  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (csr.OutDegree(v) > 0) {
+      source = v;
+      break;
+    }
+  }
+  check::DeterminismOptions options;  // all three strategies
+  check::DeterminismReport report = check::RunBfsDeterminism(
+      csr, sim::DeviceSpec(), source, BaseOptions(), options);
+  std::printf("%s", report.details.c_str());
+  if (!report.deterministic) {
+    std::fprintf(stderr, "determinism harness FAILED: traversal output or "
+                         "sector accounting depends on the schedule\n");
+    return 3;
+  }
+  std::printf("deterministic: output invariant under SM permutation and "
+              "dispatch shuffling on all strategies\n");
+  return 0;
+}
+
 int CmdPartition(const graph::Csr& csr, uint32_t parts) {
   auto result = baselines::MetisLikePartition(csr, parts);
   std::printf("%u-way partition: edge cut %llu (%.2f%% of edges), balance "
@@ -276,6 +325,23 @@ int CmdPartition(const graph::Csr& csr, uint32_t parts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip global flags before positional dispatch.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--check" || arg == "--check=full") {
+      g_check_level = sim::CheckLevel::kFull;
+    } else if (arg == "--check=bounds") {
+      g_check_level = sim::CheckLevel::kBounds;
+    } else if (arg.rfind("--check", 0) == 0) {
+      std::fprintf(stderr, "unknown check level: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(argc - 2, argv + 2);
@@ -304,5 +370,6 @@ int main(int argc, char** argv) {
   if (cmd == "partition" && argc >= 4) {
     return CmdPartition(*csr, std::stoul(argv[3]));
   }
+  if (cmd == "determinism") return CmdDeterminism(*csr);
   return Usage();
 }
