@@ -2,6 +2,7 @@
 #define SAGE_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "sim/gpu_device.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace sage::bench {
 
@@ -155,6 +157,24 @@ inline double PrGteps(sim::GpuDevice& device, const graph::Csr& csr,
   auto stats = apps::RunPageRank(engine, pr, kPrIterations);
   SAGE_CHECK(stats.ok()) << stats.status().ToString();
   return stats->GTeps();
+}
+
+/// Runs `n` independent benchmark configurations concurrently on the host.
+/// Each fn(i) must own its whole device + engine stack — the simulations
+/// share nothing, so running them side by side changes wall-clock time
+/// only, never a result (each is bit-deterministic on its own).
+/// `host_threads` follows EngineOptions::host_threads semantics: 0 = auto
+/// (hardware concurrency), 1 = serial.
+inline void RunConfigsConcurrently(size_t n, uint32_t host_threads,
+                                   const std::function<void(size_t)>& fn) {
+  uint32_t threads = host_threads == 0 ? util::ThreadPool::HardwareThreads()
+                                       : host_threads;
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  util::ThreadPool pool(threads - 1);
+  pool.ParallelFor(n, [&](uint32_t /*worker*/, size_t i) { fn(i); });
 }
 
 /// Fixed-width table-row helpers so every bench prints aligned output.

@@ -1,0 +1,167 @@
+// Simulation throughput: wall-clock speed of the simulator itself (edges
+// simulated per second of host time), serial vs parallel execution backend
+// (DESIGN.md §5). This measures the cost of *running* the model, not the
+// modeled GTEPS — the modeled results are bit-identical in both modes (the
+// equivalence harness proves it; this bench re-checks the output digests).
+//
+// Emits BENCH_sim_throughput.json next to the binary's working directory.
+// The speedup column only exceeds 1 on a multi-core host: with one
+// hardware thread the parallel backend degenerates to the serial path.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "check/determinism.h"
+
+namespace sage::bench {
+namespace {
+
+struct Measurement {
+  std::string dataset;
+  std::string app;
+  uint64_t edges = 0;
+  double serial_wall = 0.0;
+  double parallel_wall = 0.0;
+  uint32_t host_threads = 0;
+  bool identical = false;
+
+  double SerialEps() const {
+    return serial_wall <= 0 ? 0 : static_cast<double>(edges) / serial_wall;
+  }
+  double ParallelEps() const {
+    return parallel_wall <= 0 ? 0
+                              : static_cast<double>(edges) / parallel_wall;
+  }
+  double Speedup() const {
+    return parallel_wall <= 0 ? 0 : serial_wall / parallel_wall;
+  }
+};
+
+double WallSeconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// One app run under `threads`; returns (edges traversed, output digest).
+std::pair<uint64_t, uint64_t> RunOnce(const graph::Csr& csr,
+                                      const std::string& app,
+                                      uint32_t threads) {
+  core::EngineOptions opts;
+  opts.host_threads = threads;
+  sim::GpuDevice device(BenchSpec());
+  core::Engine engine(&device, csr, opts);
+  uint64_t edges = 0;
+  uint64_t digest = 0xcbf29ce484222325ull;
+  if (app == "bfs") {
+    apps::BfsProgram bfs;
+    for (graph::NodeId src : PickSources(csr, kSourcesPerDataset)) {
+      auto stats = apps::RunBfs(engine, bfs, src);
+      SAGE_CHECK(stats.ok()) << stats.status().ToString();
+      edges += stats->edges_traversed;
+    }
+    for (graph::NodeId u = 0; u < csr.num_nodes(); ++u) {
+      uint32_t d = bfs.DistanceOf(u);
+      digest = check::HashBytes(&d, sizeof(d), digest);
+    }
+  } else {
+    apps::PageRankProgram pr;
+    auto stats = apps::RunPageRank(engine, pr, kPrIterations);
+    SAGE_CHECK(stats.ok()) << stats.status().ToString();
+    edges += stats->edges_traversed;
+    for (graph::NodeId u = 0; u < csr.num_nodes(); ++u) {
+      double r = pr.RankOf(u);
+      digest = check::HashBytes(&r, sizeof(r), digest);
+    }
+  }
+  // Fold modeled timing in: serial and parallel must agree on every bit.
+  const auto& totals = device.totals();
+  digest = check::HashBytes(&totals.seconds, sizeof(totals.seconds), digest);
+  digest = check::HashSpan(
+      std::span<const uint64_t>(totals.sm_sectors), digest);
+  return {edges, digest};
+}
+
+Measurement Measure(graph::DatasetId id, const std::string& app) {
+  graph::Csr csr = LoadDataset(id);
+  Measurement m;
+  m.dataset = graph::DatasetName(id);
+  m.app = app;
+  m.host_threads = util::ThreadPool::HardwareThreads();
+
+  uint64_t serial_digest = 0, parallel_digest = 0;
+  // Warm one run so dataset caches / first-touch allocation don't skew the
+  // serial (first-measured) side.
+  (void)RunOnce(csr, app, 1);
+  m.serial_wall = WallSeconds([&] {
+    auto [edges, digest] = RunOnce(csr, app, 1);
+    m.edges = edges;
+    serial_digest = digest;
+  });
+  m.parallel_wall = WallSeconds([&] {
+    auto [edges, digest] = RunOnce(csr, app, 0);
+    SAGE_CHECK(edges == m.edges);
+    parallel_digest = digest;
+  });
+  m.identical = serial_digest == parallel_digest;
+  SAGE_CHECK(m.identical) << m.dataset << "/" << app
+                          << ": parallel run diverged from serial";
+  return m;
+}
+
+void WriteJson(const std::vector<Measurement>& ms, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"host_threads\": %u,\n  \"results\": [\n",
+               ms.empty() ? 0 : ms[0].host_threads);
+  for (size_t i = 0; i < ms.size(); ++i) {
+    const Measurement& m = ms[i];
+    std::fprintf(
+        f,
+        "    {\"dataset\": \"%s\", \"app\": \"%s\", \"edges\": %llu,\n"
+        "     \"serial_edges_per_sec\": %.1f, \"parallel_edges_per_sec\": "
+        "%.1f,\n"
+        "     \"speedup\": %.3f, \"bit_identical\": %s}%s\n",
+        m.dataset.c_str(), m.app.c_str(),
+        static_cast<unsigned long long>(m.edges), m.SerialEps(),
+        m.ParallelEps(), m.Speedup(), m.identical ? "true" : "false",
+        i + 1 < ms.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+void Run() {
+  std::printf("=== Simulation throughput: serial vs parallel backend "
+              "(host threads: %u) ===\n",
+              util::ThreadPool::HardwareThreads());
+  std::vector<Measurement> ms;
+  for (graph::DatasetId id :
+       {graph::DatasetId::kLjournals, graph::DatasetId::kUk2002s}) {
+    for (const char* app : {"bfs", "pr"}) {
+      ms.push_back(Measure(id, app));
+    }
+  }
+  PrintHeader("dataset/app", {"edges", "serial-e/s", "par-e/s", "speedup"});
+  for (const Measurement& m : ms) {
+    PrintRow(m.dataset + "/" + m.app,
+             {static_cast<double>(m.edges), m.SerialEps(), m.ParallelEps(),
+              m.Speedup()},
+             "%12.2f");
+  }
+  WriteJson(ms, "BENCH_sim_throughput.json");
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() {
+  sage::bench::Run();
+  return 0;
+}

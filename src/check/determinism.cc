@@ -95,6 +95,107 @@ DeterminismReport RunDeterminismHarness(const core::EngineOptions& base,
   return report;
 }
 
+EquivalenceReport RunSerialParallelEquivalence(
+    const core::EngineOptions& base, const EquivalenceOptions& options,
+    const TrialFn& trial) {
+  EquivalenceReport report;
+  std::ostringstream os;
+  for (core::ExpandStrategy s : options.strategies) {
+    core::EngineOptions opts = base;
+    opts.strategy = s;
+    opts.host_threads = 1;
+    TrialResult ref = trial(opts, 0);
+    os << StrategyName(s) << ": serial hash=" << std::hex << ref.output_hash
+       << " sm-sectors=" << ref.sm_sector_hash << " timing=" << ref.timing_hash
+       << std::dec << " sectors=" << ref.total_sectors << "\n";
+    for (uint32_t threads : options.thread_counts) {
+      opts.host_threads = threads;
+      TrialResult par = trial(opts, 0);
+      bool ok = par.output_hash == ref.output_hash &&
+                par.total_sectors == ref.total_sectors &&
+                par.sm_sector_hash == ref.sm_sector_hash &&
+                par.timing_hash == ref.timing_hash;
+      os << StrategyName(s) << ": threads=" << threads
+         << (threads == 0 ? " (auto)" : "") << (ok ? " MATCH" : " MISMATCH");
+      if (par.output_hash != ref.output_hash) {
+        os << " (hash " << std::hex << par.output_hash << " != "
+           << ref.output_hash << std::dec << ")";
+      }
+      if (par.total_sectors != ref.total_sectors) {
+        os << " (sectors " << par.total_sectors << " != " << ref.total_sectors
+           << ")";
+      }
+      if (par.sm_sector_hash != ref.sm_sector_hash) {
+        os << " (sm-sectors " << std::hex << par.sm_sector_hash << " != "
+           << ref.sm_sector_hash << std::dec << ")";
+      }
+      if (par.timing_hash != ref.timing_hash) {
+        os << " (timing " << std::hex << par.timing_hash << " != "
+           << ref.timing_hash << std::dec << ")";
+      }
+      os << "\n";
+      if (!ok) report.equivalent = false;
+    }
+  }
+  report.details = os.str();
+  return report;
+}
+
+TrialResult RunBfsTrial(const graph::Csr& csr, const sim::DeviceSpec& spec,
+                        graph::NodeId source, const core::EngineOptions& opts,
+                        uint64_t sm_perm_seed) {
+  sim::GpuDevice device(spec);
+  device.SetSmPermutation(PermutationFromSeed(spec.num_sms, sm_perm_seed));
+  core::Engine engine(&device, csr, opts);
+  apps::BfsProgram bfs;
+  SAGE_CHECK(engine.Bind(&bfs).ok());
+  auto stats = apps::RunBfs(engine, bfs, source);
+  SAGE_CHECK(stats.ok()) << stats.status().message();
+  TrialResult r;
+  r.seconds = stats->seconds;
+  // Digest distances in original-id order so any internal relabeling the
+  // engine performed is invisible to the comparison.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (graph::NodeId u = 0; u < csr.num_nodes(); ++u) {
+    uint32_t d = bfs.DistanceOf(u);
+    h = HashBytes(&d, sizeof(d), h);
+  }
+  r.output_hash = h;
+  const auto& mem = device.mem();
+  r.total_sectors = mem.device_stats().sectors + mem.host_stats().sectors;
+
+  const auto& totals = device.totals();
+  r.sm_sector_hash =
+      HashSpan(std::span<const uint64_t>(totals.sm_sectors));
+
+  // Fold every modeled-timing observable into one digest: totals,
+  // per-kernel timings, both memory-space stat blocks, link stats. Doubles
+  // are hashed by bit pattern, so "equal" means bit-identical, not
+  // approximately equal.
+  uint64_t th = 0xcbf29ce484222325ull;
+  th = HashBytes(&totals.seconds, sizeof(totals.seconds), th);
+  th = HashBytes(&totals.tp_overhead_seconds,
+                 sizeof(totals.tp_overhead_seconds), th);
+  th = HashBytes(&totals.kernels, sizeof(totals.kernels), th);
+  th = HashSpan(std::span<const double>(totals.per_kernel_seconds), th);
+  for (const sim::MemStats* ms : {&mem.device_stats(), &mem.host_stats()}) {
+    th = HashBytes(&ms->batches, sizeof(ms->batches), th);
+    th = HashBytes(&ms->sectors, sizeof(ms->sectors), th);
+    th = HashBytes(&ms->l2_hits, sizeof(ms->l2_hits), th);
+    th = HashBytes(&ms->l2_misses, sizeof(ms->l2_misses), th);
+    th = HashBytes(&ms->useful_bytes, sizeof(ms->useful_bytes), th);
+    th = HashBytes(&ms->loaded_bytes, sizeof(ms->loaded_bytes), th);
+  }
+  const auto& ls = device.host_link().stats();
+  th = HashBytes(&ls.transfers, sizeof(ls.transfers), th);
+  th = HashBytes(&ls.frames, sizeof(ls.frames), th);
+  th = HashBytes(&ls.payload_bytes, sizeof(ls.payload_bytes), th);
+  th = HashBytes(&ls.wire_bytes, sizeof(ls.wire_bytes), th);
+  th = HashBytes(&ls.busy_cycles, sizeof(ls.busy_cycles), th);
+  r.timing_hash = th;
+  return r;
+}
+
 DeterminismReport RunBfsDeterminism(const graph::Csr& csr,
                                     const sim::DeviceSpec& spec,
                                     graph::NodeId source,
@@ -102,28 +203,21 @@ DeterminismReport RunBfsDeterminism(const graph::Csr& csr,
                                     const DeterminismOptions& options) {
   TrialFn trial = [&csr, &spec, source](const core::EngineOptions& opts,
                                         uint64_t sm_perm_seed) {
-    sim::GpuDevice device(spec);
-    device.SetSmPermutation(PermutationFromSeed(spec.num_sms, sm_perm_seed));
-    core::Engine engine(&device, csr, opts);
-    apps::BfsProgram bfs;
-    SAGE_CHECK(engine.Bind(&bfs).ok());
-    auto stats = apps::RunBfs(engine, bfs, source);
-    SAGE_CHECK(stats.ok()) << stats.status().message();
-    TrialResult r;
-    r.seconds = stats->seconds;
-    // Digest distances in original-id order so any internal relabeling the
-    // engine performed is invisible to the comparison.
-    uint64_t h = 0xcbf29ce484222325ull;
-    for (graph::NodeId u = 0; u < csr.num_nodes(); ++u) {
-      uint32_t d = bfs.DistanceOf(u);
-      h = HashBytes(&d, sizeof(d), h);
-    }
-    r.output_hash = h;
-    const auto& mem = device.mem();
-    r.total_sectors = mem.device_stats().sectors + mem.host_stats().sectors;
-    return r;
+    return RunBfsTrial(csr, spec, source, opts, sm_perm_seed);
   };
   return RunDeterminismHarness(base, options, trial);
+}
+
+EquivalenceReport RunBfsEquivalence(const graph::Csr& csr,
+                                    const sim::DeviceSpec& spec,
+                                    graph::NodeId source,
+                                    const core::EngineOptions& base,
+                                    const EquivalenceOptions& options) {
+  TrialFn trial = [&csr, &spec, source](const core::EngineOptions& opts,
+                                        uint64_t sm_perm_seed) {
+    return RunBfsTrial(csr, spec, source, opts, sm_perm_seed);
+  };
+  return RunSerialParallelEquivalence(base, options, trial);
 }
 
 }  // namespace sage::check

@@ -26,6 +26,15 @@ struct TrialResult {
   uint64_t output_hash = 0;
   uint64_t total_sectors = 0;
   double seconds = 0.0;
+  /// Digest of DeviceTotals::sm_sectors — per-SM serviced-sector totals.
+  /// Must be bit-identical between serial and parallel execution (the
+  /// parallel backend replays the identical charge stream), but varies with
+  /// SM permutation, so only the equivalence harness compares it.
+  uint64_t sm_sector_hash = 0;
+  /// Digest of every modeled-timing observable: total/per-kernel seconds,
+  /// TP overhead, memory-system stats and host-link stats. The strongest
+  /// invariant — serial and parallel runs must agree on every bit.
+  uint64_t timing_hash = 0;
 };
 
 /// Runs one traversal under the given engine options with the SM placement
@@ -74,6 +83,43 @@ DeterminismReport RunBfsDeterminism(const graph::Csr& csr,
                                     graph::NodeId source,
                                     const core::EngineOptions& base,
                                     const DeterminismOptions& options);
+
+struct EquivalenceOptions {
+  /// host_threads values compared against the serial (host_threads = 1)
+  /// baseline. 0 means "auto" (hardware concurrency).
+  std::vector<uint32_t> thread_counts = {2, 7, 0};
+  std::vector<core::ExpandStrategy> strategies = {
+      core::ExpandStrategy::kSage, core::ExpandStrategy::kB40c,
+      core::ExpandStrategy::kWarpCentric};
+};
+
+struct EquivalenceReport {
+  bool equivalent = true;
+  std::string details;
+};
+
+/// The serial-vs-parallel equivalence harness: for every strategy, runs a
+/// serial baseline (host_threads = 1), then the same configuration at each
+/// requested thread count. Output hash, total charged sectors, per-SM
+/// sector digests and the full timing digest must all be bit-identical —
+/// the parallel backend's trace-and-replay design (DESIGN.md §5) promises
+/// the exact serial charge sequence, so ANY divergence is a bug, not noise.
+EquivalenceReport RunSerialParallelEquivalence(const core::EngineOptions& base,
+                                               const EquivalenceOptions& options,
+                                               const TrialFn& trial);
+
+/// Ready-made equivalence instantiation: BFS from `source` on `csr`.
+EquivalenceReport RunBfsEquivalence(const graph::Csr& csr,
+                                    const sim::DeviceSpec& spec,
+                                    graph::NodeId source,
+                                    const core::EngineOptions& base,
+                                    const EquivalenceOptions& options);
+
+/// The trial body RunBfsDeterminism / RunBfsEquivalence share: one pristine
+/// device + engine + BFS run under `opts`, digested into a TrialResult.
+TrialResult RunBfsTrial(const graph::Csr& csr, const sim::DeviceSpec& spec,
+                        graph::NodeId source, const core::EngineOptions& opts,
+                        uint64_t sm_perm_seed);
 
 /// A seeded permutation of [0, n): seed 0 returns the empty vector (the
 /// identity — GpuDevice::SetSmPermutation's "no permutation" form).

@@ -118,6 +118,13 @@ Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
     device_->NoteBufferWrite(udt_map_buf_, 0, udt_map_buf_.num_elems);
     device_->NoteBufferWrite(udt_group_buf_, 0, udt_group_buf_.num_elems);
   }
+
+  uint32_t threads = options_.host_threads == 0
+                         ? util::ThreadPool::HardwareThreads()
+                         : options_.host_threads;
+  if (threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(threads - 1);
+  }
 }
 
 Engine::~Engine() {
@@ -140,7 +147,107 @@ util::Status Engine::Bind(FilterProgram* program) {
   program->Bind(this);
   program_ = program;
   ctx_.set_filter(program);
+  // Worker contexts copy ctx_'s configuration; rebuild on next use.
+  worker_ctx_.clear();
   return util::Status::OK();
+}
+
+bool Engine::ParallelEligible() const {
+  return pool_ != nullptr && device_->access_sink() == nullptr &&
+         sampler_ == nullptr;
+}
+
+void Engine::EnsureWorkers() {
+  const uint32_t workers = pool_->workers();
+  if (recorders_.empty()) {
+    deferred_.resize(workers);
+    worker_edges_.resize(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      recorders_.push_back(
+          std::make_unique<sim::KernelTraceRecorder>(device_));
+      recorder_ptrs_.push_back(recorders_.back().get());
+    }
+  }
+  if (worker_ctx_.empty()) {
+    worker_ctx_.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      worker_ctx_.push_back(ctx_);
+      worker_ctx_.back().set_observer(nullptr);
+      worker_ctx_.back().set_deferred_edges(&deferred_[w]);
+    }
+  }
+}
+
+uint64_t Engine::RunStage(size_t num_units, const StageBody& body,
+                          std::vector<NodeId>* next) {
+  if (num_units == 0) return 0;
+  if (!ParallelEligible() || num_units == 1) {
+    // Legacy serial execution: charge and filter each unit immediately.
+    uint64_t edges = 0;
+    for (size_t rank = 0; rank < num_units; ++rank) {
+      edges += body(ctx_, rank, next);
+    }
+    return edges;
+  }
+  // Trace phase: workers claim ranks dynamically and record each unit's
+  // charges (keyed by rank) and filter inputs into worker-local logs.
+  EnsureWorkers();
+  for (uint32_t w = 0; w < pool_->workers(); ++w) {
+    deferred_[w].clear();
+    worker_edges_[w] = 0;
+    recorders_[w]->Reset();
+  }
+  unit_slices_.assign(num_units, DeferredSlice());
+  pool_->ParallelFor(num_units, [&](uint32_t w, size_t rank) {
+    sim::GpuDevice::BindThreadRecorder(recorders_[w].get());
+    recorders_[w]->BeginUnit(rank);
+    DeferredSlice slice;
+    slice.worker = w;
+    slice.begin = deferred_[w].size();
+    worker_edges_[w] += body(worker_ctx_[w], rank, nullptr);
+    slice.end = deferred_[w].size();
+    unit_slices_[rank] = slice;
+    sim::GpuDevice::BindThreadRecorder(nullptr);
+  });
+  // Replay phase: drive the recorded charges through the stateful models
+  // in canonical rank order — bit-identical to serial charging.
+  device_->ReplayTraces(recorder_ptrs_, pool_.get());
+  // Commit phase: run the deferred filter calls in rank order, the exact
+  // call sequence (and next-frontier order) serial execution produces.
+  uint64_t edges = 0;
+  for (uint32_t w = 0; w < pool_->workers(); ++w) edges += worker_edges_[w];
+  for (const DeferredSlice& s : unit_slices_) {
+    const std::vector<DeferredEdge>& log = deferred_[s.worker];
+    for (size_t i = s.begin; i < s.end; ++i) {
+      if (program_->Filter(log[i].frontier, log[i].neighbor)) {
+        next->push_back(log[i].neighbor);
+      }
+    }
+  }
+  return edges;
+}
+
+double Engine::TileUnitCost(uint64_t edges) const {
+  const auto& spec = device_->spec();
+  double sectors = static_cast<double>(edges) / spec.ValuesPerSector() + 1.0;
+  double warps = static_cast<double>((edges + spec.warp_size - 1) /
+                                     spec.warp_size);
+  return sectors * spec.dram_sector_cycles +
+         warps * ExpandCosts::kEdgeInstr + ExpandCosts::kQueuePopOps;
+}
+
+void Engine::ScheduleUnits(const std::vector<double>& costs) {
+  const uint32_t num_sms = device_->spec().num_sms;
+  sm_loads_.resize(num_sms);
+  for (uint32_t s = 0; s < num_sms; ++s) {
+    sm_loads_[s] = device_->SmBusyProxy(s);
+  }
+  unit_sms_.assign(costs.size(), 0);
+  for (size_t r = 0; r < costs.size(); ++r) {
+    uint32_t sm = device_->ArgMinSm(sm_loads_);
+    sm_loads_[sm] += costs[r];
+    unit_sms_[r] = sm;
+  }
 }
 
 sim::Buffer Engine::RegisterAttribute(const std::string& name,
@@ -263,19 +370,24 @@ RunStats Engine::ExpandIteration(const std::vector<NodeId>& frontier,
   } else {
     const uint32_t bs = spec.block_size;
     uint64_t num_blocks = (work->size() + bs - 1) / bs;
-    for (size_t b : DispatchOrder(num_blocks,
-                                  options_.dispatch_permutation_seed, 0xA1)) {
-      uint32_t sm = device_->StaticSmForBlock(b);
-      size_t beg = b * bs;
-      size_t len = std::min<size_t>(bs, work->size() - beg);
-      std::span<const NodeId> slice(work->data() + beg, len);
-      ctx_.ChargeBlockFrontierReads(sm, &frontier_buf_[0], beg, slice);
-      if (options_.tiled_partitioning) {
-        edges += ExpandBlockTiled(ctx_, sm, slice, tiled_options_, next);
-      } else {
-        edges += ExpandBlockScalar(ctx_, sm, slice, bs, spec.warp_size, next);
-      }
-    }
+    std::vector<size_t> order = DispatchOrder(
+        num_blocks, options_.dispatch_permutation_seed, 0xA1);
+    const std::vector<NodeId>& nodes = *work;
+    edges = RunStage(
+        order.size(),
+        [&](ExpandContext& cx, size_t rank, std::vector<NodeId>* nx) {
+          size_t b = order[rank];
+          uint32_t sm = device_->StaticSmForBlock(b);
+          size_t beg = b * bs;
+          size_t len = std::min<size_t>(bs, nodes.size() - beg);
+          std::span<const NodeId> slice(nodes.data() + beg, len);
+          cx.ChargeBlockFrontierReads(sm, &frontier_buf_[0], beg, slice);
+          if (options_.tiled_partitioning) {
+            return ExpandBlockTiled(cx, sm, slice, tiled_options_, nx);
+          }
+          return ExpandBlockScalar(cx, sm, slice, bs, spec.warp_size, nx);
+        },
+        next);
   }
 
   ctx_.ChargeContraction(&frontier_buf_[1], next->size());
@@ -401,34 +513,70 @@ uint64_t Engine::ExpandResident(const std::vector<NodeId>& frontier,
       }
     }
   }
-  for (size_t oi : DispatchOrder(big_tile_scratch_.size(),
-                                 options_.dispatch_permutation_seed, 0xB3)) {
-    size_t i = big_tile_scratch_[oi];
-    const TileEntry& t = iter_tiles_[i];
-    uint32_t sm = device_->LeastLoadedSm();
-    device_->ChargeCompute(sm, ExpandCosts::kQueuePopOps);
-    device_->ChargeWarps(sm, (t.size + spec.warp_size - 1) / spec.warp_size);
-    std::vector<uint64_t> one{i};
-    device_->Access(sm, tile_array_buf_, one);
-    edges += ctx_.ProcessTileChunk(sm, t.node, t.offset, t.size, next);
+  // The global pop is modeled by a deterministic greedy schedule: per-SM
+  // loads are seeded from the post-Phase-A busy proxies and each popped
+  // tile goes to the estimated-least-loaded SM. Unlike LeastLoadedSm (which
+  // reads live L2-outcome-dependent counters mid-phase), the schedule is a
+  // pure function of pre-phase state — so serial and parallel execution
+  // assign every tile to the same SM.
+  std::vector<size_t> big_order = DispatchOrder(
+      big_tile_scratch_.size(), options_.dispatch_permutation_seed, 0xB3);
+  {
+    std::vector<double> costs(big_order.size());
+    for (size_t r = 0; r < big_order.size(); ++r) {
+      costs[r] = TileUnitCost(
+          iter_tiles_[big_tile_scratch_[big_order[r]]].size);
+    }
+    ScheduleUnits(costs);
   }
-  // Fragments: warp-sized scan-gathered batches, also stolen.
+  edges += RunStage(
+      big_order.size(),
+      [&](ExpandContext& cx, size_t rank, std::vector<NodeId>* nx) {
+        size_t i = big_tile_scratch_[big_order[rank]];
+        const TileEntry& t = iter_tiles_[i];
+        uint32_t sm = unit_sms_[rank];
+        device_->ChargeCompute(sm, ExpandCosts::kQueuePopOps);
+        device_->ChargeWarps(sm,
+                             (t.size + spec.warp_size - 1) / spec.warp_size);
+        uint64_t one = i;
+        device_->Access(sm, tile_array_buf_,
+                        std::span<const uint64_t>(&one, 1));
+        return cx.ProcessTileChunk(sm, t.node, t.offset, t.size, nx);
+      },
+      next);
+  // Fragments: warp-sized scan-gathered batches, also stolen. Their
+  // schedule is seeded from the post-big-tile proxies — identical in both
+  // modes because replay reproduced the identical SM state.
   size_t num_batches =
       (fragment_scratch_.size() + spec.warp_size - 1) / spec.warp_size;
-  for (size_t bi : DispatchOrder(num_batches,
-                                 options_.dispatch_permutation_seed, 0xB4)) {
-    size_t base = bi * spec.warp_size;
-    size_t len =
-        std::min<size_t>(spec.warp_size, fragment_scratch_.size() - base);
-    uint32_t sm = device_->LeastLoadedSm();
-    device_->ChargeCompute(sm, ExpandCosts::kScanOps);
-    device_->ChargeWarps(sm, 1);
-    edges += ctx_.ProcessScatteredEdges(
-        sm,
-        std::span<const std::pair<NodeId, EdgeId>>(
-            fragment_scratch_.data() + base, len),
-        next);
+  std::vector<size_t> frag_order = DispatchOrder(
+      num_batches, options_.dispatch_permutation_seed, 0xB4);
+  {
+    std::vector<double> costs(frag_order.size());
+    for (size_t r = 0; r < frag_order.size(); ++r) {
+      size_t base = frag_order[r] * spec.warp_size;
+      size_t len =
+          std::min<size_t>(spec.warp_size, fragment_scratch_.size() - base);
+      costs[r] = TileUnitCost(len);
+    }
+    ScheduleUnits(costs);
   }
+  edges += RunStage(
+      frag_order.size(),
+      [&](ExpandContext& cx, size_t rank, std::vector<NodeId>* nx) {
+        size_t base = frag_order[rank] * spec.warp_size;
+        size_t len =
+            std::min<size_t>(spec.warp_size, fragment_scratch_.size() - base);
+        uint32_t sm = unit_sms_[rank];
+        device_->ChargeCompute(sm, ExpandCosts::kScanOps);
+        device_->ChargeWarps(sm, 1);
+        return cx.ProcessScatteredEdges(
+            sm,
+            std::span<const std::pair<NodeId, EdgeId>>(
+                fragment_scratch_.data() + base, len),
+            nx);
+      },
+      next);
   return edges;
 }
 
@@ -468,40 +616,31 @@ uint64_t Engine::ExpandB40c(const std::vector<NodeId>& frontier,
     }
   }
 
+  // The three buckets' SM placements are pure block-counter arithmetic, so
+  // the full unit list (in the exact serial dispatch order) is precomputed
+  // and executed as one stage.
+  struct B40cUnit {
+    uint8_t kind;  // 0 = big node, 1 = medium node, 2 = fine batch
+    NodeId node;
+    size_t base;  // fine: offset into `fine`
+    size_t len;   // fine: batch length
+    uint32_t sm;
+  };
+  std::vector<B40cUnit> units;
   uint64_t block_counter = 0;
   // Bucket 1: block-sized gathering — one thread block per super node.
   for (size_t bi : DispatchOrder(big.size(),
                                  options_.dispatch_permutation_seed, 0xC2)) {
-    NodeId f = big[bi];
-    uint32_t sm = device_->StaticSmForBlock(block_counter++);
-    device_->ChargeWarps(sm, bs / ws);
-    graph::EdgeId g = csr.NeighborBegin(f);
-    uint64_t remaining = csr.OutDegree(f);
-    while (remaining > 0) {
-      uint32_t m = static_cast<uint32_t>(std::min<uint64_t>(bs, remaining));
-      edges += ctx_.ProcessTileChunk(sm, f, g, m, next);
-      device_->ChargeCompute(sm, spec.sync_cycles);  // block-wide stepping
-      g += m;
-      remaining -= m;
-    }
+    units.push_back(
+        {0, big[bi], 0, 0, device_->StaticSmForBlock(block_counter++)});
   }
   // Bucket 2: warp-sized gathering — one warp per medium node.
   const uint32_t warps_per_block = bs / ws;
   for (size_t i : DispatchOrder(medium.size(),
                                 options_.dispatch_permutation_seed, 0xC3)) {
-    uint32_t sm =
-        device_->StaticSmForBlock(block_counter + i / warps_per_block);
-    NodeId f = medium[i];
-    device_->ChargeWarps(sm, 1);
-    device_->ChargeCompute(sm, 2ull * spec.cg_op_cycles);
-    graph::EdgeId g = csr.NeighborBegin(f);
-    uint64_t remaining = csr.OutDegree(f);
-    while (remaining > 0) {
-      uint32_t m = static_cast<uint32_t>(std::min<uint64_t>(ws, remaining));
-      edges += ctx_.ProcessTileChunk(sm, f, g, m, next);
-      g += m;
-      remaining -= m;
-    }
+    units.push_back(
+        {1, medium[i], 0, 0,
+         device_->StaticSmForBlock(block_counter + i / warps_per_block)});
   }
   block_counter += (medium.size() + warps_per_block - 1) / warps_per_block;
   // Bucket 3: fine-grained scan-based gathering of the small remainder.
@@ -517,15 +656,51 @@ uint64_t Engine::ExpandB40c(const std::vector<NodeId>& frontier,
                                  options_.dispatch_permutation_seed, 0xC4)) {
     size_t base = fb * ws;
     size_t len = std::min<size_t>(ws, fine.size() - base);
-    uint32_t sm = device_->StaticSmForBlock(block_counter + base / bs);
-    device_->ChargeWarps(sm, 1);
-    device_->ChargeCompute(sm, ExpandCosts::kScanOps);
-    edges += ctx_.ProcessScatteredEdges(
-        sm,
-        std::span<const std::pair<NodeId, graph::EdgeId>>(fine.data() + base,
-                                                          len),
-        next);
+    units.push_back({2, 0, base, len,
+                     device_->StaticSmForBlock(block_counter + base / bs)});
   }
+
+  edges += RunStage(
+      units.size(),
+      [&](ExpandContext& cx, size_t rank, std::vector<NodeId>* nx) {
+        const B40cUnit& u = units[rank];
+        uint64_t e = 0;
+        if (u.kind == 0) {
+          device_->ChargeWarps(u.sm, bs / ws);
+          graph::EdgeId g = csr.NeighborBegin(u.node);
+          uint64_t remaining = csr.OutDegree(u.node);
+          while (remaining > 0) {
+            uint32_t m =
+                static_cast<uint32_t>(std::min<uint64_t>(bs, remaining));
+            e += cx.ProcessTileChunk(u.sm, u.node, g, m, nx);
+            device_->ChargeCompute(u.sm, spec.sync_cycles);  // block stepping
+            g += m;
+            remaining -= m;
+          }
+        } else if (u.kind == 1) {
+          device_->ChargeWarps(u.sm, 1);
+          device_->ChargeCompute(u.sm, 2ull * spec.cg_op_cycles);
+          graph::EdgeId g = csr.NeighborBegin(u.node);
+          uint64_t remaining = csr.OutDegree(u.node);
+          while (remaining > 0) {
+            uint32_t m =
+                static_cast<uint32_t>(std::min<uint64_t>(ws, remaining));
+            e += cx.ProcessTileChunk(u.sm, u.node, g, m, nx);
+            g += m;
+            remaining -= m;
+          }
+        } else {
+          device_->ChargeWarps(u.sm, 1);
+          device_->ChargeCompute(u.sm, ExpandCosts::kScanOps);
+          e += cx.ProcessScatteredEdges(
+              u.sm,
+              std::span<const std::pair<NodeId, graph::EdgeId>>(
+                  fine.data() + u.base, u.len),
+              nx);
+        }
+        return e;
+      },
+      next);
   return edges;
 }
 
@@ -539,28 +714,37 @@ uint64_t Engine::ExpandWarpCentric(const std::vector<NodeId>& frontier,
   uint64_t edges = 0;
 
   uint64_t num_warps = (frontier.size() + ws - 1) / ws;
-  for (size_t w : DispatchOrder(num_warps,
-                                options_.dispatch_permutation_seed, 0xC5)) {
-    uint32_t sm = device_->StaticSmForBlock(w / warps_per_block);
-    size_t beg = w * ws;
-    size_t len = std::min<size_t>(ws, frontier.size() - beg);
-    std::span<const NodeId> slice(frontier.data() + beg, len);
-    ctx_.ChargeBlockFrontierReads(sm, &frontier_buf_[0], beg, slice);
-    device_->ChargeWarps(sm, 1);
-    // The warp serially drains each of its frontiers' adjacencies in
-    // warp-wide strides; short lists leave lanes idle (no finer regrouping).
-    for (NodeId f : slice) {
-      device_->ChargeCompute(sm, 2ull * spec.cg_op_cycles);
-      graph::EdgeId g = csr.NeighborBegin(f);
-      uint64_t remaining = csr.OutDegree(f);
-      while (remaining > 0) {
-        uint32_t m = static_cast<uint32_t>(std::min<uint64_t>(ws, remaining));
-        edges += ctx_.ProcessTileChunk(sm, f, g, m, next);
-        g += m;
-        remaining -= m;
-      }
-    }
-  }
+  std::vector<size_t> order =
+      DispatchOrder(num_warps, options_.dispatch_permutation_seed, 0xC5);
+  edges = RunStage(
+      order.size(),
+      [&](ExpandContext& cx, size_t rank, std::vector<NodeId>* nx) {
+        size_t w = order[rank];
+        uint32_t sm = device_->StaticSmForBlock(w / warps_per_block);
+        size_t beg = w * ws;
+        size_t len = std::min<size_t>(ws, frontier.size() - beg);
+        std::span<const NodeId> slice(frontier.data() + beg, len);
+        cx.ChargeBlockFrontierReads(sm, &frontier_buf_[0], beg, slice);
+        device_->ChargeWarps(sm, 1);
+        // The warp serially drains each of its frontiers' adjacencies in
+        // warp-wide strides; short lists leave lanes idle (no finer
+        // regrouping).
+        uint64_t e = 0;
+        for (NodeId f : slice) {
+          device_->ChargeCompute(sm, 2ull * spec.cg_op_cycles);
+          graph::EdgeId g = csr.NeighborBegin(f);
+          uint64_t remaining = csr.OutDegree(f);
+          while (remaining > 0) {
+            uint32_t m =
+                static_cast<uint32_t>(std::min<uint64_t>(ws, remaining));
+            e += cx.ProcessTileChunk(sm, f, g, m, nx);
+            g += m;
+            remaining -= m;
+          }
+        }
+        return e;
+      },
+      next);
   return edges;
 }
 

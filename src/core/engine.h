@@ -1,6 +1,7 @@
 #ifndef SAGE_CORE_ENGINE_H_
 #define SAGE_CORE_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -14,8 +15,10 @@
 #include "core/udt.h"
 #include "graph/csr.h"
 #include "sim/gpu_device.h"
+#include "sim/replay.h"
 #include "util/logging.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sage::check {
 class AccessChecker;
@@ -75,6 +78,14 @@ struct EngineOptions {
   /// harness (src/check/determinism.h) re-runs traversals under different
   /// seeds and asserts exactly that. 0 = the canonical order.
   uint64_t dispatch_permutation_seed = 0;
+  /// Host threads the parallel execution backend may use (DESIGN.md §5):
+  /// 0 = auto (hardware concurrency), 1 = legacy serial execution, N > 1 =
+  /// a pool of N workers runs each kernel phase's units concurrently. Every
+  /// result — outputs, sector counts, cycle totals — is bit-identical to
+  /// host_threads = 1; the serial-vs-parallel equivalence harness enforces
+  /// it. Engines with a SageCheck level above kOff or sampling_reorder fall
+  /// back to serial execution (their observers are order-sensitive).
+  uint32_t host_threads = 0;
 };
 
 /// SAGE: self-adaptive graph traversal. Constructed directly from a CSR —
@@ -169,6 +180,14 @@ class Engine {
   const UdtLayout* udt() const { return udt_.get(); }
 
  private:
+  /// A stage body processes the unit at canonical rank `rank`, charging to
+  /// `ctx`'s device and appending passing neighbors to `next` (serial) or
+  /// deferring them (parallel, `next` == nullptr). Must be rank-pure: its
+  /// charges and filter inputs may depend only on the rank, pre-stage
+  /// engine state, and read-only shared data — never on other units.
+  using StageBody =
+      std::function<uint64_t(ExpandContext&, size_t, std::vector<graph::NodeId>*)>;
+
   RunStats ExpandIteration(const std::vector<graph::NodeId>& frontier,
                            std::vector<graph::NodeId>* next);
   uint64_t ExpandResident(const std::vector<graph::NodeId>& frontier,
@@ -180,6 +199,29 @@ class Engine {
   void MaybeApplyReordering(std::vector<graph::NodeId>* live_frontier,
                             RunStats* stats);
   void ChargeReorderUpdateKernel(RunStats* stats);
+
+  /// True when stages may run on the thread pool: a pool exists and no
+  /// order-sensitive observer (SageCheck sink, sampling reorderer) is
+  /// attached.
+  bool ParallelEligible() const;
+  /// Sizes the per-worker contexts/recorders on first parallel use.
+  void EnsureWorkers();
+  /// Runs `num_units` independent units through `body`. Serial mode calls
+  /// body(ctx_, rank, next) in rank order — the legacy execution. Parallel
+  /// mode fans ranks out over the pool into per-worker recorders, replays
+  /// the traces in rank order (bit-identical charging), then commits the
+  /// deferred filter calls in rank order. Returns total edges processed.
+  uint64_t RunStage(size_t num_units, const StageBody& body,
+                    std::vector<graph::NodeId>* next);
+  /// Deterministic pre-dispatch cost estimates for the Phase B scheduler
+  /// (any pure function works; these roughly track the cost model).
+  double TileUnitCost(uint64_t edges) const;
+  /// Greedy deterministic schedule: seeds per-SM loads from the device's
+  /// current busy proxies, then assigns unit rank r (cost costs[r]) to the
+  /// argmin-load SM. Fills unit_sms_. Replaces LeastLoadedSm on the
+  /// traversal hot path — the pop outcome no longer depends on L2 state,
+  /// so serial and parallel modes compute the identical schedule.
+  void ScheduleUnits(const std::vector<double>& costs);
 
   sim::GpuDevice* device_;
   graph::Csr csr_;
@@ -216,6 +258,23 @@ class Engine {
   std::vector<TileEntry> decompose_scratch_;
   std::vector<std::pair<graph::NodeId, graph::EdgeId>> fragment_scratch_;
   std::vector<size_t> big_tile_scratch_;
+
+  // ---- Parallel execution backend (DESIGN.md §5). ----
+  /// One unit's slice of its worker's deferred-edge log.
+  struct DeferredSlice {
+    uint32_t worker = 0;
+    size_t begin = 0;
+    size_t end = 0;
+  };
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<ExpandContext> worker_ctx_;
+  std::vector<std::unique_ptr<sim::KernelTraceRecorder>> recorders_;
+  std::vector<sim::KernelTraceRecorder*> recorder_ptrs_;
+  std::vector<std::vector<DeferredEdge>> deferred_;
+  std::vector<uint64_t> worker_edges_;
+  std::vector<DeferredSlice> unit_slices_;
+  std::vector<double> sm_loads_;
+  std::vector<uint32_t> unit_sms_;
 };
 
 }  // namespace sage::core

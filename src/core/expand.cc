@@ -60,8 +60,8 @@ uint64_t ExpandContext::ProcessTileChunk(uint32_t sm, NodeId frontier,
 
   // Virtual→real translation (UDT layer): one extra indirection read.
   if (frontier_map_ != nullptr) {
-    std::vector<uint64_t> midx{frontier};
-    device_->Access(sm, *frontier_map_buf_, midx);
+    uint64_t midx = frontier;
+    device_->Access(sm, *frontier_map_buf_, std::span<const uint64_t>(&midx, 1));
     frontier = (*frontier_map_)[frontier];
   }
 
@@ -77,18 +77,20 @@ uint64_t ExpandContext::ProcessTileChunk(uint32_t sm, NodeId frontier,
     device_->Access(sm, *buf, idx, NeighborWriteIntent(*footprint_));
   }
   // Broadcast reads/writes at the frontier's index: one address per tile.
-  std::vector<uint64_t> fidx{frontier};
+  uint64_t fidx = frontier;
+  std::span<const uint64_t> fspan(&fidx, 1);
   for (const sim::Buffer* buf : footprint_->frontier_reads) {
-    device_->Access(sm, *buf, fidx);
+    device_->Access(sm, *buf, fspan);
   }
   for (const sim::Buffer* buf : footprint_->frontier_writes) {
-    device_->Access(sm, *buf, fidx, FrontierWriteIntent(*footprint_));
+    device_->Access(sm, *buf, fspan, FrontierWriteIntent(*footprint_));
   }
 
   // Atomic serialization: duplicate neighbor ids within one concurrent
   // tile access conflict on the same address.
   if (footprint_->atomic_neighbor) {
-    std::vector<NodeId> sorted(neighbors.begin(), neighbors.end());
+    auto& sorted = sorted_scratch_;
+    sorted.assign(neighbors.begin(), neighbors.end());
     std::sort(sorted.begin(), sorted.end());
     uint32_t distinct = sorted.empty() ? 0 : 1;
     for (size_t i = 1; i < sorted.size(); ++i) {
@@ -107,9 +109,14 @@ uint64_t ExpandContext::ProcessTileChunk(uint32_t sm, NodeId frontier,
       sm, static_cast<uint64_t>(ExpandCosts::kEdgeInstr) * warps +
               ExpandCosts::kChunkLoopOps);
 
-  // Functional execution of the filtering step.
-  for (NodeId nbr : neighbors) {
-    if (filter_->Filter(frontier, nbr)) next->push_back(nbr);
+  // Functional execution of the filtering step (or its deferral: trace-mode
+  // workers record the inputs and the engine commits them in unit order).
+  if (deferred_ != nullptr) {
+    for (NodeId nbr : neighbors) deferred_->push_back({frontier, nbr});
+  } else {
+    for (NodeId nbr : neighbors) {
+      if (filter_->Filter(frontier, nbr)) next->push_back(nbr);
+    }
   }
   return m;
 }
@@ -151,7 +158,8 @@ uint64_t ExpandContext::ProcessScatteredEdges(
     return frontier_map_ == nullptr ? f : (*frontier_map_)[f];
   };
   if (frontier_map_ != nullptr) {
-    std::vector<uint64_t> midx;
+    auto& midx = midx_scratch_;
+    midx.clear();
     for (const auto& [f, e] : edges) {
       (void)e;
       midx.push_back(f);
@@ -185,7 +193,8 @@ uint64_t ExpandContext::ProcessScatteredEdges(
   }
 
   if (footprint_->atomic_neighbor) {
-    std::vector<NodeId> sorted(neighbors.begin(), neighbors.end());
+    auto& sorted = sorted_scratch_;
+    sorted.assign(neighbors.begin(), neighbors.end());
     std::sort(sorted.begin(), sorted.end());
     uint32_t distinct = sorted.empty() ? 0 : 1;
     for (size_t i = 1; i < sorted.size(); ++i) {
@@ -200,8 +209,14 @@ uint64_t ExpandContext::ProcessScatteredEdges(
   device_->ChargeCompute(
       sm, static_cast<uint64_t>(ExpandCosts::kEdgeInstr) * warps);
 
-  for (const auto& [f, e] : edges) {
-    if (filter_->Filter(map_frontier(f), v[e])) next->push_back(v[e]);
+  if (deferred_ != nullptr) {
+    for (const auto& [f, e] : edges) {
+      deferred_->push_back({map_frontier(f), v[e]});
+    }
+  } else {
+    for (const auto& [f, e] : edges) {
+      if (filter_->Filter(map_frontier(f), v[e])) next->push_back(v[e]);
+    }
   }
   return edges.size();
 }
@@ -213,7 +228,8 @@ void ExpandContext::ChargeBlockFrontierReads(
   device_->AccessRange(sm, *frontier_buf, frontier_base, frontiers.size());
   // UDT layer: read the virtual→real map entries for the block.
   if (frontier_map_ != nullptr) {
-    std::vector<uint64_t> midx(frontiers.begin(), frontiers.end());
+    auto& midx = midx_scratch_;
+    midx.assign(frontiers.begin(), frontiers.end());
     device_->Access(sm, *frontier_map_buf_, midx);
   }
   // Scattered reads of u_offsets[f] and u_offsets[f+1].

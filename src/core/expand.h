@@ -39,6 +39,16 @@ struct ExpandCosts {
   static constexpr uint32_t kQueuePopOps = 4;     ///< resident-tile queue pop
 };
 
+/// One edge whose filtering step was postponed: the parallel backend's
+/// workers may not call FilterProgram::Filter (it mutates shared app state),
+/// so they record (frontier, neighbor) pairs and the engine commits them
+/// serially in canonical unit order — the exact call sequence serial
+/// execution would have made.
+struct DeferredEdge {
+  graph::NodeId frontier;
+  graph::NodeId neighbor;
+};
+
 /// Shared charging + functional-execution context for one expansion kernel.
 /// Both the SAGE engine and the PGP baselines express their scheduling
 /// strategies through this context, so all of them face the same memory
@@ -53,6 +63,13 @@ class ExpandContext {
     footprint_ = &filter->footprint();
   }
   void set_observer(TileAccessObserver* observer) { observer_ = observer; }
+
+  /// Trace mode: append filter inputs to *deferred instead of running the
+  /// filter program (nullptr restores immediate filtering). While set, the
+  /// `next` arguments of Process* are ignored.
+  void set_deferred_edges(std::vector<DeferredEdge>* deferred) {
+    deferred_ = deferred;
+  }
 
   /// Installs a virtual→real frontier-id translation (Tigr's UDT layer):
   /// adjacency ranges come from virtual ids, while the filter program and
@@ -103,9 +120,12 @@ class ExpandContext {
   TileAccessObserver* observer_ = nullptr;
   const std::vector<graph::NodeId>* frontier_map_ = nullptr;
   const sim::Buffer* frontier_map_buf_ = nullptr;
+  std::vector<DeferredEdge>* deferred_ = nullptr;
   // Reused scratch to avoid per-chunk allocation.
   std::vector<uint64_t> idx_scratch_;
+  std::vector<uint64_t> midx_scratch_;
   std::vector<graph::NodeId> nbr_scratch_;
+  std::vector<graph::NodeId> sorted_scratch_;
 };
 
 /// Options for the Algorithm 2 executor.

@@ -2,9 +2,26 @@
 
 #include <algorithm>
 
+#include "sim/replay.h"
 #include "util/logging.h"
 
 namespace sage::sim {
+
+namespace {
+/// The calling thread's bound trace recorder (parallel trace phase). A
+/// plain pointer: binding is per ParallelFor body and the engine unbinds
+/// before any serial device work.
+thread_local KernelTraceRecorder* tls_recorder = nullptr;
+}  // namespace
+
+void GpuDevice::BindThreadRecorder(KernelTraceRecorder* rec) {
+  tls_recorder = rec;
+}
+
+KernelTraceRecorder* GpuDevice::BoundRecorder() const {
+  KernelTraceRecorder* rec = tls_recorder;
+  return rec != nullptr && rec->device() == this ? rec : nullptr;
+}
 
 const char* AccessIntentName(AccessIntent intent) {
   switch (intent) {
@@ -55,22 +72,36 @@ void GpuDevice::BeginKernel() {
 
 void GpuDevice::ChargeCompute(uint32_t sm, uint64_t cycles) {
   SAGE_DCHECK(in_kernel_);
+  if (KernelTraceRecorder* rec = BoundRecorder()) {
+    rec->local_sm(sm).compute_cycles += cycles;
+    return;
+  }
   sms_[sm].compute_cycles += cycles;
 }
 
 void GpuDevice::ChargeTpOverhead(uint32_t sm, uint64_t cycles) {
   SAGE_DCHECK(in_kernel_);
+  if (KernelTraceRecorder* rec = BoundRecorder()) {
+    SmCounters& c = rec->local_sm(sm);
+    c.compute_cycles += cycles;
+    c.tp_overhead_cycles += cycles;
+    return;
+  }
   sms_[sm].compute_cycles += cycles;
   sms_[sm].tp_overhead_cycles += cycles;
 }
 
 void GpuDevice::ChargeWarps(uint32_t sm, uint64_t count) {
   SAGE_DCHECK(in_kernel_);
+  if (KernelTraceRecorder* rec = BoundRecorder()) {
+    rec->local_sm(sm).warps_launched += count;
+    return;
+  }
   sms_[sm].warps_launched += count;
 }
 
 AccessResult GpuDevice::Access(uint32_t sm, const Buffer& buffer,
-                               const std::vector<uint64_t>& elem_indices,
+                               std::span<const uint64_t> elem_indices,
                                AccessIntent intent) {
   if (sink_ != nullptr) {
     if (!in_kernel_) {
@@ -95,43 +126,57 @@ AccessResult GpuDevice::Access(uint32_t sm, const Buffer& buffer,
       return AccessCharged(sm, buffer, valid);
     }
   }
+  if (KernelTraceRecorder* rec = BoundRecorder()) {
+    return rec->RecordAccess(sm, buffer, elem_indices);
+  }
   return AccessCharged(sm, buffer, elem_indices);
 }
 
-AccessResult GpuDevice::AccessCharged(
-    uint32_t sm, const Buffer& buffer,
-    const std::vector<uint64_t>& elem_indices) {
+AccessResult GpuDevice::AccessCharged(uint32_t sm, const Buffer& buffer,
+                                      std::span<const uint64_t> elem_indices) {
   // With a sink attached the device runs in sanitizer mode: the bracketing
   // violation was already reported and execution recovers; only sink-less
   // runs treat it as a programming error.
   SAGE_DCHECK(in_kernel_ || sink_ != nullptr);
-  AccessResult result = mem_.Access(buffer, elem_indices);
-  SmCounters& c = sms_[sm];
-  if (buffer.space == MemSpace::kDevice) {
-    c.hit_sectors += result.l2_hits;
-    c.miss_sectors += result.l2_misses;
-    if (result.l2_misses > 0) {
-      ++c.dram_latency_events;
-    } else if (result.l2_hits > 0) {
-      ++c.l2_latency_events;
-    }
+  // Empty device batches are charge-free; empty host batches still run
+  // through the link-charge tail (they never occur in practice, but the
+  // replay path reproduces immediate mode exactly, quirks included).
+  if (elem_indices.empty() && buffer.space == MemSpace::kDevice) {
+    return AccessResult();
+  }
+  mem_.CollectSectors(buffer, elem_indices, &scratch_idx_);
+  return ChargeSectorBatch(sm, buffer.space, scratch_idx_,
+                           elem_indices.size() * buffer.elem_bytes);
+}
+
+AccessResult GpuDevice::ChargeSectorBatch(uint32_t sm, MemSpace space,
+                                          std::span<const uint64_t> sectors,
+                                          uint64_t useful_bytes) {
+  AccessResult result = mem_.AccessSectors(space, sectors, useful_bytes);
+  if (space == MemSpace::kDevice) {
+    ApplyDeviceCounters(sm, result);
   } else {
-    // On-demand host access: build the sorted distinct sector list and run
-    // it through the frame model.
-    auto& sectors = scratch_idx_;
-    sectors.clear();
-    for (uint64_t i : elem_indices) {
-      sectors.push_back(buffer.Addr(i) / spec_.sector_bytes);
-    }
-    std::sort(sectors.begin(), sectors.end());
-    sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
-    LinkModel::Transfer t = host_link_.RequestSectors(sectors,
-                                                      spec_.sector_bytes);
+    // On-demand host access: run the sorted distinct sector list through
+    // the frame model.
+    SmCounters& c = sms_[sm];
+    LinkModel::Transfer t =
+        host_link_.RequestSectors(sectors, spec_.sector_bytes);
     // Bandwidth part serializes on the link; latency part is a stall event.
     c.host_link_cycles += t.cycles - spec_.pcie_latency_cycles;
     ++c.host_latency_events;
   }
   return result;
+}
+
+void GpuDevice::ApplyDeviceCounters(uint32_t sm, const AccessResult& result) {
+  SmCounters& c = sms_[sm];
+  c.hit_sectors += result.l2_hits;
+  c.miss_sectors += result.l2_misses;
+  if (result.l2_misses > 0) {
+    ++c.dram_latency_events;
+  } else if (result.l2_hits > 0) {
+    ++c.l2_latency_events;
+  }
 }
 
 AccessResult GpuDevice::AccessRange(uint32_t sm, const Buffer& buffer,
@@ -149,13 +194,72 @@ AccessResult GpuDevice::AccessRange(uint32_t sm, const Buffer& buffer,
       count = buffer.num_elems - first;
     }
   }
-  auto& idx = scratch_idx_;
-  idx.clear();
-  for (uint64_t i = 0; i < count; ++i) idx.push_back(first + i);
-  // scratch_idx_ is reused inside AccessCharged for host buffers; copy
-  // locally.
-  std::vector<uint64_t> local(idx.begin(), idx.end());
-  return AccessCharged(sm, buffer, local);
+  if (KernelTraceRecorder* rec = BoundRecorder()) {
+    return rec->RecordAccessRange(sm, buffer, first, count);
+  }
+  SAGE_DCHECK(in_kernel_ || sink_ != nullptr);
+  if (count == 0 && buffer.space == MemSpace::kDevice) return AccessResult();
+  mem_.CollectSectorRange(buffer, first, count, &scratch_idx_);
+  return ChargeSectorBatch(sm, buffer.space, scratch_idx_,
+                           count * buffer.elem_bytes);
+}
+
+void GpuDevice::ReplayTraces(std::span<KernelTraceRecorder* const> recorders,
+                             util::ThreadPool* pool) {
+  for (KernelTraceRecorder* rec : recorders) rec->MergeCountersInto(&sms_);
+
+  // Canonical total order: unit rank, then issue order within the unit.
+  // Each unit ran on exactly one worker, which appended its events in issue
+  // order, so a stable sort on the rank alone reconstructs the exact
+  // sequence serial execution would have charged.
+  struct Ref {
+    const KernelTraceRecorder* rec;
+    uint32_t idx;
+  };
+  std::vector<Ref> order;
+  size_t total = 0;
+  for (const KernelTraceRecorder* rec : recorders) {
+    total += rec->events().size();
+  }
+  order.reserve(total);
+  for (const KernelTraceRecorder* rec : recorders) {
+    for (uint32_t i = 0; i < rec->events().size(); ++i) {
+      order.push_back(Ref{rec, i});
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Ref& a, const Ref& b) {
+                     return a.rec->events()[a.idx].unit <
+                            b.rec->events()[b.idx].unit;
+                   });
+
+  // Decide every device batch's L2 outcome via the sliced replay.
+  std::vector<std::span<const uint64_t>> batches;
+  batches.reserve(order.size());
+  for (const Ref& r : order) {
+    const KernelTraceRecorder::Event& e = r.rec->events()[r.idx];
+    if (e.space == MemSpace::kDevice) batches.push_back(r.rec->sectors_of(e));
+  }
+  std::vector<BatchProbe> probes;
+  mem_.ProbeBatches(batches, pool, &probes);
+
+  // Apply stats and SM/link charges serially in canonical order — the same
+  // statement sequence immediate mode executes, so every accumulator
+  // (including the floating-point link cycles) sums in the same order.
+  size_t p = 0;
+  for (const Ref& r : order) {
+    const KernelTraceRecorder::Event& e = r.rec->events()[r.idx];
+    if (e.space == MemSpace::kDevice) {
+      const BatchProbe& probe = probes[p++];
+      AccessResult result =
+          mem_.ApplySectorStats(MemSpace::kDevice, e.sector_count,
+                                probe.l2_hits, probe.l2_misses, e.useful_bytes);
+      ApplyDeviceCounters(e.sm, result);
+    } else {
+      ChargeSectorBatch(e.sm, MemSpace::kHost, r.rec->sectors_of(e),
+                        e.useful_bytes);
+    }
+  }
 }
 
 void GpuDevice::NoteBufferWrite(const Buffer& buffer, uint64_t first,
@@ -188,12 +292,22 @@ void GpuDevice::SetSmPermutation(std::vector<uint32_t> perm) {
 
 void GpuDevice::ChargeAtomicConflicts(uint32_t sm, uint64_t n) {
   SAGE_DCHECK(in_kernel_);
+  if (KernelTraceRecorder* rec = BoundRecorder()) {
+    SmCounters& c = rec->local_sm(sm);
+    c.atomic_conflicts += n;
+    c.compute_cycles += n * spec_.atomic_conflict_cycles;
+    return;
+  }
   sms_[sm].atomic_conflicts += n;
   sms_[sm].compute_cycles += n * spec_.atomic_conflict_cycles;
 }
 
 void GpuDevice::ChargeStreamingBytes(uint32_t sm, uint64_t bytes) {
   SAGE_DCHECK(in_kernel_);
+  // warps_launched folds via max here — not commutative across shards, so
+  // streaming charges are serial-only (no traversal hot path uses them).
+  SAGE_DCHECK(BoundRecorder() == nullptr)
+      << "ChargeStreamingBytes is not traceable";
   SmCounters& c = sms_[sm];
   c.miss_sectors += (bytes + spec_.sector_bytes - 1) / spec_.sector_bytes;
   ++c.dram_latency_events;
@@ -201,6 +315,8 @@ void GpuDevice::ChargeStreamingBytes(uint32_t sm, uint64_t bytes) {
 }
 
 LinkModel::Transfer GpuDevice::BulkHostTransfer(uint64_t payload_bytes) {
+  SAGE_DCHECK(BoundRecorder() == nullptr)
+      << "BulkHostTransfer is not traceable";
   return host_link_.BulkTransfer(payload_bytes);
 }
 
@@ -214,6 +330,8 @@ double GpuDevice::SmBusyProxy(uint32_t sm) const {
 }
 
 uint32_t GpuDevice::LeastLoadedSm() const {
+  // Reads live counters — meaningless while charges sit in worker shards.
+  SAGE_DCHECK(BoundRecorder() == nullptr) << "LeastLoadedSm is not traceable";
   // Scan in permuted order when a permutation is installed so equal-load
   // ties break differently (the determinism harness perturbs exactly this).
   uint32_t best = sm_perm_.empty() ? 0 : sm_perm_[0];
@@ -223,6 +341,21 @@ uint32_t GpuDevice::LeastLoadedSm() const {
     double load = SmBusyProxy(s);
     if (load < best_load) {
       best_load = load;
+      best = s;
+    }
+  }
+  return best;
+}
+
+uint32_t GpuDevice::ArgMinSm(std::span<const double> loads) const {
+  SAGE_DCHECK(loads.size() == sms_.size());
+  // Same permuted scan order and strict-< tie-break as LeastLoadedSm.
+  uint32_t best = sm_perm_.empty() ? 0 : sm_perm_[0];
+  double best_load = loads[best];
+  for (uint32_t i = 1; i < loads.size(); ++i) {
+    uint32_t s = sm_perm_.empty() ? i : sm_perm_[i];
+    if (loads[s] < best_load) {
+      best_load = loads[s];
       best = s;
     }
   }
@@ -243,8 +376,12 @@ KernelResult GpuDevice::EndKernel() {
   double max_busy = 0.0;
   uint64_t tp_total = 0;
   double total_link_cycles = 0.0;
+  if (totals_.sm_sectors.size() < sms_.size()) {
+    totals_.sm_sectors.resize(sms_.size(), 0);
+  }
   for (uint32_t s = 0; s < sms_.size(); ++s) {
     const SmCounters& c = sms_[s];
+    totals_.sm_sectors[s] += c.hit_sectors + c.miss_sectors;
     double service =
         static_cast<double>(c.hit_sectors) * spec_.l2_hit_sector_cycles +
         static_cast<double>(c.miss_sectors) * spec_.dram_sector_cycles +

@@ -2,6 +2,7 @@
 #define SAGE_SIM_GPU_DEVICE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/access_event.h"
@@ -10,7 +11,13 @@
 #include "sim/link.h"
 #include "sim/memory_sim.h"
 
+namespace sage::util {
+class ThreadPool;
+}  // namespace sage::util
+
 namespace sage::sim {
+
+class KernelTraceRecorder;
 
 /// One simulated GPU: a memory system, a host (PCIe) link, and per-SM
 /// execution counters. Engines (SAGE and the baselines) express their work
@@ -60,8 +67,13 @@ class GpuDevice {
   /// intent-blind). With a sink attached, out-of-bounds lanes are reported
   /// and suppressed before charging (sanitizer semantics).
   AccessResult Access(uint32_t sm, const Buffer& buffer,
-                      const std::vector<uint64_t>& elem_indices,
+                      std::span<const uint64_t> elem_indices,
                       AccessIntent intent = AccessIntent::kRead);
+  AccessResult Access(uint32_t sm, const Buffer& buffer,
+                      const std::vector<uint64_t>& elem_indices,
+                      AccessIntent intent = AccessIntent::kRead) {
+    return Access(sm, buffer, std::span<const uint64_t>(elem_indices), intent);
+  }
 
   /// Contiguous batch [first, first+count).
   AccessResult AccessRange(uint32_t sm, const Buffer& buffer, uint64_t first,
@@ -111,7 +123,35 @@ class GpuDevice {
 
   /// SM with the smallest accumulated busy proxy — the simulator's model of
   /// a global work queue pop (work stealing assigns the next unit here).
+  /// Outcome-dependent (reads live counters), so it is only legal in
+  /// immediate mode; the engine's deterministic scheduler (ArgMinSm over
+  /// its own load estimates) replaces it on the traversal hot path.
   uint32_t LeastLoadedSm() const;
+
+  /// Index of the smallest element of `loads`, scanning in installed-SM-
+  /// permutation order with strict < (the same tie-break LeastLoadedSm
+  /// uses). `loads.size()` must equal num_sms. Pure — safe pre-dispatch.
+  uint32_t ArgMinSm(std::span<const double> loads) const;
+
+  /// Busy-cycle estimate of one SM in the current kernel (compute + memory
+  /// service so far). The engine seeds its deterministic scheduler's load
+  /// vector from this at phase boundaries.
+  double SmBusyProxy(uint32_t sm) const;
+
+  /// Binds `rec` as the calling thread's trace recorder (nullptr unbinds).
+  /// While a recorder whose device() is this GpuDevice is bound, Charge*/
+  /// Access calls on this thread record into it instead of touching device
+  /// state — the parallel backend's trace phase (DESIGN.md §5).
+  static void BindThreadRecorder(KernelTraceRecorder* rec);
+
+  /// Replays recorded traces in canonical unit order: merges the workers'
+  /// SM counter shards, probes all device batches through the sliced L2
+  /// (parallel across slices of `pool`, nullptr = serial), then applies
+  /// stats and SM/link charges serially in unit order — producing device
+  /// state bit-identical to immediate-mode execution of the same units in
+  /// rank order.
+  void ReplayTraces(std::span<KernelTraceRecorder* const> recorders,
+                    util::ThreadPool* pool);
 
   /// Static round-robin block placement used by non-stealing engines.
   uint32_t StaticSmForBlock(uint64_t block_index) const {
@@ -132,11 +172,22 @@ class GpuDevice {
   }
 
  private:
-  double SmBusyProxy(uint32_t sm) const;
-
   /// The pre-sink charging body shared by Access and AccessRange.
   AccessResult AccessCharged(uint32_t sm, const Buffer& buffer,
-                             const std::vector<uint64_t>& elem_indices);
+                             std::span<const uint64_t> elem_indices);
+
+  /// Charges one pre-collected sorted distinct sector batch to `sm`: the
+  /// memory system (L2 probe or host-link frames) plus the SM's counters.
+  /// The single charging path shared by immediate mode and trace replay.
+  AccessResult ChargeSectorBatch(uint32_t sm, MemSpace space,
+                                 std::span<const uint64_t> sectors,
+                                 uint64_t useful_bytes);
+
+  /// SM-counter part of a device-space charge (sector split + stall event).
+  void ApplyDeviceCounters(uint32_t sm, const AccessResult& result);
+
+  /// The thread's bound recorder if it belongs to this device.
+  KernelTraceRecorder* BoundRecorder() const;
 
   DeviceSpec spec_;
   MemorySim mem_;

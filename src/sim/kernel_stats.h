@@ -47,6 +47,10 @@ struct DeviceTotals {
   uint64_t kernels = 0;
   double tp_overhead_seconds = 0.0;
   std::vector<double> per_kernel_seconds;
+  /// Sectors serviced per SM across all kernels (hit + miss), indexed by SM
+  /// id. The determinism harness hashes this to prove the parallel backend
+  /// charges every SM identically to serial mode.
+  std::vector<uint64_t> sm_sectors;
 };
 
 }  // namespace sage::sim

@@ -30,7 +30,7 @@ LinkModel::Transfer LinkModel::Finish(uint64_t frames, uint64_t payload) {
 }
 
 LinkModel::Transfer LinkModel::RequestSectors(
-    const std::vector<uint64_t>& sorted_sector_ids, uint32_t sector_bytes) {
+    std::span<const uint64_t> sorted_sector_ids, uint32_t sector_bytes) {
   if (sorted_sector_ids.empty()) return Transfer{};
   const uint64_t sectors_per_frame =
       std::max<uint64_t>(1, max_payload_bytes_ / sector_bytes);

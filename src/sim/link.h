@@ -2,6 +2,7 @@
 #define SAGE_SIM_LINK_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace sage::sim {
@@ -43,8 +44,13 @@ class LinkModel {
   /// On-demand access to a set of sectors. Consecutive sector ids are merged
   /// into one frame (up to max payload) — the "merged and aligned" behaviour
   /// of [Min et al., 31]; scattered ids pay one header each.
-  Transfer RequestSectors(const std::vector<uint64_t>& sorted_sector_ids,
+  Transfer RequestSectors(std::span<const uint64_t> sorted_sector_ids,
                           uint32_t sector_bytes);
+  Transfer RequestSectors(const std::vector<uint64_t>& sorted_sector_ids,
+                          uint32_t sector_bytes) {
+    return RequestSectors(std::span<const uint64_t>(sorted_sector_ids),
+                          sector_bytes);
+  }
 
   /// Planned bulk DMA of payload_bytes (Subway-style preloading): headers
   /// amortize over maximal frames.

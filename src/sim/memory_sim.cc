@@ -1,10 +1,28 @@
 #include "sim/memory_sim.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace sage::sim {
+
+namespace {
+
+/// num_elems * elem_bytes with a clear failure on 64-bit overflow. The two
+/// extra cachelines cover the alignment padding Register/Grow add, so the
+/// base-address bump cannot wrap either.
+uint64_t CheckedBufferBytes(const std::string& name, uint64_t num_elems,
+                            uint32_t elem_bytes, uint64_t line) {
+  SAGE_CHECK(num_elems <=
+             (std::numeric_limits<uint64_t>::max() - 2 * line) / elem_bytes)
+      << "buffer '" << name << "': " << num_elems << " elems of "
+      << elem_bytes << " bytes overflows the 64-bit simulated address space";
+  return num_elems * elem_bytes;
+}
+
+}  // namespace
 
 MemorySim::MemorySim(const DeviceSpec& spec) : spec_(spec) {
   SAGE_CHECK_GT(spec.sector_bytes, 0u);
@@ -28,9 +46,9 @@ Buffer MemorySim::Register(const std::string& name, uint64_t num_elems,
   buf.elem_bytes = elem_bytes;
   buf.num_elems = num_elems;
   buf.space = space;
-  uint64_t bytes = num_elems * elem_bytes;
-  // Align the next base to a cache line so buffers never share sectors.
   uint64_t line = spec_.cacheline_bytes;
+  uint64_t bytes = CheckedBufferBytes(name, num_elems, elem_bytes, line);
+  // Align the next base to a cache line so buffers never share sectors.
   next_base_ += (bytes + line - 1) / line * line + line;
   return buf;
 }
@@ -42,23 +60,21 @@ void MemorySim::Grow(Buffer* buffer, uint64_t new_num_elems) {
   // buffer id — and so any shadow-memory state keyed on it — is preserved),
   // old range abandoned. The old sectors linger in the L2 as dead lines,
   // exactly as after a cudaFree.
+  uint64_t line = spec_.cacheline_bytes;
+  uint64_t bytes = CheckedBufferBytes(buffer->name, new_num_elems,
+                                      buffer->elem_bytes, line);
   buffer->base = next_base_;
   buffer->num_elems = new_num_elems;
-  uint64_t bytes = new_num_elems * buffer->elem_bytes;
-  uint64_t line = spec_.cacheline_bytes;
   next_base_ += (bytes + line - 1) / line * line + line;
 }
 
-bool MemorySim::ProbeL2(uint64_t sector) {
-  // Tag 0 marks an empty way, so displace real tags by 1.
-  uint64_t tag = sector + 1;
-  L2Set& set = sets_[sector % sets_.size()];
-  ++lru_clock_;
+bool MemorySim::ProbeSet(L2Set& set, uint64_t tag, uint64_t* clock) {
+  ++*clock;
   uint32_t victim = 0;
   uint64_t oldest = ~0ull;
   for (uint32_t w = 0; w < set.tags.size(); ++w) {
     if (set.tags[w] == tag) {
-      set.stamps[w] = lru_clock_;
+      set.stamps[w] = *clock;
       return true;
     }
     if (set.stamps[w] < oldest) {
@@ -67,31 +83,52 @@ bool MemorySim::ProbeL2(uint64_t sector) {
     }
   }
   set.tags[victim] = tag;
-  set.stamps[victim] = lru_clock_;
+  set.stamps[victim] = *clock;
   return false;
 }
 
-AccessResult MemorySim::Access(const Buffer& buffer,
-                               const std::vector<uint64_t>& elem_indices) {
-  AccessResult result;
-  if (elem_indices.empty()) return result;
-  auto& sectors = scratch_sectors_;
-  sectors.clear();
+bool MemorySim::ProbeL2(uint64_t sector) {
+  // Tag 0 marks an empty way, so displace real tags by 1.
+  return ProbeSet(sets_[sector % sets_.size()], sector + 1, &lru_clock_);
+}
+
+void MemorySim::CollectSectors(const Buffer& buffer,
+                               std::span<const uint64_t> elem_indices,
+                               std::vector<uint64_t>* out) const {
+  out->clear();
   for (uint64_t i : elem_indices) {
     SAGE_DCHECK(i < buffer.num_elems)
         << "buffer '" << buffer.name << "' elem " << i << " >= "
         << buffer.num_elems;
-    sectors.push_back(buffer.Addr(i) / spec_.sector_bytes);
+    out->push_back(buffer.Addr(i) / spec_.sector_bytes);
   }
-  std::sort(sectors.begin(), sectors.end());
-  sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
-  result.sectors = static_cast<uint32_t>(sectors.size());
-  result.useful_bytes =
-      static_cast<uint32_t>(elem_indices.size() * buffer.elem_bytes);
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
 
-  MemStats& stats =
-      buffer.space == MemSpace::kDevice ? device_stats_ : host_stats_;
-  if (buffer.space == MemSpace::kDevice) {
+void MemorySim::CollectSectorRange(const Buffer& buffer, uint64_t first,
+                                   uint64_t count,
+                                   std::vector<uint64_t>* out) const {
+  out->clear();
+  if (count == 0) return;
+  SAGE_DCHECK(first < buffer.num_elems && count <= buffer.num_elems - first)
+      << "buffer '" << buffer.name << "' range [" << first << ", "
+      << first + count << ") >= " << buffer.num_elems;
+  // A contiguous element range touches a contiguous sector range.
+  uint64_t lo = buffer.Addr(first) / spec_.sector_bytes;
+  uint64_t hi = buffer.Addr(first + count - 1) / spec_.sector_bytes;
+  out->reserve(hi - lo + 1);
+  for (uint64_t s = lo; s <= hi; ++s) out->push_back(s);
+}
+
+AccessResult MemorySim::AccessSectors(MemSpace space,
+                                      std::span<const uint64_t> sectors,
+                                      uint64_t useful_bytes) {
+  AccessResult result;
+  if (sectors.empty()) return result;
+  result.sectors = static_cast<uint32_t>(sectors.size());
+  result.useful_bytes = static_cast<uint32_t>(useful_bytes);
+  if (space == MemSpace::kDevice) {
     for (uint64_t s : sectors) {
       if (ProbeL2(s)) {
         ++result.l2_hits;
@@ -103,6 +140,7 @@ AccessResult MemorySim::Access(const Buffer& buffer,
     // Host memory is not cached by the device L2 in the on-demand model.
     result.l2_misses = result.sectors;
   }
+  MemStats& stats = space == MemSpace::kDevice ? device_stats_ : host_stats_;
   ++stats.batches;
   stats.sectors += result.sectors;
   stats.l2_hits += result.l2_hits;
@@ -113,11 +151,102 @@ AccessResult MemorySim::Access(const Buffer& buffer,
   return result;
 }
 
+AccessResult MemorySim::ApplySectorStats(MemSpace space, uint32_t num_sectors,
+                                         uint32_t l2_hits, uint32_t l2_misses,
+                                         uint64_t useful_bytes) {
+  AccessResult result;
+  if (num_sectors == 0) return result;
+  result.sectors = num_sectors;
+  result.l2_hits = l2_hits;
+  result.l2_misses = l2_misses;
+  result.useful_bytes = static_cast<uint32_t>(useful_bytes);
+  MemStats& stats = space == MemSpace::kDevice ? device_stats_ : host_stats_;
+  ++stats.batches;
+  stats.sectors += result.sectors;
+  stats.l2_hits += result.l2_hits;
+  stats.l2_misses += result.l2_misses;
+  stats.useful_bytes += result.useful_bytes;
+  stats.loaded_bytes +=
+      static_cast<uint64_t>(result.sectors) * spec_.sector_bytes;
+  return result;
+}
+
+AccessResult MemorySim::Access(const Buffer& buffer,
+                               std::span<const uint64_t> elem_indices) {
+  if (elem_indices.empty()) return AccessResult();
+  CollectSectors(buffer, elem_indices, &scratch_sectors_);
+  return AccessSectors(buffer.space, scratch_sectors_,
+                       elem_indices.size() * buffer.elem_bytes);
+}
+
 AccessResult MemorySim::AccessRange(const Buffer& buffer, uint64_t first,
                                     uint64_t count) {
-  std::vector<uint64_t> idx(count);
-  for (uint64_t i = 0; i < count; ++i) idx[i] = first + i;
-  return Access(buffer, idx);
+  if (count == 0) return AccessResult();
+  CollectSectorRange(buffer, first, count, &scratch_sectors_);
+  return AccessSectors(buffer.space, scratch_sectors_,
+                       count * buffer.elem_bytes);
+}
+
+void MemorySim::ProbeBatches(std::span<const std::span<const uint64_t>> batches,
+                             util::ThreadPool* pool,
+                             std::vector<BatchProbe>* out) {
+  out->assign(batches.size(), BatchProbe());
+  std::vector<size_t> offsets(batches.size());
+  size_t total = 0;
+  for (size_t b = 0; b < batches.size(); ++b) {
+    offsets[b] = total;
+    total += batches[b].size();
+  }
+  if (total == 0) return;
+
+  uint32_t num_slices = 1;
+  if (pool != nullptr) {
+    num_slices = static_cast<uint32_t>(std::min<uint64_t>(
+        {pool->workers(), sets_.size(), 64}));
+  }
+  // Per-sector outcomes: each slice writes only the flags of sectors whose
+  // set it owns, so slices never touch the same L2Set, flag, or clock.
+  std::vector<uint8_t> hit(total, 0);
+  std::vector<uint64_t> slice_clock(num_slices, lru_clock_);
+  auto run_slice = [&](uint32_t slice) {
+    const size_t num_sets = sets_.size();
+    // The slice clock starts at the global clock: every new stamp exceeds
+    // every stamp already in this slice's sets, so within each set the
+    // stamps stay strictly increasing in canonical probe order — which is
+    // all LRU compares. Hit/miss outcomes are therefore identical to the
+    // serial single-clock walk, for any slice count.
+    uint64_t clock = slice_clock[slice];
+    for (size_t b = 0; b < batches.size(); ++b) {
+      std::span<const uint64_t> sectors = batches[b];
+      for (size_t i = 0; i < sectors.size(); ++i) {
+        uint64_t set_index = sectors[i] % num_sets;
+        if (set_index % num_slices != slice) continue;
+        hit[offsets[b] + i] =
+            ProbeSet(sets_[set_index], sectors[i] + 1, &clock) ? 1 : 0;
+      }
+    }
+    slice_clock[slice] = clock;
+  };
+  if (num_slices == 1 || pool == nullptr) {
+    run_slice(0);
+  } else {
+    pool->ParallelFor(num_slices,
+                      [&](uint32_t, size_t slice) {
+                        run_slice(static_cast<uint32_t>(slice));
+                      });
+  }
+  lru_clock_ = *std::max_element(slice_clock.begin(), slice_clock.end());
+
+  for (size_t b = 0; b < batches.size(); ++b) {
+    BatchProbe& p = (*out)[b];
+    for (size_t i = 0; i < batches[b].size(); ++i) {
+      if (hit[offsets[b] + i]) {
+        ++p.l2_hits;
+      } else {
+        ++p.l2_misses;
+      }
+    }
+  }
 }
 
 uint32_t MemorySim::CountDistinctSectors(

@@ -2,10 +2,15 @@
 #define SAGE_SIM_MEMORY_SIM_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "sim/device_spec.h"
+
+namespace sage::util {
+class ThreadPool;
+}  // namespace sage::util
 
 namespace sage::sim {
 
@@ -37,6 +42,12 @@ struct AccessResult {
   uint32_t l2_hits = 0;      ///< of which serviced from L2
   uint32_t l2_misses = 0;    ///< of which went to DRAM (or host link)
   uint32_t useful_bytes = 0; ///< bytes the lanes actually consumed
+};
+
+/// L2 outcome of one replayed batch (ProbeBatches).
+struct BatchProbe {
+  uint32_t l2_hits = 0;
+  uint32_t l2_misses = 0;
 };
 
 /// Cumulative counters for one memory space.
@@ -88,12 +99,52 @@ class MemorySim {
   /// Host-space addresses bypass the L2 (they are charged to the PCIe
   /// model by the caller) and are reported entirely as misses.
   AccessResult Access(const Buffer& buffer,
-                      const std::vector<uint64_t>& elem_indices);
+                      std::span<const uint64_t> elem_indices);
+  AccessResult Access(const Buffer& buffer,
+                      const std::vector<uint64_t>& elem_indices) {
+    return Access(buffer, std::span<const uint64_t>(elem_indices));
+  }
 
   /// Convenience for a single contiguous range [first, first+count) of a
   /// buffer (fully coalesced access).
   AccessResult AccessRange(const Buffer& buffer, uint64_t first,
                            uint64_t count);
+
+  /// Collects the sorted distinct sector ids a batch touches into *out
+  /// (replacing its contents). Pure address arithmetic: charges nothing and
+  /// touches no shared state, so trace recorders may call it from any
+  /// thread. Debug builds bounds-check the element indices.
+  void CollectSectors(const Buffer& buffer,
+                      std::span<const uint64_t> elem_indices,
+                      std::vector<uint64_t>* out) const;
+  void CollectSectorRange(const Buffer& buffer, uint64_t first,
+                          uint64_t count, std::vector<uint64_t>* out) const;
+
+  /// Charges one pre-collected sorted distinct sector batch: probes the L2
+  /// (device space) or counts pure misses (host space) and updates stats.
+  /// The single charging path both immediate execution and trace replay go
+  /// through — Access/AccessRange are sector collection + this.
+  AccessResult AccessSectors(MemSpace space,
+                             std::span<const uint64_t> sectors,
+                             uint64_t useful_bytes);
+
+  /// Stats-only variant of AccessSectors for replayed device batches whose
+  /// L2 outcome was already decided by ProbeBatches.
+  AccessResult ApplySectorStats(MemSpace space, uint32_t num_sectors,
+                                uint32_t l2_hits, uint32_t l2_misses,
+                                uint64_t useful_bytes);
+
+  /// Replay: drives an ordered sequence of sorted-sector device batches
+  /// through the L2 and reports each batch's hit/miss split, exactly as if
+  /// AccessSectors had been called batch by batch (stats are NOT updated —
+  /// the caller applies them in order via ApplySectorStats). The L2 is
+  /// treated as address-hashed slices (slice = set index mod slice count),
+  /// each probed by one worker of `pool` (nullptr = serial): sets never
+  /// straddle slices and LRU stamps are only ever compared within one set,
+  /// so the outcome is bit-identical for every slice/worker count — see
+  /// DESIGN.md §5 for the argument.
+  void ProbeBatches(std::span<const std::span<const uint64_t>> batches,
+                    util::ThreadPool* pool, std::vector<BatchProbe>* out);
 
   /// Distinct sectors spanned by a set of element indices, without charging
   /// the cache (used by the reorder sampler's hypothetical evaluations).
@@ -114,6 +165,11 @@ class MemorySim {
     std::vector<uint64_t> tags;    // sector tags, one per way (0 = empty)
     std::vector<uint64_t> stamps;  // LRU stamps
   };
+
+  /// Probes (and fills) one set for a sector tag with an explicit LRU
+  /// clock; returns true on hit. The slice-local replay clocks and the
+  /// global immediate-mode clock share this body.
+  bool ProbeSet(L2Set& set, uint64_t tag, uint64_t* clock);
 
   /// Probes (and fills) the L2 for a sector tag; returns true on hit.
   bool ProbeL2(uint64_t sector);

@@ -1,0 +1,73 @@
+#include "sim/replay.h"
+
+#include "sim/gpu_device.h"
+#include "util/logging.h"
+
+namespace sage::sim {
+
+KernelTraceRecorder::KernelTraceRecorder(GpuDevice* device)
+    : device_(device), sms_(device->spec().num_sms) {}
+
+void KernelTraceRecorder::Reset() {
+  std::fill(sms_.begin(), sms_.end(), SmCounters());
+  events_.clear();
+  sector_pool_.clear();
+  current_unit_ = 0;
+}
+
+AccessResult KernelTraceRecorder::RecordCollected(uint32_t sm, MemSpace space,
+                                                  uint64_t useful_bytes) {
+  Event e;
+  e.unit = current_unit_;
+  e.sector_begin = sector_pool_.size();
+  e.sector_count = static_cast<uint32_t>(scratch_.size());
+  e.sm = sm;
+  e.useful_bytes = useful_bytes;
+  e.space = space;
+  sector_pool_.insert(sector_pool_.end(), scratch_.begin(), scratch_.end());
+  events_.push_back(e);
+
+  AccessResult result;
+  result.sectors = e.sector_count;
+  result.useful_bytes = static_cast<uint32_t>(useful_bytes);
+  return result;
+}
+
+AccessResult KernelTraceRecorder::RecordAccess(
+    uint32_t sm, const Buffer& buffer,
+    std::span<const uint64_t> elem_indices) {
+  // Immediate mode skips empty device batches entirely but still runs empty
+  // host batches through the link-charge tail; mirror both.
+  if (elem_indices.empty() && buffer.space == MemSpace::kDevice) {
+    return AccessResult();
+  }
+  device_->mem().CollectSectors(buffer, elem_indices, &scratch_);
+  return RecordCollected(sm, buffer.space,
+                         elem_indices.size() * buffer.elem_bytes);
+}
+
+AccessResult KernelTraceRecorder::RecordAccessRange(uint32_t sm,
+                                                    const Buffer& buffer,
+                                                    uint64_t first,
+                                                    uint64_t count) {
+  if (count == 0 && buffer.space == MemSpace::kDevice) return AccessResult();
+  device_->mem().CollectSectorRange(buffer, first, count, &scratch_);
+  return RecordCollected(sm, buffer.space, count * buffer.elem_bytes);
+}
+
+void KernelTraceRecorder::MergeCountersInto(std::vector<SmCounters>* sms) const {
+  SAGE_DCHECK(sms->size() == sms_.size());
+  for (size_t s = 0; s < sms_.size(); ++s) {
+    const SmCounters& c = sms_[s];
+    SAGE_DCHECK(c.hit_sectors == 0 && c.miss_sectors == 0 &&
+                c.l2_latency_events == 0 && c.dram_latency_events == 0 &&
+                c.host_latency_events == 0 && c.host_link_cycles == 0.0)
+        << "memory charges must flow through replay, not worker shards";
+    (*sms)[s].compute_cycles += c.compute_cycles;
+    (*sms)[s].tp_overhead_cycles += c.tp_overhead_cycles;
+    (*sms)[s].warps_launched += c.warps_launched;
+    (*sms)[s].atomic_conflicts += c.atomic_conflicts;
+  }
+}
+
+}  // namespace sage::sim

@@ -1,0 +1,95 @@
+#ifndef SAGE_SIM_REPLAY_H_
+#define SAGE_SIM_REPLAY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/kernel_stats.h"
+#include "sim/memory_sim.h"
+
+namespace sage::util {
+class ThreadPool;
+}  // namespace sage::util
+
+namespace sage::sim {
+
+class GpuDevice;
+
+/// Per-worker trace of one kernel phase for the parallel execution backend
+/// (DESIGN.md §5). While a recorder is bound to the calling thread
+/// (GpuDevice::BindThreadRecorder), the device's charge/access calls are
+/// redirected here: integer SM counters accumulate into a thread-local
+/// SmCounters shard and every memory batch is reduced — on the worker, with
+/// pure address arithmetic — to its sorted distinct sector list, keyed by
+/// the canonical rank of the work unit that issued it. Nothing stateful
+/// (L2, link, stats) is touched until GpuDevice::ReplayTraces merges all
+/// workers' events back in canonical unit order.
+class KernelTraceRecorder {
+ public:
+  /// One recorded memory batch. `unit` is the canonical rank the engine
+  /// assigned the issuing work unit (its position in the serial dispatch
+  /// order); replay sorts by it. Events of one unit are appended by one
+  /// worker in issue order, so a stable sort reproduces the exact serial
+  /// charge sequence.
+  struct Event {
+    uint64_t unit = 0;
+    uint64_t sector_begin = 0;  ///< offset into the recorder's sector pool
+    uint32_t sector_count = 0;
+    uint32_t sm = 0;
+    uint64_t useful_bytes = 0;
+    MemSpace space = MemSpace::kDevice;
+  };
+
+  explicit KernelTraceRecorder(GpuDevice* device);
+
+  KernelTraceRecorder(const KernelTraceRecorder&) = delete;
+  KernelTraceRecorder& operator=(const KernelTraceRecorder&) = delete;
+
+  GpuDevice* device() const { return device_; }
+
+  /// Clears events and SM counter shards for the next phase.
+  void Reset();
+
+  /// Declares the canonical rank of the unit whose work follows.
+  void BeginUnit(uint64_t unit_rank) { current_unit_ = unit_rank; }
+
+  /// Thread-local SM counter shard (merged by ReplayTraces).
+  SmCounters& local_sm(uint32_t sm) { return sms_[sm]; }
+
+  /// Trace-mode bodies of GpuDevice::Access / AccessRange: collect sectors,
+  /// record the event, return the charge-independent part of the result
+  /// (sector and useful-byte counts; the L2 split is decided at replay).
+  /// Device-space empty batches are skipped entirely and host-space empty
+  /// batches are still recorded — both exactly as immediate mode behaves.
+  AccessResult RecordAccess(uint32_t sm, const Buffer& buffer,
+                            std::span<const uint64_t> elem_indices);
+  AccessResult RecordAccessRange(uint32_t sm, const Buffer& buffer,
+                                 uint64_t first, uint64_t count);
+
+  const std::vector<Event>& events() const { return events_; }
+  std::span<const uint64_t> sectors_of(const Event& e) const {
+    return std::span<const uint64_t>(sector_pool_).subspan(e.sector_begin,
+                                                           e.sector_count);
+  }
+
+  /// Adds this recorder's integer counter fields into *sms. The
+  /// memory-derived fields (sectors, latency events, link cycles) must
+  /// still be zero — those are charged only at replay.
+  void MergeCountersInto(std::vector<SmCounters>* sms) const;
+
+ private:
+  AccessResult RecordCollected(uint32_t sm, MemSpace space,
+                               uint64_t useful_bytes);
+
+  GpuDevice* device_;
+  uint64_t current_unit_ = 0;
+  std::vector<SmCounters> sms_;
+  std::vector<Event> events_;
+  std::vector<uint64_t> sector_pool_;
+  std::vector<uint64_t> scratch_;
+};
+
+}  // namespace sage::sim
+
+#endif  // SAGE_SIM_REPLAY_H_

@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sage::util {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  threads_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (threads_.empty()) {
+    // No workers: run inline so Submit/Drain stay usable on a zero-size pool.
+    try {
+      fn();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock,
+                [this] { return queue_.empty() && running_tasks_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to do
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_tasks_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --running_tasks_;
+      if (queue_.empty() && running_tasks_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(uint32_t worker, size_t index)>& fn) {
+  if (n == 0) return;
+  // Dynamic dispatch: determinism must come from what each index *does*
+  // (keyed traces), never from which worker claims it.
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr for_error;
+  std::mutex err_mu;
+  auto body = [&](uint32_t worker) {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(worker, i);
+      } catch (...) {
+        {
+          std::unique_lock<std::mutex> lock(err_mu);
+          if (!for_error) for_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  uint32_t helpers =
+      static_cast<uint32_t>(std::min<size_t>(threads_.size(), n));
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  uint32_t pending = helpers;  // guarded by done_mu
+  for (uint32_t w = 0; w < helpers; ++w) {
+    Submit([&, w] {
+      body(w);
+      // Decrement under done_mu: the caller may destroy done_mu the moment
+      // it observes pending == 0, so the counter and the notify must be a
+      // single critical section.
+      std::unique_lock<std::mutex> lock(done_mu);
+      if (--pending == 0) done_cv.notify_all();
+    });
+  }
+  // The caller is worker id size(): always distinct from pool workers.
+  body(size());
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return pending == 0; });
+  }
+  if (for_error) std::rethrow_exception(for_error);
+}
+
+uint32_t ThreadPool::HardwareThreads() {
+  uint32_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace sage::util

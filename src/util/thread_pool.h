@@ -1,0 +1,82 @@
+#ifndef SAGE_UTIL_THREAD_POOL_H_
+#define SAGE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sage::util {
+
+/// A fixed-size host worker pool. Built for the simulator's parallel
+/// execution backend (DESIGN.md §5): the engine fans the per-SM work of a
+/// kernel phase out as independent index ranges, each worker records into
+/// its own trace, and the caller joins before the deterministic replay.
+///
+/// Concurrency contract:
+///  - Submit/Drain form a plain task queue (used for background jobs such
+///    as concurrent bench configs).
+///  - ParallelFor(n, fn) runs fn(worker, index) for every index in [0, n)
+///    exactly once and returns when all of them finished. The caller
+///    participates as worker id `size()` (so a pool of T threads gives
+///    T + 1 workers), which keeps ParallelFor correct even for a pool of
+///    size zero. Worker ids are stable within one ParallelFor call — one
+///    worker id is never active on two threads at once — so fn may keep
+///    per-worker state indexed by id.
+///  - The first exception thrown by a task or a ParallelFor body is
+///    captured and rethrown on the calling thread; remaining indices are
+///    abandoned.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is valid: everything runs inline on
+  /// the calling thread).
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Pool threads (excluding the caller).
+  uint32_t size() const { return static_cast<uint32_t>(threads_.size()); }
+  /// Concurrent workers a ParallelFor can use (pool threads + caller).
+  uint32_t workers() const { return size() + 1; }
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any of them raised (if any). Submitting zero tasks
+  /// and draining is a no-op.
+  void Drain();
+
+  /// Runs fn(worker, index) for index in [0, n), dynamically load-balanced
+  /// across workers; see the class comment for the contract.
+  void ParallelFor(size_t n,
+                   const std::function<void(uint32_t worker, size_t index)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows 0 for "unknown").
+  static uint32_t HardwareThreads();
+
+ private:
+  struct ForJob;
+
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: task or stop
+  std::condition_variable idle_cv_;   // signals Drain: queue empty & idle
+  std::deque<std::function<void()>> queue_;
+  uint32_t running_tasks_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,402 @@
+// Parallel execution backend tests (DESIGN.md §5): thread-pool unit tests,
+// the 64-bit buffer-size overflow guard, and — the core guarantee — exact
+// serial-vs-parallel equivalence: every seed application, every expand
+// strategy and every thread count must produce bit-identical outputs,
+// sector accounting and modeled timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/bc.h"
+#include "apps/bfs.h"
+#include "apps/cc.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "check/determinism.h"
+#include "core/engine.h"
+#include "graph/coo.h"
+#include "graph/generators.h"
+#include "sim/gpu_device.h"
+#include "util/thread_pool.h"
+
+namespace sage {
+namespace {
+
+using core::Engine;
+using core::EngineOptions;
+using core::ExpandStrategy;
+using graph::Csr;
+using graph::NodeId;
+using util::ThreadPool;
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;
+  spec.l2_bytes = 128 << 10;
+  return spec;
+}
+
+// --- ThreadPool ----------------------------------------------------------
+
+class ThreadPoolSizes : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ThreadPoolSizes, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(GetParam());
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<uint32_t>> hits(kN);
+  pool.ParallelFor(kN, [&](uint32_t /*worker*/, size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1u) << i;
+}
+
+TEST_P(ThreadPoolSizes, ParallelForWorkerIdsStayInRange) {
+  ThreadPool pool(GetParam());
+  std::mutex mu;
+  std::set<uint32_t> seen;
+  pool.ParallelFor(256, [&](uint32_t worker, size_t /*i*/) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(worker);
+  });
+  // The caller participates as worker id size(); pool threads are
+  // 0..size()-1.
+  for (uint32_t w : seen) EXPECT_LE(w, pool.size());
+  EXPECT_EQ(pool.workers(), pool.size() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThreadPoolSizes,
+                         ::testing::Values(0u, 1u, 4u));
+
+TEST(ThreadPoolTest, CallerParticipatesInParallelFor) {
+  // A zero-thread pool has no workers at all, so the caller must run every
+  // index itself (worker id == size() == 0).
+  ThreadPool pool(0);
+  std::vector<uint32_t> workers(64, 123);
+  pool.ParallelFor(64, [&](uint32_t worker, size_t i) {
+    workers[i] = worker;
+  });
+  for (uint32_t w : workers) EXPECT_EQ(w, 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](uint32_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](uint32_t, size_t i) {
+                         if (i == 57) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must survive a failed loop and stay usable.
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(10, [&](uint32_t, size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(ThreadPoolTest, DrainPropagatesSubmittedException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Drain(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DrainWithNoTasksIsANoOp) {
+  ThreadPool pool(2);
+  pool.Drain();  // must not hang or throw
+  ThreadPool inline_pool(0);
+  inline_pool.Drain();
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 10; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Drain();
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  // The destructor must join cleanly and run every queued task — workers
+  // only exit once the queue is empty.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool: no Drain() call
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+// --- Buffer-size overflow guard -----------------------------------------
+
+using ParallelDeathTest = ::testing::Test;
+
+TEST(ParallelDeathTest, RegisterRejectsOverflowingBufferSize) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::GpuDevice device(TestSpec());
+  EXPECT_DEATH(device.mem().Register("huge", uint64_t{1} << 60, 1 << 10),
+               "overflows");
+}
+
+TEST(ParallelDeathTest, GrowRejectsOverflowingBufferSize) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::GpuDevice device(TestSpec());
+  sim::Buffer buf = device.mem().Register("grows", 16, 1 << 10);
+  EXPECT_DEATH(device.mem().Grow(&buf, uint64_t{1} << 60), "overflows");
+}
+
+// --- Serial-vs-parallel equivalence: the BFS harness ---------------------
+
+TEST(EquivalenceTest, BfsAllStrategiesAllThreadCounts) {
+  const Csr csr = graph::GenerateRmat(9, 4000, 0.55, 0.2, 0.2, 7);
+  EngineOptions base;
+  check::EquivalenceOptions eq;
+  eq.thread_counts = {1, 2, 7, 0};  // 0 = hardware concurrency
+  check::EquivalenceReport report =
+      check::RunBfsEquivalence(csr, TestSpec(), 0, base, eq);
+  EXPECT_TRUE(report.equivalent) << report.details;
+}
+
+TEST(EquivalenceTest, BfsWithShuffledDispatchOrder) {
+  // The replay must preserve whatever canonical order the dispatch
+  // permutation defines — shuffled serial == shuffled parallel.
+  const Csr csr = graph::GenerateRmat(8, 2500, 0.5, 0.22, 0.2, 13);
+  EngineOptions base;
+  base.dispatch_permutation_seed = 99;
+  check::EquivalenceOptions eq;
+  check::EquivalenceReport report =
+      check::RunBfsEquivalence(csr, TestSpec(), 0, base, eq);
+  EXPECT_TRUE(report.equivalent) << report.details;
+}
+
+// --- Serial-vs-parallel equivalence: every seed application --------------
+
+// Full observable state of one app run: the algorithm output digest plus
+// every modeled-timing observable. operator== is exact (doubles compare
+// bit-for-bit) because the parallel backend replays the identical charge
+// sequence — any drift is a bug.
+struct RunDigest {
+  uint64_t output_hash = 0;
+  double seconds = 0.0;
+  double tp_overhead_seconds = 0.0;
+  std::vector<double> per_kernel_seconds;
+  uint64_t dev_sectors = 0, dev_hits = 0, dev_misses = 0;
+  uint64_t dev_useful = 0, dev_loaded = 0, dev_batches = 0;
+  uint64_t host_sectors = 0, host_batches = 0;
+  uint64_t link_transfers = 0, link_frames = 0, link_wire = 0;
+  double link_busy = 0.0;
+  std::vector<uint64_t> sm_sectors;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+template <typename RunFn>
+RunDigest RunApp(const Csr& csr, const EngineOptions& opts, RunFn&& run) {
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, opts);
+  RunDigest d;
+  d.output_hash = run(engine, csr);
+  const auto& totals = device.totals();
+  d.seconds = totals.seconds;
+  d.tp_overhead_seconds = totals.tp_overhead_seconds;
+  d.per_kernel_seconds = totals.per_kernel_seconds;
+  d.sm_sectors = totals.sm_sectors;
+  const auto& dm = device.mem().device_stats();
+  d.dev_sectors = dm.sectors;
+  d.dev_hits = dm.l2_hits;
+  d.dev_misses = dm.l2_misses;
+  d.dev_useful = dm.useful_bytes;
+  d.dev_loaded = dm.loaded_bytes;
+  d.dev_batches = dm.batches;
+  const auto& hm = device.mem().host_stats();
+  d.host_sectors = hm.sectors;
+  d.host_batches = hm.batches;
+  const auto& ls = device.host_link().stats();
+  d.link_transfers = ls.transfers;
+  d.link_frames = ls.frames;
+  d.link_wire = ls.wire_bytes;
+  d.link_busy = ls.busy_cycles;
+  return d;
+}
+
+template <typename RunFn>
+void ExpectSerialParallelEqual(const Csr& csr, EngineOptions opts,
+                               RunFn&& run) {
+  opts.host_threads = 1;
+  RunDigest serial = RunApp(csr, opts, run);
+  for (uint32_t threads : {2u, 4u}) {
+    opts.host_threads = threads;
+    RunDigest parallel = RunApp(csr, opts, run);
+    EXPECT_EQ(parallel.output_hash, serial.output_hash)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.seconds, serial.seconds) << "threads=" << threads;
+    EXPECT_EQ(parallel.per_kernel_seconds, serial.per_kernel_seconds)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.sm_sectors, serial.sm_sectors)
+        << "threads=" << threads;
+    EXPECT_TRUE(parallel == serial) << "threads=" << threads;
+  }
+}
+
+Csr SymmetricRmat(uint32_t scale, uint64_t edges, uint64_t seed) {
+  graph::Coo coo =
+      graph::GenerateRmat(scale, edges, 0.5, 0.2, 0.2, seed).ToCoo();
+  graph::Symmetrize(coo);
+  graph::RemoveSelfLoops(coo);
+  graph::SortCoo(coo);
+  graph::DedupSortedCoo(coo);
+  return Csr::FromCoo(coo);
+}
+
+uint64_t HashU32(uint64_t h, uint32_t v) {
+  return check::HashBytes(&v, sizeof(v), h);
+}
+uint64_t HashU64(uint64_t h, uint64_t v) {
+  return check::HashBytes(&v, sizeof(v), h);
+}
+uint64_t HashF64(uint64_t h, double v) {
+  return check::HashBytes(&v, sizeof(v), h);
+}
+
+class AppEquivalenceTest
+    : public ::testing::TestWithParam<ExpandStrategy> {};
+
+TEST_P(AppEquivalenceTest, Bfs) {
+  const Csr csr = graph::GenerateRmat(9, 3500, 0.55, 0.2, 0.2, 5);
+  EngineOptions opts;
+  opts.strategy = GetParam();
+  ExpectSerialParallelEqual(csr, opts, [](Engine& engine, const Csr& g) {
+    apps::BfsProgram bfs;
+    EXPECT_TRUE(engine.Bind(&bfs).ok());
+    EXPECT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) h = HashU32(h, bfs.DistanceOf(u));
+    return h;
+  });
+}
+
+TEST_P(AppEquivalenceTest, PageRank) {
+  const Csr csr = graph::GenerateRmat(8, 2500, 0.5, 0.2, 0.2, 9);
+  EngineOptions opts;
+  opts.strategy = GetParam();
+  ExpectSerialParallelEqual(csr, opts, [](Engine& engine, const Csr& g) {
+    apps::PageRankProgram pr;
+    EXPECT_TRUE(engine.Bind(&pr).ok());
+    EXPECT_TRUE(apps::RunPageRank(engine, pr, 5).ok());
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) h = HashF64(h, pr.RankOf(u));
+    return h;
+  });
+}
+
+TEST_P(AppEquivalenceTest, Sssp) {
+  const Csr csr = graph::GenerateUniform(400, 4000, 11);
+  EngineOptions opts;
+  opts.strategy = GetParam();
+  ExpectSerialParallelEqual(csr, opts, [](Engine& engine, const Csr& g) {
+    apps::SsspProgram sssp;
+    EXPECT_TRUE(engine.Bind(&sssp).ok());
+    EXPECT_TRUE(apps::RunSssp(engine, sssp, 0).ok());
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) h = HashU64(h, sssp.DistanceOf(u));
+    return h;
+  });
+}
+
+TEST_P(AppEquivalenceTest, ConnectedComponents) {
+  const Csr csr = SymmetricRmat(8, 2000, 17);
+  EngineOptions opts;
+  opts.strategy = GetParam();
+  ExpectSerialParallelEqual(csr, opts, [](Engine& engine, const Csr& g) {
+    apps::CcProgram cc;
+    EXPECT_TRUE(apps::RunConnectedComponents(engine, cc).ok());
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) h = HashU64(h, cc.ComponentOf(u));
+    return h;
+  });
+}
+
+TEST_P(AppEquivalenceTest, BetweennessCentrality) {
+  const Csr csr = graph::GenerateRmat(8, 1800, 0.45, 0.25, 0.2, 21);
+  EngineOptions opts;
+  opts.strategy = GetParam();
+  ExpectSerialParallelEqual(csr, opts, [](Engine& engine, const Csr& g) {
+    apps::Betweenness bc(g.num_nodes());
+    EXPECT_TRUE(bc.Run(engine, 0).ok());
+    EXPECT_TRUE(bc.Run(engine, 1).ok());
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (double c : bc.centrality()) h = HashF64(h, c);
+    return h;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AppEquivalenceTest,
+                         ::testing::Values(ExpandStrategy::kSage,
+                                           ExpandStrategy::kB40c,
+                                           ExpandStrategy::kWarpCentric),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ExpandStrategy::kSage:
+                               return "sage";
+                             case ExpandStrategy::kB40c:
+                               return "b40c";
+                             default:
+                               return "warp";
+                           }
+                         });
+
+// --- Equivalence under special engine configurations ---------------------
+
+TEST(EquivalenceTest, AdjacencyOnHost) {
+  // Out-of-core mode routes adjacency reads over the PCIe link; the replay
+  // must reproduce the exact serial link-charge sequence too.
+  const Csr csr = graph::GenerateRmat(8, 2000, 0.55, 0.2, 0.2, 31);
+  EngineOptions opts;
+  opts.adjacency_on_host = true;
+  ExpectSerialParallelEqual(csr, opts, [](Engine& engine, const Csr& g) {
+    apps::BfsProgram bfs;
+    EXPECT_TRUE(engine.Bind(&bfs).ok());
+    EXPECT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) h = HashU32(h, bfs.DistanceOf(u));
+    return h;
+  });
+}
+
+TEST(EquivalenceTest, UdtPreprocessing) {
+  // Tigr's UDT layer adds virtual→real frontier translation reads in the
+  // expand hot path; those flow through the trace recorder like any other
+  // access.
+  const Csr csr = graph::GenerateRmat(8, 2200, 0.55, 0.2, 0.2, 41);
+  EngineOptions opts;
+  opts.udt_split_degree = 16;
+  opts.resident_tiles = false;
+  ExpectSerialParallelEqual(csr, opts, [](Engine& engine, const Csr& g) {
+    apps::BfsProgram bfs;
+    EXPECT_TRUE(engine.Bind(&bfs).ok());
+    EXPECT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) h = HashU32(h, bfs.DistanceOf(u));
+    return h;
+  });
+}
+
+}  // namespace
+}  // namespace sage

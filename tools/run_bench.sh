@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Simulation-throughput benchmark: builds the release tree and runs
+# bench_sim_throughput, which measures the wall-clock speed of the
+# simulator itself (edges simulated per second of host time) with the
+# serial vs the parallel execution backend (DESIGN.md §5) and emits
+# BENCH_sim_throughput.json into the repo root.
+#
+#   tools/run_bench.sh [build-dir]
+#
+# The speedup column only exceeds 1 on a multi-core host; on a single
+# hardware thread the parallel backend intentionally degenerates to the
+# serial path. Either way the run asserts the two modes are bit-identical.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+
+echo "== configure + build (RelWithDebInfo) =="
+cmake -S "${repo_root}" -B "${build_dir}" >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_sim_throughput
+
+echo "== bench_sim_throughput ($(nproc) hardware threads) =="
+cd "${repo_root}"
+"${build_dir}/bench/bench_sim_throughput"
+
+echo "== wrote ${repo_root}/BENCH_sim_throughput.json =="

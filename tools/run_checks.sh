@@ -27,6 +27,22 @@ UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
 ASAN_OPTIONS="detect_leaks=1" \
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 
+echo "== TSan build (parallel backend) =="
+# The parallel execution backend (DESIGN.md §5) is the only multi-threaded
+# code in the repo; build just its test binary under ThreadSanitizer and
+# run the thread-pool + serial-vs-parallel equivalence suites under it.
+# TSan and ASan cannot coexist in one build, hence the separate tree.
+tsan_dir="${build_dir}-tsan"
+cmake -S "${repo_root}" -B "${tsan_dir}" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DSAGE_SANITIZE="thread"
+cmake --build "${tsan_dir}" -j "$(nproc)" --target parallel_test
+
+echo "== parallel/equivalence tests under TSan =="
+TSAN_OPTIONS="halt_on_error=1" \
+  "${tsan_dir}/tests/parallel_test" \
+  --gtest_filter='-*DeathTest*'  # fork-based death tests misfire under TSan
+
 echo "== clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \

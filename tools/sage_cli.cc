@@ -18,6 +18,9 @@
 //   --check[=bounds|full]   run under SageCheck (bare --check means full);
 //                           prints the violation report and exits 3 if the
 //                           run was not clean.
+//   --host-threads=N        host threads for the parallel execution backend
+//                           (0 = hardware concurrency, 1 = serial; results
+//                           are bit-identical either way — DESIGN.md §5).
 //
 // <graph> is either a binary .sagecsr file (from generate/convert) or a
 // whitespace edge-list text file.
@@ -52,7 +55,7 @@ int Usage() {
                "usage: sage_cli "
                "<generate|convert|stats|bfs|pagerank|kcore|sssp|msbfs|reorder|"
                "partition|determinism> "
-               "[--check[=bounds|full]] "
+               "[--check[=bounds|full]] [--host-threads=N] "
                "...\n(see the header of tools/sage_cli.cc)\n");
   return 2;
 }
@@ -60,9 +63,13 @@ int Usage() {
 /// Checker severity requested via --check; kOff when the flag is absent.
 sim::CheckLevel g_check_level = sim::CheckLevel::kOff;
 
+/// Host threads requested via --host-threads; 0 = hardware concurrency.
+uint32_t g_host_threads = 0;
+
 core::EngineOptions BaseOptions() {
   core::EngineOptions options;
   options.check_level = g_check_level;
+  options.host_threads = g_host_threads;
   return options;
 }
 
@@ -306,6 +313,18 @@ int CmdDeterminism(const graph::Csr& csr) {
   }
   std::printf("deterministic: output invariant under SM permutation and "
               "dispatch shuffling on all strategies\n");
+
+  check::EquivalenceOptions eq;  // all strategies, threads {2, 7, auto}
+  check::EquivalenceReport eq_report = check::RunBfsEquivalence(
+      csr, sim::DeviceSpec(), source, BaseOptions(), eq);
+  std::printf("%s", eq_report.details.c_str());
+  if (!eq_report.equivalent) {
+    std::fprintf(stderr, "equivalence harness FAILED: parallel execution "
+                         "diverged from the serial charge sequence\n");
+    return 3;
+  }
+  std::printf("equivalent: parallel execution is bit-identical to serial "
+              "on all strategies\n");
   return 0;
 }
 
@@ -336,6 +355,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--check", 0) == 0) {
       std::fprintf(stderr, "unknown check level: %s\n", arg.c_str());
       return Usage();
+    } else if (arg.rfind("--host-threads=", 0) == 0) {
+      try {
+        g_host_threads =
+            std::stoul(arg.substr(std::strlen("--host-threads=")));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad --host-threads value: %s\n", arg.c_str());
+        return Usage();
+      }
     } else {
       argv[out++] = argv[i];
     }
