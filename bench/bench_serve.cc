@@ -1,0 +1,190 @@
+// Serving-path benchmark: host throughput (requests per second of wall
+// time) of the batching query service vs the naive one-engine-per-query
+// loop, on a 64-source BFS workload over one graph.
+//
+// The service wins twice: warm engines amortize construction (CSR copy,
+// partitioning, resident-tile bookkeeping) across queries, and batching
+// coalesces the 64 BFS requests into one MS-BFS traversal that shares
+// every adjacency read. The run asserts each batched answer is
+// bit-identical to its solo run before reporting any number.
+//
+// Emits BENCH_serve.json into the working directory.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "apps/bfs.h"
+#include "apps/registry.h"
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "serve/graph_registry.h"
+#include "serve/service.h"
+
+namespace sage::bench {
+namespace {
+
+constexpr int kRequests = 64;
+
+double WallSeconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct Result {
+  double wall = 0.0;        // host seconds for all requests
+  double modeled = 0.0;     // summed modeled GPU seconds of the dispatches
+  std::vector<uint64_t> digests;
+  uint64_t dispatches = 0;
+  uint64_t engines = 0;
+
+  double Rps() const {
+    return wall <= 0 ? 0 : static_cast<double>(kRequests) / wall;
+  }
+};
+
+/// The baseline the serving layer replaces: every query builds its own
+/// device + engine + program, runs, and throws the stack away.
+Result OneEnginePerQuery(const graph::Csr& csr,
+                         const std::vector<graph::NodeId>& sources) {
+  Result result;
+  result.digests.reserve(sources.size());
+  result.wall = WallSeconds([&] {
+    for (graph::NodeId source : sources) {
+      sim::GpuDevice device(BenchSpec());
+      core::EngineOptions options;
+      options.host_threads = 1;
+      auto engine = core::Engine::Create(&device, csr, options);
+      SAGE_CHECK(engine.ok()) << engine.status().ToString();
+      apps::BfsProgram bfs;
+      auto stats = apps::RunBfs(**engine, bfs, source);
+      SAGE_CHECK(stats.ok()) << stats.status().ToString();
+      result.modeled += stats->seconds;
+      result.digests.push_back(apps::OutputDigest(**engine, bfs));
+      ++result.dispatches;
+      ++result.engines;
+    }
+  });
+  return result;
+}
+
+/// The same workload through the query service (synchronous dispatch so
+/// the measurement has no thread-scheduling noise; batching coalesces all
+/// 64 requests into one MS-BFS run).
+Result BatchedService(const graph::Csr& csr,
+                      const std::vector<graph::NodeId>& sources) {
+  serve::GraphRegistry registry;
+  SAGE_CHECK(registry.Add("g", csr).ok());
+  serve::ServeOptions options;
+  options.worker_threads = 0;
+  options.engines_per_graph = 1;
+  options.device_spec = BenchSpec();
+
+  Result result;
+  result.digests.resize(sources.size());
+  serve::QueryService service(&registry, options);
+  result.wall = WallSeconds([&] {
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(sources.size());
+    for (graph::NodeId source : sources) {
+      serve::Request request;
+      request.graph = "g";
+      request.app = "bfs";
+      request.params.sources = {source};
+      auto submitted = service.Submit(std::move(request));
+      SAGE_CHECK(submitted.ok()) << submitted.status().ToString();
+      futures.push_back(std::move(*submitted));
+    }
+    service.ProcessAllPending();
+    for (size_t i = 0; i < futures.size(); ++i) {
+      serve::Response response = futures[i].get();
+      SAGE_CHECK(response.status.ok()) << response.status.ToString();
+      result.digests[i] = response.output_digest;
+      // Modeled seconds are per dispatch; count each batch once.
+      if (i == 0 || response.batch_size == 1) {
+        result.modeled += response.stats.seconds;
+      }
+    }
+  });
+  serve::ServiceStats stats = service.stats();
+  result.dispatches = stats.batches;
+  result.engines = stats.engines_created;
+  return result;
+}
+
+void WriteJson(const Result& baseline, const Result& batched,
+               bool identical, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": \"%d-source BFS, rmat scale 13\",\n"
+               "  \"requests\": %d,\n"
+               "  \"identical_outputs\": %s,\n"
+               "  \"baseline\": {\"wall_seconds\": %.6f, \"requests_per_sec\""
+               ": %.1f, \"dispatches\": %llu, \"engines_built\": %llu,"
+               " \"modeled_seconds\": %.6f},\n"
+               "  \"batched\": {\"wall_seconds\": %.6f, \"requests_per_sec\""
+               ": %.1f, \"dispatches\": %llu, \"engines_built\": %llu,"
+               " \"modeled_seconds\": %.6f},\n"
+               "  \"speedup\": %.2f\n"
+               "}\n",
+               kRequests, kRequests, identical ? "true" : "false",
+               baseline.wall, baseline.Rps(),
+               static_cast<unsigned long long>(baseline.dispatches),
+               static_cast<unsigned long long>(baseline.engines),
+               baseline.modeled, batched.wall, batched.Rps(),
+               static_cast<unsigned long long>(batched.dispatches),
+               static_cast<unsigned long long>(batched.engines),
+               batched.modeled,
+               batched.wall <= 0 ? 0 : baseline.wall / batched.wall);
+  std::fclose(f);
+}
+
+int Main() {
+  graph::Csr csr = graph::GenerateRmat(13, 98304, 0.57, 0.19, 0.19, 42);
+  std::vector<graph::NodeId> sources = PickSources(csr, kRequests);
+
+  std::printf("serving bench: %d BFS requests, rmat scale 13 (%u nodes, "
+              "%llu edges)\n\n",
+              kRequests, csr.num_nodes(),
+              static_cast<unsigned long long>(csr.num_edges()));
+
+  Result baseline = OneEnginePerQuery(csr, sources);
+  Result batched = BatchedService(csr, sources);
+
+  bool identical = baseline.digests == batched.digests;
+  SAGE_CHECK(identical)
+      << "batched responses diverged from one-engine-per-query outputs";
+
+  PrintHeader("mode", {"wall-s", "req/s", "dispatches", "engines",
+                       "modeled-s"});
+  PrintRow("per-query", {baseline.wall, baseline.Rps(),
+                         static_cast<double>(baseline.dispatches),
+                         static_cast<double>(baseline.engines),
+                         baseline.modeled});
+  PrintRow("service", {batched.wall, batched.Rps(),
+                       static_cast<double>(batched.dispatches),
+                       static_cast<double>(batched.engines),
+                       batched.modeled});
+  double speedup = batched.wall <= 0 ? 0 : baseline.wall / batched.wall;
+  std::printf("\nall %d batched outputs bit-identical to solo runs\n",
+              kRequests);
+  std::printf("service speedup: %.2fx requests/sec (target >= 2x)\n",
+              speedup);
+
+  WriteJson(baseline, batched, identical, "BENCH_serve.json");
+  std::printf("wrote BENCH_serve.json\n");
+  return speedup >= 2.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() { return sage::bench::Main(); }

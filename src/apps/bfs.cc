@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "apps/registry.h"
 #include "reorder/permutation.h"
 #include "util/logging.h"
 
@@ -52,10 +53,9 @@ void BfsProgram::SetDistance(NodeId original, uint32_t dist) {
 util::StatusOr<core::RunStats> RunBfs(core::Engine& engine,
                                       BfsProgram& program,
                                       NodeId source_original) {
-  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
-  program.SetSource(source_original);
-  NodeId src[1] = {source_original};
-  return engine.Run(src);
+  AppParams params;
+  params.sources = {source_original};
+  return RunApp(engine, program, params);
 }
 
 }  // namespace sage::apps

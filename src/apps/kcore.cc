@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "apps/registry.h"
 #include "reorder/permutation.h"
 #include "util/logging.h"
 
@@ -57,10 +58,9 @@ bool KCoreProgram::InCore(NodeId original) const {
 
 util::StatusOr<core::RunStats> RunKCore(core::Engine& engine,
                                         KCoreProgram& program, uint32_t k) {
-  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
-  std::vector<NodeId> initial = program.Reset(k);
-  if (initial.empty()) return core::RunStats{};
-  return engine.Run(initial);
+  AppParams params;
+  params.k = k;
+  return RunApp(engine, program, params);
 }
 
 std::vector<uint8_t> KCoreReference(const graph::Csr& csr, uint32_t k) {

@@ -1,7 +1,9 @@
 #include "apps/msbfs.h"
 
 #include <algorithm>
+#include <bit>
 
+#include "apps/registry.h"
 #include "reorder/permutation.h"
 #include "util/logging.h"
 
@@ -26,21 +28,83 @@ void MultiSourceBfsProgram::SetSources(
   SAGE_CHECK(engine_ != nullptr);
   SAGE_CHECK_LE(sources_original.size(), kMaxSources);
   std::fill(mask_.begin(), mask_.end(), 0);
+  num_sources_ = static_cast<uint32_t>(sources_original.size());
+  iteration_ = 0;
+  if (record_distances_) {
+    dist_.assign(static_cast<size_t>(num_sources_) * mask_.size(),
+                 kUnreached);
+  }
   for (size_t i = 0; i < sources_original.size(); ++i) {
-    mask_[engine_->InternalId(sources_original[i])] |= 1ull << i;
+    NodeId internal = engine_->InternalId(sources_original[i]);
+    mask_[internal] |= 1ull << i;
+    if (record_distances_) dist_[i * mask_.size() + internal] = 0;
   }
 }
 
 bool MultiSourceBfsProgram::Filter(NodeId frontier, NodeId neighbor) {
   uint64_t missing = mask_[frontier] & ~mask_[neighbor];
+  if (record_distances_ && missing != 0) {
+    // Strict level-synchronous mode: only push bits the frontier node held
+    // at the START of this iteration (recorded distance <= t). Without the
+    // restriction a bit gained earlier in the same kernel can ride through
+    // this node and jump two hops in one level, which is fine for
+    // reachability but breaks the distance invariant. A suppressed bit is
+    // not lost: gaining it put this node into the next frontier, so it is
+    // pushed at t + 1.
+    const size_t n = mask_.size();
+    uint64_t held = 0;
+    uint64_t bits = missing;
+    while (bits != 0) {
+      uint32_t i = static_cast<uint32_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      if (dist_[static_cast<size_t>(i) * n + frontier] <= iteration_) {
+        held |= 1ull << i;
+      }
+    }
+    missing = held;
+  }
   if (missing == 0) return false;
   mask_[neighbor] |= missing;  // atomicOr
+  if (record_distances_) {
+    // Every pushed bit was held by the frontier node at distance exactly t
+    // (an earlier gain would already have been pushed to every neighbor),
+    // so the neighbor's distance for each newly gained instance is t + 1 —
+    // identical to what a solo BfsProgram run from that source computes.
+    uint64_t bits = missing;
+    while (bits != 0) {
+      uint32_t i = static_cast<uint32_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      dist_[static_cast<size_t>(i) * mask_.size() + neighbor] =
+          iteration_ + 1;
+    }
+  }
   return true;
+}
+
+void MultiSourceBfsProgram::BeginIteration(uint32_t iteration) {
+  iteration_ = iteration;
 }
 
 void MultiSourceBfsProgram::OnPermutation(
     std::span<const NodeId> new_of_old) {
   mask_ = reorder::PermuteVector(mask_, new_of_old);
+  if (record_distances_ && num_sources_ > 0) {
+    const size_t n = mask_.size();
+    for (uint32_t i = 0; i < num_sources_; ++i) {
+      std::vector<uint32_t> row(dist_.begin() + i * n,
+                                dist_.begin() + (i + 1) * n);
+      row = reorder::PermuteVector(row, new_of_old);
+      std::copy(row.begin(), row.end(), dist_.begin() + i * n);
+    }
+  }
+}
+
+uint32_t MultiSourceBfsProgram::DistanceOf(uint32_t source_index,
+                                           NodeId original) const {
+  SAGE_CHECK(record_distances_) << "EnableDistanceRecording before the run";
+  SAGE_CHECK(source_index < num_sources_);
+  return dist_[static_cast<size_t>(source_index) * mask_.size() +
+               engine_->InternalId(original)];
 }
 
 bool MultiSourceBfsProgram::Reached(uint32_t source_index,
@@ -57,9 +121,9 @@ uint64_t MultiSourceBfsProgram::ReachedCount(uint32_t source_index) const {
 util::StatusOr<core::RunStats> RunMultiSourceBfs(
     core::Engine& engine, MultiSourceBfsProgram& program,
     std::span<const NodeId> sources_original) {
-  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
-  program.SetSources(sources_original);
-  return engine.Run(sources_original);
+  AppParams params;
+  params.sources.assign(sources_original.begin(), sources_original.end());
+  return RunApp(engine, program, params);
 }
 
 }  // namespace sage::apps

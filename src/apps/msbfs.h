@@ -18,9 +18,13 @@ namespace sage::apps {
 class MultiSourceBfsProgram : public core::FilterProgram {
  public:
   static constexpr uint32_t kMaxSources = 64;
+  /// Same sentinel as BfsProgram::kUnreached so per-instance distances are
+  /// bit-comparable with a solo BFS run.
+  static constexpr uint32_t kUnreached = 0xffffffffu;
 
   void Bind(core::Engine* engine) override;
   bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
+  void BeginIteration(uint32_t iteration) override;
   void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
   const core::Footprint& footprint() const override { return footprint_; }
   const char* name() const override { return "multi-source-bfs"; }
@@ -28,17 +32,41 @@ class MultiSourceBfsProgram : public core::FilterProgram {
   /// Resets state and seeds the sources (original ids; at most 64).
   void SetSources(std::span<const graph::NodeId> sources_original);
 
+  /// Opt-in per-instance distance tracking (kMaxSources × |V| uint32 of
+  /// host bookkeeping, so off by default). Recording also switches Filter
+  /// into strict level-synchronous propagation — bits a node gains
+  /// mid-iteration are pushed in the next iteration, not ridden through —
+  /// so the iteration at which a node gains bit i *is* its BFS distance
+  /// from source i. That makes every instance's result bit-identical to a
+  /// solo BfsProgram run, which is what lets the serving layer coalesce
+  /// BFS queries without changing their answers. Final reachability masks
+  /// are unaffected either way. Call before SetSources.
+  void EnableDistanceRecording() { record_distances_ = true; }
+
   /// True if BFS instance `source_index` reached the node.
   bool Reached(uint32_t source_index, graph::NodeId original) const;
 
   /// Number of nodes reached by instance `source_index`.
   uint64_t ReachedCount(uint32_t source_index) const;
 
+  /// Distance of a node from source `source_index` (original ids);
+  /// kUnreached if not reached. Requires EnableDistanceRecording before
+  /// the run.
+  uint32_t DistanceOf(uint32_t source_index, graph::NodeId original) const;
+
+  /// Number of sources seeded by the last SetSources.
+  uint32_t num_sources() const { return num_sources_; }
+
  private:
   core::Engine* engine_ = nullptr;
   std::vector<uint64_t> mask_;
+  /// Row-major [source_index][internal node] distances when recording.
+  std::vector<uint32_t> dist_;
   sim::Buffer mask_buf_;
   core::Footprint footprint_;
+  uint32_t num_sources_ = 0;
+  uint32_t iteration_ = 0;
+  bool record_distances_ = false;
 };
 
 /// Runs all instances to convergence; returns combined stats.

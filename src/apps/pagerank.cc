@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "apps/registry.h"
 #include "reorder/permutation.h"
 #include "util/logging.h"
 
@@ -81,11 +82,9 @@ double PageRankProgram::RankOf(NodeId original) const {
 util::StatusOr<core::RunStats> RunPageRank(core::Engine& engine,
                                            PageRankProgram& program,
                                            uint32_t iterations) {
-  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
-  program.Reset();
-  auto stats = engine.RunGlobal(iterations);
-  if (stats.ok()) program.Finalize();
-  return stats;
+  AppParams params;
+  params.iterations = iterations;
+  return RunApp(engine, program, params);
 }
 
 }  // namespace sage::apps

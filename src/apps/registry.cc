@@ -1,0 +1,253 @@
+#include "apps/registry.h"
+
+#include <cstring>
+
+#include "apps/bfs.h"
+#include "apps/kcore.h"
+#include "apps/msbfs.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+
+namespace sage::apps {
+
+using graph::NodeId;
+
+namespace {
+
+/// FNV-1a over raw bytes; the same digest the determinism harness uses,
+/// re-implemented here so sage_apps does not depend on the check harness
+/// (which sits above it in the layering).
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+template <typename T>
+uint64_t HashValue(const T& v, uint64_t h) {
+  return HashBytes(&v, sizeof(v), h);
+}
+
+/// One registered app: how to create it, run it, and digest its output.
+struct AppDescriptor {
+  const char* canonical;     // the factory name ("msbfs", ...)
+  const char* program_name;  // what the program's name() reports
+  std::unique_ptr<core::FilterProgram> (*make)();
+  util::StatusOr<core::RunStats> (*run)(core::Engine&, core::FilterProgram&,
+                                        const AppParams&);
+  uint64_t (*digest)(const core::Engine&, const core::FilterProgram&);
+};
+
+util::Status RequireSources(const AppParams& params, size_t min, size_t max,
+                            const core::Engine& engine, const char* app) {
+  if (params.sources.size() < min || params.sources.size() > max) {
+    return util::Status::InvalidArgument(
+        std::string(app) + ": expected between " + std::to_string(min) +
+        " and " + std::to_string(max) + " sources, got " +
+        std::to_string(params.sources.size()));
+  }
+  for (NodeId s : params.sources) {
+    if (s >= engine.csr().num_nodes()) {
+      return util::Status::InvalidArgument(
+          std::string(app) + ": source node " + std::to_string(s) +
+          " out of range");
+    }
+  }
+  return util::Status::OK();
+}
+
+// ---- bfs -------------------------------------------------------------------
+
+util::StatusOr<core::RunStats> RunBfsApp(core::Engine& engine,
+                                         core::FilterProgram& program,
+                                         const AppParams& params) {
+  SAGE_RETURN_IF_ERROR(RequireSources(params, 1, 1, engine, "bfs"));
+  auto& bfs = static_cast<BfsProgram&>(program);
+  SAGE_RETURN_IF_ERROR(engine.Bind(&bfs));
+  bfs.SetSource(params.sources[0]);
+  return engine.Run(std::span<const NodeId>(params.sources));
+}
+
+uint64_t BfsDigest(const core::Engine& engine,
+                   const core::FilterProgram& program) {
+  const auto& bfs = static_cast<const BfsProgram&>(program);
+  uint64_t h = kFnvOffset;
+  for (NodeId v = 0; v < engine.csr().num_nodes(); ++v) {
+    h = HashValue(bfs.DistanceOf(v), h);
+  }
+  return h;
+}
+
+// ---- pagerank --------------------------------------------------------------
+
+util::StatusOr<core::RunStats> RunPageRankApp(core::Engine& engine,
+                                              core::FilterProgram& program,
+                                              const AppParams& params) {
+  auto& pr = static_cast<PageRankProgram&>(program);
+  SAGE_RETURN_IF_ERROR(engine.Bind(&pr));
+  pr.Reset();
+  auto stats = engine.RunGlobal(params.iterations);
+  if (stats.ok()) pr.Finalize();
+  return stats;
+}
+
+uint64_t PageRankDigest(const core::Engine& engine,
+                        const core::FilterProgram& program) {
+  const auto& pr = static_cast<const PageRankProgram&>(program);
+  uint64_t h = kFnvOffset;
+  for (NodeId v = 0; v < engine.csr().num_nodes(); ++v) {
+    h = HashValue(pr.RankOf(v), h);
+  }
+  return h;
+}
+
+// ---- kcore -----------------------------------------------------------------
+
+util::StatusOr<core::RunStats> RunKCoreApp(core::Engine& engine,
+                                           core::FilterProgram& program,
+                                           const AppParams& params) {
+  auto& kcore = static_cast<KCoreProgram&>(program);
+  SAGE_RETURN_IF_ERROR(engine.Bind(&kcore));
+  std::vector<NodeId> initial = kcore.Reset(params.k);
+  if (initial.empty()) return core::RunStats{};
+  return engine.Run(initial);
+}
+
+uint64_t KCoreDigest(const core::Engine& engine,
+                     const core::FilterProgram& program) {
+  const auto& kcore = static_cast<const KCoreProgram&>(program);
+  uint64_t h = kFnvOffset;
+  for (NodeId v = 0; v < engine.csr().num_nodes(); ++v) {
+    h = HashValue(static_cast<uint8_t>(kcore.InCore(v) ? 1 : 0), h);
+  }
+  return h;
+}
+
+// ---- sssp ------------------------------------------------------------------
+
+util::StatusOr<core::RunStats> RunSsspApp(core::Engine& engine,
+                                          core::FilterProgram& program,
+                                          const AppParams& params) {
+  SAGE_RETURN_IF_ERROR(RequireSources(params, 1, 1, engine, "sssp"));
+  auto& sssp = static_cast<SsspProgram&>(program);
+  SAGE_RETURN_IF_ERROR(engine.Bind(&sssp));
+  sssp.SetSource(params.sources[0]);
+  return engine.Run(std::span<const NodeId>(params.sources));
+}
+
+uint64_t SsspDigest(const core::Engine& engine,
+                    const core::FilterProgram& program) {
+  const auto& sssp = static_cast<const SsspProgram&>(program);
+  uint64_t h = kFnvOffset;
+  for (NodeId v = 0; v < engine.csr().num_nodes(); ++v) {
+    h = HashValue(sssp.DistanceOf(v), h);
+  }
+  return h;
+}
+
+// ---- msbfs -----------------------------------------------------------------
+
+util::StatusOr<core::RunStats> RunMsBfsApp(core::Engine& engine,
+                                           core::FilterProgram& program,
+                                           const AppParams& params) {
+  SAGE_RETURN_IF_ERROR(RequireSources(
+      params, 1, MultiSourceBfsProgram::kMaxSources, engine, "msbfs"));
+  auto& msbfs = static_cast<MultiSourceBfsProgram&>(program);
+  SAGE_RETURN_IF_ERROR(engine.Bind(&msbfs));
+  msbfs.SetSources(params.sources);
+  return engine.Run(std::span<const NodeId>(params.sources));
+}
+
+uint64_t MsBfsDigest(const core::Engine& engine,
+                     const core::FilterProgram& program) {
+  const auto& msbfs = static_cast<const MultiSourceBfsProgram&>(program);
+  uint64_t h = kFnvOffset;
+  for (NodeId v = 0; v < engine.csr().num_nodes(); ++v) {
+    uint64_t mask = 0;
+    for (uint32_t i = 0; i < msbfs.num_sources(); ++i) {
+      if (msbfs.Reached(i, v)) mask |= 1ull << i;
+    }
+    h = HashValue(mask, h);
+  }
+  return h;
+}
+
+// ---- registry --------------------------------------------------------------
+
+template <typename T>
+std::unique_ptr<core::FilterProgram> Make() {
+  return std::make_unique<T>();
+}
+
+constexpr AppDescriptor kApps[] = {
+    {"bfs", "bfs", &Make<BfsProgram>, &RunBfsApp, &BfsDigest},
+    {"pagerank", "pagerank", &Make<PageRankProgram>, &RunPageRankApp,
+     &PageRankDigest},
+    {"kcore", "kcore", &Make<KCoreProgram>, &RunKCoreApp, &KCoreDigest},
+    {"sssp", "sssp", &Make<SsspProgram>, &RunSsspApp, &SsspDigest},
+    {"msbfs", "multi-source-bfs", &Make<MultiSourceBfsProgram>, &RunMsBfsApp,
+     &MsBfsDigest},
+};
+
+const AppDescriptor* Find(const std::string& name) {
+  for (const AppDescriptor& app : kApps) {
+    if (name == app.canonical || name == app.program_name) return &app;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<std::string> RegisteredApps() {
+  std::vector<std::string> names;
+  for (const AppDescriptor& app : kApps) names.emplace_back(app.canonical);
+  return names;
+}
+
+bool AppKnown(const std::string& name) { return Find(name) != nullptr; }
+
+util::StatusOr<std::unique_ptr<core::FilterProgram>> CreateProgram(
+    const std::string& name) {
+  const AppDescriptor* app = Find(name);
+  if (app == nullptr) {
+    return util::Status::NotFound("unknown app: " + name);
+  }
+  return app->make();
+}
+
+util::StatusOr<core::RunStats> RunApp(core::Engine& engine,
+                                      core::FilterProgram& program,
+                                      const AppParams& params) {
+  const AppDescriptor* app = Find(program.name());
+  if (app == nullptr) {
+    return util::Status::NotFound(
+        std::string("RunApp: program '") + program.name() +
+        "' is not a registered app");
+  }
+  return app->run(engine, program, params);
+}
+
+uint64_t OutputDigest(const core::Engine& engine,
+                      const core::FilterProgram& program) {
+  const AppDescriptor* app = Find(program.name());
+  if (app == nullptr) return 0;
+  return app->digest(engine, program);
+}
+
+uint64_t MsBfsInstanceDigest(const core::Engine& engine,
+                             const MultiSourceBfsProgram& program,
+                             uint32_t instance) {
+  uint64_t h = kFnvOffset;
+  for (NodeId v = 0; v < engine.csr().num_nodes(); ++v) {
+    h = HashValue(program.DistanceOf(instance, v), h);
+  }
+  return h;
+}
+
+}  // namespace sage::apps

@@ -1,0 +1,72 @@
+#ifndef SAGE_APPS_REGISTRY_H_
+#define SAGE_APPS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace sage::apps {
+
+class MultiSourceBfsProgram;
+
+/// Parameters of one application run — the union of every registered
+/// app's knobs. Apps read only the fields they understand and reject
+/// nonsensical values of the ones they do (see RunApp).
+struct AppParams {
+  /// Source nodes (original ids). bfs / sssp take exactly one; msbfs
+  /// takes 1..MultiSourceBfsProgram::kMaxSources; pagerank / kcore none.
+  std::vector<graph::NodeId> sources;
+  /// Global-traversal iterations (pagerank).
+  uint32_t iterations = 10;
+  /// Core threshold (kcore). The bound graph must be symmetrized.
+  uint32_t k = 2;
+};
+
+/// Canonical names of every registered app:
+/// {"bfs", "pagerank", "kcore", "sssp", "msbfs"}.
+std::vector<std::string> RegisteredApps();
+
+/// True if `name` resolves to a registered app (canonical name or a
+/// program's self-reported name, e.g. "multi-source-bfs" for msbfs).
+bool AppKnown(const std::string& name);
+
+/// Factory: a fresh, unbound program for the app. kNotFound for unknown
+/// names. The returned program is driven through RunApp; callers that
+/// need app-specific accessors (BfsProgram::DistanceOf, ...) may
+/// static_cast to the concrete type matching the canonical name.
+util::StatusOr<std::unique_ptr<core::FilterProgram>> CreateProgram(
+    const std::string& name);
+
+/// The one uniform run entry point: binds `program` to `engine` (warm
+/// rebinds are free), resets the program's per-run state from `params`,
+/// and drives the traversal the way that app needs (frontier-driven,
+/// global, or peeling). Dispatches on program.name(); kNotFound if the
+/// program is not a registered app, kInvalidArgument for bad params.
+/// sage_cli, the serving layer, and the benches all route through here.
+util::StatusOr<core::RunStats> RunApp(core::Engine& engine,
+                                      core::FilterProgram& program,
+                                      const AppParams& params);
+
+/// FNV-1a digest of the program's user-visible output (distances, ranks,
+/// core membership, ...) enumerated in original-id order — the canonical
+/// "are two runs' answers bit-identical" check used by the serving layer
+/// and its tests. Dispatches on program.name(); 0 for unknown programs.
+uint64_t OutputDigest(const core::Engine& engine,
+                      const core::FilterProgram& program);
+
+/// Digest of one MS-BFS instance's per-node distances. Bit-identical to
+/// OutputDigest of a solo BfsProgram run from the same source — the
+/// contract that lets the serving layer coalesce N BFS queries into one
+/// MS-BFS run. Requires EnableDistanceRecording before the run.
+uint64_t MsBfsInstanceDigest(const core::Engine& engine,
+                             const MultiSourceBfsProgram& program,
+                             uint32_t instance);
+
+}  // namespace sage::apps
+
+#endif  // SAGE_APPS_REGISTRY_H_

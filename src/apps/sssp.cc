@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "apps/registry.h"
 #include "reorder/permutation.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -62,10 +63,9 @@ uint64_t SsspProgram::DistanceOf(NodeId original) const {
 util::StatusOr<core::RunStats> RunSssp(core::Engine& engine,
                                        SsspProgram& program,
                                        NodeId source_original) {
-  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
-  program.SetSource(source_original);
-  NodeId src[1] = {source_original};
-  return engine.Run(src);
+  AppParams params;
+  params.sources = {source_original};
+  return RunApp(engine, program, params);
 }
 
 }  // namespace sage::apps

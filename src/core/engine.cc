@@ -31,6 +31,38 @@ std::vector<size_t> DispatchOrder(size_t n, uint64_t seed, uint64_t salt) {
 
 }  // namespace
 
+util::Status EngineOptions::Validate() const {
+  if (resident_tiles && !tiled_partitioning) {
+    return util::Status::InvalidArgument(
+        "resident tiles require tiled partitioning "
+        "(resident_tiles = true needs tiled_partitioning = true)");
+  }
+  if (udt_split_degree > 0 && (resident_tiles || sampling_reorder)) {
+    return util::Status::InvalidArgument(
+        "udt_split_degree > 0 (the UDT layer) is incompatible with "
+        "resident_tiles / sampling_reorder");
+  }
+  if (min_tile_size == 0) {
+    return util::Status::InvalidArgument(
+        "min_tile_size must be at least 1");
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<std::unique_ptr<Engine>> Engine::Create(
+    sim::GpuDevice* device, graph::Csr csr, const EngineOptions& options) {
+  if (device == nullptr) {
+    return util::Status::InvalidArgument("Engine::Create: null device");
+  }
+  SAGE_RETURN_IF_ERROR(options.Validate());
+  if (options.check_level != sim::CheckLevel::kOff &&
+      device->access_sink() != nullptr) {
+    return util::Status::FailedPrecondition(
+        "device already has an access sink; one checker per device");
+  }
+  return std::make_unique<Engine>(device, std::move(csr), options);
+}
+
 Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
                const EngineOptions& options)
     : device_(device),
@@ -39,8 +71,10 @@ Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
       ctx_(device, &csr_, nullptr, nullptr),
       store_(csr_.num_nodes()) {
   SAGE_CHECK(device != nullptr);
-  SAGE_CHECK(!options_.resident_tiles || options_.tiled_partitioning)
-      << "resident tiles require tiled partitioning";
+  {
+    util::Status valid = options_.Validate();
+    SAGE_CHECK(valid.ok()) << valid.message();
+  }
   if (options_.check_level != sim::CheckLevel::kOff) {
     SAGE_CHECK(device->access_sink() == nullptr)
         << "device already has an access sink; one checker per device";
@@ -72,8 +106,6 @@ Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
                                  sizeof(TileEntry));
 
   if (options_.udt_split_degree > 0) {
-    SAGE_CHECK(!options_.resident_tiles && !options_.sampling_reorder)
-        << "UDT layer is incompatible with resident tiles / reordering";
     udt_ = std::make_unique<UdtLayout>(
         BuildUdt(csr_, options_.udt_split_degree));
     const uint64_t vn = udt_->virtual_nodes();
@@ -144,6 +176,10 @@ util::Status Engine::Bind(FilterProgram* program) {
   if (program == nullptr) {
     return util::Status::InvalidArgument("null filter program");
   }
+  // Warm rebind of the program already driving this engine: nothing to
+  // reconfigure, and the per-worker contexts stay valid. Serving pools hit
+  // this path on every reused (engine, program) pair.
+  if (program == program_) return util::Status::OK();
   program->Bind(this);
   program_ = program;
   ctx_.set_filter(program);

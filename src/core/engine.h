@@ -86,6 +86,14 @@ struct EngineOptions {
   /// it. Engines with a SageCheck level above kOff or sampling_reorder fall
   /// back to serial execution (their observers are order-sensitive).
   uint32_t host_threads = 0;
+
+  /// Checks the switch combination for consistency. Incompatible combos
+  /// (udt_split_degree with resident_tiles / sampling_reorder,
+  /// resident_tiles without tiled_partitioning, min_tile_size == 0) are
+  /// typed kInvalidArgument errors. Engine::Create calls this and
+  /// propagates the error; the legacy constructor calls it and aborts on
+  /// failure (migration path — prefer Create in new code).
+  util::Status Validate() const;
 };
 
 /// SAGE: self-adaptive graph traversal. Constructed directly from a CSR —
@@ -98,8 +106,15 @@ struct EngineOptions {
 /// internal ids and are notified of relabelings via OnPermutation.
 class Engine {
  public:
-  /// The engine copies the CSR (reordering mutates the copy; the caller's
-  /// graph is never touched).
+  /// The preferred way to build an engine: validates the options (see
+  /// EngineOptions::Validate) and the device pointer, returning a typed
+  /// error instead of aborting. The engine copies the CSR (reordering
+  /// mutates the copy; the caller's graph is never touched).
+  static util::StatusOr<std::unique_ptr<Engine>> Create(
+      sim::GpuDevice* device, graph::Csr csr, const EngineOptions& options);
+
+  /// Legacy direct construction; aborts on invalid options. Delegates the
+  /// checking to EngineOptions::Validate so the two paths cannot drift.
   Engine(sim::GpuDevice* device, graph::Csr csr, const EngineOptions& options);
   ~Engine();
 
@@ -159,6 +174,12 @@ class Engine {
   const graph::Csr& csr() const { return csr_; }
   sim::GpuDevice* device() { return device_; }
   const EngineOptions& options() const { return options_; }
+
+  /// The currently bound program (nullptr before the first Bind). Engines
+  /// are designed for reuse: a warm engine may Run many times and Bind
+  /// different programs between runs (each program's buffers stay
+  /// registered); serving pools rely on this to keep engines hot.
+  FilterProgram* bound_program() const { return program_; }
 
   /// Streams per-iteration RunStats into `trace` (appended as iterations
   /// execute; pass nullptr to disable). Useful for convergence plots and

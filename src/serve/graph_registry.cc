@@ -1,0 +1,38 @@
+#include "serve/graph_registry.h"
+
+namespace sage::serve {
+
+util::Status GraphRegistry::Add(const std::string& name, graph::Csr csr) {
+  if (name.empty()) {
+    return util::Status::InvalidArgument("graph name must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = graphs_.emplace(name, std::move(csr));
+  (void)it;
+  if (!inserted) {
+    return util::Status::InvalidArgument("graph '" + name +
+                                         "' already registered");
+  }
+  return util::Status::OK();
+}
+
+const graph::Csr* GraphRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  return it == graphs_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> GraphRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [name, csr] : graphs_) names.push_back(name);
+  return names;
+}
+
+size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graphs_.size();
+}
+
+}  // namespace sage::serve

@@ -1,0 +1,40 @@
+#ifndef SAGE_SERVE_GRAPH_REGISTRY_H_
+#define SAGE_SERVE_GRAPH_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace sage::serve {
+
+/// Load-once / serve-many graph store. Graphs are registered under a name
+/// and live for the registry's lifetime; QueryService engines are built
+/// from them on demand (each engine copies the CSR, so a registered graph
+/// is never mutated by traversals — including sampling reordering).
+///
+/// Thread-safe. Find returns a stable pointer: entries are never removed
+/// and std::map nodes do not move on insert.
+class GraphRegistry {
+ public:
+  /// Registers `csr` under `name`. kInvalidArgument for an empty name or
+  /// a duplicate registration (graphs are immutable once registered).
+  util::Status Add(const std::string& name, graph::Csr csr);
+
+  /// The registered graph, or nullptr.
+  const graph::Csr* Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, graph::Csr> graphs_;
+};
+
+}  // namespace sage::serve
+
+#endif  // SAGE_SERVE_GRAPH_REGISTRY_H_

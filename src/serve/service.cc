@@ -1,0 +1,292 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace sage::serve {
+
+QueryService::QueryService(const GraphRegistry* registry,
+                           ServeOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      pool_(options_.worker_threads) {
+  SAGE_CHECK(registry_ != nullptr);
+  options_.engines_per_graph = std::max<uint32_t>(
+      options_.engines_per_graph, 1);
+  options_.max_batch = std::max<uint32_t>(options_.max_batch, 1);
+  init_error_ = options_.engine_options.Validate();
+  // Dispatch workers occupy the PR-2 pool's threads for the service's
+  // lifetime; each loop exits when stopping_ is set and the queue drains.
+  for (uint32_t i = 0; i < options_.worker_threads; ++i) {
+    pool_.Submit([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+util::Status QueryService::ValidateRequest(const Request& request) const {
+  if (!init_error_.ok()) return init_error_;
+  if (registry_->Find(request.graph) == nullptr) {
+    return util::Status::NotFound("unknown graph: " + request.graph);
+  }
+  if (!apps::AppKnown(request.app)) {
+    return util::Status::InvalidArgument("unknown app: " + request.app);
+  }
+  const graph::Csr* csr = registry_->Find(request.graph);
+  for (graph::NodeId s : request.params.sources) {
+    if (s >= csr->num_nodes()) {
+      return util::Status::InvalidArgument(
+          request.app + ": source node " + std::to_string(s) +
+          " out of range for graph " + request.graph);
+    }
+  }
+  if ((request.app == "bfs" || request.app == "sssp") &&
+      request.params.sources.size() != 1) {
+    return util::Status::InvalidArgument(
+        request.app + " takes exactly one source");
+  }
+  if (request.app == "msbfs" &&
+      (request.params.sources.empty() ||
+       request.params.sources.size() >
+           apps::MultiSourceBfsProgram::kMaxSources)) {
+    return util::Status::InvalidArgument("msbfs takes 1..64 sources");
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<std::future<Response>> QueryService::Submit(Request request) {
+  SAGE_RETURN_IF_ERROR(ValidateRequest(request));
+  std::future<Response> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return util::Status::FailedPrecondition("service is shut down");
+    }
+    if (queue_.size() >= options_.max_pending) {
+      ++stats_.rejected;
+      return util::Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(options_.max_pending) +
+          " pending); retry later");
+    }
+    Pending pending;
+    pending.request = std::move(request);
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    ++stats_.submitted;
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::vector<QueryService::Pending> QueryService::TakeBatchLocked() {
+  std::vector<Pending> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  if (!options_.batching) return batch;
+
+  // Copy the leader's compatibility key: push_back below may reallocate
+  // the batch vector, so a reference into it would dangle.
+  const Request lead = batch.front().request;
+  const bool bfs_coalesce = lead.app == "bfs";
+  const bool dedupe = lead.app == "pagerank" || lead.app == "kcore";
+  if (!bfs_coalesce && !dedupe) return batch;  // sssp / msbfs run alone
+
+  size_t limit = options_.max_batch;
+  if (bfs_coalesce) {
+    limit = std::min<size_t>(limit, apps::MultiSourceBfsProgram::kMaxSources);
+  }
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < limit;) {
+    const Request& r = it->request;
+    bool match = r.graph == lead.graph && r.app == lead.app;
+    if (match && lead.app == "pagerank") {
+      match = r.params.iterations == lead.params.iterations;
+    } else if (match && lead.app == "kcore") {
+      match = r.params.k == lead.params.k;
+    }
+    if (match) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+core::FilterProgram* QueryService::Program(WarmEngine* engine,
+                                           const std::string& key,
+                                           const std::string& app) {
+  auto it = engine->programs.find(key);
+  if (it != engine->programs.end()) return it->second.get();
+  auto program = apps::CreateProgram(app);
+  SAGE_CHECK(program.ok()) << program.status().ToString();
+  core::FilterProgram* raw = program->get();
+  engine->programs.emplace(key, std::move(*program));
+  return raw;
+}
+
+QueryService::WarmEngine* QueryService::AcquireEngine(
+    const std::string& graph) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    GraphPool& pool = pools_[graph];
+    for (auto& engine : pool.engines) {
+      if (!engine->busy && engine->engine != nullptr) {
+        engine->busy = true;
+        return engine.get();
+      }
+    }
+    if (pool.engines.size() < options_.engines_per_graph) {
+      const graph::Csr* csr = registry_->Find(graph);
+      SAGE_CHECK(csr != nullptr);  // validated at Submit
+      auto warm = std::make_unique<WarmEngine>(options_.device_spec);
+      warm->busy = true;  // claimed by this dispatcher while it builds
+      WarmEngine* raw = warm.get();
+      pool.engines.push_back(std::move(warm));
+      ++stats_.engines_created;
+      // Engine construction copies the CSR — do the expensive part
+      // unlocked. The slot is marked busy, so no other dispatcher can
+      // observe the half-built engine.
+      lock.unlock();
+      auto engine = core::Engine::Create(&raw->device, *csr,
+                                         options_.engine_options);
+      SAGE_CHECK(engine.ok()) << engine.status().ToString();  // pre-validated
+      raw->engine = std::move(*engine);
+      return raw;
+    }
+    // Pool at capacity and everything busy: wait for a release.
+    engine_cv_.wait(lock);
+  }
+}
+
+void QueryService::ReleaseEngine(WarmEngine* engine) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    engine->busy = false;
+  }
+  // notify_all: waiters for *other* graphs share the cv; a notify_one
+  // could wake only a dispatcher whose pool is still saturated.
+  engine_cv_.notify_all();
+}
+
+void QueryService::ExecuteBatch(std::vector<Pending> batch) {
+  const Request& lead = batch.front().request;
+  WarmEngine* warm = AcquireEngine(lead.graph);
+  core::Engine& engine = *warm->engine;
+
+  std::vector<Response> responses(batch.size());
+  for (Response& r : responses) {
+    r.batch_size = static_cast<uint32_t>(batch.size());
+  }
+
+  if (lead.app == "bfs" && batch.size() > 1) {
+    // Coalesce N single-source BFS queries into one MS-BFS traversal.
+    // Distance recording makes every instance's answer bit-identical to a
+    // solo BfsProgram run (same sentinel, same level values). The recorder
+    // gets its own program slot: recording switches MS-BFS into its strict
+    // level-synchronous mode, which must not bleed into explicit msbfs
+    // requests sharing the engine.
+    auto* msbfs = static_cast<apps::MultiSourceBfsProgram*>(
+        Program(warm, "bfs.batch", "msbfs"));
+    msbfs->EnableDistanceRecording();
+    apps::AppParams params;
+    params.sources.reserve(batch.size());
+    for (const Pending& p : batch) {
+      params.sources.push_back(p.request.params.sources[0]);
+    }
+    auto stats = apps::RunApp(engine, *msbfs, params);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!stats.ok()) {
+        responses[i].status = stats.status();
+      } else {
+        responses[i].stats = *stats;
+        responses[i].output_digest = apps::MsBfsInstanceDigest(
+            engine, *msbfs, static_cast<uint32_t>(i));
+      }
+    }
+  } else {
+    // Run once with the leader's params; duplicates (pagerank / kcore
+    // dedupe groups) share the result.
+    core::FilterProgram* program = Program(warm, lead.app, lead.app);
+    auto stats = apps::RunApp(engine, *program, lead.params);
+    uint64_t digest =
+        stats.ok() ? apps::OutputDigest(engine, *program) : 0;
+    for (Response& r : responses) {
+      if (!stats.ok()) {
+        r.status = stats.status();
+      } else {
+        r.stats = *stats;
+        r.output_digest = digest;
+      }
+    }
+  }
+
+  ReleaseEngine(warm);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.completed += batch.size();
+    if (batch.size() > 1) stats_.coalesced += batch.size();
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(responses[i]));
+  }
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      batch = TakeBatchLocked();
+    }
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void QueryService::ProcessAllPending() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) return;
+      batch = TakeBatchLocked();
+    }
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  pool_.Drain();  // workers drain the queue, then exit
+  // Synchronous mode (no workers) may leave requests queued; fail them
+  // loudly rather than dropping their promises.
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (Pending& pending : leftover) {
+    Response response;
+    response.status = util::Status::FailedPrecondition(
+        "service shut down before the request ran");
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+ServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sage::serve

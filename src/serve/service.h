@@ -1,0 +1,130 @@
+#ifndef SAGE_SERVE_SERVICE_H_
+#define SAGE_SERVE_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/graph_registry.h"
+#include "serve/types.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace sage::serve {
+
+/// SageServe: a concurrent traversal-query service (DESIGN.md §6).
+///
+/// Requests are admitted into a bounded queue (Submit returns
+/// kResourceExhausted when it is full — backpressure) and dispatched by
+/// workers running on the PR-2 host thread pool. Each registered graph
+/// owns a small pool of warm engines: built on first demand, then reused
+/// for every later request — construction cost and the resident-tile
+/// store amortize across queries.
+///
+/// Batching rules (ServeOptions::batching): a dispatcher popping a
+/// request also claims every compatible pending request, where
+///  - N single-source "bfs" requests on one graph coalesce into one
+///    MS-BFS run (≤ MultiSourceBfsProgram::kMaxSources sources) with
+///    per-instance distance recording — every member's answer is
+///    bit-identical to running it alone (serve_test proves it);
+///  - "pagerank" requests with identical iterations, and "kcore"
+///    requests with identical k, on one graph dedupe into a single run
+///    whose result every member shares;
+///  - "sssp" and explicit "msbfs" requests never coalesce.
+/// Responses carry the dispatch's RunStats, the request's own output
+/// digest, and the batch size.
+///
+/// Engine-reuse invariants (DESIGN.md §6): programs fully reset their
+/// per-run state from AppParams, each warm engine keeps one program per
+/// app and rebinds it for free, and a graph's CSR is copied into every
+/// engine so registered graphs stay immutable — which is also why warm
+/// state (the resident-tile store) can only accelerate a request, never
+/// change its answer.
+class QueryService {
+ public:
+  /// The registry must outlive the service. Options are validated here;
+  /// an invalid engine_options combo surfaces as the error every Submit
+  /// returns.
+  QueryService(const GraphRegistry* registry, ServeOptions options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Admits a request. The future resolves once a dispatcher ran it.
+  /// Errors: kResourceExhausted (queue full), kNotFound (unknown graph),
+  /// kInvalidArgument (unknown app / bad params), kFailedPrecondition
+  /// (service shut down or misconfigured).
+  util::StatusOr<std::future<Response>> Submit(Request request);
+
+  /// Drains the queue on the calling thread (batch by batch). The
+  /// execution path of worker_threads == 0 mode; safe to call in any mode.
+  void ProcessAllPending();
+
+  /// Stops accepting requests, drains the queue, and joins the workers.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  ServiceStats stats() const;
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  /// A queued request plus the promise its future watches.
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+  };
+
+  /// One warm engine: its own simulated device, the engine, and the
+  /// per-app programs bound to it (created once, reused every dispatch).
+  struct WarmEngine {
+    explicit WarmEngine(const sim::DeviceSpec& spec) : device(spec) {}
+    sim::GpuDevice device;
+    std::unique_ptr<core::Engine> engine;
+    std::map<std::string, std::unique_ptr<core::FilterProgram>> programs;
+    bool busy = false;
+  };
+  struct GraphPool {
+    std::vector<std::unique_ptr<WarmEngine>> engines;
+  };
+
+  util::Status ValidateRequest(const Request& request) const;
+  /// Pops the front request plus every compatible pending one (mu_ held,
+  /// queue non-empty).
+  std::vector<Pending> TakeBatchLocked();
+  /// Runs one batch on a pooled engine and fulfills its promises.
+  void ExecuteBatch(std::vector<Pending> batch);
+  /// Blocks until a warm engine for `graph` is free (creating one if the
+  /// pool is below engines_per_graph).
+  WarmEngine* AcquireEngine(const std::string& graph);
+  void ReleaseEngine(WarmEngine* engine);
+  /// The cached program in slot `key` of a warm engine, created on first
+  /// use via apps::CreateProgram(app). The batched-BFS recorder lives in
+  /// its own slot ("bfs.batch") so its recording mode never bleeds into
+  /// explicit msbfs requests.
+  core::FilterProgram* Program(WarmEngine* engine, const std::string& key,
+                               const std::string& app);
+  void WorkerLoop();
+
+  const GraphRegistry* registry_;
+  ServeOptions options_;
+  util::Status init_error_;
+  util::ThreadPool pool_;
+
+  mutable std::mutex mu_;  // guards queue_, pools_, stats_, stopping_
+  std::condition_variable queue_cv_;
+  std::condition_variable engine_cv_;
+  std::deque<Pending> queue_;
+  std::map<std::string, GraphPool> pools_;
+  ServiceStats stats_;
+  bool stopping_ = false;
+};
+
+}  // namespace sage::serve
+
+#endif  // SAGE_SERVE_SERVICE_H_

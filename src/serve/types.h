@@ -1,0 +1,82 @@
+#ifndef SAGE_SERVE_TYPES_H_
+#define SAGE_SERVE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "apps/msbfs.h"
+#include "apps/registry.h"
+#include "core/engine.h"
+#include "core/filter.h"
+#include "sim/device_spec.h"
+
+namespace sage::serve {
+
+/// Configuration of a QueryService.
+struct ServeOptions {
+  /// Warm engines kept per registered graph. Engines are created lazily on
+  /// first demand and reused (with their resident-tile stores warm) for
+  /// every later request on that graph.
+  uint32_t engines_per_graph = 2;
+  /// Admission-queue capacity: Submit rejects with kResourceExhausted once
+  /// this many requests are pending — the backpressure signal.
+  size_t max_pending = 1024;
+  /// Dispatch workers drained from the PR-2 host thread pool. 0 runs the
+  /// service synchronously: Submit only enqueues and the caller drives
+  /// execution via ProcessAllPending (deterministic batching; what the
+  /// tests and benches use).
+  uint32_t worker_threads = 2;
+  /// Coalesce compatible pending requests into one dispatch (see
+  /// QueryService class comment for the batching rules).
+  bool batching = true;
+  /// Most requests one dispatch may serve. BFS coalescing is additionally
+  /// capped at MultiSourceBfsProgram::kMaxSources.
+  uint32_t max_batch = apps::MultiSourceBfsProgram::kMaxSources;
+  /// The simulated device each warm engine runs on.
+  sim::DeviceSpec device_spec;
+  /// Options for every pooled engine. host_threads defaults to 1 here
+  /// (serial): service workers already run concurrently, and nesting a
+  /// per-engine pool under each would oversubscribe the host.
+  core::EngineOptions engine_options;
+
+  ServeOptions() { engine_options.host_threads = 1; }
+};
+
+/// One traversal query. `app` is a canonical registry name
+/// (apps::RegisteredApps); `graph` names a GraphRegistry entry.
+struct Request {
+  std::string graph;
+  std::string app;
+  apps::AppParams params;
+};
+
+/// The answer to one Request, delivered through its future.
+struct Response {
+  /// OK if the run completed; the error otherwise (fields below are then
+  /// meaningless).
+  util::Status status;
+  /// Stats of the dispatch that served this request. A coalesced dispatch
+  /// reports the same (shared) stats to every member — divide by
+  /// batch_size for a per-request amortized cost.
+  core::RunStats stats;
+  /// apps::OutputDigest of this request's own result (for a BFS request
+  /// served by a coalesced MS-BFS run: the digest of *its* instance's
+  /// distances — bit-identical to running the request alone).
+  uint64_t output_digest = 0;
+  /// How many requests shared the dispatch (1 = ran alone).
+  uint32_t batch_size = 1;
+};
+
+/// Monotonic service counters (see QueryService::stats).
+struct ServiceStats {
+  uint64_t submitted = 0;        ///< accepted into the queue
+  uint64_t rejected = 0;         ///< refused with kResourceExhausted
+  uint64_t completed = 0;        ///< responses delivered
+  uint64_t batches = 0;          ///< dispatches executed
+  uint64_t coalesced = 0;        ///< requests served by a >1 dispatch
+  uint64_t engines_created = 0;  ///< warm engines built across all graphs
+};
+
+}  // namespace sage::serve
+
+#endif  // SAGE_SERVE_TYPES_H_

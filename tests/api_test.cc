@@ -1,0 +1,313 @@
+// Tests for the uniform application API (apps/registry.h) and the
+// validated engine construction path (EngineOptions::Validate /
+// Engine::Create).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/bfs.h"
+#include "apps/kcore.h"
+#include "apps/msbfs.h"
+#include "apps/pagerank.h"
+#include "apps/reference.h"
+#include "apps/registry.h"
+#include "apps/sssp.h"
+#include "core/engine.h"
+#include "graph/builder.h"
+#include "graph/coo.h"
+#include "graph/generators.h"
+#include "sim/gpu_device.h"
+#include "util/status.h"
+
+namespace sage::apps {
+namespace {
+
+using core::Engine;
+using core::EngineOptions;
+using graph::Csr;
+using graph::NodeId;
+using util::StatusCode;
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;
+  spec.l2_bytes = 128 << 10;
+  return spec;
+}
+
+Csr TestGraph() { return graph::GenerateRmat(10, 8192, 0.57, 0.19, 0.19, 7); }
+
+Csr Symmetrized(const Csr& csr) {
+  graph::Coo coo = csr.ToCoo();
+  graph::Symmetrize(coo);
+  graph::RemoveSelfLoops(coo);
+  graph::SortCoo(coo);
+  graph::DedupSortedCoo(coo);
+  return Csr::FromCoo(coo);
+}
+
+// --- CreateProgram factory --------------------------------------------------
+
+TEST(RegistryTest, FactoryCoversEveryRegisteredApp) {
+  std::vector<std::string> names = RegisteredApps();
+  EXPECT_EQ(names.size(), 5u);
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    EXPECT_TRUE(AppKnown(name));
+    auto program = CreateProgram(name);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    ASSERT_NE(*program, nullptr);
+    // The program's self-reported name resolves too (e.g. msbfs programs
+    // report "multi-source-bfs").
+    EXPECT_TRUE(AppKnown((*program)->name()));
+  }
+}
+
+TEST(RegistryTest, FactoryResolvesProgramSelfNames) {
+  auto program = CreateProgram("multi-source-bfs");
+  ASSERT_TRUE(program.ok());
+  EXPECT_STREQ((*program)->name(), "multi-source-bfs");
+}
+
+TEST(RegistryTest, FactoryRejectsUnknownApp) {
+  auto program = CreateProgram("triangle-count");
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kNotFound);
+}
+
+// --- RunApp dispatch --------------------------------------------------------
+
+TEST(RunAppTest, BfsThroughUniformEntryPointMatchesReference) {
+  Csr csr = TestGraph();
+  auto ref = BfsReference(csr, 1);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  auto program = CreateProgram("bfs");
+  ASSERT_TRUE(program.ok());
+  AppParams params;
+  params.sources = {1};
+  auto stats = RunApp(engine, **program, params);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  auto& bfs = static_cast<BfsProgram&>(**program);
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(bfs.DistanceOf(v), ref[v]) << "node " << v;
+  }
+}
+
+TEST(RunAppTest, LegacyWrappersMatchUniformEntryPoint) {
+  Csr csr = TestGraph();
+  sim::GpuDevice d1(TestSpec()), d2(TestSpec());
+  Engine e1(&d1, csr, EngineOptions()), e2(&d2, csr, EngineOptions());
+
+  BfsProgram wrapper_bfs;
+  auto s1 = RunBfs(e1, wrapper_bfs, 3);
+  ASSERT_TRUE(s1.ok());
+
+  auto program = CreateProgram("bfs");
+  ASSERT_TRUE(program.ok());
+  AppParams params;
+  params.sources = {3};
+  auto s2 = RunApp(e2, **program, params);
+  ASSERT_TRUE(s2.ok());
+
+  EXPECT_EQ(OutputDigest(e1, wrapper_bfs), OutputDigest(e2, **program));
+}
+
+TEST(RunAppTest, RejectsUnregisteredProgram) {
+  // A program whose name() the registry does not know.
+  class MysteryProgram : public BfsProgram {
+   public:
+    const char* name() const override { return "mystery"; }
+  };
+  Csr csr = graph::GeneratePath(8);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  MysteryProgram program;
+  auto stats = RunApp(engine, program, AppParams{});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RunAppTest, ValidatesSourceCounts) {
+  Csr csr = graph::GeneratePath(8);
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+
+  auto bfs = CreateProgram("bfs");
+  ASSERT_TRUE(bfs.ok());
+  AppParams none;  // bfs needs exactly one source
+  auto stats = RunApp(engine, **bfs, none);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+
+  AppParams two;
+  two.sources = {0, 1};
+  stats = RunApp(engine, **bfs, two);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+
+  AppParams out_of_range;
+  out_of_range.sources = {12345};
+  stats = RunApp(engine, **bfs, out_of_range);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+
+  auto msbfs = CreateProgram("msbfs");
+  ASSERT_TRUE(msbfs.ok());
+  AppParams too_many;
+  for (NodeId v = 0; v < 65; ++v) too_many.sources.push_back(v % 8);
+  stats = RunApp(engine, **msbfs, too_many);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RunAppTest, OneEngineServesEveryAppInTurn) {
+  // The serving layer's engine-reuse pattern: one warm engine, programs
+  // rebound per dispatch. (kcore needs a symmetrized graph, so run it on
+  // one here so every app shares the engine.)
+  Csr csr = Symmetrized(TestGraph());
+  sim::GpuDevice device(TestSpec());
+  Engine engine(&device, csr, EngineOptions());
+  for (const std::string& name : RegisteredApps()) {
+    SCOPED_TRACE(name);
+    auto program = CreateProgram(name);
+    ASSERT_TRUE(program.ok());
+    AppParams params;
+    params.sources = {0};
+    params.iterations = 3;
+    params.k = 2;
+    auto stats = RunApp(engine, **program, params);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    // Digest must be well-defined for every registered app.
+    EXPECT_NE(OutputDigest(engine, **program), 0u);
+  }
+}
+
+// --- MS-BFS distance recording (the BFS-coalescing contract) ----------------
+
+TEST(MsBfsDistanceTest, RecordedDistancesMatchSoloBfs) {
+  Csr csr = TestGraph();
+  std::vector<NodeId> sources = {0, 1, 5, 17, 101, 512};
+
+  sim::GpuDevice d1(TestSpec());
+  Engine e1(&d1, csr, EngineOptions());
+  MultiSourceBfsProgram msbfs;
+  msbfs.EnableDistanceRecording();
+  auto stats = RunMultiSourceBfs(e1, msbfs, sources);
+  ASSERT_TRUE(stats.ok());
+
+  for (size_t i = 0; i < sources.size(); ++i) {
+    SCOPED_TRACE("source " + std::to_string(sources[i]));
+    sim::GpuDevice d2(TestSpec());
+    Engine e2(&d2, csr, EngineOptions());
+    BfsProgram solo;
+    auto solo_stats = RunBfs(e2, solo, sources[i]);
+    ASSERT_TRUE(solo_stats.ok());
+    for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+      ASSERT_EQ(msbfs.DistanceOf(static_cast<uint32_t>(i), v),
+                solo.DistanceOf(v))
+          << "node " << v;
+    }
+    EXPECT_EQ(MsBfsInstanceDigest(e1, msbfs, static_cast<uint32_t>(i)),
+              OutputDigest(e2, solo));
+  }
+}
+
+TEST(MsBfsDistanceTest, RecordingDoesNotChangeReachability) {
+  Csr csr = TestGraph();
+  std::vector<NodeId> sources = {0, 9, 33};
+
+  sim::GpuDevice d1(TestSpec()), d2(TestSpec());
+  Engine e1(&d1, csr, EngineOptions()), e2(&d2, csr, EngineOptions());
+  MultiSourceBfsProgram plain, recording;
+  recording.EnableDistanceRecording();
+  ASSERT_TRUE(RunMultiSourceBfs(e1, plain, sources).ok());
+  ASSERT_TRUE(RunMultiSourceBfs(e2, recording, sources).ok());
+  // Reachability-mask digests agree whether or not strict
+  // level-synchronous recording is on.
+  EXPECT_EQ(OutputDigest(e1, plain), OutputDigest(e2, recording));
+}
+
+// --- EngineOptions::Validate ------------------------------------------------
+
+TEST(ValidateTest, AcceptsDefaultOptions) {
+  EXPECT_TRUE(EngineOptions().Validate().ok());
+}
+
+TEST(ValidateTest, RejectsResidentTilesWithoutTiledPartitioning) {
+  EngineOptions options;
+  options.tiled_partitioning = false;
+  options.resident_tiles = true;
+  util::Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("resident tiles require tiled"),
+            std::string::npos);
+}
+
+TEST(ValidateTest, RejectsUdtWithResidentTiles) {
+  EngineOptions options;
+  options.udt_split_degree = 8;
+  util::Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("incompatible"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsUdtWithSamplingReorder) {
+  EngineOptions options;
+  options.udt_split_degree = 8;
+  options.tiled_partitioning = false;
+  options.resident_tiles = false;
+  options.sampling_reorder = true;
+  util::Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, RejectsZeroMinTileSize) {
+  EngineOptions options;
+  options.min_tile_size = 0;
+  util::Status status = options.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+// --- Engine::Create ---------------------------------------------------------
+
+TEST(EngineCreateTest, ReturnsWorkingEngine) {
+  Csr csr = TestGraph();
+  auto ref = BfsReference(csr, 0);
+  sim::GpuDevice device(TestSpec());
+  auto engine = core::Engine::Create(&device, csr, EngineOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  BfsProgram bfs;
+  auto stats = RunBfs(**engine, bfs, 0);
+  ASSERT_TRUE(stats.ok());
+  for (NodeId v = 0; v < csr.num_nodes(); ++v) {
+    ASSERT_EQ(bfs.DistanceOf(v), ref[v]);
+  }
+}
+
+TEST(EngineCreateTest, RejectsNullDevice) {
+  auto engine =
+      core::Engine::Create(nullptr, graph::GeneratePath(4), EngineOptions());
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineCreateTest, RejectsInvalidOptionsWithoutAborting) {
+  // The whole point of Create over the constructor: a bad combo comes back
+  // as a Status instead of a SAGE_CHECK abort.
+  sim::GpuDevice device(TestSpec());
+  EngineOptions options;
+  options.tiled_partitioning = false;
+  options.resident_tiles = true;
+  auto engine = core::Engine::Create(&device, graph::GeneratePath(4), options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sage::apps

@@ -1,0 +1,379 @@
+// Tests for the serving layer: graph registry, warm-engine pooling,
+// admission backpressure, batching — and the central contract that a
+// coalesced request's answer is bit-identical to running it alone.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/registry.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "serve/graph_registry.h"
+#include "serve/service.h"
+#include "sim/gpu_device.h"
+
+namespace sage::serve {
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+using util::StatusCode;
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;
+  spec.l2_bytes = 128 << 10;
+  return spec;
+}
+
+Csr GraphA() { return graph::GenerateRmat(10, 8192, 0.57, 0.19, 0.19, 7); }
+Csr GraphB() { return graph::GenerateUniform(1500, 9000, 3); }
+
+ServeOptions SyncOptions() {
+  ServeOptions options;
+  options.worker_threads = 0;  // caller drives via ProcessAllPending
+  options.device_spec = TestSpec();
+  return options;
+}
+
+Request MakeRequest(const std::string& graph, const std::string& app,
+                    std::vector<NodeId> sources) {
+  Request request;
+  request.graph = graph;
+  request.app = app;
+  request.params.sources = std::move(sources);
+  return request;
+}
+
+/// The request's answer when it runs alone on a fresh engine — the ground
+/// truth every batched response must match bit-for-bit.
+uint64_t SoloDigest(const Csr& csr, const Request& request) {
+  sim::GpuDevice device(TestSpec());
+  core::EngineOptions options;
+  options.host_threads = 1;
+  auto engine = core::Engine::Create(&device, csr, options);
+  SAGE_CHECK(engine.ok());
+  auto program = apps::CreateProgram(request.app);
+  SAGE_CHECK(program.ok());
+  auto stats = apps::RunApp(**engine, **program, request.params);
+  SAGE_CHECK(stats.ok()) << stats.status().ToString();
+  return apps::OutputDigest(**engine, **program);
+}
+
+// --- GraphRegistry ----------------------------------------------------------
+
+TEST(GraphRegistryTest, AddFindNames) {
+  GraphRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  ASSERT_TRUE(registry.Add("a", GraphA()).ok());
+  ASSERT_TRUE(registry.Add("b", GraphB()).ok());
+  EXPECT_EQ(registry.size(), 2u);
+  ASSERT_NE(registry.Find("a"), nullptr);
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+  EXPECT_EQ(registry.Names().size(), 2u);
+}
+
+TEST(GraphRegistryTest, RejectsEmptyAndDuplicateNames) {
+  GraphRegistry registry;
+  EXPECT_EQ(registry.Add("", GraphA()).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(registry.Add("a", GraphA()).ok());
+  EXPECT_EQ(registry.Add("a", GraphB()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Batching: bit-identity -------------------------------------------------
+
+TEST(ServeBatchingTest, CoalescedBfsIsBitIdenticalToSoloRuns) {
+  Csr csr = GraphA();
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  std::vector<Request> requests;
+  for (NodeId s : {0u, 1u, 5u, 17u, 101u, 512u, 900u}) {
+    requests.push_back(MakeRequest("g", "bfs", {s}));
+  }
+
+  QueryService service(&registry, SyncOptions());
+  std::vector<std::future<Response>> futures;
+  for (const Request& request : requests) {
+    auto submitted = service.Submit(request);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(*submitted));
+  }
+  service.ProcessAllPending();
+
+  for (size_t i = 0; i < futures.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    // All seven queued before the drain, so they ran as one MS-BFS.
+    EXPECT_EQ(response.batch_size, requests.size());
+    // The contract: batched output == the output of running it alone.
+    EXPECT_EQ(response.output_digest, SoloDigest(csr, requests[i]));
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.coalesced, requests.size());
+  EXPECT_EQ(stats.completed, requests.size());
+}
+
+TEST(ServeBatchingTest, BatchingOffMatchesBatchingOn) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  std::vector<Request> requests;
+  for (NodeId s : {3u, 8u, 21u, 77u}) {
+    requests.push_back(MakeRequest("g", "bfs", {s}));
+  }
+
+  auto digests = [&](bool batching) {
+    ServeOptions options = SyncOptions();
+    options.batching = batching;
+    QueryService service(&registry, options);
+    std::vector<std::future<Response>> futures;
+    for (const Request& request : requests) {
+      auto submitted = service.Submit(request);
+      EXPECT_TRUE(submitted.ok());
+      futures.push_back(std::move(*submitted));
+    }
+    service.ProcessAllPending();
+    std::vector<uint64_t> out;
+    for (auto& f : futures) {
+      Response r = f.get();
+      EXPECT_TRUE(r.status.ok());
+      EXPECT_EQ(r.batch_size > 1, batching);
+      out.push_back(r.output_digest);
+    }
+    return out;
+  };
+
+  EXPECT_EQ(digests(true), digests(false));
+}
+
+TEST(ServeBatchingTest, DuplicatePageRankConfigsDedupe) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphB()).ok());
+
+  Request ten;
+  ten.graph = "g";
+  ten.app = "pagerank";
+  ten.params.iterations = 10;
+  Request five = ten;
+  five.params.iterations = 5;
+
+  QueryService service(&registry, SyncOptions());
+  auto f1 = service.Submit(ten);
+  auto f2 = service.Submit(ten);   // same config: dedupes with f1
+  auto f3 = service.Submit(five);  // different iterations: runs alone
+  ASSERT_TRUE(f1.ok() && f2.ok() && f3.ok());
+  service.ProcessAllPending();
+
+  Response r1 = f1->get(), r2 = f2->get(), r3 = f3->get();
+  ASSERT_TRUE(r1.status.ok() && r2.status.ok() && r3.status.ok());
+  EXPECT_EQ(r1.batch_size, 2u);
+  EXPECT_EQ(r2.batch_size, 2u);
+  EXPECT_EQ(r3.batch_size, 1u);
+  EXPECT_EQ(r1.output_digest, r2.output_digest);
+  EXPECT_NE(r1.output_digest, r3.output_digest);
+  EXPECT_EQ(service.stats().batches, 2u);
+}
+
+TEST(ServeBatchingTest, SsspNeverCoalesces) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  QueryService service(&registry, SyncOptions());
+  auto f1 = service.Submit(MakeRequest("g", "sssp", {0}));
+  auto f2 = service.Submit(MakeRequest("g", "sssp", {1}));
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  service.ProcessAllPending();
+  EXPECT_EQ(f1->get().batch_size, 1u);
+  EXPECT_EQ(f2->get().batch_size, 1u);
+  EXPECT_EQ(service.stats().batches, 2u);
+}
+
+TEST(ServeBatchingTest, MaxBatchCapsCoalescing) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  ServeOptions options = SyncOptions();
+  options.max_batch = 3;
+  QueryService service(&registry, options);
+  std::vector<std::future<Response>> futures;
+  for (NodeId s = 0; s < 7; ++s) {
+    auto submitted = service.Submit(MakeRequest("g", "bfs", {s}));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  service.ProcessAllPending();
+  for (auto& f : futures) {
+    EXPECT_LE(f.get().batch_size, 3u);
+  }
+  EXPECT_EQ(service.stats().batches, 3u);  // 3 + 3 + 1
+}
+
+// --- Warm-engine pooling ----------------------------------------------------
+
+TEST(ServePoolTest, EnginesAreReusedAcrossRequestsAndGraphs) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("a", GraphA()).ok());
+  ASSERT_TRUE(registry.Add("b", GraphB()).ok());
+
+  ServeOptions options = SyncOptions();
+  options.batching = false;  // every request is its own dispatch
+  QueryService service(&registry, options);
+
+  std::vector<std::future<Response>> futures;
+  for (int wave = 0; wave < 3; ++wave) {
+    for (NodeId s = 0; s < 4; ++s) {
+      auto fa = service.Submit(MakeRequest("a", "bfs", {s}));
+      auto fb = service.Submit(MakeRequest("b", "bfs", {s}));
+      ASSERT_TRUE(fa.ok() && fb.ok());
+      futures.push_back(std::move(*fa));
+      futures.push_back(std::move(*fb));
+    }
+    service.ProcessAllPending();
+  }
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, futures.size());
+  // 24 dispatches across 2 graphs; the sync dispatcher reuses one warm
+  // engine per graph instead of building one per query.
+  EXPECT_EQ(stats.engines_created, 2u);
+}
+
+// --- Backpressure -----------------------------------------------------------
+
+TEST(ServeBackpressureTest, QueueFullRejectsWithResourceExhausted) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  ServeOptions options = SyncOptions();
+  options.max_pending = 2;
+  QueryService service(&registry, options);
+
+  auto f1 = service.Submit(MakeRequest("g", "bfs", {0}));
+  auto f2 = service.Submit(MakeRequest("g", "bfs", {1}));
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  auto f3 = service.Submit(MakeRequest("g", "bfs", {2}));
+  ASSERT_FALSE(f3.ok());
+  EXPECT_EQ(f3.status().code(), StatusCode::kResourceExhausted);
+
+  // Draining frees capacity; the retry is admitted.
+  service.ProcessAllPending();
+  auto f4 = service.Submit(MakeRequest("g", "bfs", {2}));
+  ASSERT_TRUE(f4.ok());
+  service.ProcessAllPending();
+  EXPECT_TRUE(f4->get().status.ok());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.submitted, 3u);
+}
+
+// --- Request validation -----------------------------------------------------
+
+TEST(ServeValidationTest, RejectsBadRequests) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  QueryService service(&registry, SyncOptions());
+
+  EXPECT_EQ(service.Submit(MakeRequest("nope", "bfs", {0})).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.Submit(MakeRequest("g", "nope", {0})).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      service.Submit(MakeRequest("g", "bfs", {0, 1})).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      service.Submit(MakeRequest("g", "bfs", {1u << 30})).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.Submit(MakeRequest("g", "msbfs", {})).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.stats().submitted, 0u);
+}
+
+TEST(ServeValidationTest, InvalidEngineOptionsSurfaceOnSubmit) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  ServeOptions options = SyncOptions();
+  options.engine_options.tiled_partitioning = false;
+  options.engine_options.resident_tiles = true;  // invalid combo
+  QueryService service(&registry, options);
+  auto submitted = service.Submit(MakeRequest("g", "bfs", {0}));
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Threaded dispatch ------------------------------------------------------
+
+TEST(ServeThreadedTest, ConcurrentWorkersMatchSoloDigests) {
+  Csr csr_a = GraphA();
+  Csr csr_b = GraphB();
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("a", GraphA()).ok());
+  ASSERT_TRUE(registry.Add("b", GraphB()).ok());
+
+  ServeOptions options;
+  options.worker_threads = 3;
+  options.engines_per_graph = 2;
+  options.device_spec = TestSpec();
+
+  std::vector<Request> requests;
+  for (NodeId s = 0; s < 8; ++s) {
+    requests.push_back(MakeRequest("a", "bfs", {s}));
+    requests.push_back(MakeRequest("b", "bfs", {s}));
+  }
+  Request pr;
+  pr.graph = "a";
+  pr.app = "pagerank";
+  pr.params.iterations = 4;
+  requests.push_back(pr);
+  requests.push_back(pr);
+  requests.push_back(MakeRequest("b", "sssp", {2}));
+
+  QueryService service(&registry, options);
+  std::vector<std::future<Response>> futures;
+  for (const Request& request : requests) {
+    auto submitted = service.Submit(request);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(*submitted));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    const Csr& csr = requests[i].graph == "a" ? csr_a : csr_b;
+    // Whatever batches the race produced, every answer matches its solo
+    // run bit-for-bit.
+    EXPECT_EQ(response.output_digest, SoloDigest(csr, requests[i]));
+  }
+  service.Shutdown();
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, requests.size());
+  EXPECT_LE(stats.engines_created, 4u);  // <= engines_per_graph per graph
+}
+
+// --- Shutdown ---------------------------------------------------------------
+
+TEST(ServeShutdownTest, ShutdownFailsQueuedRequestsAndRejectsNewOnes) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  QueryService service(&registry, SyncOptions());
+  auto pending = service.Submit(MakeRequest("g", "bfs", {0}));
+  ASSERT_TRUE(pending.ok());
+  service.Shutdown();
+  // The queued request's promise is fulfilled with an error, not dropped.
+  Response response = pending->get();
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+  // New submissions are refused.
+  EXPECT_EQ(service.Submit(MakeRequest("g", "bfs", {1})).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Idempotent.
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace sage::serve

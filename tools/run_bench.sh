@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# Simulation-throughput benchmark: builds the release tree and runs
-# bench_sim_throughput, which measures the wall-clock speed of the
-# simulator itself (edges simulated per second of host time) with the
-# serial vs the parallel execution backend (DESIGN.md §5) and emits
-# BENCH_sim_throughput.json into the repo root.
+# Host-throughput benchmarks: builds the release tree and runs
+#  - bench_sim_throughput: wall-clock speed of the simulator itself (edges
+#    simulated per second of host time), serial vs parallel execution
+#    backend (DESIGN.md §5) -> BENCH_sim_throughput.json
+#  - bench_serve: requests/sec of the batching query service vs naive
+#    one-engine-per-query dispatch on a 64-source BFS workload
+#    (DESIGN.md §6) -> BENCH_serve.json
+# Both emit their JSON into the repo root and assert that every measured
+# mode produces bit-identical outputs before reporting a number.
 #
 #   tools/run_bench.sh [build-dir]
 #
-# The speedup column only exceeds 1 on a multi-core host; on a single
-# hardware thread the parallel backend intentionally degenerates to the
-# serial path. Either way the run asserts the two modes are bit-identical.
+# The sim-throughput speedup column only exceeds 1 on a multi-core host;
+# on a single hardware thread the parallel backend intentionally
+# degenerates to the serial path. bench_serve exits nonzero if the
+# service's speedup drops below its 2x acceptance floor.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -17,10 +22,13 @@ build_dir="${1:-"${repo_root}/build"}"
 
 echo "== configure + build (RelWithDebInfo) =="
 cmake -S "${repo_root}" -B "${build_dir}" >/dev/null
-cmake --build "${build_dir}" -j "$(nproc)" --target bench_sim_throughput
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_sim_throughput bench_serve
 
 echo "== bench_sim_throughput ($(nproc) hardware threads) =="
 cd "${repo_root}"
 "${build_dir}/bench/bench_sim_throughput"
 
-echo "== wrote ${repo_root}/BENCH_sim_throughput.json =="
+echo "== bench_serve (batched dispatch vs one-engine-per-query) =="
+"${build_dir}/bench/bench_serve"
+
+echo "== wrote ${repo_root}/BENCH_sim_throughput.json and BENCH_serve.json =="

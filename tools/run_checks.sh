@@ -27,21 +27,29 @@ UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
 ASAN_OPTIONS="detect_leaks=1" \
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 
-echo "== TSan build (parallel backend) =="
-# The parallel execution backend (DESIGN.md §5) is the only multi-threaded
-# code in the repo; build just its test binary under ThreadSanitizer and
-# run the thread-pool + serial-vs-parallel equivalence suites under it.
+echo "== TSan build (parallel backend + serving layer) =="
+# The parallel execution backend (DESIGN.md §5) and the query service
+# (DESIGN.md §6) are the repo's multi-threaded code; build their test
+# binaries under ThreadSanitizer and run the thread-pool, serial-vs-
+# parallel equivalence, and concurrent-dispatch suites under it.
 # TSan and ASan cannot coexist in one build, hence the separate tree.
 tsan_dir="${build_dir}-tsan"
 cmake -S "${repo_root}" -B "${tsan_dir}" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DSAGE_SANITIZE="thread"
-cmake --build "${tsan_dir}" -j "$(nproc)" --target parallel_test
+cmake --build "${tsan_dir}" -j "$(nproc)" --target parallel_test serve_test
 
 echo "== parallel/equivalence tests under TSan =="
 TSAN_OPTIONS="halt_on_error=1" \
   "${tsan_dir}/tests/parallel_test" \
   --gtest_filter='-*DeathTest*'  # fork-based death tests misfire under TSan
+
+echo "== serving-layer tests under TSan =="
+# Exercises Submit/worker/engine-pool interleavings (ServeThreadedTest in
+# particular drives three dispatch workers against two engine pools).
+TSAN_OPTIONS="halt_on_error=1" \
+  "${tsan_dir}/tests/serve_test" \
+  --gtest_filter='-*DeathTest*'
 
 echo "== clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -1,38 +1,26 @@
 // sage_cli — command-line front end for the SAGE library.
 //
-//   sage_cli generate <kind> <out.sagecsr> [args...]   synthesize a graph
-//       kinds: rmat <scale> <edges> | uniform <nodes> <edges> |
-//              web <nodes> <degree> | community <nodes> <degree>
-//   sage_cli convert <edges.txt> <out.sagecsr>         text -> binary CSR
-//   sage_cli stats <graph>                             Table-1-style stats
-//   sage_cli bfs <graph> <source>                      run BFS on SAGE
-//   sage_cli pagerank <graph> <iterations>             run PageRank
-//   sage_cli kcore <graph> <k>                         k-core size
-//   sage_cli sssp <graph> <source>                     weighted SSSP
-//   sage_cli msbfs <graph> <k>                         k concurrent BFS
-//   sage_cli reorder <graph> <method> <out.sagecsr>    rcm|llp|gorder|random
-//   sage_cli partition <graph> <num_parts>             metis-like partition
-//   sage_cli determinism <graph>                       schedule-invariance check
+// Subcommands register declaratively in kSubcommands below; run
+// `sage_cli --help` for the generated overview or `sage_cli <cmd> --help`
+// for one command's usage. Flags are shared across subcommands and
+// accepted anywhere on the command line.
 //
-// Global flags (anywhere on the command line):
-//   --check[=bounds|full]   run under SageCheck (bare --check means full);
-//                           prints the violation report and exits 3 if the
-//                           run was not clean.
-//   --host-threads=N        host threads for the parallel execution backend
-//                           (0 = hardware concurrency, 1 = serial; results
-//                           are bit-identical either way — DESIGN.md §5).
-//
-// <graph> is either a binary .sagecsr file (from generate/convert) or a
-// whitespace edge-list text file.
+// <graph> arguments are either a binary .sagecsr file (from
+// generate/convert) or a whitespace edge-list text file.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <future>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/bfs.h"
 #include "apps/kcore.h"
 #include "apps/msbfs.h"
 #include "apps/pagerank.h"
+#include "apps/registry.h"
 #include "apps/sssp.h"
 #include "baselines/metis_like.h"
 #include "check/access_checker.h"
@@ -43,28 +31,134 @@
 #include "graph/io.h"
 #include "reorder/permutation.h"
 #include "reorder/reorderers.h"
+#include "serve/graph_registry.h"
+#include "serve/service.h"
 #include "sim/gpu_device.h"
 #include "sim/profile.h"
+#include "util/timer.h"
 
 namespace {
 
 using namespace sage;
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: sage_cli "
-               "<generate|convert|stats|bfs|pagerank|kcore|sssp|msbfs|reorder|"
-               "partition|determinism> "
-               "[--check[=bounds|full]] [--host-threads=N] "
-               "...\n(see the header of tools/sage_cli.cc)\n");
-  return 2;
-}
+// ---------------------------------------------------------------------------
+// Shared flags (accepted anywhere on the command line).
 
 /// Checker severity requested via --check; kOff when the flag is absent.
 sim::CheckLevel g_check_level = sim::CheckLevel::kOff;
-
 /// Host threads requested via --host-threads; 0 = hardware concurrency.
 uint32_t g_host_threads = 0;
+/// --help anywhere: print the matched subcommand's usage (or the overview).
+bool g_help = false;
+/// serve: warm engines per graph (--engines).
+uint32_t g_serve_engines = 2;
+/// serve: dispatch workers (--serve-threads; 0 = synchronous drain).
+uint32_t g_serve_threads = 2;
+/// serve: admission-queue capacity (--queue).
+size_t g_serve_queue = 1024;
+/// serve: disable request coalescing (--no-batch).
+bool g_serve_batching = true;
+
+bool ParseU32(const std::string& value, uint32_t* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<uint32_t>(parsed);
+  return true;
+}
+
+/// One shared flag: `--name` or `--name=value`, usable with any
+/// subcommand. parse receives the text after '=' ("" when absent) and
+/// returns false on a malformed value.
+struct FlagDef {
+  const char* name;
+  const char* value_help;  // "" or e.g. "=N"
+  const char* help;
+  bool (*parse)(const std::string& value);
+};
+
+const FlagDef kFlags[] = {
+    {"check", "[=bounds|full]",
+     "run under SageCheck (bare --check means full); prints the violation\n"
+     "                     report and exits 3 if the run was not clean",
+     [](const std::string& v) {
+       if (v.empty() || v == "full") {
+         g_check_level = sim::CheckLevel::kFull;
+       } else if (v == "bounds") {
+         g_check_level = sim::CheckLevel::kBounds;
+       } else {
+         return false;
+       }
+       return true;
+     }},
+    {"host-threads", "=N",
+     "host threads for the parallel execution backend (0 = hardware\n"
+     "                     concurrency, 1 = serial; results are bit-identical "
+     "either way)",
+     [](const std::string& v) { return ParseU32(v, &g_host_threads); }},
+    {"help", "", "print usage for the given subcommand (or this overview)",
+     [](const std::string& v) {
+       g_help = true;
+       return v.empty();
+     }},
+    {"engines", "=N", "serve: warm engines kept per graph (default 2)",
+     [](const std::string& v) { return ParseU32(v, &g_serve_engines); }},
+    {"serve-threads", "=N",
+     "serve: dispatch workers (default 2; 0 = synchronous)",
+     [](const std::string& v) { return ParseU32(v, &g_serve_threads); }},
+    {"queue", "=N", "serve: admission queue capacity (default 1024)",
+     [](const std::string& v) {
+       uint32_t q = 0;
+       if (!ParseU32(v, &q)) return false;
+       g_serve_queue = q;
+       return true;
+     }},
+    {"no-batch", "", "serve: disable request coalescing",
+     [](const std::string& v) {
+       g_serve_batching = false;
+       return v.empty();
+     }},
+};
+
+// ---------------------------------------------------------------------------
+// Subcommand registry.
+
+/// A declaratively registered subcommand: `run` receives the positional
+/// arguments after the subcommand name (shared flags already stripped).
+struct Subcommand {
+  const char* name;
+  const char* args_help;
+  const char* summary;
+  size_t min_args;
+  int (*run)(const std::vector<std::string>& args);
+};
+
+const Subcommand* FindSubcommand(const std::string& name);
+
+int Usage() {
+  extern const Subcommand kSubcommands[];
+  extern const size_t kNumSubcommands;
+  std::fprintf(stderr, "usage: sage_cli <subcommand> [flags] [args...]\n\n");
+  std::fprintf(stderr, "subcommands:\n");
+  for (size_t i = 0; i < kNumSubcommands; ++i) {
+    const Subcommand& cmd = kSubcommands[i];
+    std::string head = std::string(cmd.name) + " " + cmd.args_help;
+    std::fprintf(stderr, "  %-38s %s\n", head.c_str(), cmd.summary);
+  }
+  std::fprintf(stderr, "\nflags (accepted anywhere):\n");
+  for (const FlagDef& flag : kFlags) {
+    std::string head = "--" + std::string(flag.name) + flag.value_help;
+    std::fprintf(stderr, "  %-19s %s\n", head.c_str(), flag.help);
+  }
+  return 2;
+}
+
+int SubcommandUsage(const Subcommand& cmd) {
+  std::fprintf(stderr, "usage: sage_cli %s %s\n  %s\n", cmd.name,
+               cmd.args_help, cmd.summary);
+  return 2;
+}
 
 core::EngineOptions BaseOptions() {
   core::EngineOptions options;
@@ -91,54 +185,79 @@ util::StatusOr<graph::Csr> LoadGraph(const std::string& path) {
   return graph::Csr::FromCoo(*coo);
 }
 
-int CmdGenerate(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  std::string kind = argv[0];
-  graph::Csr csr;
-  if (kind == "rmat" && argc >= 4) {
-    csr = graph::GenerateRmat(std::stoul(argv[2]), std::stoull(argv[3]),
-                              0.57, 0.19, 0.19, 1);
-  } else if (kind == "uniform" && argc >= 4) {
-    csr = graph::GenerateUniform(std::stoul(argv[2]), std::stoull(argv[3]), 1);
-  } else if (kind == "web" && argc >= 4) {
-    csr = graph::GenerateWebCopy(std::stoul(argv[2]), std::stoul(argv[3]),
-                                 0.75, 1);
-  } else if (kind == "community" && argc >= 4) {
-    csr = graph::GenerateCommunity(std::stoul(argv[2]), std::stoul(argv[3]),
-                                   std::stoul(argv[2]) / 16 + 1, 0.8, 1);
-  } else {
-    return Usage();
+/// Synthesizes a graph from a generator kind + its numeric arguments
+/// (shared by `generate` and the serve request file's `gen` directive).
+util::StatusOr<graph::Csr> SynthesizeGraph(
+    const std::string& kind, const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return util::Status::InvalidArgument(
+        "generator '" + kind + "' needs two numeric arguments");
   }
-  auto status = graph::SaveCsrBinary(csr, argv[1]);
+  if (kind == "rmat") {
+    return graph::GenerateRmat(std::stoul(args[0]), std::stoull(args[1]),
+                               0.57, 0.19, 0.19, 1);
+  }
+  if (kind == "uniform") {
+    return graph::GenerateUniform(std::stoul(args[0]), std::stoull(args[1]),
+                                  1);
+  }
+  if (kind == "web") {
+    return graph::GenerateWebCopy(std::stoul(args[0]), std::stoul(args[1]),
+                                  0.75, 1);
+  }
+  if (kind == "community") {
+    return graph::GenerateCommunity(std::stoul(args[0]), std::stoul(args[1]),
+                                    std::stoul(args[0]) / 16 + 1, 0.8, 1);
+  }
+  return util::Status::InvalidArgument("unknown generator kind: " + kind);
+}
+
+// ---------------------------------------------------------------------------
+// Handlers.
+
+int CmdGenerate(const std::vector<std::string>& args) {
+  std::vector<std::string> rest(args.begin() + 2, args.end());
+  auto csr = SynthesizeGraph(args[0], rest);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().ToString().c_str());
+    return 2;
+  }
+  auto status = graph::SaveCsrBinary(*csr, args[1]);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s: %u nodes, %llu edges\n", argv[1], csr.num_nodes(),
-              static_cast<unsigned long long>(csr.num_edges()));
+  std::printf("wrote %s: %u nodes, %llu edges\n", args[1].c_str(),
+              csr->num_nodes(),
+              static_cast<unsigned long long>(csr->num_edges()));
   return 0;
 }
 
-int CmdConvert(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  auto coo = graph::LoadEdgeListText(argv[0]);
+int CmdConvert(const std::vector<std::string>& args) {
+  auto coo = graph::LoadEdgeListText(args[0]);
   if (!coo.ok()) {
     std::fprintf(stderr, "%s\n", coo.status().ToString().c_str());
     return 1;
   }
   graph::Csr csr = graph::Csr::FromCoo(*coo);
-  auto status = graph::SaveCsrBinary(csr, argv[1]);
+  auto status = graph::SaveCsrBinary(csr, args[1]);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s: %u nodes, %llu edges\n", argv[1], csr.num_nodes(),
+  std::printf("wrote %s: %u nodes, %llu edges\n", args[1].c_str(),
+              csr.num_nodes(),
               static_cast<unsigned long long>(csr.num_edges()));
   return 0;
 }
 
-int CmdStats(const graph::Csr& csr) {
-  auto stats = graph::ComputeStats(csr);
+int CmdStats(const std::vector<std::string>& args) {
+  auto csr = LoadGraph(args[0]);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = graph::ComputeStats(*csr);
   std::printf("nodes        : %llu\n",
               static_cast<unsigned long long>(stats.num_nodes));
   std::printf("edges        : %llu\n",
@@ -147,13 +266,19 @@ int CmdStats(const graph::Csr& csr) {
   std::printf("max degree   : %u\n", stats.max_degree);
   std::printf("degree gini  : %.3f\n", stats.degree_gini);
   std::printf("CSR bytes    : %llu\n",
-              static_cast<unsigned long long>(csr.MemoryBytes()));
+              static_cast<unsigned long long>(csr->MemoryBytes()));
   return 0;
 }
 
-int CmdBfs(const graph::Csr& csr, graph::NodeId source) {
+int CmdBfs(const std::vector<std::string>& args) {
+  auto csr = LoadGraph(args[0]);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().ToString().c_str());
+    return 1;
+  }
+  auto source = static_cast<graph::NodeId>(std::stoul(args[1]));
   sim::GpuDevice device{sim::DeviceSpec()};
-  core::Engine engine(&device, csr, BaseOptions());
+  core::Engine engine(&device, *csr, BaseOptions());
   apps::BfsProgram bfs;
   auto stats = apps::RunBfs(engine, bfs, source);
   if (!stats.ok()) {
@@ -161,7 +286,7 @@ int CmdBfs(const graph::Csr& csr, graph::NodeId source) {
     return FinishChecked(engine, 1);
   }
   uint64_t reached = 0;
-  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+  for (graph::NodeId v = 0; v < csr->num_nodes(); ++v) {
     if (bfs.DistanceOf(v) != apps::BfsProgram::kUnreached) ++reached;
   }
   std::printf("reached %llu nodes in %u iterations; %.3f GTEPS\n",
@@ -171,9 +296,15 @@ int CmdBfs(const graph::Csr& csr, graph::NodeId source) {
   return FinishChecked(engine, 0);
 }
 
-int CmdPageRank(const graph::Csr& csr, uint32_t iterations) {
+int CmdPageRank(const std::vector<std::string>& args) {
+  auto csr = LoadGraph(args[0]);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().ToString().c_str());
+    return 1;
+  }
+  uint32_t iterations = std::stoul(args[1]);
   sim::GpuDevice device{sim::DeviceSpec()};
-  core::Engine engine(&device, csr, BaseOptions());
+  core::Engine engine(&device, *csr, BaseOptions());
   apps::PageRankProgram pr;
   auto stats = apps::RunPageRank(engine, pr, iterations);
   if (!stats.ok()) {
@@ -182,7 +313,7 @@ int CmdPageRank(const graph::Csr& csr, uint32_t iterations) {
   }
   double top = 0;
   graph::NodeId who = 0;
-  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+  for (graph::NodeId v = 0; v < csr->num_nodes(); ++v) {
     if (pr.RankOf(v) > top) {
       top = pr.RankOf(v);
       who = v;
@@ -194,10 +325,16 @@ int CmdPageRank(const graph::Csr& csr, uint32_t iterations) {
   return FinishChecked(engine, 0);
 }
 
-int CmdKcore(const graph::Csr& csr, uint32_t k) {
+int CmdKcore(const std::vector<std::string>& args) {
+  auto csr = LoadGraph(args[0]);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().ToString().c_str());
+    return 1;
+  }
+  uint32_t k = std::stoul(args[1]);
   sim::GpuDevice device{sim::DeviceSpec()};
   // Peeling needs the symmetrized graph.
-  graph::Coo coo = csr.ToCoo();
+  graph::Coo coo = csr->ToCoo();
   graph::Symmetrize(coo);
   graph::RemoveSelfLoops(coo);
   graph::SortCoo(coo);
@@ -210,17 +347,23 @@ int CmdKcore(const graph::Csr& csr, uint32_t k) {
     return FinishChecked(engine, 1);
   }
   uint64_t in_core = 0;
-  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+  for (graph::NodeId v = 0; v < csr->num_nodes(); ++v) {
     if (kcore.InCore(v)) ++in_core;
   }
   std::printf("%llu of %u nodes are in the %u-core\n",
-              static_cast<unsigned long long>(in_core), csr.num_nodes(), k);
+              static_cast<unsigned long long>(in_core), csr->num_nodes(), k);
   return FinishChecked(engine, 0);
 }
 
-int CmdSssp(const graph::Csr& csr, graph::NodeId source) {
+int CmdSssp(const std::vector<std::string>& args) {
+  auto csr = LoadGraph(args[0]);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().ToString().c_str());
+    return 1;
+  }
+  auto source = static_cast<graph::NodeId>(std::stoul(args[1]));
   sim::GpuDevice device{sim::DeviceSpec()};
-  core::Engine engine(&device, csr, BaseOptions());
+  core::Engine engine(&device, *csr, BaseOptions());
   apps::SsspProgram sssp;
   auto stats = apps::RunSssp(engine, sssp, source);
   if (!stats.ok()) {
@@ -229,7 +372,7 @@ int CmdSssp(const graph::Csr& csr, graph::NodeId source) {
   }
   uint64_t reached = 0;
   uint64_t max_dist = 0;
-  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+  for (graph::NodeId v = 0; v < csr->num_nodes(); ++v) {
     uint64_t d = sssp.DistanceOf(v);
     if (d != apps::SsspProgram::kInfinity) {
       ++reached;
@@ -242,17 +385,23 @@ int CmdSssp(const graph::Csr& csr, graph::NodeId source) {
   return FinishChecked(engine, 0);
 }
 
-int CmdMsBfs(const graph::Csr& csr, uint32_t k) {
+int CmdMsBfs(const std::vector<std::string>& args) {
+  auto csr = LoadGraph(args[0]);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().ToString().c_str());
+    return 1;
+  }
+  uint32_t k = std::stoul(args[1]);
   if (k == 0 || k > apps::MultiSourceBfsProgram::kMaxSources) {
     std::fprintf(stderr, "k must be in [1, 64]\n");
     return 1;
   }
   sim::GpuDevice device{sim::DeviceSpec()};
-  core::Engine engine(&device, csr, BaseOptions());
+  core::Engine engine(&device, *csr, BaseOptions());
   apps::MultiSourceBfsProgram msbfs;
   std::vector<graph::NodeId> sources;
-  for (graph::NodeId v = 0; v < csr.num_nodes() && sources.size() < k; ++v) {
-    if (csr.OutDegree(v) > 0) sources.push_back(v);
+  for (graph::NodeId v = 0; v < csr->num_nodes() && sources.size() < k; ++v) {
+    if (csr->OutDegree(v) > 0) sources.push_back(v);
   }
   auto stats = apps::RunMultiSourceBfs(engine, msbfs, sources);
   if (!stats.ok()) {
@@ -269,32 +418,63 @@ int CmdMsBfs(const graph::Csr& csr, uint32_t k) {
   return FinishChecked(engine, 0);
 }
 
-int CmdReorder(const graph::Csr& csr, const std::string& method,
-               const std::string& out) {
+int CmdReorder(const std::vector<std::string>& args) {
+  auto csr = LoadGraph(args[0]);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& method = args[1];
   reorder::ReorderResult result;
   if (method == "rcm") {
-    result = reorder::RcmOrder(csr);
+    result = reorder::RcmOrder(*csr);
   } else if (method == "llp") {
-    result = reorder::LlpOrder(csr);
+    result = reorder::LlpOrder(*csr);
   } else if (method == "gorder") {
-    result = reorder::GorderOrder(csr);
+    result = reorder::GorderOrder(*csr);
   } else if (method == "random") {
-    result = reorder::RandomOrder(csr, 1);
+    result = reorder::RandomOrder(*csr, 1);
   } else {
-    return Usage();
+    std::fprintf(stderr, "unknown reorder method: %s\n", method.c_str());
+    return 2;
   }
-  graph::Csr relabeled = reorder::ApplyToCsr(csr, result.new_of_old);
-  auto status = graph::SaveCsrBinary(relabeled, out);
+  graph::Csr relabeled = reorder::ApplyToCsr(*csr, result.new_of_old);
+  auto status = graph::SaveCsrBinary(relabeled, args[2]);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
   std::printf("%s reordering took %.3f s; wrote %s\n", method.c_str(),
-              result.seconds, out.c_str());
+              result.seconds, args[2].c_str());
   return 0;
 }
 
-int CmdDeterminism(const graph::Csr& csr) {
+int CmdPartition(const std::vector<std::string>& args) {
+  auto csr = LoadGraph(args[0]);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().ToString().c_str());
+    return 1;
+  }
+  uint32_t parts = std::stoul(args[1]);
+  auto result = baselines::MetisLikePartition(*csr, parts);
+  std::printf("%u-way partition: edge cut %llu (%.2f%% of edges), balance "
+              "%.3f, %.3f s\n",
+              parts, static_cast<unsigned long long>(result.edge_cut),
+              csr->num_edges() > 0
+                  ? 100.0 * static_cast<double>(result.edge_cut) /
+                        static_cast<double>(csr->num_edges())
+                  : 0.0,
+              result.balance, result.seconds);
+  return 0;
+}
+
+int CmdDeterminism(const std::vector<std::string>& args) {
+  auto loaded = LoadGraph(args[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const graph::Csr& csr = *loaded;
   graph::NodeId source = 0;
   for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
     if (csr.OutDegree(v) > 0) {
@@ -328,75 +508,214 @@ int CmdDeterminism(const graph::Csr& csr) {
   return 0;
 }
 
-int CmdPartition(const graph::Csr& csr, uint32_t parts) {
-  auto result = baselines::MetisLikePartition(csr, parts);
-  std::printf("%u-way partition: edge cut %llu (%.2f%% of edges), balance "
-              "%.3f, %.3f s\n",
-              parts, static_cast<unsigned long long>(result.edge_cut),
-              csr.num_edges() > 0
-                  ? 100.0 * static_cast<double>(result.edge_cut) /
-                        static_cast<double>(csr.num_edges())
-                  : 0.0,
-              result.balance, result.seconds);
-  return 0;
+// ---------------------------------------------------------------------------
+// serve: replay a request file through the query service.
+
+/// Parses one request-file line (see CmdServe's usage text) into either a
+/// graph registration or a request; blank lines and '#' comments skipped.
+int CmdServe(const std::vector<std::string>& args) {
+  std::ifstream file(args[0]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open request file %s\n", args[0].c_str());
+    return 1;
+  }
+
+  serve::GraphRegistry registry;
+  std::vector<serve::Request> requests;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(file, line)) {
+    ++lineno;
+    std::istringstream in(line);
+    std::string verb;
+    if (!(in >> verb) || verb[0] == '#') continue;
+    std::vector<std::string> words;
+    for (std::string w; in >> w;) words.push_back(w);
+    auto fail = [&](const std::string& why) {
+      std::fprintf(stderr, "%s:%zu: %s\n", args[0].c_str(), lineno,
+                   why.c_str());
+      return 1;
+    };
+    if (verb == "graph") {
+      if (words.size() != 2) return fail("graph <name> <path>");
+      auto csr = LoadGraph(words[1]);
+      if (!csr.ok()) return fail(csr.status().ToString());
+      auto status = registry.Add(words[0], std::move(*csr));
+      if (!status.ok()) return fail(status.ToString());
+    } else if (verb == "gen") {
+      if (words.size() < 2) return fail("gen <name> <kind> <args...>");
+      std::vector<std::string> rest(words.begin() + 2, words.end());
+      auto csr = SynthesizeGraph(words[1], rest);
+      if (!csr.ok()) return fail(csr.status().ToString());
+      auto status = registry.Add(words[0], std::move(*csr));
+      if (!status.ok()) return fail(status.ToString());
+    } else if (verb == "bfs" || verb == "sssp") {
+      if (words.size() != 2) return fail(verb + " <graph> <source>");
+      serve::Request r;
+      r.graph = words[0];
+      r.app = verb;
+      r.params.sources = {static_cast<graph::NodeId>(std::stoul(words[1]))};
+      requests.push_back(std::move(r));
+    } else if (verb == "pagerank") {
+      if (words.size() != 2) return fail("pagerank <graph> <iterations>");
+      serve::Request r;
+      r.graph = words[0];
+      r.app = verb;
+      r.params.iterations = std::stoul(words[1]);
+      requests.push_back(std::move(r));
+    } else if (verb == "kcore") {
+      if (words.size() != 2) return fail("kcore <graph> <k>");
+      serve::Request r;
+      r.graph = words[0];
+      r.app = verb;
+      r.params.k = std::stoul(words[1]);
+      requests.push_back(std::move(r));
+    } else if (verb == "msbfs") {
+      if (words.size() < 2) return fail("msbfs <graph> <s1> [s2...]");
+      serve::Request r;
+      r.graph = words[0];
+      r.app = verb;
+      for (size_t i = 1; i < words.size(); ++i) {
+        r.params.sources.push_back(
+            static_cast<graph::NodeId>(std::stoul(words[i])));
+      }
+      requests.push_back(std::move(r));
+    } else {
+      return fail("unknown directive '" + verb + "'");
+    }
+  }
+  if (registry.size() == 0 || requests.empty()) {
+    std::fprintf(stderr, "request file needs at least one graph/gen line "
+                         "and one request\n");
+    return 1;
+  }
+
+  serve::ServeOptions options;
+  options.engines_per_graph = g_serve_engines;
+  options.worker_threads = g_serve_threads;
+  options.max_pending = std::max<size_t>(g_serve_queue, requests.size());
+  options.batching = g_serve_batching;
+  options.engine_options.host_threads = 1;
+  serve::QueryService service(&registry, options);
+
+  util::WallTimer timer;
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(requests.size());
+  for (const serve::Request& request : requests) {
+    auto submitted = service.Submit(request);
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   submitted.status().ToString().c_str());
+      return 1;
+    }
+    futures.push_back(std::move(*submitted));
+  }
+  if (options.worker_threads == 0) service.ProcessAllPending();
+
+  int rc = 0;
+  std::printf("%-4s %-10s %-9s %5s %12s %18s\n", "#", "app", "graph",
+              "batch", "modeled-s", "digest");
+  for (size_t i = 0; i < futures.size(); ++i) {
+    serve::Response response = futures[i].get();
+    if (!response.status.ok()) {
+      std::printf("%-4zu request failed: %s\n", i,
+                  response.status.ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    std::printf("%-4zu %-10s %-9s %5u %12.6f %18llx\n", i,
+                requests[i].app.c_str(), requests[i].graph.c_str(),
+                response.batch_size, response.stats.seconds,
+                static_cast<unsigned long long>(response.output_digest));
+  }
+  double wall = timer.Seconds();
+  serve::ServiceStats stats = service.stats();
+  std::printf("\n%zu requests in %.3f s host wall (%.1f req/s): "
+              "%llu dispatches, %llu coalesced, %llu warm engines\n",
+              futures.size(), wall,
+              wall > 0 ? static_cast<double>(futures.size()) / wall : 0.0,
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.engines_created));
+  service.Shutdown();
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
+// Registry table + dispatch.
+
+const Subcommand kSubcommands[] = {
+    {"generate", "<kind> <out.sagecsr> <a> <b>",
+     "synthesize a graph (rmat <scale> <edges> | uniform <nodes> <edges> | "
+     "web <nodes> <deg> | community <nodes> <deg>)",
+     4, &CmdGenerate},
+    {"convert", "<edges.txt> <out.sagecsr>", "text edge list -> binary CSR",
+     2, &CmdConvert},
+    {"stats", "<graph>", "Table-1-style stats", 1, &CmdStats},
+    {"bfs", "<graph> <source>", "run BFS on SAGE", 2, &CmdBfs},
+    {"pagerank", "<graph> <iterations>", "run PageRank", 2, &CmdPageRank},
+    {"kcore", "<graph> <k>", "k-core size", 2, &CmdKcore},
+    {"sssp", "<graph> <source>", "weighted SSSP", 2, &CmdSssp},
+    {"msbfs", "<graph> <k>", "k concurrent BFS in one traversal", 2,
+     &CmdMsBfs},
+    {"reorder", "<graph> <method> <out.sagecsr>",
+     "relabel with rcm|llp|gorder|random", 3, &CmdReorder},
+    {"partition", "<graph> <num_parts>", "metis-like partition", 2,
+     &CmdPartition},
+    {"determinism", "<graph>", "schedule-invariance + parallel equivalence",
+     1, &CmdDeterminism},
+    {"serve", "<requests.txt>",
+     "replay a request file through the query service (directives: "
+     "graph/gen/bfs/sssp/pagerank/kcore/msbfs)",
+     1, &CmdServe},
+};
+const size_t kNumSubcommands = sizeof(kSubcommands) / sizeof(kSubcommands[0]);
+
+const Subcommand* FindSubcommand(const std::string& name) {
+  for (const Subcommand& cmd : kSubcommands) {
+    if (name == cmd.name) return &cmd;
+  }
+  return nullptr;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip global flags before positional dispatch.
-  int out = 1;
+  // Pass 1: strip shared flags (accepted anywhere), collect positionals.
+  std::vector<std::string> positionals;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--check" || arg == "--check=full") {
-      g_check_level = sim::CheckLevel::kFull;
-    } else if (arg == "--check=bounds") {
-      g_check_level = sim::CheckLevel::kBounds;
-    } else if (arg.rfind("--check", 0) == 0) {
-      std::fprintf(stderr, "unknown check level: %s\n", arg.c_str());
-      return Usage();
-    } else if (arg.rfind("--host-threads=", 0) == 0) {
-      try {
-        g_host_threads =
-            std::stoul(arg.substr(std::strlen("--host-threads=")));
-      } catch (const std::exception&) {
-        std::fprintf(stderr, "bad --host-threads value: %s\n", arg.c_str());
-        return Usage();
+    if (arg.rfind("--", 0) != 0) {
+      positionals.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    if (size_t eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const FlagDef* def = nullptr;
+    for (const FlagDef& flag : kFlags) {
+      if (name == flag.name) {
+        def = &flag;
+        break;
       }
-    } else {
-      argv[out++] = argv[i];
+    }
+    if (def == nullptr || !def->parse(value)) {
+      std::fprintf(stderr, "bad flag: %s\n", arg.c_str());
+      return Usage();
     }
   }
-  argc = out;
 
-  if (argc < 2) return Usage();
-  std::string cmd = argv[1];
-  if (cmd == "generate") return CmdGenerate(argc - 2, argv + 2);
-  if (cmd == "convert") return CmdConvert(argc - 2, argv + 2);
-
-  if (argc < 3) return Usage();
-  auto csr = LoadGraph(argv[2]);
-  if (!csr.ok()) {
-    std::fprintf(stderr, "cannot load %s: %s\n", argv[2],
-                 csr.status().ToString().c_str());
-    return 1;
+  if (positionals.empty()) return Usage();
+  const Subcommand* cmd = FindSubcommand(positionals[0]);
+  if (cmd == nullptr) {
+    std::fprintf(stderr, "unknown subcommand: %s\n", positionals[0].c_str());
+    return Usage();
   }
-  if (cmd == "stats") return CmdStats(*csr);
-  if (cmd == "bfs" && argc >= 4) {
-    return CmdBfs(*csr, static_cast<graph::NodeId>(std::stoul(argv[3])));
-  }
-  if (cmd == "pagerank" && argc >= 4) {
-    return CmdPageRank(*csr, std::stoul(argv[3]));
-  }
-  if (cmd == "kcore" && argc >= 4) return CmdKcore(*csr, std::stoul(argv[3]));
-  if (cmd == "sssp" && argc >= 4) {
-    return CmdSssp(*csr, static_cast<graph::NodeId>(std::stoul(argv[3])));
-  }
-  if (cmd == "msbfs" && argc >= 4) return CmdMsBfs(*csr, std::stoul(argv[3]));
-  if (cmd == "reorder" && argc >= 5) return CmdReorder(*csr, argv[3], argv[4]);
-  if (cmd == "partition" && argc >= 4) {
-    return CmdPartition(*csr, std::stoul(argv[3]));
-  }
-  if (cmd == "determinism") return CmdDeterminism(*csr);
-  return Usage();
+  std::vector<std::string> args(positionals.begin() + 1, positionals.end());
+  if (g_help) return SubcommandUsage(*cmd);
+  if (args.size() < cmd->min_args) return SubcommandUsage(*cmd);
+  return cmd->run(args);
 }
