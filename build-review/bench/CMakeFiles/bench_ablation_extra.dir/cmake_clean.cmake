@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_extra.dir/bench_ablation_extra.cc.o"
+  "CMakeFiles/bench_ablation_extra.dir/bench_ablation_extra.cc.o.d"
+  "bench_ablation_extra"
+  "bench_ablation_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_reordering.dir/bench_fig6_reordering.cc.o"
+  "CMakeFiles/bench_fig6_reordering.dir/bench_fig6_reordering.cc.o.d"
+  "bench_fig6_reordering"
+  "bench_fig6_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

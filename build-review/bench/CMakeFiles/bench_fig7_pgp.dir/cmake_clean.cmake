@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pgp.dir/bench_fig7_pgp.cc.o"
+  "CMakeFiles/bench_fig7_pgp.dir/bench_fig7_pgp.cc.o.d"
+  "bench_fig7_pgp"
+  "bench_fig7_pgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

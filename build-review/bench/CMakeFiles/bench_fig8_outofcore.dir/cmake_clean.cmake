@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_outofcore.dir/bench_fig8_outofcore.cc.o"
+  "CMakeFiles/bench_fig8_outofcore.dir/bench_fig8_outofcore.cc.o.d"
+  "bench_fig8_outofcore"
+  "bench_fig8_outofcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

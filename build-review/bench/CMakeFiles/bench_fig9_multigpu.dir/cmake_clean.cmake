@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_multigpu.dir/bench_fig9_multigpu.cc.o"
+  "CMakeFiles/bench_fig9_multigpu.dir/bench_fig9_multigpu.cc.o.d"
+  "bench_fig9_multigpu"
+  "bench_fig9_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

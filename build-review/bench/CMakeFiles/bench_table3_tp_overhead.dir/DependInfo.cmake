@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_tp_overhead.cc" "bench/CMakeFiles/bench_table3_tp_overhead.dir/bench_table3_tp_overhead.cc.o" "gcc" "bench/CMakeFiles/bench_table3_tp_overhead.dir/bench_table3_tp_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/baselines/CMakeFiles/sage_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/apps/CMakeFiles/sage_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/sage_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reorder/CMakeFiles/sage_reorder.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/sage_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/sage_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/check/CMakeFiles/sage_check.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

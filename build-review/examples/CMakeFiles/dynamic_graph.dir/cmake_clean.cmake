@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_graph.dir/dynamic_graph.cpp.o"
+  "CMakeFiles/dynamic_graph.dir/dynamic_graph.cpp.o.d"
+  "dynamic_graph"
+  "dynamic_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_analytics.dir/social_analytics.cpp.o"
+  "CMakeFiles/social_analytics.dir/social_analytics.cpp.o.d"
+  "social_analytics"
+  "social_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bc.cc" "src/apps/CMakeFiles/sage_apps.dir/bc.cc.o" "gcc" "src/apps/CMakeFiles/sage_apps.dir/bc.cc.o.d"
+  "/root/repo/src/apps/bfs.cc" "src/apps/CMakeFiles/sage_apps.dir/bfs.cc.o" "gcc" "src/apps/CMakeFiles/sage_apps.dir/bfs.cc.o.d"
+  "/root/repo/src/apps/cc.cc" "src/apps/CMakeFiles/sage_apps.dir/cc.cc.o" "gcc" "src/apps/CMakeFiles/sage_apps.dir/cc.cc.o.d"
+  "/root/repo/src/apps/kcore.cc" "src/apps/CMakeFiles/sage_apps.dir/kcore.cc.o" "gcc" "src/apps/CMakeFiles/sage_apps.dir/kcore.cc.o.d"
+  "/root/repo/src/apps/label_prop.cc" "src/apps/CMakeFiles/sage_apps.dir/label_prop.cc.o" "gcc" "src/apps/CMakeFiles/sage_apps.dir/label_prop.cc.o.d"
+  "/root/repo/src/apps/msbfs.cc" "src/apps/CMakeFiles/sage_apps.dir/msbfs.cc.o" "gcc" "src/apps/CMakeFiles/sage_apps.dir/msbfs.cc.o.d"
+  "/root/repo/src/apps/pagerank.cc" "src/apps/CMakeFiles/sage_apps.dir/pagerank.cc.o" "gcc" "src/apps/CMakeFiles/sage_apps.dir/pagerank.cc.o.d"
+  "/root/repo/src/apps/pr_delta.cc" "src/apps/CMakeFiles/sage_apps.dir/pr_delta.cc.o" "gcc" "src/apps/CMakeFiles/sage_apps.dir/pr_delta.cc.o.d"
+  "/root/repo/src/apps/reference.cc" "src/apps/CMakeFiles/sage_apps.dir/reference.cc.o" "gcc" "src/apps/CMakeFiles/sage_apps.dir/reference.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/sage_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/sage_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/sssp.cc" "src/apps/CMakeFiles/sage_apps.dir/sssp.cc.o" "gcc" "src/apps/CMakeFiles/sage_apps.dir/sssp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/sage_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reorder/CMakeFiles/sage_reorder.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/sage_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/check/CMakeFiles/sage_check.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/sage_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_apps.dir/bc.cc.o"
+  "CMakeFiles/sage_apps.dir/bc.cc.o.d"
+  "CMakeFiles/sage_apps.dir/bfs.cc.o"
+  "CMakeFiles/sage_apps.dir/bfs.cc.o.d"
+  "CMakeFiles/sage_apps.dir/cc.cc.o"
+  "CMakeFiles/sage_apps.dir/cc.cc.o.d"
+  "CMakeFiles/sage_apps.dir/kcore.cc.o"
+  "CMakeFiles/sage_apps.dir/kcore.cc.o.d"
+  "CMakeFiles/sage_apps.dir/label_prop.cc.o"
+  "CMakeFiles/sage_apps.dir/label_prop.cc.o.d"
+  "CMakeFiles/sage_apps.dir/msbfs.cc.o"
+  "CMakeFiles/sage_apps.dir/msbfs.cc.o.d"
+  "CMakeFiles/sage_apps.dir/pagerank.cc.o"
+  "CMakeFiles/sage_apps.dir/pagerank.cc.o.d"
+  "CMakeFiles/sage_apps.dir/pr_delta.cc.o"
+  "CMakeFiles/sage_apps.dir/pr_delta.cc.o.d"
+  "CMakeFiles/sage_apps.dir/reference.cc.o"
+  "CMakeFiles/sage_apps.dir/reference.cc.o.d"
+  "CMakeFiles/sage_apps.dir/registry.cc.o"
+  "CMakeFiles/sage_apps.dir/registry.cc.o.d"
+  "CMakeFiles/sage_apps.dir/sssp.cc.o"
+  "CMakeFiles/sage_apps.dir/sssp.cc.o.d"
+  "libsage_apps.a"
+  "libsage_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

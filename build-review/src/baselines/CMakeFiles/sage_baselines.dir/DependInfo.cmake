@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ligra.cc" "src/baselines/CMakeFiles/sage_baselines.dir/ligra.cc.o" "gcc" "src/baselines/CMakeFiles/sage_baselines.dir/ligra.cc.o.d"
+  "/root/repo/src/baselines/metis_like.cc" "src/baselines/CMakeFiles/sage_baselines.dir/metis_like.cc.o" "gcc" "src/baselines/CMakeFiles/sage_baselines.dir/metis_like.cc.o.d"
+  "/root/repo/src/baselines/multi_gpu.cc" "src/baselines/CMakeFiles/sage_baselines.dir/multi_gpu.cc.o" "gcc" "src/baselines/CMakeFiles/sage_baselines.dir/multi_gpu.cc.o.d"
+  "/root/repo/src/baselines/subway.cc" "src/baselines/CMakeFiles/sage_baselines.dir/subway.cc.o" "gcc" "src/baselines/CMakeFiles/sage_baselines.dir/subway.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/apps/CMakeFiles/sage_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/sage_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/sage_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/sage_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/check/CMakeFiles/sage_check.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reorder/CMakeFiles/sage_reorder.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

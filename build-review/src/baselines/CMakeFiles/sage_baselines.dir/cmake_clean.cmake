@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_baselines.dir/ligra.cc.o"
+  "CMakeFiles/sage_baselines.dir/ligra.cc.o.d"
+  "CMakeFiles/sage_baselines.dir/metis_like.cc.o"
+  "CMakeFiles/sage_baselines.dir/metis_like.cc.o.d"
+  "CMakeFiles/sage_baselines.dir/multi_gpu.cc.o"
+  "CMakeFiles/sage_baselines.dir/multi_gpu.cc.o.d"
+  "CMakeFiles/sage_baselines.dir/subway.cc.o"
+  "CMakeFiles/sage_baselines.dir/subway.cc.o.d"
+  "libsage_baselines.a"
+  "libsage_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

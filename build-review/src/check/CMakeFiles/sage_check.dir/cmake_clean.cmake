@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_check.dir/access_checker.cc.o"
+  "CMakeFiles/sage_check.dir/access_checker.cc.o.d"
+  "libsage_check.a"
+  "libsage_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

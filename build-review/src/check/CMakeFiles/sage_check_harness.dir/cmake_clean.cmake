@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_check_harness.dir/determinism.cc.o"
+  "CMakeFiles/sage_check_harness.dir/determinism.cc.o.d"
+  "libsage_check_harness.a"
+  "libsage_check_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_check_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/sage_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/sage_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/expand.cc" "src/core/CMakeFiles/sage_core.dir/expand.cc.o" "gcc" "src/core/CMakeFiles/sage_core.dir/expand.cc.o.d"
+  "/root/repo/src/core/resident.cc" "src/core/CMakeFiles/sage_core.dir/resident.cc.o" "gcc" "src/core/CMakeFiles/sage_core.dir/resident.cc.o.d"
+  "/root/repo/src/core/sampling_reorder.cc" "src/core/CMakeFiles/sage_core.dir/sampling_reorder.cc.o" "gcc" "src/core/CMakeFiles/sage_core.dir/sampling_reorder.cc.o.d"
+  "/root/repo/src/core/udt.cc" "src/core/CMakeFiles/sage_core.dir/udt.cc.o" "gcc" "src/core/CMakeFiles/sage_core.dir/udt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/check/CMakeFiles/sage_check.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/sage_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/sage_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reorder/CMakeFiles/sage_reorder.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_core.dir/engine.cc.o"
+  "CMakeFiles/sage_core.dir/engine.cc.o.d"
+  "CMakeFiles/sage_core.dir/expand.cc.o"
+  "CMakeFiles/sage_core.dir/expand.cc.o.d"
+  "CMakeFiles/sage_core.dir/resident.cc.o"
+  "CMakeFiles/sage_core.dir/resident.cc.o.d"
+  "CMakeFiles/sage_core.dir/sampling_reorder.cc.o"
+  "CMakeFiles/sage_core.dir/sampling_reorder.cc.o.d"
+  "CMakeFiles/sage_core.dir/udt.cc.o"
+  "CMakeFiles/sage_core.dir/udt.cc.o.d"
+  "libsage_core.a"
+  "libsage_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

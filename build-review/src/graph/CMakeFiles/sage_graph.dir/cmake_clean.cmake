@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_graph.dir/builder.cc.o"
+  "CMakeFiles/sage_graph.dir/builder.cc.o.d"
+  "CMakeFiles/sage_graph.dir/coo.cc.o"
+  "CMakeFiles/sage_graph.dir/coo.cc.o.d"
+  "CMakeFiles/sage_graph.dir/csr.cc.o"
+  "CMakeFiles/sage_graph.dir/csr.cc.o.d"
+  "CMakeFiles/sage_graph.dir/datasets.cc.o"
+  "CMakeFiles/sage_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/sage_graph.dir/dynamic.cc.o"
+  "CMakeFiles/sage_graph.dir/dynamic.cc.o.d"
+  "CMakeFiles/sage_graph.dir/generators.cc.o"
+  "CMakeFiles/sage_graph.dir/generators.cc.o.d"
+  "CMakeFiles/sage_graph.dir/io.cc.o"
+  "CMakeFiles/sage_graph.dir/io.cc.o.d"
+  "libsage_graph.a"
+  "libsage_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reorder/gorder.cc" "src/reorder/CMakeFiles/sage_reorder.dir/gorder.cc.o" "gcc" "src/reorder/CMakeFiles/sage_reorder.dir/gorder.cc.o.d"
+  "/root/repo/src/reorder/llp.cc" "src/reorder/CMakeFiles/sage_reorder.dir/llp.cc.o" "gcc" "src/reorder/CMakeFiles/sage_reorder.dir/llp.cc.o.d"
+  "/root/repo/src/reorder/permutation.cc" "src/reorder/CMakeFiles/sage_reorder.dir/permutation.cc.o" "gcc" "src/reorder/CMakeFiles/sage_reorder.dir/permutation.cc.o.d"
+  "/root/repo/src/reorder/rcm.cc" "src/reorder/CMakeFiles/sage_reorder.dir/rcm.cc.o" "gcc" "src/reorder/CMakeFiles/sage_reorder.dir/rcm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/sage_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

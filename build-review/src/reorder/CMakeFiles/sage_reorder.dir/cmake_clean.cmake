@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_reorder.dir/gorder.cc.o"
+  "CMakeFiles/sage_reorder.dir/gorder.cc.o.d"
+  "CMakeFiles/sage_reorder.dir/llp.cc.o"
+  "CMakeFiles/sage_reorder.dir/llp.cc.o.d"
+  "CMakeFiles/sage_reorder.dir/permutation.cc.o"
+  "CMakeFiles/sage_reorder.dir/permutation.cc.o.d"
+  "CMakeFiles/sage_reorder.dir/rcm.cc.o"
+  "CMakeFiles/sage_reorder.dir/rcm.cc.o.d"
+  "libsage_reorder.a"
+  "libsage_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

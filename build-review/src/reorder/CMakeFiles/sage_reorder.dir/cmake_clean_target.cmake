@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsage_reorder.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_serve.dir/graph_registry.cc.o"
+  "CMakeFiles/sage_serve.dir/graph_registry.cc.o.d"
+  "CMakeFiles/sage_serve.dir/service.cc.o"
+  "CMakeFiles/sage_serve.dir/service.cc.o.d"
+  "libsage_serve.a"
+  "libsage_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

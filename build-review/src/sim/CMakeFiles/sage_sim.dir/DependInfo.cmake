@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/gpu_device.cc" "src/sim/CMakeFiles/sage_sim.dir/gpu_device.cc.o" "gcc" "src/sim/CMakeFiles/sage_sim.dir/gpu_device.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/sim/CMakeFiles/sage_sim.dir/link.cc.o" "gcc" "src/sim/CMakeFiles/sage_sim.dir/link.cc.o.d"
+  "/root/repo/src/sim/memory_sim.cc" "src/sim/CMakeFiles/sage_sim.dir/memory_sim.cc.o" "gcc" "src/sim/CMakeFiles/sage_sim.dir/memory_sim.cc.o.d"
+  "/root/repo/src/sim/profile.cc" "src/sim/CMakeFiles/sage_sim.dir/profile.cc.o" "gcc" "src/sim/CMakeFiles/sage_sim.dir/profile.cc.o.d"
+  "/root/repo/src/sim/replay.cc" "src/sim/CMakeFiles/sage_sim.dir/replay.cc.o" "gcc" "src/sim/CMakeFiles/sage_sim.dir/replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/sage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_sim.dir/gpu_device.cc.o"
+  "CMakeFiles/sage_sim.dir/gpu_device.cc.o.d"
+  "CMakeFiles/sage_sim.dir/link.cc.o"
+  "CMakeFiles/sage_sim.dir/link.cc.o.d"
+  "CMakeFiles/sage_sim.dir/memory_sim.cc.o"
+  "CMakeFiles/sage_sim.dir/memory_sim.cc.o.d"
+  "CMakeFiles/sage_sim.dir/profile.cc.o"
+  "CMakeFiles/sage_sim.dir/profile.cc.o.d"
+  "CMakeFiles/sage_sim.dir/replay.cc.o"
+  "CMakeFiles/sage_sim.dir/replay.cc.o.d"
+  "libsage_sim.a"
+  "libsage_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_util.dir/logging.cc.o"
+  "CMakeFiles/sage_util.dir/logging.cc.o.d"
+  "CMakeFiles/sage_util.dir/prefix_sum.cc.o"
+  "CMakeFiles/sage_util.dir/prefix_sum.cc.o.d"
+  "CMakeFiles/sage_util.dir/random.cc.o"
+  "CMakeFiles/sage_util.dir/random.cc.o.d"
+  "CMakeFiles/sage_util.dir/segsort.cc.o"
+  "CMakeFiles/sage_util.dir/segsort.cc.o.d"
+  "CMakeFiles/sage_util.dir/stats.cc.o"
+  "CMakeFiles/sage_util.dir/stats.cc.o.d"
+  "CMakeFiles/sage_util.dir/status.cc.o"
+  "CMakeFiles/sage_util.dir/status.cc.o.d"
+  "CMakeFiles/sage_util.dir/thread_pool.cc.o"
+  "CMakeFiles/sage_util.dir/thread_pool.cc.o.d"
+  "libsage_util.a"
+  "libsage_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

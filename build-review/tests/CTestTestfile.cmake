@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-review/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/graph_test[1]_include.cmake")
+include("/root/repo/build-review/tests/reorder_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/util_test[1]_include.cmake")
+include("/root/repo/build-review/tests/apps_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_test[1]_include.cmake")
+include("/root/repo/build-review/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-review/tests/engine_options_test[1]_include.cmake")
+include("/root/repo/build-review/tests/shapes_test[1]_include.cmake")
+include("/root/repo/build-review/tests/check_test[1]_include.cmake")
+include("/root/repo/build-review/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build-review/tests/api_test[1]_include.cmake")
+include("/root/repo/build-review/tests/serve_test[1]_include.cmake")

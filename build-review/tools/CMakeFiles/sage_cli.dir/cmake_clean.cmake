@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_cli.dir/sage_cli.cc.o"
+  "CMakeFiles/sage_cli.dir/sage_cli.cc.o.d"
+  "sage_cli"
+  "sage_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
