@@ -1,0 +1,248 @@
+// SageGuard benchmark: what resilience costs when nothing goes wrong, and
+// what it buys when things do.
+//
+// Two measurements on a 64-request BFS workload (rmat scale 13):
+//
+//  1. Checkpoint overhead — the same fault-free engine run with
+//     checkpointing off vs every-4 vs every-2 iterations. Snapshots are
+//     host-side state copies, so this is pure wall-clock overhead; the
+//     modeled GPU seconds and the output digest must not move at all.
+//
+//  2. Faulty serving — the query service fault-free vs under a 1%
+//     transient-kernel fault rate (retry + checkpoint-resume enabled).
+//     The run asserts every faulted response is bit-identical to the
+//     fault-free service's answer before reporting throughput; the cost
+//     of absorbing the faults shows up as wall time, retries, and
+//     resumes.
+//
+// Emits BENCH_guard.json into the working directory.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "apps/registry.h"
+#include "bench_common.h"
+#include "core/guard.h"
+#include "graph/generators.h"
+#include "serve/graph_registry.h"
+#include "serve/service.h"
+#include "sim/fault_injector.h"
+
+namespace sage::bench {
+namespace {
+
+constexpr int kRequests = 64;
+constexpr int kCheckpointRepeats = 5;
+
+double WallSeconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// --- 1. Checkpoint overhead -------------------------------------------------
+
+struct CheckpointPoint {
+  uint32_t interval = 0;  // 0 = checkpointing off
+  double wall = 0.0;      // host seconds, kCheckpointRepeats BFS runs
+  double modeled = 0.0;   // modeled GPU seconds (must equal the baseline)
+  uint64_t saves = 0;     // checkpoints taken across the repeats
+  uint64_t digest = 0;
+};
+
+CheckpointPoint MeasureCheckpointing(const graph::Csr& csr,
+                                     graph::NodeId source,
+                                     uint32_t interval) {
+  CheckpointPoint point;
+  point.interval = interval;
+  sim::GpuDevice device(BenchSpec());
+  core::EngineOptions options;
+  options.host_threads = 1;
+  core::Engine engine(&device, csr, options);
+  auto program = apps::CreateProgram("bfs");
+  SAGE_CHECK(program.ok());
+  apps::AppParams params;
+  params.sources = {source};
+  core::MemoryCheckpointSink sink;
+  if (interval > 0) {
+    core::RunGuard guard;
+    guard.checkpoint_sink = &sink;
+    guard.checkpoint_interval = interval;
+    engine.set_run_guard(guard);
+  }
+  point.wall = WallSeconds([&] {
+    for (int r = 0; r < kCheckpointRepeats; ++r) {
+      auto stats = apps::RunApp(engine, **program, params);
+      SAGE_CHECK(stats.ok()) << stats.status().ToString();
+      point.modeled += stats->seconds;
+    }
+  });
+  point.saves = sink.saves();
+  point.digest = apps::OutputDigest(engine, **program);
+  return point;
+}
+
+// --- 2. Fault-free vs 1%-fault serving --------------------------------------
+
+struct ServeResult {
+  double wall = 0.0;
+  double p99_ms = 0.0;  // slowest-percentile per-request wall time
+  std::vector<uint64_t> digests;
+  uint64_t retries = 0;
+  uint64_t resumes = 0;
+  double backoff_ms = 0.0;
+
+  double Rps() const {
+    return wall <= 0 ? 0 : static_cast<double>(kRequests) / wall;
+  }
+};
+
+ServeResult RunService(const graph::Csr& csr,
+                       const std::vector<graph::NodeId>& sources,
+                       const std::string& fault_spec) {
+  serve::GraphRegistry registry;
+  SAGE_CHECK(registry.Add("g", csr).ok());
+  serve::ServeOptions options;
+  options.worker_threads = 0;
+  options.engines_per_graph = 1;
+  options.device_spec = BenchSpec();
+  // One request per dispatch: every engine run is a separate fault target,
+  // which is the interesting (and worst) case for retry overhead.
+  options.batching = false;
+  options.fault_spec = fault_spec;
+  options.retry.max_attempts = 5;
+  options.checkpoint_interval = 2;
+
+  ServeResult result;
+  result.digests.reserve(sources.size());
+  serve::QueryService service(&registry, options);
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(sources.size());
+  result.wall = WallSeconds([&] {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      serve::Request request;
+      request.graph = "g";
+      request.app = "bfs";
+      request.params.sources = {sources[i]};
+      request.id = i;
+      double latency = WallSeconds([&] {
+        auto submitted = service.Submit(std::move(request));
+        SAGE_CHECK(submitted.ok()) << submitted.status().ToString();
+        service.ProcessAllPending();
+        serve::Response response = submitted->get();
+        SAGE_CHECK(response.status.ok()) << response.status.ToString();
+        result.digests.push_back(response.output_digest);
+      });
+      latencies_ms.push_back(latency * 1e3);
+    }
+  });
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p99_ms = latencies_ms[(latencies_ms.size() * 99) / 100];
+  serve::ServiceStats stats = service.stats();
+  result.retries = stats.retries;
+  result.resumes = stats.resumes;
+  result.backoff_ms = stats.backoff_ms;
+  return result;
+}
+
+// --- Reporting --------------------------------------------------------------
+
+void WriteJson(const std::vector<CheckpointPoint>& ckpts,
+               const ServeResult& clean, const ServeResult& faulty,
+               const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"checkpoint_overhead\": [\n");
+  for (size_t i = 0; i < ckpts.size(); ++i) {
+    const CheckpointPoint& p = ckpts[i];
+    double overhead =
+        ckpts[0].wall <= 0 ? 0 : p.wall / ckpts[0].wall - 1.0;
+    std::fprintf(f,
+                 "    {\"interval\": %u, \"wall_seconds\": %.6f, "
+                 "\"checkpoints\": %llu, \"overhead\": %.4f}%s\n",
+                 p.interval, p.wall,
+                 static_cast<unsigned long long>(p.saves), overhead,
+                 i + 1 < ckpts.size() ? "," : "");
+  }
+  std::fprintf(
+      f,
+      "  ],\n"
+      "  \"serve\": {\n"
+      "    \"workload\": \"%d solo BFS dispatches, rmat scale 13\",\n"
+      "    \"fault_free\": {\"wall_seconds\": %.6f, \"requests_per_sec\": "
+      "%.1f, \"p99_ms\": %.3f},\n"
+      "    \"one_pct_faults\": {\"wall_seconds\": %.6f, "
+      "\"requests_per_sec\": %.1f, \"p99_ms\": %.3f, \"retries\": %llu, "
+      "\"resumes\": %llu, \"backoff_ms\": %.3f},\n"
+      "    \"digests_identical\": true,\n"
+      "    \"throughput_ratio\": %.3f\n"
+      "  }\n"
+      "}\n",
+      kRequests, clean.wall, clean.Rps(), clean.p99_ms, faulty.wall,
+      faulty.Rps(), faulty.p99_ms,
+      static_cast<unsigned long long>(faulty.retries),
+      static_cast<unsigned long long>(faulty.resumes), faulty.backoff_ms,
+      clean.Rps() <= 0 ? 0 : faulty.Rps() / clean.Rps());
+  std::fclose(f);
+}
+
+int Main() {
+  graph::Csr csr = graph::GenerateRmat(13, 98304, 0.57, 0.19, 0.19, 42);
+  std::vector<graph::NodeId> sources = PickSources(csr, kRequests);
+
+  std::printf("SageGuard bench: rmat scale 13 (%u nodes, %llu edges)\n\n",
+              csr.num_nodes(),
+              static_cast<unsigned long long>(csr.num_edges()));
+
+  // 1. Checkpoint overhead.
+  std::vector<CheckpointPoint> ckpts;
+  for (uint32_t interval : {0u, 4u, 2u}) {
+    ckpts.push_back(MeasureCheckpointing(csr, sources[0], interval));
+  }
+  PrintHeader("checkpointing", {"wall-s", "modeled-s", "saves", "overhead"});
+  for (const CheckpointPoint& p : ckpts) {
+    // Checkpointing must never perturb the simulation: same modeled
+    // seconds, same output, only host wall time may move.
+    SAGE_CHECK(p.modeled == ckpts[0].modeled)
+        << "interval " << p.interval << " changed modeled time";
+    SAGE_CHECK(p.digest == ckpts[0].digest)
+        << "interval " << p.interval << " changed the output";
+    PrintRow(p.interval == 0 ? "off" : "every-" + std::to_string(p.interval),
+             {p.wall, p.modeled, static_cast<double>(p.saves),
+              ckpts[0].wall <= 0 ? 0 : p.wall / ckpts[0].wall - 1.0});
+  }
+
+  // 2. Fault-free vs 1%-fault serving.
+  ServeResult clean = RunService(csr, sources, "");
+  ServeResult faulty =
+      RunService(csr, sources, "seed 11\ntransient rate 0.01\n");
+  SAGE_CHECK(clean.digests == faulty.digests)
+      << "faulted responses diverged from fault-free answers";
+
+  std::printf("\n");
+  PrintHeader("serving", {"wall-s", "req/s", "p99-ms", "retries", "resumes"});
+  PrintRow("fault-free", {clean.wall, clean.Rps(), clean.p99_ms,
+                          static_cast<double>(clean.retries),
+                          static_cast<double>(clean.resumes)});
+  PrintRow("1% faults", {faulty.wall, faulty.Rps(), faulty.p99_ms,
+                         static_cast<double>(faulty.retries),
+                         static_cast<double>(faulty.resumes)});
+  std::printf("\nall %d faulted responses bit-identical to fault-free\n",
+              kRequests);
+
+  WriteJson(ckpts, clean, faulty, "BENCH_guard.json");
+  std::printf("wrote BENCH_guard.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() { return sage::bench::Main(); }

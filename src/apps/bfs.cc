@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "apps/registry.h"
+#include "apps/snapshot.h"
 #include "reorder/permutation.h"
 #include "util/logging.h"
 
@@ -40,6 +41,16 @@ bool BfsProgram::Filter(NodeId frontier, NodeId neighbor) {
 
 void BfsProgram::OnPermutation(std::span<const NodeId> new_of_old) {
   dist_ = reorder::PermuteVector(dist_, new_of_old);
+}
+
+bool BfsProgram::SaveState(std::vector<uint8_t>* out) const {
+  snapshot::AppendVector(out, dist_);
+  return true;
+}
+
+bool BfsProgram::RestoreState(std::span<const uint8_t> bytes) {
+  snapshot::Reader r(bytes);
+  return r.ReadVector(&dist_, dist_.size()) && r.Complete();
 }
 
 uint32_t BfsProgram::DistanceOf(NodeId original) const {

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "apps/registry.h"
+#include "apps/snapshot.h"
 #include "reorder/permutation.h"
 #include "util/logging.h"
 
@@ -50,6 +51,19 @@ bool KCoreProgram::Filter(NodeId frontier, NodeId neighbor) {
 void KCoreProgram::OnPermutation(std::span<const NodeId> new_of_old) {
   degree_ = reorder::PermuteVector(degree_, new_of_old);
   removed_ = reorder::PermuteVector(removed_, new_of_old);
+}
+
+bool KCoreProgram::SaveState(std::vector<uint8_t>* out) const {
+  snapshot::AppendU32(out, k_);
+  snapshot::AppendVector(out, degree_);
+  snapshot::AppendVector(out, removed_);
+  return true;
+}
+
+bool KCoreProgram::RestoreState(std::span<const uint8_t> bytes) {
+  snapshot::Reader r(bytes);
+  return r.ReadU32(&k_) && r.ReadVector(&degree_, degree_.size()) &&
+         r.ReadVector(&removed_, removed_.size()) && r.Complete();
 }
 
 bool KCoreProgram::InCore(NodeId original) const {

@@ -21,6 +21,8 @@ class KCoreProgram : public core::FilterProgram {
   void Bind(core::Engine* engine) override;
   bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
   void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool RestoreState(std::span<const uint8_t> bytes) override;
   const core::Footprint& footprint() const override { return footprint_; }
   const char* name() const override { return "kcore"; }
 

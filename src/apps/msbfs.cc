@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "apps/registry.h"
+#include "apps/snapshot.h"
 #include "reorder/permutation.h"
 #include "util/logging.h"
 
@@ -97,6 +98,36 @@ void MultiSourceBfsProgram::OnPermutation(
       std::copy(row.begin(), row.end(), dist_.begin() + i * n);
     }
   }
+}
+
+bool MultiSourceBfsProgram::SaveState(std::vector<uint8_t>* out) const {
+  snapshot::AppendU32(out, num_sources_);
+  snapshot::AppendU32(out, iteration_);
+  snapshot::AppendU32(out, record_distances_ ? 1 : 0);
+  snapshot::AppendVector(out, mask_);
+  snapshot::AppendVector(out, dist_);
+  return true;
+}
+
+bool MultiSourceBfsProgram::RestoreState(std::span<const uint8_t> bytes) {
+  snapshot::Reader r(bytes);
+  uint32_t sources = 0;
+  uint32_t iter = 0;
+  uint32_t record = 0;
+  if (!r.ReadU32(&sources) || !r.ReadU32(&iter) || !r.ReadU32(&record) ||
+      sources > kMaxSources) {
+    return false;
+  }
+  uint64_t dist_elems =
+      record != 0 ? static_cast<uint64_t>(sources) * mask_.size() : 0;
+  if (!r.ReadVector(&mask_, mask_.size()) ||
+      !r.ReadVector(&dist_, dist_elems) || !r.Complete()) {
+    return false;
+  }
+  num_sources_ = sources;
+  iteration_ = iter;
+  record_distances_ = record != 0;
+  return true;
 }
 
 uint32_t MultiSourceBfsProgram::DistanceOf(uint32_t source_index,

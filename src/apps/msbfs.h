@@ -26,6 +26,8 @@ class MultiSourceBfsProgram : public core::FilterProgram {
   bool Filter(graph::NodeId frontier, graph::NodeId neighbor) override;
   void BeginIteration(uint32_t iteration) override;
   void OnPermutation(std::span<const graph::NodeId> new_of_old) override;
+  bool SaveState(std::vector<uint8_t>* out) const override;
+  bool RestoreState(std::span<const uint8_t> bytes) override;
   const core::Footprint& footprint() const override { return footprint_; }
   const char* name() const override { return "multi-source-bfs"; }
 

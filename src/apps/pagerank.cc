@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "apps/registry.h"
+#include "apps/snapshot.h"
 #include "reorder/permutation.h"
 #include "util/logging.h"
 
@@ -67,6 +68,26 @@ void PageRankProgram::Finalize() {
     FoldIteration();
     pending_fold_ = false;
   }
+}
+
+bool PageRankProgram::SaveState(std::vector<uint8_t>* out) const {
+  // outdeg_ is graph-derived and rebuilt by Bind; only the rank vectors and
+  // the fold flag are genuine per-run state.
+  snapshot::AppendU32(out, pending_fold_ ? 1 : 0);
+  snapshot::AppendVector(out, pr_in_);
+  snapshot::AppendVector(out, pr_out_);
+  return true;
+}
+
+bool PageRankProgram::RestoreState(std::span<const uint8_t> bytes) {
+  snapshot::Reader r(bytes);
+  uint32_t fold = 0;
+  if (!r.ReadU32(&fold) || !r.ReadVector(&pr_in_, pr_in_.size()) ||
+      !r.ReadVector(&pr_out_, pr_out_.size()) || !r.Complete()) {
+    return false;
+  }
+  pending_fold_ = fold != 0;
+  return true;
 }
 
 void PageRankProgram::OnPermutation(std::span<const NodeId> new_of_old) {

@@ -7,6 +7,7 @@
 #include "apps/msbfs.h"
 #include "apps/pagerank.h"
 #include "apps/sssp.h"
+#include "sim/fault_injector.h"
 
 namespace sage::apps {
 
@@ -43,6 +44,25 @@ struct AppDescriptor {
                                         const AppParams&);
   uint64_t (*digest)(const core::Engine&, const core::FilterProgram&);
 };
+
+/// Poisoned-source fault injection (SageGuard): a run whose sources include
+/// a poisoned node fails *permanently* — kInternal, not the retryable
+/// kUnavailable class — modeling an input that deterministically crashes
+/// the kernel. The serving layer's batch bisection isolates such requests
+/// so they cannot take down the queries they were coalesced with.
+util::Status CheckPoisonedSources(core::Engine& engine,
+                                  const AppParams& params) {
+  sim::FaultInjector* injector = engine.device()->fault_injector();
+  if (injector == nullptr) return util::Status::OK();
+  for (NodeId s : params.sources) {
+    if (injector->PoisonedSource(s)) {
+      return util::Status::Internal(
+          "poisoned source node " + std::to_string(s) +
+          ": traversal from it faults the device");
+    }
+  }
+  return util::Status::OK();
+}
 
 util::Status RequireSources(const AppParams& params, size_t min, size_t max,
                             const core::Engine& engine, const char* app) {
@@ -230,7 +250,29 @@ util::StatusOr<core::RunStats> RunApp(core::Engine& engine,
         std::string("RunApp: program '") + program.name() +
         "' is not a registered app");
   }
+  SAGE_RETURN_IF_ERROR(CheckPoisonedSources(engine, params));
   return app->run(engine, program, params);
+}
+
+util::StatusOr<core::RunStats> ResumeApp(core::Engine& engine,
+                                         core::FilterProgram& program,
+                                         const core::Checkpoint& checkpoint,
+                                         const AppParams& params) {
+  const AppDescriptor* app = Find(program.name());
+  if (app == nullptr) {
+    return util::Status::NotFound(
+        std::string("ResumeApp: program '") + program.name() +
+        "' is not a registered app");
+  }
+  SAGE_RETURN_IF_ERROR(CheckPoisonedSources(engine, params));
+  SAGE_RETURN_IF_ERROR(engine.Bind(&program));
+  const bool is_pagerank = std::strcmp(program.name(), "pagerank") == 0;
+  uint32_t max_iterations = is_pagerank ? params.iterations : 0xffffffffu;
+  auto stats = engine.Resume(checkpoint, max_iterations);
+  if (stats.ok() && is_pagerank) {
+    static_cast<PageRankProgram&>(program).Finalize();
+  }
+  return stats;
 }
 
 uint64_t OutputDigest(const core::Engine& engine,

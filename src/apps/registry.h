@@ -52,6 +52,18 @@ util::StatusOr<core::RunStats> RunApp(core::Engine& engine,
                                       core::FilterProgram& program,
                                       const AppParams& params);
 
+/// Resumes an interrupted RunApp from a checkpoint (SageGuard): binds the
+/// program (without resetting its per-run state — Engine::Resume restores
+/// it from the checkpoint), continues the run to the app's iteration cap,
+/// and applies any post-run step the app needs (pagerank's Finalize).
+/// `params` must be the interrupted run's parameters. Propagates
+/// Engine::Resume's errors — kCorruption means the checkpoint is damaged
+/// and the caller should rerun from scratch via RunApp.
+util::StatusOr<core::RunStats> ResumeApp(core::Engine& engine,
+                                         core::FilterProgram& program,
+                                         const core::Checkpoint& checkpoint,
+                                         const AppParams& params);
+
 /// FNV-1a digest of the program's user-visible output (distances, ranks,
 /// core membership, ...) enumerated in original-id order — the canonical
 /// "are two runs' answers bit-identical" check used by the serving layer

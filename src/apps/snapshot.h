@@ -1,0 +1,83 @@
+#ifndef SAGE_APPS_SNAPSHOT_H_
+#define SAGE_APPS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace sage::apps::snapshot {
+
+/// Tiny byte-serialization helpers for FilterProgram::SaveState /
+/// RestoreState (SageGuard checkpoints). Fixed little-endian-of-host
+/// layout: checkpoints live in memory for the duration of one process, not
+/// on portable storage, so host byte order is fine. Readers are strict —
+/// any length mismatch fails the restore, and the caller falls back to a
+/// full rerun.
+
+inline void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(v));
+}
+
+inline void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(v));
+}
+
+template <typename T>
+void AppendVector(std::vector<uint8_t>* out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AppendU64(out, v.size());
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(v.data());
+  out->insert(out->end(), p, p + v.size() * sizeof(T));
+}
+
+/// Cursor over a serialized state blob. Every Read* returns false (and
+/// stops consuming) on truncation; Complete() additionally requires the
+/// blob to be fully consumed — trailing garbage is also a failed restore.
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+
+  /// Reads a vector written by AppendVector. `expected_elems` pins the
+  /// element count (program state arrays are graph-sized); pass
+  /// kAnyLength to accept whatever was written.
+  static constexpr uint64_t kAnyLength = ~0ull;
+  template <typename T>
+  bool ReadVector(std::vector<T>* v, uint64_t expected_elems) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    if (!ReadU64(&n)) return false;
+    if (expected_elems != kAnyLength && n != expected_elems) return false;
+    if (n > (bytes_.size() - pos_) / sizeof(T)) return false;
+    v->resize(static_cast<size_t>(n));
+    if (n > 0) {
+      std::memcpy(v->data(), bytes_.data() + pos_,
+                  static_cast<size_t>(n) * sizeof(T));
+    }
+    pos_ += static_cast<size_t>(n) * sizeof(T);
+    return true;
+  }
+
+  bool Complete() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool ReadRaw(void* dst, size_t len) {
+    if (bytes_.size() - pos_ < len) return false;
+    std::memcpy(dst, bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sage::apps::snapshot
+
+#endif  // SAGE_APPS_SNAPSHOT_H_

@@ -1,10 +1,13 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
+#include <sstream>
 
 #include "check/access_checker.h"
 #include "reorder/permutation.h"
+#include "sim/fault_injector.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -27,6 +30,20 @@ std::vector<size_t> DispatchOrder(size_t n, uint64_t seed, uint64_t salt) {
     rng.Shuffle(order);
   }
   return order;
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Appends the failing iteration to an injected fault's message so serving
+/// can report the exact fault site per request.
+util::Status DecorateFault(const util::Status& fault, uint32_t iteration) {
+  std::ostringstream os;
+  os << fault.message() << "; run failed at iteration " << iteration;
+  return util::Status(fault.code(), os.str());
 }
 
 }  // namespace
@@ -317,18 +334,7 @@ util::StatusOr<RunStats> Engine::Run(std::span<const NodeId> sources,
     }
     frontier.push_back(orig_to_int_[s]);
   }
-  RunStats total;
-  std::vector<NodeId> next;
-  uint32_t iter = 0;
-  while (!frontier.empty() && iter < max_iterations) {
-    program_->BeginIteration(iter);
-    RunStats it = ExpandIteration(frontier, &next);
-    total.Accumulate(it);
-    frontier.swap(next);
-    MaybeApplyReordering(&frontier, &total);
-    ++iter;
-  }
-  return total;
+  return RunLoop(std::move(frontier), 0, max_iterations, /*global=*/false);
 }
 
 util::StatusOr<RunStats> Engine::RunGlobal(uint32_t iterations) {
@@ -337,20 +343,160 @@ util::StatusOr<RunStats> Engine::RunGlobal(uint32_t iterations) {
   }
   std::vector<NodeId> all(csr_.num_nodes());
   for (NodeId u = 0; u < csr_.num_nodes(); ++u) all[u] = u;
+  return RunLoop(std::move(all), 0, iterations, /*global=*/true);
+}
+
+util::StatusOr<RunStats> Engine::RunLoop(std::vector<NodeId> frontier,
+                                         uint32_t start_iteration,
+                                         uint32_t max_iterations,
+                                         bool global) {
   RunStats total;
   std::vector<NodeId> next;
-  for (uint32_t iter = 0; iter < iterations; ++iter) {
+  sim::FaultInjector* injector = device_->fault_injector();
+  const double wall_start =
+      guard_.deadline_wall_seconds > 0.0 ? MonotonicSeconds() : 0.0;
+  uint32_t iter = start_iteration;
+  while (iter < max_iterations && (global || !frontier.empty())) {
+    SAGE_RETURN_IF_ERROR(CheckGuard(total, iter, wall_start));
+    if (injector != nullptr) {
+      injector->SetIteration(iter);
+      // ECC-style frontier corruption (frontier-driven runs only — a
+      // global run's "frontier" is the implicit all-nodes list, not data).
+      if (!global && injector->MaybeCorruptFrontier(iter, frontier,
+                                                    csr_.num_nodes())) {
+        util::Status fault = injector->TakePendingFault();
+        // Detected ECC errors abort before the kernel launches; silent
+        // flips sail on (output digests are how those get caught).
+        if (!fault.ok()) return DecorateFault(fault, iter);
+      }
+    }
     program_->BeginIteration(iter);
-    RunStats it = ExpandIteration(all, &next);
+    RunStats it = ExpandIteration(frontier, &next);
     total.Accumulate(it);
-    next.clear();
-    MaybeApplyReordering(&all, &total);
-    // A relabeling permutes `all`, which must stay the full node list.
-    // (It always is — a permutation of [0,n) is [0,n) — but keep it sorted
-    // for deterministic block composition.)
-    if (total.reorder_rounds > 0) std::sort(all.begin(), all.end());
+    if (injector != nullptr) {
+      // Surface faults the iteration's kernels raised (transient failures,
+      // injected Grow OOMs). The iteration's side effects stand — recovery
+      // is checkpoint-restore or a full rerun, never a partial replay.
+      util::Status fault = injector->TakePendingFault();
+      if (!fault.ok()) return DecorateFault(fault, iter);
+    }
+    if (global) {
+      next.clear();
+    } else {
+      frontier.swap(next);
+    }
+    MaybeApplyReordering(&frontier, &total);
+    // A relabeling permutes a global run's node list, which must stay the
+    // full node list. (It always is — a permutation of [0,n) is [0,n) —
+    // but keep it sorted for deterministic block composition.)
+    if (global && total.reorder_rounds > 0) {
+      std::sort(frontier.begin(), frontier.end());
+    }
+    ++iter;
+    MaybeCheckpoint(iter, frontier, global);
   }
   return total;
+}
+
+util::Status Engine::CheckGuard(const RunStats& total, uint32_t iteration,
+                                double wall_start_seconds) const {
+  if (guard_.cancel != nullptr && guard_.cancel->cancelled()) {
+    std::ostringstream os;
+    os << "run cancelled at iteration " << iteration;
+    return util::Status::Aborted(os.str());
+  }
+  if (guard_.deadline_modeled_seconds > 0.0 &&
+      total.seconds > guard_.deadline_modeled_seconds) {
+    std::ostringstream os;
+    os << "modeled-time budget of " << guard_.deadline_modeled_seconds
+       << "s exceeded at iteration " << iteration << " (" << total.seconds
+       << "s modeled)";
+    return util::Status::DeadlineExceeded(os.str());
+  }
+  if (guard_.deadline_wall_seconds > 0.0 &&
+      MonotonicSeconds() - wall_start_seconds > guard_.deadline_wall_seconds) {
+    std::ostringstream os;
+    os << "wall deadline of " << guard_.deadline_wall_seconds
+       << "s exceeded at iteration " << iteration;
+    return util::Status::DeadlineExceeded(os.str());
+  }
+  return util::Status::OK();
+}
+
+void Engine::MaybeCheckpoint(uint32_t iterations_completed,
+                             const std::vector<NodeId>& frontier,
+                             bool global) {
+  if (guard_.checkpoint_sink == nullptr || guard_.checkpoint_interval == 0) {
+    return;
+  }
+  if (iterations_completed == 0 ||
+      iterations_completed % guard_.checkpoint_interval != 0) {
+    return;
+  }
+  Checkpoint ckpt;
+  ckpt.program_name = program_->name();
+  ckpt.iteration = iterations_completed;
+  ckpt.reorder_rounds = reorder_rounds();
+  ckpt.global = global;
+  if (!global) ckpt.frontier = frontier;
+  // Programs that cannot snapshot their state simply are not checkpointed;
+  // their recovery path is a full rerun.
+  if (!program_->SaveState(&ckpt.app_state)) return;
+  ckpt.Seal();
+  if (sim::FaultInjector* injector = device_->fault_injector()) {
+    // Storage corruption strikes *after* sealing, so the digest is the
+    // detector (Resume returns kCorruption).
+    injector->MaybeCorruptCheckpoint(
+        static_cast<int64_t>(iterations_completed),
+        std::span<uint8_t>(ckpt.app_state));
+  }
+  guard_.checkpoint_sink->Save(ckpt);
+}
+
+util::StatusOr<RunStats> Engine::Resume(const Checkpoint& checkpoint,
+                                        uint32_t max_iterations) {
+  if (program_ == nullptr) {
+    return util::Status::FailedPrecondition("no program bound");
+  }
+  if (!checkpoint.Valid()) {
+    std::ostringstream os;
+    os << "checkpoint digest mismatch (program '" << checkpoint.program_name
+       << "', iteration " << checkpoint.iteration << ")";
+    return util::Status::Corruption(os.str());
+  }
+  if (checkpoint.program_name != program_->name()) {
+    std::ostringstream os;
+    os << "checkpoint was taken by program '" << checkpoint.program_name
+       << "' but '" << program_->name() << "' is bound";
+    return util::Status::FailedPrecondition(os.str());
+  }
+  if (checkpoint.reorder_rounds != reorder_rounds()) {
+    std::ostringstream os;
+    os << "checkpoint internal-id epoch " << checkpoint.reorder_rounds
+       << " != engine epoch " << reorder_rounds()
+       << ": node relabeling invalidated it";
+    return util::Status::FailedPrecondition(os.str());
+  }
+  if (checkpoint.iteration > max_iterations) {
+    return util::Status::InvalidArgument(
+        "checkpoint is beyond max_iterations");
+  }
+  if (!program_->RestoreState(
+          std::span<const uint8_t>(checkpoint.app_state))) {
+    std::ostringstream os;
+    os << "program '" << program_->name()
+       << "' failed to restore checkpointed state";
+    return util::Status::FailedPrecondition(os.str());
+  }
+  std::vector<NodeId> frontier;
+  if (checkpoint.global) {
+    frontier.resize(csr_.num_nodes());
+    std::iota(frontier.begin(), frontier.end(), NodeId{0});
+  } else {
+    frontier = checkpoint.frontier;
+  }
+  return RunLoop(std::move(frontier), checkpoint.iteration, max_iterations,
+                 checkpoint.global);
 }
 
 util::StatusOr<RunStats> Engine::RunOneIteration(

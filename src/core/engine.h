@@ -10,6 +10,7 @@
 
 #include "core/expand.h"
 #include "core/filter.h"
+#include "core/guard.h"
 #include "core/resident.h"
 #include "core/sampling_reorder.h"
 #include "core/udt.h"
@@ -144,6 +145,23 @@ class Engine {
   /// frontier each time (PageRank's pattern; Section 7.2).
   util::StatusOr<RunStats> RunGlobal(uint32_t iterations);
 
+  /// Resumes an interrupted run from a checkpoint (SageGuard). The same
+  /// program (by name) must be bound to an engine on the same graph in the
+  /// same internal-id epoch (reorder_rounds). Restores the program's state
+  /// and continues the loop from the checkpointed iteration with the
+  /// checkpointed frontier; `max_iterations` is the run's overall cap (the
+  /// same value the interrupted Run/RunGlobal was called with). Returns
+  /// kCorruption when the checkpoint's digest no longer matches — callers
+  /// fall back to a from-scratch rerun.
+  util::StatusOr<RunStats> Resume(const Checkpoint& checkpoint,
+                                  uint32_t max_iterations);
+
+  /// Installs the guard applied to subsequent Run/RunGlobal/Resume calls
+  /// (cancellation, deadlines, checkpointing — see core/guard.h). Borrowed
+  /// pointers inside must outlive the runs. Default RunGuard{} = unguarded.
+  void set_run_guard(const RunGuard& guard) { guard_ = guard; }
+  const RunGuard& run_guard() const { return guard_; }
+
   /// Runs exactly one iteration over an explicit internal-id frontier
   /// (used by level-driven algorithms like BC's backward phase). The next
   /// frontier produced by the filter is returned through next (optional).
@@ -209,6 +227,22 @@ class Engine {
   using StageBody =
       std::function<uint64_t(ExpandContext&, size_t, std::vector<graph::NodeId>*)>;
 
+  /// Shared Run/RunGlobal/Resume loop body. `global` loops all-nodes
+  /// iterations (frontier is the full node list and is not swapped);
+  /// otherwise frontier-driven until empty. Guard checks, fault surfacing,
+  /// and checkpointing all happen here, at iteration boundaries on the main
+  /// thread — identical in serial and parallel execution modes.
+  util::StatusOr<RunStats> RunLoop(std::vector<graph::NodeId> frontier,
+                                   uint32_t start_iteration,
+                                   uint32_t max_iterations, bool global);
+  /// Cancellation/deadline check at an iteration boundary.
+  util::Status CheckGuard(const RunStats& total, uint32_t iteration,
+                          double wall_start_seconds) const;
+  /// Saves a checkpoint if the guard asks for one at this boundary.
+  void MaybeCheckpoint(uint32_t iterations_completed,
+                       const std::vector<graph::NodeId>& frontier,
+                       bool global);
+
   RunStats ExpandIteration(const std::vector<graph::NodeId>& frontier,
                            std::vector<graph::NodeId>* next);
   uint64_t ExpandResident(const std::vector<graph::NodeId>& frontier,
@@ -268,6 +302,7 @@ class Engine {
   FilterProgram* program_ = nullptr;
 
   std::vector<RunStats>* trace_ = nullptr;
+  RunGuard guard_;
   std::vector<graph::NodeId> orig_to_int_;
   std::vector<graph::NodeId> int_to_orig_;
   double reorder_seconds_total_ = 0.0;

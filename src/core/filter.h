@@ -74,6 +74,25 @@ class FilterProgram {
     (void)new_of_old;
   }
 
+  /// Serializes the program's complete per-run state (attribute arrays,
+  /// counters) into *out for checkpointing (SageGuard; DESIGN.md §7).
+  /// Returns false when the program does not support checkpoint/resume —
+  /// the engine then simply skips checkpointing it. Implementations append
+  /// nothing on failure.
+  virtual bool SaveState(std::vector<uint8_t>* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Restores state previously produced by SaveState on a program bound to
+  /// the same graph. Returns false on malformed input (wrong size/shape);
+  /// state is unspecified after a failed restore, so callers must rerun
+  /// from scratch.
+  virtual bool RestoreState(std::span<const uint8_t> bytes) {
+    (void)bytes;
+    return false;
+  }
+
   /// Memory behaviour per edge; must remain stable while running.
   virtual const Footprint& footprint() const = 0;
 

@@ -1,0 +1,37 @@
+#include "core/guard.h"
+
+namespace sage::core {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvU64(uint64_t h, uint64_t v) { return FnvBytes(h, &v, sizeof(v)); }
+
+}  // namespace
+
+uint64_t Checkpoint::ComputeDigest() const {
+  uint64_t h = kFnvOffset;
+  h = FnvBytes(h, program_name.data(), program_name.size());
+  h = FnvU64(h, iteration);
+  h = FnvU64(h, reorder_rounds);
+  h = FnvU64(h, global ? 1 : 0);
+  h = FnvU64(h, frontier.size());
+  h = FnvBytes(h, frontier.data(),
+               frontier.size() * sizeof(graph::NodeId));
+  h = FnvU64(h, app_state.size());
+  h = FnvBytes(h, app_state.data(), app_state.size());
+  return h;
+}
+
+}  // namespace sage::core

@@ -1,0 +1,108 @@
+#ifndef SAGE_CORE_GUARD_H_
+#define SAGE_CORE_GUARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace sage::core {
+
+/// Cooperative cancellation: the owner calls Cancel(), the engine checks
+/// cancelled() at iteration boundaries and returns kAborted. Relaxed
+/// atomics suffice — cancellation is a latency hint, not a synchronization
+/// edge (the engine publishes nothing the canceller reads).
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A resumable snapshot of an iterative run, taken at an iteration
+/// boundary: the next iteration's input frontier plus the bound program's
+/// serialized state. `digest` seals the whole record — Engine::Resume
+/// refuses a checkpoint whose digest no longer matches (storage
+/// corruption), returning kCorruption so callers fall back to a full rerun.
+struct Checkpoint {
+  std::string program_name;   ///< FilterProgram::name() that produced it
+  uint32_t iteration = 0;     ///< iterations completed when taken
+  uint32_t reorder_rounds = 0;///< internal-id epoch (relabelings applied)
+  bool global = false;        ///< RunGlobal-style (frontier is implicit)
+  std::vector<graph::NodeId> frontier;  ///< internal ids; empty when global
+  std::vector<uint8_t> app_state;       ///< FilterProgram::SaveState bytes
+  uint64_t digest = 0;
+
+  /// FNV-1a over every field above (except digest itself).
+  uint64_t ComputeDigest() const;
+  void Seal() { digest = ComputeDigest(); }
+  bool Valid() const { return digest == ComputeDigest(); }
+};
+
+/// Where per-iteration checkpoints go. Implementations must copy what they
+/// need — the engine reuses its buffers after Save returns.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  virtual void Save(const Checkpoint& checkpoint) = 0;
+};
+
+/// Keeps only the most recent checkpoint, in memory — what the serving
+/// layer uses for retry-with-resume.
+class MemoryCheckpointSink : public CheckpointSink {
+ public:
+  void Save(const Checkpoint& checkpoint) override {
+    latest_ = checkpoint;
+    has_ = true;
+    ++saves_;
+  }
+
+  bool has() const { return has_; }
+  const Checkpoint& latest() const { return latest_; }
+  uint64_t saves() const { return saves_; }
+  void Clear() {
+    has_ = false;
+    latest_ = Checkpoint();
+  }
+
+ private:
+  Checkpoint latest_;
+  bool has_ = false;
+  uint64_t saves_ = 0;
+};
+
+/// Per-run guard configuration (SageGuard; DESIGN.md §7). All pointers are
+/// borrowed and must outlive the run. Default-constructed = unguarded: the
+/// engine behaves exactly as before.
+struct RunGuard {
+  /// Checked at every iteration boundary; cancelled → kAborted.
+  const CancellationToken* cancel = nullptr;
+  /// Budget in *modeled* GPU seconds (RunStats::seconds); exceeding it at
+  /// an iteration boundary → kDeadlineExceeded. 0 = no budget. Modeled
+  /// budgets are deterministic — the same run always trips at the same
+  /// iteration — which is what fault-replay tests need.
+  double deadline_modeled_seconds = 0.0;
+  /// Budget in host wall seconds from Run entry; 0 = none. Wall deadlines
+  /// are what serving actually enforces per request.
+  double deadline_wall_seconds = 0.0;
+  /// Save a checkpoint every `checkpoint_interval` completed iterations
+  /// (0 = never). Programs that do not implement SaveState are skipped.
+  CheckpointSink* checkpoint_sink = nullptr;
+  uint32_t checkpoint_interval = 0;
+
+  bool engaged() const {
+    return cancel != nullptr || deadline_modeled_seconds > 0.0 ||
+           deadline_wall_seconds > 0.0 ||
+           (checkpoint_sink != nullptr && checkpoint_interval > 0);
+  }
+};
+
+}  // namespace sage::core
+
+#endif  // SAGE_CORE_GUARD_H_

@@ -1,0 +1,121 @@
+#ifndef SAGE_SERVE_CIRCUIT_BREAKER_H_
+#define SAGE_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace sage::serve {
+
+/// Circuit-breaker knobs (one breaker per registered graph's engine pool).
+struct BreakerOptions {
+  /// false disables the breaker entirely (every dispatch is allowed).
+  bool enabled = true;
+  /// Consecutive infrastructure failures that trip the breaker open.
+  uint32_t failure_threshold = 4;
+  /// How long an open breaker cools before probing, measured in *service
+  /// dispatches* rather than wall time: the dispatch counter is the
+  /// service's deterministic clock, so breaker traces replay identically
+  /// in tests (wall-time cooldowns would not).
+  uint64_t cooldown_dispatches = 8;
+};
+
+/// A per-graph circuit breaker (SageGuard; DESIGN.md §7). Classic three
+/// states:
+///
+///   closed    — requests flow; consecutive failures are counted.
+///   open      — after `failure_threshold` consecutive failures every
+///               dispatch is rejected up front (fail fast: no engine is
+///               acquired, no retries burn), until `cooldown_dispatches`
+///               service dispatches have passed.
+///   half-open — exactly one probe dispatch is let through. Success closes
+///               the breaker; failure re-opens it for another cooldown.
+///
+/// What counts as a failure is the caller's policy: QueryService feeds it
+/// only infrastructure faults (kUnavailable after retries exhausted) —
+/// per-request outcomes (kInternal poisoned inputs, kDeadlineExceeded,
+/// kAborted) never open the breaker.
+///
+/// Internally synchronized — dispatchers on different worker threads share
+/// one breaker per graph.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerOptions options) : options_(options) {}
+
+  /// Gate check, called with the service's monotonic dispatch counter.
+  /// false = reject the dispatch up front. May transition open → half-open
+  /// (claiming the probe slot for this caller).
+  bool Allow(uint64_t dispatch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!options_.enabled) return true;
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen:
+        if (dispatch >= opened_at_ + options_.cooldown_dispatches) {
+          state_ = State::kHalfOpen;
+          probe_in_flight_ = true;
+          return true;
+        }
+        return false;
+      case State::kHalfOpen:
+        // One probe at a time; everyone else keeps failing fast.
+        if (probe_in_flight_) return false;
+        probe_in_flight_ = true;
+        return true;
+    }
+    return true;
+  }
+
+  void RecordSuccess() {
+    std::lock_guard<std::mutex> lock(mu_);
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+    state_ = State::kClosed;
+  }
+
+  void RecordFailure(uint64_t dispatch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!options_.enabled) return;
+    if (state_ == State::kHalfOpen) {
+      // The probe failed: back to cooling for another full window.
+      probe_in_flight_ = false;
+      state_ = State::kOpen;
+      opened_at_ = dispatch;
+      ++opens_;
+      return;
+    }
+    if (state_ == State::kClosed &&
+        ++consecutive_failures_ >= options_.failure_threshold) {
+      state_ = State::kOpen;
+      opened_at_ = dispatch;
+      ++opens_;
+    }
+  }
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  /// How many times the breaker has tripped open (including re-opens after
+  /// failed probes).
+  uint64_t opens() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return opens_;
+  }
+
+ private:
+  const BreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  uint64_t opened_at_ = 0;
+  uint64_t opens_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace sage::serve
+
+#endif  // SAGE_SERVE_CIRCUIT_BREAKER_H_

@@ -1,11 +1,29 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace sage::serve {
+
+namespace {
+
+/// Prefixes a failure with the request's identity so a client holding many
+/// futures can tell which query died — and, since engine/injector messages
+/// carry the fault site (kernel=..., iteration=...), where.
+util::Status TagStatus(const util::Status& status, const Request& request) {
+  if (status.ok()) return status;
+  return util::Status(status.code(),
+                      "request " + std::to_string(request.id) + " (" +
+                          request.app + "@" + request.graph + "): " +
+                          status.message());
+}
+
+}  // namespace
 
 QueryService::QueryService(const GraphRegistry* registry,
                            ServeOptions options)
@@ -16,7 +34,18 @@ QueryService::QueryService(const GraphRegistry* registry,
   options_.engines_per_graph = std::max<uint32_t>(
       options_.engines_per_graph, 1);
   options_.max_batch = std::max<uint32_t>(options_.max_batch, 1);
+  options_.retry.max_attempts = std::max<uint32_t>(
+      options_.retry.max_attempts, 1);
+  effective_max_batch_ = options_.max_batch;
   init_error_ = options_.engine_options.Validate();
+  if (init_error_.ok() && !options_.fault_spec.empty()) {
+    auto spec = sim::ParseFaultSpec(options_.fault_spec);
+    if (spec.ok()) {
+      fault_spec_ = std::move(*spec);
+    } else {
+      init_error_ = spec.status();
+    }
+  }
   // Dispatch workers occupy the PR-2 pool's threads for the service's
   // lifetime; each loop exits when stopping_ is set and the queue drains.
   for (uint32_t i = 0; i < options_.worker_threads; ++i) {
@@ -52,6 +81,10 @@ util::Status QueryService::ValidateRequest(const Request& request) const {
        request.params.sources.size() >
            apps::MultiSourceBfsProgram::kMaxSources)) {
     return util::Status::InvalidArgument("msbfs takes 1..64 sources");
+  }
+  if (request.deadline_modeled_seconds < 0.0 ||
+      request.deadline_wall_seconds < 0.0) {
+    return util::Status::InvalidArgument("deadlines must be >= 0");
   }
   return util::Status::OK();
 }
@@ -93,7 +126,9 @@ std::vector<QueryService::Pending> QueryService::TakeBatchLocked() {
   const bool dedupe = lead.app == "pagerank" || lead.app == "kcore";
   if (!bfs_coalesce && !dedupe) return batch;  // sssp / msbfs run alone
 
-  size_t limit = options_.max_batch;
+  // The adaptive cap: deadline misses shrink it, clean dispatches grow it
+  // back toward options_.max_batch (see ExecuteBatch).
+  size_t limit = effective_max_batch_;
   if (bfs_coalesce) {
     limit = std::min<size_t>(limit, apps::MultiSourceBfsProgram::kMaxSources);
   }
@@ -155,6 +190,13 @@ QueryService::WarmEngine* QueryService::AcquireEngine(
                                          options_.engine_options);
       SAGE_CHECK(engine.ok()) << engine.status().ToString();  // pre-validated
       raw->engine = std::move(*engine);
+      if (!fault_spec_.empty()) {
+        // Installed after Create so construction-time buffer grows are not
+        // fault targets; each warm engine draws its own deterministic
+        // schedule from the shared spec.
+        raw->injector = std::make_unique<sim::FaultInjector>(fault_spec_);
+        raw->device.set_fault_injector(raw->injector.get());
+      }
       return raw;
     }
     // Pool at capacity and everything busy: wait for a release.
@@ -172,67 +214,273 @@ void QueryService::ReleaseEngine(WarmEngine* engine) {
   engine_cv_.notify_all();
 }
 
-void QueryService::ExecuteBatch(std::vector<Pending> batch) {
-  const Request& lead = batch.front().request;
-  WarmEngine* warm = AcquireEngine(lead.graph);
-  core::Engine& engine = *warm->engine;
-
-  std::vector<Response> responses(batch.size());
-  for (Response& r : responses) {
-    r.batch_size = static_cast<uint32_t>(batch.size());
+CircuitBreaker* QueryService::BreakerFor(const std::string& graph) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GraphPool& pool = pools_[graph];
+  if (pool.breaker == nullptr) {
+    pool.breaker = std::make_unique<CircuitBreaker>(options_.breaker);
   }
+  return pool.breaker.get();
+}
 
-  if (lead.app == "bfs" && batch.size() > 1) {
+void QueryService::RetryBackoff(uint64_t request_id, uint32_t attempt) {
+  const RetryOptions& retry = options_.retry;
+  double base = retry.backoff_base_ms *
+                static_cast<double>(uint64_t{1} << std::min(attempt, 30u));
+  base = std::min(base, retry.backoff_max_ms);
+  // Deterministic jitter in [0.5, 1.0) of the exponential step: replayable
+  // given (seed, request id, attempt), decorrelated across requests.
+  uint64_t h = util::SplitMix64(retry.jitter_seed ^ request_id ^
+                                (attempt * 0x9e3779b97f4a7c15ull));
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  double delay_ms = base * (0.5 + 0.5 * u);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.backoff_ms += delay_ms;
+  }
+  // Only worker mode actually sleeps; synchronous (ProcessAllPending)
+  // dispatch stays instant so tests are fast and deterministic.
+  if (options_.worker_threads > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+}
+
+QueryService::DispatchOutcome QueryService::RunOnEngine(
+    WarmEngine* warm, const Request& lead,
+    const std::vector<Pending>& batch) {
+  core::Engine& engine = *warm->engine;
+  DispatchOutcome out;
+
+  const bool bfs_batch = lead.app == "bfs" && batch.size() > 1;
+  apps::AppParams params = lead.params;
+  core::FilterProgram* program = nullptr;
+  apps::MultiSourceBfsProgram* msbfs = nullptr;
+  if (bfs_batch) {
     // Coalesce N single-source BFS queries into one MS-BFS traversal.
     // Distance recording makes every instance's answer bit-identical to a
     // solo BfsProgram run (same sentinel, same level values). The recorder
     // gets its own program slot: recording switches MS-BFS into its strict
     // level-synchronous mode, which must not bleed into explicit msbfs
     // requests sharing the engine.
-    auto* msbfs = static_cast<apps::MultiSourceBfsProgram*>(
+    msbfs = static_cast<apps::MultiSourceBfsProgram*>(
         Program(warm, "bfs.batch", "msbfs"));
     msbfs->EnableDistanceRecording();
-    apps::AppParams params;
+    params = apps::AppParams();
     params.sources.reserve(batch.size());
     for (const Pending& p : batch) {
       params.sources.push_back(p.request.params.sources[0]);
     }
-    auto stats = apps::RunApp(engine, *msbfs, params);
-    for (size_t i = 0; i < batch.size(); ++i) {
-      if (!stats.ok()) {
-        responses[i].status = stats.status();
+    program = msbfs;
+  } else {
+    program = Program(warm, lead.app, lead.app);
+  }
+
+  // Per-dispatch guard: the tightest member deadlines; mid-run cancellation
+  // only for solo dispatches (the engine takes one token, and coalesced
+  // members are swept at dispatch boundaries instead).
+  core::MemoryCheckpointSink sink;
+  core::RunGuard guard;
+  if (batch.size() == 1) guard.cancel = lead.cancel.get();
+  for (const Pending& p : batch) {
+    double m = p.request.deadline_modeled_seconds;
+    double w = p.request.deadline_wall_seconds;
+    if (m > 0.0 && (guard.deadline_modeled_seconds == 0.0 ||
+                    m < guard.deadline_modeled_seconds)) {
+      guard.deadline_modeled_seconds = m;
+    }
+    if (w > 0.0 && (guard.deadline_wall_seconds == 0.0 ||
+                    w < guard.deadline_wall_seconds)) {
+      guard.deadline_wall_seconds = w;
+    }
+  }
+  if (options_.checkpoint_interval > 0) {
+    guard.checkpoint_sink = &sink;
+    guard.checkpoint_interval = options_.checkpoint_interval;
+  }
+  engine.set_run_guard(guard);
+
+  uint32_t attempt = 0;
+  util::StatusOr<core::RunStats> stats = apps::RunApp(engine, *program, params);
+  while (!stats.ok() &&
+         stats.status().code() == util::StatusCode::kUnavailable &&
+         attempt + 1 < options_.retry.max_attempts) {
+    ++attempt;
+    ++out.retries;
+    RetryBackoff(lead.id, attempt);
+    if (sink.has()) {
+      // Resume from the last good iteration instead of redoing the work.
+      auto resumed = apps::ResumeApp(engine, *program, sink.latest(), params);
+      if (!resumed.ok() &&
+          resumed.status().code() == util::StatusCode::kCorruption) {
+        // The checkpoint itself is damaged (injected or real): discard it
+        // and rerun from scratch — RunApp fully resets per-run state.
+        sink.Clear();
+        ++out.checkpoint_fallbacks;
+        stats = apps::RunApp(engine, *program, params);
       } else {
-        responses[i].stats = *stats;
-        responses[i].output_digest = apps::MsBfsInstanceDigest(
+        ++out.resumes;
+        stats = std::move(resumed);
+      }
+    } else {
+      stats = apps::RunApp(engine, *program, params);
+    }
+  }
+  out.attempts = attempt + 1;
+  // Clear the guard before the engine goes back to the pool: the sink is a
+  // stack local, and the next dispatch installs its own.
+  engine.set_run_guard(core::RunGuard());
+
+  out.status = stats.status();
+  if (stats.ok()) {
+    out.stats = *stats;
+    out.digests.resize(batch.size());
+    if (bfs_batch) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        out.digests[i] = apps::MsBfsInstanceDigest(
             engine, *msbfs, static_cast<uint32_t>(i));
       }
+    } else {
+      // Duplicates (pagerank / kcore dedupe groups) share one result.
+      uint64_t digest = apps::OutputDigest(engine, *program);
+      for (uint64_t& d : out.digests) d = digest;
     }
-  } else {
-    // Run once with the leader's params; duplicates (pagerank / kcore
-    // dedupe groups) share the result.
-    core::FilterProgram* program = Program(warm, lead.app, lead.app);
-    auto stats = apps::RunApp(engine, *program, lead.params);
-    uint64_t digest =
-        stats.ok() ? apps::OutputDigest(engine, *program) : 0;
-    for (Response& r : responses) {
-      if (!stats.ok()) {
-        r.status = stats.status();
-      } else {
-        r.stats = *stats;
-        r.output_digest = digest;
-      }
+  }
+  return out;
+}
+
+void QueryService::ExecuteBatch(std::vector<Pending> batch) {
+  const uint64_t dispatch =
+      dispatch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Requests cancelled while queued drop out before any engine work.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  size_t swept = 0;
+  for (Pending& p : batch) {
+    if (p.request.cancel != nullptr && p.request.cancel->cancelled()) {
+      Response r;
+      r.status = TagStatus(
+          util::Status::Aborted("cancelled before dispatch"), p.request);
+      p.promise.set_value(std::move(r));
+      ++swept;
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (swept > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.cancelled += swept;
+    stats_.completed += swept;
+  }
+  if (live.empty()) return;
+  batch = std::move(live);
+
+  // Copy, not reference: the batch vector is moved around below.
+  const Request lead = batch.front().request;
+
+  // Fail fast while the graph's breaker is open — no engine is acquired,
+  // no retries burn, and the pool stays free for healthy graphs.
+  CircuitBreaker* breaker = BreakerFor(lead.graph);
+  if (!breaker->Allow(dispatch)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.breaker_rejects += batch.size();
+      stats_.completed += batch.size();
+    }
+    for (Pending& p : batch) {
+      Response r;
+      r.status = TagStatus(
+          util::Status::Unavailable("circuit breaker open for graph '" +
+                                    lead.graph + "'; retry after cooldown"),
+          p.request);
+      p.promise.set_value(std::move(r));
+    }
+    return;
+  }
+
+  WarmEngine* warm = AcquireEngine(lead.graph);
+  DispatchOutcome out = RunOnEngine(warm, lead, batch);
+  ReleaseEngine(warm);
+
+  // The breaker watches infrastructure health: only retryable faults that
+  // survived every retry (kUnavailable) count. Per-request outcomes —
+  // poisoned inputs (kInternal), deadline misses, cancellations — say
+  // nothing about the graph's engines and must not open the breaker: a
+  // bisection chasing one poisoned source produces a run of kInternal
+  // failures, and counting those would fail the healthy members the
+  // split exists to save.
+  if (out.status.ok()) {
+    breaker->RecordSuccess();
+  } else if (out.status.code() == util::StatusCode::kUnavailable) {
+    uint64_t opens_before = breaker->opens();
+    breaker->RecordFailure(dispatch);
+    if (breaker->opens() > opens_before) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.breaker_opens;
     }
   }
 
-  ReleaseEngine(warm);
+  // A permanent failure of a coalesced batch is bisected: one poisoned
+  // BFS source must not fail the other members. Each half re-dispatches
+  // through the full guard path until the bad member runs (and fails)
+  // alone. log2(64) = 6 levels deep at worst.
+  if (!out.status.ok() &&
+      out.status.code() == util::StatusCode::kInternal && batch.size() > 1) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batch_splits;
+      ++stats_.batches;
+    }
+    size_t mid = batch.size() / 2;
+    std::vector<Pending> right;
+    right.reserve(batch.size() - mid);
+    for (size_t i = mid; i < batch.size(); ++i) {
+      right.push_back(std::move(batch[i]));
+    }
+    batch.resize(mid);
+    ExecuteBatch(std::move(batch));
+    ExecuteBatch(std::move(right));
+    return;
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.batches;
     stats_.completed += batch.size();
     if (batch.size() > 1) stats_.coalesced += batch.size();
+    stats_.retries += out.retries;
+    stats_.resumes += out.resumes;
+    stats_.checkpoint_fallbacks += out.checkpoint_fallbacks;
+    if (!out.status.ok() &&
+        out.status.code() == util::StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_misses;
+      if (options_.adaptive_batch) {
+        // Multiplicative decrease: the next batches are half the size, so
+        // they fit tighter deadlines.
+        effective_max_batch_ = std::max<uint32_t>(effective_max_batch_ / 2, 1);
+      }
+    } else if (out.status.ok() && options_.adaptive_batch &&
+               effective_max_batch_ < options_.max_batch) {
+      ++effective_max_batch_;  // additive recovery
+    }
+    if (!out.status.ok() &&
+        out.status.code() == util::StatusCode::kAborted) {
+      stats_.cancelled += batch.size();  // mid-run cooperative cancel
+    }
   }
+
   for (size_t i = 0; i < batch.size(); ++i) {
-    batch[i].promise.set_value(std::move(responses[i]));
+    Response r;
+    r.batch_size = static_cast<uint32_t>(batch.size());
+    r.attempts = out.attempts;
+    if (out.status.ok()) {
+      r.stats = out.stats;
+      r.output_digest = out.digests[i];
+    } else {
+      r.status = TagStatus(out.status, batch[i].request);
+    }
+    batch[i].promise.set_value(std::move(r));
   }
 }
 
@@ -286,7 +534,9 @@ void QueryService::Shutdown() {
 
 ServiceStats QueryService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServiceStats snapshot = stats_;
+  snapshot.current_max_batch = effective_max_batch_;
+  return snapshot;
 }
 
 }  // namespace sage::serve

@@ -1,6 +1,7 @@
 #ifndef SAGE_SERVE_SERVICE_H_
 #define SAGE_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -10,8 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "serve/circuit_breaker.h"
 #include "serve/graph_registry.h"
 #include "serve/types.h"
+#include "sim/fault_injector.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -38,6 +41,16 @@ namespace sage::serve {
 ///  - "sssp" and explicit "msbfs" requests never coalesce.
 /// Responses carry the dispatch's RunStats, the request's own output
 /// digest, and the batch size.
+///
+/// SageGuard (DESIGN.md §7): every dispatch runs under the tightest
+/// deadline and the cancellation tokens of its members; retryable faults
+/// (kUnavailable — transient kernels, device OOM, detected ECC) are
+/// retried with exponential backoff and deterministic jitter, resuming
+/// from an in-memory checkpoint when checkpoint_interval is set; permanent
+/// failures of a coalesced batch are bisected until the poisoned member is
+/// isolated; each graph pool has a circuit breaker that fails requests
+/// fast after repeated infrastructure failures and recovers via half-open
+/// probes; and the effective batch cap shrinks when deadlines are missed.
 ///
 /// Engine-reuse invariants (DESIGN.md §6): programs fully reset their
 /// per-run state from AppParams, each warm engine keeps one program per
@@ -87,18 +100,49 @@ class QueryService {
     sim::GpuDevice device;
     std::unique_ptr<core::Engine> engine;
     std::map<std::string, std::unique_ptr<core::FilterProgram>> programs;
+    /// This engine's deterministic fault schedule (ServeOptions::fault_spec;
+    /// null when injection is off). Owned here because its counters are
+    /// device-lifetime state.
+    std::unique_ptr<sim::FaultInjector> injector;
     bool busy = false;
   };
   struct GraphPool {
     std::vector<std::unique_ptr<WarmEngine>> engines;
+    /// Per-graph breaker (created on first dispatch for the graph).
+    std::unique_ptr<CircuitBreaker> breaker;
+  };
+
+  /// What one guarded engine run of a batch produced (see RunOnEngine).
+  struct DispatchOutcome {
+    util::Status status;            ///< final status after retries
+    core::RunStats stats;           ///< stats of the last attempt
+    std::vector<uint64_t> digests;  ///< per-member digests when ok
+    uint32_t attempts = 1;
+    uint32_t retries = 0;
+    uint32_t resumes = 0;
+    uint32_t checkpoint_fallbacks = 0;
   };
 
   util::Status ValidateRequest(const Request& request) const;
   /// Pops the front request plus every compatible pending one (mu_ held,
   /// queue non-empty).
   std::vector<Pending> TakeBatchLocked();
-  /// Runs one batch on a pooled engine and fulfills its promises.
+  /// Runs one batch on a pooled engine and fulfills its promises. The
+  /// SageGuard dispatch path: sweeps pre-cancelled members, consults the
+  /// graph's circuit breaker, runs with retries via RunOnEngine, bisects
+  /// coalesced batches on permanent (kInternal) failures so one poisoned
+  /// member cannot fail the rest, and adapts the batch cap on deadline
+  /// misses.
   void ExecuteBatch(std::vector<Pending> batch);
+  /// One guarded engine run of `batch` (leader `lead`), including the
+  /// retry / checkpoint-resume loop. Does not touch promises or stats.
+  DispatchOutcome RunOnEngine(WarmEngine* warm, const Request& lead,
+                              const std::vector<Pending>& batch);
+  /// The graph's circuit breaker, created on first use.
+  CircuitBreaker* BreakerFor(const std::string& graph);
+  /// Computes (and in worker mode sleeps) the deterministic-jitter backoff
+  /// before retry `attempt` of `request_id`'s dispatch.
+  void RetryBackoff(uint64_t request_id, uint32_t attempt);
   /// Blocks until a warm engine for `graph` is free (creating one if the
   /// pool is below engines_per_graph).
   WarmEngine* AcquireEngine(const std::string& graph);
@@ -114,7 +158,13 @@ class QueryService {
   const GraphRegistry* registry_;
   ServeOptions options_;
   util::Status init_error_;
+  /// Parsed ServeOptions::fault_spec (empty = no injection).
+  sim::FaultSpec fault_spec_;
   util::ThreadPool pool_;
+
+  /// Monotonic dispatch counter — the deterministic "clock" circuit
+  /// breakers cool down against.
+  std::atomic<uint64_t> dispatch_seq_{0};
 
   mutable std::mutex mu_;  // guards queue_, pools_, stats_, stopping_
   std::condition_variable queue_cv_;
@@ -122,6 +172,8 @@ class QueryService {
   std::deque<Pending> queue_;
   std::map<std::string, GraphPool> pools_;
   ServiceStats stats_;
+  /// Adaptive batch cap (<= options_.max_batch); guarded by mu_.
+  uint32_t effective_max_batch_ = 1;
   bool stopping_ = false;
 };
 

@@ -2,15 +2,34 @@
 #define SAGE_SERVE_TYPES_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "apps/msbfs.h"
 #include "apps/registry.h"
 #include "core/engine.h"
 #include "core/filter.h"
+#include "core/guard.h"
+#include "serve/circuit_breaker.h"
 #include "sim/device_spec.h"
 
 namespace sage::serve {
+
+/// Retry policy for retryable (kUnavailable) dispatch failures: transient
+/// kernel faults, injected device OOM, detected ECC errors.
+struct RetryOptions {
+  /// Total attempts per dispatch (1 = no retries).
+  uint32_t max_attempts = 3;
+  /// Exponential backoff: attempt k waits ~base * 2^(k-1) ms, capped.
+  double backoff_base_ms = 1.0;
+  double backoff_max_ms = 64.0;
+  /// Jitter is drawn deterministically from this seed, the request id, and
+  /// the attempt number (SplitMix64) — replayable, yet decorrelated across
+  /// requests. The computed delay is always recorded in ServiceStats; the
+  /// thread actually sleeps only in worker mode (worker_threads > 0), so
+  /// synchronous tests stay instant and deterministic.
+  uint64_t jitter_seed = 0x53414745u;  // "SAGE"
+};
 
 /// Configuration of a QueryService.
 struct ServeOptions {
@@ -39,6 +58,28 @@ struct ServeOptions {
   /// per-engine pool under each would oversubscribe the host.
   core::EngineOptions engine_options;
 
+  // --- SageGuard (DESIGN.md §7) ---
+
+  /// Retry policy for kUnavailable dispatch failures.
+  RetryOptions retry;
+  /// Per-graph circuit breaker fed by infrastructure failures.
+  BreakerOptions breaker;
+  /// Fault scenario in the sim::ParseFaultSpec format ("" = no injection).
+  /// Each warm engine gets its own deterministic FaultInjector built from
+  /// this spec, installed after engine construction so only run-time
+  /// activity is a fault target. A parse error surfaces as the error every
+  /// Submit returns.
+  std::string fault_spec;
+  /// Save an in-memory checkpoint every N completed engine iterations
+  /// during a dispatch (0 = never). With checkpoints, a retry resumes from
+  /// the last good iteration instead of rerunning from scratch; a corrupted
+  /// checkpoint (kCorruption on resume) falls back to a full rerun
+  /// automatically.
+  uint32_t checkpoint_interval = 0;
+  /// Adapt the effective batch cap (AIMD): halve it when a dispatch misses
+  /// its deadline, recover by +1 per clean dispatch up to max_batch.
+  bool adaptive_batch = true;
+
   ServeOptions() { engine_options.host_threads = 1; }
 };
 
@@ -48,16 +89,34 @@ struct Request {
   std::string graph;
   std::string app;
   apps::AppParams params;
+  /// Client-chosen identifier, echoed in every failure message ("request
+  /// 42 (bfs@web): ...") and folded into the retry-jitter draw.
+  uint64_t id = 0;
+  /// Per-request deadlines, 0 = none. A coalesced dispatch runs under the
+  /// tightest deadline of its members. Modeled-seconds deadlines
+  /// (RunStats::seconds) are deterministic — the same run always trips at
+  /// the same iteration; wall deadlines are what production serving
+  /// enforces. Exceeding either fails the dispatch with kDeadlineExceeded.
+  double deadline_modeled_seconds = 0.0;
+  double deadline_wall_seconds = 0.0;
+  /// Optional cooperative cancellation. A request cancelled before
+  /// dispatch is answered kAborted without running; a solo dispatch also
+  /// honors cancellation at engine iteration boundaries (coalesced members
+  /// share one engine run and are only swept at dispatch boundaries).
+  std::shared_ptr<core::CancellationToken> cancel;
 };
 
 /// The answer to one Request, delivered through its future.
 struct Response {
   /// OK if the run completed; the error otherwise (fields below are then
-  /// meaningless).
+  /// meaningless). Failures carry the request id and the fault site, e.g.
+  /// "request 7 (bfs@web): transient kernel fault (kernel=12); run failed
+  /// at iteration 3".
   util::Status status;
   /// Stats of the dispatch that served this request. A coalesced dispatch
   /// reports the same (shared) stats to every member — divide by
-  /// batch_size for a per-request amortized cost.
+  /// batch_size for a per-request amortized cost. After a
+  /// checkpoint-resumed retry, covers the resumed portion of the run.
   core::RunStats stats;
   /// apps::OutputDigest of this request's own result (for a BFS request
   /// served by a coalesced MS-BFS run: the digest of *its* instance's
@@ -65,6 +124,8 @@ struct Response {
   uint64_t output_digest = 0;
   /// How many requests shared the dispatch (1 = ran alone).
   uint32_t batch_size = 1;
+  /// Engine runs this dispatch took (1 = no retries).
+  uint32_t attempts = 1;
 };
 
 /// Monotonic service counters (see QueryService::stats).
@@ -75,6 +136,17 @@ struct ServiceStats {
   uint64_t batches = 0;          ///< dispatches executed
   uint64_t coalesced = 0;        ///< requests served by a >1 dispatch
   uint64_t engines_created = 0;  ///< warm engines built across all graphs
+  // --- SageGuard ---
+  uint64_t retries = 0;            ///< re-attempts after retryable faults
+  uint64_t resumes = 0;            ///< retries resumed from a checkpoint
+  uint64_t checkpoint_fallbacks = 0;  ///< corrupt checkpoint → full rerun
+  uint64_t batch_splits = 0;       ///< bisections isolating a poisoned member
+  uint64_t breaker_opens = 0;      ///< breaker trips (incl. failed probes)
+  uint64_t breaker_rejects = 0;    ///< requests failed fast by an open breaker
+  uint64_t deadline_misses = 0;    ///< dispatches that exceeded a deadline
+  uint64_t cancelled = 0;          ///< requests answered kAborted
+  double backoff_ms = 0.0;         ///< total computed retry backoff
+  uint32_t current_max_batch = 0;  ///< adaptive batch cap right now
 };
 
 }  // namespace sage::serve

@@ -1,0 +1,386 @@
+#include "sim/fault_injector.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace sage::sim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransientKernel:
+      return "transient";
+    case FaultKind::kDeviceOom:
+      return "oom";
+    case FaultKind::kSectorCorruption:
+      return "corrupt";
+    case FaultKind::kCheckpointCorruption:
+      return "corrupt-checkpoint";
+    case FaultKind::kStragglerSm:
+      return "straggler";
+    case FaultKind::kPoisonedSource:
+      return "poison";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream os;
+  os << FaultKindName(kind);
+  if (kernel_seq != 0) os << " kernel=" << kernel_seq;
+  if (iteration >= 0) os << " iter=" << iteration;
+  if (kind == FaultKind::kStragglerSm) os << " sm=" << sm;
+  if (!detail.empty()) os << " " << detail;
+  return os.str();
+}
+
+namespace {
+
+/// Splits a spec line into whitespace tokens, dropping `#` comments.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : line) {
+    if (c == '#') break;
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!cur.empty()) tokens.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  char extra;
+  return std::sscanf(s.c_str(), "%lf%c", out, &extra) == 1;
+}
+
+util::Status BadLine(int lineno, const std::string& why) {
+  std::ostringstream os;
+  os << "fault spec line " << lineno << ": " << why;
+  return util::Status::InvalidArgument(os.str());
+}
+
+/// Charges one firing against the rule's `count N` budget; false once the
+/// rule is exhausted. Unbudgeted rules always pass.
+bool Admit(FaultRule& rule) {
+  if (rule.max_fires >= 0 && rule.fires >= rule.max_fires) return false;
+  ++rule.fires;
+  return true;
+}
+
+}  // namespace
+
+util::StatusOr<FaultSpec> ParseFaultSpec(const std::string& text) {
+  FaultSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::vector<std::string> tok = Tokenize(line);
+    if (tok.empty()) continue;
+    const std::string& kw = tok[0];
+    if (kw == "seed") {
+      if (tok.size() != 2 || !ParseU64(tok[1], &spec.seed)) {
+        return BadLine(lineno, "expected: seed <u64>");
+      }
+      continue;
+    }
+    FaultRule rule;
+    size_t i = 1;
+    if (kw == "transient") {
+      rule.kind = FaultKind::kTransientKernel;
+    } else if (kw == "oom") {
+      rule.kind = FaultKind::kDeviceOom;
+    } else if (kw == "corrupt") {
+      rule.kind = FaultKind::kSectorCorruption;
+    } else if (kw == "corrupt-checkpoint") {
+      rule.kind = FaultKind::kCheckpointCorruption;
+    } else if (kw == "straggler") {
+      rule.kind = FaultKind::kStragglerSm;
+    } else if (kw == "poison") {
+      rule.kind = FaultKind::kPoisonedSource;
+    } else {
+      return BadLine(lineno, "unknown fault kind '" + kw + "'");
+    }
+    // Key/value tail, order-free: rate <p> | kernel <k> | iter <i> |
+    // grow <n> | sm <s> | x <mult> | node <n> | count <n> | silent.
+    while (i < tok.size()) {
+      const std::string& key = tok[i];
+      if (key == "silent") {
+        rule.silent = true;
+        ++i;
+        continue;
+      }
+      if (i + 1 >= tok.size()) {
+        return BadLine(lineno, "'" + key + "' needs a value");
+      }
+      const std::string& val = tok[i + 1];
+      uint64_t u = 0;
+      if (key == "rate") {
+        if (!ParseDouble(val, &rule.rate) || rule.rate < 0.0 ||
+            rule.rate > 1.0) {
+          return BadLine(lineno, "rate must be in [0, 1]");
+        }
+      } else if (key == "kernel") {
+        if (!ParseU64(val, &u)) return BadLine(lineno, "bad kernel index");
+        rule.kernel = static_cast<int64_t>(u);
+      } else if (key == "iter") {
+        if (!ParseU64(val, &u)) return BadLine(lineno, "bad iteration");
+        rule.iteration = static_cast<int64_t>(u);
+      } else if (key == "grow") {
+        if (!ParseU64(val, &u)) return BadLine(lineno, "bad grow index");
+        rule.grow_index = static_cast<int64_t>(u);
+      } else if (key == "sm") {
+        if (!ParseU64(val, &u)) return BadLine(lineno, "bad sm index");
+        rule.sm = static_cast<uint32_t>(u);
+      } else if (key == "x") {
+        if (!ParseDouble(val, &rule.multiplier) || rule.multiplier < 1.0) {
+          return BadLine(lineno, "multiplier must be >= 1.0");
+        }
+      } else if (key == "node") {
+        if (!ParseU64(val, &rule.node)) return BadLine(lineno, "bad node id");
+      } else if (key == "count") {
+        if (!ParseU64(val, &u) || u == 0) {
+          return BadLine(lineno, "count must be a positive integer");
+        }
+        rule.max_fires = static_cast<int64_t>(u);
+      } else {
+        return BadLine(lineno, "unknown key '" + key + "'");
+      }
+      i += 2;
+    }
+    // Every rule needs a trigger: a rate, an exact coordinate, or (for
+    // stragglers/poison) its identity fields.
+    bool has_trigger = rule.rate > 0.0 || rule.kernel >= 0 ||
+                       rule.iteration >= 0 || rule.grow_index >= 0 ||
+                       rule.kind == FaultKind::kStragglerSm ||
+                       rule.kind == FaultKind::kPoisonedSource;
+    if (!has_trigger) {
+      return BadLine(lineno, "rule has no rate or coordinate trigger");
+    }
+    spec.rules.push_back(rule);
+  }
+  return spec;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(std::move(spec)) {
+  straggler_logged_.assign(spec_.rules.size(), false);
+}
+
+bool FaultInjector::Draw(uint64_t salt, uint64_t counter, double rate) const {
+  if (rate <= 0.0) return false;
+  uint64_t h = util::SplitMix64(spec_.seed ^ salt ^ (counter * 0x9e3779b9u));
+  // Top 53 bits → uniform double in [0, 1).
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+void FaultInjector::RaisePending(util::Status status) {
+  // First fault wins; later faults in the same window are subsumed (the
+  // engine aborts the iteration on the first one anyway).
+  if (pending_.ok()) {
+    pending_ = std::move(status);
+    last_fault_kernel_ = cur_kernel_;
+    last_fault_iteration_ = cur_iteration_;
+  }
+}
+
+void FaultInjector::Record(FaultKind kind, uint32_t sm, std::string detail) {
+  FaultEvent ev;
+  ev.kind = kind;
+  ev.kernel_seq = cur_kernel_;
+  ev.iteration = cur_iteration_;
+  ev.sm = sm;
+  ev.detail = std::move(detail);
+  events_.push_back(std::move(ev));
+}
+
+void FaultInjector::OnBeginKernel(uint64_t kernel_seq) {
+  cur_kernel_ = kernel_seq;
+  active_stragglers_.clear();
+  for (size_t r = 0; r < spec_.rules.size(); ++r) {
+    FaultRule& rule = spec_.rules[r];
+    switch (rule.kind) {
+      case FaultKind::kTransientKernel: {
+        bool fire = false;
+        if (rule.kernel >= 0) {
+          fire = !rule.fired &&
+                 rule.kernel == static_cast<int64_t>(kernel_seq);
+        } else {
+          fire = Draw(/*salt=*/0x7261746bu, kernel_seq, rule.rate);
+        }
+        if (fire && Admit(rule)) {
+          rule.fired = true;
+          Record(FaultKind::kTransientKernel, 0, "");
+          std::ostringstream os;
+          os << "transient kernel fault (kernel=" << kernel_seq << ")";
+          RaisePending(util::Status::Unavailable(os.str()));
+        }
+        break;
+      }
+      case FaultKind::kStragglerSm: {
+        bool applies = rule.kernel < 0
+                           ? true
+                           : rule.kernel == static_cast<int64_t>(kernel_seq);
+        if (applies && rule.rate > 0.0) {
+          applies = Draw(/*salt=*/0x736c6f77u, kernel_seq ^ (rule.sm << 20),
+                         rule.rate);
+        }
+        if (applies && Admit(rule)) {
+          active_stragglers_.push_back({rule.sm, rule.multiplier});
+          // Persistent stragglers would flood the trace; log first firing.
+          if (!straggler_logged_[r]) {
+            straggler_logged_[r] = true;
+            std::ostringstream os;
+            os << "x" << rule.multiplier;
+            Record(FaultKind::kStragglerSm, rule.sm, os.str());
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+double FaultInjector::SmLatencyMultiplier(uint32_t sm) const {
+  double m = 1.0;
+  for (const ActiveStraggler& s : active_stragglers_) {
+    if (s.sm == sm) m *= s.multiplier;
+  }
+  return m;
+}
+
+void FaultInjector::OnGrow(const std::string& buffer_name,
+                           uint64_t new_num_elems) {
+  ++grow_seq_;
+  for (FaultRule& rule : spec_.rules) {
+    if (rule.kind != FaultKind::kDeviceOom) continue;
+    bool fire = false;
+    if (rule.grow_index >= 0) {
+      fire = !rule.fired && rule.grow_index == static_cast<int64_t>(grow_seq_);
+    } else {
+      fire = Draw(/*salt=*/0x6f6f6du, grow_seq_, rule.rate);
+    }
+    if (fire && Admit(rule)) {
+      rule.fired = true;
+      std::ostringstream os;
+      os << "grow#" << grow_seq_ << " " << buffer_name << "->"
+         << new_num_elems;
+      Record(FaultKind::kDeviceOom, 0, os.str());
+      std::ostringstream msg;
+      msg << "device OOM growing '" << buffer_name << "' to " << new_num_elems
+          << " elems (kernel=" << cur_kernel_ << ")";
+      RaisePending(util::Status::Unavailable(msg.str()));
+    }
+  }
+}
+
+util::Status FaultInjector::TakePendingFault() {
+  util::Status s = std::move(pending_);
+  pending_ = util::Status::OK();
+  return s;
+}
+
+bool FaultInjector::MaybeCorruptFrontier(int64_t iter,
+                                         std::span<uint32_t> frontier,
+                                         uint32_t limit) {
+  if (frontier.empty() || limit == 0) return false;
+  ++corrupt_seq_;
+  bool flipped = false;
+  for (FaultRule& rule : spec_.rules) {
+    if (rule.kind != FaultKind::kSectorCorruption) continue;
+    bool fire = false;
+    if (rule.iteration >= 0) {
+      fire = !rule.fired && rule.iteration == iter;
+    } else {
+      fire = Draw(/*salt=*/0x65636375u, corrupt_seq_, rule.rate);
+    }
+    if (!fire || !Admit(rule)) continue;
+    rule.fired = true;
+    // Deterministic victim: element and bit from the seed and the
+    // opportunity counter (never from wall time or thread ids).
+    uint64_t h = util::SplitMix64(spec_.seed ^ 0x62697466u ^ corrupt_seq_);
+    size_t elem = static_cast<size_t>(h % frontier.size());
+    uint32_t bit = static_cast<uint32_t>((h >> 32) % 32);
+    frontier[elem] ^= (1u << bit);
+    if (frontier[elem] >= limit) frontier[elem] %= limit;
+    flipped = true;
+    std::ostringstream os;
+    os << "elem=" << elem << " bit=" << bit
+       << (rule.silent ? " silent" : " detected");
+    Record(FaultKind::kSectorCorruption, 0, os.str());
+    if (!rule.silent) {
+      std::ostringstream msg;
+      msg << "uncorrectable ECC error in frontier (iter=" << iter
+          << " kernel=" << cur_kernel_ << ")";
+      RaisePending(util::Status::Unavailable(msg.str()));
+    }
+  }
+  return flipped;
+}
+
+bool FaultInjector::MaybeCorruptCheckpoint(int64_t iter,
+                                           std::span<uint8_t> payload) {
+  if (payload.empty()) return false;
+  ++ckpt_seq_;
+  bool flipped = false;
+  for (FaultRule& rule : spec_.rules) {
+    if (rule.kind != FaultKind::kCheckpointCorruption) continue;
+    bool fire = false;
+    if (rule.iteration >= 0) {
+      fire = !rule.fired && rule.iteration == iter;
+    } else {
+      fire = Draw(/*salt=*/0x636b7074u, ckpt_seq_, rule.rate);
+    }
+    if (!fire || !Admit(rule)) continue;
+    rule.fired = true;
+    uint64_t h = util::SplitMix64(spec_.seed ^ 0x70617966u ^ ckpt_seq_);
+    size_t byte = static_cast<size_t>(h % payload.size());
+    payload[byte] ^= static_cast<uint8_t>(1u << ((h >> 32) % 8));
+    flipped = true;
+    std::ostringstream os;
+    os << "byte=" << byte;
+    Record(FaultKind::kCheckpointCorruption, 0, os.str());
+    // Silent by construction: the checkpoint digest is the detector.
+  }
+  return flipped;
+}
+
+bool FaultInjector::PoisonedSource(uint64_t orig_node) const {
+  for (const FaultRule& rule : spec_.rules) {
+    if (rule.kind == FaultKind::kPoisonedSource && rule.node == orig_node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultInjector::TraceString() const {
+  std::string out;
+  for (const FaultEvent& ev : events_) {
+    out += ev.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sage::sim

@@ -1,0 +1,196 @@
+#ifndef SAGE_SIM_FAULT_INJECTOR_H_
+#define SAGE_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sage::sim {
+
+/// The injectable fault classes (DESIGN.md §7). Each maps to a concrete
+/// hook point in the simulator or engine main loop — all of them on the
+/// main thread in both serial and `--host-threads=N` modes, which is what
+/// makes fault schedules bit-reproducible under the trace/replay backend.
+enum class FaultKind {
+  /// The current kernel "fails" transiently (Xid-style). Decided at
+  /// BeginKernel; surfaced by the engine at the iteration boundary as
+  /// kUnavailable. Retryable.
+  kTransientKernel,
+  /// MemorySim::Grow reports a device-buffer OOM. The grow itself still
+  /// happens (the simulation stays internally consistent); the engine
+  /// surfaces the fault at the iteration boundary. Retryable.
+  kDeviceOom,
+  /// ECC-style corruption: one bit of the engine's frontier flips at an
+  /// iteration boundary. Detected rules also raise an uncorrectable-ECC
+  /// fault (retryable via checkpoint restore); `silent` rules flip the bit
+  /// without telling anyone — output digests are how those get caught.
+  kSectorCorruption,
+  /// One byte of a serialized checkpoint payload flips as it is written.
+  /// Caught by the checkpoint's own digest at Resume time (kCorruption),
+  /// which falls back to a from-scratch rerun.
+  kCheckpointCorruption,
+  /// A straggler SM: its modeled per-kernel time is multiplied. Purely a
+  /// timing fault — outputs are unaffected, deadlines are what break.
+  kStragglerSm,
+  /// A poisoned traversal source: any run whose sources include this
+  /// original node id fails permanently (kInternal, not retryable). The
+  /// serve layer's batch bisection exists to isolate exactly this.
+  kPoisonedSource,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One fault rule: either probabilistic (`rate` per opportunity, drawn
+/// statelessly from the spec seed and a monotonic opportunity counter so
+/// serial and parallel replays agree) or pinned to an exact coordinate
+/// (kernel sequence number, engine iteration, or grow-call index). Exact
+/// rules fire at most once per injector so a retry that re-executes the
+/// same coordinate can make progress.
+struct FaultRule {
+  FaultKind kind = FaultKind::kTransientKernel;
+  double rate = 0.0;       ///< per-opportunity probability (0 = coordinate)
+  int64_t kernel = -1;     ///< exact device kernel_seq (1-based), -1 = any
+  int64_t iteration = -1;  ///< exact engine iteration (0-based), -1 = any
+  int64_t grow_index = -1; ///< exact Grow call index (1-based), -1 = any
+  uint32_t sm = 0;         ///< straggler target SM
+  double multiplier = 1.0; ///< straggler latency multiplier
+  uint64_t node = 0;       ///< poisoned original source id
+  bool silent = false;     ///< corruption without a raised fault
+  bool fired = false;      ///< exact-coordinate rules fire once
+  int64_t max_fires = -1;  ///< `count N`: rule exhausts after N firings
+  int64_t fires = 0;       ///< firings so far (against max_fires)
+};
+
+/// A parsed fault scenario: a seed plus a rule list.
+struct FaultSpec {
+  uint64_t seed = 0x5a9ef417u;
+  std::vector<FaultRule> rules;
+  bool empty() const { return rules.empty(); }
+};
+
+/// Parses the `sage_cli faults` spec format, one rule per line, `#`
+/// comments:
+///
+///   seed 42
+///   transient rate 0.01          # 1% of kernels fail transiently
+///   transient rate 1.0 count 6   # every kernel fails — but only 6 times
+///   transient kernel 7           # kernel_seq 7 fails, exactly once
+///   oom grow 2                   # second Grow call reports OOM
+///   corrupt iter 3               # detected ECC flip in the iter-3 frontier
+///   corrupt iter 3 silent        # same flip, nobody told (digests catch it)
+///   corrupt-checkpoint iter 2    # checkpoint payload byte flip at iter 2
+///   straggler sm 3 x 8.0         # SM 3 is 8x slow in every kernel
+///   straggler sm 1 x 4.0 kernel 5
+///   poison node 17               # any run sourced at node 17 fails hard
+util::StatusOr<FaultSpec> ParseFaultSpec(const std::string& text);
+
+/// One fired fault, in firing order. The trace is the determinism witness:
+/// tests assert the serial and `--host-threads=N` traces are byte-identical.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kTransientKernel;
+  uint64_t kernel_seq = 0;  ///< device kernel at/near the fault (0 = n/a)
+  int64_t iteration = -1;   ///< engine iteration (-1 = n/a)
+  uint32_t sm = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Deterministic seed-driven fault injector. One injector per GpuDevice;
+/// every hook runs on the thread that owns the device (the engine main
+/// thread), so no synchronization and no schedule dependence. Probabilistic
+/// draws use SplitMix64 over (seed, per-class monotonic counter) — the
+/// counters never reset, so a retry of the same work draws fresh randomness
+/// and rate-injected faults do not recur forever.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  // --- simulator hooks (GpuDevice / MemorySim, main thread) ---
+
+  /// Called by GpuDevice::BeginKernel with the new kernel_seq. Decides this
+  /// kernel's transient failure and straggler multipliers.
+  void OnBeginKernel(uint64_t kernel_seq);
+
+  /// This kernel's latency multiplier for `sm` (1.0 when healthy). Folded
+  /// into the cost model by GpuDevice::EndKernel.
+  double SmLatencyMultiplier(uint32_t sm) const;
+
+  /// Called by MemorySim::Grow before the grow is performed. May record a
+  /// pending OOM fault; the grow always proceeds.
+  void OnGrow(const std::string& buffer_name, uint64_t new_num_elems);
+
+  // --- engine hooks (iteration boundaries, main thread) ---
+
+  /// Tells the injector which engine iteration is running, for event
+  /// attribution and iteration-coordinate rules.
+  void SetIteration(int64_t iter) { cur_iteration_ = iter; }
+
+  /// Returns and clears the pending fault raised since the last call (OK if
+  /// none). The engine calls this once per iteration boundary and converts
+  /// it into a Run failure carrying the fault site.
+  util::Status TakePendingFault();
+
+  /// Maybe flips one bit of `frontier` per the corruption rules; returns
+  /// true if a flip happened. Non-silent rules also raise a pending fault.
+  /// Flipped values are folded into [0, limit) — frontier entries are node
+  /// ids and an out-of-range id would crash the simulation rather than
+  /// model silent data corruption.
+  bool MaybeCorruptFrontier(int64_t iter, std::span<uint32_t> frontier,
+                            uint32_t limit);
+
+  /// Maybe flips one byte of a serialized checkpoint payload.
+  bool MaybeCorruptCheckpoint(int64_t iter, std::span<uint8_t> payload);
+
+  // --- app/serve hooks ---
+
+  /// True if `orig_node` is a poisoned source: runs including it must fail
+  /// permanently. Pure — callable from anywhere.
+  bool PoisonedSource(uint64_t orig_node) const;
+
+  // --- trace ---
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::string TraceString() const;
+  void ClearEvents() { events_.clear(); }
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Site of the most recently raised pending fault, for error messages.
+  uint64_t last_fault_kernel() const { return last_fault_kernel_; }
+  int64_t last_fault_iteration() const { return last_fault_iteration_; }
+
+ private:
+  /// Stateless per-opportunity Bernoulli draw: SplitMix64 over the spec
+  /// seed, a per-class salt, and a monotonic counter.
+  bool Draw(uint64_t salt, uint64_t counter, double rate) const;
+
+  void RaisePending(util::Status status);
+  void Record(FaultKind kind, uint32_t sm, std::string detail);
+
+  FaultSpec spec_;
+  std::vector<FaultEvent> events_;
+  util::Status pending_ = util::Status::OK();
+  uint64_t cur_kernel_ = 0;
+  int64_t cur_iteration_ = -1;
+  uint64_t grow_seq_ = 0;
+  uint64_t corrupt_seq_ = 0;
+  uint64_t ckpt_seq_ = 0;
+  uint64_t last_fault_kernel_ = 0;
+  int64_t last_fault_iteration_ = -1;
+  /// Straggler multipliers decided for the current kernel, one per rule
+  /// that applies (empty when all SMs are healthy this kernel).
+  struct ActiveStraggler {
+    uint32_t sm;
+    double multiplier;
+  };
+  std::vector<ActiveStraggler> active_stragglers_;
+  std::vector<bool> straggler_logged_;
+};
+
+}  // namespace sage::sim
+
+#endif  // SAGE_SIM_FAULT_INJECTOR_H_

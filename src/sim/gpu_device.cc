@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault_injector.h"
 #include "sim/replay.h"
 #include "util/logging.h"
 
@@ -68,6 +69,14 @@ void GpuDevice::BeginKernel() {
   ++kernel_seq_;
   std::fill(sms_.begin(), sms_.end(), SmCounters());
   if (sink_ != nullptr) sink_->OnKernelBegin(kernel_seq_);
+  // Main-thread-only by construction: fault decisions are taken here, not
+  // in worker-visible Access paths, so schedules replay bit-identically.
+  if (injector_ != nullptr) injector_->OnBeginKernel(kernel_seq_);
+}
+
+void GpuDevice::set_fault_injector(FaultInjector* injector) {
+  injector_ = injector;
+  mem_.set_fault_injector(injector);
 }
 
 void GpuDevice::ChargeCompute(uint32_t sm, uint64_t cycles) {
@@ -397,6 +406,9 @@ KernelResult GpuDevice::EndKernel() {
         static_cast<double>(c.host_latency_events) * spec_.pcie_latency_cycles;
     double exposed = raw_latency / hide;
     double t_sm = busy + exposed;
+    // Straggler-SM fault injection: a pure timing multiplier (outputs are
+    // untouched; deadlines are what notice).
+    if (injector_ != nullptr) t_sm *= injector_->SmLatencyMultiplier(s);
     max_cycles = std::max(max_cycles, t_sm);
     if (min_busy < 0.0 || t_sm < min_busy) min_busy = t_sm;
     max_busy = std::max(max_busy, t_sm);

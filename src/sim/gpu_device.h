@@ -17,6 +17,7 @@ class ThreadPool;
 
 namespace sage::sim {
 
+class FaultInjector;
 class KernelTraceRecorder;
 
 /// One simulated GPU: a memory system, a host (PCIe) link, and per-SM
@@ -97,6 +98,13 @@ class GpuDevice {
   /// nothing.
   void set_access_sink(AccessEventSink* sink) { sink_ = sink; }
   AccessEventSink* access_sink() const { return sink_; }
+
+  /// Attaches / detaches the deterministic fault injector (SageGuard). At
+  /// most one; pass nullptr to detach. Hooks fire on the main thread only
+  /// (BeginKernel / EndKernel / Grow), so fault schedules are identical in
+  /// serial and trace/replay-parallel modes. Also plumbed into mem().
+  void set_fault_injector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return injector_; }
 
   /// Installs a permutation of [0, num_sms) that remaps static block
   /// placement and the LeastLoadedSm scan order. Used by the determinism
@@ -197,6 +205,7 @@ class GpuDevice {
   DeviceTotals totals_;
   std::vector<uint64_t> scratch_idx_;
   AccessEventSink* sink_ = nullptr;
+  FaultInjector* injector_ = nullptr;
   std::vector<uint32_t> sm_perm_;
   uint64_t kernel_seq_ = 0;
 };

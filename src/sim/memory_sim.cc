@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "sim/fault_injector.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -56,6 +57,10 @@ Buffer MemorySim::Register(const std::string& name, uint64_t num_elems,
 void MemorySim::Grow(Buffer* buffer, uint64_t new_num_elems) {
   SAGE_CHECK(buffer != nullptr);
   if (new_num_elems <= buffer->num_elems) return;
+  // Fault injection point: an injected OOM records a pending fault for the
+  // engine to surface at the iteration boundary, but the grow itself still
+  // happens so downstream bounds checks see a consistent simulation.
+  if (injector_ != nullptr) injector_->OnGrow(buffer->name, new_num_elems);
   // Models a realloc: fresh allocation, contents conceptually copied (the
   // buffer id — and so any shadow-memory state keyed on it — is preserved),
   // old range abandoned. The old sectors linger in the L2 as dead lines,

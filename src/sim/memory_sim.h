@@ -14,6 +14,8 @@ class ThreadPool;
 
 namespace sage::sim {
 
+class FaultInjector;
+
 /// Where a registered buffer physically lives. Host buffers are reached
 /// through the PCIe link model (out-of-core scenario, Section 3.3).
 enum class MemSpace {
@@ -160,6 +162,10 @@ class MemorySim {
 
   const DeviceSpec& spec() const { return spec_; }
 
+  /// Fault-injection hook for Grow (SageGuard). Set via
+  /// GpuDevice::set_fault_injector; nullptr when fault-free.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   struct L2Set {
     std::vector<uint64_t> tags;    // sector tags, one per way (0 = empty)
@@ -182,6 +188,7 @@ class MemorySim {
   MemStats device_stats_;
   MemStats host_stats_;
   mutable std::vector<uint64_t> scratch_sectors_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace sage::sim

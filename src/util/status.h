@@ -20,6 +20,14 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  /// A deadline attached to the operation expired before it completed
+  /// (serve request deadlines, engine modeled-time budgets).
+  kDeadlineExceeded,
+  /// The operation was cancelled cooperatively (CancellationToken).
+  kAborted,
+  /// A transient, retryable failure: the operation may succeed if retried
+  /// (injected transient kernel faults, briefly saturated resources).
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -67,6 +75,15 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

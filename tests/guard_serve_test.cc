@@ -1,0 +1,498 @@
+// Tests for SageGuard's serve layer: fault injection under load, retry and
+// checkpoint-resume inside dispatches, circuit breaking, poisoned-batch
+// bisection, deadlines with adaptive batch shrink, cancellation sweeps,
+// and admission accounting under concurrent Submit storms.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/registry.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "serve/graph_registry.h"
+#include "serve/service.h"
+#include "sim/gpu_device.h"
+
+namespace sage::serve {
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+using util::StatusCode;
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;
+  spec.l2_bytes = 128 << 10;
+  return spec;
+}
+
+Csr GraphA() { return graph::GenerateRmat(10, 8192, 0.57, 0.19, 0.19, 7); }
+
+ServeOptions SyncOptions() {
+  ServeOptions options;
+  options.worker_threads = 0;  // caller drives via ProcessAllPending
+  options.device_spec = TestSpec();
+  return options;
+}
+
+Request MakeRequest(const std::string& graph, const std::string& app,
+                    std::vector<NodeId> sources) {
+  Request request;
+  request.graph = graph;
+  request.app = app;
+  request.params.sources = std::move(sources);
+  return request;
+}
+
+/// The request's answer on a fresh fault-free engine — what every response
+/// must match bit-for-bit no matter which faults the service absorbed.
+uint64_t SoloDigest(const Csr& csr, const Request& request) {
+  sim::GpuDevice device(TestSpec());
+  core::EngineOptions options;
+  options.host_threads = 1;
+  auto engine = core::Engine::Create(&device, csr, options);
+  SAGE_CHECK(engine.ok());
+  auto program = apps::CreateProgram(request.app);
+  SAGE_CHECK(program.ok());
+  auto stats = apps::RunApp(**engine, **program, request.params);
+  SAGE_CHECK(stats.ok()) << stats.status().ToString();
+  return apps::OutputDigest(**engine, **program);
+}
+
+/// Submits one request and drains it synchronously (one dispatch).
+Response RoundTrip(QueryService& service, Request request) {
+  auto submitted = service.Submit(std::move(request));
+  SAGE_CHECK(submitted.ok()) << submitted.status().ToString();
+  service.ProcessAllPending();
+  return submitted->get();
+}
+
+// --- Acceptance: faulty service, bit-identical answers ----------------------
+
+TEST(GuardServeTest, OnePercentFaultRateStillAnswersBitIdentically) {
+  Csr csr = GraphA();
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  ServeOptions options = SyncOptions();
+  options.fault_spec = "seed 7\ntransient rate 0.01\n";
+  options.retry.max_attempts = 5;
+  options.checkpoint_interval = 2;
+  options.engines_per_graph = 1;  // one deterministic fault schedule
+  options.batching = false;
+
+  std::vector<Request> requests;
+  for (NodeId s : {0u, 1u, 5u, 17u, 101u, 256u, 300u, 512u, 700u, 900u}) {
+    requests.push_back(MakeRequest("g", "bfs", {s}));
+  }
+  requests.push_back(MakeRequest("g", "sssp", {0u}));
+  requests.push_back(MakeRequest("g", "sssp", {42u}));
+  {
+    Request pr = MakeRequest("g", "pagerank", {});
+    pr.params.iterations = 15;
+    requests.push_back(pr);
+    requests.push_back(pr);
+  }
+
+  QueryService service(&registry, options);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    requests[i].id = i;
+    Response response = RoundTrip(service, requests[i]);
+    // Every request completes despite injected faults, and its answer is
+    // bit-identical to a fault-free run — the SageGuard acceptance bar.
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.output_digest, SoloDigest(csr, requests[i]));
+  }
+  EXPECT_EQ(service.stats().completed, requests.size());
+}
+
+TEST(GuardServeTest, AggressiveTransientsAreRetriedToSuccess) {
+  Csr csr = GraphA();
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  ServeOptions options = SyncOptions();
+  options.fault_spec = "seed 3\ntransient rate 0.9 count 4\n";
+  options.retry.max_attempts = 6;
+  options.engines_per_graph = 1;
+  options.batching = false;
+
+  QueryService service(&registry, options);
+  Request request = MakeRequest("g", "bfs", {0u});
+  Response response = RoundTrip(service, request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_GT(response.attempts, 1u);
+  EXPECT_EQ(response.output_digest, SoloDigest(csr, request));
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_GT(stats.backoff_ms, 0.0);  // jittered backoff was computed
+}
+
+TEST(GuardServeTest, CheckpointResumeInsideDispatch) {
+  Csr csr = GraphA();
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  ServeOptions options = SyncOptions();
+  options.fault_spec = "transient kernel 5\n";  // fails mid-run, once
+  options.retry.max_attempts = 3;
+  options.checkpoint_interval = 2;
+  options.engines_per_graph = 1;
+  options.batching = false;
+
+  QueryService service(&registry, options);
+  Request request = MakeRequest("g", "bfs", {0u});
+  Response response = RoundTrip(service, request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.attempts, 2u);
+  EXPECT_EQ(response.output_digest, SoloDigest(csr, request));
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  // The retry resumed from the last checkpoint instead of starting over.
+  EXPECT_EQ(stats.resumes, 1u);
+  EXPECT_EQ(stats.checkpoint_fallbacks, 0u);
+}
+
+TEST(GuardServeTest, CorruptCheckpointFallsBackToFullRerun) {
+  Csr csr = GraphA();
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  ServeOptions options = SyncOptions();
+  options.fault_spec =
+      "transient kernel 5\n"
+      "corrupt-checkpoint iter 4\n";
+  options.retry.max_attempts = 3;
+  options.checkpoint_interval = 2;
+  options.engines_per_graph = 1;
+  options.batching = false;
+
+  QueryService service(&registry, options);
+  Request request = MakeRequest("g", "bfs", {0u});
+  Response response = RoundTrip(service, request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.output_digest, SoloDigest(csr, request));
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.checkpoint_fallbacks, 1u);
+  EXPECT_EQ(stats.resumes, 0u);
+}
+
+// --- Failure reporting: request id + fault site -----------------------------
+
+TEST(GuardServeTest, FailureCarriesRequestIdAndFaultSite) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  ServeOptions options = SyncOptions();
+  options.fault_spec = "transient kernel 2\n";
+  options.retry.max_attempts = 1;  // no retries: surface the raw fault
+  options.engines_per_graph = 1;
+  options.batching = false;
+
+  QueryService service(&registry, options);
+  Request request = MakeRequest("g", "bfs", {0u});
+  request.id = 42;
+  Response response = RoundTrip(service, request);
+  ASSERT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+  const std::string& message = response.status.message();
+  EXPECT_NE(message.find("request 42"), std::string::npos) << message;
+  EXPECT_NE(message.find("(bfs@g)"), std::string::npos) << message;
+  EXPECT_NE(message.find("kernel=2"), std::string::npos) << message;
+  EXPECT_NE(message.find("iteration"), std::string::npos) << message;
+}
+
+TEST(GuardServeTest, FaultSpecParseErrorSurfacesOnSubmit) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  ServeOptions options = SyncOptions();
+  options.fault_spec = "transient rate 1.5\n";  // invalid rate
+  QueryService service(&registry, options);
+  auto submitted = service.Submit(MakeRequest("g", "bfs", {0u}));
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Circuit breaker --------------------------------------------------------
+
+TEST(GuardServeTest, BreakerOpensFailsFastAndRecoversViaProbe) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  ServeOptions options = SyncOptions();
+  // Every engine run faults — but only the first 3, so the half-open
+  // probe after the cooldown succeeds and closes the breaker.
+  options.fault_spec = "transient rate 1.0 count 3\n";
+  options.retry.max_attempts = 1;
+  options.breaker.failure_threshold = 3;
+  options.breaker.cooldown_dispatches = 2;
+  options.engines_per_graph = 1;
+  options.batching = false;
+
+  QueryService service(&registry, options);
+  Request request = MakeRequest("g", "bfs", {0u});
+
+  // Dispatches 1-3: infrastructure failures; the third trips the breaker.
+  for (int i = 1; i <= 3; ++i) {
+    SCOPED_TRACE("dispatch " + std::to_string(i));
+    Response response = RoundTrip(service, request);
+    EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+    EXPECT_NE(response.status.message().find("transient"), std::string::npos);
+  }
+  // Dispatch 4: still cooling — failed fast, no engine run burned.
+  Response rejected = RoundTrip(service, request);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.status.message().find("circuit breaker open"),
+            std::string::npos)
+      << rejected.status.message();
+  // Dispatch 5: cooldown over → half-open probe; the fault budget is
+  // exhausted, so the probe succeeds and closes the breaker.
+  Response probe = RoundTrip(service, request);
+  EXPECT_TRUE(probe.status.ok()) << probe.status.ToString();
+  // Dispatch 6: back to normal service.
+  EXPECT_TRUE(RoundTrip(service, request).status.ok());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  EXPECT_EQ(stats.breaker_rejects, 1u);
+}
+
+TEST(GuardServeTest, FailedProbeReopensBreaker) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  ServeOptions options = SyncOptions();
+  // One more fault than the previous test: the first probe consumes it,
+  // fails, and re-opens the breaker for another cooldown window.
+  options.fault_spec = "transient rate 1.0 count 4\n";
+  options.retry.max_attempts = 1;
+  options.breaker.failure_threshold = 3;
+  options.breaker.cooldown_dispatches = 2;
+  options.engines_per_graph = 1;
+  options.batching = false;
+
+  QueryService service(&registry, options);
+  Request request = MakeRequest("g", "bfs", {0u});
+
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(RoundTrip(service, request).status.code(),
+              StatusCode::kUnavailable);  // dispatches 1-3: trip the breaker
+  }
+  EXPECT_NE(RoundTrip(service, request).status.message()
+                .find("circuit breaker open"),
+            std::string::npos);  // dispatch 4: rejected
+  // Dispatch 5: probe runs, eats the 4th fault, fails → breaker re-opens.
+  Response probe1 = RoundTrip(service, request);
+  EXPECT_EQ(probe1.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(probe1.status.message().find("transient"), std::string::npos);
+  // Dispatch 6: cooling again.
+  EXPECT_NE(RoundTrip(service, request).status.message()
+                .find("circuit breaker open"),
+            std::string::npos);
+  // Dispatch 7: second probe succeeds (faults exhausted) → closed.
+  EXPECT_TRUE(RoundTrip(service, request).status.ok());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.breaker_opens, 2u);  // initial trip + failed probe
+  EXPECT_EQ(stats.breaker_rejects, 2u);
+}
+
+// --- Poisoned-batch bisection -----------------------------------------------
+
+TEST(GuardServeTest, BisectionIsolatesPoisonedMemberFromCoalescedBatch) {
+  Csr csr = GraphA();
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  ServeOptions options = SyncOptions();
+  options.fault_spec = "poison node 13\n";
+  options.engines_per_graph = 1;
+
+  QueryService service(&registry, options);
+  std::vector<std::future<Response>> futures;
+  for (NodeId s = 0; s < 64; ++s) {
+    Request request = MakeRequest("g", "bfs", {s});
+    request.id = s;
+    auto submitted = service.Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  service.ProcessAllPending();  // all 64 coalesce into one dispatch
+
+  for (NodeId s = 0; s < 64; ++s) {
+    SCOPED_TRACE("source " + std::to_string(s));
+    Response response = futures[s].get();
+    if (s == 13) {
+      // The poisoned member fails alone, with its id and the fault site.
+      EXPECT_EQ(response.status.code(), StatusCode::kInternal);
+      const std::string& message = response.status.message();
+      EXPECT_NE(message.find("request 13"), std::string::npos) << message;
+      EXPECT_NE(message.find("poisoned source node 13"), std::string::npos)
+          << message;
+    } else {
+      // Every healthy member still gets its bit-exact answer.
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_EQ(response.output_digest,
+                SoloDigest(csr, MakeRequest("g", "bfs", {s})));
+    }
+  }
+  // 64 → 32 → 16 → 8 → 4 → 2 → {1, 1}: six splits isolate the poison.
+  EXPECT_EQ(service.stats().batch_splits, 6u);
+}
+
+// --- Deadlines & adaptive batching ------------------------------------------
+
+TEST(GuardServeTest, DeadlineMissShrinksBatchCapAndCleanRunsRecoverIt) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  ServeOptions options = SyncOptions();
+  options.max_batch = 8;
+  options.adaptive_batch = true;
+  options.engines_per_graph = 1;
+
+  QueryService service(&registry, options);
+  std::vector<std::future<Response>> futures;
+  for (NodeId s = 0; s < 8; ++s) {
+    Request request = MakeRequest("g", "bfs", {s});
+    request.deadline_modeled_seconds = 1e-12;  // impossible budget
+    auto submitted = service.Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  service.ProcessAllPending();
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status.code(), StatusCode::kDeadlineExceeded);
+  }
+  ServiceStats after_miss = service.stats();
+  EXPECT_EQ(after_miss.deadline_misses, 1u);  // one dispatch missed
+  EXPECT_EQ(after_miss.current_max_batch, 4u);  // 8 halved
+
+  // Clean dispatches grow the cap back additively (+1 each).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(RoundTrip(service, MakeRequest("g", "bfs", {0u})).status.ok());
+  }
+  EXPECT_EQ(service.stats().current_max_batch, 7u);
+}
+
+TEST(GuardServeTest, GenerousModeledDeadlineDoesNotTrip) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  QueryService service(&registry, SyncOptions());
+  Request request = MakeRequest("g", "bfs", {0u});
+  request.deadline_modeled_seconds = 1e6;
+  Response response = RoundTrip(service, request);
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(service.stats().deadline_misses, 0u);
+}
+
+TEST(GuardServeTest, NegativeDeadlineIsRejectedAtSubmit) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  QueryService service(&registry, SyncOptions());
+  Request request = MakeRequest("g", "bfs", {0u});
+  request.deadline_modeled_seconds = -1.0;
+  EXPECT_EQ(service.Submit(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Cancellation -----------------------------------------------------------
+
+TEST(GuardServeTest, CancelledRequestIsSweptBeforeDispatch) {
+  Csr csr = GraphA();
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  QueryService service(&registry, SyncOptions());
+
+  std::vector<std::future<Response>> futures;
+  std::vector<Request> requests;
+  for (NodeId s : {0u, 1u, 2u}) {
+    Request request = MakeRequest("g", "bfs", {s});
+    request.cancel = std::make_shared<core::CancellationToken>();
+    requests.push_back(request);
+    auto submitted = service.Submit(request);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  requests[1].cancel->Cancel();  // cancel the middle one while queued
+  service.ProcessAllPending();
+
+  Response cancelled = futures[1].get();
+  EXPECT_EQ(cancelled.status.code(), StatusCode::kAborted);
+  EXPECT_NE(cancelled.status.message().find("cancelled before dispatch"),
+            std::string::npos)
+      << cancelled.status.message();
+  for (size_t i : {size_t{0}, size_t{2}}) {
+    Response response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.output_digest, SoloDigest(csr, requests[i]));
+  }
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+// --- Admission accounting under concurrent Submit storms --------------------
+
+TEST(GuardServeTest, SubmitStormAccountsEveryRequestExactly) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  ServeOptions options;
+  options.worker_threads = 2;
+  options.device_spec = TestSpec();
+  options.max_pending = 8;  // tiny queue: force kResourceExhausted
+  options.engines_per_graph = 1;
+
+  QueryService service(&registry, options);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30;
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<std::future<Response>> futures[kThreads];
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto submitted = service.Submit(MakeRequest("g", "bfs", {0u}));
+        if (submitted.ok()) {
+          futures[t].push_back(std::move(*submitted));
+          accepted.fetch_add(1);
+        } else {
+          // The only overload answer is backpressure, never a lost future.
+          ASSERT_EQ(submitted.status().code(),
+                    StatusCode::kResourceExhausted);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  service.Shutdown();  // drains everything accepted
+
+  EXPECT_EQ(accepted.load() + rejected.load(),
+            uint64_t{kThreads * kPerThread});
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, accepted.load());
+  EXPECT_EQ(stats.rejected, rejected.load());
+  EXPECT_EQ(stats.completed, accepted.load());
+  // Every accepted future resolves with a real answer — none are dropped.
+  uint64_t resolved = 0;
+  for (auto& per_thread : futures) {
+    for (auto& future : per_thread) {
+      Response response = future.get();
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved, accepted.load());
+}
+
+}  // namespace
+}  // namespace sage::serve

@@ -6,15 +6,18 @@
 #  - bench_serve: requests/sec of the batching query service vs naive
 #    one-engine-per-query dispatch on a 64-source BFS workload
 #    (DESIGN.md §6) -> BENCH_serve.json
-# Both emit their JSON into the repo root and assert that every measured
+#  - bench_guard: SageGuard costs (DESIGN.md §7) — checkpoint overhead and
+#    fault-free vs 1%-transient-fault serving -> BENCH_guard.json
+# All emit their JSON into the repo root and assert that every measured
 # mode produces bit-identical outputs before reporting a number.
 #
 #   tools/run_bench.sh [build-dir]
 #
 # The sim-throughput speedup column only exceeds 1 on a multi-core host;
 # on a single hardware thread the parallel backend intentionally
-# degenerates to the serial path. bench_serve exits nonzero if the
-# service's speedup drops below its 2x acceptance floor.
+# degenerates to the serial path (it aborts below the documented 0.70x
+# overhead floor — see kMinParallelSpeedup). bench_serve exits nonzero if
+# the service's speedup drops below its 2x acceptance floor.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -22,7 +25,7 @@ build_dir="${1:-"${repo_root}/build"}"
 
 echo "== configure + build (RelWithDebInfo) =="
 cmake -S "${repo_root}" -B "${build_dir}" >/dev/null
-cmake --build "${build_dir}" -j "$(nproc)" --target bench_sim_throughput bench_serve
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_sim_throughput bench_serve bench_guard
 
 echo "== bench_sim_throughput ($(nproc) hardware threads) =="
 cd "${repo_root}"
@@ -31,4 +34,7 @@ cd "${repo_root}"
 echo "== bench_serve (batched dispatch vs one-engine-per-query) =="
 "${build_dir}/bench/bench_serve"
 
-echo "== wrote ${repo_root}/BENCH_sim_throughput.json and BENCH_serve.json =="
+echo "== bench_guard (checkpoint overhead, serving under faults) =="
+"${build_dir}/bench/bench_guard"
+
+echo "== wrote ${repo_root}/BENCH_sim_throughput.json, BENCH_serve.json and BENCH_guard.json =="

@@ -37,7 +37,7 @@ tsan_dir="${build_dir}-tsan"
 cmake -S "${repo_root}" -B "${tsan_dir}" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DSAGE_SANITIZE="thread"
-cmake --build "${tsan_dir}" -j "$(nproc)" --target parallel_test serve_test
+cmake --build "${tsan_dir}" -j "$(nproc)" --target parallel_test serve_test guard_serve_test
 
 echo "== parallel/equivalence tests under TSan =="
 TSAN_OPTIONS="halt_on_error=1" \
@@ -50,6 +50,48 @@ echo "== serving-layer tests under TSan =="
 TSAN_OPTIONS="halt_on_error=1" \
   "${tsan_dir}/tests/serve_test" \
   --gtest_filter='-*DeathTest*'
+
+echo "== SageGuard tests under TSan =="
+# Retry/breaker/bisection state plus the Submit-storm admission test
+# (4 submitter threads against a full queue and 2 dispatch workers).
+TSAN_OPTIONS="halt_on_error=1" \
+  "${tsan_dir}/tests/guard_serve_test" \
+  --gtest_filter='-*DeathTest*'
+
+echo "== fault matrix (sage_cli faults, ASan/UBSan build) =="
+# Every injectable fault class, serial and under --host-threads=4: the
+# guarded run must recover to the fault-free digest (exit 0) with the
+# sanitizers watching the recovery paths. Uses the DESIGN.md §7 example
+# shapes on a small generated graph.
+fault_dir="$(mktemp -d)"
+trap 'rm -rf "${fault_dir}"' EXIT
+cmake --build "${build_dir}" -j "$(nproc)" --target sage_cli
+python3 - "$fault_dir/g.el" <<'EOF'
+import random, sys
+random.seed(7)
+with open(sys.argv[1], "w") as f:
+    for _ in range(6000):
+        print(random.randrange(1000), random.randrange(1000), file=f)
+EOF
+declare -A fault_specs=(
+  [transient]=$'transient kernel 3\n'
+  [transient-rate]=$'seed 9\ntransient rate 1.0 count 2\n'
+  [oom]=$'oom grow 2\n'
+  [ecc-detected]=$'corrupt iter 2\n'
+  [straggler]=$'straggler sm 0 x 16.0\n'
+  [ckpt-corrupt]=$'transient kernel 5\ncorrupt-checkpoint iter 4\n'
+)
+for name in "${!fault_specs[@]}"; do
+  printf '%s' "${fault_specs[$name]}" > "${fault_dir}/${name}.txt"
+  for threads in 1 4; do
+    echo "-- fault class ${name}, host-threads=${threads}"
+    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    ASAN_OPTIONS="detect_leaks=1" \
+      "${build_dir}/tools/sage_cli" faults "${fault_dir}/g.el" bfs \
+        "${fault_dir}/${name}.txt" --host-threads="${threads}" > /dev/null
+  done
+done
+echo "fault matrix: all classes recovered to the fault-free digest"
 
 echo "== clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then

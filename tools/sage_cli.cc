@@ -26,6 +26,7 @@
 #include "check/access_checker.h"
 #include "check/determinism.h"
 #include "core/engine.h"
+#include "core/guard.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -33,6 +34,7 @@
 #include "reorder/reorderers.h"
 #include "serve/graph_registry.h"
 #include "serve/service.h"
+#include "sim/fault_injector.h"
 #include "sim/gpu_device.h"
 #include "sim/profile.h"
 #include "util/timer.h"
@@ -509,6 +511,141 @@ int CmdDeterminism(const std::vector<std::string>& args) {
 }
 
 // ---------------------------------------------------------------------------
+// faults: replay a deterministic fault scenario against one app run.
+
+/// `faults <graph> <app> <spec.txt> [arg]` — runs the app twice: once
+/// fault-free for a reference digest, once under the parsed fault scenario
+/// with SageGuard recovery (checkpoints every 2 iterations, resume-on-retry,
+/// up to 5 attempts). Prints the fault trace and compares digests; silent
+/// corruption shows up as a MISMATCH and exit code 3. Honors
+/// --host-threads — the trace and digest are bit-identical either way.
+int CmdFaults(const std::vector<std::string>& args) {
+  auto csr = LoadGraph(args[0]);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& app = args[1];
+  if (!apps::AppKnown(app)) {
+    std::fprintf(stderr, "unknown app: %s\n", app.c_str());
+    return 2;
+  }
+  std::ifstream file(args[2]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open fault spec %s\n", args[2].c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << file.rdbuf();
+  auto spec = sim::ParseFaultSpec(buf.str());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 2;
+  }
+
+  apps::AppParams params;
+  for (graph::NodeId v = 0; v < csr->num_nodes(); ++v) {
+    if (csr->OutDegree(v) > 0) {
+      params.sources = {v};  // default source: first non-isolated node
+      break;
+    }
+  }
+  if (args.size() > 3) {
+    uint32_t arg = std::stoul(args[3]);
+    if (app == "pagerank") {
+      params.iterations = arg;
+    } else if (app == "kcore") {
+      params.k = arg;
+    } else {
+      params.sources = {static_cast<graph::NodeId>(arg)};
+    }
+  }
+  if (app == "pagerank" || app == "kcore") params.sources.clear();
+
+  // Reference run: same app, same engine options, no injector.
+  uint64_t reference = 0;
+  double ref_seconds = 0.0;
+  {
+    sim::GpuDevice device{sim::DeviceSpec()};
+    core::Engine engine(&device, *csr, BaseOptions());
+    auto program = apps::CreateProgram(app);
+    auto stats = apps::RunApp(engine, **program, params);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "fault-free run failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    reference = apps::OutputDigest(engine, **program);
+    ref_seconds = stats->seconds;
+  }
+
+  // Guarded run under the scenario, recovering the way the serve layer
+  // does: retry retryable faults, resuming from the last good checkpoint,
+  // falling back to a full rerun when the checkpoint itself is corrupt.
+  sim::GpuDevice device{sim::DeviceSpec()};
+  sim::FaultInjector injector(*spec);
+  device.set_fault_injector(&injector);
+  core::Engine engine(&device, *csr, BaseOptions());
+  auto program = apps::CreateProgram(app);
+  core::MemoryCheckpointSink sink;
+  core::RunGuard guard;
+  guard.checkpoint_sink = &sink;
+  guard.checkpoint_interval = 2;
+  engine.set_run_guard(guard);
+
+  constexpr uint32_t kMaxAttempts = 5;
+  uint32_t attempts = 1;
+  uint32_t resumes = 0;
+  uint32_t fallbacks = 0;
+  auto stats = apps::RunApp(engine, **program, params);
+  while (!stats.ok() &&
+         stats.status().code() == util::StatusCode::kUnavailable &&
+         attempts < kMaxAttempts) {
+    ++attempts;
+    if (sink.has()) {
+      auto resumed = apps::ResumeApp(engine, **program, sink.latest(), params);
+      if (!resumed.ok() &&
+          resumed.status().code() == util::StatusCode::kCorruption) {
+        sink.Clear();
+        ++fallbacks;
+        stats = apps::RunApp(engine, **program, params);
+      } else {
+        ++resumes;
+        stats = std::move(resumed);
+      }
+    } else {
+      stats = apps::RunApp(engine, **program, params);
+    }
+  }
+
+  std::printf("fault trace (%zu events):\n", injector.events().size());
+  if (injector.events().empty()) {
+    std::printf("  (no faults fired)\n");
+  } else {
+    for (const sim::FaultEvent& ev : injector.events()) {
+      std::printf("  %s\n", ev.ToString().c_str());
+    }
+  }
+  std::printf("attempts=%u resumes=%u checkpoint-fallbacks=%u "
+              "checkpoints-saved=%llu\n",
+              attempts, resumes, fallbacks,
+              static_cast<unsigned long long>(sink.saves()));
+  if (!stats.ok()) {
+    std::printf("run FAILED after %u attempts: %s\n", attempts,
+                stats.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t digest = apps::OutputDigest(engine, **program);
+  std::printf("modeled seconds: fault-free %.6f, faulted %.6f\n", ref_seconds,
+              stats->seconds);
+  std::printf("digest: fault-free %016llx, faulted %016llx -> %s\n",
+              static_cast<unsigned long long>(reference),
+              static_cast<unsigned long long>(digest),
+              digest == reference ? "MATCH" : "MISMATCH (corrupted output)");
+  return digest == reference ? 0 : 3;
+}
+
+// ---------------------------------------------------------------------------
 // serve: replay a request file through the query service.
 
 /// Parses one request-file line (see CmdServe's usage text) into either a
@@ -664,6 +801,10 @@ const Subcommand kSubcommands[] = {
      &CmdPartition},
     {"determinism", "<graph>", "schedule-invariance + parallel equivalence",
      1, &CmdDeterminism},
+    {"faults", "<graph> <app> <spec.txt> [arg]",
+     "replay a fault scenario: guarded run vs fault-free digest compare "
+     "(arg = source | iterations | k)",
+     3, &CmdFaults},
     {"serve", "<requests.txt>",
      "replay a request file through the query service (directives: "
      "graph/gen/bfs/sssp/pagerank/kcore/msbfs)",
