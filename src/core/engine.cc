@@ -353,11 +353,9 @@ util::StatusOr<RunStats> Engine::RunLoop(std::vector<NodeId> frontier,
   RunStats total;
   std::vector<NodeId> next;
   sim::FaultInjector* injector = device_->fault_injector();
-  const double wall_start =
-      guard_.deadline_wall_seconds > 0.0 ? MonotonicSeconds() : 0.0;
   uint32_t iter = start_iteration;
   while (iter < max_iterations && (global || !frontier.empty())) {
-    SAGE_RETURN_IF_ERROR(CheckGuard(total, iter, wall_start));
+    SAGE_RETURN_IF_ERROR(CheckGuard(total, iter));
     if (injector != nullptr) {
       injector->SetIteration(iter);
       // ECC-style frontier corruption (frontier-driven runs only — a
@@ -398,8 +396,20 @@ util::StatusOr<RunStats> Engine::RunLoop(std::vector<NodeId> frontier,
   return total;
 }
 
-util::Status Engine::CheckGuard(const RunStats& total, uint32_t iteration,
-                                double wall_start_seconds) const {
+void Engine::set_run_guard(const RunGuard& guard) {
+  guard_ = guard;
+  // Resolve a wall-deadline duration to an absolute timestamp exactly once
+  // per installation: retries and resumes under this guard share one
+  // end-to-end budget rather than each run getting a fresh one.
+  if (guard_.deadline_wall_seconds > 0.0 &&
+      guard_.deadline_wall_until_seconds == 0.0) {
+    guard_.deadline_wall_until_seconds =
+        MonotonicSeconds() + guard_.deadline_wall_seconds;
+  }
+}
+
+util::Status Engine::CheckGuard(const RunStats& total,
+                                uint32_t iteration) const {
   if (guard_.cancel != nullptr && guard_.cancel->cancelled()) {
     std::ostringstream os;
     os << "run cancelled at iteration " << iteration;
@@ -413,11 +423,14 @@ util::Status Engine::CheckGuard(const RunStats& total, uint32_t iteration,
        << "s modeled)";
     return util::Status::DeadlineExceeded(os.str());
   }
-  if (guard_.deadline_wall_seconds > 0.0 &&
-      MonotonicSeconds() - wall_start_seconds > guard_.deadline_wall_seconds) {
+  if (guard_.deadline_wall_until_seconds > 0.0 &&
+      MonotonicSeconds() > guard_.deadline_wall_until_seconds) {
     std::ostringstream os;
-    os << "wall deadline of " << guard_.deadline_wall_seconds
-       << "s exceeded at iteration " << iteration;
+    os << "wall deadline";
+    if (guard_.deadline_wall_seconds > 0.0) {
+      os << " of " << guard_.deadline_wall_seconds << "s";
+    }
+    os << " exceeded at iteration " << iteration;
     return util::Status::DeadlineExceeded(os.str());
   }
   return util::Status::OK();

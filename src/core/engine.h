@@ -158,8 +158,11 @@ class Engine {
 
   /// Installs the guard applied to subsequent Run/RunGlobal/Resume calls
   /// (cancellation, deadlines, checkpointing — see core/guard.h). Borrowed
-  /// pointers inside must outlive the runs. Default RunGuard{} = unguarded.
-  void set_run_guard(const RunGuard& guard) { guard_ = guard; }
+  /// pointers inside must outlive the runs. A wall-deadline duration is
+  /// resolved to an absolute timestamp here, once, so all runs under this
+  /// installation (retries, resumes) share one end-to-end wall budget.
+  /// Default RunGuard{} = unguarded.
+  void set_run_guard(const RunGuard& guard);
   const RunGuard& run_guard() const { return guard_; }
 
   /// Runs exactly one iteration over an explicit internal-id frontier
@@ -236,8 +239,7 @@ class Engine {
                                    uint32_t start_iteration,
                                    uint32_t max_iterations, bool global);
   /// Cancellation/deadline check at an iteration boundary.
-  util::Status CheckGuard(const RunStats& total, uint32_t iteration,
-                          double wall_start_seconds) const;
+  util::Status CheckGuard(const RunStats& total, uint32_t iteration) const;
   /// Saves a checkpoint if the guard asks for one at this boundary.
   void MaybeCheckpoint(uint32_t iterations_completed,
                        const std::vector<graph::NodeId>& frontier,

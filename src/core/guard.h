@@ -88,9 +88,17 @@ struct RunGuard {
   /// budgets are deterministic — the same run always trips at the same
   /// iteration — which is what fault-replay tests need.
   double deadline_modeled_seconds = 0.0;
-  /// Budget in host wall seconds from Run entry; 0 = none. Wall deadlines
-  /// are what serving actually enforces per request.
+  /// Budget in host wall seconds for the whole guarded dispatch; 0 = none.
+  /// Wall deadlines are what serving actually enforces per request.
+  /// Engine::set_run_guard resolves it to `deadline_wall_until_seconds`
+  /// exactly once, so every run under one installation — retries and
+  /// checkpoint resumes included — draws down the same end-to-end budget
+  /// instead of each attempt getting a fresh one.
   double deadline_wall_seconds = 0.0;
+  /// The resolved absolute wall deadline (monotonic-clock seconds); 0 =
+  /// none. Normally derived from `deadline_wall_seconds` by set_run_guard;
+  /// callers may also pin it directly, which wins over the duration.
+  double deadline_wall_until_seconds = 0.0;
   /// Save a checkpoint every `checkpoint_interval` completed iterations
   /// (0 = never). Programs that do not implement SaveState are skipped.
   CheckpointSink* checkpoint_sink = nullptr;
@@ -98,7 +106,7 @@ struct RunGuard {
 
   bool engaged() const {
     return cancel != nullptr || deadline_modeled_seconds > 0.0 ||
-           deadline_wall_seconds > 0.0 ||
+           deadline_wall_seconds > 0.0 || deadline_wall_until_seconds > 0.0 ||
            (checkpoint_sink != nullptr && checkpoint_interval > 0);
   }
 };

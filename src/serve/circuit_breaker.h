@@ -33,7 +33,10 @@ struct BreakerOptions {
 /// What counts as a failure is the caller's policy: QueryService feeds it
 /// only infrastructure faults (kUnavailable after retries exhausted) —
 /// per-request outcomes (kInternal poisoned inputs, kDeadlineExceeded,
-/// kAborted) never open the breaker.
+/// kAborted) never open the breaker. They still resolve the dispatch,
+/// though: every admitted dispatch must end in exactly one of
+/// RecordSuccess / RecordFailure / RecordNeutral, or a half-open probe
+/// slot leaks and the breaker rejects the graph forever.
 ///
 /// Internally synchronized — dispatchers on different worker threads share
 /// one breaker per graph.
@@ -70,9 +73,23 @@ class CircuitBreaker {
 
   void RecordSuccess() {
     std::lock_guard<std::mutex> lock(mu_);
+    // A success arriving while open is a slow dispatch admitted before the
+    // trip: it predates the failures and must not bypass the cooldown and
+    // half-open probe discipline.
+    if (state_ == State::kOpen) return;
     consecutive_failures_ = 0;
     probe_in_flight_ = false;
     state_ = State::kClosed;
+  }
+
+  /// The dispatch resolved with a per-request outcome (poisoned input,
+  /// deadline miss, cancellation) that says nothing about infrastructure
+  /// health: frees a claimed half-open probe slot — the next dispatch
+  /// probes again — without closing or re-opening the breaker, and leaves
+  /// the closed-state failure count alone.
+  void RecordNeutral() {
+    std::lock_guard<std::mutex> lock(mu_);
+    probe_in_flight_ = false;
   }
 
   void RecordFailure(uint64_t dispatch) {

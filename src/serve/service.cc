@@ -311,10 +311,16 @@ QueryService::DispatchOutcome QueryService::RunOnEngine(
     if (sink.has()) {
       // Resume from the last good iteration instead of redoing the work.
       auto resumed = apps::ResumeApp(engine, *program, sink.latest(), params);
-      if (!resumed.ok() &&
-          resumed.status().code() == util::StatusCode::kCorruption) {
-        // The checkpoint itself is damaged (injected or real): discard it
-        // and rerun from scratch — RunApp fully resets per-run state.
+      const util::StatusCode code =
+          resumed.ok() ? util::StatusCode::kOk : resumed.status().code();
+      if (code == util::StatusCode::kCorruption ||
+          code == util::StatusCode::kFailedPrecondition ||
+          code == util::StatusCode::kInvalidArgument) {
+        // The checkpoint is unusable — damaged (digest mismatch), taken in
+        // an internal-id epoch a relabeling has since invalidated, or
+        // rejected by the program's RestoreState. Those are Engine::Resume
+        // pre-run failures, not run outcomes: discard the checkpoint and
+        // rerun from scratch — RunApp fully resets per-run state.
         sink.Clear();
         ++out.checkpoint_fallbacks;
         stats = apps::RunApp(engine, *program, params);
@@ -419,6 +425,12 @@ void QueryService::ExecuteBatch(std::vector<Pending> batch) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.breaker_opens;
     }
+  } else {
+    // Per-request outcome: must not open (or close) the breaker, but must
+    // still resolve the dispatch — if this was the half-open probe, the
+    // slot has to be freed or Allow() rejects the graph forever (including
+    // the bisection halves of a poisoned probe batch below).
+    breaker->RecordNeutral();
   }
 
   // A permanent failure of a coalesced batch is bisected: one poisoned

@@ -429,6 +429,36 @@ TEST(CheckpointResumeTest, ResumeRejectsTamperedCheckpoint) {
   EXPECT_TRUE(ok.ok()) << ok.status().ToString();
 }
 
+TEST(CheckpointResumeTest, ResumeRejectsEpochMismatchedCheckpoint) {
+  Csr csr = TestGraph();
+  sim::GpuDevice device{sim::DeviceSpec()};
+  core::EngineOptions options;
+  options.host_threads = 1;
+  core::Engine engine(&device, csr, options);
+  auto program = apps::CreateProgram("bfs");
+  ASSERT_TRUE(program.ok());
+  core::MemoryCheckpointSink sink;
+  core::RunGuard guard;
+  guard.checkpoint_sink = &sink;
+  guard.checkpoint_interval = 2;
+  engine.set_run_guard(guard);
+  ASSERT_TRUE(apps::RunApp(engine, **program, BfsParams()).ok());
+  ASSERT_TRUE(sink.has());
+
+  // A checkpoint from a different internal-id epoch (a relabeling landed
+  // between taking it and the fault). Re-sealed, so the digest is valid —
+  // the epoch check is the detector, and it must fail kFailedPrecondition
+  // (the serving layer treats that as checkpoint-unusable and falls back
+  // to a full rerun rather than surfacing it as the request's answer).
+  core::Checkpoint stale = sink.latest();
+  stale.reorder_rounds += 1;
+  stale.Seal();
+  auto resumed = apps::ResumeApp(engine, **program, stale, BfsParams());
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(resumed.status().message().find("epoch"), std::string::npos);
+}
+
 // --- Cancellation & deadlines -----------------------------------------------
 
 TEST(GuardTest, CancellationAbortsAtIterationBoundary) {
@@ -475,6 +505,41 @@ TEST(GuardTest, ModeledDeadlineTripsDeterministically) {
   EXPECT_EQ(tight.ToString(), run_with_budget(1e-9).ToString());
   // A generous budget never trips.
   EXPECT_TRUE(run_with_budget(1e6).ok());
+}
+
+TEST(GuardTest, WallDeadlineIsEndToEndAcrossRunsUnderOneGuard) {
+  Csr csr = TestGraph();
+  sim::GpuDevice device{sim::DeviceSpec()};
+  core::EngineOptions options;
+  options.host_threads = 1;
+  core::Engine engine(&device, csr, options);
+  auto program = apps::CreateProgram("bfs");
+  ASSERT_TRUE(program.ok());
+
+  // set_run_guard resolves the duration to an absolute deadline once; a
+  // retry on the same installed guard draws down that same budget instead
+  // of restarting the clock at each RunLoop entry.
+  core::RunGuard guard;
+  guard.deadline_wall_seconds = 3600.0;
+  engine.set_run_guard(guard);
+  const double until = engine.run_guard().deadline_wall_until_seconds;
+  EXPECT_GT(until, 0.0);
+  ASSERT_TRUE(apps::RunApp(engine, **program, BfsParams()).ok());
+  ASSERT_TRUE(apps::RunApp(engine, **program, BfsParams()).ok());
+  EXPECT_EQ(engine.run_guard().deadline_wall_until_seconds, until);
+
+  // An absolute deadline already in the past trips at iteration 0 — the
+  // deterministic stand-in for "the budget ran out during an earlier
+  // attempt of this dispatch".
+  core::RunGuard expired;
+  expired.deadline_wall_until_seconds = 1e-9;  // monotonic epoch long past
+  engine.set_run_guard(expired);
+  auto stats = apps::RunApp(engine, **program, BfsParams());
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(stats.status().message().find("wall deadline"),
+            std::string::npos);
+  engine.set_run_guard(core::RunGuard());
 }
 
 }  // namespace

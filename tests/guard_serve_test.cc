@@ -15,6 +15,7 @@
 #include "apps/registry.h"
 #include "core/engine.h"
 #include "graph/generators.h"
+#include "serve/circuit_breaker.h"
 #include "serve/graph_registry.h"
 #include "serve/service.h"
 #include "sim/gpu_device.h"
@@ -305,6 +306,47 @@ TEST(GuardServeTest, FailedProbeReopensBreaker) {
   EXPECT_EQ(stats.breaker_rejects, 2u);
 }
 
+TEST(CircuitBreakerTest, StaleSuccessWhileOpenDoesNotClose) {
+  BreakerOptions options;
+  options.failure_threshold = 2;
+  options.cooldown_dispatches = 4;
+  CircuitBreaker breaker(options);
+  ASSERT_TRUE(breaker.Allow(1));
+  breaker.RecordFailure(1);
+  ASSERT_TRUE(breaker.Allow(2));
+  breaker.RecordFailure(2);  // second consecutive failure trips it open
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // A slow dispatch admitted before the trip completes now: its success
+  // predates the failures and must not bypass the cooldown + probe
+  // discipline.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(3));  // still cooling
+  ASSERT_TRUE(breaker.Allow(6));   // cooldown over → half-open probe
+  breaker.RecordSuccess();         // the probe's success does close it
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, NeutralOutcomeFreesProbeSlotWithoutClosing) {
+  BreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown_dispatches = 2;
+  CircuitBreaker breaker(options);
+  ASSERT_TRUE(breaker.Allow(1));
+  breaker.RecordFailure(1);        // trips open
+  ASSERT_TRUE(breaker.Allow(3));   // half-open probe claimed
+  EXPECT_FALSE(breaker.Allow(3));  // one probe at a time
+  // The probe resolved with a per-request outcome (poisoned input,
+  // deadline miss, cancellation): infrastructure health still unknown —
+  // the slot is freed, but the breaker neither closes nor re-opens.
+  breaker.RecordNeutral();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  ASSERT_TRUE(breaker.Allow(4));  // the next dispatch probes again
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.opens(), 1u);
+}
+
 // --- Poisoned-batch bisection -----------------------------------------------
 
 TEST(GuardServeTest, BisectionIsolatesPoisonedMemberFromCoalescedBatch) {
@@ -346,6 +388,64 @@ TEST(GuardServeTest, BisectionIsolatesPoisonedMemberFromCoalescedBatch) {
   }
   // 64 → 32 → 16 → 8 → 4 → 2 → {1, 1}: six splits isolate the poison.
   EXPECT_EQ(service.stats().batch_splits, 6u);
+}
+
+TEST(GuardServeTest, PoisonedProbeResolvesAndBreakerRecovers) {
+  Csr csr = GraphA();
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+
+  ServeOptions options = SyncOptions();
+  options.fault_spec = "transient rate 1.0 count 3\npoison node 13\n";
+  options.retry.max_attempts = 1;
+  options.breaker.failure_threshold = 3;
+  options.breaker.cooldown_dispatches = 2;
+  options.engines_per_graph = 1;
+
+  QueryService service(&registry, options);
+
+  // Dispatches 1-3 trip the breaker; dispatch 4 is rejected while cooling.
+  for (int i = 1; i <= 3; ++i) {
+    SCOPED_TRACE("dispatch " + std::to_string(i));
+    EXPECT_EQ(RoundTrip(service, MakeRequest("g", "bfs", {0u})).status.code(),
+              StatusCode::kUnavailable);
+  }
+  EXPECT_NE(RoundTrip(service, MakeRequest("g", "bfs", {0u}))
+                .status.message()
+                .find("circuit breaker open"),
+            std::string::npos);
+
+  // Dispatch 5 is the half-open probe — a coalesced batch whose bisection
+  // chases a poisoned source through several kInternal dispatches. None of
+  // those say anything about infrastructure health, but each must resolve
+  // its probe slot or the breaker wedges half-open and rejects the graph
+  // forever (including the bisection halves themselves).
+  const std::vector<NodeId> sources = {13u, 1u, 2u, 3u};
+  std::vector<std::future<Response>> futures;
+  for (NodeId s : sources) {
+    Request request = MakeRequest("g", "bfs", {s});
+    request.id = s;
+    auto submitted = service.Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  service.ProcessAllPending();
+  for (size_t i = 0; i < sources.size(); ++i) {
+    SCOPED_TRACE("source " + std::to_string(sources[i]));
+    Response response = futures[i].get();
+    if (sources[i] == 13u) {
+      EXPECT_EQ(response.status.code(), StatusCode::kInternal);
+    } else {
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_EQ(response.output_digest,
+                SoloDigest(csr, MakeRequest("g", "bfs", {sources[i]})));
+    }
+  }
+  // A healthy bisection half closed the breaker: normal service resumed.
+  EXPECT_TRUE(RoundTrip(service, MakeRequest("g", "bfs", {0u})).status.ok());
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  EXPECT_EQ(stats.breaker_rejects, 1u);
 }
 
 // --- Deadlines & adaptive batching ------------------------------------------
