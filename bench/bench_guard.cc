@@ -30,6 +30,7 @@
 #include "serve/graph_registry.h"
 #include "serve/service.h"
 #include "sim/fault_injector.h"
+#include "util/stats.h"
 
 namespace sage::bench {
 namespace {
@@ -90,7 +91,17 @@ CheckpointPoint MeasureCheckpointing(const graph::Csr& csr,
 
 struct ServeResult {
   double wall = 0.0;
-  double p99_ms = 0.0;  // slowest-percentile per-request wall time
+  // Client-observed per-request wall time (nearest-rank percentiles over
+  // the sorted samples — util::PercentileOfSorted).
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  // Service-side submit -> response latency from the SageScope histogram
+  // (QueryService::stats()).
+  uint64_t svc_samples = 0;
+  double svc_p50_ms = 0.0;
+  double svc_p95_ms = 0.0;
+  double svc_p99_ms = 0.0;
   std::vector<uint64_t> digests;
   uint64_t retries = 0;
   uint64_t resumes = 0;
@@ -141,8 +152,14 @@ ServeResult RunService(const graph::Csr& csr,
     }
   });
   std::sort(latencies_ms.begin(), latencies_ms.end());
-  result.p99_ms = latencies_ms[(latencies_ms.size() * 99) / 100];
+  result.p50_ms = util::PercentileOfSorted(latencies_ms, 50.0);
+  result.p95_ms = util::PercentileOfSorted(latencies_ms, 95.0);
+  result.p99_ms = util::PercentileOfSorted(latencies_ms, 99.0);
   serve::ServiceStats stats = service.stats();
+  result.svc_samples = stats.latency_samples;
+  result.svc_p50_ms = stats.latency_p50_ms;
+  result.svc_p95_ms = stats.latency_p95_ms;
+  result.svc_p99_ms = stats.latency_p99_ms;
   result.retries = stats.retries;
   result.resumes = stats.resumes;
   result.backoff_ms = stats.backoff_ms;
@@ -171,25 +188,41 @@ void WriteJson(const std::vector<CheckpointPoint>& ckpts,
                  static_cast<unsigned long long>(p.saves), overhead,
                  i + 1 < ckpts.size() ? "," : "");
   }
+  auto latency_fields = [f](const ServeResult& r) {
+    std::fprintf(f,
+                 "\"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, "
+                 "\"p99\": %.3f}, \"service_latency_ms\": {\"samples\": "
+                 "%llu, \"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}",
+                 r.p50_ms, r.p95_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.svc_samples), r.svc_p50_ms,
+                 r.svc_p95_ms, r.svc_p99_ms);
+  };
   std::fprintf(
       f,
       "  ],\n"
       "  \"serve\": {\n"
       "    \"workload\": \"%d solo BFS dispatches, rmat scale 13\",\n"
       "    \"fault_free\": {\"wall_seconds\": %.6f, \"requests_per_sec\": "
-      "%.1f, \"p99_ms\": %.3f},\n"
+      "%.1f, ",
+      kRequests, clean.wall, clean.Rps());
+  latency_fields(clean);
+  std::fprintf(
+      f,
+      "},\n"
       "    \"one_pct_faults\": {\"wall_seconds\": %.6f, "
-      "\"requests_per_sec\": %.1f, \"p99_ms\": %.3f, \"retries\": %llu, "
-      "\"resumes\": %llu, \"backoff_ms\": %.3f},\n"
-      "    \"digests_identical\": true,\n"
-      "    \"throughput_ratio\": %.3f\n"
-      "  }\n"
-      "}\n",
-      kRequests, clean.wall, clean.Rps(), clean.p99_ms, faulty.wall,
-      faulty.Rps(), faulty.p99_ms,
+      "\"requests_per_sec\": %.1f, \"retries\": %llu, "
+      "\"resumes\": %llu, \"backoff_ms\": %.3f, ",
+      faulty.wall, faulty.Rps(),
       static_cast<unsigned long long>(faulty.retries),
-      static_cast<unsigned long long>(faulty.resumes), faulty.backoff_ms,
-      clean.Rps() <= 0 ? 0 : faulty.Rps() / clean.Rps());
+      static_cast<unsigned long long>(faulty.resumes), faulty.backoff_ms);
+  latency_fields(faulty);
+  std::fprintf(f,
+               "},\n"
+               "    \"digests_identical\": true,\n"
+               "    \"throughput_ratio\": %.3f\n"
+               "  }\n"
+               "}\n",
+               clean.Rps() <= 0 ? 0 : faulty.Rps() / clean.Rps());
   std::fclose(f);
 }
 

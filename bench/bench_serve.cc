@@ -40,6 +40,13 @@ struct Result {
   std::vector<uint64_t> digests;
   uint64_t dispatches = 0;
   uint64_t engines = 0;
+  // Service-side submit -> response latency percentiles (SageScope
+  // histogram via QueryService::stats(); zero for the baseline, which has
+  // no service).
+  uint64_t latency_samples = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
 
   double Rps() const {
     return wall <= 0 ? 0 : static_cast<double>(kRequests) / wall;
@@ -112,6 +119,10 @@ Result BatchedService(const graph::Csr& csr,
   serve::ServiceStats stats = service.stats();
   result.dispatches = stats.batches;
   result.engines = stats.engines_created;
+  result.latency_samples = stats.latency_samples;
+  result.latency_p50_ms = stats.latency_p50_ms;
+  result.latency_p95_ms = stats.latency_p95_ms;
+  result.latency_p99_ms = stats.latency_p99_ms;
   return result;
 }
 
@@ -132,7 +143,9 @@ void WriteJson(const Result& baseline, const Result& batched,
                " \"modeled_seconds\": %.6f},\n"
                "  \"batched\": {\"wall_seconds\": %.6f, \"requests_per_sec\""
                ": %.1f, \"dispatches\": %llu, \"engines_built\": %llu,"
-               " \"modeled_seconds\": %.6f},\n"
+               " \"modeled_seconds\": %.6f,"
+               " \"latency_ms\": {\"samples\": %llu, \"p50\": %.3f,"
+               " \"p95\": %.3f, \"p99\": %.3f}},\n"
                "  \"speedup\": %.2f\n"
                "}\n",
                kRequests, kRequests, identical ? "true" : "false",
@@ -143,6 +156,9 @@ void WriteJson(const Result& baseline, const Result& batched,
                static_cast<unsigned long long>(batched.dispatches),
                static_cast<unsigned long long>(batched.engines),
                batched.modeled,
+               static_cast<unsigned long long>(batched.latency_samples),
+               batched.latency_p50_ms, batched.latency_p95_ms,
+               batched.latency_p99_ms,
                batched.wall <= 0 ? 0 : baseline.wall / batched.wall);
   std::fclose(f);
 }

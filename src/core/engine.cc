@@ -147,6 +147,13 @@ Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
   orig_to_int_ = reorder::IdentityPermutation(n);
   int_to_orig_ = orig_to_int_;
 
+  m_runs_ = metrics_.counter("core.runs");
+  m_iterations_ = metrics_.counter("core.iterations");
+  m_edges_ = metrics_.counter("core.edges_traversed");
+  m_frontier_nodes_ = metrics_.counter("core.frontier_nodes");
+  m_checkpoints_ = metrics_.counter("core.checkpoints_saved");
+  m_iter_edges_ = metrics_.histogram("core.iteration_edges");
+
   if (options_.sampling_reorder) {
     SamplingReorderer::Options sopts;
     sopts.threshold_edges = options_.sampling_threshold_edges;
@@ -353,6 +360,10 @@ util::StatusOr<RunStats> Engine::RunLoop(std::vector<NodeId> frontier,
   RunStats total;
   std::vector<NodeId> next;
   sim::FaultInjector* injector = device_->fault_injector();
+  m_runs_->Add(1);
+  if (device_->timeline_enabled() && program_ != nullptr) {
+    device_->set_kernel_label(program_->name());
+  }
   uint32_t iter = start_iteration;
   while (iter < max_iterations && (global || !frontier.empty())) {
     SAGE_RETURN_IF_ERROR(CheckGuard(total, iter));
@@ -371,6 +382,12 @@ util::StatusOr<RunStats> Engine::RunLoop(std::vector<NodeId> frontier,
     program_->BeginIteration(iter);
     RunStats it = ExpandIteration(frontier, &next);
     total.Accumulate(it);
+    // Metrics are bumped here, at the iteration boundary on the main
+    // thread, so values cannot depend on worker interleaving.
+    m_iterations_->Add(1);
+    m_edges_->Add(it.edges_traversed);
+    m_frontier_nodes_->Add(it.frontier_nodes);
+    m_iter_edges_->Add(it.edges_traversed);
     if (injector != nullptr) {
       // Surface faults the iteration's kernels raised (transient failures,
       // injected Grow OOMs). The iteration's side effects stand — recovery
@@ -464,6 +481,7 @@ void Engine::MaybeCheckpoint(uint32_t iterations_completed,
         std::span<uint8_t>(ckpt.app_state));
   }
   guard_.checkpoint_sink->Save(ckpt);
+  m_checkpoints_->Add(1);
 }
 
 util::StatusOr<RunStats> Engine::Resume(const Checkpoint& checkpoint,

@@ -18,6 +18,7 @@
 #include "sim/gpu_device.h"
 #include "sim/replay.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -221,6 +222,13 @@ class Engine {
   /// The UDT layout when udt_split_degree > 0 (Tigr baseline), else null.
   const UdtLayout* udt() const { return udt_.get(); }
 
+  /// SageScope metrics for this engine (DESIGN.md §8): run/iteration/edge
+  /// counters plus a per-iteration traversed-edges histogram, all updated at
+  /// iteration boundaries on the main thread. Every value is a modeled
+  /// quantity, so snapshots are bit-identical between host_threads = 1 and
+  /// N runs of the same work.
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   /// A stage body processes the unit at canonical rank `rank`, charging to
   /// `ctx`'s device and appending passing neighbors to `next` (serial) or
@@ -305,6 +313,16 @@ class Engine {
 
   std::vector<RunStats>* trace_ = nullptr;
   RunGuard guard_;
+
+  // SageScope: registry plus cached metric pointers (resolved once in the
+  // constructor so the run loop never takes the registry lock).
+  util::MetricsRegistry metrics_;
+  util::Counter* m_runs_ = nullptr;
+  util::Counter* m_iterations_ = nullptr;
+  util::Counter* m_edges_ = nullptr;
+  util::Counter* m_frontier_nodes_ = nullptr;
+  util::Counter* m_checkpoints_ = nullptr;
+  util::HistogramMetric* m_iter_edges_ = nullptr;
   std::vector<graph::NodeId> orig_to_int_;
   std::vector<graph::NodeId> int_to_orig_;
   double reorder_seconds_total_ = 0.0;

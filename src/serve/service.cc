@@ -23,6 +23,18 @@ util::Status TagStatus(const util::Status& status, const Request& request) {
                           status.message());
 }
 
+double MsBetween(std::chrono::steady_clock::time_point a,
+                 std::chrono::steady_clock::time_point b) {
+  return std::max(std::chrono::duration<double, std::milli>(b - a).count(),
+                  0.0);
+}
+
+/// Trace track ids: pid 0 is the service's wall-clock track (request spans
+/// + dispatch slices, tid = warm-engine ordinal); each warm engine also
+/// gets a modeled-time track at pid kEngineTracePidBase + id for its
+/// kernel timeline.
+constexpr uint32_t kEngineTracePidBase = 1000;
+
 }  // namespace
 
 QueryService::QueryService(const GraphRegistry* registry,
@@ -37,6 +49,27 @@ QueryService::QueryService(const GraphRegistry* registry,
   options_.retry.max_attempts = std::max<uint32_t>(
       options_.retry.max_attempts, 1);
   effective_max_batch_ = options_.max_batch;
+  m_.submitted = metrics_.counter("serve.submitted");
+  m_.rejected = metrics_.counter("serve.rejected");
+  m_.completed = metrics_.counter("serve.completed");
+  m_.batches = metrics_.counter("serve.batches");
+  m_.coalesced = metrics_.counter("serve.coalesced");
+  m_.engines_created = metrics_.counter("serve.engines_created");
+  m_.retries = metrics_.counter("serve.retries");
+  m_.resumes = metrics_.counter("serve.resumes");
+  m_.checkpoint_fallbacks = metrics_.counter("serve.checkpoint_fallbacks");
+  m_.batch_splits = metrics_.counter("serve.batch_splits");
+  m_.breaker_opens = metrics_.counter("serve.breaker_opens");
+  m_.breaker_rejects = metrics_.counter("serve.breaker_rejects");
+  m_.deadline_misses = metrics_.counter("serve.deadline_misses");
+  m_.cancelled = metrics_.counter("serve.cancelled");
+  m_.backoff_ms = metrics_.gauge("serve.backoff_ms");
+  m_.latency_total_us = metrics_.histogram("serve.latency_total_us");
+  m_.latency_queue_us = metrics_.histogram("serve.latency_queue_us");
+  m_.latency_run_us = metrics_.histogram("serve.latency_run_us");
+  if (options_.trace != nullptr) {
+    options_.trace->Add(util::ProcessNameEvent(0, "sage-serve (wall)"));
+  }
   init_error_ = options_.engine_options.Validate();
   if (init_error_.ok() && !options_.fault_spec.empty()) {
     auto spec = sim::ParseFaultSpec(options_.fault_spec);
@@ -98,16 +131,29 @@ util::StatusOr<std::future<Response>> QueryService::Submit(Request request) {
       return util::Status::FailedPrecondition("service is shut down");
     }
     if (queue_.size() >= options_.max_pending) {
-      ++stats_.rejected;
+      m_.rejected->Add(1);
       return util::Status::ResourceExhausted(
           "admission queue full (" + std::to_string(options_.max_pending) +
           " pending); retry later");
     }
     Pending pending;
     pending.request = std::move(request);
+    pending.submitted_at = Clock::now();
+    pending.span_id = span_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     future = pending.promise.get_future();
+    if (util::TraceLog* trace = options_.trace) {
+      util::TraceEvent e;
+      e.name = pending.request.app;
+      e.cat = "request";
+      e.ph = 'b';
+      e.ts_us = trace->NowUs();
+      e.id = pending.span_id;
+      e.ArgStr("graph", pending.request.graph)
+          .ArgU64("request_id", pending.request.id);
+      trace->Add(std::move(e));
+    }
     queue_.push_back(std::move(pending));
-    ++stats_.submitted;
+    m_.submitted->Add(1);
   }
   queue_cv_.notify_one();
   return future;
@@ -180,8 +226,9 @@ QueryService::WarmEngine* QueryService::AcquireEngine(
       auto warm = std::make_unique<WarmEngine>(options_.device_spec);
       warm->busy = true;  // claimed by this dispatcher while it builds
       WarmEngine* raw = warm.get();
+      raw->id = static_cast<uint32_t>(m_.engines_created->value());
       pool.engines.push_back(std::move(warm));
-      ++stats_.engines_created;
+      m_.engines_created->Add(1);
       // Engine construction copies the CSR — do the expensive part
       // unlocked. The slot is marked busy, so no other dispatcher can
       // observe the half-built engine.
@@ -196,6 +243,16 @@ QueryService::WarmEngine* QueryService::AcquireEngine(
         // schedule from the shared spec.
         raw->injector = std::make_unique<sim::FaultInjector>(fault_spec_);
         raw->device.set_fault_injector(raw->injector.get());
+      }
+      if (util::TraceLog* trace = options_.trace) {
+        // Kernel timelines are only collected while a trace sink is
+        // attached; enabled post-Create so construction kernels don't
+        // pollute the first dispatch's slice.
+        raw->device.set_timeline_enabled(true);
+        trace->Add(util::ProcessNameEvent(
+            kEngineTracePidBase + raw->id,
+            "engine " + graph + "#" + std::to_string(raw->id) +
+                " (modeled time)"));
       }
       return raw;
     }
@@ -223,7 +280,7 @@ CircuitBreaker* QueryService::BreakerFor(const std::string& graph) {
   return pool.breaker.get();
 }
 
-void QueryService::RetryBackoff(uint64_t request_id, uint32_t attempt) {
+double QueryService::RetryBackoff(uint64_t request_id, uint32_t attempt) {
   const RetryOptions& retry = options_.retry;
   double base = retry.backoff_base_ms *
                 static_cast<double>(uint64_t{1} << std::min(attempt, 30u));
@@ -234,16 +291,14 @@ void QueryService::RetryBackoff(uint64_t request_id, uint32_t attempt) {
                                 (attempt * 0x9e3779b97f4a7c15ull));
   double u = static_cast<double>(h >> 11) * 0x1.0p-53;
   double delay_ms = base * (0.5 + 0.5 * u);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.backoff_ms += delay_ms;
-  }
+  m_.backoff_ms->Add(delay_ms);
   // Only worker mode actually sleeps; synchronous (ProcessAllPending)
   // dispatch stays instant so tests are fast and deterministic.
   if (options_.worker_threads > 0) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(delay_ms));
   }
+  return delay_ms;
 }
 
 QueryService::DispatchOutcome QueryService::RunOnEngine(
@@ -307,7 +362,7 @@ QueryService::DispatchOutcome QueryService::RunOnEngine(
          attempt + 1 < options_.retry.max_attempts) {
     ++attempt;
     ++out.retries;
-    RetryBackoff(lead.id, attempt);
+    out.backoff_ms += RetryBackoff(lead.id, attempt);
     if (sink.has()) {
       // Resume from the last good iteration instead of redoing the work.
       auto resumed = apps::ResumeApp(engine, *program, sink.latest(), params);
@@ -358,26 +413,21 @@ QueryService::DispatchOutcome QueryService::RunOnEngine(
 void QueryService::ExecuteBatch(std::vector<Pending> batch) {
   const uint64_t dispatch =
       dispatch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const Clock::time_point taken_at = Clock::now();
 
   // Requests cancelled while queued drop out before any engine work.
   std::vector<Pending> live;
   live.reserve(batch.size());
-  size_t swept = 0;
   for (Pending& p : batch) {
     if (p.request.cancel != nullptr && p.request.cancel->cancelled()) {
       Response r;
       r.status = TagStatus(
           util::Status::Aborted("cancelled before dispatch"), p.request);
-      p.promise.set_value(std::move(r));
-      ++swept;
+      m_.cancelled->Add(1);
+      Resolve(std::move(p), std::move(r), taken_at, 0.0, 0.0);
     } else {
       live.push_back(std::move(p));
     }
-  }
-  if (swept > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.cancelled += swept;
-    stats_.completed += swept;
   }
   if (live.empty()) return;
   batch = std::move(live);
@@ -389,24 +439,34 @@ void QueryService::ExecuteBatch(std::vector<Pending> batch) {
   // no retries burn, and the pool stays free for healthy graphs.
   CircuitBreaker* breaker = BreakerFor(lead.graph);
   if (!breaker->Allow(dispatch)) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.breaker_rejects += batch.size();
-      stats_.completed += batch.size();
-    }
+    m_.breaker_rejects->Add(batch.size());
     for (Pending& p : batch) {
       Response r;
       r.status = TagStatus(
           util::Status::Unavailable("circuit breaker open for graph '" +
                                     lead.graph + "'; retry after cooldown"),
           p.request);
-      p.promise.set_value(std::move(r));
+      Resolve(std::move(p), std::move(r), taken_at,
+              MsBetween(taken_at, Clock::now()), 0.0);
     }
     return;
   }
 
   WarmEngine* warm = AcquireEngine(lead.graph);
+  const Clock::time_point run_start = Clock::now();
+  const double setup_ms = MsBetween(taken_at, run_start);
+  size_t kernel_base = 0;
+  double trace_run_start_us = 0.0;
+  if (options_.trace != nullptr) {
+    kernel_base = warm->device.totals().kernel_records.size();
+    trace_run_start_us = options_.trace->NowUs();
+  }
   DispatchOutcome out = RunOnEngine(warm, lead, batch);
+  const double run_ms = MsBetween(run_start, Clock::now());
+  if (options_.trace != nullptr) {
+    EmitDispatchTrace(warm, lead, batch.size(), dispatch, out,
+                      trace_run_start_us, kernel_base);
+  }
   ReleaseEngine(warm);
 
   // The breaker watches infrastructure health: only retryable faults that
@@ -421,10 +481,7 @@ void QueryService::ExecuteBatch(std::vector<Pending> batch) {
   } else if (out.status.code() == util::StatusCode::kUnavailable) {
     uint64_t opens_before = breaker->opens();
     breaker->RecordFailure(dispatch);
-    if (breaker->opens() > opens_before) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.breaker_opens;
-    }
+    if (breaker->opens() > opens_before) m_.breaker_opens->Add(1);
   } else {
     // Per-request outcome: must not open (or close) the breaker, but must
     // still resolve the dispatch — if this was the half-open probe, the
@@ -439,11 +496,8 @@ void QueryService::ExecuteBatch(std::vector<Pending> batch) {
   // alone. log2(64) = 6 levels deep at worst.
   if (!out.status.ok() &&
       out.status.code() == util::StatusCode::kInternal && batch.size() > 1) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.batch_splits;
-      ++stats_.batches;
-    }
+    m_.batch_splits->Add(1);
+    m_.batches->Add(1);
     size_t mid = batch.size() / 2;
     std::vector<Pending> right;
     right.reserve(batch.size() - mid);
@@ -456,44 +510,115 @@ void QueryService::ExecuteBatch(std::vector<Pending> batch) {
     return;
   }
 
-  {
+  m_.batches->Add(1);
+  if (batch.size() > 1) m_.coalesced->Add(batch.size());
+  m_.retries->Add(out.retries);
+  m_.resumes->Add(out.resumes);
+  m_.checkpoint_fallbacks->Add(out.checkpoint_fallbacks);
+  if (!out.status.ok() &&
+      out.status.code() == util::StatusCode::kDeadlineExceeded) {
+    m_.deadline_misses->Add(1);
+    if (options_.adaptive_batch) {
+      // Multiplicative decrease: the next batches are half the size, so
+      // they fit tighter deadlines.
+      std::lock_guard<std::mutex> lock(mu_);
+      effective_max_batch_ = std::max<uint32_t>(effective_max_batch_ / 2, 1);
+    }
+  } else if (out.status.ok() && options_.adaptive_batch) {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.batches;
-    stats_.completed += batch.size();
-    if (batch.size() > 1) stats_.coalesced += batch.size();
-    stats_.retries += out.retries;
-    stats_.resumes += out.resumes;
-    stats_.checkpoint_fallbacks += out.checkpoint_fallbacks;
-    if (!out.status.ok() &&
-        out.status.code() == util::StatusCode::kDeadlineExceeded) {
-      ++stats_.deadline_misses;
-      if (options_.adaptive_batch) {
-        // Multiplicative decrease: the next batches are half the size, so
-        // they fit tighter deadlines.
-        effective_max_batch_ = std::max<uint32_t>(effective_max_batch_ / 2, 1);
-      }
-    } else if (out.status.ok() && options_.adaptive_batch &&
-               effective_max_batch_ < options_.max_batch) {
+    if (effective_max_batch_ < options_.max_batch) {
       ++effective_max_batch_;  // additive recovery
     }
-    if (!out.status.ok() &&
-        out.status.code() == util::StatusCode::kAborted) {
-      stats_.cancelled += batch.size();  // mid-run cooperative cancel
-    }
+  }
+  if (!out.status.ok() && out.status.code() == util::StatusCode::kAborted) {
+    m_.cancelled->Add(batch.size());  // mid-run cooperative cancel
   }
 
   for (size_t i = 0; i < batch.size(); ++i) {
     Response r;
     r.batch_size = static_cast<uint32_t>(batch.size());
     r.attempts = out.attempts;
+    r.timing.backoff_ms = out.backoff_ms;
+    r.timing.retries = out.retries;
+    r.timing.resumes = out.resumes;
     if (out.status.ok()) {
       r.stats = out.stats;
       r.output_digest = out.digests[i];
     } else {
       r.status = TagStatus(out.status, batch[i].request);
     }
-    batch[i].promise.set_value(std::move(r));
+    Resolve(std::move(batch[i]), std::move(r), taken_at, setup_ms, run_ms);
   }
+}
+
+void QueryService::Resolve(Pending pending, Response response,
+                           Clock::time_point taken_at, double setup_ms,
+                           double run_ms) {
+  RequestTiming& t = response.timing;
+  t.queue_wait_ms = MsBetween(pending.submitted_at, taken_at);
+  t.coalesce_ms = setup_ms;
+  t.run_ms = run_ms;
+  t.total_ms = MsBetween(pending.submitted_at, Clock::now());
+  m_.latency_total_us->Add(static_cast<uint64_t>(t.total_ms * 1e3));
+  m_.latency_queue_us->Add(static_cast<uint64_t>(t.queue_wait_ms * 1e3));
+  m_.latency_run_us->Add(static_cast<uint64_t>(t.run_ms * 1e3));
+  m_.completed->Add(1);
+  if (util::TraceLog* trace = options_.trace) {
+    util::TraceEvent e;
+    e.name = pending.request.app;
+    e.cat = "request";
+    e.ph = 'e';
+    e.ts_us = trace->NowUs();
+    e.id = pending.span_id;
+    e.ArgStr("status", util::StatusCodeToString(response.status.code()))
+        .ArgU64("batch_size", response.batch_size)
+        .ArgF("total_ms", t.total_ms);
+    trace->Add(std::move(e));
+  }
+  pending.promise.set_value(std::move(response));
+}
+
+void QueryService::EmitDispatchTrace(WarmEngine* warm, const Request& lead,
+                                     size_t batch_size, uint64_t dispatch,
+                                     const DispatchOutcome& out,
+                                     double start_us, size_t kernel_base) {
+  util::TraceLog* trace = options_.trace;
+  util::TraceEvent e;
+  e.name = lead.app;
+  e.cat = "dispatch";
+  e.ph = 'X';
+  e.ts_us = start_us;
+  e.dur_us = std::max(trace->NowUs() - start_us, 0.0);
+  e.pid = 0;
+  e.tid = warm->id;
+  e.ArgStr("graph", lead.graph)
+      .ArgU64("dispatch", dispatch)
+      .ArgU64("batch_size", batch_size)
+      .ArgU64("attempts", out.attempts)
+      .ArgStr("status", util::StatusCodeToString(out.status.code()));
+  trace->Add(std::move(e));
+
+  // The dispatch's kernel slices on the engine's modeled-time track. The
+  // engine is still owned by this dispatcher, so the records are stable;
+  // consume them so a long-lived service does not accumulate them forever.
+  auto& records = warm->device.totals().kernel_records;
+  for (size_t i = kernel_base; i < records.size(); ++i) {
+    const sim::KernelRecord& rec = records[i];
+    util::TraceEvent k;
+    k.name = rec.label.empty() ? "kernel" : rec.label;
+    k.cat = "kernel";
+    k.ph = 'X';
+    k.ts_us = rec.start_seconds * 1e6;
+    k.dur_us = rec.seconds * 1e6;
+    k.pid = kEngineTracePidBase + warm->id;
+    k.tid = 0;
+    k.ArgU64("seq", rec.seq)
+        .ArgU64("sectors", rec.sectors)
+        .ArgU64("dispatch", dispatch);
+    trace->Add(std::move(k));
+  }
+  records.erase(records.begin() + static_cast<ptrdiff_t>(kernel_base),
+                records.end());
 }
 
 void QueryService::WorkerLoop() {
@@ -545,10 +670,36 @@ void QueryService::Shutdown() {
 }
 
 ServiceStats QueryService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ServiceStats snapshot = stats_;
-  snapshot.current_max_batch = effective_max_batch_;
-  return snapshot;
+  ServiceStats s;
+  s.submitted = m_.submitted->value();
+  s.rejected = m_.rejected->value();
+  s.completed = m_.completed->value();
+  s.batches = m_.batches->value();
+  s.coalesced = m_.coalesced->value();
+  s.engines_created = m_.engines_created->value();
+  s.retries = m_.retries->value();
+  s.resumes = m_.resumes->value();
+  s.checkpoint_fallbacks = m_.checkpoint_fallbacks->value();
+  s.batch_splits = m_.batch_splits->value();
+  s.breaker_opens = m_.breaker_opens->value();
+  s.breaker_rejects = m_.breaker_rejects->value();
+  s.deadline_misses = m_.deadline_misses->value();
+  s.cancelled = m_.cancelled->value();
+  s.backoff_ms = m_.backoff_ms->value();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.current_max_batch = effective_max_batch_;
+  }
+  // Request-latency percentiles from the SageScope histogram (nearest-rank
+  // bucket walk; see util::Histogram::Percentile).
+  util::Histogram lat = m_.latency_total_us->snapshot();
+  s.latency_samples = lat.total_count();
+  if (s.latency_samples > 0) {
+    s.latency_p50_ms = lat.Percentile(50.0) / 1e3;
+    s.latency_p95_ms = lat.Percentile(95.0) / 1e3;
+    s.latency_p99_ms = lat.Percentile(99.0) / 1e3;
+  }
+  return s;
 }
 
 }  // namespace sage::serve

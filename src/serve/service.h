@@ -2,6 +2,7 @@
 #define SAGE_SERVE_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -15,6 +16,7 @@
 #include "serve/graph_registry.h"
 #include "serve/types.h"
 #include "sim/fault_injector.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -83,14 +85,25 @@ class QueryService {
   /// Idempotent; the destructor calls it.
   void Shutdown();
 
+  /// Counter values plus request-latency percentiles (p50/p95/p99 from the
+  /// SageScope latency histogram). Safe from any thread.
   ServiceStats stats() const;
   const ServeOptions& options() const { return options_; }
 
+  /// The service's SageScope metrics registry ("serve.*" counters, the
+  /// latency histograms). Snapshot/ToJson are safe from any thread.
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
+  using Clock = std::chrono::steady_clock;
+
   /// A queued request plus the promise its future watches.
   struct Pending {
     Request request;
     std::promise<Response> promise;
+    Clock::time_point submitted_at;
+    /// SageScope span id: keys the request's async 'b'/'e' trace events.
+    uint64_t span_id = 0;
   };
 
   /// One warm engine: its own simulated device, the engine, and the
@@ -104,6 +117,8 @@ class QueryService {
     /// null when injection is off). Owned here because its counters are
     /// device-lifetime state.
     std::unique_ptr<sim::FaultInjector> injector;
+    /// Service-wide warm-engine ordinal; labels this engine's trace tracks.
+    uint32_t id = 0;
     bool busy = false;
   };
   struct GraphPool {
@@ -121,6 +136,7 @@ class QueryService {
     uint32_t retries = 0;
     uint32_t resumes = 0;
     uint32_t checkpoint_fallbacks = 0;
+    double backoff_ms = 0.0;        ///< computed backoff across retries
   };
 
   util::Status ValidateRequest(const Request& request) const;
@@ -141,8 +157,25 @@ class QueryService {
   /// The graph's circuit breaker, created on first use.
   CircuitBreaker* BreakerFor(const std::string& graph);
   /// Computes (and in worker mode sleeps) the deterministic-jitter backoff
-  /// before retry `attempt` of `request_id`'s dispatch.
-  void RetryBackoff(uint64_t request_id, uint32_t attempt);
+  /// before retry `attempt` of `request_id`'s dispatch. Returns the
+  /// computed delay in milliseconds (the caller accumulates it into the
+  /// dispatch outcome and the backoff gauge).
+  double RetryBackoff(uint64_t request_id, uint32_t attempt);
+  /// Stamps `response` with this request's timing (queue wait measured
+  /// against `taken_at`; `setup_ms`/`run_ms` are the dispatcher-measured
+  /// segments shared by the whole batch), folds the latency into the
+  /// SageScope histograms, emits the span-end trace event, and fulfills
+  /// the promise.
+  void Resolve(Pending pending, Response response, Clock::time_point taken_at,
+               double setup_ms, double run_ms);
+  /// Emits the wall-clock dispatch slice and the dispatch's modeled-time
+  /// kernel slices (consuming the engine's kernel records from
+  /// `kernel_base` on). Requires options_.trace != nullptr; called while
+  /// `warm` is still owned by this dispatcher.
+  void EmitDispatchTrace(WarmEngine* warm, const Request& lead,
+                         size_t batch_size, uint64_t dispatch,
+                         const DispatchOutcome& out, double start_us,
+                         size_t kernel_base);
   /// Blocks until a warm engine for `graph` is free (creating one if the
   /// pool is below engines_per_graph).
   WarmEngine* AcquireEngine(const std::string& graph);
@@ -165,13 +198,41 @@ class QueryService {
   /// Monotonic dispatch counter — the deterministic "clock" circuit
   /// breakers cool down against.
   std::atomic<uint64_t> dispatch_seq_{0};
+  /// Monotonic request-span ids for trace export.
+  std::atomic<uint64_t> span_seq_{0};
 
-  mutable std::mutex mu_;  // guards queue_, pools_, stats_, stopping_
+  // SageScope: the ServiceStats counters live in this registry (updated
+  // lock-free via the cached pointers below); stats() reassembles the
+  // legacy struct from it.
+  util::MetricsRegistry metrics_;
+  struct Metric {
+    util::Counter* submitted;
+    util::Counter* rejected;
+    util::Counter* completed;
+    util::Counter* batches;
+    util::Counter* coalesced;
+    util::Counter* engines_created;
+    util::Counter* retries;
+    util::Counter* resumes;
+    util::Counter* checkpoint_fallbacks;
+    util::Counter* batch_splits;
+    util::Counter* breaker_opens;
+    util::Counter* breaker_rejects;
+    util::Counter* deadline_misses;
+    util::Counter* cancelled;
+    util::Gauge* backoff_ms;
+    /// Request-latency spans in microseconds (totals are what the p50/p95/
+    /// p99 in ServiceStats come from).
+    util::HistogramMetric* latency_total_us;
+    util::HistogramMetric* latency_queue_us;
+    util::HistogramMetric* latency_run_us;
+  } m_{};
+
+  mutable std::mutex mu_;  // guards queue_, pools_, stopping_, batch cap
   std::condition_variable queue_cv_;
   std::condition_variable engine_cv_;
   std::deque<Pending> queue_;
   std::map<std::string, GraphPool> pools_;
-  ServiceStats stats_;
   /// Adaptive batch cap (<= options_.max_batch); guarded by mu_.
   uint32_t effective_max_batch_ = 1;
   bool stopping_ = false;

@@ -12,6 +12,7 @@
 #include "core/guard.h"
 #include "serve/circuit_breaker.h"
 #include "sim/device_spec.h"
+#include "util/trace.h"
 
 namespace sage::serve {
 
@@ -80,6 +81,15 @@ struct ServeOptions {
   /// its deadline, recover by +1 per clean dispatch up to max_batch.
   bool adaptive_batch = true;
 
+  // --- SageScope (DESIGN.md §8) ---
+
+  /// Chrome-trace sink (borrowed; must outlive the service; null = off).
+  /// When set, the service emits per-request async spans (submit →
+  /// response), per-dispatch slices on the worker wall-clock track, and —
+  /// with warm-engine timelines enabled automatically — modeled-time kernel
+  /// slices on one track per warm engine.
+  util::TraceLog* trace = nullptr;
+
   ServeOptions() { engine_options.host_threads = 1; }
 };
 
@@ -106,6 +116,23 @@ struct Request {
   std::shared_ptr<core::CancellationToken> cancel;
 };
 
+/// Wall-clock span of one request through the service (SageScope). All
+/// milliseconds. total_ms covers submit → response delivery; queue_wait_ms
+/// is time spent in the admission queue before a dispatcher claimed the
+/// request; coalesce_ms is dispatch setup (batch claim, breaker check,
+/// engine acquisition — including waiting for a free warm engine);
+/// run_ms is the engine-run segment across all attempts; backoff_ms is the
+/// computed retry backoff (slept only in worker mode).
+struct RequestTiming {
+  double queue_wait_ms = 0.0;
+  double coalesce_ms = 0.0;
+  double run_ms = 0.0;
+  double backoff_ms = 0.0;
+  double total_ms = 0.0;
+  uint32_t retries = 0;
+  uint32_t resumes = 0;
+};
+
 /// The answer to one Request, delivered through its future.
 struct Response {
   /// OK if the run completed; the error otherwise (fields below are then
@@ -126,6 +153,9 @@ struct Response {
   uint32_t batch_size = 1;
   /// Engine runs this dispatch took (1 = no retries).
   uint32_t attempts = 1;
+  /// Where this request's wall time went (populated for every response,
+  /// including failures).
+  RequestTiming timing;
 };
 
 /// Monotonic service counters (see QueryService::stats).
@@ -147,6 +177,11 @@ struct ServiceStats {
   uint64_t cancelled = 0;          ///< requests answered kAborted
   double backoff_ms = 0.0;         ///< total computed retry backoff
   uint32_t current_max_batch = 0;  ///< adaptive batch cap right now
+  // --- SageScope (request-latency distribution, util::Histogram-backed) ---
+  uint64_t latency_samples = 0;    ///< responses folded into the histogram
+  double latency_p50_ms = 0.0;     ///< submit → response percentiles
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
 };
 
 }  // namespace sage::serve

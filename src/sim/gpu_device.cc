@@ -426,6 +426,17 @@ KernelResult GpuDevice::EndKernel() {
   result.max_sm_busy = max_busy;
   result.seconds = CyclesToSeconds(result.max_sm_cycles);
 
+  if (timeline_enabled_) {
+    KernelRecord rec;
+    rec.seq = kernel_seq_;
+    rec.start_seconds = totals_.seconds;  // cumulative before this kernel
+    rec.seconds = result.seconds;
+    rec.sectors = result.total_sectors;
+    rec.compute_cycles = result.total_compute_cycles;
+    rec.tp_overhead_cycles = result.total_tp_overhead_cycles;
+    rec.label = kernel_label_;
+    totals_.kernel_records.push_back(std::move(rec));
+  }
   totals_.seconds += result.seconds;
   totals_.kernels += 1;
   // TP overhead runs spread across the SMs, so convert its aggregate cycle

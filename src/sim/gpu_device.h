@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/access_event.h"
@@ -171,6 +173,17 @@ class GpuDevice {
   const DeviceTotals& totals() const { return totals_; }
   void ResetTotals();
 
+  /// Enables per-kernel timeline records (DeviceTotals::kernel_records) for
+  /// SageScope trace export. Off by default — the hot path then records
+  /// nothing extra. Records carry modeled time only, so they are
+  /// bit-identical between serial and --host-threads=N runs.
+  void set_timeline_enabled(bool enabled) { timeline_enabled_ = enabled; }
+  bool timeline_enabled() const { return timeline_enabled_; }
+
+  /// Label stamped on subsequent kernels' timeline records (the engine sets
+  /// the bound program's name). Ignored while the timeline is disabled.
+  void set_kernel_label(std::string label) { kernel_label_ = std::move(label); }
+
   /// Adds host-side pipeline seconds that are not kernel time (e.g. the
   /// synchronous part of an out-of-core transfer) to the running totals.
   void AddExternalSeconds(double seconds);
@@ -208,6 +221,8 @@ class GpuDevice {
   FaultInjector* injector_ = nullptr;
   std::vector<uint32_t> sm_perm_;
   uint64_t kernel_seq_ = 0;
+  bool timeline_enabled_ = false;
+  std::string kernel_label_;
 };
 
 }  // namespace sage::sim

@@ -2,6 +2,7 @@
 #define SAGE_SIM_KERNEL_STATS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace sage::sim {
@@ -41,6 +42,21 @@ struct KernelResult {
   uint64_t total_sectors = 0;
 };
 
+/// One kernel's slice on the modeled timeline (SageScope). Collected only
+/// while GpuDevice::set_timeline_enabled(true) is in effect, so the default
+/// hot path records nothing. Times are modeled device seconds — not wall
+/// clock — which makes the records bit-identical between serial and
+/// parallel (trace/replay) execution.
+struct KernelRecord {
+  uint64_t seq = 0;           ///< device-wide kernel sequence number
+  double start_seconds = 0.0; ///< cumulative modeled seconds at launch
+  double seconds = 0.0;       ///< modeled duration
+  uint64_t sectors = 0;
+  uint64_t compute_cycles = 0;
+  uint64_t tp_overhead_cycles = 0;
+  std::string label;          ///< caller-set (program name); may be empty
+};
+
 /// Running totals across all kernels of an app execution.
 struct DeviceTotals {
   double seconds = 0.0;
@@ -51,6 +67,9 @@ struct DeviceTotals {
   /// id. The determinism harness hashes this to prove the parallel backend
   /// charges every SM identically to serial mode.
   std::vector<uint64_t> sm_sectors;
+  /// Modeled kernel timeline; empty unless the device timeline is enabled.
+  /// Consumers (trace export) may clear it after draining to bound memory.
+  std::vector<KernelRecord> kernel_records;
 };
 
 }  // namespace sage::sim

@@ -5,6 +5,7 @@
 
 #include "sim/fault_injector.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace sage::sim {
@@ -276,6 +277,26 @@ void MemorySim::FlushL2() {
 void MemorySim::ResetStats() {
   device_stats_ = MemStats();
   host_stats_ = MemStats();
+}
+
+namespace {
+void ExportSpaceStats(const std::string& prefix, const MemStats& s,
+                      util::MetricsRegistry* registry) {
+  registry->counter(prefix + "batches")->Set(s.batches);
+  registry->counter(prefix + "sectors")->Set(s.sectors);
+  registry->counter(prefix + "l2_hits")->Set(s.l2_hits);
+  registry->counter(prefix + "l2_misses")->Set(s.l2_misses);
+  registry->counter(prefix + "useful_bytes")->Set(s.useful_bytes);
+  registry->counter(prefix + "loaded_bytes")->Set(s.loaded_bytes);
+  registry->gauge(prefix + "l2_hit_rate")->Set(s.L2HitRate());
+  registry->gauge(prefix + "amplification")->Set(s.Amplification());
+}
+}  // namespace
+
+void MemorySim::ExportMetrics(const std::string& prefix,
+                              util::MetricsRegistry* registry) const {
+  ExportSpaceStats(prefix + "device.", device_stats_, registry);
+  ExportSpaceStats(prefix + "host.", host_stats_, registry);
 }
 
 }  // namespace sage::sim

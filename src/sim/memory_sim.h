@@ -9,6 +9,7 @@
 #include "sim/device_spec.h"
 
 namespace sage::util {
+class MetricsRegistry;
 class ThreadPool;
 }  // namespace sage::util
 
@@ -159,6 +160,13 @@ class MemorySim {
   const MemStats& device_stats() const { return device_stats_; }
   const MemStats& host_stats() const { return host_stats_; }
   void ResetStats();
+
+  /// Publishes the cumulative device/host MemStats into `registry` under
+  /// `prefix` (e.g. "mem." → "mem.device.sectors"). Publish-style (Counter::
+  /// Set), so repeated exports overwrite rather than double-count. Values
+  /// are modeled totals — deterministic across serial/parallel runs.
+  void ExportMetrics(const std::string& prefix,
+                     util::MetricsRegistry* registry) const;
 
   const DeviceSpec& spec() const { return spec_; }
 

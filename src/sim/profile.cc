@@ -1,36 +1,22 @@
 #include "sim/profile.h"
 
 #include <algorithm>
-#include <cstdarg>
-#include <cstdio>
-#include <sstream>
+
+#include "util/stats.h"
+#include "util/strings.h"
 
 namespace sage::sim {
 
-namespace {
-
-void Appendf(std::string& out, const char* fmt, ...)
-    __attribute__((format(printf, 2, 3)));
-
-void Appendf(std::string& out, const char* fmt, ...) {
-  char buf[256];
-  va_list args;
-  va_start(args, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, args);
-  va_end(args);
-  out += buf;
-}
-
-}  // namespace
+using util::AppendF;
 
 std::string FormatDeviceProfile(const GpuDevice& device) {
   std::string out;
   const DeviceTotals& totals = device.totals();
-  Appendf(out, "=== device profile ===\n");
-  Appendf(out, "kernels launched : %llu\n",
+  AppendF(&out, "=== device profile ===\n");
+  AppendF(&out, "kernels launched : %llu\n",
           static_cast<unsigned long long>(totals.kernels));
-  Appendf(out, "total GPU time   : %.3f ms\n", totals.seconds * 1e3);
-  Appendf(out, "TP scheduling    : %.3f ms (%.1f%%)\n",
+  AppendF(&out, "total GPU time   : %.3f ms\n", totals.seconds * 1e3);
+  AppendF(&out, "TP scheduling    : %.3f ms (%.1f%%)\n",
           totals.tp_overhead_seconds * 1e3,
           totals.seconds > 0
               ? 100.0 * totals.tp_overhead_seconds / totals.seconds
@@ -38,36 +24,128 @@ std::string FormatDeviceProfile(const GpuDevice& device) {
   if (!totals.per_kernel_seconds.empty()) {
     auto sorted = totals.per_kernel_seconds;
     std::sort(sorted.begin(), sorted.end());
-    auto pct = [&sorted](double p) {
-      size_t i = static_cast<size_t>(p * (sorted.size() - 1));
-      return sorted[i] * 1e6;
-    };
-    Appendf(out, "kernel time      : p50 %.1fus  p90 %.1fus  max %.1fus\n",
-            pct(0.5), pct(0.9), pct(1.0));
+    AppendF(&out, "kernel time      : p50 %.1fus  p90 %.1fus  max %.1fus\n",
+            util::PercentileOfSorted(sorted, 50.0) * 1e6,
+            util::PercentileOfSorted(sorted, 90.0) * 1e6,
+            util::PercentileOfSorted(sorted, 100.0) * 1e6);
   }
 
   const MemStats& mem = device.mem().device_stats();
-  Appendf(out, "--- device memory ---\n");
-  Appendf(out, "batches          : %llu\n",
+  AppendF(&out, "--- device memory ---\n");
+  AppendF(&out, "batches          : %llu\n",
           static_cast<unsigned long long>(mem.batches));
-  Appendf(out, "sectors touched  : %llu (%.1f MB loaded)\n",
+  AppendF(&out, "sectors touched  : %llu (%.1f MB loaded)\n",
           static_cast<unsigned long long>(mem.sectors),
           static_cast<double>(mem.loaded_bytes) / 1e6);
-  Appendf(out, "L2 hit rate      : %.1f%%\n", 100.0 * mem.L2HitRate());
-  Appendf(out, "amplification    : %.2fx (useful %.1f MB)\n",
+  AppendF(&out, "L2 hit rate      : %.1f%%\n", 100.0 * mem.L2HitRate());
+  AppendF(&out, "amplification    : %.2fx (useful %.1f MB)\n",
           mem.Amplification(),
           static_cast<double>(mem.useful_bytes) / 1e6);
 
   const LinkModel::Stats& link = device.host_link().stats();
   if (link.transfers > 0) {
-    Appendf(out, "--- host link (PCIe) ---\n");
-    Appendf(out, "transfers        : %llu (%llu frames)\n",
+    AppendF(&out, "--- host link (PCIe) ---\n");
+    AppendF(&out, "transfers        : %llu (%llu frames)\n",
             static_cast<unsigned long long>(link.transfers),
             static_cast<unsigned long long>(link.frames));
-    Appendf(out, "wire traffic     : %.1f MB, payload ratio %.2f\n",
+    AppendF(&out, "wire traffic     : %.1f MB, payload ratio %.2f\n",
             static_cast<double>(link.wire_bytes) / 1e6, link.Efficiency());
   }
   return out;
+}
+
+std::string FormatDeviceProfileJson(const GpuDevice& device) {
+  std::string out;
+  const DeviceTotals& totals = device.totals();
+  out += "{\n";
+  AppendF(&out, "  \"kernels\": %llu,\n",
+          static_cast<unsigned long long>(totals.kernels));
+  AppendF(&out, "  \"gpu_seconds\": %.17g,\n", totals.seconds);
+  AppendF(&out, "  \"tp_scheduling_seconds\": %.17g,\n",
+          totals.tp_overhead_seconds);
+  AppendF(&out, "  \"tp_scheduling_pct\": %.17g,\n",
+          totals.seconds > 0
+              ? 100.0 * totals.tp_overhead_seconds / totals.seconds
+              : 0.0);
+  if (!totals.per_kernel_seconds.empty()) {
+    auto sorted = totals.per_kernel_seconds;
+    std::sort(sorted.begin(), sorted.end());
+    AppendF(&out,
+            "  \"kernel_seconds\": {\"p50_us\": %.17g, \"p90_us\": %.17g, "
+            "\"max_us\": %.17g},\n",
+            util::PercentileOfSorted(sorted, 50.0) * 1e6,
+            util::PercentileOfSorted(sorted, 90.0) * 1e6,
+            util::PercentileOfSorted(sorted, 100.0) * 1e6);
+  }
+
+  const MemStats& mem = device.mem().device_stats();
+  out += "  \"device_memory\": {\n";
+  AppendF(&out, "    \"batches\": %llu,\n",
+          static_cast<unsigned long long>(mem.batches));
+  AppendF(&out, "    \"sectors\": %llu,\n",
+          static_cast<unsigned long long>(mem.sectors));
+  AppendF(&out, "    \"loaded_bytes\": %llu,\n",
+          static_cast<unsigned long long>(mem.loaded_bytes));
+  AppendF(&out, "    \"useful_bytes\": %llu,\n",
+          static_cast<unsigned long long>(mem.useful_bytes));
+  AppendF(&out, "    \"l2_hit_rate\": %.17g,\n", mem.L2HitRate());
+  AppendF(&out, "    \"amplification\": %.17g\n", mem.Amplification());
+  out += "  },\n";
+
+  const LinkModel::Stats& link = device.host_link().stats();
+  out += "  \"host_link\": {\n";
+  AppendF(&out, "    \"transfers\": %llu,\n",
+          static_cast<unsigned long long>(link.transfers));
+  AppendF(&out, "    \"frames\": %llu,\n",
+          static_cast<unsigned long long>(link.frames));
+  AppendF(&out, "    \"wire_bytes\": %llu,\n",
+          static_cast<unsigned long long>(link.wire_bytes));
+  AppendF(&out, "    \"payload_ratio\": %.17g\n", link.Efficiency());
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+void ExportDeviceMetrics(const GpuDevice& device,
+                         util::MetricsRegistry* registry) {
+  const DeviceTotals& totals = device.totals();
+  registry->counter("device.kernels")->Set(totals.kernels);
+  registry->gauge("device.gpu_seconds")->Set(totals.seconds);
+  registry->gauge("device.tp_scheduling_seconds")
+      ->Set(totals.tp_overhead_seconds);
+  device.mem().ExportMetrics("mem.", registry);
+  const LinkModel::Stats& link = device.host_link().stats();
+  registry->counter("link.transfers")->Set(link.transfers);
+  registry->counter("link.frames")->Set(link.frames);
+  registry->counter("link.wire_bytes")->Set(link.wire_bytes);
+  registry->gauge("link.payload_ratio")->Set(link.Efficiency());
+  // Kernel-duration histogram in modeled microseconds: rebuilt from the
+  // per-kernel record on every export so repeated exports stay exact.
+  util::HistogramMetric* h = registry->histogram("device.kernel_us");
+  h->Reset();
+  for (double s : totals.per_kernel_seconds) {
+    h->Add(static_cast<uint64_t>(s * 1e6));
+  }
+}
+
+void AppendKernelTrace(const GpuDevice& device, const std::string& track_name,
+                       uint32_t pid, util::TraceLog* trace) {
+  trace->Add(util::ProcessNameEvent(pid, track_name));
+  for (const KernelRecord& rec : device.totals().kernel_records) {
+    util::TraceEvent e;
+    e.name = rec.label.empty() ? "kernel" : rec.label;
+    e.cat = "kernel";
+    e.ph = 'X';
+    e.ts_us = rec.start_seconds * 1e6;
+    e.dur_us = rec.seconds * 1e6;
+    e.pid = pid;
+    e.tid = 0;
+    e.ArgU64("seq", rec.seq)
+        .ArgU64("sectors", rec.sectors)
+        .ArgU64("compute_cycles", rec.compute_cycles)
+        .ArgU64("tp_overhead_cycles", rec.tp_overhead_cycles);
+    trace->Add(std::move(e));
+  }
 }
 
 }  // namespace sage::sim

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "sim/gpu_device.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace sage::sim {
 
@@ -13,6 +15,25 @@ namespace sage::sim {
 /// simulator's stand-in for an Nsight Compute summary (Section 7.1 uses
 /// Nsight as the profiling tool).
 std::string FormatDeviceProfile(const GpuDevice& device);
+
+/// Structured-JSON twin of FormatDeviceProfile (SageScope): the same
+/// quantities as a machine-readable object. Deterministic — every field is
+/// a modeled total, so serial and --host-threads=N runs render identical
+/// bytes.
+std::string FormatDeviceProfileJson(const GpuDevice& device);
+
+/// Publishes the device's totals (kernels, modeled seconds, TP overhead)
+/// and its memory/link stats into `registry` under "device." / "mem." /
+/// "link." names. Publish-style (Set): repeated exports overwrite.
+void ExportDeviceMetrics(const GpuDevice& device,
+                         util::MetricsRegistry* registry);
+
+/// Appends the device's modeled kernel timeline (DeviceTotals::
+/// kernel_records, requires set_timeline_enabled(true)) to `trace` as
+/// Chrome-trace complete events on track `pid`, plus a process_name
+/// metadata event labelling the track. Timestamps are modeled microseconds.
+void AppendKernelTrace(const GpuDevice& device, const std::string& track_name,
+                       uint32_t pid, util::TraceLog* trace);
 
 }  // namespace sage::sim
 

@@ -1,0 +1,112 @@
+#include "util/metrics.h"
+
+#include "util/strings.h"
+
+namespace sage::util {
+
+void HistogramMetric::Add(uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_.Add(value);
+}
+
+void HistogramMetric::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_ = Histogram();
+}
+
+Histogram HistogramMetric::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hist_;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  // std::map iteration is name-sorted, which is what makes export order
+  // deterministic.
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    Histogram h = hist->snapshot();
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h.total_count();
+    hs.p50 = h.Percentile(50.0);
+    hs.p95 = h.Percentile(95.0);
+    hs.p99 = h.Percentile(99.0);
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      hs.buckets.push_back({Histogram::BucketLowerBound(b),
+                            Histogram::BucketUpperBound(b),
+                            h.bucket_count(b)});
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    AppendF(&out, "%s\n    \"%s\": %llu", first ? "" : ",",
+            JsonEscape(name).c_str(), static_cast<unsigned long long>(value));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    AppendF(&out, "%s\n    \"%s\": %.17g", first ? "" : ",",
+            JsonEscape(name).c_str(), value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& hs : histograms) {
+    AppendF(&out,
+            "%s\n    \"%s\": {\"count\": %llu, \"p50\": %.17g, "
+            "\"p95\": %.17g, \"p99\": %.17g, \"buckets\": [",
+            first ? "" : ",", JsonEscape(hs.name).c_str(),
+            static_cast<unsigned long long>(hs.count), hs.p50, hs.p95, hs.p99);
+    for (size_t i = 0; i < hs.buckets.size(); ++i) {
+      AppendF(&out, "%s[%llu, %llu, %llu]", i == 0 ? "" : ", ",
+              static_cast<unsigned long long>(hs.buckets[i].lo),
+              static_cast<unsigned long long>(hs.buckets[i].hi),
+              static_cast<unsigned long long>(hs.buckets[i].count));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sage::util

@@ -1,0 +1,111 @@
+#ifndef SAGE_UTIL_METRICS_H_
+#define SAGE_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace sage::util {
+
+/// Monotonic event counter. Add/Set are relaxed atomics — safe from any
+/// thread with no lock on the hot path. Set exists for publish-style
+/// mirroring of totals maintained elsewhere (e.g. MemStats exports).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written floating-point value (ratios, accumulated milliseconds,
+/// current limits). Atomic; Add uses C++20 atomic<double>::fetch_add.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-safe power-of-two-bucket histogram metric: a mutex-guarded
+/// util::Histogram. Add is one short critical section; snapshot() copies.
+class HistogramMetric {
+ public:
+  void Add(uint64_t value);
+  /// Clears all buckets; for publish-style exporters that rebuild the
+  /// distribution from a source of truth on every export.
+  void Reset();
+  Histogram snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+/// Point-in-time copy of one histogram metric for export.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Non-empty buckets as (inclusive lo, inclusive hi, count).
+  struct Bucket {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    uint64_t count = 0;
+  };
+  std::vector<Bucket> buckets;
+};
+
+/// Point-in-time copy of a whole registry, sorted by metric name so export
+/// order is deterministic. With deterministic metric values (everything the
+/// sim/engine publishes), the rendered JSON is bit-identical across runs.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  std::string ToJson() const;
+};
+
+/// Named-metric registry (SageScope; DESIGN.md §8). Lookup by name takes a
+/// mutex, but returned pointers are stable for the registry's lifetime, so
+/// hot paths resolve each metric once and then update lock-free (counters,
+/// gauges) or under a single short mutex (histograms).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric with this name, creating it on first use.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  HistogramMetric* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_METRICS_H_

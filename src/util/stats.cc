@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/logging.h"
+
 namespace sage::util {
 
 void RunningStats::Add(double x) {
@@ -33,6 +35,12 @@ int BucketIndex(uint64_t value) {
   if (value == 0) return 0;
   return 64 - __builtin_clzll(value);
 }
+
+// Largest double strictly below 2^64; the clamp target for bucket bounds
+// whose exact value (2^64) is not representable as uint64_t.
+double MaxRepresentableBound() {
+  return std::nextafter(std::ldexp(1.0, 64), 0.0);
+}
 }  // namespace
 
 void Histogram::Add(uint64_t value) {
@@ -40,33 +48,63 @@ void Histogram::Add(uint64_t value) {
   ++total_;
 }
 
+uint64_t Histogram::BucketLowerBound(int b) {
+  if (b <= 0) return 0;
+  return 1ull << (b - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int b) {
+  if (b <= 0) return 0;
+  // Bucket b holds values in [2^(b-1), 2^b - 1]. For the top bucket (b=64)
+  // the exclusive bound 2^64 would require `1ull << 64` — UB — so the
+  // inclusive form is computed as 2*(2^(b-1)) - 1 without ever shifting by b.
+  uint64_t lo = 1ull << (b - 1);
+  return lo - 1 + lo;  // == 2^b - 1, no overflow: top bucket yields UINT64_MAX
+}
+
 std::string Histogram::ToString() const {
   std::ostringstream os;
   for (int b = 0; b < kNumBuckets; ++b) {
     if (buckets_[b] == 0) continue;
-    uint64_t lo = b == 0 ? 0 : (1ull << (b - 1));
-    uint64_t hi = b == 0 ? 1 : (1ull << b);
-    os << "[" << lo << "," << hi << "): " << buckets_[b] << "\n";
+    os << "[" << BucketLowerBound(b) << "," << BucketUpperBound(b)
+       << "]: " << buckets_[b] << "\n";
   }
   return os.str();
 }
 
 double Histogram::Percentile(double p) const {
   if (total_ == 0) return 0.0;
-  double target = p / 100.0 * static_cast<double>(total_);
+  // Nearest-rank target: the k-th smallest sample with k = ceil(p/100 * n),
+  // clamped to [1, n] so p=0 selects the minimum. Within the bucket holding
+  // that sample we interpolate linearly between the bucket bounds.
+  double target = std::ceil(p / 100.0 * static_cast<double>(total_));
+  target = std::clamp(target, 1.0, static_cast<double>(total_));
   uint64_t seen = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
     if (buckets_[b] == 0) continue;
     if (static_cast<double>(seen + buckets_[b]) >= target) {
       double lo = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
       double hi = b == 0 ? 1.0 : std::ldexp(1.0, b);
+      // 2^64 (top bucket's exclusive bound) is not representable as uint64;
+      // clamp to the largest double below it so callers can round-trip the
+      // result through integer types.
+      hi = std::min(hi, MaxRepresentableBound());
       double frac =
           (target - static_cast<double>(seen)) / static_cast<double>(buckets_[b]);
       return lo + frac * (hi - lo);
     }
     seen += buckets_[b];
   }
-  return std::ldexp(1.0, kNumBuckets - 1);
+  // Unreachable when total_ > 0, but keep a safe clamp instead of the old
+  // unrepresentable 2^64 fallback.
+  return MaxRepresentableBound();
+}
+
+double PercentileOfSorted(std::span<const double> sorted, double p) {
+  SAGE_CHECK(!sorted.empty()) << "PercentileOfSorted on empty sample set";
+  double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  rank = std::clamp(rank, 1.0, static_cast<double>(sorted.size()));
+  return sorted[static_cast<size_t>(rank) - 1];
 }
 
 double GiniCoefficient(std::vector<uint64_t> values) {

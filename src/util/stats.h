@@ -2,6 +2,7 @@
 #define SAGE_UTIL_STATS_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,26 +31,46 @@ class RunningStats {
 };
 
 /// Fixed-bucket histogram over non-negative integer values; used for degree
-/// distributions and tile-size distributions in reports.
+/// distributions, tile-size distributions and SageScope latency metrics.
 class Histogram {
  public:
-  /// Buckets are powers of two: [0,1), [1,2), [2,4), ... up to 2^63.
+  /// Bucket b covers the closed value range
+  /// [BucketLowerBound(b), BucketUpperBound(b)]: {0}, {1}, [2,3], [4,7], ...
+  /// with the top bucket [2^63, UINT64_MAX] clamped to the representable
+  /// range (2^64 - 1 does not fit in uint64_t arithmetic as an exclusive
+  /// bound, which is what made the old half-open rendering UB).
+  static constexpr int kNumBuckets = 65;
+
   void Add(uint64_t value);
 
   uint64_t total_count() const { return total_; }
+  uint64_t bucket_count(int b) const { return buckets_[b]; }
 
-  /// Renders "bucket_lo..bucket_hi: count" lines for non-empty buckets.
+  /// Inclusive bounds of bucket b (see kNumBuckets comment).
+  static uint64_t BucketLowerBound(int b);
+  static uint64_t BucketUpperBound(int b);
+
+  /// Renders "[bucket_lo,bucket_hi]: count" lines (inclusive bounds) for
+  /// non-empty buckets.
   std::string ToString() const;
 
-  /// Approximate p-th percentile (p in [0,100]) assuming uniform
-  /// distribution within a bucket.
+  /// Approximate p-th percentile (p in [0,100]). Walks buckets to the one
+  /// containing the ceil(p/100 * count)-th sample (nearest-rank; p=0 maps to
+  /// the first sample) and interpolates linearly within it. Results are
+  /// clamped to the largest uint64-representable double, so the top bucket
+  /// never reports the unrepresentable 2^64.
   double Percentile(double p) const;
 
  private:
-  static constexpr int kNumBuckets = 65;
   uint64_t buckets_[kNumBuckets] = {};
   uint64_t total_ = 0;
 };
+
+/// Nearest-rank percentile of an ascending-sorted sample list: returns the
+/// ceil(p/100 * n)-th smallest element (1-based; p=0 maps to the minimum).
+/// This is the one percentile convention shared by benches, the device
+/// profile and serve latency reporting. Asserts on empty input.
+double PercentileOfSorted(std::span<const double> sorted, double p);
 
 /// Gini coefficient of a list of non-negative values — the skewness measure
 /// we report for synthetic dataset degree distributions.

@@ -1,0 +1,66 @@
+#include "util/strings.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace sage::util {
+
+void AppendV(std::string* out, const char* fmt, va_list args) {
+  va_list probe;
+  va_copy(probe, args);
+  char stack_buf[256];
+  int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, probe);
+  va_end(probe);
+  SAGE_CHECK(needed >= 0) << "vsnprintf failed for format: " << fmt;
+  if (static_cast<size_t>(needed) < sizeof(stack_buf)) {
+    out->append(stack_buf, static_cast<size_t>(needed));
+    return;
+  }
+  // The stack buffer was too small: render again into the grown output.
+  size_t old_size = out->size();
+  out->resize(old_size + static_cast<size_t>(needed) + 1);
+  std::vsnprintf(out->data() + old_size, static_cast<size_t>(needed) + 1, fmt,
+                 args);
+  out->resize(old_size + static_cast<size_t>(needed));
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  AppendV(out, fmt, args);
+  va_end(args);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          AppendF(&out, "\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace sage::util

@@ -1,0 +1,24 @@
+#ifndef SAGE_UTIL_STRINGS_H_
+#define SAGE_UTIL_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+
+namespace sage::util {
+
+/// Appends printf-formatted text to `out`. Unlike a fixed stack buffer this
+/// never truncates: the required length is taken from the vsnprintf return
+/// value and the output grows to fit.
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// va_list flavour of AppendF for wrappers that forward their own varargs.
+void AppendV(std::string* out, const char* fmt, va_list args);
+
+/// Returns `s` escaped for embedding inside a JSON string literal (quotes,
+/// backslashes and control characters; no surrounding quotes added).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_STRINGS_H_

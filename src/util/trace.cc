@@ -1,0 +1,90 @@
+#include "util/trace.h"
+
+#include "util/strings.h"
+
+namespace sage::util {
+
+TraceEvent& TraceEvent::ArgStr(const std::string& key,
+                               const std::string& value) {
+  args.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+
+TraceEvent& TraceEvent::ArgU64(const std::string& key, uint64_t value) {
+  std::string v;
+  AppendF(&v, "%llu", static_cast<unsigned long long>(value));
+  args.emplace_back(key, std::move(v));
+  return *this;
+}
+
+TraceEvent& TraceEvent::ArgF(const std::string& key, double value) {
+  std::string v;
+  AppendF(&v, "%.17g", value);
+  args.emplace_back(key, std::move(v));
+  return *this;
+}
+
+TraceLog::TraceLog() : t0_(std::chrono::steady_clock::now()) {}
+
+void TraceLog::Add(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+double TraceLog::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+namespace {
+void AppendEventJson(std::string* out, const TraceEvent& e) {
+  AppendF(out, "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", \"ts\": %.3f",
+          JsonEscape(e.name).c_str(), JsonEscape(e.cat).c_str(), e.ph, e.ts_us);
+  if (e.ph == 'X') AppendF(out, ", \"dur\": %.3f", e.dur_us);
+  if (e.ph == 'b' || e.ph == 'e') {
+    AppendF(out, ", \"id\": \"0x%llx\"", static_cast<unsigned long long>(e.id));
+  }
+  AppendF(out, ", \"pid\": %u, \"tid\": %u", e.pid, e.tid);
+  if (!e.args.empty()) {
+    *out += ", \"args\": {";
+    for (size_t i = 0; i < e.args.size(); ++i) {
+      AppendF(out, "%s\"%s\": %s", i == 0 ? "" : ", ",
+              JsonEscape(e.args[i].first).c_str(), e.args[i].second.c_str());
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+}  // namespace
+
+std::string TraceLog::ToJson() const {
+  std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    AppendEventJson(&out, events[i]);
+    out += i + 1 == events.size() ? "\n" : ",\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+TraceEvent ProcessNameEvent(uint32_t pid, const std::string& name) {
+  TraceEvent e;
+  e.name = "process_name";
+  e.ph = 'M';
+  e.pid = pid;
+  return e.ArgStr("name", name);
+}
+
+}  // namespace sage::util

@@ -1,0 +1,67 @@
+#ifndef SAGE_UTIL_TRACE_H_
+#define SAGE_UTIL_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sage::util {
+
+/// One event in the Chrome trace-event JSON format (loadable in
+/// chrome://tracing or Perfetto). Supported phases:
+///   'X' complete slice (ts + dur), 'b'/'e' async begin/end (keyed by id),
+///   'M' metadata (e.g. process_name), 'i' instant.
+/// `args` values are pre-rendered JSON literals (use ArgStr for strings).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // 'X' only
+  uint64_t id = 0;      // 'b'/'e' only
+  uint32_t pid = 0;
+  uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+
+  TraceEvent& ArgStr(const std::string& key, const std::string& value);
+  TraceEvent& ArgU64(const std::string& key, uint64_t value);
+  TraceEvent& ArgF(const std::string& key, double value);
+};
+
+/// Thread-safe in-memory trace sink (SageScope; DESIGN.md §8). Wall-clock
+/// timestamps are taken relative to construction via NowUs(); modeled-time
+/// tracks (kernel timelines) instead stamp deterministic simulated seconds,
+/// so those events are bit-identical between serial and parallel runs.
+class TraceLog {
+ public:
+  TraceLog();
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  void Add(TraceEvent event);
+
+  /// Microseconds of wall time since this log was created.
+  double NowUs() const;
+
+  size_t size() const;
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Renders {"traceEvents": [...]} — the Chrome trace-event JSON envelope.
+  std::string ToJson() const;
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Convenience: a ph='M' process_name metadata event, which labels the pid
+/// track in the trace viewer.
+TraceEvent ProcessNameEvent(uint32_t pid, const std::string& name);
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_TRACE_H_

@@ -1,0 +1,180 @@
+// SageScope observability tests (DESIGN.md §8): the device kernel
+// timeline, the structured profile / metrics / trace JSON exports, and the
+// determinism contract — everything the sim and engine publish is built
+// from modeled quantities, so serial and parallel runs must render
+// bit-identical bytes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "sim/gpu_device.h"
+#include "sim/profile.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace sage {
+namespace {
+
+graph::Csr TestGraph() {
+  return graph::GenerateRmat(9, 8192, 0.57, 0.19, 0.19, 7);
+}
+
+/// Minimal structural JSON check: braces/brackets balance outside string
+/// literals (escapes honored). Not a parser — the sanitizer stage in
+/// run_checks.sh validates the real thing with python3 -m json.tool.
+bool JsonBalanced(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false, escaped = false;
+  for (char c : s) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      stack.push_back(c);
+    } else if (c == '}' || c == ']') {
+      char open = c == '}' ? '{' : '[';
+      if (stack.empty() || stack.back() != open) return false;
+      stack.pop_back();
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+uint64_t CounterValue(const util::MetricsSnapshot& snap,
+                      const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "missing counter " << name;
+  return 0;
+}
+
+struct ObservedRun {
+  core::RunStats stats;
+  uint64_t kernels = 0;
+  std::vector<sim::KernelRecord> records;
+  std::string profile_json;
+  std::string metrics_json;
+  std::string trace_json;
+  util::MetricsSnapshot engine_metrics;
+};
+
+ObservedRun RunObserved(uint32_t host_threads) {
+  graph::Csr csr = TestGraph();
+  sim::GpuDevice device{sim::DeviceSpec()};
+  device.set_timeline_enabled(true);
+  core::EngineOptions options;
+  options.host_threads = host_threads;
+  core::Engine engine(&device, csr, options);
+  auto program = apps::CreateProgram("bfs");
+  SAGE_CHECK(program.ok());
+  apps::AppParams params;
+  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (csr.OutDegree(v) > 0) {
+      params.sources = {v};
+      break;
+    }
+  }
+  auto stats = apps::RunApp(engine, **program, params);
+  SAGE_CHECK(stats.ok()) << stats.status().ToString();
+
+  ObservedRun run;
+  run.stats = *stats;
+  run.kernels = device.totals().kernels;
+  run.records = device.totals().kernel_records;
+  run.profile_json = sim::FormatDeviceProfileJson(device);
+  util::MetricsRegistry registry;
+  sim::ExportDeviceMetrics(device, &registry);
+  run.metrics_json = registry.ToJson();
+  util::TraceLog trace;
+  sim::AppendKernelTrace(device, "bfs@test", 42, &trace);
+  run.trace_json = trace.ToJson();
+  run.engine_metrics = engine.metrics().Snapshot();
+  return run;
+}
+
+TEST(ObserveTest, TimelineOffByDefault) {
+  graph::Csr csr = TestGraph();
+  sim::GpuDevice device{sim::DeviceSpec()};
+  ASSERT_FALSE(device.timeline_enabled());
+  core::EngineOptions options;
+  options.host_threads = 1;
+  core::Engine engine(&device, csr, options);
+  auto program = apps::CreateProgram("bfs");
+  ASSERT_TRUE(program.ok());
+  apps::AppParams params;
+  params.sources = {0};
+  ASSERT_TRUE(apps::RunApp(engine, **program, params).ok());
+  EXPECT_GT(device.totals().kernels, 0u);
+  EXPECT_TRUE(device.totals().kernel_records.empty());
+}
+
+TEST(ObserveTest, KernelRecordsCoverEveryKernel) {
+  ObservedRun run = RunObserved(1);
+  ASSERT_EQ(run.records.size(), run.kernels);
+  double covered = 0.0;
+  double prev_start = -1.0;
+  for (const sim::KernelRecord& rec : run.records) {
+    EXPECT_GT(rec.seconds, 0.0);
+    EXPECT_GE(rec.start_seconds, prev_start);
+    prev_start = rec.start_seconds;
+    covered += rec.seconds;
+    EXPECT_EQ(rec.label, "bfs");
+  }
+  // The records tile the modeled GPU time end to end.
+  EXPECT_NEAR(covered, run.stats.seconds, 1e-12);
+}
+
+TEST(ObserveTest, EngineCountersMatchRunStats) {
+  ObservedRun run = RunObserved(1);
+  EXPECT_EQ(CounterValue(run.engine_metrics, "core.runs"), 1u);
+  EXPECT_EQ(CounterValue(run.engine_metrics, "core.iterations"),
+            run.stats.iterations);
+  EXPECT_EQ(CounterValue(run.engine_metrics, "core.edges_traversed"),
+            run.stats.edges_traversed);
+  EXPECT_EQ(CounterValue(run.engine_metrics, "core.frontier_nodes"),
+            run.stats.frontier_nodes);
+  ASSERT_EQ(run.engine_metrics.histograms.size(), 1u);
+  EXPECT_EQ(run.engine_metrics.histograms[0].name, "core.iteration_edges");
+  EXPECT_EQ(run.engine_metrics.histograms[0].count, run.stats.iterations);
+}
+
+TEST(ObserveTest, ExportsAreStructurallyValidJson) {
+  ObservedRun run = RunObserved(1);
+  EXPECT_TRUE(JsonBalanced(run.profile_json)) << run.profile_json;
+  EXPECT_TRUE(JsonBalanced(run.metrics_json)) << run.metrics_json;
+  EXPECT_TRUE(JsonBalanced(run.trace_json)) << run.trace_json;
+  EXPECT_NE(run.profile_json.find("\"kernels\""), std::string::npos);
+  EXPECT_NE(run.profile_json.find("\"device_memory\""), std::string::npos);
+  EXPECT_NE(run.metrics_json.find("\"device.kernels\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"bfs@test\""), std::string::npos);
+}
+
+// The SageScope determinism contract: every exported byte derives from
+// modeled quantities updated at iteration/kernel boundaries on the main
+// thread, so the parallel backend renders the identical JSON.
+TEST(ObserveTest, ExportsBitIdenticalSerialVsParallel) {
+  ObservedRun serial = RunObserved(1);
+  ObservedRun parallel = RunObserved(4);
+  EXPECT_EQ(serial.profile_json, parallel.profile_json);
+  EXPECT_EQ(serial.metrics_json, parallel.metrics_json);
+  EXPECT_EQ(serial.trace_json, parallel.trace_json);
+  EXPECT_EQ(serial.records.size(), parallel.records.size());
+}
+
+}  // namespace
+}  // namespace sage

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -373,6 +375,127 @@ TEST(ServeShutdownTest, ShutdownFailsQueuedRequestsAndRejectsNewOnes) {
             StatusCode::kFailedPrecondition);
   // Idempotent.
   service.Shutdown();
+}
+
+// --- SageScope: request timing, latency percentiles, trace export ----------
+
+TEST(ServeScopeTest, ResponseCarriesTiming) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  QueryService service(&registry, SyncOptions());
+  auto f1 = service.Submit(MakeRequest("g", "bfs", {0}));
+  auto f2 = service.Submit(MakeRequest("g", "bfs", {1}));
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  service.ProcessAllPending();
+  for (auto* f : {&*f1, &*f2}) {
+    Response r = f->get();
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_GE(r.timing.queue_wait_ms, 0.0);
+    EXPECT_GE(r.timing.coalesce_ms, 0.0);
+    EXPECT_GT(r.timing.run_ms, 0.0);
+    // total covers every segment of the request's path.
+    EXPECT_GE(r.timing.total_ms, r.timing.run_ms);
+    EXPECT_GE(r.timing.total_ms, r.timing.queue_wait_ms);
+    EXPECT_EQ(r.timing.retries, 0u);
+  }
+  // Failures carry timing too.
+  Request bad = MakeRequest("g", "bfs", {0});
+  bad.cancel = std::make_shared<core::CancellationToken>();
+  bad.cancel->Cancel();
+  auto f3 = service.Submit(std::move(bad));
+  ASSERT_TRUE(f3.ok());
+  service.ProcessAllPending();
+  Response r3 = f3->get();
+  EXPECT_EQ(r3.status.code(), StatusCode::kAborted);
+  EXPECT_GT(r3.timing.total_ms, 0.0);
+}
+
+TEST(ServeScopeTest, LatencyPercentilesFromHistogram) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  ServeOptions options = SyncOptions();
+  options.batching = false;
+  QueryService service(&registry, options);
+  std::vector<std::future<Response>> futures;
+  for (NodeId s = 0; s < 8; ++s) {
+    auto f = service.Submit(MakeRequest("g", "bfs", {s}));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  service.ProcessAllPending();
+  for (auto& f : futures) ASSERT_TRUE(f.get().status.ok());
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.latency_samples, stats.completed);
+  EXPECT_EQ(stats.latency_samples, 8u);
+  EXPECT_GT(stats.latency_p50_ms, 0.0);
+  EXPECT_LE(stats.latency_p50_ms, stats.latency_p95_ms);
+  EXPECT_LE(stats.latency_p95_ms, stats.latency_p99_ms);
+  // The registry renders the same counters as JSON.
+  std::string json = service.metrics().ToJson();
+  EXPECT_NE(json.find("\"serve.completed\": 8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve.latency_total_us\""), std::string::npos);
+}
+
+TEST(ServeScopeTest, TraceRecordsSpansDispatchesAndKernels) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  util::TraceLog trace;
+  ServeOptions options = SyncOptions();
+  options.trace = &trace;
+  QueryService service(&registry, options);
+  std::vector<std::future<Response>> futures;
+  for (NodeId s = 0; s < 3; ++s) {
+    auto f = service.Submit(MakeRequest("g", "bfs", {s}));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  service.ProcessAllPending();
+  for (auto& f : futures) ASSERT_TRUE(f.get().status.ok());
+  size_t begins = 0, ends = 0, dispatches = 0, kernels = 0;
+  for (const util::TraceEvent& ev : trace.snapshot()) {
+    if (ev.ph == 'b') ++begins;
+    if (ev.ph == 'e') ++ends;
+    if (ev.ph == 'X' && ev.cat == "dispatch") ++dispatches;
+    if (ev.ph == 'X' && ev.cat == "kernel") ++kernels;
+  }
+  EXPECT_EQ(begins, 3u);  // one async span per request
+  EXPECT_EQ(ends, 3u);
+  EXPECT_GE(dispatches, 1u);  // the 3 BFS coalesce into one dispatch
+  EXPECT_GT(kernels, 0u);     // warm-engine timelines are on under tracing
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("sage-serve (wall)"), std::string::npos);
+}
+
+// TSan target (run_checks.sh): stats(), metrics().ToJson(), and Submit all
+// race against the dispatch workers; none of it may data-race.
+TEST(ServeScopeTest, ConcurrentStatsAndMetricsExportAreClean) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", GraphA()).ok());
+  ServeOptions options = SyncOptions();
+  options.worker_threads = 2;
+  QueryService service(&registry, options);
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      ServiceStats stats = service.stats();
+      EXPECT_LE(stats.completed, stats.submitted);
+      std::string json = service.metrics().ToJson();
+      EXPECT_FALSE(json.empty());
+    }
+  });
+  std::vector<std::future<Response>> futures;
+  for (int round = 0; round < 10; ++round) {
+    for (NodeId s = 0; s < 4; ++s) {
+      auto f = service.Submit(MakeRequest("g", "bfs", {s}));
+      if (f.ok()) futures.push_back(std::move(*f));
+    }
+  }
+  for (auto& f : futures) f.get();
+  done.store(true);
+  reader.join();
+  service.Shutdown();
+  EXPECT_EQ(service.stats().completed, futures.size());
 }
 
 }  // namespace

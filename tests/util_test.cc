@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
+#include "util/metrics.h"
 #include "util/prefix_sum.h"
 #include "util/random.h"
 #include "util/segsort.h"
 #include "util/stats.h"
 #include "util/status.h"
+#include "util/strings.h"
+#include "util/trace.h"
 
 namespace sage::util {
 namespace {
@@ -227,6 +231,162 @@ TEST(StatsTest, GiniSkewedIsHigh) {
 TEST(StatsTest, GiniEmptyAndZeros) {
   EXPECT_EQ(GiniCoefficient({}), 0.0);
   EXPECT_EQ(GiniCoefficient({0, 0, 0}), 0.0);
+}
+
+// Regression: values in the top bucket [2^63, UINT64_MAX] used to render
+// via `1ull << 64` (shift-width UB caught by UBSan) and report the
+// unrepresentable 2^64 from Percentile. Both paths must now stay inside
+// uint64 / double range.
+TEST(StatsTest, HistogramTopBucketNoOverflow) {
+  Histogram h;
+  h.Add(UINT64_MAX);
+  h.Add(1ull << 63);
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(64), 1ull << 63);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), UINT64_MAX);
+  std::string rendered = h.ToString();
+  EXPECT_NE(rendered.find("18446744073709551615"), std::string::npos)
+      << rendered;
+  // Percentiles clamp to the largest uint64-representable double, so the
+  // result round-trips through a uint64_t cast without UB.
+  double p100 = h.Percentile(100.0);
+  EXPECT_GE(p100, std::ldexp(1.0, 63));
+  EXPECT_LT(p100, std::ldexp(1.0, 64));
+}
+
+TEST(StatsTest, HistogramBucketBoundsAreInclusive) {
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    Histogram h;
+    h.Add(Histogram::BucketLowerBound(b));
+    h.Add(Histogram::BucketUpperBound(b));
+    EXPECT_EQ(h.bucket_count(b), 2u) << "bucket " << b;
+  }
+}
+
+TEST(StatsTest, HistogramPercentileMonotone) {
+  Histogram h;
+  const std::vector<uint64_t> values{0,          1,          17, 1000,
+                                     1ull << 40, 1ull << 63, UINT64_MAX};
+  for (uint64_t v : values) h.Add(v);
+  double p0 = h.Percentile(0.0);
+  double p50 = h.Percentile(50.0);
+  double p99 = h.Percentile(99.0);
+  double p100 = h.Percentile(100.0);
+  EXPECT_LE(p0, p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p100);
+  EXPECT_GE(p0, 0.0);
+  EXPECT_LT(p100, std::ldexp(1.0, 64));
+  // Empty histogram: defined (0), not UB.
+  EXPECT_EQ(Histogram().Percentile(50.0), 0.0);
+}
+
+// The one shared percentile convention (nearest rank): the ceil(p/100*n)-th
+// smallest sample, p=0 clamped to the minimum.
+TEST(StatsTest, PercentileOfSortedNearestRank) {
+  std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(PercentileOfSorted(sorted, 0.0), 1.0);
+  EXPECT_EQ(PercentileOfSorted(sorted, 25.0), 1.0);
+  EXPECT_EQ(PercentileOfSorted(sorted, 50.0), 2.0);
+  EXPECT_EQ(PercentileOfSorted(sorted, 75.0), 3.0);
+  EXPECT_EQ(PercentileOfSorted(sorted, 99.0), 4.0);
+  EXPECT_EQ(PercentileOfSorted(sorted, 100.0), 4.0);
+  std::vector<double> one{7.5};
+  EXPECT_EQ(PercentileOfSorted(one, 99.0), 7.5);
+}
+
+// Regression: profile rendering used a 256-byte stack buffer that silently
+// truncated long lines; AppendF must grow instead.
+TEST(StringsTest, AppendFGrowsPastInternalBuffer) {
+  std::string long_word(500, 'x');
+  std::string out = "head:";
+  AppendF(&out, "%s:%d", long_word.c_str(), 42);
+  EXPECT_EQ(out, "head:" + long_word + ":42");
+  AppendF(&out, "|%s", "tail");
+  EXPECT_EQ(out.substr(out.size() - 5), "|tail");
+}
+
+TEST(StringsTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+TEST(MetricsTest, RegistryPointersAreStableAndSharedByName) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("a.count");
+  EXPECT_EQ(c, registry.counter("a.count"));
+  c->Add(3);
+  c->Add();
+  EXPECT_EQ(registry.counter("a.count")->value(), 4u);
+  Gauge* g = registry.gauge("a.ratio");
+  g->Set(0.5);
+  EXPECT_EQ(g, registry.gauge("a.ratio"));
+  EXPECT_EQ(registry.gauge("a.ratio")->value(), 0.5);
+}
+
+TEST(MetricsTest, SnapshotIsNameSortedAndJsonRenders) {
+  MetricsRegistry registry;
+  registry.counter("z.last")->Add(1);
+  registry.counter("a.first")->Add(2);
+  registry.gauge("m.gauge")->Set(1.25);
+  registry.histogram("h.lat")->Add(100);
+  registry.histogram("h.lat")->Add(1ull << 63);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a.first");
+  EXPECT_EQ(snap.counters[1].first, "z.last");
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+  EXPECT_FALSE(snap.histograms[0].buckets.empty());
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"a.first\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"m.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"h.lat\""), std::string::npos);
+  // Deterministic: rendering twice gives the same bytes.
+  EXPECT_EQ(json, registry.ToJson());
+}
+
+TEST(MetricsTest, HistogramMetricReset) {
+  HistogramMetric m;
+  m.Add(5);
+  m.Add(9);
+  EXPECT_EQ(m.snapshot().total_count(), 2u);
+  m.Reset();
+  EXPECT_EQ(m.snapshot().total_count(), 0u);
+}
+
+TEST(TraceTest, ChromeTraceJsonShape) {
+  TraceLog log;
+  log.Add(ProcessNameEvent(7, "my track"));
+  TraceEvent slice;
+  slice.name = "kernel";
+  slice.cat = "sim";
+  slice.ph = 'X';
+  slice.ts_us = 1.5;
+  slice.dur_us = 2.25;
+  slice.pid = 7;
+  slice.ArgU64("seq", 3).ArgF("ratio", 0.5).ArgStr("label", "a\"b");
+  log.Add(slice);
+  TraceEvent begin;
+  begin.name = "req";
+  begin.ph = 'b';
+  begin.id = 0xabc;
+  log.Add(begin);
+  EXPECT_EQ(log.size(), 3u);
+  std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\": 2.250"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"id\": \"0xabc\""), std::string::npos) << json;
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("a\\\"b"), std::string::npos);
+  // 'X' events carry dur; 'b' events carry id but no dur (spot check the
+  // begin event rendered without one).
+  size_t begin_pos = json.find("\"req\"");
+  ASSERT_NE(begin_pos, std::string::npos);
+  EXPECT_EQ(json.find("\"dur\"", begin_pos), std::string::npos);
 }
 
 }  // namespace

@@ -93,6 +93,45 @@ for name in "${!fault_specs[@]}"; do
 done
 echo "fault matrix: all classes recovered to the fault-free digest"
 
+echo "== observability (SageScope exports, ASan/UBSan build) =="
+# profile --json, the kernel-timeline trace, the metrics registries, and a
+# traced serve replay — every JSON artifact must parse (python3 -m
+# json.tool) with the sanitizers watching the export paths. The TSan
+# serve_test pass above already hammers concurrent stats()/metrics()
+# exports (ServeScopeTest.ConcurrentStatsAndMetricsExportAreClean).
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "${fault_dir}" "${obs_dir}"' EXIT
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  "${build_dir}/tools/sage_cli" generate rmat "${obs_dir}/g.sagecsr" 10 16384 \
+  > /dev/null
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  "${build_dir}/tools/sage_cli" profile "${obs_dir}/g.sagecsr" bfs --json \
+    --trace-out="${obs_dir}/profile_trace.json" \
+    --metrics-out="${obs_dir}/profile_metrics.json" \
+  > "${obs_dir}/profile.json"
+python3 -m json.tool "${obs_dir}/profile.json" > /dev/null
+python3 -m json.tool "${obs_dir}/profile_trace.json" > /dev/null
+python3 -m json.tool "${obs_dir}/profile_metrics.json" > /dev/null
+cat > "${obs_dir}/requests.txt" <<EOF
+graph g ${obs_dir}/g.sagecsr
+bfs g 1
+bfs g 2
+bfs g 3
+pagerank g 5
+sssp g 1
+EOF
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  "${build_dir}/tools/sage_cli" serve "${obs_dir}/requests.txt" \
+    --trace-out="${obs_dir}/serve_trace.json" \
+    --metrics-out="${obs_dir}/serve_metrics.json" \
+  > /dev/null
+python3 -m json.tool "${obs_dir}/serve_trace.json" > /dev/null
+python3 -m json.tool "${obs_dir}/serve_metrics.json" > /dev/null
+echo "observability: profile/trace/metrics/serve JSON all valid"
+
 echo "== clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \

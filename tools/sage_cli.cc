@@ -37,7 +37,9 @@
 #include "sim/fault_injector.h"
 #include "sim/gpu_device.h"
 #include "sim/profile.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -60,6 +62,12 @@ uint32_t g_serve_threads = 2;
 size_t g_serve_queue = 1024;
 /// serve: disable request coalescing (--no-batch).
 bool g_serve_batching = true;
+/// SageScope: machine-readable profile output (--json).
+bool g_json = false;
+/// SageScope: Chrome-trace JSON destination (--trace-out; "" = off).
+std::string g_trace_out;
+/// SageScope: metrics-registry JSON destination (--metrics-out; "" = off).
+std::string g_metrics_out;
 
 bool ParseU32(const std::string& value, uint32_t* out) {
   if (value.empty()) return false;
@@ -121,7 +129,38 @@ const FlagDef kFlags[] = {
        g_serve_batching = false;
        return v.empty();
      }},
+    {"json", "", "profile: print the device profile as structured JSON",
+     [](const std::string& v) {
+       g_json = true;
+       return v.empty();
+     }},
+    {"trace-out", "=PATH",
+     "write a Chrome-trace JSON of the run (load in chrome://tracing;\n"
+     "                     profile: kernel timeline, serve: spans + "
+     "dispatches + kernels)",
+     [](const std::string& v) {
+       g_trace_out = v;
+       return !v.empty();
+     }},
+    {"metrics-out", "=PATH",
+     "write the SageScope metrics registry as JSON (profile, serve)",
+     [](const std::string& v) {
+       g_metrics_out = v;
+       return !v.empty();
+     }},
 };
+
+/// Writes `content` to `path`; reports on stderr and returns false on
+/// failure.
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return out.good();
+}
 
 // ---------------------------------------------------------------------------
 // Subcommand registry.
@@ -510,6 +549,91 @@ int CmdDeterminism(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Builds AppParams for `app`: the first non-isolated node as the default
+/// source, overridden by `arg` when present (source for traversals,
+/// iterations for pagerank, k for kcore).
+apps::AppParams MakeAppParams(const graph::Csr& csr, const std::string& app,
+                              const std::string* arg) {
+  apps::AppParams params;
+  for (graph::NodeId v = 0; v < csr.num_nodes(); ++v) {
+    if (csr.OutDegree(v) > 0) {
+      params.sources = {v};
+      break;
+    }
+  }
+  if (arg != nullptr) {
+    uint32_t value = std::stoul(*arg);
+    if (app == "pagerank") {
+      params.iterations = value;
+    } else if (app == "kcore") {
+      params.k = value;
+    } else {
+      params.sources = {static_cast<graph::NodeId>(value)};
+    }
+  }
+  if (app == "pagerank" || app == "kcore") params.sources.clear();
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// profile: run one app and report the device profile (SageScope).
+
+/// `profile <graph> <app> [arg]` — one engine run, with the device kernel
+/// timeline enabled when --trace-out is set. Prints FormatDeviceProfile
+/// (or its structured-JSON twin under --json); --trace-out writes the
+/// modeled kernel timeline as Chrome-trace JSON, --metrics-out the device
+/// and engine metric registries as one JSON object.
+int CmdProfile(const std::vector<std::string>& args) {
+  auto csr = LoadGraph(args[0]);
+  if (!csr.ok()) {
+    std::fprintf(stderr, "%s\n", csr.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& app = args[1];
+  if (!apps::AppKnown(app)) {
+    std::fprintf(stderr, "unknown app: %s\n", app.c_str());
+    return 2;
+  }
+  apps::AppParams params =
+      MakeAppParams(*csr, app, args.size() > 2 ? &args[2] : nullptr);
+  sim::GpuDevice device{sim::DeviceSpec()};
+  if (!g_trace_out.empty()) device.set_timeline_enabled(true);
+  core::Engine engine(&device, *csr, BaseOptions());
+  auto program = apps::CreateProgram(app);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 2;
+  }
+  auto stats = apps::RunApp(engine, **program, params);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return FinishChecked(engine, 1);
+  }
+  if (g_json) {
+    std::printf("%s\n", sim::FormatDeviceProfileJson(device).c_str());
+  } else {
+    std::printf("%u iterations, %.3f GTEPS, digest %016llx\n",
+                stats->iterations, stats->GTeps(),
+                static_cast<unsigned long long>(
+                    apps::OutputDigest(engine, **program)));
+    std::printf("%s", sim::FormatDeviceProfile(device).c_str());
+  }
+  int rc = 0;
+  if (!g_metrics_out.empty()) {
+    util::MetricsRegistry device_metrics;
+    sim::ExportDeviceMetrics(device, &device_metrics);
+    std::string json = "{\"device\":" + device_metrics.ToJson() +
+                       ",\"engine\":" + engine.metrics().ToJson() + "}";
+    if (!WriteTextFile(g_metrics_out, json)) rc = 1;
+  }
+  if (!g_trace_out.empty()) {
+    util::TraceLog trace;
+    sim::AppendKernelTrace(device, app + "@" + args[0], 0, &trace);
+    if (!WriteTextFile(g_trace_out, trace.ToJson())) rc = 1;
+  }
+  return FinishChecked(engine, rc);
+}
+
 // ---------------------------------------------------------------------------
 // faults: replay a deterministic fault scenario against one app run.
 
@@ -543,24 +667,8 @@ int CmdFaults(const std::vector<std::string>& args) {
     return 2;
   }
 
-  apps::AppParams params;
-  for (graph::NodeId v = 0; v < csr->num_nodes(); ++v) {
-    if (csr->OutDegree(v) > 0) {
-      params.sources = {v};  // default source: first non-isolated node
-      break;
-    }
-  }
-  if (args.size() > 3) {
-    uint32_t arg = std::stoul(args[3]);
-    if (app == "pagerank") {
-      params.iterations = arg;
-    } else if (app == "kcore") {
-      params.k = arg;
-    } else {
-      params.sources = {static_cast<graph::NodeId>(arg)};
-    }
-  }
-  if (app == "pagerank" || app == "kcore") params.sources.clear();
+  apps::AppParams params =
+      MakeAppParams(*csr, app, args.size() > 3 ? &args[3] : nullptr);
 
   // Reference run: same app, same engine options, no injector.
   uint64_t reference = 0;
@@ -733,6 +841,8 @@ int CmdServe(const std::vector<std::string>& args) {
   options.max_pending = std::max<size_t>(g_serve_queue, requests.size());
   options.batching = g_serve_batching;
   options.engine_options.host_threads = 1;
+  util::TraceLog trace_log;
+  if (!g_trace_out.empty()) options.trace = &trace_log;
   serve::QueryService service(&registry, options);
 
   util::WallTimer timer;
@@ -774,7 +884,21 @@ int CmdServe(const std::vector<std::string>& args) {
               static_cast<unsigned long long>(stats.batches),
               static_cast<unsigned long long>(stats.coalesced),
               static_cast<unsigned long long>(stats.engines_created));
+  if (stats.latency_samples > 0) {
+    std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  (%llu samples)\n",
+                stats.latency_p50_ms, stats.latency_p95_ms,
+                stats.latency_p99_ms,
+                static_cast<unsigned long long>(stats.latency_samples));
+  }
   service.Shutdown();
+  if (!g_metrics_out.empty() &&
+      !WriteTextFile(g_metrics_out, service.metrics().ToJson())) {
+    rc = 1;
+  }
+  if (!g_trace_out.empty() &&
+      !WriteTextFile(g_trace_out, trace_log.ToJson())) {
+    rc = 1;
+  }
   return rc;
 }
 
@@ -795,6 +919,10 @@ const Subcommand kSubcommands[] = {
     {"sssp", "<graph> <source>", "weighted SSSP", 2, &CmdSssp},
     {"msbfs", "<graph> <k>", "k concurrent BFS in one traversal", 2,
      &CmdMsBfs},
+    {"profile", "<graph> <app> [arg]",
+     "run one app and print the device profile (--json for JSON; "
+     "--trace-out / --metrics-out export the kernel timeline and metrics)",
+     2, &CmdProfile},
     {"reorder", "<graph> <method> <out.sagecsr>",
      "relabel with rcm|llp|gorder|random", 3, &CmdReorder},
     {"partition", "<graph> <num_parts>", "metis-like partition", 2,
