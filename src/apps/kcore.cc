@@ -18,9 +18,15 @@ void KCoreProgram::Bind(core::Engine* engine) {
   degree_.assign(n, 0);
   removed_.assign(n, 0);
   degree_buf_ = engine->RegisterAttribute("kcore.degree", sizeof(uint32_t));
+  removed_buf_ = engine->RegisterAttribute("kcore.removed", sizeof(uint8_t));
   footprint_ = core::Footprint();
-  footprint_.neighbor_reads = {&degree_buf_};
-  footprint_.neighbor_writes = {&degree_buf_};
+  // Filter reads removed[neighbor] and degree[neighbor] for every edge and
+  // writes both on a passing edge (the removal flag flips exactly when the
+  // degree decrement crosses k). SageVet's probe caught the original
+  // declaration omitting `removed` entirely — every edge's flag load was
+  // invisible to the cost model.
+  footprint_.neighbor_reads = {&degree_buf_, &removed_buf_};
+  footprint_.neighbor_writes = {&degree_buf_, &removed_buf_};
   footprint_.atomic_neighbor = true;  // atomicSub on the degree counter
 }
 

@@ -39,6 +39,7 @@ class KCoreProgram : public core::FilterProgram {
   std::vector<uint32_t> degree_;
   std::vector<uint8_t> removed_;
   sim::Buffer degree_buf_;
+  sim::Buffer removed_buf_;
   core::Footprint footprint_;
 };
 

@@ -22,6 +22,19 @@ void MultiSourceBfsProgram::Bind(core::Engine* engine) {
   footprint_.neighbor_writes = {&mask_buf_};
   footprint_.frontier_reads = {&mask_buf_};
   footprint_.atomic_neighbor = true;  // atomicOr on the mask
+  if (record_distances_) {
+    // Strict level-synchronous mode additionally consults the recorded
+    // distance rows: Filter reads dist[i][frontier] to decide which bits
+    // were held at the iteration start and writes dist[i][neighbor] for
+    // every newly gained bit. Model it as one node-indexed row (the rows
+    // are touched together at the same node index), charged per edge like
+    // the mask. A SageVet probe flagged the original declaration, which
+    // omitted these accesses whenever recording was on — exactly the
+    // serving layer's coalescing configuration.
+    dist_buf_ = engine->RegisterAttribute("msbfs.dist", sizeof(uint32_t));
+    footprint_.frontier_reads.push_back(&dist_buf_);
+    footprint_.neighbor_writes.push_back(&dist_buf_);
+  }
 }
 
 void MultiSourceBfsProgram::SetSources(

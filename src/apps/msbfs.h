@@ -42,8 +42,19 @@ class MultiSourceBfsProgram : public core::FilterProgram {
   /// from source i. That makes every instance's result bit-identical to a
   /// solo BfsProgram run, which is what lets the serving layer coalesce
   /// BFS queries without changing their answers. Final reachability masks
-  /// are unaffected either way. Call before SetSources.
-  void EnableDistanceRecording() { record_distances_ = true; }
+  /// are unaffected either way. Call before Bind (the distance rows join
+  /// the declared footprint at bind time).
+  void EnableDistanceRecording() {
+    if (record_distances_) return;
+    record_distances_ = true;
+    // Force the next Bind to rebuild the footprint with the dist row even
+    // if this engine was already bound without recording. Only on the
+    // false->true transition: repeat calls on an already-recording program
+    // (the serving layer re-enables on every coalesced dispatch) must not
+    // invalidate a live bind, since Engine::Bind skips re-binding a
+    // program it already holds.
+    engine_ = nullptr;
+  }
 
   /// True if BFS instance `source_index` reached the node.
   bool Reached(uint32_t source_index, graph::NodeId original) const;
@@ -65,6 +76,7 @@ class MultiSourceBfsProgram : public core::FilterProgram {
   /// Row-major [source_index][internal node] distances when recording.
   std::vector<uint32_t> dist_;
   sim::Buffer mask_buf_;
+  sim::Buffer dist_buf_;
   core::Footprint footprint_;
   uint32_t num_sources_ = 0;
   uint32_t iteration_ = 0;

@@ -24,15 +24,27 @@ void DeltaPageRankProgram::Bind(core::Engine* engine) {
   pr_buf_ = engine->RegisterAttribute("prd.rank", sizeof(double));
   resid_buf_ = engine->RegisterAttribute("prd.resid", sizeof(double));
   outdeg_buf_ = engine->RegisterAttribute("prd.outdeg", sizeof(uint32_t));
+  delta_buf_ = engine->RegisterAttribute("prd.delta", sizeof(double));
+  touched_buf_ = engine->RegisterAttribute("prd.touched", sizeof(uint32_t));
+  queued_buf_ = engine->RegisterAttribute("prd.queued", sizeof(uint32_t));
   footprint_ = core::Footprint();
-  footprint_.frontier_reads = {&resid_buf_, &outdeg_buf_};
-  footprint_.frontier_writes = {&pr_buf_};
-  footprint_.neighbor_reads = {&resid_buf_};
-  footprint_.neighbor_writes = {&resid_buf_};
+  // Touch() reads and writes the frontier node's residual, delta, touched
+  // tag, and rank; Filter then reads/updates the neighbor's residual and
+  // queued tag. The original declaration covered only {resid, outdeg} reads
+  // and the pr write — a SageVet audit flagged the rest as undeclared
+  // (uncharged) accesses, i.e. silent cost-model holes.
+  footprint_.frontier_reads = {&resid_buf_, &outdeg_buf_, &delta_buf_,
+                               &touched_buf_};
+  footprint_.frontier_writes = {&pr_buf_, &resid_buf_, &delta_buf_,
+                                &touched_buf_};
+  footprint_.neighbor_reads = {&resid_buf_, &queued_buf_};
+  footprint_.neighbor_writes = {&resid_buf_, &queued_buf_};
   footprint_.atomic_neighbor = true;  // atomicAdd on residuals
-  // pr[f] is claimed exactly once per iteration by the frontier node's own
-  // tiles; duplicate tiles of one frontier store the same accumulated value.
-  footprint_.idempotent_frontier_writes = true;
+  // The frontier-side residual claim (resid[f] -> 0) can race with a
+  // neighbor-side atomicAdd to the same node, so on real hardware it is an
+  // atomicExch — declare the frontier writes atomic rather than relying on
+  // the weaker idempotence claim the original footprint made.
+  footprint_.atomic_frontier = true;
 }
 
 void DeltaPageRankProgram::Reset(double epsilon) {

@@ -60,6 +60,9 @@ class DeltaPageRankProgram : public core::FilterProgram {
   sim::Buffer pr_buf_;
   sim::Buffer resid_buf_;
   sim::Buffer outdeg_buf_;
+  sim::Buffer delta_buf_;
+  sim::Buffer touched_buf_;
+  sim::Buffer queued_buf_;
   core::Footprint footprint_;
 };
 

@@ -282,6 +282,39 @@ uint64_t OutputDigest(const core::Engine& engine,
   return app->digest(engine, program);
 }
 
+util::StatusOr<check::VetReport> VetApp(const std::string& name,
+                                        check::VetLevel level,
+                                        const core::EngineOptions& options) {
+  SAGE_ASSIGN_OR_RETURN(std::unique_ptr<core::FilterProgram> program,
+                        CreateProgram(name));
+  if (std::strcmp(program->name(), "multi-source-bfs") == 0) {
+    // Vet the configuration the serving layer actually runs: coalesced BFS
+    // needs per-instance distances, which widens the footprint (msbfs.dist).
+    static_cast<MultiSourceBfsProgram&>(*program).EnableDistanceRecording();
+  }
+  check::ProbeHooks hooks;
+  hooks.run = [](core::Engine& eng,
+                 core::FilterProgram& prog) -> util::StatusOr<core::RunStats> {
+    AppParams params;
+    params.iterations = 3;
+    params.k = 2;
+    if (std::strcmp(prog.name(), "multi-source-bfs") == 0) {
+      // Two sources, one per probe-graph component, so every msbfs lane
+      // (and the unreached-state path) gets exercised.
+      params.sources = {0, 19};
+    } else if (std::strcmp(prog.name(), "bfs") == 0 ||
+               std::strcmp(prog.name(), "sssp") == 0) {
+      params.sources = {0};
+    }
+    return RunApp(eng, prog, params);
+  };
+  hooks.digest = [](const core::Engine& eng,
+                    const core::FilterProgram& prog) -> uint64_t {
+    return OutputDigest(eng, prog);
+  };
+  return check::VetProgram(*program, level, options, hooks);
+}
+
 uint64_t MsBfsInstanceDigest(const core::Engine& engine,
                              const MultiSourceBfsProgram& program,
                              uint32_t instance) {

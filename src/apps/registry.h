@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "check/vet.h"
 #include "core/engine.h"
 #include "core/filter.h"
 #include "graph/types.h"
@@ -70,6 +71,19 @@ util::StatusOr<core::RunStats> ResumeApp(core::Engine& engine,
 /// and its tests. Dispatches on program.name(); 0 for unknown programs.
 uint64_t OutputDigest(const core::Engine& engine,
                       const core::FilterProgram& program);
+
+/// Pre-flight SageVet of a registered app (DESIGN.md "Static
+/// verification"): creates a throwaway program instance (msbfs gets
+/// distance recording enabled — the serving layer's coalescing
+/// configuration is the one worth vetting), supplies the registry's run
+/// driver and output digest as probe hooks, and vets it at `level` on the
+/// canonical probe graph. `options` seeds the probe engine's options and
+/// participates in the option/footprint cross-checks. kNotFound for
+/// unknown names; otherwise the report (which may be unsound — inspect
+/// VetReport::ToStatus for an admission decision).
+util::StatusOr<check::VetReport> VetApp(const std::string& name,
+                                        check::VetLevel level,
+                                        const core::EngineOptions& options);
 
 /// Digest of one MS-BFS instance's per-node distances. Bit-identical to
 /// OutputDigest of a solo BfsProgram run from the same source — the

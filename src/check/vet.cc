@@ -1,0 +1,650 @@
+#include "check/vet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
+#include <string_view>
+#include <utility>
+
+#include "check/access_checker.h"
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/coo.h"
+#include "sim/access_event.h"
+#include "sim/device_spec.h"
+#include "sim/gpu_device.h"
+#include "sim/memory_sim.h"
+#include "util/strings.h"
+
+namespace sage::check {
+
+namespace {
+
+using core::Footprint;
+using graph::NodeId;
+
+/// An AccessEventSink that forwards every event to a full-level SageCheck
+/// instance and additionally records which charged intents were observed
+/// per buffer id — the "shadow-tracked buffers" of the probe run.
+class ShadowSink final : public sim::AccessEventSink {
+ public:
+  struct Observed {
+    uint8_t intents = 0;  ///< bitmask over AccessIntent values
+    std::string name;
+  };
+
+  ShadowSink() : checker_(sim::CheckLevel::kFull) {}
+
+  void OnKernelBegin(uint64_t kernel_seq) override {
+    checker_.OnKernelBegin(kernel_seq);
+  }
+  void OnKernelEnd(uint64_t kernel_seq) override {
+    checker_.OnKernelEnd(kernel_seq);
+  }
+  void OnPhaseFence(uint64_t kernel_seq) override {
+    checker_.OnPhaseFence(kernel_seq);
+  }
+  void OnAccess(uint32_t sm, const sim::Buffer& buffer,
+                std::span<const uint64_t> elem_indices,
+                sim::AccessIntent intent) override {
+    Observe(buffer, intent);
+    checker_.OnAccess(sm, buffer, elem_indices, intent);
+  }
+  void OnAccessRange(uint32_t sm, const sim::Buffer& buffer, uint64_t first,
+                     uint64_t count, sim::AccessIntent intent) override {
+    Observe(buffer, intent);
+    checker_.OnAccessRange(sm, buffer, first, count, intent);
+  }
+  void OnBufferNote(const sim::Buffer& buffer, uint64_t first, uint64_t count,
+                    sim::AccessIntent intent) override {
+    // Uncharged functional writes (uploads, memsets) are setup, not
+    // footprint traffic; they feed shadow-init only.
+    checker_.OnBufferNote(buffer, first, count, intent);
+  }
+  void OnBracketingViolation(std::string_view what) override {
+    checker_.OnBracketingViolation(what);
+  }
+
+  const AccessChecker& checker() const { return checker_; }
+  const std::map<uint32_t, Observed>& observed() const { return observed_; }
+
+ private:
+  void Observe(const sim::Buffer& buffer, sim::AccessIntent intent) {
+    Observed& o = observed_[buffer.id];
+    o.intents |= static_cast<uint8_t>(1u << static_cast<uint8_t>(intent));
+    if (o.name.empty()) o.name = buffer.name;
+  }
+
+  AccessChecker checker_;
+  std::map<uint32_t, Observed> observed_;
+};
+
+std::string FormatDouble(double v) {
+  std::string out;
+  util::AppendF(&out, "%.9g", v);
+  return out;
+}
+
+/// Engine-owned infrastructure buffers (adjacency, frontier queues, tile
+/// store, UDT layout) are charged by the engine itself and are never part
+/// of a program's footprint.
+bool IsInfraBuffer(const std::string& name) {
+  for (std::string_view prefix : {"csr.", "frontier.", "resident.", "udt."}) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+uint8_t IntentBit(sim::AccessIntent intent) {
+  return static_cast<uint8_t>(1u << static_cast<uint8_t>(intent));
+}
+
+sim::AccessIntent NeighborWriteIntent(const Footprint& fp) {
+  if (fp.atomic_neighbor) return sim::AccessIntent::kAtomic;
+  if (fp.idempotent_neighbor_writes) return sim::AccessIntent::kWriteIdempotent;
+  return sim::AccessIntent::kWrite;
+}
+
+sim::AccessIntent FrontierWriteIntent(const Footprint& fp) {
+  if (fp.atomic_frontier) return sim::AccessIntent::kAtomic;
+  if (fp.idempotent_frontier_writes) return sim::AccessIntent::kWriteIdempotent;
+  return sim::AccessIntent::kWrite;
+}
+
+/// Folds the probe run's SageCheck verdict into the report: any violation
+/// class the checker saw becomes one unsound finding carrying the count and
+/// the first recorded detail line.
+void FoldCheckerFindings(const AccessChecker& checker, VetReport* report) {
+  if (checker.clean()) return;
+  static constexpr struct {
+    ViolationKind kind;
+    const char* code;
+  } kKinds[] = {
+      {ViolationKind::kOutOfBounds, "probe-out-of-bounds"},
+      {ViolationKind::kRaceWriteWrite, "probe-race-write-write"},
+      {ViolationKind::kRaceReadWrite, "probe-race-read-write"},
+      {ViolationKind::kUninitRead, "probe-uninit-read"},
+      {ViolationKind::kBracketing, "probe-bracketing"},
+  };
+  for (const auto& k : kKinds) {
+    uint64_t count = checker.count(k.kind);
+    if (count == 0) continue;
+    std::string detail = std::to_string(count) + " " +
+                         ViolationKindName(k.kind) +
+                         " violation(s) during the probe run";
+    for (const Violation& v : checker.violations()) {
+      if (v.kind == k.kind) {
+        detail += "; first: " + v.message;
+        break;
+      }
+    }
+    report->Add(VetSeverity::kUnsound, k.code, std::move(detail));
+  }
+}
+
+/// Flags charged access classes the footprint never declared. The engine
+/// derives its charges from the declaration, so for engine-driven traffic
+/// this is a drift detector; for programs charging the device directly it
+/// is the primary line of defense.
+void CheckObservedAccesses(const ShadowSink& shadow, const Footprint& fp,
+                           VetReport* report) {
+  std::map<uint32_t, uint8_t> expected;
+  auto allow = [&expected](const std::vector<const sim::Buffer*>& list,
+                           sim::AccessIntent intent) {
+    for (const sim::Buffer* b : list) {
+      if (b != nullptr) expected[b->id] |= IntentBit(intent);
+    }
+  };
+  allow(fp.neighbor_reads, sim::AccessIntent::kRead);
+  allow(fp.frontier_reads, sim::AccessIntent::kRead);
+  allow(fp.edge_reads, sim::AccessIntent::kRead);
+  allow(fp.neighbor_writes, NeighborWriteIntent(fp));
+  allow(fp.frontier_writes, FrontierWriteIntent(fp));
+
+  for (const auto& [id, obs] : shadow.observed()) {
+    auto it = expected.find(id);
+    if (it == expected.end()) {
+      if (IsInfraBuffer(obs.name)) continue;
+      report->Add(VetSeverity::kUnsound, "undeclared-buffer",
+                  "buffer '" + obs.name +
+                      "' was charged during the probe run but appears in no "
+                      "footprint list");
+      continue;
+    }
+    uint8_t extra = static_cast<uint8_t>(obs.intents & ~it->second);
+    for (uint8_t i = 0; i < 4; ++i) {
+      if ((extra & (1u << i)) == 0) continue;
+      report->Add(
+          VetSeverity::kUnsound, "undeclared-access",
+          "buffer '" + obs.name + "' observed " +
+              sim::AccessIntentName(static_cast<sim::AccessIntent>(i)) +
+              " accesses the footprint does not declare");
+    }
+  }
+}
+
+/// Fingerprint of the program's externally observable state: the SaveState
+/// bytes when checkpointing is supported, else the app's output digest.
+std::optional<std::string> StateFingerprint(const core::Engine& engine,
+                                            const core::FilterProgram& program,
+                                            const ProbeHooks& hooks,
+                                            bool save_supported) {
+  if (save_supported) {
+    std::vector<uint8_t> bytes;
+    if (program.SaveState(&bytes)) {
+      return std::string(bytes.begin(), bytes.end());
+    }
+  }
+  if (hooks.digest) return std::to_string(hooks.digest(engine, program));
+  return std::nullopt;
+}
+
+/// Behavioral cross-check of the write declarations: direct Filter calls on
+/// probe edges, fingerprinting state between calls.
+///  - state changed with no writes declared        -> undeclared-state-write
+///  - an identical repeat call changed state again, with no atomics
+///    declared but idempotence claimed             -> false-idempotence
+/// Atomic declarations legitimately accumulate, so the repeat check only
+/// applies to programs claiming the value-idempotent benign-race class.
+void ProbeFilterBehaviour(core::Engine& engine, core::FilterProgram& program,
+                          const ProbeHooks& hooks, VetReport* report) {
+  const Footprint& fp = program.footprint();
+  const bool writes_declared =
+      !fp.neighbor_writes.empty() || !fp.frontier_writes.empty();
+  const bool atomics = fp.atomic_neighbor || fp.atomic_frontier;
+  const bool idempotence_claimed =
+      (!fp.neighbor_writes.empty() && fp.idempotent_neighbor_writes) ||
+      (!fp.frontier_writes.empty() && fp.idempotent_frontier_writes);
+
+  std::optional<std::string> before = StateFingerprint(
+      engine, program, hooks, report->checkpoint_supported);
+  if (!before.has_value()) {
+    report->Add(VetSeverity::kNote, "probe-unobservable",
+                "no SaveState support and no digest hook; behavioral "
+                "Filter probing skipped");
+    return;
+  }
+
+  bool reported_undeclared = false;
+  bool reported_idempotence = false;
+  auto report_undeclared = [&](NodeId u, NodeId v) {
+    if (reported_undeclared) return;
+    reported_undeclared = true;
+    report->Add(VetSeverity::kUnsound, "undeclared-state-write",
+                "Filter(" + std::to_string(u) + ", " + std::to_string(v) +
+                    ") mutated program state but the footprint declares no "
+                    "writes — the stores are invisible to the cost model "
+                    "and to SageCheck");
+  };
+
+  const graph::Csr& csr = engine.csr();  // internal ids, post-run layout
+  uint32_t probed = 0;
+  for (NodeId u = 0; u < csr.num_nodes() && probed < 16; ++u) {
+    std::span<const NodeId> neighbors = csr.Neighbors(u);
+    if (neighbors.empty()) continue;
+    // First and last neighbor: varies targets and covers the self-loop.
+    for (size_t pick : {size_t{0}, neighbors.size() - 1}) {
+      if (pick != 0 && neighbors.size() == 1) break;
+      NodeId v = neighbors[pick];
+      program.Filter(u, v);
+      std::optional<std::string> after1 = StateFingerprint(
+          engine, program, hooks, report->checkpoint_supported);
+      if (after1 != before && !writes_declared) report_undeclared(u, v);
+      program.Filter(u, v);
+      std::optional<std::string> after2 = StateFingerprint(
+          engine, program, hooks, report->checkpoint_supported);
+      if (after2 != after1 && !atomics) {
+        if (idempotence_claimed) {
+          if (!reported_idempotence) {
+            reported_idempotence = true;
+            report->Add(
+                VetSeverity::kUnsound, "false-idempotence",
+                "repeating Filter(" + std::to_string(u) + ", " +
+                    std::to_string(v) +
+                    ") changed state again: the writes accumulate rather "
+                    "than store one value, so the declared idempotent "
+                    "benign-race class is wrong");
+          }
+        } else if (!writes_declared) {
+          report_undeclared(u, v);
+        }
+      }
+      before = std::move(after2);
+      ++probed;
+    }
+  }
+}
+
+/// Post-run checkpoint battery: a Save/Restore/Save round trip must be
+/// byte-stable, and a truncated snapshot must be rejected.
+void ProbeCheckpoint(core::FilterProgram& program, VetReport* report) {
+  if (!report->checkpoint_supported) return;
+  std::vector<uint8_t> snap;
+  if (!program.SaveState(&snap)) {
+    report->Add(VetSeverity::kUnsound, "checkpoint-claims-conflict",
+                "SaveState succeeded at bind time but failed after the "
+                "probe run");
+    return;
+  }
+  if (!program.RestoreState(snap)) {
+    report->Add(VetSeverity::kUnsound, "checkpoint-restore",
+                "RestoreState rejected the bytes SaveState just produced");
+    return;
+  }
+  std::vector<uint8_t> again;
+  if (!program.SaveState(&again) || again != snap) {
+    report->Add(VetSeverity::kUnsound, "checkpoint-roundtrip-drift",
+                "a Save/Restore/Save round trip did not reproduce "
+                "identical bytes");
+  }
+  if (!snap.empty()) {
+    std::span<const uint8_t> truncated(snap.data(), snap.size() - 1);
+    if (program.RestoreState(truncated)) {
+      report->Add(VetSeverity::kWarning, "checkpoint-accepts-truncated",
+                  "RestoreState accepted a truncated snapshot; a corrupt "
+                  "checkpoint would silently restore garbage");
+    } else {
+      // Failed restores leave state unspecified; put the good bytes back.
+      program.RestoreState(snap);
+    }
+  }
+}
+
+}  // namespace
+
+const char* VetLevelName(VetLevel level) {
+  switch (level) {
+    case VetLevel::kOff:
+      return "off";
+    case VetLevel::kStatic:
+      return "static";
+    case VetLevel::kProbe:
+      return "probe";
+  }
+  return "unknown";
+}
+
+util::StatusOr<VetLevel> ParseVetLevel(const std::string& text) {
+  if (text == "off") return VetLevel::kOff;
+  if (text == "static") return VetLevel::kStatic;
+  if (text == "probe") return VetLevel::kProbe;
+  return util::Status::InvalidArgument(
+      "unknown vet level '" + text + "' (expected off | static | probe)");
+}
+
+const char* VetSeverityName(VetSeverity severity) {
+  switch (severity) {
+    case VetSeverity::kNote:
+      return "note";
+    case VetSeverity::kWarning:
+      return "warning";
+    case VetSeverity::kUnsound:
+      return "unsound";
+  }
+  return "unknown";
+}
+
+void VetReport::Add(VetSeverity severity, std::string code,
+                    std::string detail) {
+  findings.push_back(
+      VetFinding{severity, std::move(code), std::move(detail)});
+}
+
+bool VetReport::unsound() const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const VetFinding& f) {
+                       return f.severity == VetSeverity::kUnsound;
+                     });
+}
+
+const char* VetReport::verdict() const {
+  if (unsound()) return "unsound";
+  if (std::any_of(findings.begin(), findings.end(), [](const VetFinding& f) {
+        return f.severity == VetSeverity::kWarning;
+      })) {
+    return "warning";
+  }
+  return "clean";
+}
+
+std::string VetReport::ToText() const {
+  std::string out = "program '" + program + "' [" + VetLevelName(level) +
+                    "]: " + verdict();
+  out += " (checkpoint: ";
+  out += checkpoint_supported ? "yes" : "no";
+  if (probe_ran) {
+    out += "; probe: " + std::to_string(probe_edges) + " edges, " +
+           FormatDouble(probe_modeled_seconds) + " modeled s";
+  }
+  out += "; wall " + FormatDouble(wall_seconds) + " s)\n";
+  for (const VetFinding& f : findings) {
+    out += "  [" + std::string(VetSeverityName(f.severity)) + "] " + f.code +
+           ": " + f.detail + "\n";
+  }
+  return out;
+}
+
+std::string VetReport::ToJson() const {
+  std::string out = "{";
+  out += "\"program\":\"" + util::JsonEscape(program) + "\"";
+  out += ",\"level\":\"" + std::string(VetLevelName(level)) + "\"";
+  out += ",\"verdict\":\"" + std::string(verdict()) + "\"";
+  out += ",\"checkpoint_supported\":";
+  out += checkpoint_supported ? "true" : "false";
+  out += ",\"probe\":{\"ran\":";
+  out += probe_ran ? "true" : "false";
+  out += ",\"modeled_seconds\":" + FormatDouble(probe_modeled_seconds);
+  out += ",\"edges\":" + std::to_string(probe_edges) + "}";
+  out += ",\"wall_seconds\":" + FormatDouble(wall_seconds);
+  out += ",\"findings\":[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"severity\":\"" +
+           std::string(VetSeverityName(findings[i].severity)) + "\"";
+    out += ",\"code\":\"" + util::JsonEscape(findings[i].code) + "\"";
+    out += ",\"detail\":\"" + util::JsonEscape(findings[i].detail) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+util::Status VetReport::ToStatus() const {
+  if (!unsound()) return util::Status::OK();
+  std::string msg =
+      "program '" + program + "' failed SageVet at level " +
+      VetLevelName(level) + ":";
+  for (const VetFinding& f : findings) {
+    if (f.severity != VetSeverity::kUnsound) continue;
+    msg += " [" + f.code + "] " + f.detail + ";";
+  }
+  return util::Status::FailedPrecondition(std::move(msg));
+}
+
+graph::Csr MakeProbeGraph() {
+  graph::Coo coo;
+  coo.num_nodes = 24;
+  auto edge = [&coo](NodeId a, NodeId b) {
+    coo.u.push_back(a);
+    coo.v.push_back(b);
+    if (a != b) {
+      coo.u.push_back(b);
+      coo.v.push_back(a);
+    }
+  };
+  // Hub: node 0 fans out to 1..8 (forces tile splitting on the hub).
+  for (NodeId n = 1; n <= 8; ++n) edge(0, n);
+  // Chain: 8-9-...-15 (long diameter; deep BFS levels).
+  for (NodeId n = 8; n < 15; ++n) edge(n, n + 1);
+  // Diamond: 15-{16,17}-18 (two frontier nodes pushing one neighbor in the
+  // same iteration — the duplicate-candidate shape races live on).
+  edge(15, 16);
+  edge(15, 17);
+  edge(16, 18);
+  edge(17, 18);
+  // Self-loop: Filter(u, u).
+  edge(4, 4);
+  // Second component: ring 19-20-21-22 plus pendant 23. Unreached by
+  // traversals sourced in the first component, so "initialized but never
+  // touched" state stays observable.
+  edge(19, 20);
+  edge(20, 21);
+  edge(21, 22);
+  edge(22, 19);
+  edge(22, 23);
+  return graph::Csr::FromCoo(coo);
+}
+
+void VetStatic(core::Engine& engine, core::FilterProgram& program,
+               VetReport* report) {
+  const Footprint& fp = program.footprint();
+  const sim::MemorySim& mem = engine.device()->mem();
+  const uint64_t num_nodes = engine.csr().num_nodes();
+  const uint64_t num_edges = engine.csr().num_edges();
+  const core::EngineOptions& opts = engine.options();
+
+  struct ListRef {
+    const char* name;
+    const std::vector<const sim::Buffer*>* list;
+    bool node_indexed;
+  };
+  const ListRef lists[] = {
+      {"neighbor_reads", &fp.neighbor_reads, true},
+      {"neighbor_writes", &fp.neighbor_writes, true},
+      {"frontier_reads", &fp.frontier_reads, true},
+      {"frontier_writes", &fp.frontier_writes, true},
+      {"edge_reads", &fp.edge_reads, false},
+  };
+  std::set<uint32_t> node_indexed_ids;
+  std::set<uint32_t> edge_indexed_ids;
+  std::map<uint32_t, std::string> names;
+  for (const ListRef& lr : lists) {
+    std::set<uint32_t> seen_in_list;
+    for (const sim::Buffer* b : *lr.list) {
+      if (b == nullptr) {
+        report->Add(VetSeverity::kUnsound, "null-buffer",
+                    std::string(lr.name) + " contains a null buffer entry");
+        continue;
+      }
+      names[b->id] = b->name;
+      const sim::Buffer* reg = mem.FindBuffer(b->id);
+      if (reg == nullptr) {
+        report->Add(VetSeverity::kUnsound, "buffer-unregistered",
+                    "buffer '" + b->name + "' in " + lr.name +
+                        " was never registered with this engine's memory "
+                        "system");
+        continue;
+      }
+      if (reg->base != b->base || reg->num_elems != b->num_elems ||
+          reg->elem_bytes != b->elem_bytes) {
+        report->Add(VetSeverity::kUnsound, "buffer-stale",
+                    "buffer '" + b->name + "' in " + lr.name +
+                        " is a stale copy: the registered geometry differs "
+                        "(a Grow reallocated it after the footprint was "
+                        "built?)");
+      }
+      const uint64_t need = lr.node_indexed ? num_nodes : num_edges;
+      if (b->num_elems < need) {
+        report->Add(VetSeverity::kUnsound, "buffer-undersized",
+                    "buffer '" + b->name + "' in " + lr.name + " has " +
+                        std::to_string(b->num_elems) +
+                        " elements but the graph indexes up to " +
+                        std::to_string(need));
+      }
+      if (!seen_in_list.insert(b->id).second) {
+        report->Add(VetSeverity::kWarning, "duplicate-buffer",
+                    "buffer '" + b->name + "' listed twice in " + lr.name +
+                        " — every access is double-charged");
+      }
+      (lr.node_indexed ? node_indexed_ids : edge_indexed_ids).insert(b->id);
+    }
+  }
+  for (uint32_t id : node_indexed_ids) {
+    if (edge_indexed_ids.count(id) != 0) {
+      report->Add(VetSeverity::kUnsound, "domain-alias",
+                  "buffer '" + names[id] +
+                      "' appears in both node-indexed and edge-indexed "
+                      "footprint lists; one index domain must be wrong");
+    }
+  }
+
+  // Race soundness of the declaration itself.
+  if (!fp.neighbor_writes.empty() && !fp.atomic_neighbor &&
+      !fp.idempotent_neighbor_writes) {
+    report->Add(VetSeverity::kUnsound, "race-neighbor",
+                "neighbor writes are declared neither atomic nor "
+                "value-idempotent: concurrent tiles reaching one neighbor "
+                "are a data race");
+  }
+  if (!fp.frontier_writes.empty() && !fp.atomic_frontier &&
+      !fp.idempotent_frontier_writes) {
+    report->Add(VetSeverity::kWarning, "race-frontier",
+                "frontier writes are declared neither atomic nor "
+                "value-idempotent: duplicate frontier entries race");
+  }
+  if (fp.atomic_neighbor && fp.neighbor_writes.empty()) {
+    report->Add(VetSeverity::kWarning, "atomic-neighbor-unused",
+                "atomic_neighbor is set but neighbor_writes is empty");
+  }
+  if (fp.atomic_frontier && fp.frontier_writes.empty()) {
+    report->Add(VetSeverity::kWarning, "atomic-frontier-unused",
+                "atomic_frontier is set but frontier_writes is empty");
+  }
+  if (fp.idempotent_neighbor_writes && fp.atomic_neighbor) {
+    report->Add(VetSeverity::kNote, "idempotence-shadowed",
+                "idempotent_neighbor_writes is ignored while "
+                "atomic_neighbor is set");
+  }
+
+  // Option cross-checks against the footprint.
+  if (!fp.edge_reads.empty() && opts.udt_split_degree > 0) {
+    report->Add(VetSeverity::kWarning, "edge-reads-udt",
+                "edge-position charges follow the UDT virtual layout; "
+                "edge attribute values must not depend on physical edge "
+                "positions");
+  }
+  if (!fp.edge_reads.empty() && opts.sampling_reorder) {
+    report->Add(VetSeverity::kWarning, "edge-reads-reorder",
+                "sampling reorder rewrites edge positions and "
+                "OnPermutation reports only the node relabeling; edge "
+                "attribute values must not depend on edge positions");
+  }
+
+  // Checkpoint claim consistency (SaveState contract: append nothing and
+  // return false when unsupported).
+  std::vector<uint8_t> snap;
+  const bool save_ok = program.SaveState(&snap);
+  report->checkpoint_supported = save_ok;
+  if (!save_ok) {
+    if (!snap.empty()) {
+      report->Add(VetSeverity::kUnsound, "checkpoint-claims-conflict",
+                  "SaveState returned false but appended bytes — the "
+                  "engine would checkpoint a program that disclaims "
+                  "support");
+    }
+    report->Add(VetSeverity::kNote, "checkpoint-unsupported",
+                "SaveState returned false; SageGuard skips checkpointing "
+                "this program");
+  } else if (!program.RestoreState(snap)) {
+    report->Add(VetSeverity::kUnsound, "checkpoint-restore",
+                "RestoreState rejected the bytes SaveState just produced");
+  }
+}
+
+util::StatusOr<VetReport> VetProgram(core::FilterProgram& program,
+                                     VetLevel level,
+                                     const core::EngineOptions& options,
+                                     const ProbeHooks& hooks) {
+  const auto start = std::chrono::steady_clock::now();
+  VetReport report;
+  report.program = program.name();
+  report.level = level;
+  if (level == VetLevel::kOff) return report;
+
+  sim::GpuDevice device{sim::DeviceSpec{}};
+  ShadowSink shadow;
+  device.set_access_sink(&shadow);
+  core::EngineOptions opts = options;
+  // The probe owns the device's one sink slot and runs serially so the
+  // shadow observations are deterministic.
+  opts.check_level = sim::CheckLevel::kOff;
+  opts.host_threads = 1;
+  opts.vet_level = VetLevel::kStatic;
+  SAGE_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::Engine> engine,
+      core::Engine::Create(&device, MakeProbeGraph(), opts));
+  SAGE_RETURN_IF_ERROR(engine->Bind(&program));
+  VetStatic(*engine, program, &report);
+
+  if (level == VetLevel::kProbe) {
+    if (!hooks.run) {
+      report.Add(VetSeverity::kWarning, "probe-unavailable",
+                 "no probe driver supplied; declarations were not "
+                 "cross-checked against behaviour");
+    } else {
+      util::StatusOr<core::RunStats> run = hooks.run(*engine, program);
+      if (!run.ok()) {
+        report.Add(VetSeverity::kUnsound, "probe-run-failed",
+                   run.status().ToString());
+      } else {
+        report.probe_ran = true;
+        report.probe_modeled_seconds = run->seconds;
+        report.probe_edges = run->edges_traversed;
+        FoldCheckerFindings(shadow.checker(), &report);
+        CheckObservedAccesses(shadow, program.footprint(), &report);
+        ProbeFilterBehaviour(*engine, program, hooks, &report);
+        ProbeCheckpoint(program, &report);
+      }
+    }
+  }
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace sage::check

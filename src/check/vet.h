@@ -1,0 +1,145 @@
+#ifndef SAGE_CHECK_VET_H_
+#define SAGE_CHECK_VET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/filter.h"
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace sage::core {
+class Engine;
+struct EngineOptions;
+}  // namespace sage::core
+
+namespace sage::check {
+
+/// How much pre-flight verification SageVet performs before a program is
+/// trusted (DESIGN.md "Static verification").
+///
+///  - kOff:    no vetting at all.
+///  - kStatic: declaration-only analysis — the program's Footprint is
+///             cross-checked against the engine's graph shape, buffer
+///             registrations, and options, plus CSR structural validation
+///             in Engine::Create. No traversal runs.
+///  - kProbe:  kStatic plus one traversal of a tiny canonical probe graph
+///             (MakeProbeGraph) with shadow-tracked buffers: SageCheck
+///             watches every charged access at kFull, and behavioral
+///             probing of Filter / SaveState catches declarations that
+///             contradict what the program actually does.
+enum class VetLevel : uint8_t {
+  kOff = 0,
+  kStatic = 1,
+  kProbe = 2,
+};
+
+const char* VetLevelName(VetLevel level);
+
+/// Parses "off" / "static" / "probe"; kInvalidArgument otherwise.
+util::StatusOr<VetLevel> ParseVetLevel(const std::string& text);
+
+/// Severity taxonomy of a vet finding.
+///
+///  - kNote:    informational; does not affect the verdict ("clean" may
+///              carry notes — e.g. a program that opts out of checkpoints).
+///  - kWarning: suspicious but not disqualifying (duplicate buffer in one
+///              footprint list, an atomic flag with nothing to apply to).
+///  - kUnsound: the declaration contradicts the graph, the registration
+///              state, or the program's observed behaviour; trusting it
+///              would corrupt the cost model or mask a real race. Unsound
+///              programs are rejected at admission.
+enum class VetSeverity : uint8_t {
+  kNote = 0,
+  kWarning = 1,
+  kUnsound = 2,
+};
+
+const char* VetSeverityName(VetSeverity severity);
+
+/// One vet finding. `code` is a stable kebab-case slug tests and tools key
+/// on ("race-neighbor", "buffer-unregistered", "false-idempotence", ...);
+/// `detail` is the human-readable explanation.
+struct VetFinding {
+  VetSeverity severity = VetSeverity::kNote;
+  std::string code;
+  std::string detail;
+};
+
+/// The result of vetting one program.
+struct VetReport {
+  std::string program;
+  VetLevel level = VetLevel::kStatic;
+  std::vector<VetFinding> findings;
+  /// True when the kProbe traversal actually ran.
+  bool probe_ran = false;
+  /// Modeled seconds of the probe traversal (cost-model time, not wall).
+  double probe_modeled_seconds = 0.0;
+  /// Edges the probe traversal processed.
+  uint64_t probe_edges = 0;
+  /// Wall-clock seconds the whole vet took (the pre-flight price).
+  double wall_seconds = 0.0;
+  /// Whether SaveState reported checkpoint support.
+  bool checkpoint_supported = false;
+
+  void Add(VetSeverity severity, std::string code, std::string detail);
+
+  bool unsound() const;
+  /// "unsound" | "warning" | "clean" — notes never demote a clean verdict.
+  const char* verdict() const;
+
+  /// Multi-line human-readable report.
+  std::string ToText() const;
+  /// One JSON object (stable schema; see DESIGN.md).
+  std::string ToJson() const;
+  /// OK unless unsound — then kFailedPrecondition summarizing the findings.
+  util::Status ToStatus() const;
+};
+
+/// The canonical probe graph: a deterministic, symmetric ~24-node graph
+/// combining the shapes that exercise a traversal program's footprint — a
+/// hub (tile splitting), a chain (long diameter), a diamond (duplicate
+/// neighbor candidates), a self-loop (frontier == neighbor), and a second
+/// component (unreached state stays initialized-but-untouched).
+graph::Csr MakeProbeGraph();
+
+/// Callbacks VetProgram needs to drive a probe traversal. Kept as hooks so
+/// sage_vet does not depend on the apps layer (apps::VetApp supplies them
+/// from the registry).
+struct ProbeHooks {
+  /// Drives one full run of `program` on `engine` the way the app needs
+  /// (frontier-driven, global, peeling...). Required for kProbe.
+  std::function<util::StatusOr<core::RunStats>(core::Engine&,
+                                               core::FilterProgram&)>
+      run;
+  /// Optional fingerprint of the program's user-visible output
+  /// (apps::OutputDigest): the observation channel for behavioral probing
+  /// when the program does not support SaveState.
+  std::function<uint64_t(const core::Engine&, const core::FilterProgram&)>
+      digest;
+};
+
+/// Declaration-only checks of a program already bound to `engine`: footprint
+/// buffer registration/size/aliasing, race soundness of the atomic /
+/// idempotence flags, option cross-checks, and SaveState/RestoreState claim
+/// consistency. Appends findings to *report (does not clear it).
+void VetStatic(core::Engine& engine, core::FilterProgram& program,
+               VetReport* report);
+
+/// Full vet of a fresh program at `level`: builds a probe engine over
+/// MakeProbeGraph() using `options` (check_level and host_threads are
+/// overridden — the probe attaches its own shadow sink and runs serially),
+/// binds the program, runs the static checks, and at kProbe drives
+/// hooks.run under SageCheck kFull plus behavioral Filter/SaveState
+/// probing. The program is consumed: it is left bound to the (destroyed)
+/// probe engine, so vet a throwaway instance, not one you intend to run.
+util::StatusOr<VetReport> VetProgram(core::FilterProgram& program,
+                                     VetLevel level,
+                                     const core::EngineOptions& options,
+                                     const ProbeHooks& hooks);
+
+}  // namespace sage::check
+
+#endif  // SAGE_CHECK_VET_H_

@@ -72,6 +72,14 @@ util::StatusOr<std::unique_ptr<Engine>> Engine::Create(
     return util::Status::InvalidArgument("Engine::Create: null device");
   }
   SAGE_RETURN_IF_ERROR(options.Validate());
+  if (options.vet_level != check::VetLevel::kOff) {
+    util::Status csr_ok = graph::ValidateCsr(csr);
+    if (!csr_ok.ok()) {
+      return util::Status::InvalidArgument(
+          "Engine::Create: CSR failed structural validation: " +
+          csr_ok.message());
+    }
+  }
   if (options.check_level != sim::CheckLevel::kOff &&
       device->access_sink() != nullptr) {
     return util::Status::FailedPrecondition(

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "check/vet.h"
 #include "core/expand.h"
 #include "core/filter.h"
 #include "core/guard.h"
@@ -88,6 +89,16 @@ struct EngineOptions {
   /// it. Engines with a SageCheck level above kOff or sampling_reorder fall
   /// back to serial execution (their observers are order-sensitive).
   uint32_t host_threads = 0;
+  /// SageVet pre-flight level applied by Engine::Create (src/check/vet.h):
+  /// anything above kOff validates the CSR's structural invariants
+  /// (graph::ValidateCsr) before the engine copies it, turning a corrupt
+  /// graph into a typed kInvalidArgument instead of downstream UB. Program-
+  /// level vetting (footprint analysis, probe runs) needs a program factory
+  /// and therefore lives above the engine — check::VetProgram / apps::VetApp
+  /// and the QueryService admission path, which all honour this level too.
+  /// The legacy Engine constructor skips CSR validation (its callers abort
+  /// on bad input anyway); prefer Create.
+  check::VetLevel vet_level = check::VetLevel::kStatic;
 
   /// Checks the switch combination for consistency. Incompatible combos
   /// (udt_split_degree with resident_tiles / sampling_reorder,

@@ -1,6 +1,7 @@
 #include "graph/csr.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 
 #include "util/logging.h"
@@ -35,26 +36,56 @@ Csr Csr::FromCoo(const Coo& coo) {
   return csr;
 }
 
-util::Status Csr::Validate() const {
-  if (u_offsets_.size() != static_cast<size_t>(num_nodes_) + 1) {
-    return util::Status::Corruption("u_offsets size != num_nodes + 1");
+util::Status Csr::Validate() const { return ValidateCsr(*this); }
+
+util::Status ValidateCsr(const Csr& csr) {
+  const std::vector<EdgeId>& offsets = csr.u_offsets();
+  const std::vector<NodeId>& v = csr.v();
+  const NodeId n = csr.num_nodes();
+  if (offsets.size() != static_cast<size_t>(n) + 1) {
+    return util::Status::Corruption(
+        "u_offsets size " + std::to_string(offsets.size()) +
+        " != num_nodes + 1 (" + std::to_string(static_cast<uint64_t>(n) + 1) +
+        ")");
   }
-  if (u_offsets_.front() != 0) {
+  if (offsets.front() != 0) {
     return util::Status::Corruption("u_offsets[0] != 0");
   }
-  for (size_t i = 1; i < u_offsets_.size(); ++i) {
-    if (u_offsets_[i] < u_offsets_[i - 1]) {
-      return util::Status::Corruption("u_offsets not monotone at " +
-                                      std::to_string(i));
+  // Overflow guard: the terminal offset (and so every offset, once
+  // monotonicity holds) must be addressable as a vector index on this
+  // platform before it is compared against v.size().
+  if constexpr (sizeof(size_t) < sizeof(EdgeId)) {
+    if (offsets.back() >
+        static_cast<EdgeId>(std::numeric_limits<size_t>::max())) {
+      return util::Status::Corruption("terminal offset overflows size_t");
     }
   }
-  if (u_offsets_.back() != v_.size()) {
-    return util::Status::Corruption("u_offsets back != |E|");
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return util::Status::Corruption(
+          "u_offsets not monotone at " + std::to_string(i) + " (" +
+          std::to_string(offsets[i]) + " < " + std::to_string(offsets[i - 1]) +
+          ")");
+    }
+    // Overflow guard: OutDegree returns uint32_t; a degree that wraps it
+    // silently truncates every tile-size computation downstream.
+    if (offsets[i] - offsets[i - 1] >
+        std::numeric_limits<uint32_t>::max()) {
+      return util::Status::Corruption("out-degree of node " +
+                                      std::to_string(i - 1) +
+                                      " overflows uint32_t");
+    }
   }
-  for (size_t i = 0; i < v_.size(); ++i) {
-    if (v_[i] >= num_nodes_) {
-      return util::Status::Corruption("neighbor id out of range at " +
-                                      std::to_string(i));
+  if (offsets.back() != v.size()) {
+    return util::Status::Corruption(
+        "terminal offset " + std::to_string(offsets.back()) +
+        " != edge count " + std::to_string(v.size()));
+  }
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] >= n) {
+      return util::Status::Corruption(
+          "neighbor id " + std::to_string(v[i]) + " out of range at edge " +
+          std::to_string(i) + " (num_nodes " + std::to_string(n) + ")");
     }
   }
   return util::Status::OK();

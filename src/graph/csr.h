@@ -77,6 +77,17 @@ class Csr {
   std::vector<NodeId> v_;
 };
 
+/// Full structural validation of a CSR, the single authority every loading
+/// and admission path defers to (Csr::Validate, graph::GraphRegistry load,
+/// Engine::Create under vet_level >= kStatic): offsets array sized
+/// num_nodes + 1, first offset zero, monotone non-decreasing offsets,
+/// terminal offset equal to the edge count, every neighbor id in
+/// [0, num_nodes), and overflow guards — no per-node degree may exceed what
+/// OutDegree's uint32_t return can represent, and the offset/edge extents
+/// must stay addressable. Returns kCorruption describing the first
+/// violation.
+util::Status ValidateCsr(const Csr& csr);
+
 }  // namespace sage::graph
 
 #endif  // SAGE_GRAPH_CSR_H_

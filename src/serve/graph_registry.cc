@@ -6,6 +6,15 @@ util::Status GraphRegistry::Add(const std::string& name, graph::Csr csr) {
   if (name.empty()) {
     return util::Status::InvalidArgument("graph name must be non-empty");
   }
+  // Reject corrupt CSRs at the door (SageVet): a graph that fails
+  // structural validation would poison every engine built from it, and the
+  // failure would surface as a confusing traversal-time error instead of a
+  // load-time one.
+  if (util::Status valid = graph::ValidateCsr(csr); !valid.ok()) {
+    return util::Status::InvalidArgument("graph '" + name +
+                                         "' failed CSR validation: " +
+                                         valid.message());
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = graphs_.emplace(name, std::move(csr));
   (void)it;

@@ -20,8 +20,10 @@ namespace sage::serve {
 /// and std::map nodes do not move on insert.
 class GraphRegistry {
  public:
-  /// Registers `csr` under `name`. kInvalidArgument for an empty name or
-  /// a duplicate registration (graphs are immutable once registered).
+  /// Registers `csr` under `name`. kInvalidArgument for an empty name, a
+  /// duplicate registration (graphs are immutable once registered), or a
+  /// CSR that fails structural validation (graph::ValidateCsr) — corrupt
+  /// graphs are rejected at load time, not traversal time.
   util::Status Add(const std::string& name, graph::Csr csr);
 
   /// The registered graph, or nullptr.

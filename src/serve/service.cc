@@ -96,6 +96,7 @@ util::Status QueryService::ValidateRequest(const Request& request) const {
   if (!apps::AppKnown(request.app)) {
     return util::Status::InvalidArgument("unknown app: " + request.app);
   }
+  SAGE_RETURN_IF_ERROR(VetForAdmission(request.app));
   const graph::Csr* csr = registry_->Find(request.graph);
   for (graph::NodeId s : request.params.sources) {
     if (s >= csr->num_nodes()) {
@@ -120,6 +121,31 @@ util::Status QueryService::ValidateRequest(const Request& request) const {
     return util::Status::InvalidArgument("deadlines must be >= 0");
   }
   return util::Status::OK();
+}
+
+util::Status QueryService::VetForAdmission(const std::string& app) const {
+  const check::VetLevel level = options_.engine_options.vet_level;
+  if (level == check::VetLevel::kOff) return util::Status::OK();
+  std::lock_guard<std::mutex> lock(vet_mu_);
+  auto it = vet_cache_.find(app);
+  if (it != vet_cache_.end()) return it->second;
+  // First request for this app: vet a throwaway program instance on the
+  // canonical probe graph. The verdict is cached — programs are static, so
+  // one pre-flight per service lifetime is the whole admission price.
+  util::Status verdict;
+  auto report = apps::VetApp(app, level, options_.engine_options);
+  if (!report.ok()) {
+    verdict = report.status();
+  } else {
+    verdict = report->ToStatus();
+  }
+  if (!verdict.ok()) {
+    verdict = util::Status(verdict.code(),
+                           "app '" + app + "' failed pre-flight vetting: " +
+                               verdict.message());
+  }
+  vet_cache_.emplace(app, verdict);
+  return verdict;
 }
 
 util::StatusOr<std::future<Response>> QueryService::Submit(Request request) {

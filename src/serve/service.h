@@ -140,6 +140,12 @@ class QueryService {
   };
 
   util::Status ValidateRequest(const Request& request) const;
+  /// SageVet program admission: the app's pre-flight vet verdict at
+  /// options_.engine_options.vet_level, computed once per app name and
+  /// cached for the service's lifetime (programs are static — their
+  /// footprints cannot change between requests). kFailedPrecondition for
+  /// unsound programs; OK at kOff or for clean/warning verdicts.
+  util::Status VetForAdmission(const std::string& app) const;
   /// Pops the front request plus every compatible pending one (mu_ held,
   /// queue non-empty).
   std::vector<Pending> TakeBatchLocked();
@@ -227,6 +233,11 @@ class QueryService {
     util::HistogramMetric* latency_queue_us;
     util::HistogramMetric* latency_run_us;
   } m_{};
+
+  /// SageVet admission cache: app name -> vet verdict (guarded by vet_mu_;
+  /// separate from mu_ so a slow first-time probe never blocks dispatch).
+  mutable std::mutex vet_mu_;
+  mutable std::map<std::string, util::Status> vet_cache_;
 
   mutable std::mutex mu_;  // guards queue_, pools_, stopping_, batch cap
   std::condition_variable queue_cv_;

@@ -52,7 +52,13 @@ Buffer MemorySim::Register(const std::string& name, uint64_t num_elems,
   uint64_t bytes = CheckedBufferBytes(name, num_elems, elem_bytes, line);
   // Align the next base to a cache line so buffers never share sectors.
   next_base_ += (bytes + line - 1) / line * line + line;
+  registered_.push_back(buf);
   return buf;
+}
+
+const Buffer* MemorySim::FindBuffer(uint32_t id) const {
+  if (id == 0 || id > registered_.size()) return nullptr;
+  return &registered_[id - 1];
 }
 
 void MemorySim::Grow(Buffer* buffer, uint64_t new_num_elems) {
@@ -72,6 +78,11 @@ void MemorySim::Grow(Buffer* buffer, uint64_t new_num_elems) {
   buffer->base = next_base_;
   buffer->num_elems = new_num_elems;
   next_base_ += (bytes + line - 1) / line * line + line;
+  // Keep the authoritative registration in sync so FindBuffer reflects the
+  // post-Grow geometry (and stale copies elsewhere become detectable).
+  if (buffer->id >= 1 && buffer->id <= registered_.size()) {
+    registered_[buffer->id - 1] = *buffer;
+  }
 }
 
 bool MemorySim::ProbeSet(L2Set& set, uint64_t tag, uint64_t* clock) {

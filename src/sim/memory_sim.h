@@ -97,6 +97,13 @@ class MemorySim {
   /// frontiers) exceeds any reasonable static capacity.
   void Grow(Buffer* buffer, uint64_t new_num_elems);
 
+  /// The current registration of buffer `id`, or nullptr for an id this
+  /// memory system never issued. Register and Grow keep this authoritative,
+  /// so SageVet can detect footprints holding a never-registered Buffer or a
+  /// stale copy whose base/size predate a Grow. The pointer is invalidated
+  /// by the next Register call.
+  const Buffer* FindBuffer(uint32_t id) const;
+
   /// Charges a batch of element addresses (one per lane of a tile access).
   /// Deduplicates to distinct sectors and probes the L2 once per sector.
   /// Host-space addresses bypass the L2 (they are charged to the PCIe
@@ -191,6 +198,8 @@ class MemorySim {
   DeviceSpec spec_;
   uint64_t next_base_ = 0;
   uint32_t next_id_ = 1;
+  /// Authoritative copy of every registration, indexed by id - 1.
+  std::vector<Buffer> registered_;
   std::vector<L2Set> sets_;
   uint64_t lru_clock_ = 0;
   MemStats device_stats_;

@@ -93,7 +93,7 @@ INSTANTIATE_TEST_SUITE_P(
                                    0},
                       StrategyCase{"tigr", core::ExpandStrategy::kWarpCentric,
                                    32}),
-    [](const auto& info) { return std::string(info.param.label); });
+    [](const auto& name_info) { return std::string(name_info.param.label); });
 
 // --- UDT structural invariants.
 
@@ -255,8 +255,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(baselines::MultiGpuStrategy::kSage,
                       baselines::MultiGpuStrategy::kGunrockLike,
                       baselines::MultiGpuStrategy::kGrouteLike),
-    [](const auto& info) {
-      switch (info.param) {
+    [](const auto& name_info) {
+      switch (name_info.param) {
         case baselines::MultiGpuStrategy::kSage:
           return "sage";
         case baselines::MultiGpuStrategy::kGunrockLike:
@@ -303,8 +303,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(baselines::MultiGpuStrategy::kSage,
                       baselines::MultiGpuStrategy::kGunrockLike,
                       baselines::MultiGpuStrategy::kGrouteLike),
-    [](const auto& info) {
-      switch (info.param) {
+    [](const auto& name_info) {
+      switch (name_info.param) {
         case baselines::MultiGpuStrategy::kSage:
           return "sage";
         case baselines::MultiGpuStrategy::kGunrockLike:

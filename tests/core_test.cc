@@ -188,7 +188,7 @@ INSTANTIATE_TEST_SUITE_P(
         PathCase{"resident", ExpandStrategy::kSage, true, true},
         PathCase{"b40c", ExpandStrategy::kB40c, false, false},
         PathCase{"warp", ExpandStrategy::kWarpCentric, false, false}),
-    [](const auto& info) { return std::string(info.param.label); });
+    [](const auto& name_info) { return std::string(name_info.param.label); });
 
 // --- Footprint charging -----------------------------------------------------
 

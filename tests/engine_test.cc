@@ -155,7 +155,7 @@ TEST_P(EngineAllConfigsTest, CcMatchesUnionFind) {
 
 INSTANTIATE_TEST_SUITE_P(AllConfigs, EngineAllConfigsTest,
                          ::testing::ValuesIn(kConfigs),
-                         [](const auto& info) { return info.param.label; });
+                         [](const auto& name_info) { return name_info.param.label; });
 
 TEST(EngineTest, ReorderingActuallyHappens) {
   Csr csr = graph::GenerateRmat(10, 10000, 0.55, 0.2, 0.2, 21);

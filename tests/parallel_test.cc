@@ -351,8 +351,8 @@ INSTANTIATE_TEST_SUITE_P(Strategies, AppEquivalenceTest,
                          ::testing::Values(ExpandStrategy::kSage,
                                            ExpandStrategy::kB40c,
                                            ExpandStrategy::kWarpCentric),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& name_info) {
+                           switch (name_info.param) {
                              case ExpandStrategy::kSage:
                                return "sage";
                              case ExpandStrategy::kB40c:

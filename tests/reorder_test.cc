@@ -111,7 +111,9 @@ TEST_P(ReordererValidityTest, ProducesValidPermutation) {
 INSTANTIATE_TEST_SUITE_P(All, ReordererValidityTest,
                          ::testing::Values("rcm", "llp", "gorder", "degree",
                                            "random"),
-                         [](const auto& info) { return std::string(info.param); });
+                         [](const auto& name_info) {
+                           return std::string(name_info.param);
+                         });
 
 TEST(ReordererQualityTest, RcmBeatsRandomOnLocality) {
   // A community graph has strong structure for RCM to exploit.

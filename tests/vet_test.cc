@@ -1,0 +1,438 @@
+// SageVet: pre-flight static analysis + behavioral probing (DESIGN.md
+// "Static verification"). Proves that every registered app passes vetting
+// at every level, that deliberately lying programs are flagged unsound,
+// and that corrupt CSRs are rejected at every entry point (ValidateCsr,
+// GraphRegistry::Add, Engine::Create).
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.h"
+#include "check/vet.h"
+#include "core/engine.h"
+#include "core/filter.h"
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "serve/graph_registry.h"
+#include "serve/service.h"
+#include "sim/gpu_device.h"
+#include "util/status.h"
+
+namespace sage {
+namespace {
+
+using check::VetLevel;
+using check::VetReport;
+using check::VetSeverity;
+using graph::NodeId;
+
+bool HasFinding(const VetReport& report, const std::string& code) {
+  return std::any_of(
+      report.findings.begin(), report.findings.end(),
+      [&code](const check::VetFinding& f) { return f.code == code; });
+}
+
+std::string FindingCodes(const VetReport& report) {
+  std::string out;
+  for (const check::VetFinding& f : report.findings) {
+    out += f.code;
+    out += " ";
+  }
+  return out;
+}
+
+graph::Csr SmallValidGraph() {
+  graph::Coo coo;
+  coo.num_nodes = 4;
+  auto edge = [&coo](NodeId a, NodeId b) {
+    coo.u.push_back(a);
+    coo.v.push_back(b);
+    coo.u.push_back(b);
+    coo.v.push_back(a);
+  };
+  edge(0, 1);
+  edge(1, 2);
+  edge(2, 3);
+  return graph::Csr::FromCoo(coo);
+}
+
+check::ProbeHooks SimpleRunHooks() {
+  check::ProbeHooks hooks;
+  hooks.run = [](core::Engine& engine, core::FilterProgram&)
+      -> util::StatusOr<core::RunStats> {
+    const NodeId sources[] = {0};
+    return engine.Run(std::span<const NodeId>(sources, 1));
+  };
+  return hooks;
+}
+
+// ---------------------------------------------------------------------------
+// Lying programs. Each one makes a declaration that contradicts what it
+// actually does; SageVet must catch all of them.
+
+/// Declares a read-only footprint but mutates per-node state (and a call
+/// counter) in Filter — the classic undeclared neighbor write: the stores
+/// are invisible to the cost model and to SageCheck.
+class LyingWriterProgram : public core::FilterProgram {
+ public:
+  void Bind(core::Engine* engine) override {
+    visited_.assign(engine->csr().num_nodes(), 0);
+    calls_ = 0;
+    buf_ = engine->RegisterAttribute("liar.visited", 1);
+    footprint_ = core::Footprint{};
+    footprint_.neighbor_reads = {&buf_};
+  }
+  bool Filter(NodeId frontier, NodeId neighbor) override {
+    (void)frontier;
+    ++calls_;  // undeclared: every call mutates state
+    if (visited_[neighbor]) return false;
+    visited_[neighbor] = 1;  // undeclared neighbor write
+    return true;
+  }
+  bool SaveState(std::vector<uint8_t>* out) const override {
+    out->insert(out->end(), visited_.begin(), visited_.end());
+    for (int shift = 0; shift < 64; shift += 8) {
+      out->push_back(static_cast<uint8_t>(calls_ >> shift));
+    }
+    return true;
+  }
+  bool RestoreState(std::span<const uint8_t> bytes) override {
+    if (bytes.size() != visited_.size() + 8) return false;
+    std::copy(bytes.begin(), bytes.begin() + visited_.size(),
+              visited_.begin());
+    calls_ = 0;
+    for (int i = 0; i < 8; ++i) {
+      calls_ |= static_cast<uint64_t>(bytes[visited_.size() + i]) << (8 * i);
+    }
+    return true;
+  }
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "lying-writer"; }
+
+ private:
+  core::Footprint footprint_;
+  sim::Buffer buf_;
+  std::vector<uint8_t> visited_;
+  uint64_t calls_ = 0;
+};
+
+/// Declares its neighbor writes value-idempotent (the benign-race "no
+/// atomics needed" class) but actually accumulates — two concurrent writers
+/// would not store the same value, so the declaration hides a real race.
+class FalseIdempotenceProgram : public core::FilterProgram {
+ public:
+  void Bind(core::Engine* engine) override {
+    sum_.assign(engine->csr().num_nodes(), 0);
+    seen_.assign(engine->csr().num_nodes(), 0);
+    buf_ = engine->RegisterAttribute("falsei.sum", sizeof(uint32_t));
+    footprint_ = core::Footprint{};
+    footprint_.neighbor_reads = {&buf_};
+    footprint_.neighbor_writes = {&buf_};
+    footprint_.idempotent_neighbor_writes = true;  // a lie: += accumulates
+  }
+  bool Filter(NodeId frontier, NodeId neighbor) override {
+    (void)frontier;
+    sum_[neighbor] += 1;  // not idempotent: repeating changes the value
+    if (seen_[neighbor]) return false;
+    seen_[neighbor] = 1;
+    return true;
+  }
+  bool SaveState(std::vector<uint8_t>* out) const override {
+    for (uint32_t v : sum_) {
+      for (int shift = 0; shift < 32; shift += 8) {
+        out->push_back(static_cast<uint8_t>(v >> shift));
+      }
+    }
+    return true;
+  }
+  bool RestoreState(std::span<const uint8_t> bytes) override {
+    if (bytes.size() != sum_.size() * 4) return false;
+    for (size_t i = 0; i < sum_.size(); ++i) {
+      uint32_t v = 0;
+      for (int b = 0; b < 4; ++b) {
+        v |= static_cast<uint32_t>(bytes[i * 4 + b]) << (8 * b);
+      }
+      sum_[i] = v;
+    }
+    return true;
+  }
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "false-idempotence"; }
+
+ private:
+  core::Footprint footprint_;
+  sim::Buffer buf_;
+  std::vector<uint32_t> sum_;
+  std::vector<uint8_t> seen_;
+};
+
+/// Lists a buffer that was never registered with the engine's memory
+/// system — the footprint charges against an address range the simulator
+/// knows nothing about.
+class PhantomBufferProgram : public core::FilterProgram {
+ public:
+  void Bind(core::Engine* engine) override {
+    (void)engine;
+    phantom_.id = 4242;  // never came from RegisterAttribute
+    phantom_.num_elems = 1u << 20;
+    phantom_.name = "phantom.buf";
+    footprint_ = core::Footprint{};
+    footprint_.neighbor_reads = {&phantom_};
+  }
+  bool Filter(NodeId, NodeId) override { return false; }
+  const core::Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "phantom-buffer"; }
+
+ private:
+  core::Footprint footprint_;
+  sim::Buffer phantom_;
+};
+
+// ---------------------------------------------------------------------------
+// ValidateCsr: the single structural-validation authority.
+
+TEST(ValidateCsr, AcceptsWellFormedGraphs) {
+  EXPECT_TRUE(graph::ValidateCsr(SmallValidGraph()).ok());
+  EXPECT_TRUE(graph::ValidateCsr(check::MakeProbeGraph()).ok());
+  EXPECT_TRUE(graph::ValidateCsr(graph::Csr()).ok());  // empty graph
+}
+
+TEST(ValidateCsr, RejectsNonMonotoneOffsets) {
+  graph::Csr csr = SmallValidGraph();
+  std::vector<graph::EdgeId>& offsets = csr.mutable_u_offsets();
+  offsets[1] = offsets[2] + 3;  // decreasing: degree would be negative
+  util::Status status = graph::ValidateCsr(csr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kCorruption);
+}
+
+TEST(ValidateCsr, RejectsTerminalOffsetMismatch) {
+  graph::Csr csr = SmallValidGraph();
+  csr.mutable_v().pop_back();  // terminal offset now exceeds edge storage
+  util::Status status = graph::ValidateCsr(csr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kCorruption);
+}
+
+TEST(ValidateCsr, RejectsOutOfRangeTargets) {
+  graph::Csr csr = SmallValidGraph();
+  csr.mutable_v()[0] = csr.num_nodes() + 7;
+  util::Status status = graph::ValidateCsr(csr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kCorruption);
+}
+
+TEST(ValidateCsr, RejectsWrongOffsetCount) {
+  graph::Csr csr = SmallValidGraph();
+  csr.mutable_u_offsets().pop_back();
+  util::Status status = graph::ValidateCsr(csr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt graphs are rejected at every loading entry point.
+
+TEST(VetIntegration, GraphRegistryRejectsCorruptCsr) {
+  serve::GraphRegistry registry;
+  EXPECT_TRUE(registry.Add("good", SmallValidGraph()).ok());
+
+  graph::Csr non_monotone = SmallValidGraph();
+  non_monotone.mutable_u_offsets()[1] =
+      non_monotone.mutable_u_offsets()[2] + 5;
+  util::Status status = registry.Add("bad-offsets", std::move(non_monotone));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+
+  graph::Csr bad_target = SmallValidGraph();
+  bad_target.mutable_v()[0] = 1000;
+  status = registry.Add("bad-target", std::move(bad_target));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+
+  // Rejected graphs were not registered.
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Find("bad-offsets"), nullptr);
+  EXPECT_EQ(registry.Find("bad-target"), nullptr);
+}
+
+TEST(VetIntegration, EngineCreateRejectsCorruptCsr) {
+  graph::Csr corrupt = SmallValidGraph();
+  corrupt.mutable_v()[0] = 999;
+
+  sim::GpuDevice device{sim::DeviceSpec{}};
+  core::EngineOptions options;  // vet_level defaults to kStatic
+  auto engine = core::Engine::Create(&device, corrupt, options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(VetIntegration, EngineCreateAcceptsValidCsrAtEveryLevel) {
+  for (VetLevel level :
+       {VetLevel::kOff, VetLevel::kStatic, VetLevel::kProbe}) {
+    sim::GpuDevice device{sim::DeviceSpec{}};
+    core::EngineOptions options;
+    options.vet_level = level;
+    auto engine = core::Engine::Create(&device, SmallValidGraph(), options);
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The probe graph itself.
+
+TEST(ProbeGraph, IsValidSymmetricAndShaped) {
+  graph::Csr probe = check::MakeProbeGraph();
+  EXPECT_TRUE(graph::ValidateCsr(probe).ok());
+  EXPECT_EQ(probe.num_nodes(), 24u);
+  EXPECT_GT(probe.OutDegree(0), 4u);     // the hub
+  EXPECT_GT(probe.OutDegree(4), 1u);     // self-loop adds a neighbor
+  // The self-loop is present: node 4 lists itself.
+  auto neighbors = probe.Neighbors(4);
+  EXPECT_TRUE(std::find(neighbors.begin(), neighbors.end(), NodeId{4}) !=
+              neighbors.end());
+  // Symmetric: every edge (u, v) has its reverse.
+  for (NodeId u = 0; u < probe.num_nodes(); ++u) {
+    for (NodeId v : probe.Neighbors(u)) {
+      auto back = probe.Neighbors(v);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), u) != back.end())
+          << "missing reverse edge (" << v << ", " << u << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Every registered app passes vetting at every level.
+
+TEST(VetApps, AllRegisteredAppsAreSoundAtEveryLevel) {
+  for (const std::string& app : apps::RegisteredApps()) {
+    for (VetLevel level :
+         {VetLevel::kOff, VetLevel::kStatic, VetLevel::kProbe}) {
+      auto report = apps::VetApp(app, level, core::EngineOptions{});
+      ASSERT_TRUE(report.ok())
+          << app << " at " << check::VetLevelName(level) << ": "
+          << report.status().ToString();
+      EXPECT_FALSE(report->unsound())
+          << app << " at " << check::VetLevelName(level) << ": "
+          << report->ToText();
+      EXPECT_TRUE(report->ToStatus().ok());
+      if (level == VetLevel::kProbe) {
+        EXPECT_TRUE(report->probe_ran) << report->ToText();
+        EXPECT_GT(report->probe_edges, 0u) << app;
+      }
+    }
+  }
+}
+
+TEST(VetApps, BfsIsCompletelyClean) {
+  auto report =
+      apps::VetApp("bfs", VetLevel::kProbe, core::EngineOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_STREQ(report->verdict(), "clean") << report->ToText();
+  EXPECT_TRUE(report->checkpoint_supported);
+}
+
+TEST(VetApps, UnknownAppIsNotFound) {
+  auto report = apps::VetApp("no-such-app", VetLevel::kStatic,
+                             core::EngineOptions{});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(VetApps, ReportsSerializeToJson) {
+  auto report =
+      apps::VetApp("pagerank", VetLevel::kProbe, core::EngineOptions{});
+  ASSERT_TRUE(report.ok());
+  std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"program\":\"pagerank\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"level\":\"probe\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"verdict\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"findings\":["), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Lying programs are flagged unsound.
+
+TEST(VetLiars, UndeclaredWritesAreUnsound) {
+  LyingWriterProgram liar;
+  auto report = check::VetProgram(liar, VetLevel::kProbe,
+                                  core::EngineOptions{}, SimpleRunHooks());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->unsound()) << report->ToText();
+  EXPECT_TRUE(HasFinding(*report, "undeclared-state-write"))
+      << FindingCodes(*report);
+  EXPECT_STREQ(report->verdict(), "unsound");
+  EXPECT_EQ(report->ToStatus().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(VetLiars, FalseIdempotenceIsUnsound) {
+  FalseIdempotenceProgram liar;
+  auto report = check::VetProgram(liar, VetLevel::kProbe,
+                                  core::EngineOptions{}, SimpleRunHooks());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->unsound()) << report->ToText();
+  EXPECT_TRUE(HasFinding(*report, "false-idempotence"))
+      << FindingCodes(*report);
+}
+
+TEST(VetLiars, PhantomBufferIsUnsoundAtStaticLevel) {
+  PhantomBufferProgram liar;
+  auto report = check::VetProgram(liar, VetLevel::kStatic,
+                                  core::EngineOptions{}, check::ProbeHooks{});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->unsound()) << report->ToText();
+  EXPECT_TRUE(HasFinding(*report, "buffer-unregistered"))
+      << FindingCodes(*report);
+}
+
+TEST(VetLiars, OffLevelSkipsEverything) {
+  PhantomBufferProgram liar;
+  auto report = check::VetProgram(liar, VetLevel::kOff,
+                                  core::EngineOptions{}, check::ProbeHooks{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->findings.empty());
+  EXPECT_STREQ(report->verdict(), "clean");
+}
+
+// ---------------------------------------------------------------------------
+// Vet level parsing.
+
+TEST(VetLevel, ParsesAndRejects) {
+  EXPECT_EQ(*check::ParseVetLevel("off"), VetLevel::kOff);
+  EXPECT_EQ(*check::ParseVetLevel("static"), VetLevel::kStatic);
+  EXPECT_EQ(*check::ParseVetLevel("probe"), VetLevel::kProbe);
+  EXPECT_FALSE(check::ParseVetLevel("bogus").ok());
+  EXPECT_FALSE(check::ParseVetLevel("").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Serve admission: requests for vetted apps pass through.
+
+TEST(VetServe, AdmissionAcceptsVettedApps) {
+  serve::GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", SmallValidGraph()).ok());
+  serve::ServeOptions options;
+  options.worker_threads = 0;  // synchronous drain
+  options.engine_options.host_threads = 1;
+  options.engine_options.vet_level = VetLevel::kProbe;
+  serve::QueryService service(&registry, options);
+
+  serve::Request request;
+  request.graph = "g";
+  request.app = "bfs";
+  request.params.sources = {0};
+  auto submitted = service.Submit(request);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  service.ProcessAllPending();
+  serve::Response response = submitted->get();
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace sage

@@ -3,19 +3,23 @@
 #
 #   tools/run_checks.sh [build-dir]
 #
-# Builds Debug with ASan+UBSan into build-checks/ (or the given directory),
-# runs ctest under the sanitizers, then runs clang-tidy over src/ if it is
-# installed (skipped with a notice otherwise — the container image does not
-# always ship it).
+# Builds Debug with ASan+UBSan and -Werror into build-checks/ (or the given
+# directory), runs ctest under the sanitizers, runs the SageVet pre-flight
+# over every registered app (sage_cli vet --json, validated JSON), then runs
+# clang-tidy over src/ with findings promoted to errors (skipped with a
+# notice when the tool is not installed — the container image does not
+# always ship it). Every stage is gating: the script fails on the first
+# finding.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-"${repo_root}/build-checks"}"
 
-echo "== configure (Debug, address+undefined sanitizers) =="
+echo "== configure (Debug, address+undefined sanitizers, -Werror) =="
 cmake -S "${repo_root}" -B "${build_dir}" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DSAGE_SANITIZE="address;undefined" \
+  -DSAGE_WERROR=ON \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
 echo "== build =="
@@ -132,7 +136,22 @@ python3 -m json.tool "${obs_dir}/serve_trace.json" > /dev/null
 python3 -m json.tool "${obs_dir}/serve_metrics.json" > /dev/null
 echo "observability: profile/trace/metrics/serve JSON all valid"
 
-echo "== clang-tidy =="
+echo "== SageVet pre-flight (sage_cli vet, ASan/UBSan build) =="
+# Vets every registered app at the deepest level (static checks plus a
+# probe traversal under SageCheck kFull). Gating: sage_cli vet exits 3 when
+# any program is unsound, and the JSON report must parse. The wall-time is
+# recorded so the pre-flight price stays visible in the log.
+vet_start="${SECONDS}"
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  "${build_dir}/tools/sage_cli" vet --level=probe --json \
+  > "${obs_dir}/vet.json"
+python3 -m json.tool "${obs_dir}/vet.json" > /dev/null
+echo "SageVet: all registered apps sound ($((SECONDS - vet_start))s wall)"
+
+echo "== clang-tidy (gating: findings are errors) =="
+# .clang-tidy promotes every enabled check to an error (WarningsAsErrors:
+# '*'), so a non-empty finding list fails this script via set -e.
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
     -name '*.cc' | sort)

@@ -25,6 +25,7 @@
 #include "baselines/metis_like.h"
 #include "check/access_checker.h"
 #include "check/determinism.h"
+#include "check/vet.h"
 #include "core/engine.h"
 #include "core/guard.h"
 #include "graph/datasets.h"
@@ -68,6 +69,8 @@ bool g_json = false;
 std::string g_trace_out;
 /// SageScope: metrics-registry JSON destination (--metrics-out; "" = off).
 std::string g_metrics_out;
+/// SageVet: analysis depth requested via --level (vet subcommand).
+std::string g_vet_level = "probe";
 
 bool ParseU32(const std::string& value, uint32_t* out) {
   if (value.empty()) return false;
@@ -146,6 +149,13 @@ const FlagDef kFlags[] = {
      "write the SageScope metrics registry as JSON (profile, serve)",
      [](const std::string& v) {
        g_metrics_out = v;
+       return !v.empty();
+     }},
+    {"level", "=off|static|probe",
+     "vet: analysis depth (default probe — static checks plus a traversal\n"
+     "                     of the canonical probe graph under SageCheck)",
+     [](const std::string& v) {
+       g_vet_level = v;
        return !v.empty();
      }},
 };
@@ -754,6 +764,48 @@ int CmdFaults(const std::vector<std::string>& args) {
 }
 
 // ---------------------------------------------------------------------------
+// vet: SageVet pre-flight analysis of registered programs.
+
+/// `vet [app...]` — vets every registered app (or just the named ones) at
+/// --level (default probe) and prints one report per app: human-readable
+/// text, or a JSON array of report objects under --json. Exit codes:
+/// 0 = every program clean or warnings only, 2 = bad arguments,
+/// 3 = at least one program is unsound.
+int CmdVet(const std::vector<std::string>& args) {
+  auto level = check::ParseVetLevel(g_vet_level);
+  if (!level.ok()) {
+    std::fprintf(stderr, "%s\n", level.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<std::string> names =
+      args.empty() ? apps::RegisteredApps() : args;
+  int rc = 0;
+  std::string json = "[";
+  bool first = true;
+  for (const std::string& name : names) {
+    auto report = apps::VetApp(name, *level, BaseOptions());
+    if (!report.ok()) {
+      std::fprintf(stderr, "vet %s: %s\n", name.c_str(),
+                   report.status().ToString().c_str());
+      return 2;
+    }
+    if (g_json) {
+      if (!first) json += ",";
+      json += report->ToJson();
+      first = false;
+    } else {
+      std::printf("%s", report->ToText().c_str());
+    }
+    if (report->unsound()) rc = 3;
+  }
+  if (g_json) {
+    json += "]";
+    std::printf("%s\n", json.c_str());
+  }
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
 // serve: replay a request file through the query service.
 
 /// Parses one request-file line (see CmdServe's usage text) into either a
@@ -937,6 +989,11 @@ const Subcommand kSubcommands[] = {
      "replay a request file through the query service (directives: "
      "graph/gen/bfs/sssp/pagerank/kcore/msbfs)",
      1, &CmdServe},
+    {"vet", "[app...]",
+     "SageVet pre-flight analysis of registered programs "
+     "(--level=off|static|probe, --json for machine-readable reports); "
+     "exit 3 if any program is unsound",
+     0, &CmdVet},
 };
 const size_t kNumSubcommands = sizeof(kSubcommands) / sizeof(kSubcommands[0]);
 
