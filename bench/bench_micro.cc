@@ -11,6 +11,7 @@
 #include "reorder/permutation.h"
 #include "reorder/reorderers.h"
 #include "sim/gpu_device.h"
+#include "sim/memory_sim.h"
 #include "util/prefix_sum.h"
 #include "util/random.h"
 #include "util/segsort.h"
@@ -86,6 +87,54 @@ void BM_MemoryAccessBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * idx.size());
 }
 BENCHMARK(BM_MemoryAccessBatch);
+
+void BM_CollectSectorsDedup(benchmark::State& state) {
+  // The sector-dedup kernel of every modeled access: address arithmetic
+  // (the power-of-two shift fast path under the hood), sort, unique. This
+  // is the simulator's single hottest loop, and the SIMD/scalar split in
+  // util/simd.h exists for it.
+  sim::DeviceSpec spec;
+  sim::MemorySim mem(spec);
+  sim::Buffer buf = mem.Register("x", 1 << 22, 4);
+  util::Rng rng(5);
+  size_t n = state.range(0);
+  std::vector<uint64_t> idx(n);
+  for (auto& i : idx) i = rng.UniformU64(1 << 22);
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    mem.CollectSectors(buf, idx, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CollectSectorsDedup)->Arg(32)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_FilterCommit(benchmark::State& state) {
+  // The branchless deferred-filter commit loop of Engine::RunStage: output
+  // pre-sized, every neighbor stored unconditionally, the cursor advancing
+  // only when the filter admits it — no per-edge push_back.
+  util::Rng rng(6);
+  size_t n = state.range(0);
+  std::vector<uint32_t> neighbors(n);
+  std::vector<uint32_t> admit(n);
+  for (size_t i = 0; i < n; ++i) {
+    neighbors[i] = static_cast<uint32_t>(rng.Next());
+    admit[i] = static_cast<uint32_t>(rng.UniformU64(2));
+  }
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    out.resize(n);
+    size_t kept = 0;
+    for (size_t i = 0; i < n; ++i) {
+      out[kept] = neighbors[i];
+      kept += admit[i];
+    }
+    out.resize(kept);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FilterCommit)->Arg(1 << 14)->Arg(1 << 18);
 
 void BM_DecomposeAdjacency(benchmark::State& state) {
   core::TiledOptions opts;

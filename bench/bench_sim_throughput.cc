@@ -1,12 +1,14 @@
 // Simulation throughput: wall-clock speed of the simulator itself (edges
-// simulated per second of host time), serial vs parallel execution backend
-// (DESIGN.md §5). This measures the cost of *running* the model, not the
-// modeled GTEPS — the modeled results are bit-identical in both modes (the
-// equivalence harness proves it; this bench re-checks the output digests).
+// simulated per second of host time), serial backend vs the parallel
+// backend swept across host thread counts (DESIGN.md §5). This measures
+// the cost of *running* the model, not the modeled GTEPS — the modeled
+// results are bit-identical at every thread count (the equivalence harness
+// proves it; this bench re-checks the output digests per swept point).
 //
 // Emits BENCH_sim_throughput.json next to the binary's working directory.
-// The speedup column only exceeds 1 on a multi-core host: with one
-// hardware thread the parallel backend degenerates to the serial path.
+// Speedup only exceeds 1 on a multi-core host: with one hardware thread
+// every parallel point is oversubscribed and pays trace/replay overhead
+// plus context switches.
 
 #include <algorithm>
 #include <chrono>
@@ -21,36 +23,60 @@
 namespace sage::bench {
 namespace {
 
-/// Regression floor for the parallel backend's wall-clock speed relative
-/// to serial. The parallel backend always pays for trace recording and
-/// sliced-L2 replay bookkeeping; on few-core hosts (the JSON records
-/// host_threads) there is little replay parallelism to win it back, and
-/// the cost is most visible on the workload with the largest per-iteration
-/// traces — uk-2002s/pr (~3.9M traversed edges of dense global PR rounds)
-/// has measured as low as 0.865x serial on a single-thread host. That is
-/// expected overhead, not a bug (outputs stay bit-identical; the
-/// equivalence harness checks them). Anything below this floor, though,
-/// means the trace/replay path itself regressed and the bench fails.
-constexpr double kMinParallelSpeedup = 0.70;
+/// Regression floor for swept thread counts that the hardware can actually
+/// run concurrently (1 < threads <= hardware_concurrency). The sharded L2
+/// replay, arena workspaces, and SIMD hot loops exist to make those points
+/// genuinely fast, so anything under this floor there means the parallel
+/// backend regressed and the bench fails.
+constexpr double kMinParallelSpeedup = 1.50;
+
+/// Floor for oversubscribed points (threads > hardware_concurrency). The
+/// parallel backend always pays for trace recording and sliced-L2 replay
+/// bookkeeping; with more workers than cores there is no parallelism to
+/// win it back and the OS adds context-switch cost on top. uk-2002s/pr
+/// (~3.9M traversed edges of dense global PR rounds) has measured as low
+/// as 0.865x serial on a single-thread host. That is expected overhead,
+/// not a bug (outputs stay bit-identical; the digests below check them) —
+/// but below this floor the trace/replay path itself regressed.
+constexpr double kOversubscribedFloor = 0.70;
+
+/// Swept host thread counts. 1 is the serial baseline; the rest run the
+/// trace-then-replay parallel backend with that many workers.
+constexpr uint32_t kSweepThreads[] = {1, 2, 4, 8};
+
+/// Best-of-N wall clocks per point: run-to-run scheduler noise on these
+/// sub-second workloads swamps the few-percent differences the floors
+/// police, so each point reports its fastest repeat.
+constexpr int kRepeats = 3;
+
+/// Floor that applies to a parallel point at `threads` workers.
+double FloorFor(uint32_t threads) {
+  return threads <= util::ThreadPool::HardwareThreads()
+             ? kMinParallelSpeedup
+             : kOversubscribedFloor;
+}
+
+struct SweepPoint {
+  uint32_t threads = 0;
+  double wall = 0.0;       // best-of-kRepeats seconds
+  bool identical = false;  // digest equals the serial digest
+};
 
 struct Measurement {
   std::string dataset;
   std::string app;
   uint64_t edges = 0;
   double serial_wall = 0.0;
-  double parallel_wall = 0.0;
-  uint32_t host_threads = 0;
-  bool identical = false;
+  std::vector<SweepPoint> sweep;  // parallel points (threads > 1)
 
   double SerialEps() const {
     return serial_wall <= 0 ? 0 : static_cast<double>(edges) / serial_wall;
   }
-  double ParallelEps() const {
-    return parallel_wall <= 0 ? 0
-                              : static_cast<double>(edges) / parallel_wall;
+  double Eps(const SweepPoint& p) const {
+    return p.wall <= 0 ? 0 : static_cast<double>(edges) / p.wall;
   }
-  double Speedup() const {
-    return parallel_wall <= 0 ? 0 : serial_wall / parallel_wall;
+  double Speedup(const SweepPoint& p) const {
+    return p.wall <= 0 ? 0 : serial_wall / p.wall;
   }
 };
 
@@ -107,7 +133,7 @@ std::pair<uint64_t, uint64_t> RunOnce(const graph::Csr& csr,
                            device.totals().kernel_records.size();
     (void)sink;
   }
-  // Fold modeled timing in: serial and parallel must agree on every bit.
+  // Fold modeled timing in: every thread count must agree on every bit.
   const auto& totals = device.totals();
   digest = check::HashBytes(&totals.seconds, sizeof(totals.seconds), digest);
   digest = check::HashSpan(
@@ -133,17 +159,15 @@ struct ObservabilityCost {
 };
 
 ObservabilityCost MeasureObservability() {
-  // Best-of-N per mode: run-to-run scheduler noise on this sub-second
-  // workload swamps a couple of percent, so each side reports its fastest
-  // repeat rather than a sum.
-  constexpr int kRepeats = 9;
+  // Best-of-N per mode, as for the sweep points.
+  constexpr int kObsRepeats = 9;
   graph::Csr csr = LoadDataset(graph::DatasetId::kLjournals);
   ObservabilityCost cost;
   (void)RunOnce(csr, "bfs", 1);  // warm-up, as in Measure
   uint64_t plain_digest = 0, observed_digest = 0;
   cost.plain_wall = std::numeric_limits<double>::infinity();
   cost.observed_wall = std::numeric_limits<double>::infinity();
-  for (int r = 0; r < kRepeats; ++r) {
+  for (int r = 0; r < kObsRepeats; ++r) {
     cost.plain_wall = std::min(
         cost.plain_wall,
         WallSeconds([&] { plain_digest = RunOnce(csr, "bfs", 1).second; }));
@@ -163,29 +187,46 @@ Measurement Measure(graph::DatasetId id, const std::string& app) {
   Measurement m;
   m.dataset = graph::DatasetName(id);
   m.app = app;
-  m.host_threads = util::ThreadPool::HardwareThreads();
 
-  uint64_t serial_digest = 0, parallel_digest = 0;
+  uint64_t serial_digest = 0;
   // Warm one run so dataset caches / first-touch allocation don't skew the
   // serial (first-measured) side.
   (void)RunOnce(csr, app, 1);
-  m.serial_wall = WallSeconds([&] {
-    auto [edges, digest] = RunOnce(csr, app, 1);
-    m.edges = edges;
-    serial_digest = digest;
-  });
-  m.parallel_wall = WallSeconds([&] {
-    auto [edges, digest] = RunOnce(csr, app, 0);
-    SAGE_CHECK(edges == m.edges);
-    parallel_digest = digest;
-  });
-  m.identical = serial_digest == parallel_digest;
-  SAGE_CHECK(m.identical) << m.dataset << "/" << app
-                          << ": parallel run diverged from serial";
-  SAGE_CHECK(m.Speedup() >= kMinParallelSpeedup)
-      << m.dataset << "/" << app << ": parallel backend at "
-      << m.Speedup() << "x serial, below the " << kMinParallelSpeedup
-      << "x regression floor (see kMinParallelSpeedup)";
+  m.serial_wall = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < kRepeats; ++r) {
+    m.serial_wall = std::min(m.serial_wall, WallSeconds([&] {
+      auto [edges, digest] = RunOnce(csr, app, 1);
+      m.edges = edges;
+      serial_digest = digest;
+    }));
+  }
+  for (uint32_t threads : kSweepThreads) {
+    if (threads <= 1) continue;  // serial baseline measured above
+    SweepPoint p;
+    p.threads = threads;
+    p.wall = std::numeric_limits<double>::infinity();
+    uint64_t parallel_digest = 0;
+    for (int r = 0; r < kRepeats; ++r) {
+      p.wall = std::min(p.wall, WallSeconds([&] {
+        auto [edges, digest] = RunOnce(csr, app, threads);
+        SAGE_CHECK(edges == m.edges);
+        parallel_digest = digest;
+      }));
+    }
+    p.identical = parallel_digest == serial_digest;
+    SAGE_CHECK(p.identical)
+        << m.dataset << "/" << app << " @" << threads
+        << " threads: parallel run diverged from serial";
+    double floor = FloorFor(threads);
+    SAGE_CHECK(m.Speedup(p) >= floor)
+        << m.dataset << "/" << app << " @" << threads
+        << " threads: parallel backend at " << m.Speedup(p)
+        << "x serial, below the " << floor << "x floor ("
+        << (floor == kMinParallelSpeedup ? "kMinParallelSpeedup"
+                                         : "kOversubscribedFloor")
+        << ")";
+    m.sweep.push_back(p);
+  }
   return m;
 }
 
@@ -196,22 +237,36 @@ void WriteJson(const std::vector<Measurement>& ms,
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f,
-               "{\n  \"host_threads\": %u,\n  \"min_speedup\": %.2f,\n"
-               "  \"results\": [\n",
-               ms.empty() ? 0 : ms[0].host_threads, kMinParallelSpeedup);
+  std::fprintf(
+      f,
+      "{\n  \"hardware_threads\": %u,\n  \"sweep_threads\": [1, 2, 4, 8],\n"
+      "  \"min_speedup\": %.2f,\n  \"oversubscribed_floor\": %.2f,\n"
+      "  \"min_speedup_policy\": \"min_speedup is enforced at swept points "
+      "with 1 < threads <= hardware_threads; points above "
+      "hardware_threads cannot speed up and are held to "
+      "oversubscribed_floor instead\",\n"
+      "  \"results\": [\n",
+      util::ThreadPool::HardwareThreads(), kMinParallelSpeedup,
+      kOversubscribedFloor);
   for (size_t i = 0; i < ms.size(); ++i) {
     const Measurement& m = ms[i];
     std::fprintf(
         f,
         "    {\"dataset\": \"%s\", \"app\": \"%s\", \"edges\": %llu,\n"
-        "     \"serial_edges_per_sec\": %.1f, \"parallel_edges_per_sec\": "
-        "%.1f,\n"
-        "     \"speedup\": %.3f, \"bit_identical\": %s}%s\n",
+        "     \"serial_edges_per_sec\": %.1f,\n     \"sweep\": [\n",
         m.dataset.c_str(), m.app.c_str(),
-        static_cast<unsigned long long>(m.edges), m.SerialEps(),
-        m.ParallelEps(), m.Speedup(), m.identical ? "true" : "false",
-        i + 1 < ms.size() ? "," : "");
+        static_cast<unsigned long long>(m.edges), m.SerialEps());
+    for (size_t j = 0; j < m.sweep.size(); ++j) {
+      const SweepPoint& p = m.sweep[j];
+      std::fprintf(
+          f,
+          "      {\"threads\": %u, \"edges_per_sec\": %.1f, "
+          "\"speedup\": %.3f, \"floor\": %.2f, \"bit_identical\": %s}%s\n",
+          p.threads, m.Eps(p), m.Speedup(p), FloorFor(p.threads),
+          p.identical ? "true" : "false",
+          j + 1 < m.sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", i + 1 < ms.size() ? "," : "");
   }
   std::fprintf(
       f,
@@ -228,8 +283,8 @@ void WriteJson(const std::vector<Measurement>& ms,
 }
 
 void Run() {
-  std::printf("=== Simulation throughput: serial vs parallel backend "
-              "(host threads: %u) ===\n",
+  std::printf("=== Simulation throughput: serial vs parallel backend, "
+              "thread sweep {1,2,4,8} (hardware threads: %u) ===\n",
               util::ThreadPool::HardwareThreads());
   std::vector<Measurement> ms;
   for (graph::DatasetId id :
@@ -238,12 +293,12 @@ void Run() {
       ms.push_back(Measure(id, app));
     }
   }
-  PrintHeader("dataset/app", {"edges", "serial-e/s", "par-e/s", "speedup"});
+  PrintHeader("dataset/app",
+              {"edges", "serial-e/s", "x2", "x4", "x8"});
   for (const Measurement& m : ms) {
-    PrintRow(m.dataset + "/" + m.app,
-             {static_cast<double>(m.edges), m.SerialEps(), m.ParallelEps(),
-              m.Speedup()},
-             "%12.2f");
+    std::vector<double> row{static_cast<double>(m.edges), m.SerialEps()};
+    for (const SweepPoint& p : m.sweep) row.push_back(m.Speedup(p));
+    PrintRow(m.dataset + "/" + m.app, row, "%12.2f");
   }
   ObservabilityCost obs = MeasureObservability();
   std::printf("\nobservability (timeline + metrics export): %.2f%% overhead "

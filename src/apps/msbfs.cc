@@ -6,6 +6,7 @@
 #include "apps/registry.h"
 #include "apps/snapshot.h"
 #include "reorder/permutation.h"
+#include "util/bitmap.h"
 #include "util/logging.h"
 
 namespace sage::apps {
@@ -67,14 +68,11 @@ bool MultiSourceBfsProgram::Filter(NodeId frontier, NodeId neighbor) {
     // pushed at t + 1.
     const size_t n = mask_.size();
     uint64_t held = 0;
-    uint64_t bits = missing;
-    while (bits != 0) {
-      uint32_t i = static_cast<uint32_t>(std::countr_zero(bits));
-      bits &= bits - 1;
+    util::ForEachSetBit(missing, [&](uint32_t i) {
       if (dist_[static_cast<size_t>(i) * n + frontier] <= iteration_) {
         held |= 1ull << i;
       }
-    }
+    });
     missing = held;
   }
   if (missing == 0) return false;
@@ -84,13 +82,10 @@ bool MultiSourceBfsProgram::Filter(NodeId frontier, NodeId neighbor) {
     // (an earlier gain would already have been pushed to every neighbor),
     // so the neighbor's distance for each newly gained instance is t + 1 —
     // identical to what a solo BfsProgram run from that source computes.
-    uint64_t bits = missing;
-    while (bits != 0) {
-      uint32_t i = static_cast<uint32_t>(std::countr_zero(bits));
-      bits &= bits - 1;
+    util::ForEachSetBit(missing, [&](uint32_t i) {
       dist_[static_cast<size_t>(i) * mask_.size() + neighbor] =
           iteration_ + 1;
-    }
+    });
   }
   return true;
 }
@@ -104,11 +99,14 @@ void MultiSourceBfsProgram::OnPermutation(
   mask_ = reorder::PermuteVector(mask_, new_of_old);
   if (record_distances_ && num_sources_ > 0) {
     const size_t n = mask_.size();
+    perm_row_scratch_.resize(n);
     for (uint32_t i = 0; i < num_sources_; ++i) {
-      std::vector<uint32_t> row(dist_.begin() + i * n,
-                                dist_.begin() + (i + 1) * n);
-      row = reorder::PermuteVector(row, new_of_old);
-      std::copy(row.begin(), row.end(), dist_.begin() + i * n);
+      // out[new_of_old[u]] = in[u], staged through the reused row buffer.
+      for (size_t u = 0; u < n; ++u) {
+        perm_row_scratch_[new_of_old[u]] = dist_[i * n + u];
+      }
+      std::copy(perm_row_scratch_.begin(), perm_row_scratch_.end(),
+                dist_.begin() + i * n);
     }
   }
 }

@@ -75,6 +75,8 @@ class MultiSourceBfsProgram : public core::FilterProgram {
   std::vector<uint64_t> mask_;
   /// Row-major [source_index][internal node] distances when recording.
   std::vector<uint32_t> dist_;
+  /// Reused OnPermutation row buffer (no per-source allocation).
+  std::vector<uint32_t> perm_row_scratch_;
   sim::Buffer mask_buf_;
   sim::Buffer dist_buf_;
   core::Footprint footprint_;

@@ -21,15 +21,16 @@ namespace {
 /// Processing order of `n` independent dispatch units: the identity when
 /// seed == 0 (the canonical schedule — byte-identical to the engine's
 /// historical behaviour), else a seeded shuffle. `salt` decorrelates the
-/// different dispatch sites within one run.
-std::vector<size_t> DispatchOrder(size_t n, uint64_t seed, uint64_t salt) {
-  std::vector<size_t> order(n);
-  std::iota(order.begin(), order.end(), size_t{0});
+/// different dispatch sites within one run. Fills a caller-owned vector
+/// (the engine's reused dispatch_order_ scratch) instead of allocating.
+void DispatchOrderInto(size_t n, uint64_t seed, uint64_t salt,
+                       std::vector<size_t>* order) {
+  order->resize(n);
+  std::iota(order->begin(), order->end(), size_t{0});
   if (seed != 0 && n > 1) {
     util::Rng rng(util::SplitMix64(seed) ^ util::SplitMix64(salt + 1));
-    rng.Shuffle(order);
+    rng.Shuffle(*order);
   }
-  return order;
 }
 
 double MonotonicSeconds() {
@@ -161,6 +162,11 @@ Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
   m_frontier_nodes_ = metrics_.counter("core.frontier_nodes");
   m_checkpoints_ = metrics_.counter("core.checkpoints_saved");
   m_iter_edges_ = metrics_.histogram("core.iteration_edges");
+  // Host-side performance metrics (SageSpeed): allocator reuse and replay
+  // slice wall time. Published at run boundaries; wall-clock values, so
+  // they are deliberately kept out of every modeled/deterministic export.
+  m_arena_reused_ = metrics_.counter("util.arena.bytes_reused");
+  m_replay_slice_us_ = metrics_.histogram("sim.replay.slice_us");
 
   if (options_.sampling_reorder) {
     SamplingReorderer::Options sopts;
@@ -281,17 +287,28 @@ uint64_t Engine::RunStage(size_t num_units, const StageBody& body,
   // in canonical rank order — bit-identical to serial charging.
   device_->ReplayTraces(recorder_ptrs_, pool_.get());
   // Commit phase: run the deferred filter calls in rank order, the exact
-  // call sequence (and next-frontier order) serial execution produces.
+  // call sequence (and next-frontier order) serial execution produces. The
+  // loop is branchless on the store side: every neighbor is written to the
+  // pre-sized tail and the cursor advances only when the filter admits it —
+  // same output order, no per-edge push_back capacity checks.
   uint64_t edges = 0;
   for (uint32_t w = 0; w < pool_->workers(); ++w) edges += worker_edges_[w];
+  size_t deferred_total = 0;
   for (const DeferredSlice& s : unit_slices_) {
-    const std::vector<DeferredEdge>& log = deferred_[s.worker];
+    deferred_total += s.end - s.begin;
+  }
+  const size_t base = next->size();
+  next->resize(base + deferred_total);
+  NodeId* out = next->data() + base;
+  size_t kept = 0;
+  for (const DeferredSlice& s : unit_slices_) {
+    const DeferredEdge* log = deferred_[s.worker].data();
     for (size_t i = s.begin; i < s.end; ++i) {
-      if (program_->Filter(log[i].frontier, log[i].neighbor)) {
-        next->push_back(log[i].neighbor);
-      }
+      out[kept] = log[i].neighbor;
+      kept += program_->Filter(log[i].frontier, log[i].neighbor) ? 1 : 0;
     }
   }
+  next->resize(base + kept);
   return edges;
 }
 
@@ -411,14 +428,40 @@ util::StatusOr<RunStats> Engine::RunLoop(std::vector<NodeId> frontier,
     MaybeApplyReordering(&frontier, &total);
     // A relabeling permutes a global run's node list, which must stay the
     // full node list. (It always is — a permutation of [0,n) is [0,n) —
-    // but keep it sorted for deterministic block composition.)
+    // but keep it sorted for deterministic block composition.) The rebuild
+    // goes through the frontier bitmap: set one bit per member, then emit
+    // set bits in ascending order — O(n) word iteration, not a sort.
     if (global && total.reorder_rounds > 0) {
-      std::sort(frontier.begin(), frontier.end());
+      frontier_bitmap_.Resize(csr_.num_nodes());
+      for (NodeId u : frontier) frontier_bitmap_.Set(u);
+      size_t k = 0;
+      frontier_bitmap_.ForEachSet(
+          [&](size_t u) { frontier[k++] = static_cast<NodeId>(u); });
+      SAGE_DCHECK(k == frontier.size()) << "global frontier not a permutation";
     }
     ++iter;
     MaybeCheckpoint(iter, frontier, global);
   }
+  PublishHostPerfMetrics();
   return total;
+}
+
+void Engine::PublishHostPerfMetrics() {
+  uint64_t reused = ctx_.arena().bytes_reused();
+  for (const ExpandContext& cx : worker_ctx_) {
+    reused += cx.arena().bytes_reused();
+  }
+  m_arena_reused_->Set(reused);
+  // Mirror the memory system's replay-slice histogram bucket by bucket
+  // (publish-style: rebuild from the source of truth on every export).
+  m_replay_slice_us_->Reset();
+  const util::Histogram& h = device_->mem().replay_slice_us();
+  for (int b = 0; b < util::Histogram::kNumBuckets; ++b) {
+    uint64_t c = h.bucket_count(b);
+    if (c != 0) {
+      m_replay_slice_us_->AddCount(util::Histogram::BucketLowerBound(b), c);
+    }
+  }
 }
 
 void Engine::set_run_guard(const RunGuard& guard) {
@@ -549,6 +592,7 @@ util::StatusOr<RunStats> Engine::RunOneIteration(
   RunStats stats = ExpandIteration(frontier, &local_next);
   MaybeApplyReordering(&local_next, &stats);
   if (next != nullptr) *next = std::move(local_next);
+  PublishHostPerfMetrics();
   return stats;
 }
 
@@ -560,21 +604,21 @@ RunStats Engine::ExpandIteration(const std::vector<NodeId>& frontier,
   uint64_t edges = 0;
 
   // UDT layer: translate the real frontier into its virtual-node groups
-  // (one group-offsets read per frontier node).
+  // (one group-offsets read per frontier node). Translation scratch is
+  // engine-persistent, so steady-state iterations allocate nothing.
   const std::vector<NodeId>* work = &frontier;
-  std::vector<NodeId> virtual_frontier;
   if (udt_ != nullptr) {
-    std::vector<uint64_t> gidx;
-    gidx.reserve(frontier.size());
-    for (NodeId f : frontier) gidx.push_back(f);
-    if (!gidx.empty()) device_->Access(0, udt_group_buf_, gidx);
+    gidx_scratch_.resize(frontier.size());
+    for (size_t i = 0; i < frontier.size(); ++i) gidx_scratch_[i] = frontier[i];
+    if (!gidx_scratch_.empty()) device_->Access(0, udt_group_buf_, gidx_scratch_);
+    virtual_frontier_.clear();
     for (NodeId f : frontier) {
       for (graph::EdgeId g = udt_->group_offsets[f];
            g < udt_->group_offsets[f + 1]; ++g) {
-        virtual_frontier.push_back(static_cast<NodeId>(g));
+        virtual_frontier_.push_back(static_cast<NodeId>(g));
       }
     }
-    work = &virtual_frontier;
+    work = &virtual_frontier_;
   }
 
   // The iteration's frontier was swapped (or uploaded) into the read
@@ -591,8 +635,9 @@ RunStats Engine::ExpandIteration(const std::vector<NodeId>& frontier,
   } else {
     const uint32_t bs = spec.block_size;
     uint64_t num_blocks = (work->size() + bs - 1) / bs;
-    std::vector<size_t> order = DispatchOrder(
-        num_blocks, options_.dispatch_permutation_seed, 0xA1);
+    DispatchOrderInto(num_blocks, options_.dispatch_permutation_seed, 0xA1,
+                      &dispatch_order_);
+    const std::vector<size_t>& order = dispatch_order_;
     const std::vector<NodeId>& nodes = *work;
     edges = RunStage(
         order.size(),
@@ -634,9 +679,9 @@ uint64_t Engine::ExpandResident(const std::vector<NodeId>& frontier,
   // ---- Phase A: expand tiled partitions into device memory (Alg 3 l.2-7).
   iter_tiles_.clear();
   uint64_t num_blocks = (frontier.size() + bs - 1) / bs;
-  std::vector<uint64_t> pool_reads;
-  for (size_t b : DispatchOrder(num_blocks,
-                                options_.dispatch_permutation_seed, 0xB2)) {
+  DispatchOrderInto(num_blocks, options_.dispatch_permutation_seed, 0xB2,
+                    &dispatch_order_);
+  for (size_t b : dispatch_order_) {
     uint32_t sm = device_->StaticSmForBlock(b);
     size_t beg = b * bs;
     size_t len = std::min<size_t>(bs, frontier.size() - beg);
@@ -645,9 +690,10 @@ uint64_t Engine::ExpandResident(const std::vector<NodeId>& frontier,
     device_->ChargeWarps(sm, (len + spec.warp_size - 1) / spec.warp_size);
 
     // Read the per-node store heads.
-    std::vector<uint64_t> head_idx(slice.begin(), slice.end());
-    device_->Access(sm, head_buf_, head_idx);
+    head_idx_scratch_.assign(slice.begin(), slice.end());
+    device_->Access(sm, head_buf_, head_idx_scratch_);
 
+    std::vector<uint64_t>& pool_reads = pool_reads_scratch_;
     pool_reads.clear();
     uint64_t pool_write_begin = store_.size();
     uint64_t new_entries = 0;
@@ -740,15 +786,17 @@ uint64_t Engine::ExpandResident(const std::vector<NodeId>& frontier,
   // reads live L2-outcome-dependent counters mid-phase), the schedule is a
   // pure function of pre-phase state — so serial and parallel execution
   // assign every tile to the same SM.
-  std::vector<size_t> big_order = DispatchOrder(
-      big_tile_scratch_.size(), options_.dispatch_permutation_seed, 0xB3);
+  DispatchOrderInto(big_tile_scratch_.size(),
+                    options_.dispatch_permutation_seed, 0xB3,
+                    &dispatch_order_);
+  const std::vector<size_t>& big_order = dispatch_order_;
   {
-    std::vector<double> costs(big_order.size());
+    costs_scratch_.resize(big_order.size());
     for (size_t r = 0; r < big_order.size(); ++r) {
-      costs[r] = TileUnitCost(
+      costs_scratch_[r] = TileUnitCost(
           iter_tiles_[big_tile_scratch_[big_order[r]]].size);
     }
-    ScheduleUnits(costs);
+    ScheduleUnits(costs_scratch_);
   }
   edges += RunStage(
       big_order.size(),
@@ -770,17 +818,18 @@ uint64_t Engine::ExpandResident(const std::vector<NodeId>& frontier,
   // modes because replay reproduced the identical SM state.
   size_t num_batches =
       (fragment_scratch_.size() + spec.warp_size - 1) / spec.warp_size;
-  std::vector<size_t> frag_order = DispatchOrder(
-      num_batches, options_.dispatch_permutation_seed, 0xB4);
+  DispatchOrderInto(num_batches, options_.dispatch_permutation_seed, 0xB4,
+                    &dispatch_order_);
+  const std::vector<size_t>& frag_order = dispatch_order_;
   {
-    std::vector<double> costs(frag_order.size());
+    costs_scratch_.resize(frag_order.size());
     for (size_t r = 0; r < frag_order.size(); ++r) {
       size_t base = frag_order[r] * spec.warp_size;
       size_t len =
           std::min<size_t>(spec.warp_size, fragment_scratch_.size() - base);
-      costs[r] = TileUnitCost(len);
+      costs_scratch_[r] = TileUnitCost(len);
     }
-    ScheduleUnits(costs);
+    ScheduleUnits(costs_scratch_);
   }
   edges += RunStage(
       frag_order.size(),
@@ -812,12 +861,17 @@ uint64_t Engine::ExpandB40c(const std::vector<NodeId>& frontier,
   // Classification pass: every block reads its frontier slice, looks up
   // degrees and scatters nodes into the three buckets via scans + syncs
   // (the synchronization-heavy rescheduling Section 5.3 describes).
-  std::vector<NodeId> big;
-  std::vector<NodeId> medium;
-  std::vector<NodeId> small;
+  // Buckets are engine-persistent scratch: cleared here, capacity kept.
+  std::vector<NodeId>& big = b40c_big_;
+  std::vector<NodeId>& medium = b40c_medium_;
+  std::vector<NodeId>& small = b40c_small_;
+  big.clear();
+  medium.clear();
+  small.clear();
   uint64_t num_blocks = (frontier.size() + bs - 1) / bs;
-  for (size_t b : DispatchOrder(num_blocks,
-                                options_.dispatch_permutation_seed, 0xC1)) {
+  DispatchOrderInto(num_blocks, options_.dispatch_permutation_seed, 0xC1,
+                    &dispatch_order_);
+  for (size_t b : dispatch_order_) {
     uint32_t sm = device_->StaticSmForBlock(b);
     size_t beg = b * bs;
     size_t len = std::min<size_t>(bs, frontier.size() - beg);
@@ -840,32 +894,29 @@ uint64_t Engine::ExpandB40c(const std::vector<NodeId>& frontier,
   // The three buckets' SM placements are pure block-counter arithmetic, so
   // the full unit list (in the exact serial dispatch order) is precomputed
   // and executed as one stage.
-  struct B40cUnit {
-    uint8_t kind;  // 0 = big node, 1 = medium node, 2 = fine batch
-    NodeId node;
-    size_t base;  // fine: offset into `fine`
-    size_t len;   // fine: batch length
-    uint32_t sm;
-  };
-  std::vector<B40cUnit> units;
+  std::vector<B40cUnit>& units = b40c_units_;
+  units.clear();
   uint64_t block_counter = 0;
   // Bucket 1: block-sized gathering — one thread block per super node.
-  for (size_t bi : DispatchOrder(big.size(),
-                                 options_.dispatch_permutation_seed, 0xC2)) {
+  DispatchOrderInto(big.size(), options_.dispatch_permutation_seed, 0xC2,
+                    &dispatch_order_);
+  for (size_t bi : dispatch_order_) {
     units.push_back(
         {0, big[bi], 0, 0, device_->StaticSmForBlock(block_counter++)});
   }
   // Bucket 2: warp-sized gathering — one warp per medium node.
   const uint32_t warps_per_block = bs / ws;
-  for (size_t i : DispatchOrder(medium.size(),
-                                options_.dispatch_permutation_seed, 0xC3)) {
+  DispatchOrderInto(medium.size(), options_.dispatch_permutation_seed, 0xC3,
+                    &dispatch_order_);
+  for (size_t i : dispatch_order_) {
     units.push_back(
         {1, medium[i], 0, 0,
          device_->StaticSmForBlock(block_counter + i / warps_per_block)});
   }
   block_counter += (medium.size() + warps_per_block - 1) / warps_per_block;
   // Bucket 3: fine-grained scan-based gathering of the small remainder.
-  std::vector<std::pair<NodeId, graph::EdgeId>> fine;
+  std::vector<std::pair<NodeId, graph::EdgeId>>& fine = b40c_fine_;
+  fine.clear();
   for (NodeId f : small) {
     for (graph::EdgeId e = csr.NeighborBegin(f); e < csr.NeighborEnd(f);
          ++e) {
@@ -873,8 +924,9 @@ uint64_t Engine::ExpandB40c(const std::vector<NodeId>& frontier,
     }
   }
   size_t fine_batches = (fine.size() + ws - 1) / ws;
-  for (size_t fb : DispatchOrder(fine_batches,
-                                 options_.dispatch_permutation_seed, 0xC4)) {
+  DispatchOrderInto(fine_batches, options_.dispatch_permutation_seed, 0xC4,
+                    &dispatch_order_);
+  for (size_t fb : dispatch_order_) {
     size_t base = fb * ws;
     size_t len = std::min<size_t>(ws, fine.size() - base);
     units.push_back({2, 0, base, len,
@@ -935,8 +987,9 @@ uint64_t Engine::ExpandWarpCentric(const std::vector<NodeId>& frontier,
   uint64_t edges = 0;
 
   uint64_t num_warps = (frontier.size() + ws - 1) / ws;
-  std::vector<size_t> order =
-      DispatchOrder(num_warps, options_.dispatch_permutation_seed, 0xC5);
+  DispatchOrderInto(num_warps, options_.dispatch_permutation_seed, 0xC5,
+                    &dispatch_order_);
+  const std::vector<size_t>& order = dispatch_order_;
   edges = RunStage(
       order.size(),
       [&](ExpandContext& cx, size_t rank, std::vector<NodeId>* nx) {

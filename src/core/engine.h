@@ -18,6 +18,7 @@
 #include "graph/csr.h"
 #include "sim/gpu_device.h"
 #include "sim/replay.h"
+#include "util/bitmap.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/status.h"
@@ -276,6 +277,13 @@ class Engine {
                             RunStats* stats);
   void ChargeReorderUpdateKernel(RunStats* stats);
 
+  /// Publishes host-side performance metrics (util.arena.bytes_reused,
+  /// sim.replay.slice_us) into metrics_. Called at run boundaries on the
+  /// main thread. These are wall-clock / allocator quantities — never part
+  /// of modeled results, digests, or the serial-vs-parallel bit-identity
+  /// contract (which only covers device exports and modeled counters).
+  void PublishHostPerfMetrics();
+
   /// True when stages may run on the thread pool: a pool exists and no
   /// order-sensitive observer (SageCheck sink, sampling reorderer) is
   /// attached.
@@ -334,17 +342,40 @@ class Engine {
   util::Counter* m_frontier_nodes_ = nullptr;
   util::Counter* m_checkpoints_ = nullptr;
   util::HistogramMetric* m_iter_edges_ = nullptr;
+  util::Counter* m_arena_reused_ = nullptr;
+  util::HistogramMetric* m_replay_slice_us_ = nullptr;
   std::vector<graph::NodeId> orig_to_int_;
   std::vector<graph::NodeId> int_to_orig_;
   double reorder_seconds_total_ = 0.0;
 
   std::unique_ptr<check::AccessChecker> checker_;
 
-  // Scratch reused across iterations.
+  // Scratch reused across iterations (workspace-pool discipline: steady-
+  // state iterations allocate nothing — capacities persist across calls).
   std::vector<TileEntry> iter_tiles_;
   std::vector<TileEntry> decompose_scratch_;
   std::vector<std::pair<graph::NodeId, graph::EdgeId>> fragment_scratch_;
   std::vector<size_t> big_tile_scratch_;
+  util::Bitmap frontier_bitmap_;  ///< sorted-frontier rebuild after reorder
+  std::vector<size_t> dispatch_order_;     ///< DispatchOrderInto target
+  std::vector<double> costs_scratch_;      ///< ScheduleUnits inputs
+  std::vector<uint64_t> head_idx_scratch_; ///< resident Phase A head reads
+  std::vector<uint64_t> pool_reads_scratch_;
+  std::vector<graph::NodeId> virtual_frontier_;  ///< UDT translation
+  std::vector<uint64_t> gidx_scratch_;
+  /// One precomputed B40c dispatch unit (see ExpandB40c).
+  struct B40cUnit {
+    uint8_t kind;  // 0 = big node, 1 = medium node, 2 = fine batch
+    graph::NodeId node;
+    size_t base;  // fine: offset into b40c_fine_
+    size_t len;   // fine: batch length
+    uint32_t sm;
+  };
+  std::vector<graph::NodeId> b40c_big_;
+  std::vector<graph::NodeId> b40c_medium_;
+  std::vector<graph::NodeId> b40c_small_;
+  std::vector<std::pair<graph::NodeId, graph::EdgeId>> b40c_fine_;
+  std::vector<B40cUnit> b40c_units_;
 
   // ---- Parallel execution backend (DESIGN.md §5). ----
   /// One unit's slice of its worker's deferred-edge log.

@@ -265,10 +265,11 @@ namespace {
 // Algorithm 2 lines 8-29. Each lane owns a remaining range [beg[i], end[i])
 // of csr.v. Elections and chunk consumption happen at the current tile
 // size; afterwards the tile splits in two (cg::partition) and recurses.
+// The spans live in the context's arena for the duration of one block.
 struct TiledState {
-  std::vector<NodeId> frontier;
-  std::vector<EdgeId> beg;
-  std::vector<EdgeId> end;
+  std::span<NodeId> frontier;
+  std::span<EdgeId> beg;
+  std::span<EdgeId> end;
 };
 
 uint64_t ProcessTileLevel(ExpandContext& ctx, uint32_t sm, TiledState& st,
@@ -339,11 +340,14 @@ uint64_t ExpandBlockTiled(ExpandContext& ctx, uint32_t sm,
   const auto& spec = ctx.device()->spec();
   const graph::Csr& csr = ctx.csr();
 
+  util::Arena& arena = ctx.arena();
+  arena.Reset();
   TiledState st;
-  st.frontier.assign(frontiers.begin(), frontiers.end());
-  st.beg.resize(frontiers.size());
-  st.end.resize(frontiers.size());
+  st.frontier = arena.AllocateSpan<NodeId>(frontiers.size());
+  st.beg = arena.AllocateSpan<EdgeId>(frontiers.size());
+  st.end = arena.AllocateSpan<EdgeId>(frontiers.size());
   for (size_t i = 0; i < frontiers.size(); ++i) {
+    st.frontier[i] = frontiers[i];
     st.beg[i] = csr.NeighborBegin(frontiers[i]);
     st.end[i] = csr.NeighborEnd(frontiers[i]);
   }
@@ -359,10 +363,17 @@ uint64_t ExpandBlockTiled(ExpandContext& ctx, uint32_t sm,
 
   // Scan-based fragment gathering [Merrill et al. 30]: compact every
   // lane's sub-minimum remainder and process warp-sized scattered batches.
-  std::vector<std::pair<NodeId, EdgeId>> fragments;
+  // The remainder count is known exactly, so the list is one arena span.
+  size_t num_fragments = 0;
+  for (size_t i = 0; i < st.frontier.size(); ++i) {
+    num_fragments += st.end[i] - st.beg[i];
+  }
+  std::span<std::pair<NodeId, EdgeId>> fragments =
+      arena.AllocateSpan<std::pair<NodeId, EdgeId>>(num_fragments);
+  size_t fill = 0;
   for (size_t i = 0; i < st.frontier.size(); ++i) {
     for (EdgeId e = st.beg[i]; e < st.end[i]; ++e) {
-      fragments.emplace_back(st.frontier[i], e);
+      fragments[fill++] = {st.frontier[i], e};
     }
   }
   if (!fragments.empty()) {
@@ -388,14 +399,19 @@ uint64_t ExpandBlockScalar(ExpandContext& ctx, uint32_t sm,
   (void)block_size;
 
   uint64_t edges = 0;
-  std::vector<std::pair<NodeId, EdgeId>> step;
+  // Per-warp lane state lives in the context arena: one allocation of
+  // warp_size per array, reused by every warp of the block.
+  util::Arena& arena = ctx.arena();
+  arena.Reset();
+  std::span<EdgeId> cur = arena.AllocateSpan<EdgeId>(warp_size);
+  std::span<EdgeId> stop = arena.AllocateSpan<EdgeId>(warp_size);
+  std::span<std::pair<NodeId, EdgeId>> step =
+      arena.AllocateSpan<std::pair<NodeId, EdgeId>>(warp_size);
   for (size_t warp_base = 0; warp_base < frontiers.size();
        warp_base += warp_size) {
     size_t lanes = std::min<size_t>(warp_size, frontiers.size() - warp_base);
     // The warp runs until its slowest lane finishes (warp divergence):
     // every step processes at most one edge per still-active lane.
-    std::vector<EdgeId> cur(lanes);
-    std::vector<EdgeId> stop(lanes);
     uint32_t max_deg = 0;
     for (size_t i = 0; i < lanes; ++i) {
       NodeId f = frontiers[warp_base + i];
@@ -405,14 +421,17 @@ uint64_t ExpandBlockScalar(ExpandContext& ctx, uint32_t sm,
                                    static_cast<uint32_t>(stop[i] - cur[i]));
     }
     for (uint32_t s = 0; s < max_deg; ++s) {
-      step.clear();
+      size_t active = 0;
       for (size_t i = 0; i < lanes; ++i) {
         if (cur[i] < stop[i]) {
-          step.emplace_back(frontiers[warp_base + i], cur[i]);
+          step[active++] = {frontiers[warp_base + i], cur[i]};
           ++cur[i];
         }
       }
-      edges += ctx.ProcessScatteredEdges(sm, step, next);
+      edges += ctx.ProcessScatteredEdges(
+          sm,
+          std::span<const std::pair<NodeId, EdgeId>>(step.data(), active),
+          next);
     }
   }
   return edges;

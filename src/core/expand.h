@@ -10,6 +10,7 @@
 #include "graph/csr.h"
 #include "graph/types.h"
 #include "sim/gpu_device.h"
+#include "util/arena.h"
 
 namespace sage::core {
 
@@ -84,6 +85,14 @@ class ExpandContext {
   sim::GpuDevice* device() { return device_; }
   const graph::Csr& csr() const { return *csr_; }
 
+  /// Per-context scratch arena for the block executors (ExpandBlockTiled /
+  /// ExpandBlockScalar lane state, fragment lists). Each executor call
+  /// Reset()s it and bump-allocates its spans, so steady-state expansion
+  /// allocates nothing after warmup. Copied contexts (the per-worker
+  /// clones) start with their own empty arena.
+  util::Arena& arena() { return arena_; }
+  const util::Arena& arena() const { return arena_; }
+
   /// Processes one tile<m> access: the tile reads csr.v[gather, gather+m)
   /// (neighbors of `frontier`), runs the filtering step on every neighbor,
   /// and appends passing neighbors to `next`. Charges: coalesced adjacency
@@ -126,6 +135,7 @@ class ExpandContext {
   std::vector<uint64_t> midx_scratch_;
   std::vector<graph::NodeId> nbr_scratch_;
   std::vector<graph::NodeId> sorted_scratch_;
+  util::Arena arena_;
 };
 
 /// Options for the Algorithm 2 executor.

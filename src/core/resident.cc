@@ -10,11 +10,12 @@ using graph::EdgeId;
 using graph::NodeId;
 
 ResidentTileStore::ResidentTileStore(NodeId num_nodes)
-    : head_(num_nodes, -1), count_(num_nodes, 0) {}
+    : present_(num_nodes), head_(num_nodes, -1), count_(num_nodes, 0) {}
 
 uint64_t ResidentTileStore::Put(NodeId u, std::span<const TileEntry> entries) {
   SAGE_DCHECK(!Has(u));
   uint64_t at = pool_.size();
+  present_.Set(u);
   head_[u] = static_cast<int64_t>(at);
   count_[u] = static_cast<uint32_t>(entries.size());
   pool_.insert(pool_.end(), entries.begin(), entries.end());
@@ -22,8 +23,9 @@ uint64_t ResidentTileStore::Put(NodeId u, std::span<const TileEntry> entries) {
 }
 
 void ResidentTileStore::Invalidate() {
-  std::fill(head_.begin(), head_.end(), -1);
-  std::fill(count_.begin(), count_.end(), 0);
+  // head_/count_ are left stale on purpose: Has() consults the bitmap, and
+  // Put rewrites both entries before the bit is ever set again.
+  present_.ClearAll();
   pool_.clear();
 }
 

@@ -8,6 +8,7 @@
 #include "core/expand.h"
 #include "graph/types.h"
 #include "sim/gpu_device.h"
+#include "util/bitmap.h"
 
 namespace sage::core {
 
@@ -29,7 +30,10 @@ class ResidentTileStore {
   /// memory charging); capacity grows as nodes are first visited.
   explicit ResidentTileStore(graph::NodeId num_nodes);
 
-  bool Has(graph::NodeId u) const { return head_[u] >= 0; }
+  /// Presence is a packed bitmap: one word test here, and Invalidate()
+  /// clears 64 nodes per word instead of refilling the sentinel arrays.
+  /// head_/count_ entries are only meaningful while the node's bit is set.
+  bool Has(graph::NodeId u) const { return present_.Test(u); }
 
   std::span<const TileEntry> Get(graph::NodeId u) const {
     return std::span<const TileEntry>(pool_.data() + head_[u], count_[u]);
@@ -51,6 +55,7 @@ class ResidentTileStore {
   void Invalidate();
 
  private:
+  util::Bitmap present_;
   std::vector<int64_t> head_;
   std::vector<uint32_t> count_;
   std::vector<TileEntry> pool_;

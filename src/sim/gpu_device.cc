@@ -218,55 +218,86 @@ void GpuDevice::ReplayTraces(std::span<KernelTraceRecorder* const> recorders,
   for (KernelTraceRecorder* rec : recorders) rec->MergeCountersInto(&sms_);
 
   // Canonical total order: unit rank, then issue order within the unit.
-  // Each unit ran on exactly one worker, which appended its events in issue
-  // order, so a stable sort on the rank alone reconstructs the exact
-  // sequence serial execution would have charged.
-  struct Ref {
-    const KernelTraceRecorder* rec;
-    uint32_t idx;
-  };
-  std::vector<Ref> order;
-  size_t total = 0;
-  for (const KernelTraceRecorder* rec : recorders) {
-    total += rec->events().size();
-  }
-  order.reserve(total);
-  for (const KernelTraceRecorder* rec : recorders) {
-    for (uint32_t i = 0; i < rec->events().size(); ++i) {
-      order.push_back(Ref{rec, i});
+  // Each unit ran on exactly one worker, which appended its events in
+  // issue order, so every unit's events form one contiguous run inside one
+  // recorder's stream. Cutting the streams into runs and dropping each run
+  // into a rank-indexed table reconstructs the exact sequence serial
+  // execution would have charged — O(events + units), no sort.
+  replay_runs_.clear();
+  uint64_t max_unit = 0;
+  bool any = false;
+  bool table_ok = true;
+  for (uint32_t r = 0; r < recorders.size(); ++r) {
+    const std::vector<KernelTraceRecorder::Event>& evs =
+        recorders[r]->events();
+    size_t i = 0;
+    while (i < evs.size()) {
+      uint64_t unit = evs[i].unit;
+      size_t j = i + 1;
+      while (j < evs.size() && evs[j].unit == unit) ++j;
+      replay_runs_.push_back(ReplayRun{unit, r, static_cast<uint32_t>(i),
+                                       static_cast<uint32_t>(j - i)});
+      if (!any || unit > max_unit) max_unit = unit;
+      any = true;
+      i = j;
     }
   }
-  std::stable_sort(order.begin(), order.end(),
-                   [](const Ref& a, const Ref& b) {
-                     return a.rec->events()[a.idx].unit <
-                            b.rec->events()[b.idx].unit;
-                   });
+  if (!any) return;  // counters merged; no memory events to charge
+
+  replay_units_.assign(max_unit + 1, ReplayRun());
+  for (const ReplayRun& run : replay_runs_) {
+    ReplayRun& slot = replay_units_[run.unit];
+    if (slot.count != 0) {
+      // A unit recorded in two separate runs — contract violation for the
+      // engine's stage bodies, but recoverable: fall back to sorting the
+      // runs (still far fewer than events).
+      SAGE_DCHECK(false) << "unit " << run.unit
+                         << " traced in multiple runs; sorting fallback";
+      table_ok = false;
+      break;
+    }
+    slot = run;
+  }
+  if (!table_ok) {
+    std::stable_sort(
+        replay_runs_.begin(), replay_runs_.end(),
+        [](const ReplayRun& a, const ReplayRun& b) { return a.unit < b.unit; });
+  }
+  std::span<const ReplayRun> order =
+      table_ok ? std::span<const ReplayRun>(replay_units_)
+               : std::span<const ReplayRun>(replay_runs_);
 
   // Decide every device batch's L2 outcome via the sliced replay.
-  std::vector<std::span<const uint64_t>> batches;
-  batches.reserve(order.size());
-  for (const Ref& r : order) {
-    const KernelTraceRecorder::Event& e = r.rec->events()[r.idx];
-    if (e.space == MemSpace::kDevice) batches.push_back(r.rec->sectors_of(e));
+  replay_batches_.clear();
+  for (const ReplayRun& run : order) {
+    const KernelTraceRecorder* rec = recorders[run.rec];
+    for (uint32_t k = run.begin; k < run.begin + run.count; ++k) {
+      const KernelTraceRecorder::Event& e = rec->events()[k];
+      if (e.space == MemSpace::kDevice) {
+        replay_batches_.push_back(rec->sectors_of(e));
+      }
+    }
   }
-  std::vector<BatchProbe> probes;
-  mem_.ProbeBatches(batches, pool, &probes);
+  mem_.ProbeBatches(replay_batches_, pool, &replay_probes_);
 
   // Apply stats and SM/link charges serially in canonical order — the same
   // statement sequence immediate mode executes, so every accumulator
   // (including the floating-point link cycles) sums in the same order.
   size_t p = 0;
-  for (const Ref& r : order) {
-    const KernelTraceRecorder::Event& e = r.rec->events()[r.idx];
-    if (e.space == MemSpace::kDevice) {
-      const BatchProbe& probe = probes[p++];
-      AccessResult result =
-          mem_.ApplySectorStats(MemSpace::kDevice, e.sector_count,
-                                probe.l2_hits, probe.l2_misses, e.useful_bytes);
-      ApplyDeviceCounters(e.sm, result);
-    } else {
-      ChargeSectorBatch(e.sm, MemSpace::kHost, r.rec->sectors_of(e),
-                        e.useful_bytes);
+  for (const ReplayRun& run : order) {
+    const KernelTraceRecorder* rec = recorders[run.rec];
+    for (uint32_t k = run.begin; k < run.begin + run.count; ++k) {
+      const KernelTraceRecorder::Event& e = rec->events()[k];
+      if (e.space == MemSpace::kDevice) {
+        const BatchProbe& probe = replay_probes_[p++];
+        AccessResult result = mem_.ApplySectorStats(
+            MemSpace::kDevice, e.sector_count, probe.l2_hits, probe.l2_misses,
+            e.useful_bytes);
+        ApplyDeviceCounters(e.sm, result);
+      } else {
+        ChargeSectorBatch(e.sm, MemSpace::kHost, rec->sectors_of(e),
+                          e.useful_bytes);
+      }
     }
   }
 }

@@ -159,7 +159,10 @@ class GpuDevice {
   /// (parallel across slices of `pool`, nullptr = serial), then applies
   /// stats and SM/link charges serially in unit order — producing device
   /// state bit-identical to immediate-mode execution of the same units in
-  /// rank order.
+  /// rank order. The canonical order is reconstructed sort-free: each
+  /// recorder's event stream is cut into per-unit runs (one worker records
+  /// a unit's events contiguously) and the runs are placed into a
+  /// rank-indexed table — O(events + units) instead of a stable sort.
   void ReplayTraces(std::span<KernelTraceRecorder* const> recorders,
                     util::ThreadPool* pool);
 
@@ -210,6 +213,15 @@ class GpuDevice {
   /// The thread's bound recorder if it belongs to this device.
   KernelTraceRecorder* BoundRecorder() const;
 
+  /// One contiguous run of recorded events: events [begin, begin + count)
+  /// of recorder `rec`, all belonging to one unit rank.
+  struct ReplayRun {
+    uint64_t unit = 0;
+    uint32_t rec = 0;
+    uint32_t begin = 0;
+    uint32_t count = 0;
+  };
+
   DeviceSpec spec_;
   MemorySim mem_;
   LinkModel host_link_;
@@ -220,6 +232,12 @@ class GpuDevice {
   AccessEventSink* sink_ = nullptr;
   FaultInjector* injector_ = nullptr;
   std::vector<uint32_t> sm_perm_;
+  /// ReplayTraces workspace, retained across phases so steady-state
+  /// replays allocate nothing (DESIGN.md §5).
+  std::vector<ReplayRun> replay_runs_;
+  std::vector<ReplayRun> replay_units_;  ///< rank-indexed run table
+  std::vector<std::span<const uint64_t>> replay_batches_;
+  std::vector<BatchProbe> replay_probes_;
   uint64_t kernel_seq_ = 0;
   bool timeline_enabled_ = false;
   std::string kernel_label_;

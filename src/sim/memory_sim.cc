@@ -1,11 +1,14 @@
 #include "sim/memory_sim.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <limits>
 
 #include "sim/fault_injector.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace sage::sim {
@@ -35,6 +38,9 @@ MemorySim::MemorySim(const DeviceSpec& spec) : spec_(spec) {
   for (auto& set : sets_) {
     set.tags.assign(spec.l2_ways, 0);
     set.stamps.assign(spec.l2_ways, 0);
+  }
+  if (util::IsPowerOfTwo(spec.sector_bytes)) {
+    sector_shift_ = std::countr_zero(static_cast<uint64_t>(spec.sector_bytes));
   }
 }
 
@@ -112,14 +118,37 @@ bool MemorySim::ProbeL2(uint64_t sector) {
 void MemorySim::CollectSectors(const Buffer& buffer,
                                std::span<const uint64_t> elem_indices,
                                std::vector<uint64_t>* out) const {
-  out->clear();
+#if !defined(NDEBUG)
   for (uint64_t i : elem_indices) {
     SAGE_DCHECK(i < buffer.num_elems)
         << "buffer '" << buffer.name << "' elem " << i << " >= "
         << buffer.num_elems;
-    out->push_back(buffer.Addr(i) / spec_.sector_bytes);
   }
-  std::sort(out->begin(), out->end());
+#endif
+  size_t n = elem_indices.size();
+  out->resize(n);
+  if (n == 0) return;
+  uint64_t* dst = out->data();
+  if (sector_shift_ >= 0 && util::IsPowerOfTwo(buffer.elem_bytes)) {
+    // Both sizes are powers of two (the universal case: 4/8-byte elements,
+    // 32-byte sectors), so the address → sector map is two shifts and an
+    // add — vectorized 4 sectors per step under AVX2.
+    util::ShiftedSectorIds(
+        elem_indices.data(), n, buffer.base,
+        static_cast<uint32_t>(
+            std::countr_zero(static_cast<uint64_t>(buffer.elem_bytes))),
+        static_cast<uint32_t>(sector_shift_), dst);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      dst[i] = buffer.Addr(elem_indices[i]) / spec_.sector_bytes;
+    }
+  }
+  // Tile gathers are usually issued over ascending indices, so the sector
+  // list is already sorted far more often than not — detect that in one
+  // linear pass and skip the O(n log n) sort.
+  if (!std::is_sorted(out->begin(), out->end())) {
+    std::sort(out->begin(), out->end());
+  }
   out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
@@ -131,11 +160,14 @@ void MemorySim::CollectSectorRange(const Buffer& buffer, uint64_t first,
   SAGE_DCHECK(first < buffer.num_elems && count <= buffer.num_elems - first)
       << "buffer '" << buffer.name << "' range [" << first << ", "
       << first + count << ") >= " << buffer.num_elems;
-  // A contiguous element range touches a contiguous sector range.
+  // A contiguous element range touches a contiguous sector range; fill the
+  // iota directly (no push_back bounds churn — the loop autovectorizes).
   uint64_t lo = buffer.Addr(first) / spec_.sector_bytes;
   uint64_t hi = buffer.Addr(first + count - 1) / spec_.sector_bytes;
-  out->reserve(hi - lo + 1);
-  for (uint64_t s = lo; s <= hi; ++s) out->push_back(s);
+  size_t n = static_cast<size_t>(hi - lo + 1);
+  out->resize(n);
+  uint64_t* dst = out->data();
+  for (size_t i = 0; i < n; ++i) dst[i] = lo + i;
 }
 
 AccessResult MemorySim::AccessSectors(MemSpace space,
@@ -208,10 +240,11 @@ void MemorySim::ProbeBatches(std::span<const std::span<const uint64_t>> batches,
                              util::ThreadPool* pool,
                              std::vector<BatchProbe>* out) {
   out->assign(batches.size(), BatchProbe());
-  std::vector<size_t> offsets(batches.size());
+  ReplayWorkspace& ws = replay_ws_;
+  ws.offsets.resize(batches.size());
   size_t total = 0;
   for (size_t b = 0; b < batches.size(); ++b) {
-    offsets[b] = total;
+    ws.offsets[b] = total;
     total += batches[b].size();
   }
   if (total == 0) return;
@@ -221,61 +254,103 @@ void MemorySim::ProbeBatches(std::span<const std::span<const uint64_t>> batches,
     num_slices = static_cast<uint32_t>(std::min<uint64_t>(
         {pool->workers(), sets_.size(), 64}));
   }
-  // Per-sector outcomes: each slice writes only the flags of sectors whose
-  // set it owns, so slices never touch the same L2Set, flag, or clock.
-  std::vector<uint8_t> hit(total, 0);
-  std::vector<uint64_t> slice_clock(num_slices, lru_clock_);
-  auto run_slice = [&](uint32_t slice) {
-    const size_t num_sets = sets_.size();
-    // The slice clock starts at the global clock: every new stamp exceeds
-    // every stamp already in this slice's sets, so within each set the
-    // stamps stay strictly increasing in canonical probe order — which is
-    // all LRU compares. Hit/miss outcomes are therefore identical to the
-    // serial single-clock walk, for any slice count.
-    uint64_t clock = slice_clock[slice];
-    for (size_t b = 0; b < batches.size(); ++b) {
-      std::span<const uint64_t> sectors = batches[b];
-      for (size_t i = 0; i < sectors.size(); ++i) {
-        uint64_t set_index = sectors[i] % num_sets;
-        if (set_index % num_slices != slice) continue;
-        hit[offsets[b] + i] =
-            ProbeSet(sets_[set_index], sectors[i] + 1, &clock) ? 1 : 0;
-      }
-    }
-    slice_clock[slice] = clock;
-  };
-  if (num_slices == 1 || pool == nullptr) {
-    run_slice(0);
-  } else {
-    pool->ParallelFor(num_slices,
-                      [&](uint32_t, size_t slice) {
-                        run_slice(static_cast<uint32_t>(slice));
-                      });
-  }
-  lru_clock_ = *std::max_element(slice_clock.begin(), slice_clock.end());
 
+  // Flatten every batch's sectors to one contiguous array so the slices
+  // walk dense memory; "flat index" = batch offset + lane.
+  ws.sectors.resize(total);
+  ws.hit.resize(total);
+  for (size_t b = 0; b < batches.size(); ++b) {
+    if (!batches[b].empty()) {
+      std::copy(batches[b].begin(), batches[b].end(),
+                ws.sectors.begin() + static_cast<ptrdiff_t>(ws.offsets[b]));
+    }
+  }
+
+  const size_t num_sets = sets_.size();
+  if (num_slices == 1) {
+    // Single slice: probe directly in canonical order with the global
+    // clock — no sharding passes needed.
+    uint64_t clock = lru_clock_;
+    for (size_t f = 0; f < total; ++f) {
+      uint64_t sec = ws.sectors[f];
+      ws.hit[f] = ProbeSet(sets_[sec % num_sets], sec + 1, &clock) ? 1 : 0;
+    }
+    lru_clock_ = clock;
+  } else {
+    // Shard: a counting sort buckets every flat index by its owning slice
+    // ((sector mod sets) mod slices), preserving canonical order within
+    // each bucket. Each worker then walks only its own compact list — an
+    // O(total) partition replacing the old O(slices × total) skip-scan.
+    SAGE_DCHECK(total <= std::numeric_limits<uint32_t>::max());
+    ws.slice_of.resize(total);
+    ws.shard_begin.assign(num_slices + 1, 0);
+    for (size_t f = 0; f < total; ++f) {
+      uint8_t sl = static_cast<uint8_t>((ws.sectors[f] % num_sets) %
+                                        num_slices);
+      ws.slice_of[f] = sl;
+      ++ws.shard_begin[sl + 1];
+    }
+    for (uint32_t s = 0; s < num_slices; ++s) {
+      ws.shard_begin[s + 1] += ws.shard_begin[s];
+    }
+    ws.shard_fill.assign(ws.shard_begin.begin(), ws.shard_begin.end() - 1);
+    ws.shard_flat.resize(total);
+    for (size_t f = 0; f < total; ++f) {
+      ws.shard_flat[ws.shard_fill[ws.slice_of[f]]++] =
+          static_cast<uint32_t>(f);
+    }
+
+    // Per-sector outcomes: each slice writes only the flags of flat
+    // indices it owns, so slices never touch the same L2Set, flag byte,
+    // or clock. The slice clock starts at the global clock: every new
+    // stamp exceeds every stamp already in this slice's sets, so within
+    // each set the stamps stay strictly increasing in canonical probe
+    // order — which is all LRU compares. Hit/miss outcomes are therefore
+    // identical to the serial single-clock walk, for any slice count.
+    ws.slice_clock.assign(num_slices, lru_clock_);
+    ws.slice_us.assign(num_slices, 0);
+    pool->ParallelFor(num_slices, [&](uint32_t, size_t slice) {
+      auto t0 = std::chrono::steady_clock::now();
+      uint64_t clock = ws.slice_clock[slice];
+      size_t end = ws.shard_begin[slice + 1];
+      for (size_t s = ws.shard_begin[slice]; s < end; ++s) {
+        uint32_t f = ws.shard_flat[s];
+        uint64_t sec = ws.sectors[f];
+        ws.hit[f] = ProbeSet(sets_[sec % num_sets], sec + 1, &clock) ? 1 : 0;
+      }
+      ws.slice_clock[slice] = clock;
+      ws.slice_us[slice] = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    });
+    lru_clock_ =
+        *std::max_element(ws.slice_clock.begin(), ws.slice_clock.end());
+    // Host-side observability only (never part of modeled state): record
+    // after the join, on the caller's thread.
+    for (uint32_t s = 0; s < num_slices; ++s) {
+      replay_slice_us_.Add(ws.slice_us[s]);
+    }
+  }
+
+  // Fold per-batch hit counts from the 0/1 flags: a straight byte sum
+  // (AVX2 psadbw under the hood; autovectorized elsewhere).
   for (size_t b = 0; b < batches.size(); ++b) {
     BatchProbe& p = (*out)[b];
-    for (size_t i = 0; i < batches[b].size(); ++i) {
-      if (hit[offsets[b] + i]) {
-        ++p.l2_hits;
-      } else {
-        ++p.l2_misses;
-      }
-    }
+    uint32_t n = static_cast<uint32_t>(batches[b].size());
+    uint32_t hits = static_cast<uint32_t>(
+        util::SumBytes(ws.hit.data() + ws.offsets[b], n));
+    p.l2_hits = hits;
+    p.l2_misses = n - hits;
   }
 }
 
 uint32_t MemorySim::CountDistinctSectors(
     const Buffer& buffer, const std::vector<uint64_t>& elem_indices) const {
-  auto& sectors = scratch_sectors_;
-  sectors.clear();
-  for (uint64_t i : elem_indices) {
-    sectors.push_back(buffer.Addr(i) / spec_.sector_bytes);
-  }
-  std::sort(sectors.begin(), sectors.end());
-  sectors.erase(std::unique(sectors.begin(), sectors.end()), sectors.end());
-  return static_cast<uint32_t>(sectors.size());
+  // Shares CollectSectors' vectorized address computation and sorted-input
+  // fast path.
+  CollectSectors(buffer, elem_indices, &scratch_sectors_);
+  return static_cast<uint32_t>(scratch_sectors_.size());
 }
 
 void MemorySim::FlushL2() {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/device_spec.h"
+#include "util/stats.h"
 
 namespace sage::util {
 class MetricsRegistry;
@@ -148,13 +149,21 @@ class MemorySim {
   /// through the L2 and reports each batch's hit/miss split, exactly as if
   /// AccessSectors had been called batch by batch (stats are NOT updated —
   /// the caller applies them in order via ApplySectorStats). The L2 is
-  /// treated as address-hashed slices (slice = set index mod slice count),
-  /// each probed by one worker of `pool` (nullptr = serial): sets never
-  /// straddle slices and LRU stamps are only ever compared within one set,
-  /// so the outcome is bit-identical for every slice/worker count — see
-  /// DESIGN.md §5 for the argument.
+  /// treated as address-hashed slices (slice = set index mod slice count):
+  /// the batches are pre-sharded into one compact canonical-order work list
+  /// per slice, then each slice is probed by one worker of `pool` (nullptr
+  /// = serial). Sets never straddle slices and LRU stamps are only ever
+  /// compared within one set, so the outcome is bit-identical for every
+  /// slice/worker count — see DESIGN.md §5 for the argument. All scratch
+  /// lives in a persistent workspace, so steady-state replays allocate
+  /// nothing after warmup.
   void ProbeBatches(std::span<const std::span<const uint64_t>> batches,
                     util::ThreadPool* pool, std::vector<BatchProbe>* out);
+
+  /// Wall-clock microseconds each replay slice spent probing (SageScope
+  /// `sim.replay.slice_us`). Host-measurement only — never part of modeled
+  /// results or digests.
+  const util::Histogram& replay_slice_us() const { return replay_slice_us_; }
 
   /// Distinct sectors spanned by a set of element indices, without charging
   /// the cache (used by the reorder sampler's hypothetical evaluations).
@@ -195,6 +204,22 @@ class MemorySim {
   /// Probes (and fills) the L2 for a sector tag; returns true on hit.
   bool ProbeL2(uint64_t sector);
 
+  /// Reusable ProbeBatches scratch: sized on first use, retained across
+  /// replays (the workspace-arena discipline of DESIGN.md §5). All arrays
+  /// are addressed by "flat index" — a batch's offset plus the lane within
+  /// it — which gives every recorded sector a stable canonical position.
+  struct ReplayWorkspace {
+    std::vector<size_t> offsets;      ///< per-batch start in flat order
+    std::vector<uint64_t> sectors;    ///< flattened sector ids
+    std::vector<uint8_t> slice_of;    ///< owning slice per flat index
+    std::vector<uint8_t> hit;         ///< per-flat-index L2 outcome
+    std::vector<uint32_t> shard_flat; ///< flat indices grouped by slice
+    std::vector<size_t> shard_begin;  ///< per-slice [begin, end) bounds
+    std::vector<size_t> shard_fill;   ///< counting-sort fill cursors
+    std::vector<uint64_t> slice_clock;
+    std::vector<uint64_t> slice_us;   ///< wall time per slice (host metric)
+  };
+
   DeviceSpec spec_;
   uint64_t next_base_ = 0;
   uint32_t next_id_ = 1;
@@ -205,6 +230,11 @@ class MemorySim {
   MemStats device_stats_;
   MemStats host_stats_;
   mutable std::vector<uint64_t> scratch_sectors_;
+  ReplayWorkspace replay_ws_;
+  util::Histogram replay_slice_us_;
+  /// log2(sector_bytes) when it is a power of two, else -1 (selects the
+  /// shift fast path in CollectSectors).
+  int sector_shift_ = -1;
   FaultInjector* injector_ = nullptr;
 };
 

@@ -1,0 +1,135 @@
+#ifndef SAGE_UTIL_BITMAP_H_
+#define SAGE_UTIL_BITMAP_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sage::util {
+
+/// Calls fn(bit_index) for every set bit of one 64-bit word in ascending
+/// order (countr_zero extraction, lowest-bit clearing). The shared
+/// popcount-iteration idiom: Bitmap::ForEachSet uses it per word, and the
+/// MS-BFS batching code uses it on its per-node 64-instance masks.
+template <typename Fn>
+inline void ForEachSetBit(uint64_t word, Fn&& fn) {
+  while (word != 0) {
+    fn(static_cast<uint32_t>(std::countr_zero(word)));
+    word &= word - 1;  // clear lowest set bit
+  }
+}
+
+/// Packed 64-bit bitmap for frontier membership sets (SIMD-X-style word
+/// parallelism on the host): one bit per node, word-wide and/or/andnot,
+/// popcount counting, and countr_zero iteration over set bits. All word
+/// operations maintain the invariant that bits at positions >= size() in
+/// the final word are zero, so CountSet/ForEachSet never see phantom
+/// members after SetAll or a word-wide combine.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t num_bits) { Resize(num_bits); }
+
+  /// Resizes to num_bits, clearing every bit (frontier bitmaps are always
+  /// rebuilt after a resize, so preserving contents would be dead weight).
+  void Resize(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign(NumWords(num_bits), 0);
+  }
+
+  size_t size() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
+  bool empty() const { return num_bits_ == 0; }
+
+  void Set(size_t i) {
+    assert(i < num_bits_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  void Clear(size_t i) {
+    assert(i < num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  bool Test(size_t i) const {
+    assert(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  /// Sets bit i and reports whether it was already set (single-threaded
+  /// visited-set idiom; not atomic).
+  bool TestAndSet(size_t i) {
+    assert(i < num_bits_);
+    uint64_t& w = words_[i >> 6];
+    uint64_t bit = uint64_t{1} << (i & 63);
+    bool was = (w & bit) != 0;
+    w |= bit;
+    return was;
+  }
+
+  void ClearAll() {
+    for (uint64_t& w : words_) w = 0;
+  }
+  void SetAll() {
+    for (uint64_t& w : words_) w = ~uint64_t{0};
+    MaskTail();
+  }
+
+  /// Word-parallel this &= other / this |= other / this &= ~other. The
+  /// operands must be the same size.
+  void AndWith(const Bitmap& other) {
+    assert(num_bits_ == other.num_bits_);
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  }
+  void OrWith(const Bitmap& other) {
+    assert(num_bits_ == other.num_bits_);
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+  void AndNotWith(const Bitmap& other) {
+    assert(num_bits_ == other.num_bits_);
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  }
+
+  /// Number of set bits (word-wide popcount, autovectorizable).
+  size_t CountSet() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+    return n;
+  }
+  bool AnySet() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Calls fn(i) for every set bit i in ascending order (countr_zero
+  /// extraction — cost is proportional to set bits plus words scanned).
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      ForEachSetBit(words_[wi],
+                    [&](uint32_t bit) { fn((wi << 6) + bit); });
+    }
+  }
+
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* words() { return words_.data(); }
+
+  static size_t NumWords(size_t num_bits) { return (num_bits + 63) >> 6; }
+
+ private:
+  /// Zeroes the bits past num_bits_ in the final word.
+  void MaskTail() {
+    size_t tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_BITMAP_H_

@@ -9,6 +9,11 @@ void HistogramMetric::Add(uint64_t value) {
   hist_.Add(value);
 }
 
+void HistogramMetric::AddCount(uint64_t value, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_.AddCount(value, n);
+}
+
 void HistogramMetric::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   hist_ = Histogram();

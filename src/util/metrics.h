@@ -44,6 +44,8 @@ class Gauge {
 class HistogramMetric {
  public:
   void Add(uint64_t value);
+  /// Adds `n` samples of `value` under one lock acquisition.
+  void AddCount(uint64_t value, uint64_t n);
   /// Clears all buckets; for publish-style exporters that rebuild the
   /// distribution from a source of truth on every export.
   void Reset();

@@ -1,0 +1,72 @@
+#ifndef SAGE_UTIL_SIMD_H_
+#define SAGE_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace sage::util {
+
+/// Sum of `n` bytes (each 0..255) as a uint64. The replay fold uses this on
+/// 0/1 hit flags — AVX2 path reduces 32 bytes per _mm256_sad_epu8; the
+/// scalar loop autovectorizes to the same idea on other targets.
+inline uint64_t SumBytes(const uint8_t* p, size_t n) {
+  uint64_t total = 0;
+#if defined(__AVX2__)
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    // Sum of absolute differences against zero = horizontal byte sums into
+    // four 64-bit lanes; accumulates without overflow for any batch size.
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(v, _mm256_setzero_si256()));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) total += p[i];
+#else
+  for (size_t i = 0; i < n; ++i) total += p[i];
+#endif
+  return total;
+}
+
+/// Fills out[i] = (base + indices[i] << elem_shift) >> sector_shift for
+/// i in [0, n) — the sector-id computation of a gather batch when both the
+/// element size and the sector size are powers of two (the common case;
+/// callers fall back to the div/mul form otherwise).
+inline void ShiftedSectorIds(const uint64_t* indices, size_t n, uint64_t base,
+                             uint32_t elem_shift, uint32_t sector_shift,
+                             uint64_t* out) {
+#if defined(__AVX2__)
+  __m256i vbase = _mm256_set1_epi64x(static_cast<long long>(base));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(indices + i));
+    __m256i addr =
+        _mm256_add_epi64(vbase, _mm256_slli_epi64(idx, elem_shift));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_srli_epi64(addr, sector_shift));
+  }
+  for (; i < n; ++i) {
+    out[i] = (base + (indices[i] << elem_shift)) >> sector_shift;
+  }
+#else
+  // Shift-only body: autovectorizes on any target with 64-bit SIMD shifts.
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = (base + (indices[i] << elem_shift)) >> sector_shift;
+  }
+#endif
+}
+
+/// True if `v` has exactly one bit set.
+inline bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_SIMD_H_

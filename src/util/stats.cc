@@ -48,6 +48,11 @@ void Histogram::Add(uint64_t value) {
   ++total_;
 }
 
+void Histogram::AddCount(uint64_t value, uint64_t n) {
+  buckets_[BucketIndex(value)] += n;
+  total_ += n;
+}
+
 uint64_t Histogram::BucketLowerBound(int b) {
   if (b <= 0) return 0;
   return 1ull << (b - 1);

@@ -42,6 +42,9 @@ class Histogram {
   static constexpr int kNumBuckets = 65;
 
   void Add(uint64_t value);
+  /// Adds `n` samples of `value` in O(1) — the publish-style rebuild path
+  /// (mirroring another histogram bucket by bucket) uses this.
+  void AddCount(uint64_t value, uint64_t n);
 
   uint64_t total_count() const { return total_; }
   uint64_t bucket_count(int b) const { return buckets_[b]; }

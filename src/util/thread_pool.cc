@@ -124,6 +124,60 @@ void ThreadPool::ParallelFor(
   if (for_error) std::rethrow_exception(for_error);
 }
 
+std::vector<std::pair<size_t, size_t>> ThreadPool::StaticChunks(size_t begin,
+                                                                size_t end,
+                                                                size_t grain) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (begin >= end) return chunks;
+  if (grain == 0) grain = 1;
+  chunks.reserve((end - begin + grain - 1) / grain);
+  for (size_t lo = begin; lo < end; lo += grain) {
+    chunks.emplace_back(lo, std::min(lo + grain, end));
+  }
+  return chunks;
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const ChunkFn& fn) {
+  if (begin >= end) return;
+  std::vector<std::pair<size_t, size_t>> chunks =
+      StaticChunks(begin, end, grain);
+  uint32_t num_workers = workers();
+  std::exception_ptr for_error;
+  std::mutex err_mu;
+  // Worker w owns chunks w, w + workers(), w + 2 * workers(), ... — a pure
+  // function of the iteration bounds and pool size, never of timing.
+  auto body = [&](uint32_t worker) {
+    for (size_t c = worker; c < chunks.size(); c += num_workers) {
+      try {
+        fn(worker, chunks[c].first, chunks[c].second);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(err_mu);
+        if (!for_error) for_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  uint32_t helpers = static_cast<uint32_t>(
+      std::min<size_t>(threads_.size(), chunks.size()));
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  uint32_t pending = helpers;  // guarded by done_mu
+  for (uint32_t w = 0; w < helpers; ++w) {
+    Submit([&, w] {
+      body(w);
+      std::unique_lock<std::mutex> lock(done_mu);
+      if (--pending == 0) done_cv.notify_all();
+    });
+  }
+  body(size());
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return pending == 0; });
+  }
+  if (for_error) std::rethrow_exception(for_error);
+}
+
 uint32_t ThreadPool::HardwareThreads() {
   uint32_t n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;

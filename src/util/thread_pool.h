@@ -8,6 +8,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace sage::util {
@@ -57,6 +58,29 @@ class ThreadPool {
   /// across workers; see the class comment for the contract.
   void ParallelFor(size_t n,
                    const std::function<void(uint32_t worker, size_t index)>& fn);
+
+  /// One contiguous chunk of a static partition: fn receives
+  /// [chunk_begin, chunk_end).
+  using ChunkFn =
+      std::function<void(uint32_t worker, size_t chunk_begin, size_t chunk_end)>;
+
+  /// Statically partitioned variant: [begin, end) is cut into chunks of
+  /// `grain` indices (the final chunk may be short) and chunk c is always
+  /// executed by worker c % workers(), each worker walking its chunks in
+  /// ascending order. The chunk → worker mapping is a pure function of
+  /// (begin, end, grain, workers()) — see StaticChunks — so call sites that
+  /// keep per-worker state get the same assignment on every run. Same
+  /// caller-participates and first-exception contract as the dynamic form.
+  void ParallelFor(size_t begin, size_t end, size_t grain, const ChunkFn& fn);
+
+  /// The deterministic chunk list ParallelFor(begin, end, grain, ...) uses:
+  /// chunk c covers [begin + c * grain, min(begin + (c+1) * grain, end))
+  /// and runs on worker c % num_workers. Exposed for unit tests and for
+  /// call sites that need to precompute per-chunk outputs. grain == 0 is
+  /// treated as grain == 1.
+  static std::vector<std::pair<size_t, size_t>> StaticChunks(size_t begin,
+                                                             size_t end,
+                                                             size_t grain);
 
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// allows 0 for "unknown").

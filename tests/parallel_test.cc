@@ -15,6 +15,7 @@
 #include "apps/bc.h"
 #include "apps/bfs.h"
 #include "apps/cc.h"
+#include "apps/msbfs.h"
 #include "apps/pagerank.h"
 #include "apps/sssp.h"
 #include "check/determinism.h"
@@ -142,6 +143,106 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
 
 TEST(ThreadPoolTest, HardwareThreadsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+// --- Static ParallelFor: deterministic chunk -> worker mapping ------------
+
+TEST(StaticParallelForTest, StaticChunksCoverRangeContiguously) {
+  auto chunks = ThreadPool::StaticChunks(13, 113, 7);
+  ASSERT_EQ(chunks.size(), (113u - 13u + 6u) / 7u);
+  size_t expect_begin = 13;
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].first, expect_begin);
+    EXPECT_GT(chunks[c].second, chunks[c].first);
+    // Only the final chunk may be short.
+    if (c + 1 < chunks.size()) {
+      EXPECT_EQ(chunks[c].second - chunks[c].first, 7u);
+    }
+    expect_begin = chunks[c].second;
+  }
+  EXPECT_EQ(expect_begin, 113u);
+}
+
+TEST(StaticParallelForTest, StaticChunksEdgeCases) {
+  EXPECT_TRUE(ThreadPool::StaticChunks(5, 5, 4).empty());  // empty range
+  EXPECT_TRUE(ThreadPool::StaticChunks(9, 5, 4).empty());  // inverted range
+  // grain == 0 is treated as 1.
+  auto unit = ThreadPool::StaticChunks(0, 3, 0);
+  ASSERT_EQ(unit.size(), 3u);
+  EXPECT_EQ(unit[2], (std::pair<size_t, size_t>{2, 3}));
+  // Range smaller than one grain: a single short chunk.
+  auto single = ThreadPool::StaticChunks(10, 12, 100);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], (std::pair<size_t, size_t>{10, 12}));
+}
+
+class StaticParallelForSizes : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(StaticParallelForSizes, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(GetParam());
+  constexpr size_t kBegin = 13, kEnd = 1013;
+  std::vector<std::atomic<uint32_t>> hits(kEnd);
+  pool.ParallelFor(kBegin, kEnd, 7,
+                   [&](uint32_t /*worker*/, size_t lo, size_t hi) {
+                     for (size_t i = lo; i < hi; ++i) {
+                       hits[i].fetch_add(1, std::memory_order_relaxed);
+                     }
+                   });
+  for (size_t i = 0; i < kBegin; ++i) EXPECT_EQ(hits[i].load(), 0u) << i;
+  for (size_t i = kBegin; i < kEnd; ++i) EXPECT_EQ(hits[i].load(), 1u) << i;
+}
+
+TEST_P(StaticParallelForSizes, ChunkToWorkerMappingIsDeterministic) {
+  // Chunk c always runs on worker c % workers() — a pure function of the
+  // bounds and the pool size, never of timing. Call sites keep per-worker
+  // state (trace recorders, replay slices) keyed on that contract.
+  ThreadPool pool(GetParam());
+  auto chunks = ThreadPool::StaticChunks(0, 997, 11);
+  auto run = [&] {
+    // One slot per chunk; the contract makes the writes disjoint.
+    std::vector<uint32_t> owner(chunks.size(), UINT32_MAX);
+    pool.ParallelFor(0, 997, 11, [&](uint32_t worker, size_t lo, size_t hi) {
+      size_t c = lo / 11;
+      ASSERT_LT(c, chunks.size());
+      EXPECT_EQ(chunks[c].first, lo);
+      EXPECT_EQ(chunks[c].second, hi);
+      owner[c] = worker;
+    });
+    return owner;
+  };
+  std::vector<uint32_t> first = run();
+  for (size_t c = 0; c < first.size(); ++c) {
+    EXPECT_EQ(first[c], c % pool.workers()) << "chunk " << c;
+  }
+  EXPECT_EQ(run(), first);  // identical assignment on every run
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StaticParallelForSizes,
+                         ::testing::Values(0u, 1u, 3u, 4u));
+
+TEST(StaticParallelForTest, EmptyRangeDoesNotInvokeBody) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(9, 9, 4, [&](uint32_t, size_t, size_t) { ran = true; });
+  pool.ParallelFor(9, 5, 4, [&](uint32_t, size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(StaticParallelForTest, PropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(0, 100, 3,
+                                [&](uint32_t, size_t lo, size_t) {
+                                  if (lo == 57) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool must survive and stay usable.
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(0, 10, 2, [&](uint32_t, size_t lo, size_t hi) {
+    count += hi - lo;
+  });
+  EXPECT_EQ(count.load(), 10u);
 }
 
 // --- Buffer-size overflow guard -----------------------------------------
@@ -347,6 +448,29 @@ TEST_P(AppEquivalenceTest, BetweennessCentrality) {
   });
 }
 
+TEST_P(AppEquivalenceTest, MultiSourceBfs) {
+  // The MS-BFS batching path iterates 64-instance masks through the shared
+  // ForEachSetBit popcount idiom; its per-edge atomicOr filter work is
+  // deferred and committed in rank order like any other filter app.
+  const Csr csr = graph::GenerateRmat(9, 3000, 0.55, 0.2, 0.2, 23);
+  EngineOptions opts;
+  opts.strategy = GetParam();
+  ExpectSerialParallelEqual(csr, opts, [](Engine& engine, const Csr& g) {
+    apps::MultiSourceBfsProgram msbfs;
+    msbfs.EnableDistanceRecording();
+    std::vector<NodeId> sources{0, 3, 11, 57, 123, 200, 301, 411};
+    EXPECT_TRUE(apps::RunMultiSourceBfs(engine, msbfs, sources).ok());
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint32_t i = 0; i < msbfs.num_sources(); ++i) {
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        h = HashU32(h, msbfs.DistanceOf(i, u));
+      }
+      h = HashU64(h, msbfs.ReachedCount(i));
+    }
+    return h;
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(Strategies, AppEquivalenceTest,
                          ::testing::Values(ExpandStrategy::kSage,
                                            ExpandStrategy::kB40c,
@@ -376,6 +500,47 @@ TEST(EquivalenceTest, AdjacencyOnHost) {
     EXPECT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
     uint64_t h = 0xcbf29ce484222325ull;
     for (NodeId u = 0; u < g.num_nodes(); ++u) h = HashU32(h, bfs.DistanceOf(u));
+    return h;
+  });
+}
+
+TEST(EquivalenceTest, ShardedReplayManySlicesOddThreads) {
+  // A larger L2 gives the sliced replay more address shards to run
+  // concurrently, and odd worker counts leave slices and workers coprime
+  // (every worker sees a different slice mix than with the even counts the
+  // other tests sweep). Outputs, sector counts and modeled timing must
+  // still match serial bit-for-bit.
+  const Csr csr = graph::GenerateRmat(9, 4500, 0.55, 0.2, 0.2, 51);
+  sim::DeviceSpec spec;
+  spec.num_sms = 16;
+  spec.l2_bytes = 1 << 20;
+  EngineOptions base;
+  check::EquivalenceOptions eq;
+  eq.thread_counts = {1, 2, 3, 4, 8};
+  check::EquivalenceReport report =
+      check::RunBfsEquivalence(csr, spec, 0, base, eq);
+  EXPECT_TRUE(report.equivalent) << report.details;
+}
+
+TEST(EquivalenceTest, SamplingReorderBitmapFrontierRebuild) {
+  // Sampling-based reordering permutes node ids mid-run; RunLoop then
+  // rebuilds the sorted global frontier through the packed bitmap. Engines
+  // with sampling_reorder fall back to serial execution (the sampler is
+  // order-sensitive), so every requested thread count must agree
+  // bit-for-bit — including with the bitmap rebuild on the hot path. The
+  // tiny sampling threshold forces several reorder points per run.
+  const Csr csr = SymmetricRmat(9, 4000, 37);
+  EngineOptions opts;
+  opts.sampling_reorder = true;
+  opts.sampling_threshold_edges = 500;
+  ExpectSerialParallelEqual(csr, opts, [](Engine& engine, const Csr& g) {
+    apps::BfsProgram bfs;
+    EXPECT_TRUE(engine.Bind(&bfs).ok());
+    EXPECT_TRUE(apps::RunBfs(engine, bfs, 0).ok());
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      h = HashU32(h, bfs.DistanceOf(u));
+    }
     return h;
   });
 }

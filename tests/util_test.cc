@@ -4,8 +4,11 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/arena.h"
+#include "util/bitmap.h"
 #include "util/metrics.h"
 #include "util/prefix_sum.h"
+#include "util/simd.h"
 #include "util/random.h"
 #include "util/segsort.h"
 #include "util/stats.h"
@@ -355,6 +358,251 @@ TEST(MetricsTest, HistogramMetricReset) {
   EXPECT_EQ(m.snapshot().total_count(), 2u);
   m.Reset();
   EXPECT_EQ(m.snapshot().total_count(), 0u);
+}
+
+// --- Bitmap: packed frontier sets ----------------------------------------
+
+TEST(BitmapTest, SetTestClearAndTestAndSet) {
+  Bitmap b(130);  // spans three words, short tail
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.num_words(), 3u);
+  EXPECT_FALSE(b.AnySet());
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0) && b.Test(63) && b.Test(64) && b.Test(129));
+  EXPECT_FALSE(b.Test(1) || b.Test(65) || b.Test(128));
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_FALSE(b.TestAndSet(63));  // was clear, now set
+  EXPECT_TRUE(b.TestAndSet(63));   // already set
+  EXPECT_TRUE(b.Test(63));
+}
+
+TEST(BitmapTest, WordOpsRespectBooleanAlgebra) {
+  // a = multiples of 3, b = multiples of 2, across word boundaries.
+  constexpr size_t kN = 200;
+  Bitmap a(kN), b(kN);
+  for (size_t i = 0; i < kN; i += 3) a.Set(i);
+  for (size_t i = 0; i < kN; i += 2) b.Set(i);
+
+  Bitmap and_ab = a;
+  and_ab.AndWith(b);
+  Bitmap or_ab = a;
+  or_ab.OrWith(b);
+  Bitmap diff_ab = a;
+  diff_ab.AndNotWith(b);
+  size_t count_and = 0, count_or = 0, count_diff = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    bool in_a = i % 3 == 0, in_b = i % 2 == 0;
+    EXPECT_EQ(and_ab.Test(i), in_a && in_b) << i;
+    EXPECT_EQ(or_ab.Test(i), in_a || in_b) << i;
+    EXPECT_EQ(diff_ab.Test(i), in_a && !in_b) << i;
+    count_and += in_a && in_b;
+    count_or += in_a || in_b;
+    count_diff += in_a && !in_b;
+  }
+  EXPECT_EQ(and_ab.CountSet(), count_and);
+  EXPECT_EQ(or_ab.CountSet(), count_or);
+  EXPECT_EQ(diff_ab.CountSet(), count_diff);
+}
+
+TEST(BitmapTest, SetAllMasksTailBits) {
+  // 70 bits: the second word has only 6 live bits; SetAll must not set the
+  // other 58, or CountSet/ForEachSet would report phantom members.
+  Bitmap b(70);
+  b.SetAll();
+  EXPECT_EQ(b.CountSet(), 70u);
+  EXPECT_EQ(b.words()[1], (uint64_t{1} << 6) - 1);
+  // Word-exact size: no tail to mask.
+  Bitmap exact(128);
+  exact.SetAll();
+  EXPECT_EQ(exact.CountSet(), 128u);
+  EXPECT_EQ(exact.words()[1], ~uint64_t{0});
+  exact.ClearAll();
+  EXPECT_EQ(exact.CountSet(), 0u);
+  EXPECT_FALSE(exact.AnySet());
+}
+
+TEST(BitmapTest, ForEachSetVisitsAscending) {
+  Bitmap b(300);
+  const std::vector<size_t> members{0, 1, 63, 64, 65, 127, 128, 200, 299};
+  for (size_t m : members) b.Set(m);
+  std::vector<size_t> seen;
+  b.ForEachSet([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, members);
+  EXPECT_EQ(b.CountSet(), members.size());
+}
+
+TEST(BitmapTest, ForEachSetBitWordHelper) {
+  uint64_t word = (uint64_t{1} << 0) | (uint64_t{1} << 5) |
+                  (uint64_t{1} << 63);
+  std::vector<uint32_t> bits;
+  ForEachSetBit(word, [&](uint32_t i) { bits.push_back(i); });
+  EXPECT_EQ(bits, (std::vector<uint32_t>{0, 5, 63}));
+  bits.clear();
+  ForEachSetBit(uint64_t{0}, [&](uint32_t i) { bits.push_back(i); });
+  EXPECT_TRUE(bits.empty());
+  bits.clear();
+  ForEachSetBit(~uint64_t{0}, [&](uint32_t i) { bits.push_back(i); });
+  ASSERT_EQ(bits.size(), 64u);
+  for (uint32_t i = 0; i < 64; ++i) EXPECT_EQ(bits[i], i);
+}
+
+TEST(BitmapTest, ResizeClearsContents) {
+  Bitmap b(64);
+  b.SetAll();
+  b.Resize(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.CountSet(), 0u);
+  b.Set(99);
+  b.Resize(10);  // shrink also clears
+  EXPECT_EQ(b.CountSet(), 0u);
+  Bitmap empty(0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.CountSet(), 0u);
+  EXPECT_FALSE(empty.AnySet());
+}
+
+// --- Arena: steady-state phases allocate nothing --------------------------
+
+TEST(ArenaTest, SpansAreUsableAndZeroedVariantZeroes) {
+  Arena arena;
+  auto a = arena.AllocateSpan<uint32_t>(100);
+  ASSERT_EQ(a.size(), 100u);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<uint32_t>(i);
+  auto b = arena.AllocateZeroedSpan<uint64_t>(50);
+  ASSERT_EQ(b.size(), 50u);
+  for (uint64_t v : b) EXPECT_EQ(v, 0u);
+  // The first span is untouched by the second allocation.
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], i);
+  EXPECT_TRUE(arena.AllocateSpan<uint32_t>(0).empty());
+}
+
+TEST(ArenaTest, NoChunkGrowthAfterWarmup) {
+  // The workspace-pool contract: after the first phase warmed the arena,
+  // identical phases are served entirely from recycled chunks —
+  // chunk_allocations() stays flat and bytes_reused() grows.
+  Arena arena(4096);
+  auto phase = [&] {
+    arena.Reset();
+    (void)arena.AllocateSpan<uint64_t>(300);
+    (void)arena.AllocateSpan<uint32_t>(500);
+    (void)arena.AllocateSpan<uint8_t>(1000);
+  };
+  phase();  // warmup
+  uint64_t warm_chunks = arena.chunk_allocations();
+  uint64_t warm_capacity = arena.bytes_capacity();
+  EXPECT_GT(warm_chunks, 0u);
+  uint64_t reused_before = arena.bytes_reused();
+  for (int i = 0; i < 100; ++i) phase();
+  EXPECT_EQ(arena.chunk_allocations(), warm_chunks);
+  EXPECT_EQ(arena.bytes_capacity(), warm_capacity);
+  // Every post-warmup byte came from recycled chunks.
+  EXPECT_GE(arena.bytes_reused(),
+            reused_before + 100 * (300 * 8 + 500 * 4 + 1000));
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(1024);
+  auto big = arena.AllocateSpan<uint8_t>(10000);
+  ASSERT_EQ(big.size(), 10000u);
+  big[0] = 1;
+  big[9999] = 2;
+  EXPECT_GE(arena.bytes_capacity(), 10000u);
+  // The oversized chunk is recycled like any other.
+  arena.Reset();
+  uint64_t chunks = arena.chunk_allocations();
+  auto again = arena.AllocateSpan<uint8_t>(10000);
+  ASSERT_EQ(again.size(), 10000u);
+  EXPECT_EQ(arena.chunk_allocations(), chunks);
+  EXPECT_GE(arena.bytes_reused(), 10000u);
+}
+
+TEST(ArenaTest, CopyYieldsFreshEmptyArena) {
+  // Scratch-copy semantics: contexts embedding an arena stay copyable, and
+  // the copy never aliases the original's chunks.
+  Arena arena(2048);
+  auto span = arena.AllocateSpan<uint32_t>(64);
+  span[0] = 7;
+  Arena copy(arena);
+  EXPECT_EQ(copy.chunk_allocations(), 0u);
+  EXPECT_EQ(copy.bytes_capacity(), 0u);
+  auto copied_span = copy.AllocateSpan<uint32_t>(64);
+  copied_span[0] = 9;
+  EXPECT_EQ(span[0], 7u);  // original untouched
+  Arena assigned(128);
+  (void)assigned.AllocateSpan<uint8_t>(64);
+  assigned = arena;
+  EXPECT_EQ(assigned.chunk_allocations(), 0u);
+  EXPECT_EQ(assigned.bytes_reused(), 0u);
+}
+
+// --- SIMD helpers: AVX2 fast paths must match the scalar definition -------
+
+TEST(SimdTest, SumBytesMatchesScalarAtAllLengths) {
+  Rng rng(77);
+  std::vector<uint8_t> data(300);
+  for (auto& v : data) v = static_cast<uint8_t>(rng.UniformU64(256));
+  // Lengths straddling the 32-byte vector width, including 0.
+  for (size_t n : {0u, 1u, 31u, 32u, 33u, 64u, 100u, 255u, 300u}) {
+    uint64_t expect = 0;
+    for (size_t i = 0; i < n; ++i) expect += data[i];
+    EXPECT_EQ(SumBytes(data.data(), n), expect) << "n=" << n;
+  }
+  // All-255 does not overflow intermediate lanes.
+  std::vector<uint8_t> maxed(256, 255);
+  EXPECT_EQ(SumBytes(maxed.data(), maxed.size()), 256u * 255u);
+}
+
+TEST(SimdTest, ShiftedSectorIdsMatchesScalar) {
+  Rng rng(78);
+  std::vector<uint64_t> idx(67);
+  for (auto& v : idx) v = rng.UniformU64(uint64_t{1} << 40);
+  const uint64_t base = 0x1234500;
+  const uint32_t elem_shift = 3, sector_shift = 5;
+  std::vector<uint64_t> out(idx.size(), 0);
+  ShiftedSectorIds(idx.data(), idx.size(), base, elem_shift, sector_shift,
+                   out.data());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_EQ(out[i], (base + (idx[i] << elem_shift)) >> sector_shift) << i;
+  }
+  // n not a multiple of the 4-wide vector width exercises the tail loop;
+  // n == 0 must not touch out.
+  uint64_t sentinel = 0xdeadbeef;
+  ShiftedSectorIds(idx.data(), 0, base, elem_shift, sector_shift, &sentinel);
+  EXPECT_EQ(sentinel, 0xdeadbeefull);
+}
+
+TEST(SimdTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 63));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 63) + 1));
+}
+
+TEST(StatsTest, HistogramAddCountMatchesRepeatedAdd) {
+  Histogram a, b;
+  for (uint64_t v : {0ull, 1ull, 17ull, 1000ull, 1ull << 40}) {
+    a.AddCount(v, 5);
+    for (int i = 0; i < 5; ++i) b.Add(v);
+  }
+  EXPECT_EQ(a.total_count(), b.total_count());
+  for (int bu = 0; bu < Histogram::kNumBuckets; ++bu) {
+    EXPECT_EQ(a.bucket_count(bu), b.bucket_count(bu)) << bu;
+  }
+  a.AddCount(3, 0);  // n == 0 is a no-op
+  EXPECT_EQ(a.total_count(), b.total_count());
+}
+
+TEST(MetricsTest, HistogramMetricAddCount) {
+  HistogramMetric m;
+  m.AddCount(100, 3);
+  m.Add(100);
+  EXPECT_EQ(m.snapshot().total_count(), 4u);
 }
 
 TEST(TraceTest, ChromeTraceJsonShape) {

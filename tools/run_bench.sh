@@ -13,11 +13,15 @@
 #
 #   tools/run_bench.sh [build-dir]
 #
-# The sim-throughput speedup column only exceeds 1 on a multi-core host;
-# on a single hardware thread the parallel backend intentionally
-# degenerates to the serial path (it aborts below the documented 0.70x
-# overhead floor — see kMinParallelSpeedup). bench_serve exits nonzero if
-# the service's speedup drops below its 2x acceptance floor.
+# bench_sim_throughput sweeps --host-threads over {1,2,4,8} and FAILS
+# (exits nonzero, aborting this script under `set -e`) if any swept point
+# misses its floor: 1.50x serial (kMinParallelSpeedup) at points the
+# hardware can run concurrently (1 < threads <= hardware_concurrency),
+# 0.70x (kOversubscribedFloor) at oversubscribed points, where no speedup
+# is physically possible and only trace/replay overhead is policed. The
+# emitted JSON records hardware_threads and the floor applied per point.
+# bench_serve exits nonzero if the service's speedup drops below its 2x
+# acceptance floor.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

@@ -35,7 +35,9 @@ echo "== TSan build (parallel backend + serving layer) =="
 # The parallel execution backend (DESIGN.md §5) and the query service
 # (DESIGN.md §6) are the repo's multi-threaded code; build their test
 # binaries under ThreadSanitizer and run the thread-pool, serial-vs-
-# parallel equivalence, and concurrent-dispatch suites under it.
+# parallel equivalence (including the sharded L2 replay — parallel_test's
+# ShardedReplayManySlicesOddThreads drives the per-slice probe workers
+# directly), and concurrent-dispatch suites under it.
 # TSan and ASan cannot coexist in one build, hence the separate tree.
 tsan_dir="${build_dir}-tsan"
 cmake -S "${repo_root}" -B "${tsan_dir}" \
@@ -135,6 +137,41 @@ ASAN_OPTIONS="detect_leaks=1" \
 python3 -m json.tool "${obs_dir}/serve_trace.json" > /dev/null
 python3 -m json.tool "${obs_dir}/serve_metrics.json" > /dev/null
 echo "observability: profile/trace/metrics/serve JSON all valid"
+
+echo "== perf smoke (tiny graph, parallel vs serial wall clock) =="
+# Not a benchmark — the sanitizer build distorts absolute timing — just a
+# guard against catastrophic parallel-backend regressions (an accidental
+# global lock would show up as a many-x blowup): best-of-3 parallel wall
+# must stay within 4x of best-of-3 serial wall on the observability stage's
+# tiny graph. tools/run_bench.sh owns the real floors (min_speedup policy
+# in BENCH_sim_throughput.json).
+python3 - "${build_dir}/tools/sage_cli" "${obs_dir}/g.sagecsr" <<'EOF'
+import subprocess, sys, time
+
+cli, graph = sys.argv[1], sys.argv[2]
+env = {"UBSAN_OPTIONS": "print_stacktrace=1:halt_on_error=1",
+       "ASAN_OPTIONS": "detect_leaks=1"}
+
+
+def wall(threads):
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.monotonic()
+        subprocess.run([cli, "bfs", graph, "0",
+                        f"--host-threads={threads}"],
+                       check=True, stdout=subprocess.DEVNULL, env=env)
+        best = min(best, time.monotonic() - t0)
+    return best
+
+
+serial, parallel = wall(1), wall(4)
+ratio = parallel / serial if serial > 0 else 0.0
+print(f"perf smoke: serial {serial:.3f}s, parallel(4) {parallel:.3f}s, "
+      f"ratio {ratio:.2f}x (tolerance 4.0x)")
+if ratio > 4.0:
+    sys.exit("perf smoke FAILED: parallel wall > 4x serial "
+             "(parallel backend likely serialized or regressed)")
+EOF
 
 echo "== SageVet pre-flight (sage_cli vet, ASan/UBSan build) =="
 # Vets every registered app at the deepest level (static checks plus a
