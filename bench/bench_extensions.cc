@@ -14,9 +14,9 @@
 
 #include "apps/msbfs.h"
 #include "apps/pr_delta.h"
-#include "baselines/multi_gpu.h"
 #include "baselines/subway.h"
 #include "bench_common.h"
+#include "core/sharded_engine.h"
 #include "graph/dynamic.h"
 
 namespace sage::bench {
@@ -117,16 +117,27 @@ void MultiGpuPrSection() {
     sim::GpuDevice single(BenchSpec());
     double one = PrGteps(single, csr, core::EngineOptions());
 
-    baselines::MultiGpuOptions opts;
-    opts.spec = BenchSpec();
-    auto sage2 = baselines::MultiGpuPageRank(csr, kPrIterations, opts);
-    SAGE_CHECK(sage2.ok());
-    opts.strategy = baselines::MultiGpuStrategy::kGunrockLike;
-    auto gunrock2 = baselines::MultiGpuPageRank(csr, kPrIterations, opts);
-    SAGE_CHECK(gunrock2.ok());
-    PrintRow(graph::DatasetName(id),
-             {one, sage2->stats.GTeps(), gunrock2->stats.GTeps(),
-              sage2->comm_seconds * 1e3});
+    double sage_comm_ms = 0;
+    auto pr2 = [&](core::MultiGpuStrategy strategy, double* comm_ms) {
+      core::ShardOptions opts;
+      opts.num_shards = 2;
+      opts.strategy = strategy;
+      opts.spec = BenchSpec();
+      auto engine = core::ShardedEngine::Create(csr, opts);
+      SAGE_CHECK(engine.ok()) << engine.status().ToString();
+      apps::AppParams params;
+      params.iterations = kPrIterations;
+      auto result = (*engine)->Run("pagerank", params);
+      SAGE_CHECK(result.ok()) << result.status().ToString();
+      if (comm_ms != nullptr) *comm_ms = result->comm_seconds * 1e3;
+      double t = result->stats.seconds + result->comm_seconds;
+      return t <= 0 ? 0.0
+                    : static_cast<double>(result->stats.edges_traversed) / t /
+                          1e9;
+    };
+    double sage2 = pr2(core::MultiGpuStrategy::kSage, &sage_comm_ms);
+    double gunrock2 = pr2(core::MultiGpuStrategy::kGunrockLike, nullptr);
+    PrintRow(graph::DatasetName(id), {one, sage2, gunrock2, sage_comm_ms});
   }
 }
 

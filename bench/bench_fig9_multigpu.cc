@@ -1,29 +1,36 @@
 // Reproduces Figure 9: the multi-GPU scenario — BFS with 2 simulated GPUs.
-// Gunrock/Groute are shown with hash placement and with metis-like
-// pre-partitioning (whose cost is excluded from the speed, as the paper
-// does, but reported below the table); SAGE uses preprocessing-free hash
-// placement. A single-GPU SAGE column shows that 2 GPUs do not always win
-// (per-iteration synchronization; Section 7.2).
+// Now a thin wrapper over core::ShardedEngine (the first-class sharded
+// execution path): Gunrock/Groute are shown with hash placement and with
+// metis-like pre-partitioning (whose cost is excluded from the speed, as
+// the paper does, but reported below the table); SAGE uses
+// preprocessing-free hash placement. A single-GPU SAGE column shows that 2
+// GPUs do not always win (per-iteration synchronization; Section 7.2).
 
-#include "baselines/multi_gpu.h"
 #include "bench_common.h"
+#include "core/sharded_engine.h"
 
 namespace sage::bench {
 namespace {
 
-double MultiGteps(const graph::Csr& csr, baselines::MultiGpuStrategy strategy,
-                  baselines::PartitionScheme scheme, double* partition_cost) {
-  baselines::MultiGpuOptions opts;
-  opts.spec = BenchSpec();
-  opts.strategy = strategy;
-  opts.partition = scheme;
+double MultiGteps(const graph::Csr& csr, core::MultiGpuStrategy strategy,
+                  graph::PartitionerKind partitioner,
+                  double* partition_cost) {
+  core::ShardOptions options;
+  options.num_shards = 2;
+  options.strategy = strategy;
+  options.partitioner = partitioner;
+  options.spec = BenchSpec();
+  auto engine = core::ShardedEngine::Create(csr, options);
+  SAGE_CHECK(engine.ok()) << engine.status().ToString();
   double total_edges = 0;
   double total_seconds = 0;
   for (graph::NodeId src : PickSources(csr, kSourcesPerDataset)) {
-    auto result = baselines::MultiGpuBfs(csr, src, opts);
+    apps::AppParams params;
+    params.sources = {src};
+    auto result = (*engine)->Run("bfs", params);
     SAGE_CHECK(result.ok()) << result.status().ToString();
     total_edges += static_cast<double>(result->stats.edges_traversed);
-    total_seconds += result->stats.seconds;
+    total_seconds += result->stats.seconds + result->comm_seconds;
     *partition_cost = result->partition_seconds;
   }
   return total_seconds <= 0 ? 0 : total_edges / total_seconds / 1e9;
@@ -42,16 +49,16 @@ void Run() {
     double metis_cost = 0;
     std::vector<double> row{
         one,
-        MultiGteps(csr, baselines::MultiGpuStrategy::kGunrockLike,
-                   baselines::PartitionScheme::kHash, &unused),
-        MultiGteps(csr, baselines::MultiGpuStrategy::kGunrockLike,
-                   baselines::PartitionScheme::kMetisLike, &metis_cost),
-        MultiGteps(csr, baselines::MultiGpuStrategy::kGrouteLike,
-                   baselines::PartitionScheme::kHash, &unused),
-        MultiGteps(csr, baselines::MultiGpuStrategy::kGrouteLike,
-                   baselines::PartitionScheme::kMetisLike, &unused),
-        MultiGteps(csr, baselines::MultiGpuStrategy::kSage,
-                   baselines::PartitionScheme::kHash, &unused)};
+        MultiGteps(csr, core::MultiGpuStrategy::kGunrockLike,
+                   graph::PartitionerKind::kHash, &unused),
+        MultiGteps(csr, core::MultiGpuStrategy::kGunrockLike,
+                   graph::PartitionerKind::kMetisLike, &metis_cost),
+        MultiGteps(csr, core::MultiGpuStrategy::kGrouteLike,
+                   graph::PartitionerKind::kHash, &unused),
+        MultiGteps(csr, core::MultiGpuStrategy::kGrouteLike,
+                   graph::PartitionerKind::kMetisLike, &unused),
+        MultiGteps(csr, core::MultiGpuStrategy::kSage,
+                   graph::PartitionerKind::kHash, &unused)};
     PrintRow(graph::DatasetName(id), row);
     metis_cost_total += metis_cost;
   }

@@ -1,14 +1,15 @@
-// The multi-GPU scenario (Figure 9): BFS on two simulated GPUs with
-// owner-computes partitioning and per-level frontier exchange, comparing
-// preprocessing-free hash placement against metis-like pre-partitioning
-// and showing why two GPUs are not automatically faster (per-iteration
-// synchronization; Section 7.2).
+// The multi-GPU scenario (Figure 9): BFS on two simulated GPUs through the
+// first-class sharded API — core::ShardedEngine over a sim::DeviceGroup
+// with owner-computes partitioning and delta-compressed per-level frontier
+// exchange — comparing preprocessing-free hash placement against
+// metis-like pre-partitioning and showing why two GPUs are not
+// automatically faster (per-iteration synchronization; Section 7.2).
 
 #include <cstdio>
 
 #include "apps/bfs.h"
-#include "baselines/multi_gpu.h"
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "graph/datasets.h"
 #include "sim/gpu_device.h"
 
@@ -30,37 +31,46 @@ int main() {
     std::printf("1 GPU  SAGE               : %6.3f GTEPS\n", stats->GTeps());
   }
 
-  auto run = [&](baselines::MultiGpuStrategy strategy,
-                 baselines::PartitionScheme scheme, const char* label) {
-    baselines::MultiGpuOptions options;
-    options.num_gpus = 2;
+  auto run = [&](core::MultiGpuStrategy strategy,
+                 graph::PartitionerKind partitioner, const char* label) {
+    core::ShardOptions options;
+    options.num_shards = 2;
     options.strategy = strategy;
-    options.partition = scheme;
-    auto result = baselines::MultiGpuBfs(csr, source, options);
+    options.partitioner = partitioner;
+    auto engine = core::ShardedEngine::Create(csr, options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return;
+    }
+    apps::AppParams params;
+    params.sources = {source};
+    auto result = (*engine)->Run("bfs", params);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return;
     }
-    std::printf("2 GPUs %-19s: %6.3f GTEPS | cut %8llu edges, comm %.3f ms"
-                "%s%.2f s partitioning%s\n",
-                label, result->stats.GTeps(),
+    const bool metis = partitioner == graph::PartitionerKind::kMetisLike;
+    std::printf("2 GPUs %-19s: %6.3f GTEPS | cut %8llu edges, comm %.3f ms, "
+                "frontier %llu B (dense %llu B)%s%.2f s partitioning%s\n",
+                label,
+                result->stats.edges_traversed /
+                    ((result->stats.seconds + result->comm_seconds) * 1e9),
                 static_cast<unsigned long long>(result->edge_cut),
                 result->comm_seconds * 1e3,
-                scheme == baselines::PartitionScheme::kMetisLike ? " (+ "
-                                                                 : " (",
-                result->partition_seconds,
-                scheme == baselines::PartitionScheme::kMetisLike
-                    ? ", excluded)"
-                    : ")");
+                static_cast<unsigned long long>(
+                    result->frontier_payload_bytes),
+                static_cast<unsigned long long>(result->frontier_dense_bytes),
+                metis ? " (+ " : " (", result->partition_seconds,
+                metis ? ", excluded)" : ")");
   };
 
-  run(baselines::MultiGpuStrategy::kGunrockLike,
-      baselines::PartitionScheme::kHash, "Gunrock-like, hash");
-  run(baselines::MultiGpuStrategy::kGunrockLike,
-      baselines::PartitionScheme::kMetisLike, "Gunrock-like, metis");
-  run(baselines::MultiGpuStrategy::kGrouteLike,
-      baselines::PartitionScheme::kHash, "Groute-like, hash");
-  run(baselines::MultiGpuStrategy::kSage, baselines::PartitionScheme::kHash,
+  run(core::MultiGpuStrategy::kGunrockLike, graph::PartitionerKind::kHash,
+      "Gunrock-like, hash");
+  run(core::MultiGpuStrategy::kGunrockLike,
+      graph::PartitionerKind::kMetisLike, "Gunrock-like, metis");
+  run(core::MultiGpuStrategy::kGrouteLike, graph::PartitionerKind::kHash,
+      "Groute-like, hash");
+  run(core::MultiGpuStrategy::kSage, graph::PartitionerKind::kHash,
       "SAGE, hash");
 
   std::printf("\nSAGE needs no pre-partitioning: resident-tile stealing "

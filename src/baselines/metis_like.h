@@ -1,38 +1,35 @@
 #ifndef SAGE_BASELINES_METIS_LIKE_H_
 #define SAGE_BASELINES_METIS_LIKE_H_
 
+// Forwarding shim: the partitioners moved to graph/partitioner.h so the
+// sharded execution path (core::ShardedEngine) can depend on them without
+// pulling in the baselines library. Prefer including graph/partitioner.h
+// directly; this header only keeps the old baselines:: spellings alive.
+
 #include <cstdint>
 #include <vector>
 
-#include "graph/csr.h"
-#include "graph/types.h"
+#include "graph/partitioner.h"
 
 namespace sage::baselines {
 
-/// A graph partition: part[v] in [0, num_parts).
-struct PartitionResult {
-  std::vector<uint32_t> part;
-  uint32_t num_parts = 0;
-  uint64_t edge_cut = 0;      ///< directed edges crossing parts
-  double seconds = 0.0;       ///< preprocessing wall-clock cost
-  double balance = 0.0;       ///< max part size / ideal part size
-};
+using PartitionResult = graph::PartitionResult;
 
-/// Multilevel partitioner in the metis [22] algorithm family: heavy-edge
-/// matching coarsening, greedy region-growing bisection on the coarsest
-/// graph, and boundary gain refinement during uncoarsening; k-way by
-/// recursive bisection. Stands in for metis pre-partitioning in the
-/// multi-GPU comparison (Figure 9); its cost is reported separately and —
-/// like the paper — excluded from traversal speed.
-PartitionResult MetisLikePartition(const graph::Csr& csr, uint32_t num_parts,
-                                   uint64_t seed = 1);
+inline PartitionResult MetisLikePartition(const graph::Csr& csr,
+                                          uint32_t num_parts,
+                                          uint64_t seed = 1) {
+  return graph::MetisLikePartition(csr, num_parts, seed);
+}
 
-/// Preprocessing-free baseline placement: part[v] = v mod num_parts.
-PartitionResult HashPartition(const graph::Csr& csr, uint32_t num_parts);
+inline PartitionResult HashPartition(const graph::Csr& csr,
+                                     uint32_t num_parts) {
+  return graph::HashPartition(csr, num_parts);
+}
 
-/// Recomputes the directed edge cut of a partition (also used by tests).
-uint64_t ComputeEdgeCut(const graph::Csr& csr,
-                        const std::vector<uint32_t>& part);
+inline uint64_t ComputeEdgeCut(const graph::Csr& csr,
+                               const std::vector<uint32_t>& part) {
+  return graph::ComputeEdgeCut(csr, part);
+}
 
 }  // namespace sage::baselines
 

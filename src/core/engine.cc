@@ -589,7 +589,16 @@ util::StatusOr<RunStats> Engine::RunOneIteration(
   std::vector<NodeId> frontier(frontier_internal.begin(),
                                frontier_internal.end());
   std::vector<NodeId> local_next;
+  sim::FaultInjector* injector = device_->fault_injector();
+  if (injector != nullptr) injector->SetIteration(one_iteration_seq_);
   RunStats stats = ExpandIteration(frontier, &local_next);
+  if (injector != nullptr) {
+    // Same contract as Run: kernel-raised faults (transient failures,
+    // injected OOMs) surface at the iteration boundary.
+    util::Status fault = injector->TakePendingFault();
+    if (!fault.ok()) return DecorateFault(fault, one_iteration_seq_);
+  }
+  ++one_iteration_seq_;
   MaybeApplyReordering(&local_next, &stats);
   if (next != nullptr) *next = std::move(local_next);
   PublishHostPerfMetrics();

@@ -179,8 +179,11 @@ class Engine {
   const RunGuard& run_guard() const { return guard_; }
 
   /// Runs exactly one iteration over an explicit internal-id frontier
-  /// (used by level-driven algorithms like BC's backward phase). The next
-  /// frontier produced by the filter is returned through next (optional).
+  /// (used by level-driven algorithms like BC's backward phase and by
+  /// ShardedEngine's per-level shard steps). Kernel-raised faults surface
+  /// here exactly as in Run, so SageGuard injection works per device
+  /// inside a group. The next frontier produced by the filter is returned
+  /// through next (optional).
   util::StatusOr<RunStats> RunOneIteration(
       std::span<const graph::NodeId> frontier_internal,
       std::vector<graph::NodeId>* next);
@@ -260,6 +263,8 @@ class Engine {
                                    uint32_t max_iterations, bool global);
   /// Cancellation/deadline check at an iteration boundary.
   util::Status CheckGuard(const RunStats& total, uint32_t iteration) const;
+  /// Iteration counter across RunOneIteration calls (fault attribution).
+  uint32_t one_iteration_seq_ = 0;
   /// Saves a checkpoint if the guard asks for one at this boundary.
   void MaybeCheckpoint(uint32_t iterations_completed,
                        const std::vector<graph::NodeId>& frontier,

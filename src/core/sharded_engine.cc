@@ -1,0 +1,870 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "apps/bfs.h"
+#include "apps/msbfs.h"
+#include "apps/pagerank.h"
+#include "graph/coo.h"
+#include "util/bitmap.h"
+#include "util/logging.h"
+
+namespace sage::core {
+
+using graph::Csr;
+using graph::NodeId;
+
+namespace {
+
+// The registry's FNV-1a construction (apps/registry.cc), re-implemented so
+// sharded digests are byte-compatible with apps::OutputDigest without a
+// layering dependency on the registry's internals.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+template <typename T>
+uint64_t HashValue(const T& v, uint64_t h) {
+  return HashBytes(&v, sizeof(v), h);
+}
+
+// Induced per-shard sub-CSR: full node-id space, but only the adjacency of
+// nodes owned by `shard` (targets keep global ids). With sampling_reorder
+// off — Validate enforces it — every shard engine's internal ids equal the
+// original ids, so frontiers and program accessors use global ids
+// throughout.
+Csr OwnedSubgraph(const Csr& csr, const std::vector<uint32_t>& part,
+                  uint32_t shard) {
+  graph::Coo coo;
+  coo.num_nodes = csr.num_nodes();
+  for (NodeId u = 0; u < csr.num_nodes(); ++u) {
+    if (part[u] != shard) continue;
+    for (NodeId v : csr.Neighbors(u)) {
+      coo.u.push_back(u);
+      coo.v.push_back(v);
+    }
+  }
+  return Csr::FromCoo(coo);
+}
+
+EngineOptions EngineOptionsForShard(const ShardOptions& options) {
+  EngineOptions opts = options.engine_options;
+  // The shard-level pool is the host parallelism; each shard engine runs
+  // serially so per-shard results are schedule-invariant.
+  opts.host_threads = 1;
+  switch (options.strategy) {
+    case MultiGpuStrategy::kSage:
+      break;  // full SAGE defaults
+    case MultiGpuStrategy::kGunrockLike:
+    case MultiGpuStrategy::kGrouteLike:
+      opts.strategy = ExpandStrategy::kWarpCentric;
+      opts.tiled_partitioning = false;
+      opts.resident_tiles = false;
+      break;
+  }
+  return opts;
+}
+
+/// One delta-compressed bitmap word on the wire: a 32-bit word index plus
+/// the 64-bit word itself.
+constexpr uint64_t kWordMessageBytes = sizeof(uint32_t) + sizeof(uint64_t);
+/// A PageRank contribution on the wire: target node id + increment.
+constexpr uint64_t kRankMessageBytes = sizeof(NodeId) + sizeof(double);
+
+}  // namespace
+
+namespace shard_internal {
+
+/// Per-shard MS-BFS program with the solo program's strict
+/// level-synchronous semantics (apps/msbfs.cc): a bit is pushed only if
+/// the frontier node held it at the start of the level, so the level at
+/// which a node gains bit i is its true BFS distance from source i — the
+/// property that makes sharded masks and distances bit-identical to solo
+/// runs. Discoveries owned by other shards additionally land in an outbox
+/// the driver drains after every level.
+class MsBfsShardProgram final : public FilterProgram {
+ public:
+  static constexpr uint32_t kUnreached =
+      apps::MultiSourceBfsProgram::kUnreached;
+
+  MsBfsShardProgram(uint32_t shard, const std::vector<uint32_t>* part)
+      : shard_(shard), part_(part) {}
+
+  void Bind(Engine* engine) override {
+    if (engine_ == engine) return;
+    engine_ = engine;
+    n_ = engine->csr().num_nodes();
+    mask_.assign(n_, 0);
+    mask_buf_ = engine->RegisterAttribute("shard.msbfs.mask",
+                                          sizeof(uint64_t));
+    dist_buf_ = engine->RegisterAttribute("shard.msbfs.dist",
+                                          sizeof(uint32_t));
+    footprint_ = Footprint();
+    footprint_.neighbor_reads = {&mask_buf_};
+    footprint_.neighbor_writes = {&mask_buf_, &dist_buf_};
+    footprint_.frontier_reads = {&mask_buf_, &dist_buf_};
+    footprint_.atomic_neighbor = true;  // atomicOr on the mask
+  }
+
+  void Reset(uint32_t num_sources) {
+    level_ = 0;
+    std::fill(mask_.begin(), mask_.end(), 0);
+    dist_.assign(static_cast<size_t>(num_sources) * n_, kUnreached);
+    outbox_.clear();
+  }
+
+  void Seed(NodeId v, uint32_t instance) {
+    mask_[v] |= 1ull << instance;
+    dist_[static_cast<size_t>(instance) * n_ + v] = 0;
+  }
+
+  /// The driver owns level numbering (BeginIteration is a no-op because
+  /// RunOneIteration's internal counter restarts per call).
+  void set_level(uint32_t level) { level_ = level; }
+  void BeginIteration(uint32_t iteration) override { (void)iteration; }
+
+  bool Filter(NodeId frontier, NodeId neighbor) override {
+    uint64_t missing = mask_[frontier] & ~mask_[neighbor];
+    if (missing == 0) return false;
+    uint64_t held = 0;
+    util::ForEachSetBit(missing, [&](uint32_t i) {
+      if (dist_[static_cast<size_t>(i) * n_ + frontier] <= level_) {
+        held |= 1ull << i;
+      }
+    });
+    if (held == 0) return false;
+    mask_[neighbor] |= held;  // atomicOr
+    util::ForEachSetBit(held, [&](uint32_t i) {
+      dist_[static_cast<size_t>(i) * n_ + neighbor] = level_ + 1;
+    });
+    if ((*part_)[neighbor] != shard_) outbox_.emplace_back(neighbor, held);
+    return true;
+  }
+
+  /// Applies remotely discovered bits at the owner; returns the subset
+  /// that was actually new (already-held bits were discovered locally or
+  /// by an earlier sender and keep their distances).
+  uint64_t Inject(NodeId v, uint64_t bits, uint32_t arrival_level) {
+    uint64_t fresh = bits & ~mask_[v];
+    if (fresh == 0) return 0;
+    mask_[v] |= fresh;
+    util::ForEachSetBit(fresh, [&](uint32_t i) {
+      dist_[static_cast<size_t>(i) * n_ + v] = arrival_level;
+    });
+    return fresh;
+  }
+
+  uint64_t mask(NodeId v) const { return mask_[v]; }
+  uint32_t dist(uint32_t instance, NodeId v) const {
+    return dist_[static_cast<size_t>(instance) * n_ + v];
+  }
+  std::vector<std::pair<NodeId, uint64_t>>& outbox() { return outbox_; }
+
+  const Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "shard-msbfs"; }
+
+ private:
+  uint32_t shard_;
+  const std::vector<uint32_t>* part_;
+  Engine* engine_ = nullptr;
+  size_t n_ = 0;
+  std::vector<uint64_t> mask_;
+  std::vector<uint32_t> dist_;  // row-major [instance][node]
+  std::vector<std::pair<NodeId, uint64_t>> outbox_;
+  sim::Buffer mask_buf_;
+  sim::Buffer dist_buf_;
+  Footprint footprint_;
+  uint32_t level_ = 0;
+};
+
+/// Per-shard PageRank program. Unlike the solo PageRankProgram it applies
+/// nothing in Filter: every contribution is recorded as (source, target,
+/// increment) and the driver applies the union of all shards' records in
+/// canonical ascending-(source, target) order. Floating-point addition is
+/// not associative, so this single canonical order is what makes ranks
+/// bit-identical across shard counts, partitioners, and host threads.
+class PrShardProgram final : public FilterProgram {
+ public:
+  struct Contribution {
+    NodeId u;
+    NodeId v;
+    double inc;
+  };
+
+  void Bind(Engine* engine) override {
+    if (engine_ == engine) return;
+    engine_ = engine;
+    in_buf_ = engine->RegisterAttribute("shard.pr.in", sizeof(double));
+    out_buf_ = engine->RegisterAttribute("shard.pr.out", sizeof(double));
+    outdeg_buf_ = engine->RegisterAttribute("shard.pr.outdeg",
+                                            sizeof(uint32_t));
+    footprint_ = Footprint();
+    footprint_.frontier_reads = {&in_buf_, &outdeg_buf_};
+    footprint_.neighbor_writes = {&out_buf_};
+    footprint_.atomic_neighbor = true;
+  }
+
+  void Configure(const std::vector<double>* pr_in,
+                 const std::vector<uint32_t>* outdeg) {
+    pr_in_ = pr_in;
+    outdeg_ = outdeg;
+    outbox_.clear();
+  }
+
+  bool Filter(NodeId frontier, NodeId neighbor) override {
+    // Exact solo arithmetic (apps/pagerank.cc): multiply, then divide.
+    double increment = (*pr_in_)[frontier] * apps::PageRankProgram::kDamping;
+    increment /= static_cast<double>((*outdeg_)[frontier]);
+    outbox_.push_back({frontier, neighbor, increment});
+    return false;  // global traversal: the driver supplies every frontier
+  }
+
+  std::vector<Contribution>& outbox() { return outbox_; }
+
+  const Footprint& footprint() const override { return footprint_; }
+  const char* name() const override { return "shard-pagerank"; }
+
+ private:
+  Engine* engine_ = nullptr;
+  const std::vector<double>* pr_in_ = nullptr;
+  const std::vector<uint32_t>* outdeg_ = nullptr;
+  std::vector<Contribution> outbox_;
+  sim::Buffer in_buf_;
+  sim::Buffer out_buf_;
+  sim::Buffer outdeg_buf_;
+  Footprint footprint_;
+};
+
+}  // namespace shard_internal
+
+struct ShardedEngine::BfsState {
+  std::vector<std::unique_ptr<apps::BfsProgram>> programs;
+};
+
+struct ShardedEngine::MsBfsState {
+  std::vector<std::unique_ptr<shard_internal::MsBfsShardProgram>> programs;
+  uint32_t num_sources = 0;
+};
+
+struct ShardedEngine::PrState {
+  std::vector<std::unique_ptr<shard_internal::PrShardProgram>> programs;
+  std::vector<double> pr_in;
+  std::vector<double> pr_out;
+  std::vector<uint32_t> outdeg;
+};
+
+const char* MultiGpuStrategyName(MultiGpuStrategy strategy) {
+  switch (strategy) {
+    case MultiGpuStrategy::kSage:
+      return "sage";
+    case MultiGpuStrategy::kGunrockLike:
+      return "gunrock";
+    case MultiGpuStrategy::kGrouteLike:
+      return "groute";
+  }
+  return "unknown";
+}
+
+bool ParseMultiGpuStrategy(const std::string& text, MultiGpuStrategy* out) {
+  if (text == "sage") {
+    *out = MultiGpuStrategy::kSage;
+  } else if (text == "gunrock" || text == "gunrock-like") {
+    *out = MultiGpuStrategy::kGunrockLike;
+  } else if (text == "groute" || text == "groute-like") {
+    *out = MultiGpuStrategy::kGrouteLike;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+util::Status ShardOptions::Validate() const {
+  if (num_shards == 0) {
+    return util::Status::InvalidArgument("num_shards must be positive");
+  }
+  SAGE_RETURN_IF_ERROR(engine_options.Validate());
+  if (engine_options.sampling_reorder) {
+    return util::Status::InvalidArgument(
+        "sampling_reorder renumbers nodes inside a shard; the sharded "
+        "frontier exchange requires stable original ids");
+  }
+  if (engine_options.udt_split_degree > 0) {
+    return util::Status::InvalidArgument(
+        "udt_split_degree > 0 introduces virtual nodes that the sharded "
+        "exchange cannot address; run UDT on a solo engine instead");
+  }
+  if (partitioner == graph::PartitionerKind::kMetisLike &&
+      (num_shards & (num_shards - 1)) != 0) {
+    return util::Status::InvalidArgument(
+        "the metis-like partitioner requires a power-of-two num_shards; "
+        "use the hash or range partitioner for other shard counts");
+  }
+  return util::Status::OK();
+}
+
+ShardedEngine::ShardedEngine(const Csr& csr, const ShardOptions& options,
+                             graph::PartitionResult partition)
+    : csr_(csr), options_(options), partition_(std::move(partition)) {
+  group_ = std::make_unique<sim::DeviceGroup>(options_.spec,
+                                              options_.num_shards);
+  uint32_t workers =
+      options_.host_threads == 0 ? options_.num_shards : options_.host_threads;
+  pool_ = std::make_unique<util::ThreadPool>(workers - 1);
+  m_payload_bytes_ = metrics_.counter("shard.frontier_bytes_exchanged");
+  m_dense_bytes_ = metrics_.counter("shard.frontier_bytes_dense");
+  m_wire_bytes_ = metrics_.counter("shard.frontier_bytes_wire");
+  m_messages_ = metrics_.counter("shard.messages");
+  m_levels_ = metrics_.counter("shard.levels");
+  m_link_us_ = metrics_.gauge("shard.link_us");
+  m_imbalance_ = metrics_.gauge("shard.imbalance");
+  for (uint32_t g = 0; g < options_.num_shards; ++g) {
+    m_shard_edges_.push_back(
+        metrics_.counter("shard.edges." + std::to_string(g)));
+  }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+util::Status ShardedEngine::BuildShards() {
+  EngineOptions opts = EngineOptionsForShard(options_);
+  for (uint32_t g = 0; g < options_.num_shards; ++g) {
+    auto engine_or = Engine::Create(
+        group_->device(g), OwnedSubgraph(csr_, partition_.part, g), opts);
+    SAGE_RETURN_IF_ERROR(engine_or.status());
+    engines_.push_back(std::move(*engine_or));
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<std::unique_ptr<ShardedEngine>> ShardedEngine::Create(
+    const Csr& csr, const ShardOptions& options) {
+  SAGE_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<graph::Partitioner> partitioner =
+      graph::MakePartitioner(options.partitioner, options.partition_seed);
+  auto partition_or = partitioner->Partition(csr, options.num_shards);
+  SAGE_RETURN_IF_ERROR(partition_or.status());
+  std::unique_ptr<ShardedEngine> engine(
+      new ShardedEngine(csr, options, std::move(*partition_or)));
+  SAGE_RETURN_IF_ERROR(engine->BuildShards());
+  return engine;
+}
+
+template <typename Fn>
+util::Status ShardedEngine::ForEachShard(Fn&& fn) {
+  const uint32_t shards = options_.num_shards;
+  std::vector<util::Status> slots(shards);
+  pool_->ParallelFor(shards, [&](uint32_t worker, size_t g) {
+    (void)worker;
+    slots[g] = fn(static_cast<uint32_t>(g));
+  });
+  // Surface errors in shard order so the reported failure is deterministic
+  // regardless of which worker hit it first.
+  for (uint32_t g = 0; g < shards; ++g) {
+    if (!slots[g].ok()) return slots[g];
+  }
+  return util::Status::OK();
+}
+
+void ShardedEngine::AccountExchange(uint64_t payload_bytes,
+                                    uint64_t dense_bytes,
+                                    uint64_t message_count,
+                                    double compute_seconds,
+                                    double* prev_compute,
+                                    ShardedRunStats* out) {
+  sim::LinkModel::Transfer transfer = group_->Exchange(payload_bytes);
+  double comm = group_->SecondsFor(transfer);
+  double iter_seconds =
+      options_.strategy == MultiGpuStrategy::kGrouteLike
+          // Groute-style async overlap: half of the previous level's
+          // compute hides link time.
+          ? compute_seconds + std::max(0.0, comm - 0.5 * *prev_compute)
+          : compute_seconds + comm;
+  *prev_compute = compute_seconds;
+  out->stats.seconds += iter_seconds;
+  out->comm_seconds += comm;
+  out->frontier_payload_bytes += transfer.payload_bytes;
+  out->frontier_wire_bytes += transfer.wire_bytes;
+  out->frontier_dense_bytes += dense_bytes;
+  out->messages += message_count;
+  m_payload_bytes_->Add(transfer.payload_bytes);
+  m_dense_bytes_->Add(dense_bytes);
+  m_wire_bytes_->Add(transfer.wire_bytes);
+  m_messages_->Add(message_count);
+  m_levels_->Add(1);
+  m_link_us_->Add(comm * 1e6);
+}
+
+namespace {
+
+/// Publishes max-over-mean per-shard compute imbalance (1.0 = perfectly
+/// even; empty shards drag the mean down, which is the point).
+void PublishImbalance(const std::vector<double>& busy_seconds,
+                      util::Gauge* gauge) {
+  if (busy_seconds.empty()) return;
+  double total = 0.0;
+  double max_busy = 0.0;
+  for (double s : busy_seconds) {
+    total += s;
+    max_busy = std::max(max_busy, s);
+  }
+  double mean = total / static_cast<double>(busy_seconds.size());
+  gauge->Set(mean > 0.0 ? max_busy / mean : 1.0);
+}
+
+}  // namespace
+
+util::StatusOr<ShardedRunStats> ShardedEngine::Run(
+    const std::string& app, const apps::AppParams& params) {
+  last_app_ = LastApp::kNone;
+  if (app == "bfs") return RunBfs(params);
+  if (app == "msbfs" || app == "multi-source-bfs") return RunMsBfs(params);
+  if (app == "pagerank") return RunPageRank(params);
+  return util::Status::NotFound(
+      "app not supported by the sharded engine (bfs, msbfs, pagerank): " +
+      app);
+}
+
+util::StatusOr<ShardedRunStats> ShardedEngine::RunBfs(
+    const apps::AppParams& params) {
+  const NodeId n = csr_.num_nodes();
+  const uint32_t shards = options_.num_shards;
+  if (params.sources.size() != 1) {
+    return util::Status::InvalidArgument("bfs takes exactly one source");
+  }
+  const NodeId source = params.sources[0];
+  if (source >= n) {
+    return util::Status::InvalidArgument("bfs source out of range");
+  }
+
+  // Bind fresh programs BEFORE releasing the previous run's state: with
+  // the old programs still alive the new allocations cannot reuse their
+  // addresses, so Engine::Bind's warm-rebind shortcut (pointer equality)
+  // can never mistake an unbound fresh program for the bound old one.
+  auto fresh_bfs = std::make_unique<BfsState>();
+  for (uint32_t g = 0; g < shards; ++g) {
+    fresh_bfs->programs.push_back(std::make_unique<apps::BfsProgram>());
+    SAGE_RETURN_IF_ERROR(engines_[g]->Bind(fresh_bfs->programs[g].get()));
+  }
+  bfs_ = std::move(fresh_bfs);
+  auto& programs = bfs_->programs;
+  programs[partition_.part[source]]->SetSource(source);
+
+  std::vector<std::vector<NodeId>> frontiers(shards);
+  std::vector<std::vector<NodeId>> nexts(shards);
+  std::vector<RunStats> level_stats(shards);
+  std::vector<double> busy_seconds(shards, 0.0);
+  frontiers[partition_.part[source]].push_back(source);
+
+  ShardedRunStats out;
+  out.partition_seconds = partition_.seconds;
+  out.edge_cut = partition_.edge_cut;
+
+  // Per-source-shard delta bitmap of foreign discoveries, reused across
+  // levels; dest_words tracks which destination shards a word reaches.
+  util::Bitmap delta(n);
+  std::vector<uint8_t> dest_seen(shards);
+  const uint64_t dense_per_pair = util::Bitmap::NumWords(n) * sizeof(uint64_t);
+
+  uint32_t level = 0;
+  double prev_compute = 0.0;
+  while (true) {
+    bool any = false;
+    for (const auto& f : frontiers) any |= !f.empty();
+    if (!any) break;
+    ++level;
+
+    for (uint32_t g = 0; g < shards; ++g) {
+      nexts[g].clear();
+      level_stats[g] = RunStats();
+    }
+    SAGE_RETURN_IF_ERROR(ForEachShard([&](uint32_t g) -> util::Status {
+      if (frontiers[g].empty()) return util::Status::OK();
+      auto stats_or = engines_[g]->RunOneIteration(frontiers[g], &nexts[g]);
+      if (!stats_or.ok()) return stats_or.status();
+      level_stats[g] = *stats_or;
+      return util::Status::OK();
+    }));
+
+    double compute_seconds = 0.0;
+    for (uint32_t g = 0; g < shards; ++g) {
+      compute_seconds = std::max(compute_seconds, level_stats[g].seconds);
+      busy_seconds[g] += level_stats[g].seconds;
+      out.stats.edges_traversed += level_stats[g].edges_traversed;
+      out.stats.frontier_nodes += frontiers[g].size();
+      m_shard_edges_[g]->Add(level_stats[g].edges_traversed);
+    }
+
+    // Exchange: owned discoveries stay, foreign ones travel per
+    // destination shard in whichever encoding is cheapest this level —
+    // the self-adaptive part of the protocol. A sparse frontier ships raw
+    // node ids, a clustered one ships delta bitmap words, and a dense one
+    // falls back to the full per-pair bitmap (the encoding can never cost
+    // more than the dense baseline it is measured against).
+    uint64_t payload = 0;
+    uint64_t messages = 0;
+    std::vector<std::vector<NodeId>> next_frontiers(shards);
+    std::vector<uint64_t> pair_words(shards);
+    std::vector<uint64_t> pair_nodes(shards);
+    for (uint32_t g = 0; g < shards; ++g) {
+      for (NodeId v : nexts[g]) {
+        if (partition_.part[v] == g) {
+          next_frontiers[g].push_back(v);
+        } else {
+          delta.Set(v);
+        }
+      }
+      std::fill(pair_words.begin(), pair_words.end(), 0u);
+      std::fill(pair_nodes.begin(), pair_nodes.end(), 0u);
+      const uint64_t* words = delta.words();
+      for (size_t wi = 0; wi < delta.num_words(); ++wi) {
+        if (words[wi] == 0) continue;
+        std::fill(dest_seen.begin(), dest_seen.end(), 0);
+        util::ForEachSetBit(words[wi], [&](uint32_t bit) {
+          NodeId v = static_cast<NodeId>((wi << 6) + bit);
+          uint32_t owner = partition_.part[v];
+          if (dest_seen[owner] == 0) {
+            dest_seen[owner] = 1;
+            ++pair_words[owner];
+          }
+          ++pair_nodes[owner];
+          ++messages;
+          // BFS levels are unique: whoever injects first writes the same
+          // distance, so the arrival order cannot change the output.
+          if (programs[owner]->DistanceOf(v) == apps::BfsProgram::kUnreached) {
+            programs[owner]->SetDistance(v, level);
+            next_frontiers[owner].push_back(v);
+          }
+        });
+      }
+      for (uint32_t dest = 0; dest < shards; ++dest) {
+        if (pair_nodes[dest] == 0) continue;
+        payload += std::min({pair_nodes[dest] * sizeof(NodeId),
+                             pair_words[dest] * kWordMessageBytes,
+                             dense_per_pair});
+      }
+      delta.ClearAll();
+    }
+    uint64_t dense = shards > 1 ? static_cast<uint64_t>(shards) *
+                                      (shards - 1) * dense_per_pair
+                                : 0;
+    AccountExchange(payload, dense, messages, compute_seconds, &prev_compute,
+                    &out);
+    frontiers.swap(next_frontiers);
+    ++out.stats.iterations;
+  }
+
+  PublishImbalance(busy_seconds, m_imbalance_);
+  last_app_ = LastApp::kBfs;
+  return out;
+}
+
+util::StatusOr<ShardedRunStats> ShardedEngine::RunMsBfs(
+    const apps::AppParams& params) {
+  const NodeId n = csr_.num_nodes();
+  const uint32_t shards = options_.num_shards;
+  const size_t num_sources = params.sources.size();
+  if (num_sources == 0 ||
+      num_sources > apps::MultiSourceBfsProgram::kMaxSources) {
+    return util::Status::InvalidArgument("msbfs takes 1..64 sources");
+  }
+  for (NodeId s : params.sources) {
+    if (s >= n) {
+      return util::Status::InvalidArgument("msbfs source out of range");
+    }
+  }
+
+  // Fresh programs bind while the old state is alive (see RunBfs).
+  auto fresh_msbfs = std::make_unique<MsBfsState>();
+  fresh_msbfs->num_sources = static_cast<uint32_t>(num_sources);
+  for (uint32_t g = 0; g < shards; ++g) {
+    fresh_msbfs->programs.push_back(
+        std::make_unique<shard_internal::MsBfsShardProgram>(
+            g, &partition_.part));
+    SAGE_RETURN_IF_ERROR(engines_[g]->Bind(fresh_msbfs->programs[g].get()));
+    fresh_msbfs->programs[g]->Reset(fresh_msbfs->num_sources);
+  }
+  msbfs_ = std::move(fresh_msbfs);
+  auto& programs = msbfs_->programs;
+
+  std::vector<std::vector<NodeId>> frontiers(shards);
+  std::vector<std::vector<NodeId>> nexts(shards);
+  std::vector<RunStats> level_stats(shards);
+  std::vector<double> busy_seconds(shards, 0.0);
+  std::vector<util::Bitmap> in_frontier(shards);
+  for (auto& bm : in_frontier) bm.Resize(n);
+  for (size_t i = 0; i < num_sources; ++i) {
+    NodeId s = params.sources[i];
+    uint32_t owner = partition_.part[s];
+    programs[owner]->Seed(s, static_cast<uint32_t>(i));
+    if (!in_frontier[owner].TestAndSet(s)) frontiers[owner].push_back(s);
+  }
+
+  ShardedRunStats out;
+  out.partition_seconds = partition_.seconds;
+  out.edge_cut = partition_.edge_cut;
+
+  uint32_t level = 0;
+  double prev_compute = 0.0;
+  while (true) {
+    bool any = false;
+    for (const auto& f : frontiers) any |= !f.empty();
+    if (!any) break;
+
+    for (uint32_t g = 0; g < shards; ++g) {
+      nexts[g].clear();
+      level_stats[g] = RunStats();
+      programs[g]->set_level(level);
+      in_frontier[g].ClearAll();
+    }
+    SAGE_RETURN_IF_ERROR(ForEachShard([&](uint32_t g) -> util::Status {
+      if (frontiers[g].empty()) return util::Status::OK();
+      auto stats_or = engines_[g]->RunOneIteration(frontiers[g], &nexts[g]);
+      if (!stats_or.ok()) return stats_or.status();
+      level_stats[g] = *stats_or;
+      return util::Status::OK();
+    }));
+
+    double compute_seconds = 0.0;
+    for (uint32_t g = 0; g < shards; ++g) {
+      compute_seconds = std::max(compute_seconds, level_stats[g].seconds);
+      busy_seconds[g] += level_stats[g].seconds;
+      out.stats.edges_traversed += level_stats[g].edges_traversed;
+      out.stats.frontier_nodes += frontiers[g].size();
+      m_shard_edges_[g]->Add(level_stats[g].edges_traversed);
+    }
+
+    // Locally owned gains re-enter their shard's frontier (deduped: a node
+    // can gain bits from several frontier neighbors in one level).
+    std::vector<std::vector<NodeId>> next_frontiers(shards);
+    for (uint32_t g = 0; g < shards; ++g) {
+      for (NodeId v : nexts[g]) {
+        if (partition_.part[v] != g) continue;  // travels via the outbox
+        if (!in_frontier[g].TestAndSet(v)) next_frontiers[g].push_back(v);
+      }
+    }
+
+    // Exchange: merged (node -> new bits) records per source shard. The
+    // encoding adapts per destination exactly as for BFS: delta bitmap
+    // words plus one 64-bit instance mask per discovered node when the
+    // frontier clusters, raw (node id, mask) pairs when it is sparse, and
+    // the dense per-pair mask array as the ceiling.
+    uint64_t payload = 0;
+    uint64_t messages = 0;
+    const uint64_t dense_masks_per_pair =
+        static_cast<uint64_t>(n) * sizeof(uint64_t);
+    std::vector<uint64_t> pair_delta(shards);
+    std::vector<uint64_t> pair_nodes(shards);
+    for (uint32_t g = 0; g < shards; ++g) {
+      auto& outbox = programs[g]->outbox();
+      if (outbox.empty()) continue;
+      std::sort(outbox.begin(), outbox.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::vector<uint64_t> last_word(shards, ~uint64_t{0});
+      std::fill(pair_delta.begin(), pair_delta.end(), 0u);
+      std::fill(pair_nodes.begin(), pair_nodes.end(), 0u);
+      NodeId prev_node = graph::kInvalidNode;
+      for (auto& [v, bits] : outbox) {
+        uint32_t owner = partition_.part[v];
+        uint64_t word = v >> 6;
+        if (v != prev_node) {
+          if (last_word[owner] != word) {
+            pair_delta[owner] += kWordMessageBytes;
+            last_word[owner] = word;
+          }
+          pair_delta[owner] += sizeof(uint64_t);  // the node's instance mask
+          ++pair_nodes[owner];
+          ++messages;
+          prev_node = v;
+        }
+        uint64_t fresh = programs[owner]->Inject(v, bits, level + 1);
+        if (fresh != 0 && !in_frontier[owner].TestAndSet(v)) {
+          next_frontiers[owner].push_back(v);
+        }
+      }
+      for (uint32_t dest = 0; dest < shards; ++dest) {
+        if (pair_nodes[dest] == 0) continue;
+        payload += std::min(
+            {pair_delta[dest],
+             pair_nodes[dest] * (sizeof(NodeId) + sizeof(uint64_t)),
+             dense_masks_per_pair});
+      }
+      outbox.clear();
+    }
+    uint64_t dense = shards > 1
+                         ? static_cast<uint64_t>(shards) * (shards - 1) *
+                               static_cast<uint64_t>(n) * sizeof(uint64_t)
+                         : 0;
+    AccountExchange(payload, dense, messages, compute_seconds, &prev_compute,
+                    &out);
+    frontiers.swap(next_frontiers);
+    ++out.stats.iterations;
+    ++level;
+  }
+
+  PublishImbalance(busy_seconds, m_imbalance_);
+  last_app_ = LastApp::kMsBfs;
+  return out;
+}
+
+util::StatusOr<ShardedRunStats> ShardedEngine::RunPageRank(
+    const apps::AppParams& params) {
+  const NodeId n = csr_.num_nodes();
+  const uint32_t shards = options_.num_shards;
+
+  // Fresh programs bind while the old state is alive (see RunBfs).
+  auto fresh_pr = std::make_unique<PrState>();
+  fresh_pr->pr_in.assign(n, 1.0 / std::max<size_t>(n, 1));
+  fresh_pr->pr_out.assign(n, 0.0);
+  fresh_pr->outdeg.resize(n);
+  for (NodeId v = 0; v < n; ++v) fresh_pr->outdeg[v] = csr_.OutDegree(v);
+  std::vector<std::vector<NodeId>> owned(shards);
+  for (NodeId v = 0; v < n; ++v) owned[partition_.part[v]].push_back(v);
+  for (uint32_t g = 0; g < shards; ++g) {
+    fresh_pr->programs.push_back(
+        std::make_unique<shard_internal::PrShardProgram>());
+    SAGE_RETURN_IF_ERROR(engines_[g]->Bind(fresh_pr->programs[g].get()));
+    fresh_pr->programs[g]->Configure(&fresh_pr->pr_in, &fresh_pr->outdeg);
+  }
+  pr_ = std::move(fresh_pr);
+  auto& programs = pr_->programs;
+
+  ShardedRunStats out;
+  out.partition_seconds = partition_.seconds;
+  out.edge_cut = partition_.edge_cut;
+
+  std::vector<RunStats> level_stats(shards);
+  std::vector<double> busy_seconds(shards, 0.0);
+  std::vector<shard_internal::PrShardProgram::Contribution> all;
+  const double base = (1.0 - apps::PageRankProgram::kDamping) /
+                      std::max<size_t>(n, 1);
+  double prev_compute = 0.0;
+  for (uint32_t iter = 0; iter < params.iterations; ++iter) {
+    for (uint32_t g = 0; g < shards; ++g) level_stats[g] = RunStats();
+    SAGE_RETURN_IF_ERROR(ForEachShard([&](uint32_t g) -> util::Status {
+      if (owned[g].empty()) return util::Status::OK();
+      auto stats_or = engines_[g]->RunOneIteration(owned[g], nullptr);
+      if (!stats_or.ok()) return stats_or.status();
+      level_stats[g] = *stats_or;
+      return util::Status::OK();
+    }));
+
+    double compute_seconds = 0.0;
+    for (uint32_t g = 0; g < shards; ++g) {
+      compute_seconds = std::max(compute_seconds, level_stats[g].seconds);
+      busy_seconds[g] += level_stats[g].seconds;
+      out.stats.edges_traversed += level_stats[g].edges_traversed;
+      out.stats.frontier_nodes += owned[g].size();
+      m_shard_edges_[g]->Add(level_stats[g].edges_traversed);
+    }
+
+    // Canonical fold: every contribution — local and remote alike — is
+    // applied in ascending (source, target) order. Each source is owned by
+    // exactly one shard and its increment is a pure function of the
+    // previous iteration's rank vector, so the contribution multiset is
+    // identical for every K / partitioner / thread count, and therefore so
+    // is the floating-point summation order. Only the cross-shard subset
+    // is charged to the link.
+    uint64_t foreign = 0;
+    all.clear();
+    for (uint32_t g = 0; g < shards; ++g) {
+      auto& outbox = programs[g]->outbox();
+      for (const auto& c : outbox) {
+        if (partition_.part[c.v] != g) ++foreign;
+        all.push_back(c);
+      }
+      outbox.clear();
+    }
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      return a.u != b.u ? a.u < b.u : a.v < b.v;
+    });
+    for (const auto& c : all) pr_->pr_out[c.v] += c.inc;
+
+    uint64_t dense = shards > 1
+                         ? static_cast<uint64_t>(shards) * (shards - 1) *
+                               static_cast<uint64_t>(n) * sizeof(double)
+                         : 0;
+    AccountExchange(foreign * kRankMessageBytes, dense, foreign,
+                    compute_seconds, &prev_compute, &out);
+
+    for (NodeId v = 0; v < n; ++v) {
+      pr_->pr_in[v] = base + pr_->pr_out[v];
+      pr_->pr_out[v] = 0.0;
+    }
+    ++out.stats.iterations;
+  }
+
+  PublishImbalance(busy_seconds, m_imbalance_);
+  last_app_ = LastApp::kPageRank;
+  return out;
+}
+
+uint32_t ShardedEngine::DistanceOf(NodeId v) const {
+  SAGE_CHECK(last_app_ == LastApp::kBfs) << "DistanceOf: last run was not bfs";
+  return bfs_->programs[partition_.part[v]]->DistanceOf(v);
+}
+
+double ShardedEngine::RankOf(NodeId v) const {
+  SAGE_CHECK(last_app_ == LastApp::kPageRank)
+      << "RankOf: last run was not pagerank";
+  return pr_->pr_in[v];
+}
+
+bool ShardedEngine::Reached(uint32_t source_index, NodeId v) const {
+  SAGE_CHECK(last_app_ == LastApp::kMsBfs)
+      << "Reached: last run was not msbfs";
+  return (msbfs_->programs[partition_.part[v]]->mask(v) >> source_index) & 1;
+}
+
+uint32_t ShardedEngine::MsBfsDistanceOf(uint32_t source_index,
+                                        NodeId v) const {
+  SAGE_CHECK(last_app_ == LastApp::kMsBfs)
+      << "MsBfsDistanceOf: last run was not msbfs";
+  SAGE_CHECK(source_index < msbfs_->num_sources);
+  return msbfs_->programs[partition_.part[v]]->dist(source_index, v);
+}
+
+uint64_t ShardedEngine::OutputDigest() const {
+  const NodeId n = csr_.num_nodes();
+  uint64_t h = kFnvOffset;
+  switch (last_app_) {
+    case LastApp::kNone:
+      return 0;
+    case LastApp::kBfs:
+      for (NodeId v = 0; v < n; ++v) h = HashValue(DistanceOf(v), h);
+      return h;
+    case LastApp::kPageRank:
+      for (NodeId v = 0; v < n; ++v) h = HashValue(RankOf(v), h);
+      return h;
+    case LastApp::kMsBfs:
+      for (NodeId v = 0; v < n; ++v) {
+        uint64_t mask = 0;
+        for (uint32_t i = 0; i < msbfs_->num_sources; ++i) {
+          if (Reached(i, v)) mask |= 1ull << i;
+        }
+        h = HashValue(mask, h);
+      }
+      return h;
+  }
+  return 0;
+}
+
+uint64_t ShardedEngine::InstanceDigest(uint32_t source_index) const {
+  SAGE_CHECK(last_app_ == LastApp::kMsBfs)
+      << "InstanceDigest: last run was not msbfs";
+  uint64_t h = kFnvOffset;
+  for (NodeId v = 0; v < csr_.num_nodes(); ++v) {
+    h = HashValue(MsBfsDistanceOf(source_index, v), h);
+  }
+  return h;
+}
+
+}  // namespace sage::core

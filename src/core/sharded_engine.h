@@ -1,0 +1,190 @@
+#ifndef SAGE_CORE_SHARDED_ENGINE_H_
+#define SAGE_CORE_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "core/engine.h"
+#include "graph/csr.h"
+#include "graph/partitioner.h"
+#include "sim/device_group.h"
+#include "sim/device_spec.h"
+#include "util/metrics.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace sage::core {
+
+/// Execution schedule across the device group (the Figure 9 comparison).
+/// kSage and kGunrockLike are BSP (compute then exchange); kGrouteLike
+/// overlaps the exchange with the previous level's compute.
+enum class MultiGpuStrategy : uint8_t { kSage, kGunrockLike, kGrouteLike };
+
+const char* MultiGpuStrategyName(MultiGpuStrategy strategy);
+
+/// Parses a strategy from user input. Accepts the canonical names
+/// ("sage", "gunrock", "groute") plus the legacy CLI spellings
+/// "gunrock-like" / "groute-like". Returns false on anything else.
+bool ParseMultiGpuStrategy(const std::string& text, MultiGpuStrategy* out);
+
+/// Options for ShardedEngine::Create, mirroring EngineOptions: plain
+/// fields plus a Validate() that returns a typed error for every
+/// inconsistent combination instead of aborting mid-run.
+struct ShardOptions {
+  /// Number of simulated devices (shards). 1 is the single-device
+  /// baseline every larger K must match bit-for-bit.
+  uint32_t num_shards = 2;
+
+  MultiGpuStrategy strategy = MultiGpuStrategy::kSage;
+
+  /// How the CSR is split across shards.
+  graph::PartitionerKind partitioner = graph::PartitionerKind::kHash;
+  uint64_t partition_seed = 1;
+
+  /// Host threads driving the per-shard engines (the shard-level pool).
+  /// 0 = one per shard. Results are bit-identical for any value.
+  uint32_t host_threads = 1;
+
+  /// Spec shared by every device in the group (peer link fields included).
+  sim::DeviceSpec spec;
+
+  /// Per-shard engine configuration. host_threads is forced to 1 inside
+  /// each shard (the shard-level pool is the parallelism); strategy
+  /// presets (kGunrockLike/kGrouteLike -> warp-centric, no TP/RTS) are
+  /// applied on top.
+  EngineOptions engine_options;
+
+  util::Status Validate() const;
+};
+
+/// Aggregated result of one sharded run.
+struct ShardedRunStats {
+  RunStats stats;  ///< compute side: per-level max over shards, summed
+
+  double comm_seconds = 0.0;       ///< modeled peer-link time
+  double partition_seconds = 0.0;  ///< preprocessing (excluded from stats)
+  uint64_t edge_cut = 0;
+
+  /// Frontier-exchange accounting (the delta-compression win). Payload is
+  /// what the delta protocol ships; wire adds the link's frame headers;
+  /// dense is what a full-bitmap exchange would have shipped per pair per
+  /// level. All in bytes — whole-sector rounding would hide the gap the
+  /// Gunrock multi-GPU study says matters.
+  uint64_t frontier_payload_bytes = 0;
+  uint64_t frontier_wire_bytes = 0;
+  uint64_t frontier_dense_bytes = 0;
+  uint64_t messages = 0;  ///< node discoveries / rank contributions shipped
+};
+
+/// Level-synchronous traversal across K simulated devices: the CSR is
+/// partitioned owner-computes (each shard holds the full node-id space but
+/// only its owned nodes' adjacency), every level runs the per-shard
+/// engines on the host thread pool, and cross-shard discoveries travel as
+/// delta-compressed util::Bitmap words over the group's peer link — sync
+/// bytes proportional to new discoveries, not |V|.
+///
+/// The API mirrors Engine: Create validates options and returns a typed
+/// error; Run binds one of the registry apps ("bfs", "msbfs", "pagerank")
+/// with the registry's AppParams. Outputs are digest-compatible: for any
+/// K and host-thread count the output digest is bit-identical to the K=1
+/// run (and for BFS / MS-BFS also to the solo apps:: digest, because
+/// level-synchronous distances are schedule-invariant; PageRank defines
+/// its canonical order via the ascending-source fold, which a solo
+/// engine's schedule-dependent summation only matches to ~1e-9).
+class ShardedEngine {
+ public:
+  static util::StatusOr<std::unique_ptr<ShardedEngine>> Create(
+      const graph::Csr& csr, const ShardOptions& options);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+  ~ShardedEngine();
+
+  /// Runs one registry app to completion. `app` accepts the registry's
+  /// canonical and program names ("bfs"; "msbfs" / "multi-source-bfs";
+  /// "pagerank"). Parameters follow apps::AppParams: bfs takes one
+  /// source, msbfs 1..64 sources, pagerank `iterations`.
+  util::StatusOr<ShardedRunStats> Run(const std::string& app,
+                                      const apps::AppParams& params);
+
+  /// FNV-1a digest over the last run's per-node outputs in original-id
+  /// order — the same construction as apps::OutputDigest. 0 before any
+  /// successful run.
+  uint64_t OutputDigest() const;
+
+  /// Per-instance distance digest of the last msbfs run (matches
+  /// apps::MsBfsInstanceDigest and a solo BFS digest from that source).
+  uint64_t InstanceDigest(uint32_t source_index) const;
+
+  // Per-app output accessors (original ids; valid after a matching Run).
+  uint32_t DistanceOf(graph::NodeId v) const;  ///< bfs
+  double RankOf(graph::NodeId v) const;        ///< pagerank
+  bool Reached(uint32_t source_index, graph::NodeId v) const;  ///< msbfs
+  uint32_t MsBfsDistanceOf(uint32_t source_index,
+                           graph::NodeId v) const;  ///< msbfs
+
+  uint32_t num_shards() const { return options_.num_shards; }
+  const ShardOptions& options() const { return options_; }
+  const graph::PartitionResult& partition() const { return partition_; }
+  sim::DeviceGroup& group() { return *group_; }
+
+  /// SageScope: shard.frontier_bytes_exchanged / shard.frontier_bytes_dense
+  /// / shard.link_us counters-gauges plus per-shard compute imbalance.
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  ShardedEngine(const graph::Csr& csr, const ShardOptions& options,
+                graph::PartitionResult partition);
+
+  util::Status BuildShards();
+
+  util::StatusOr<ShardedRunStats> RunBfs(const apps::AppParams& params);
+  util::StatusOr<ShardedRunStats> RunMsBfs(const apps::AppParams& params);
+  util::StatusOr<ShardedRunStats> RunPageRank(const apps::AppParams& params);
+
+  /// Folds one level's timing into `out` under the configured strategy and
+  /// publishes the link metrics.
+  void AccountExchange(uint64_t payload_bytes, uint64_t dense_bytes,
+                       uint64_t message_count, double compute_seconds,
+                       double* prev_compute, ShardedRunStats* out);
+
+  /// Runs fn(shard) for every shard on the shard-level pool; statuses land
+  /// in per-shard slots and are surfaced in shard order (deterministic).
+  template <typename Fn>
+  util::Status ForEachShard(Fn&& fn);
+
+  enum class LastApp : uint8_t { kNone, kBfs, kMsBfs, kPageRank };
+
+  const graph::Csr& csr_;  // owned by the caller; outlives the engine
+  ShardOptions options_;
+  graph::PartitionResult partition_;
+  std::unique_ptr<sim::DeviceGroup> group_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+
+  // Per-app state (rebuilt per run; see sharded_engine.cc).
+  struct BfsState;
+  struct MsBfsState;
+  struct PrState;
+  std::unique_ptr<BfsState> bfs_;
+  std::unique_ptr<MsBfsState> msbfs_;
+  std::unique_ptr<PrState> pr_;
+  LastApp last_app_ = LastApp::kNone;
+
+  util::MetricsRegistry metrics_;
+  util::Counter* m_payload_bytes_ = nullptr;
+  util::Counter* m_dense_bytes_ = nullptr;
+  util::Counter* m_wire_bytes_ = nullptr;
+  util::Counter* m_messages_ = nullptr;
+  util::Counter* m_levels_ = nullptr;
+  util::Gauge* m_link_us_ = nullptr;
+  util::Gauge* m_imbalance_ = nullptr;
+  std::vector<util::Counter*> m_shard_edges_;
+};
+
+}  // namespace sage::core
+
+#endif  // SAGE_CORE_SHARDED_ENGINE_H_

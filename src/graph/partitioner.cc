@@ -1,18 +1,16 @@
-#include "baselines/metis_like.h"
+#include "graph/partitioner.h"
 
 #include <algorithm>
 #include <deque>
-#include <queue>
 #include <numeric>
+#include <queue>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/timer.h"
 
-namespace sage::baselines {
-
-using graph::Csr;
-using graph::NodeId;
+namespace sage::graph {
 
 namespace {
 
@@ -58,22 +56,22 @@ Level BuildBaseLevel(const Csr& csr) {
 // Heavy-edge matching: returns the coarse graph.
 Level Coarsen(const Level& fine, util::Rng& rng) {
   const NodeId n = fine.size();
-  std::vector<NodeId> match(n, graph::kInvalidNode);
+  std::vector<NodeId> match(n, kInvalidNode);
   std::vector<NodeId> visit(n);
   std::iota(visit.begin(), visit.end(), 0);
   rng.Shuffle(visit);
   for (NodeId u : visit) {
-    if (match[u] != graph::kInvalidNode) continue;
-    NodeId best = graph::kInvalidNode;
+    if (match[u] != kInvalidNode) continue;
+    NodeId best = kInvalidNode;
     uint32_t best_w = 0;
     for (const auto& [v, w] : fine.adj[u]) {
-      if (match[v] != graph::kInvalidNode) continue;
+      if (match[v] != kInvalidNode) continue;
       if (w > best_w) {
         best_w = w;
         best = v;
       }
     }
-    if (best == graph::kInvalidNode) {
+    if (best == kInvalidNode) {
       match[u] = u;  // unmatched: singleton
     } else {
       match[u] = best;
@@ -82,10 +80,10 @@ Level Coarsen(const Level& fine, util::Rng& rng) {
   }
   // Assign coarse ids.
   Level coarse;
-  coarse.coarse_of_fine.assign(n, graph::kInvalidNode);
+  coarse.coarse_of_fine.assign(n, kInvalidNode);
   NodeId next_id = 0;
   for (NodeId u = 0; u < n; ++u) {
-    if (coarse.coarse_of_fine[u] != graph::kInvalidNode) continue;
+    if (coarse.coarse_of_fine[u] != kInvalidNode) continue;
     coarse.coarse_of_fine[u] = next_id;
     coarse.coarse_of_fine[match[u]] = next_id;
     ++next_id;
@@ -224,7 +222,106 @@ std::vector<uint32_t> MultilevelBisect(Level base, util::Rng& rng) {
   return part;
 }
 
+// Fills edge_cut/balance/seconds from a finished part assignment.
+void FinishResult(const Csr& csr, util::WallTimer& timer,
+                  PartitionResult* result) {
+  result->edge_cut = ComputeEdgeCut(csr, result->part);
+  std::vector<uint64_t> sizes(result->num_parts, 0);
+  for (uint32_t p : result->part) ++sizes[p];
+  uint64_t max_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  result->balance = csr.num_nodes() == 0
+                        ? 1.0
+                        : static_cast<double>(max_size) * result->num_parts /
+                              static_cast<double>(csr.num_nodes());
+  result->seconds = timer.Seconds();
+}
+
+class HashPartitioner final : public Partitioner {
+ public:
+  util::StatusOr<PartitionResult> Partition(const Csr& csr,
+                                            uint32_t num_parts) const override {
+    if (num_parts == 0) {
+      return util::Status::InvalidArgument("num_parts must be positive");
+    }
+    return HashPartition(csr, num_parts);
+  }
+  PartitionerKind kind() const override { return PartitionerKind::kHash; }
+};
+
+class RangePartitioner final : public Partitioner {
+ public:
+  util::StatusOr<PartitionResult> Partition(const Csr& csr,
+                                            uint32_t num_parts) const override {
+    if (num_parts == 0) {
+      return util::Status::InvalidArgument("num_parts must be positive");
+    }
+    return RangePartition(csr, num_parts);
+  }
+  PartitionerKind kind() const override { return PartitionerKind::kRange; }
+};
+
+class MetisLikePartitioner final : public Partitioner {
+ public:
+  explicit MetisLikePartitioner(uint64_t seed) : seed_(seed) {}
+
+  util::StatusOr<PartitionResult> Partition(const Csr& csr,
+                                            uint32_t num_parts) const override {
+    if (num_parts == 0) {
+      return util::Status::InvalidArgument("num_parts must be positive");
+    }
+    if ((num_parts & (num_parts - 1)) != 0) {
+      return util::Status::InvalidArgument(
+          "metis-like recursive bisection requires a power-of-two part "
+          "count; use the hash or range partitioner for other counts");
+    }
+    return MetisLikePartition(csr, num_parts, seed_);
+  }
+  PartitionerKind kind() const override { return PartitionerKind::kMetisLike; }
+
+ private:
+  uint64_t seed_;
+};
+
 }  // namespace
+
+const char* PartitionerKindName(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kHash:
+      return "hash";
+    case PartitionerKind::kRange:
+      return "range";
+    case PartitionerKind::kMetisLike:
+      return "metis";
+  }
+  return "unknown";
+}
+
+bool ParsePartitionerKind(const std::string& text, PartitionerKind* out) {
+  if (text == "hash") {
+    *out = PartitionerKind::kHash;
+  } else if (text == "range") {
+    *out = PartitionerKind::kRange;
+  } else if (text == "metis" || text == "metis-like" || text == "metislike") {
+    *out = PartitionerKind::kMetisLike;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Partitioner> MakePartitioner(PartitionerKind kind,
+                                             uint64_t seed) {
+  switch (kind) {
+    case PartitionerKind::kHash:
+      return std::make_unique<HashPartitioner>();
+    case PartitionerKind::kRange:
+      return std::make_unique<RangePartitioner>();
+    case PartitionerKind::kMetisLike:
+      return std::make_unique<MetisLikePartitioner>(seed);
+  }
+  return nullptr;
+}
 
 uint64_t ComputeEdgeCut(const Csr& csr, const std::vector<uint32_t>& part) {
   uint64_t cut = 0;
@@ -267,7 +364,7 @@ PartitionResult MetisLikePartition(const Csr& csr, uint32_t num_parts,
         continue;
       }
       // Induced subgraph of task.nodes.
-      std::vector<NodeId> local_of_base(n, graph::kInvalidNode);
+      std::vector<NodeId> local_of_base(n, kInvalidNode);
       for (NodeId i = 0; i < task.nodes.size(); ++i) {
         local_of_base[task.nodes[i]] = i;
       }
@@ -277,7 +374,7 @@ PartitionResult MetisLikePartition(const Csr& csr, uint32_t num_parts,
       for (NodeId i = 0; i < task.nodes.size(); ++i) {
         for (const auto& [v, w] : base.adj[task.nodes[i]]) {
           NodeId lv = local_of_base[v];
-          if (lv != graph::kInvalidNode) sub.adj[i].emplace_back(lv, w);
+          if (lv != kInvalidNode) sub.adj[i].emplace_back(lv, w);
         }
       }
       std::vector<uint32_t> bisect = MultilevelBisect(std::move(sub), rng);
@@ -290,34 +387,37 @@ PartitionResult MetisLikePartition(const Csr& csr, uint32_t num_parts,
       tasks.push_back(std::move(right));
     }
   }
-  result.edge_cut = ComputeEdgeCut(csr, result.part);
-  std::vector<uint64_t> sizes(num_parts, 0);
-  for (uint32_t p : result.part) ++sizes[p];
-  uint64_t max_size = *std::max_element(sizes.begin(), sizes.end());
-  result.balance =
-      n == 0 ? 1.0
-             : static_cast<double>(max_size) * num_parts / static_cast<double>(n);
-  result.seconds = timer.Seconds();
+  FinishResult(csr, timer, &result);
   return result;
 }
 
 PartitionResult HashPartition(const Csr& csr, uint32_t num_parts) {
+  SAGE_CHECK_GE(num_parts, 1u);
   util::WallTimer timer;
   PartitionResult result;
   result.num_parts = num_parts;
   result.part.resize(csr.num_nodes());
   for (NodeId v = 0; v < csr.num_nodes(); ++v) result.part[v] = v % num_parts;
-  result.edge_cut = ComputeEdgeCut(csr, result.part);
-  std::vector<uint64_t> sizes(num_parts, 0);
-  for (uint32_t p : result.part) ++sizes[p];
-  uint64_t max_size =
-      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
-  result.balance = csr.num_nodes() == 0
-                       ? 1.0
-                       : static_cast<double>(max_size) * num_parts /
-                             static_cast<double>(csr.num_nodes());
-  result.seconds = timer.Seconds();
+  FinishResult(csr, timer, &result);
   return result;
 }
 
-}  // namespace sage::baselines
+PartitionResult RangePartition(const Csr& csr, uint32_t num_parts) {
+  SAGE_CHECK_GE(num_parts, 1u);
+  util::WallTimer timer;
+  PartitionResult result;
+  result.num_parts = num_parts;
+  const NodeId n = csr.num_nodes();
+  result.part.resize(n);
+  // ceil(n / K)-sized contiguous blocks; the tail shards may be empty when
+  // num_parts > n.
+  const uint64_t block =
+      n == 0 ? 1 : (static_cast<uint64_t>(n) + num_parts - 1) / num_parts;
+  for (NodeId v = 0; v < n; ++v) {
+    result.part[v] = static_cast<uint32_t>(v / block);
+  }
+  FinishResult(csr, timer, &result);
+  return result;
+}
+
+}  // namespace sage::graph

@@ -1,0 +1,77 @@
+#ifndef SAGE_GRAPH_PARTITIONER_H_
+#define SAGE_GRAPH_PARTITIONER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace sage::graph {
+
+/// Result of partitioning a graph into `num_parts` shards: part[v] is the
+/// owning shard of node v, plus the quality numbers every caller wants
+/// (edge cut, balance, wall time spent partitioning).
+struct PartitionResult {
+  std::vector<uint32_t> part;
+  uint32_t num_parts = 0;
+  uint64_t edge_cut = 0;
+  double seconds = 0.0;
+  /// max shard size / ideal shard size (1.0 = perfectly balanced).
+  double balance = 0.0;
+};
+
+/// The partitioning algorithms the sharded execution path can use.
+enum class PartitionerKind : uint8_t {
+  kHash,       ///< part[v] = v % K — balanced, cut-oblivious baseline
+  kRange,      ///< contiguous blocks of ~n/K nodes — locality baseline
+  kMetisLike,  ///< multilevel recursive bisection (power-of-two K only)
+};
+
+/// Canonical lower-case name of a kind ("hash", "range", "metis").
+const char* PartitionerKindName(PartitionerKind kind);
+
+/// Parses a kind from user input; accepts the canonical names plus the
+/// legacy spellings "metis-like" and "metislike". Returns false (and
+/// leaves *out untouched) on anything else.
+bool ParsePartitionerKind(const std::string& text, PartitionerKind* out);
+
+/// Strategy interface over the concrete algorithms so callers (the sharded
+/// engine, the CLI) select one at runtime. Implementations are stateless
+/// apart from the seed and may be reused across graphs.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Partitions `csr` into `num_parts` shards. num_parts may exceed the
+  /// node count (the surplus shards simply own nothing). Returns
+  /// InvalidArgument for num_parts == 0 and for algorithm-specific
+  /// restrictions (the metis-like partitioner requires a power-of-two
+  /// part count).
+  virtual util::StatusOr<PartitionResult> Partition(
+      const Csr& csr, uint32_t num_parts) const = 0;
+
+  virtual PartitionerKind kind() const = 0;
+  const char* name() const { return PartitionerKindName(kind()); }
+};
+
+/// Factory for the built-in partitioners. `seed` only affects the
+/// randomized metis-like algorithm.
+std::unique_ptr<Partitioner> MakePartitioner(PartitionerKind kind,
+                                             uint64_t seed = 1);
+
+/// Number of directed edges whose endpoints land in different parts.
+uint64_t ComputeEdgeCut(const Csr& csr, const std::vector<uint32_t>& part);
+
+/// Direct entry points (no virtual dispatch). These SAGE_CHECK their
+/// preconditions — go through Partitioner::Partition for typed errors.
+PartitionResult HashPartition(const Csr& csr, uint32_t num_parts);
+PartitionResult RangePartition(const Csr& csr, uint32_t num_parts);
+PartitionResult MetisLikePartition(const Csr& csr, uint32_t num_parts,
+                                   uint64_t seed = 1);
+
+}  // namespace sage::graph
+
+#endif  // SAGE_GRAPH_PARTITIONER_H_

@@ -16,26 +16,54 @@ util::Status GraphRegistry::Add(const std::string& name, graph::Csr csr) {
                                          valid.message());
   }
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = graphs_.emplace(name, std::move(csr));
+  Entry entry;
+  entry.csr = std::move(csr);
+  entry.placement.primary = next_primary_;
+  entry.placement.shards = {next_primary_};
+  auto [it, inserted] = graphs_.emplace(name, std::move(entry));
   (void)it;
   if (!inserted) {
     return util::Status::InvalidArgument("graph '" + name +
                                          "' already registered");
   }
+  next_primary_ = (next_primary_ + 1) % num_shards_;
   return util::Status::OK();
 }
 
 const graph::Csr* GraphRegistry::Find(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = graphs_.find(name);
-  return it == graphs_.end() ? nullptr : &it->second;
+  return it == graphs_.end() ? nullptr : &it->second.csr;
+}
+
+Placement GraphRegistry::PlacementOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  return it == graphs_.end() ? Placement() : it->second.placement;
+}
+
+util::Status GraphRegistry::AddReplica(const std::string& name,
+                                       uint32_t shard) {
+  if (shard >= num_shards_) {
+    return util::Status::InvalidArgument(
+        "replica shard " + std::to_string(shard) + " out of range (" +
+        std::to_string(num_shards_) + " shards)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return util::Status::NotFound("graph '" + name + "' not registered");
+  }
+  Placement& placement = it->second.placement;
+  if (!placement.OnShard(shard)) placement.shards.push_back(shard);
+  return util::Status::OK();
 }
 
 std::vector<std::string> GraphRegistry::Names() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(graphs_.size());
-  for (const auto& [name, csr] : graphs_) names.push_back(name);
+  for (const auto& [name, entry] : graphs_) names.push_back(name);
   return names;
 }
 

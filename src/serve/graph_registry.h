@@ -1,12 +1,14 @@
 #ifndef SAGE_SERVE_GRAPH_REGISTRY_H_
 #define SAGE_SERVE_GRAPH_REGISTRY_H_
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "graph/csr.h"
+#include "serve/types.h"
 #include "util/status.h"
 
 namespace sage::serve {
@@ -16,11 +18,23 @@ namespace sage::serve {
 /// from them on demand (each engine copies the CSR, so a registered graph
 /// is never mutated by traversals — including sampling reordering).
 ///
+/// SageShard: the registry is also the placement authority. Built for a
+/// shard count, it assigns every graph a Placement at Add time (primary
+/// shards round-robin in registration order) and grows placements via
+/// AddReplica when the service decides a graph is hot.
+///
 /// Thread-safe. Find returns a stable pointer: entries are never removed
 /// and std::map nodes do not move on insert.
 class GraphRegistry {
  public:
-  /// Registers `csr` under `name`. kInvalidArgument for an empty name, a
+  /// A registry spanning `num_shards` placement shards (0 is clamped to
+  /// 1). The default single-shard registry makes every placement
+  /// {primary=0} — the pre-shard behavior.
+  explicit GraphRegistry(uint32_t num_shards = 1)
+      : num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  /// Registers `csr` under `name` and assigns its placement (primary =
+  /// next shard round-robin). kInvalidArgument for an empty name, a
   /// duplicate registration (graphs are immutable once registered), or a
   /// CSR that fails structural validation (graph::ValidateCsr) — corrupt
   /// graphs are rejected at load time, not traversal time.
@@ -29,12 +43,31 @@ class GraphRegistry {
   /// The registered graph, or nullptr.
   const graph::Csr* Find(const std::string& name) const;
 
+  /// The graph's placement (a copy — placements can grow concurrently via
+  /// AddReplica). A default Placement for unknown names; callers that care
+  /// should check Find first.
+  Placement PlacementOf(const std::string& name) const;
+
+  /// Extends the graph's placement with `shard`. kNotFound for an unknown
+  /// graph, kInvalidArgument for shard >= num_shards(); adding a shard
+  /// already in the placement is a no-op (OK).
+  util::Status AddReplica(const std::string& name, uint32_t shard);
+
+  uint32_t num_shards() const { return num_shards_; }
+
   std::vector<std::string> Names() const;
   size_t size() const;
 
  private:
+  struct Entry {
+    graph::Csr csr;
+    Placement placement;
+  };
+
+  const uint32_t num_shards_;
   mutable std::mutex mu_;
-  std::map<std::string, graph::Csr> graphs_;
+  std::map<std::string, Entry> graphs_;
+  uint32_t next_primary_ = 0;  ///< round-robin cursor, guarded by mu_
 };
 
 }  // namespace sage::serve

@@ -37,8 +37,7 @@ constexpr uint32_t kEngineTracePidBase = 1000;
 
 }  // namespace
 
-QueryService::QueryService(const GraphRegistry* registry,
-                           ServeOptions options)
+QueryService::QueryService(GraphRegistry* registry, ServeOptions options)
     : registry_(registry),
       options_(std::move(options)),
       pool_(options_.worker_threads) {
@@ -63,7 +62,14 @@ QueryService::QueryService(const GraphRegistry* registry,
   m_.breaker_rejects = metrics_.counter("serve.breaker_rejects");
   m_.deadline_misses = metrics_.counter("serve.deadline_misses");
   m_.cancelled = metrics_.counter("serve.cancelled");
+  m_.shard_replications = metrics_.counter("serve.shard.replications");
   m_.backoff_ms = metrics_.gauge("serve.backoff_ms");
+  m_shard_dispatches_.reserve(registry_->num_shards());
+  for (uint32_t i = 0; i < registry_->num_shards(); ++i) {
+    m_shard_dispatches_.push_back(
+        metrics_.counter("serve.shard.dispatches." + std::to_string(i)));
+  }
+  m_shard_imbalance_ = metrics_.gauge("serve.shard.imbalance");
   m_.latency_total_us = metrics_.histogram("serve.latency_total_us");
   m_.latency_queue_us = metrics_.histogram("serve.latency_queue_us");
   m_.latency_run_us = metrics_.histogram("serve.latency_run_us");
@@ -119,6 +125,13 @@ util::Status QueryService::ValidateRequest(const Request& request) const {
   if (request.deadline_modeled_seconds < 0.0 ||
       request.deadline_wall_seconds < 0.0) {
     return util::Status::InvalidArgument("deadlines must be >= 0");
+  }
+  if (request.shard_hint != Placement::kNoShard &&
+      request.shard_hint >= registry_->num_shards()) {
+    return util::Status::InvalidArgument(
+        "shard hint " + std::to_string(request.shard_hint) +
+        " out of range (" + std::to_string(registry_->num_shards()) +
+        " shards)");
   }
   return util::Status::OK();
 }
@@ -207,7 +220,10 @@ std::vector<QueryService::Pending> QueryService::TakeBatchLocked() {
   for (auto it = queue_.begin();
        it != queue_.end() && batch.size() < limit;) {
     const Request& r = it->request;
-    bool match = r.graph == lead.graph && r.app == lead.app;
+    // shard_hint is part of the compatibility key: members of one dispatch
+    // share an engine, so they must agree on where it should run.
+    bool match = r.graph == lead.graph && r.app == lead.app &&
+                 r.shard_hint == lead.shard_hint;
     if (match && lead.app == "pagerank") {
       match = r.params.iterations == lead.params.iterations;
     } else if (match && lead.app == "kcore") {
@@ -236,23 +252,44 @@ core::FilterProgram* QueryService::Program(WarmEngine* engine,
 }
 
 QueryService::WarmEngine* QueryService::AcquireEngine(
-    const std::string& graph) {
+    const std::string& graph, uint32_t shard_hint) {
+  // A copy outside the lock: placements only grow, and routing against a
+  // slightly stale one is still correct (just possibly less spread out).
+  const Placement placement = registry_->PlacementOf(graph);
+  const bool hinted =
+      shard_hint != Placement::kNoShard && placement.OnShard(shard_hint);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     GraphPool& pool = pools_[graph];
-    for (auto& engine : pool.engines) {
-      if (!engine->busy && engine->engine != nullptr) {
-        engine->busy = true;
-        return engine.get();
+    // First pass honors the hint; second takes any idle engine. A hint is
+    // a preference, not an isolation guarantee — correctness never depends
+    // on which shard serves (warm state cannot change answers). While the
+    // pool has room, a hinted request with no idle engine on its shard
+    // grows the pool there instead of borrowing a foreign idle engine, so
+    // warm capacity lands where the traffic points.
+    const bool can_grow = pool.engines.size() < options_.engines_per_graph;
+    const int last_pass = hinted && can_grow ? 1 : 2;
+    for (int pass = hinted ? 0 : 1; pass < last_pass; ++pass) {
+      for (auto& engine : pool.engines) {
+        if (!engine->busy && engine->engine != nullptr &&
+            (pass == 1 || engine->shard == shard_hint)) {
+          engine->busy = true;
+          return engine.get();
+        }
       }
     }
-    if (pool.engines.size() < options_.engines_per_graph) {
+    if (can_grow) {
       const graph::Csr* csr = registry_->Find(graph);
       SAGE_CHECK(csr != nullptr);  // validated at Submit
       auto warm = std::make_unique<WarmEngine>(options_.device_spec);
       warm->busy = true;  // claimed by this dispatcher while it builds
       WarmEngine* raw = warm.get();
       raw->id = static_cast<uint32_t>(m_.engines_created->value());
+      // New engines rotate across the graph's placement so replicas get
+      // warm capacity; a valid hint pins the new engine to its shard.
+      raw->shard = hinted ? shard_hint
+                          : placement.shards[pool.engines.size() %
+                                             placement.shards.size()];
       pool.engines.push_back(std::move(warm));
       m_.engines_created->Add(1);
       // Engine construction copies the CSR — do the expensive part
@@ -478,7 +515,8 @@ void QueryService::ExecuteBatch(std::vector<Pending> batch) {
     return;
   }
 
-  WarmEngine* warm = AcquireEngine(lead.graph);
+  WarmEngine* warm = AcquireEngine(lead.graph, lead.shard_hint);
+  const uint32_t served_shard = warm->shard;
   const Clock::time_point run_start = Clock::now();
   const double setup_ms = MsBetween(taken_at, run_start);
   size_t kernel_base = 0;
@@ -494,6 +532,7 @@ void QueryService::ExecuteBatch(std::vector<Pending> batch) {
                       trace_run_start_us, kernel_base);
   }
   ReleaseEngine(warm);
+  RecordShardDispatch(lead.graph, served_shard);
 
   // The breaker watches infrastructure health: only retryable faults that
   // survived every retry (kUnavailable) count. Per-request outcomes —
@@ -564,6 +603,7 @@ void QueryService::ExecuteBatch(std::vector<Pending> batch) {
     Response r;
     r.batch_size = static_cast<uint32_t>(batch.size());
     r.attempts = out.attempts;
+    r.served_by_shard = served_shard;
     r.timing.backoff_ms = out.backoff_ms;
     r.timing.retries = out.retries;
     r.timing.resumes = out.resumes;
@@ -647,6 +687,58 @@ void QueryService::EmitDispatchTrace(WarmEngine* warm, const Request& lead,
                 records.end());
 }
 
+void QueryService::RecordShardDispatch(const std::string& graph,
+                                       uint32_t shard) {
+  if (shard < m_shard_dispatches_.size()) {
+    m_shard_dispatches_[shard]->Add(1);
+  }
+  // Imbalance = max/mean over the per-shard dispatch counters (1.0 means a
+  // perfectly even spread) — the serve-level twin of shard.imbalance on
+  // the ShardedEngine side.
+  uint64_t total = 0;
+  uint64_t peak = 0;
+  for (util::Counter* c : m_shard_dispatches_) {
+    const uint64_t v = c->value();
+    total += v;
+    peak = std::max(peak, v);
+  }
+  if (total > 0 && !m_shard_dispatches_.empty()) {
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(m_shard_dispatches_.size());
+    m_shard_imbalance_->Set(static_cast<double>(peak) / mean);
+  }
+
+  // Hot-graph replication: every time the graph's dispatch count crosses a
+  // replicate_hot_after multiple, grow its placement onto the
+  // least-dispatched shard not already serving it. New warm engines then
+  // rotate onto the replica in AcquireEngine.
+  if (options_.replicate_hot_after == 0 || registry_->num_shards() < 2) {
+    return;
+  }
+  uint64_t count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    count = ++pools_[graph].dispatches;
+  }
+  if (count % options_.replicate_hot_after != 0) return;
+  const Placement placement = registry_->PlacementOf(graph);
+  if (placement.shards.size() >= registry_->num_shards()) return;
+  uint32_t target = Placement::kNoShard;
+  uint64_t target_load = 0;
+  for (uint32_t s = 0; s < registry_->num_shards(); ++s) {
+    if (placement.OnShard(s)) continue;
+    const uint64_t load = m_shard_dispatches_[s]->value();
+    if (target == Placement::kNoShard || load < target_load) {
+      target = s;
+      target_load = load;
+    }
+  }
+  if (target == Placement::kNoShard) return;
+  if (registry_->AddReplica(graph, target).ok()) {
+    m_.shard_replications->Add(1);
+  }
+}
+
 void QueryService::WorkerLoop() {
   for (;;) {
     std::vector<Pending> batch;
@@ -711,6 +803,7 @@ ServiceStats QueryService::stats() const {
   s.breaker_rejects = m_.breaker_rejects->value();
   s.deadline_misses = m_.deadline_misses->value();
   s.cancelled = m_.cancelled->value();
+  s.shard_replications = m_.shard_replications->value();
   s.backoff_ms = m_.backoff_ms->value();
   {
     std::lock_guard<std::mutex> lock(mu_);

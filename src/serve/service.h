@@ -60,12 +60,22 @@ namespace sage::serve {
 /// engine so registered graphs stay immutable — which is also why warm
 /// state (the resident-tile store) can only accelerate a request, never
 /// change its answer.
+///
+/// SageShard placement: the registry assigns each graph a Placement
+/// (primary shard round-robin at Add); warm engines carry the shard they
+/// were placed on, new engines rotate across the graph's placement, and a
+/// valid Request::shard_hint steers the dispatch to an engine on that
+/// shard. Responses report served_by_shard, per-shard dispatch counters
+/// ("serve.shard.dispatches.<i>") feed an imbalance gauge, and with
+/// ServeOptions::replicate_hot_after set, hot graphs are replicated to the
+/// least-loaded shard via GraphRegistry::AddReplica — which is why the
+/// registry pointer is mutable.
 class QueryService {
  public:
   /// The registry must outlive the service. Options are validated here;
   /// an invalid engine_options combo surfaces as the error every Submit
   /// returns.
-  QueryService(const GraphRegistry* registry, ServeOptions options);
+  QueryService(GraphRegistry* registry, ServeOptions options);
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -119,12 +129,16 @@ class QueryService {
     std::unique_ptr<sim::FaultInjector> injector;
     /// Service-wide warm-engine ordinal; labels this engine's trace tracks.
     uint32_t id = 0;
+    /// Placement shard this engine serves (SageShard).
+    uint32_t shard = 0;
     bool busy = false;
   };
   struct GraphPool {
     std::vector<std::unique_ptr<WarmEngine>> engines;
     /// Per-graph breaker (created on first dispatch for the graph).
     std::unique_ptr<CircuitBreaker> breaker;
+    /// Dispatches executed for this graph (feeds hot-graph replication).
+    uint64_t dispatches = 0;
   };
 
   /// What one guarded engine run of a batch produced (see RunOnEngine).
@@ -183,8 +197,11 @@ class QueryService {
                          const DispatchOutcome& out, double start_us,
                          size_t kernel_base);
   /// Blocks until a warm engine for `graph` is free (creating one if the
-  /// pool is below engines_per_graph).
-  WarmEngine* AcquireEngine(const std::string& graph);
+  /// pool is below engines_per_graph). A valid `shard_hint` inside the
+  /// graph's placement is preferred both when picking an idle engine and
+  /// when placing a new one; otherwise new engines rotate across the
+  /// placement's shards.
+  WarmEngine* AcquireEngine(const std::string& graph, uint32_t shard_hint);
   void ReleaseEngine(WarmEngine* engine);
   /// The cached program in slot `key` of a warm engine, created on first
   /// use via apps::CreateProgram(app). The batched-BFS recorder lives in
@@ -193,8 +210,13 @@ class QueryService {
   core::FilterProgram* Program(WarmEngine* engine, const std::string& key,
                                const std::string& app);
   void WorkerLoop();
+  /// SageShard accounting after a dispatch ran on `shard`: bumps the
+  /// per-shard counter and the imbalance gauge, and — when
+  /// replicate_hot_after is set — replicates `graph` to the least-loaded
+  /// shard each time its dispatch count crosses a threshold multiple.
+  void RecordShardDispatch(const std::string& graph, uint32_t shard);
 
-  const GraphRegistry* registry_;
+  GraphRegistry* registry_;
   ServeOptions options_;
   util::Status init_error_;
   /// Parsed ServeOptions::fault_spec (empty = no injection).
@@ -226,6 +248,7 @@ class QueryService {
     util::Counter* breaker_rejects;
     util::Counter* deadline_misses;
     util::Counter* cancelled;
+    util::Counter* shard_replications;
     util::Gauge* backoff_ms;
     /// Request-latency spans in microseconds (totals are what the p50/p95/
     /// p99 in ServiceStats come from).
@@ -233,6 +256,10 @@ class QueryService {
     util::HistogramMetric* latency_queue_us;
     util::HistogramMetric* latency_run_us;
   } m_{};
+  /// Per-shard dispatch counters ("serve.shard.dispatches.<i>", one per
+  /// registry shard) and the max/mean imbalance gauge they feed.
+  std::vector<util::Counter*> m_shard_dispatches_;
+  util::Gauge* m_shard_imbalance_ = nullptr;
 
   /// SageVet admission cache: app name -> vet verdict (guarded by vet_mu_;
   /// separate from mu_ so a slow first-time probe never blocks dispatch).

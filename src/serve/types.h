@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/msbfs.h"
 #include "apps/registry.h"
@@ -30,6 +31,29 @@ struct RetryOptions {
   /// thread actually sleeps only in worker mode (worker_threads > 0), so
   /// synchronous tests stay instant and deterministic.
   uint64_t jitter_seed = 0x53414745u;  // "SAGE"
+};
+
+/// Shard placement of one registered graph: the primary shard plus any
+/// replicas added for hot graphs. One struct shared by GraphRegistry
+/// (which assigns placements) and QueryService (which routes dispatches
+/// by them) — the single source of placement truth, replacing ad-hoc
+/// per-graph pool bookkeeping.
+struct Placement {
+  /// Sentinel for "no shard": an absent Request::shard_hint or the
+  /// served_by_shard of a response that never reached an engine.
+  static constexpr uint32_t kNoShard = 0xffffffffu;
+
+  uint32_t primary = 0;
+  /// Every shard serving the graph; the primary is always first, replicas
+  /// follow in the order they were added.
+  std::vector<uint32_t> shards{0};
+
+  bool OnShard(uint32_t shard) const {
+    for (uint32_t s : shards) {
+      if (s == shard) return true;
+    }
+    return false;
+  }
 };
 
 /// Configuration of a QueryService.
@@ -81,6 +105,14 @@ struct ServeOptions {
   /// its deadline, recover by +1 per clean dispatch up to max_batch.
   bool adaptive_batch = true;
 
+  // --- SageShard (sharded placement) ---
+
+  /// Replicate a graph to one additional shard every time its dispatch
+  /// count crosses a multiple of this threshold (0 = never). The replica
+  /// goes to the least-dispatched shard not already serving the graph, so
+  /// hot graphs spread while cold ones stay put.
+  uint64_t replicate_hot_after = 0;
+
   // --- SageScope (DESIGN.md §8) ---
 
   /// Chrome-trace sink (borrowed; must outlive the service; null = off).
@@ -114,6 +146,11 @@ struct Request {
   /// honors cancellation at engine iteration boundaries (coalesced members
   /// share one engine run and are only swept at dispatch boundaries).
   std::shared_ptr<core::CancellationToken> cancel;
+  /// Preferred shard (Placement::kNoShard = no preference). A hint inside
+  /// the graph's placement steers the dispatch to a warm engine on that
+  /// shard when one is idle; a hint outside [0, num_shards) is rejected at
+  /// validation. Requests batch only with requests sharing their hint.
+  uint32_t shard_hint = Placement::kNoShard;
 };
 
 /// Wall-clock span of one request through the service (SageScope). All
@@ -156,6 +193,9 @@ struct Response {
   /// Where this request's wall time went (populated for every response,
   /// including failures).
   RequestTiming timing;
+  /// Shard of the warm engine that served the dispatch
+  /// (Placement::kNoShard if the request never reached an engine).
+  uint32_t served_by_shard = Placement::kNoShard;
 };
 
 /// Monotonic service counters (see QueryService::stats).
@@ -177,6 +217,8 @@ struct ServiceStats {
   uint64_t cancelled = 0;          ///< requests answered kAborted
   double backoff_ms = 0.0;         ///< total computed retry backoff
   uint32_t current_max_batch = 0;  ///< adaptive batch cap right now
+  // --- SageShard ---
+  uint64_t shard_replications = 0;  ///< hot-graph replicas added
   // --- SageScope (request-latency distribution, util::Histogram-backed) ---
   uint64_t latency_samples = 0;    ///< responses folded into the histogram
   double latency_p50_ms = 0.0;     ///< submit → response percentiles

@@ -1,0 +1,23 @@
+#include "sim/device_group.h"
+
+#include "util/logging.h"
+
+namespace sage::sim {
+
+DeviceGroup::DeviceGroup(const DeviceSpec& spec, uint32_t count)
+    : spec_(spec),
+      link_(spec.PeerBytesPerCycle(), spec.peer_latency_cycles,
+            spec.pcie_frame_header_bytes, spec.pcie_max_payload_bytes) {
+  SAGE_CHECK_GE(count, 1u);
+  devices_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    devices_.push_back(std::make_unique<GpuDevice>(spec_));
+  }
+}
+
+LinkModel::Transfer DeviceGroup::Exchange(uint64_t payload_bytes) {
+  if (payload_bytes == 0) return LinkModel::Transfer();
+  return link_.BulkTransfer(payload_bytes);
+}
+
+}  // namespace sage::sim

@@ -1,0 +1,52 @@
+#ifndef SAGE_SIM_DEVICE_GROUP_H_
+#define SAGE_SIM_DEVICE_GROUP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/device_spec.h"
+#include "sim/gpu_device.h"
+#include "sim/link.h"
+
+namespace sage::sim {
+
+/// K simulated GPUs of one spec joined by a modeled peer link. The link is
+/// a single shared path (the paper's testbed routes all inter-GPU traffic
+/// through one PCIe switch), so a level's exchange is one bulk transfer of
+/// the combined payload. Per-device fault injectors attach through
+/// device(i)->set_fault_injector exactly as on a solo device.
+class DeviceGroup {
+ public:
+  DeviceGroup(const DeviceSpec& spec, uint32_t count);
+
+  DeviceGroup(const DeviceGroup&) = delete;
+  DeviceGroup& operator=(const DeviceGroup&) = delete;
+
+  uint32_t size() const { return static_cast<uint32_t>(devices_.size()); }
+  GpuDevice* device(uint32_t i) { return devices_[i].get(); }
+  const GpuDevice* device(uint32_t i) const { return devices_[i].get(); }
+  const DeviceSpec& spec() const { return spec_; }
+
+  LinkModel& link() { return link_; }
+  const LinkModel& link() const { return link_; }
+
+  /// Ships `payload_bytes` over the shared peer link and returns the
+  /// transfer record (frames, wire bytes, cycles). Zero-byte exchanges are
+  /// free: no frames, no latency charge.
+  LinkModel::Transfer Exchange(uint64_t payload_bytes);
+
+  /// Modeled wall-clock seconds of a transfer at this spec's clock.
+  double SecondsFor(const LinkModel::Transfer& transfer) const {
+    return transfer.cycles / (spec_.clock_ghz * 1e9);
+  }
+
+ private:
+  DeviceSpec spec_;
+  std::vector<std::unique_ptr<GpuDevice>> devices_;
+  LinkModel link_;
+};
+
+}  // namespace sage::sim
+
+#endif  // SAGE_SIM_DEVICE_GROUP_H_

@@ -7,7 +7,8 @@
 
 #include "apps/bfs.h"
 #include "apps/pagerank.h"
-#include "baselines/multi_gpu.h"
+#include "core/sharded_engine.h"
+#include "graph/partitioner.h"
 #include "baselines/subway.h"
 #include "core/engine.h"
 #include "graph/datasets.h"
@@ -120,17 +121,28 @@ TEST(ShapeTest, OutOfCoreOrdering) {
 // moves less data than hash partitioning.
 TEST(ShapeTest, MetisBeatsHashOnCommunities) {
   Csr csr = graph::GenerateCommunity(2048, 16, 1024, 0.95, 5);
-  baselines::MultiGpuOptions opts;
-  opts.spec = ShapeSpec();
-  opts.strategy = baselines::MultiGpuStrategy::kGunrockLike;
-  opts.partition = baselines::PartitionScheme::kHash;
-  auto hash = baselines::MultiGpuBfs(csr, 0, opts);
-  opts.partition = baselines::PartitionScheme::kMetisLike;
-  auto metis = baselines::MultiGpuBfs(csr, 0, opts);
-  ASSERT_TRUE(hash.ok());
-  ASSERT_TRUE(metis.ok());
-  EXPECT_LT(metis->message_bytes, hash->message_bytes);
-  EXPECT_GE(metis->stats.GTeps(), hash->stats.GTeps() * 0.8);
+  auto run = [&](graph::PartitionerKind kind) {
+    core::ShardOptions opts;
+    opts.num_shards = 2;
+    opts.strategy = core::MultiGpuStrategy::kGunrockLike;
+    opts.partitioner = kind;
+    opts.spec = ShapeSpec();
+    auto engine = core::ShardedEngine::Create(csr, opts);
+    SAGE_CHECK(engine.ok()) << engine.status().ToString();
+    apps::AppParams params;
+    params.sources = {0};
+    auto result = (*engine)->Run("bfs", params);
+    SAGE_CHECK(result.ok()) << result.status().ToString();
+    return *result;
+  };
+  core::ShardedRunStats hash = run(graph::PartitionerKind::kHash);
+  core::ShardedRunStats metis = run(graph::PartitionerKind::kMetisLike);
+  EXPECT_LT(metis.frontier_payload_bytes, hash.frontier_payload_bytes);
+  auto gteps = [](const core::ShardedRunStats& r) {
+    double t = r.stats.seconds + r.comm_seconds;
+    return t <= 0 ? 0.0 : static_cast<double>(r.stats.edges_traversed) / t / 1e9;
+  };
+  EXPECT_GE(gteps(metis), gteps(hash) * 0.8);
 }
 
 // Table 3's ordering: TP overhead fraction is largest for BFS (local

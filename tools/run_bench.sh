@@ -8,6 +8,10 @@
 #    (DESIGN.md §6) -> BENCH_serve.json
 #  - bench_guard: SageGuard costs (DESIGN.md §7) — checkpoint overhead and
 #    fault-free vs 1%-transient-fault serving -> BENCH_guard.json
+#  - bench_multigpu: SageShard — sharded-engine BFS across 1/2/4 simulated
+#    devices (digests must be bit-identical; the delta-compressed frontier
+#    exchange must ship <= 0.5x the dense-bitmap bytes) plus serve-level
+#    req/s scaling with placement shards -> BENCH_multigpu.json
 # All emit their JSON into the repo root and assert that every measured
 # mode produces bit-identical outputs before reporting a number.
 #
@@ -29,7 +33,7 @@ build_dir="${1:-"${repo_root}/build"}"
 
 echo "== configure + build (RelWithDebInfo) =="
 cmake -S "${repo_root}" -B "${build_dir}" >/dev/null
-cmake --build "${build_dir}" -j "$(nproc)" --target bench_sim_throughput bench_serve bench_guard
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_sim_throughput bench_serve bench_guard bench_multigpu
 
 echo "== bench_sim_throughput ($(nproc) hardware threads) =="
 cd "${repo_root}"
@@ -41,4 +45,10 @@ echo "== bench_serve (batched dispatch vs one-engine-per-query) =="
 echo "== bench_guard (checkpoint overhead, serving under faults) =="
 "${build_dir}/bench/bench_guard"
 
-echo "== wrote ${repo_root}/BENCH_sim_throughput.json, BENCH_serve.json and BENCH_guard.json =="
+echo "== bench_multigpu (sharded engine + serve-level shard scaling) =="
+# Exits nonzero when sharded digests diverge from single-device, when the
+# delta exchange exceeds 0.5x the dense-bitmap baseline, or when extra
+# placement shards lose serve throughput.
+"${build_dir}/bench/bench_multigpu"
+
+echo "== wrote ${repo_root}/BENCH_sim_throughput.json, BENCH_serve.json, BENCH_guard.json and BENCH_multigpu.json =="

@@ -43,7 +43,7 @@ tsan_dir="${build_dir}-tsan"
 cmake -S "${repo_root}" -B "${tsan_dir}" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DSAGE_SANITIZE="thread"
-cmake --build "${tsan_dir}" -j "$(nproc)" --target parallel_test serve_test guard_serve_test
+cmake --build "${tsan_dir}" -j "$(nproc)" --target parallel_test serve_test guard_serve_test shard_serve_test
 
 echo "== parallel/equivalence tests under TSan =="
 TSAN_OPTIONS="halt_on_error=1" \
@@ -62,6 +62,14 @@ echo "== SageGuard tests under TSan =="
 # (4 submitter threads against a full queue and 2 dispatch workers).
 TSAN_OPTIONS="halt_on_error=1" \
   "${tsan_dir}/tests/guard_serve_test" \
+  --gtest_filter='-*DeathTest*'
+
+echo "== SageShard serving tests under TSan =="
+# Shard-aware placement/routing under 4 dispatch workers, including
+# hot-graph replication racing dispatches
+# (ShardServeTest.ConcurrentShardedDispatchIsRaceFree).
+TSAN_OPTIONS="halt_on_error=1" \
+  "${tsan_dir}/tests/shard_serve_test" \
   --gtest_filter='-*DeathTest*'
 
 echo "== fault matrix (sage_cli faults, ASan/UBSan build) =="
@@ -172,6 +180,23 @@ if ratio > 4.0:
     sys.exit("perf smoke FAILED: parallel wall > 4x serial "
              "(parallel backend likely serialized or regressed)")
 EOF
+
+echo "== SageShard equivalence matrix (ASan/UBSan build) =="
+# The sharded-vs-single-device contract: digests bit-identical for every
+# (app, shard count, host-thread count) cell, partitioner edge cases, and
+# per-device fault injection inside a group — rerun explicitly here so the
+# gate is visible even when ctest output is skimmed, with the sanitizers
+# watching the exchange paths.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  "${build_dir}/tests/shard_test"
+# CLI surface smoke: a sharded BFS through the redesigned device-group API
+# must agree with the single-device digest printed by profile runs.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  "${build_dir}/tools/sage_cli" bfs "${obs_dir}/g.sagecsr" 0 \
+    --shards=2 --partitioner=metis > /dev/null
+echo "SageShard: sharded digests match single-device across the matrix"
 
 echo "== SageVet pre-flight (sage_cli vet, ASan/UBSan build) =="
 # Vets every registered app at the deepest level (static checks plus a

@@ -22,15 +22,16 @@
 #include "apps/pagerank.h"
 #include "apps/registry.h"
 #include "apps/sssp.h"
-#include "baselines/metis_like.h"
 #include "check/access_checker.h"
 #include "check/determinism.h"
 #include "check/vet.h"
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "core/guard.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "graph/partitioner.h"
 #include "reorder/permutation.h"
 #include "reorder/reorderers.h"
 #include "serve/graph_registry.h"
@@ -71,6 +72,13 @@ std::string g_trace_out;
 std::string g_metrics_out;
 /// SageVet: analysis depth requested via --level (vet subcommand).
 std::string g_vet_level = "probe";
+/// SageShard: simulated devices for bfs/pagerank/msbfs and placement
+/// shards for serve (--shards; 1 = single-device engine path).
+uint32_t g_shards = 1;
+/// SageShard: how the CSR splits across devices (--partitioner).
+graph::PartitionerKind g_partitioner = graph::PartitionerKind::kHash;
+/// SageShard: inter-device synchronization model (--multi-gpu-strategy).
+core::MultiGpuStrategy g_mg_strategy = core::MultiGpuStrategy::kSage;
 
 bool ParseU32(const std::string& value, uint32_t* out) {
   if (value.empty()) return false;
@@ -158,6 +166,22 @@ const FlagDef kFlags[] = {
        g_vet_level = v;
        return !v.empty();
      }},
+    {"shards", "=K",
+     "run bfs/pagerank/msbfs across K simulated devices (ShardedEngine);\n"
+     "                     serve: placement shards for the graph registry",
+     [](const std::string& v) { return ParseU32(v, &g_shards); }},
+    {"partitioner", "=hash|range|metis",
+     "sharded runs: how the CSR splits across devices (default hash;\n"
+     "                     legacy spelling metis-like accepted)",
+     [](const std::string& v) {
+       return graph::ParsePartitionerKind(v, &g_partitioner);
+     }},
+    {"multi-gpu-strategy", "=sage|gunrock|groute",
+     "sharded runs: inter-device sync model (default sage; legacy\n"
+     "                     spellings gunrock-like/groute-like accepted)",
+     [](const std::string& v) {
+       return core::ParseMultiGpuStrategy(v, &g_mg_strategy);
+     }},
 };
 
 /// Writes `content` to `path`; reports on stderr and returns false on
@@ -226,6 +250,49 @@ int FinishChecked(const core::Engine& engine, int rc) {
   std::printf("%s", checker->Report().c_str());
   if (rc == 0 && !checker->clean()) return 3;
   return rc;
+}
+
+core::ShardOptions ShardedOptions() {
+  core::ShardOptions options;
+  options.num_shards = g_shards;
+  options.strategy = g_mg_strategy;
+  options.partitioner = g_partitioner;
+  options.host_threads = g_host_threads;
+  options.engine_options = BaseOptions();
+  return options;
+}
+
+/// Runs `app` across --shards simulated devices and prints the sharded
+/// stats (comm time, delta-compressed frontier bytes vs the dense
+/// baseline). Returns the process exit code.
+int RunSharded(const graph::Csr& csr, const std::string& app,
+               const apps::AppParams& params) {
+  auto engine = core::ShardedEngine::Create(csr, ShardedOptions());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  auto result = (*engine)->Run(app, params);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "%u devices (%s, %s partitioning): %.3f GTEPS over %u iterations\n",
+      g_shards, core::MultiGpuStrategyName(g_mg_strategy),
+      graph::PartitionerKindName(g_partitioner),
+      result->stats.edges_traversed /
+          ((result->stats.seconds + result->comm_seconds) * 1e9),
+      result->stats.iterations);
+  std::printf("edge cut %llu; comm %.3f ms; frontier %llu B delta "
+              "(%llu B on the wire, %llu B dense); digest %016llx\n",
+              static_cast<unsigned long long>(result->edge_cut),
+              result->comm_seconds * 1e3,
+              static_cast<unsigned long long>(result->frontier_payload_bytes),
+              static_cast<unsigned long long>(result->frontier_wire_bytes),
+              static_cast<unsigned long long>(result->frontier_dense_bytes),
+              static_cast<unsigned long long>((*engine)->OutputDigest()));
+  return 0;
 }
 
 util::StatusOr<graph::Csr> LoadGraph(const std::string& path) {
@@ -328,6 +395,11 @@ int CmdBfs(const std::vector<std::string>& args) {
     return 1;
   }
   auto source = static_cast<graph::NodeId>(std::stoul(args[1]));
+  if (g_shards > 1) {
+    apps::AppParams params;
+    params.sources = {source};
+    return RunSharded(*csr, "bfs", params);
+  }
   sim::GpuDevice device{sim::DeviceSpec()};
   core::Engine engine(&device, *csr, BaseOptions());
   apps::BfsProgram bfs;
@@ -354,6 +426,11 @@ int CmdPageRank(const std::vector<std::string>& args) {
     return 1;
   }
   uint32_t iterations = std::stoul(args[1]);
+  if (g_shards > 1) {
+    apps::AppParams params;
+    params.iterations = iterations;
+    return RunSharded(*csr, "pagerank", params);
+  }
   sim::GpuDevice device{sim::DeviceSpec()};
   core::Engine engine(&device, *csr, BaseOptions());
   apps::PageRankProgram pr;
@@ -447,13 +524,18 @@ int CmdMsBfs(const std::vector<std::string>& args) {
     std::fprintf(stderr, "k must be in [1, 64]\n");
     return 1;
   }
-  sim::GpuDevice device{sim::DeviceSpec()};
-  core::Engine engine(&device, *csr, BaseOptions());
-  apps::MultiSourceBfsProgram msbfs;
   std::vector<graph::NodeId> sources;
   for (graph::NodeId v = 0; v < csr->num_nodes() && sources.size() < k; ++v) {
     if (csr->OutDegree(v) > 0) sources.push_back(v);
   }
+  if (g_shards > 1) {
+    apps::AppParams params;
+    params.sources = sources;
+    return RunSharded(*csr, "msbfs", params);
+  }
+  sim::GpuDevice device{sim::DeviceSpec()};
+  core::Engine engine(&device, *csr, BaseOptions());
+  apps::MultiSourceBfsProgram msbfs;
   auto stats = apps::RunMultiSourceBfs(engine, msbfs, sources);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
@@ -507,15 +589,21 @@ int CmdPartition(const std::vector<std::string>& args) {
     return 1;
   }
   uint32_t parts = std::stoul(args[1]);
-  auto result = baselines::MetisLikePartition(*csr, parts);
-  std::printf("%u-way partition: edge cut %llu (%.2f%% of edges), balance "
-              "%.3f, %.3f s\n",
-              parts, static_cast<unsigned long long>(result.edge_cut),
+  auto partitioner = graph::MakePartitioner(g_partitioner);
+  auto result = partitioner->Partition(*csr, parts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%u-way %s partition: edge cut %llu (%.2f%% of edges), "
+              "balance %.3f, %.3f s\n",
+              parts, partitioner->name(),
+              static_cast<unsigned long long>(result->edge_cut),
               csr->num_edges() > 0
-                  ? 100.0 * static_cast<double>(result.edge_cut) /
+                  ? 100.0 * static_cast<double>(result->edge_cut) /
                         static_cast<double>(csr->num_edges())
                   : 0.0,
-              result.balance, result.seconds);
+              result->balance, result->seconds);
   return 0;
 }
 
@@ -817,7 +905,7 @@ int CmdServe(const std::vector<std::string>& args) {
     return 1;
   }
 
-  serve::GraphRegistry registry;
+  serve::GraphRegistry registry(g_shards);
   std::vector<serve::Request> requests;
   std::string line;
   size_t lineno = 0;
@@ -977,7 +1065,7 @@ const Subcommand kSubcommands[] = {
      2, &CmdProfile},
     {"reorder", "<graph> <method> <out.sagecsr>",
      "relabel with rcm|llp|gorder|random", 3, &CmdReorder},
-    {"partition", "<graph> <num_parts>", "metis-like partition", 2,
+    {"partition", "<graph> <num_parts>", "graph partition (--partitioner)", 2,
      &CmdPartition},
     {"determinism", "<graph>", "schedule-invariance + parallel equivalence",
      1, &CmdDeterminism},
