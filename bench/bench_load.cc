@@ -1,0 +1,181 @@
+// SageFlood SLO harness: a million-plus simulated requests through the
+// real QosPolicy under uncontended and 2x-overload scenarios, with
+// bursty Poisson arrivals and zipf-skewed graph/tenant popularity.
+//
+// The simulation is virtual-time (serve/loadgen.h): dispatch costs come
+// from real engine runs (modeled seconds, calibrated here at two
+// --host-threads settings), and the policy path is wall-clock-free, so
+// every number below is bit-reproducible.
+//
+// Gates (exit 1 on failure):
+//  - >= 1M simulated requests across the scenarios
+//  - interactive goodput at 2x overload >= 0.9x its uncontended value
+//  - zero interactive sheds at overload while best-effort demand exists
+//  - the overload shed set is bit-identical across host-thread counts
+//
+// Emits BENCH_load.json into the working directory.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "serve/loadgen.h"
+#include "util/logging.h"
+
+namespace sage::bench {
+namespace {
+
+constexpr uint64_t kRequestsPerScenario = 500000;
+
+serve::CostModel Calibrate(const std::vector<const graph::Csr*>& graphs,
+                           uint32_t host_threads) {
+  core::EngineOptions options;
+  options.host_threads = host_threads;
+  auto model = serve::CalibrateCostModel(graphs, options, BenchSpec(), 64);
+  SAGE_CHECK(model.ok()) << model.status().ToString();
+  return std::move(*model);
+}
+
+serve::LoadReport Scenario(const std::string& name, double overload,
+                           const serve::CostModel& model) {
+  serve::LoadOptions options;
+  options.requests = kRequestsPerScenario;
+  options.overload = overload;
+  serve::LoadReport report = serve::RunLoad(options, model);
+  report.scenario = name;
+  return report;
+}
+
+void PrintReport(const serve::LoadReport& r) {
+  std::printf("%-14s offered %.0f req/s (%.2fx capacity), %llu dispatches, "
+              "mean batch %.1f\n",
+              r.scenario.c_str(), r.offered_rps,
+              r.offered_rps / r.capacity_rps,
+              static_cast<unsigned long long>(r.dispatches), r.mean_batch);
+  for (int c = 0; c < serve::kNumPriorities; ++c) {
+    const serve::ClassReport& cr = r.by_class[c];
+    std::printf("  %-12s offered %8llu  goodput %.4f  evicted %6llu  "
+                "p99 %8.2f ms  p99.9 %8.2f ms\n",
+                serve::PriorityName(static_cast<serve::Priority>(c)),
+                static_cast<unsigned long long>(cr.offered), cr.goodput,
+                static_cast<unsigned long long>(cr.evicted), cr.p99_ms,
+                cr.p999_ms);
+  }
+  std::printf("  quota_rejections %llu  queue_full %llu  evictions %llu  "
+              "shed_digest %016llx\n",
+              static_cast<unsigned long long>(r.quota_rejections),
+              static_cast<unsigned long long>(r.queue_full_rejections),
+              static_cast<unsigned long long>(r.evictions),
+              static_cast<unsigned long long>(r.shed_digest));
+}
+
+int Main() {
+  // Four graphs spanning the category signatures (skewed, web, community,
+  // uniform) — the zipf head lands on the RMAT graph.
+  graph::Csr rmat = graph::GenerateRmat(12, 49152, 0.57, 0.19, 0.19, 42);
+  graph::Csr web = graph::GenerateWebCopy(12000, 8, 0.3, 7);
+  graph::Csr community = graph::GenerateCommunity(8000, 16, 500, 0.8, 11);
+  graph::Csr uniform = graph::GenerateUniform(10000, 60000, 13);
+  std::vector<const graph::Csr*> graphs = {&rmat, &web, &community, &uniform};
+
+  std::printf("calibrating dispatch cost model (4 graphs x "
+              "{host_threads=1, host_threads=4})...\n");
+  serve::CostModel model1 = Calibrate(graphs, 1);
+  serve::CostModel model4 = Calibrate(graphs, 4);
+  bool models_identical = model1.graphs.size() == model4.graphs.size();
+  for (size_t g = 0; models_identical && g < model1.graphs.size(); ++g) {
+    models_identical =
+        model1.graphs[g].batch1_seconds == model4.graphs[g].batch1_seconds &&
+        model1.graphs[g].batchmax_seconds == model4.graphs[g].batchmax_seconds;
+  }
+  SAGE_CHECK(models_identical)
+      << "modeled dispatch costs diverged across host_threads (PR-2 "
+         "determinism contract broken)";
+  for (size_t g = 0; g < model1.graphs.size(); ++g) {
+    std::printf("  graph %zu: batch1 %.6fs, batch64 %.6fs "
+                "(%.1fx per-request amortization)\n",
+                g, model1.graphs[g].batch1_seconds,
+                model1.graphs[g].batchmax_seconds,
+                64.0 * model1.graphs[g].batch1_seconds /
+                    model1.graphs[g].batchmax_seconds);
+  }
+
+  std::printf("\nrunning %llu-request scenarios...\n\n",
+              static_cast<unsigned long long>(kRequestsPerScenario));
+  // 0.25x is the honest "uncontended" point: batching efficiency means
+  // the knee sits well below 1.0x of full-batch capacity.
+  serve::LoadReport uncontended = Scenario("uncontended", 0.25, model1);
+  serve::LoadReport overload = Scenario("overload_2x", 2.0, model1);
+  serve::LoadReport overload_t4 = Scenario("overload_2x_t4", 2.0, model4);
+  PrintReport(uncontended);
+  PrintReport(overload);
+  PrintReport(overload_t4);
+
+  const uint64_t total = uncontended.requests + overload.requests +
+                         overload_t4.requests;
+  const int interactive = static_cast<int>(serve::Priority::kInteractive);
+  const int best_effort = static_cast<int>(serve::Priority::kBestEffort);
+  const double uncontended_goodput =
+      uncontended.by_class[interactive].goodput;
+  const double overload_goodput = overload.by_class[interactive].goodput;
+  const bool gate_requests = total >= 1000000;
+  const bool gate_goodput =
+      uncontended_goodput > 0.0 &&
+      overload_goodput >= 0.9 * uncontended_goodput;
+  const bool gate_no_interactive_shed =
+      overload.by_class[interactive].evicted == 0 &&
+      overload.by_class[best_effort].offered > 0;
+  const bool gate_digest = overload.shed_digest == overload_t4.shed_digest;
+
+  std::printf("\ngates:\n");
+  std::printf("  total simulated requests %llu >= 1M: %s\n",
+              static_cast<unsigned long long>(total),
+              gate_requests ? "PASS" : "FAIL");
+  std::printf("  interactive goodput %0.4f @2x >= 0.9 * %0.4f uncontended: "
+              "%s\n",
+              overload_goodput, uncontended_goodput,
+              gate_goodput ? "PASS" : "FAIL");
+  std::printf("  zero interactive sheds under overload (best-effort "
+              "available): %s\n",
+              gate_no_interactive_shed ? "PASS" : "FAIL");
+  std::printf("  shed set bit-identical across host_threads {1,4}: %s\n",
+              gate_digest ? "PASS" : "FAIL");
+
+  FILE* f = std::fopen("BENCH_load.json", "w");
+  SAGE_CHECK(f != nullptr);
+  std::fprintf(f, "{\n  \"bench\": \"load\",\n");
+  std::fprintf(f, "  \"total_requests\": %llu,\n",
+               static_cast<unsigned long long>(total));
+  std::fprintf(f, "  \"scenarios\": [\n    %s,\n    %s,\n    %s\n  ],\n",
+               uncontended.ToJson().c_str(), overload.ToJson().c_str(),
+               overload_t4.ToJson().c_str());
+  std::fprintf(f,
+               "  \"gates\": {\n"
+               "    \"requests_1m\": %s,\n"
+               "    \"interactive_goodput_ratio\": %.4f,\n"
+               "    \"interactive_goodput_held\": %s,\n"
+               "    \"no_interactive_sheds\": %s,\n"
+               "    \"shed_digest_thread_invariant\": %s\n"
+               "  }\n}\n",
+               gate_requests ? "true" : "false",
+               uncontended_goodput > 0.0
+                   ? overload_goodput / uncontended_goodput
+                   : 0.0,
+               gate_goodput ? "true" : "false",
+               gate_no_interactive_shed ? "true" : "false",
+               gate_digest ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_load.json\n");
+
+  return gate_requests && gate_goodput && gate_no_interactive_shed &&
+                 gate_digest
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() { return sage::bench::Main(); }

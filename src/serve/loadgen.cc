@@ -1,0 +1,463 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <queue>
+#include <utility>
+
+#include "apps/msbfs.h"
+#include "apps/registry.h"
+#include "sim/gpu_device.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace sage::serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t digest, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (value >> (i * 8)) & 0xff;
+    digest *= kFnvPrime;
+  }
+  return digest;
+}
+
+/// One simulated request flowing through the policy.
+struct SimReq {
+  uint64_t id = 0;
+  uint32_t graph = 0;
+  int cls = 0;
+  uint32_t client = 0;  ///< closed loop: who waits on this request
+  double arrival = 0.0;
+};
+
+/// One class's admission queue, bucketed by graph so the coalesce step is
+/// O(batch) instead of an O(queue) mid-deque erase scan. Request ids are
+/// monotone, so "oldest in class" (dispatch leader) and "newest in class"
+/// (eviction victim) are id comparisons across the buckets — the exact
+/// FIFO/LIFO order the service's single deque produces.
+struct ClassQueue {
+  std::vector<std::deque<SimReq>> by_graph;
+  size_t size = 0;
+
+  void Push(SimReq req) {
+    by_graph[req.graph].push_back(std::move(req));
+    ++size;
+  }
+  /// The newest request in the class (eviction victim).
+  SimReq PopNewest() {
+    int best = -1;
+    for (size_t g = 0; g < by_graph.size(); ++g) {
+      if (!by_graph[g].empty() &&
+          (best < 0 || by_graph[g].back().id > by_graph[best].back().id)) {
+        best = static_cast<int>(g);
+      }
+    }
+    SimReq victim = std::move(by_graph[best].back());
+    by_graph[best].pop_back();
+    --size;
+    return victim;
+  }
+  /// The graph whose front request is oldest (the dispatch leader).
+  uint32_t LeaderGraph() const {
+    int best = -1;
+    for (size_t g = 0; g < by_graph.size(); ++g) {
+      if (!by_graph[g].empty() &&
+          (best < 0 || by_graph[g].front().id < by_graph[best].front().id)) {
+        best = static_cast<int>(g);
+      }
+    }
+    return static_cast<uint32_t>(best);
+  }
+};
+
+/// The discrete-event simulation state. Single-threaded, virtual-time
+/// only; the QosPolicy member is the exact class the live service runs.
+struct Sim {
+  const LoadOptions& options;
+  const CostModel& model;
+  QosPolicy policy;
+  util::Rng rng;
+  std::array<ClassQueue, kNumPriorities> queues;
+  std::vector<double> server_free_at;
+  std::array<std::vector<double>, kNumPriorities> latencies_ms;
+  LoadReport report;
+  /// Closed loop: completion time of each in-flight client's request is
+  /// delivered through this callback surface (simple: a ready-time heap
+  /// owned by the caller, filled via this vector of (client, time)).
+  std::vector<std::pair<uint32_t, double>> client_wakeups;
+
+  Sim(const LoadOptions& opts, const CostModel& m)
+      : options(opts), model(m), policy(opts.qos), rng(opts.seed ^ 0x51u) {
+    server_free_at.assign(options.servers, 0.0);
+    report.shed_digest = kFnvOffset;
+    for (auto& q : queues) q.by_graph.resize(model.graphs.size());
+    for (auto& v : latencies_ms) {
+      v.reserve(static_cast<size_t>(
+          options.requests / std::max(1, kNumPriorities) + 16));
+    }
+  }
+
+  std::array<size_t, kNumPriorities> Depths() const {
+    std::array<size_t, kNumPriorities> d;
+    for (int c = 0; c < kNumPriorities; ++c) d[c] = queues[c].size;
+    return d;
+  }
+
+  size_t TotalQueued() const {
+    size_t n = 0;
+    for (const auto& q : queues) n += q.size;
+    return n;
+  }
+
+  int IdleServer(double now) const {
+    int best = -1;
+    for (size_t s = 0; s < server_free_at.size(); ++s) {
+      if (server_free_at[s] <= now &&
+          (best < 0 || server_free_at[s] < server_free_at[best])) {
+        best = static_cast<int>(s);
+      }
+    }
+    return best;
+  }
+
+  void RecordShed(const SimReq& r, ShedReason reason) {
+    report.shed_digest = FnvMix(report.shed_digest, r.id);
+    report.shed_digest =
+        FnvMix(report.shed_digest, static_cast<uint64_t>(reason));
+  }
+
+  /// Admits one generated request at virtual time `now`. Returns true if
+  /// it was queued (false = rejected at the door; closed-loop callers
+  /// then wake the client immediately).
+  bool Admit(SimReq req, const std::string& tenant, double now) {
+    ClassReport& cr = report.by_class[req.cls];
+    ++cr.offered;
+    const QosPolicy::Admission verdict =
+        policy.Admit(static_cast<Priority>(req.cls), tenant, Depths(),
+                     options.max_pending);
+    if (!verdict.admit) {
+      if (verdict.reason == ShedReason::kQuota) {
+        ++cr.quota;
+        ++report.quota_rejections;
+      } else {
+        ++cr.queue_full;
+        ++report.queue_full_rejections;
+      }
+      RecordShed(req, verdict.reason);
+      return false;
+    }
+    if (verdict.evict >= 0) {
+      SAGE_CHECK(queues[verdict.evict].size > 0);
+      SimReq victim = queues[verdict.evict].PopNewest();
+      ++report.by_class[victim.cls].evicted;
+      ++report.evictions;
+      RecordShed(victim, ShedReason::kPriorityEviction);
+      if (options.closed_loop) client_wakeups.emplace_back(victim.client, now);
+    }
+    ++cr.admitted;
+    req.arrival = now;
+    queues[req.cls].Push(std::move(req));
+    return true;
+  }
+
+  /// Runs one dispatch on server `s` starting at `start` (some queue is
+  /// non-empty): WRR class pick, coalesce same-graph members, service
+  /// time from the cost model. Mirrors QueryService::TakeBatchLocked.
+  void Dispatch(size_t s, double start) {
+    const int cls = policy.NextClass(Depths());
+    SAGE_CHECK(cls >= 0);
+    ClassQueue& queue = queues[cls];
+    const uint32_t g = queue.LeaderGraph();
+    std::deque<SimReq>& sub = queue.by_graph[g];
+    std::vector<SimReq> batch;
+    while (!sub.empty() && batch.size() < options.max_batch) {
+      batch.push_back(std::move(sub.front()));
+      sub.pop_front();
+      --queue.size;
+    }
+    const double seconds =
+        model.DispatchSeconds(g, static_cast<uint32_t>(batch.size()));
+    const double done = start + seconds;
+    server_free_at[s] = done;
+    ++report.dispatches;
+    report.mean_batch += static_cast<double>(batch.size());
+    report.virtual_seconds = std::max(report.virtual_seconds, done);
+    for (SimReq& r : batch) {
+      ++report.by_class[r.cls].completed;
+      latencies_ms[r.cls].push_back((done - r.arrival) * 1e3);
+      if (options.closed_loop) client_wakeups.emplace_back(r.client, done);
+    }
+  }
+
+  /// Fires every dispatch that can start at or before `now` (servers
+  /// freeing while work is queued). Invariant on return: queue non-empty
+  /// implies every server is busy past `now`.
+  void DrainUntil(double now) {
+    for (;;) {
+      if (TotalQueued() == 0) return;
+      size_t s = 0;
+      for (size_t i = 1; i < server_free_at.size(); ++i) {
+        if (server_free_at[i] < server_free_at[s]) s = i;
+      }
+      if (server_free_at[s] > now) return;
+      Dispatch(s, std::max(server_free_at[s], 0.0));
+    }
+  }
+
+  void Finish() {
+    // Drain: everything still queued is served as servers free up.
+    while (TotalQueued() > 0) {
+      size_t s = 0;
+      for (size_t i = 1; i < server_free_at.size(); ++i) {
+        if (server_free_at[i] < server_free_at[s]) s = i;
+      }
+      Dispatch(s, server_free_at[s]);
+    }
+    if (report.dispatches > 0) {
+      report.mean_batch /= static_cast<double>(report.dispatches);
+    }
+    for (int c = 0; c < kNumPriorities; ++c) {
+      ClassReport& cr = report.by_class[c];
+      if (cr.offered > 0) {
+        cr.goodput = static_cast<double>(cr.completed) /
+                     static_cast<double>(cr.offered);
+      }
+      std::vector<double>& lat = latencies_ms[c];
+      std::sort(lat.begin(), lat.end());
+      if (!lat.empty()) {
+        cr.p50_ms = util::PercentileOfSorted(lat, 50.0);
+        cr.p99_ms = util::PercentileOfSorted(lat, 99.0);
+        cr.p999_ms = util::PercentileOfSorted(lat, 99.9);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+double CostModel::DispatchSeconds(uint32_t g, uint32_t batch) const {
+  SAGE_CHECK(g < graphs.size());
+  const GraphCost& c = graphs[g];
+  if (max_batch <= 1 || batch <= 1) return c.batch1_seconds;
+  const double f = static_cast<double>(batch - 1) /
+                   static_cast<double>(max_batch - 1);
+  return c.batch1_seconds + (c.batchmax_seconds - c.batch1_seconds) * f;
+}
+
+util::StatusOr<CostModel> CalibrateCostModel(
+    const std::vector<const graph::Csr*>& graphs,
+    const core::EngineOptions& engine_options, const sim::DeviceSpec& spec,
+    uint32_t max_batch) {
+  if (graphs.empty()) {
+    return util::Status::InvalidArgument("no graphs to calibrate");
+  }
+  CostModel model;
+  model.max_batch = std::max<uint32_t>(max_batch, 1);
+  const uint32_t sources = std::min<uint32_t>(
+      model.max_batch, apps::MultiSourceBfsProgram::kMaxSources);
+  for (const graph::Csr* csr : graphs) {
+    SAGE_CHECK(csr != nullptr);
+    sim::GpuDevice device(spec);
+    auto engine = core::Engine::Create(&device, *csr, engine_options);
+    if (!engine.ok()) return engine.status();
+    GraphCost cost;
+    {
+      auto program = apps::CreateProgram("bfs");
+      if (!program.ok()) return program.status();
+      apps::AppParams params;
+      params.sources = {0};
+      auto stats = apps::RunApp(**engine, **program, params);
+      if (!stats.ok()) return stats.status();
+      cost.batch1_seconds = stats->seconds;
+    }
+    {
+      auto program = apps::CreateProgram("msbfs");
+      if (!program.ok()) return program.status();
+      apps::AppParams params;
+      params.sources.reserve(sources);
+      for (uint32_t i = 0; i < sources; ++i) {
+        params.sources.push_back(i % csr->num_nodes());
+      }
+      auto stats = apps::RunApp(**engine, **program, params);
+      if (!stats.ok()) return stats.status();
+      cost.batchmax_seconds = stats->seconds;
+    }
+    model.graphs.push_back(cost);
+  }
+  return model;
+}
+
+LoadReport RunLoad(const LoadOptions& options, const CostModel& model) {
+  SAGE_CHECK(!model.graphs.empty());
+  Sim sim(options, model);
+  LoadReport& report = sim.report;
+  report.requests = options.requests;
+
+  // Capacity: the fleet's full-batch throughput over the zipf graph mix.
+  // Per-request cost of graph g at a full batch is tmax_g / max_batch;
+  // graph g's zipf share weights it.
+  const size_t ng = model.graphs.size();
+  {
+    double hsum = 0.0;
+    for (size_t k = 1; k <= ng; ++k) {
+      hsum += 1.0 / std::pow(static_cast<double>(k), options.zipf_alpha);
+    }
+    double mean_cost = 0.0;
+    for (size_t g = 0; g < ng; ++g) {
+      const double share =
+          1.0 / std::pow(static_cast<double>(g + 1), options.zipf_alpha) /
+          hsum;
+      mean_cost += share * model.graphs[g].batchmax_seconds /
+                   static_cast<double>(std::max<uint32_t>(model.max_batch, 1));
+    }
+    report.capacity_rps = static_cast<double>(options.servers) / mean_cost;
+  }
+  report.offered_rps = options.overload * report.capacity_rps;
+  SAGE_CHECK(report.offered_rps > 0.0);
+
+  // Per-request draws (class, graph, tenant) come from one stream seeded
+  // by options.seed; arrival times from their own (open loop).
+  util::Rng draw(options.seed);
+  auto draw_request = [&](uint64_t id, uint32_t client) {
+    SimReq req;
+    req.id = id;
+    req.client = client;
+    req.graph = static_cast<uint32_t>(draw.Zipf(ng, options.zipf_alpha));
+    const double u = draw.UniformDouble();
+    double acc = 0.0;
+    req.cls = kNumPriorities - 1;
+    for (int c = 0; c < kNumPriorities; ++c) {
+      acc += options.class_mix[c];
+      if (u < acc) {
+        req.cls = c;
+        break;
+      }
+    }
+    return req;
+  };
+  auto draw_tenant = [&] {
+    return "t" + std::to_string(draw.Zipf(options.num_tenants,
+                                          options.zipf_alpha));
+  };
+
+  if (!options.closed_loop) {
+    util::ArrivalOptions shape = options.arrival;
+    shape.rate = report.offered_rps;
+    util::ArrivalProcess arrivals(shape, options.seed ^ 0xA221u);
+    for (uint64_t i = 0; i < options.requests; ++i) {
+      const double t = arrivals.Next();
+      sim.DrainUntil(t);
+      SimReq req = draw_request(i, 0);
+      const std::string tenant = draw_tenant();
+      if (sim.Admit(std::move(req), tenant, t)) {
+        const int s = sim.IdleServer(t);
+        if (s >= 0) sim.Dispatch(static_cast<size_t>(s), t);
+      }
+    }
+  } else {
+    // Closed loop: `clients` callers, each submit → wait → think →
+    // resubmit. Backpressure (rejections, evictions) wakes the caller
+    // immediately, so offered load self-limits the way real synchronous
+    // clients do.
+    using Ready = std::pair<double, uint32_t>;  // (ready time, client)
+    std::priority_queue<Ready, std::vector<Ready>, std::greater<Ready>> heap;
+    const uint32_t clients = std::max<uint32_t>(options.clients, 1);
+    for (uint32_t c = 0; c < clients; ++c) {
+      // Stagger the first submissions across one mean inter-arrival span
+      // so the opening instant is not a thundering herd.
+      heap.emplace(draw.UniformDouble() * clients / report.offered_rps, c);
+    }
+    auto think = [&](double now) {
+      if (options.think_seconds <= 0.0) return now;
+      return now - options.think_seconds * std::log(1.0 - draw.UniformDouble());
+    };
+    uint64_t submitted = 0;
+    while (submitted < options.requests && !heap.empty()) {
+      auto [t, client] = heap.top();
+      heap.pop();
+      sim.DrainUntil(t);
+      for (auto& [who, when] : sim.client_wakeups) {
+        heap.emplace(think(when), who);
+      }
+      sim.client_wakeups.clear();
+      SimReq req = draw_request(submitted, client);
+      const std::string tenant = draw_tenant();
+      ++submitted;
+      if (sim.Admit(std::move(req), tenant, t)) {
+        const int s = sim.IdleServer(t);
+        if (s >= 0) sim.Dispatch(static_cast<size_t>(s), t);
+        // The client sleeps until its request completes (a wakeup posted
+        // by Dispatch or an eviction).
+      } else {
+        heap.emplace(think(t), client);
+      }
+      // Wakeups posted by the inline dispatch above.
+      for (auto& [who, when] : sim.client_wakeups) {
+        heap.emplace(think(when), who);
+      }
+      sim.client_wakeups.clear();
+    }
+  }
+
+  sim.Finish();
+  // Closed-loop drain may have posted final wakeups; nobody consumes them.
+  sim.client_wakeups.clear();
+  return report;
+}
+
+std::string LoadReport::ToJson() const {
+  std::string out = "{";
+  util::AppendF(&out, "\"scenario\": \"%s\"", util::JsonEscape(scenario).c_str());
+  util::AppendF(&out, ", \"requests\": %llu",
+                static_cast<unsigned long long>(requests));
+  util::AppendF(&out, ", \"dispatches\": %llu",
+                static_cast<unsigned long long>(dispatches));
+  util::AppendF(&out, ", \"mean_batch\": %.3f", mean_batch);
+  util::AppendF(&out, ", \"capacity_rps\": %.1f", capacity_rps);
+  util::AppendF(&out, ", \"offered_rps\": %.1f", offered_rps);
+  util::AppendF(&out, ", \"virtual_seconds\": %.4f", virtual_seconds);
+  util::AppendF(&out, ", \"quota_rejections\": %llu",
+                static_cast<unsigned long long>(quota_rejections));
+  util::AppendF(&out, ", \"queue_full_rejections\": %llu",
+                static_cast<unsigned long long>(queue_full_rejections));
+  util::AppendF(&out, ", \"evictions\": %llu",
+                static_cast<unsigned long long>(evictions));
+  util::AppendF(&out, ", \"shed_digest\": \"%016llx\"",
+                static_cast<unsigned long long>(shed_digest));
+  out += ", \"classes\": {";
+  for (int c = 0; c < kNumPriorities; ++c) {
+    const ClassReport& cr = by_class[c];
+    if (c > 0) out += ", ";
+    util::AppendF(&out, "\"%s\": {", PriorityName(static_cast<Priority>(c)));
+    util::AppendF(&out, "\"offered\": %llu",
+                  static_cast<unsigned long long>(cr.offered));
+    util::AppendF(&out, ", \"admitted\": %llu",
+                  static_cast<unsigned long long>(cr.admitted));
+    util::AppendF(&out, ", \"completed\": %llu",
+                  static_cast<unsigned long long>(cr.completed));
+    util::AppendF(&out, ", \"evicted\": %llu",
+                  static_cast<unsigned long long>(cr.evicted));
+    util::AppendF(&out, ", \"queue_full\": %llu",
+                  static_cast<unsigned long long>(cr.queue_full));
+    util::AppendF(&out, ", \"quota\": %llu",
+                  static_cast<unsigned long long>(cr.quota));
+    util::AppendF(&out, ", \"goodput\": %.4f", cr.goodput);
+    util::AppendF(&out, ", \"p50_ms\": %.3f", cr.p50_ms);
+    util::AppendF(&out, ", \"p99_ms\": %.3f", cr.p99_ms);
+    util::AppendF(&out, ", \"p999_ms\": %.3f", cr.p999_ms);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sage::serve

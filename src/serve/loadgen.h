@@ -1,0 +1,147 @@
+#ifndef SAGE_SERVE_LOADGEN_H_
+#define SAGE_SERVE_LOADGEN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/csr.h"
+#include "serve/qos.h"
+#include "sim/device_spec.h"
+#include "util/arrival.h"
+#include "util/status.h"
+
+namespace sage::serve {
+
+/// SageFlood load harness (DESIGN.md §11): a virtual-time discrete-event
+/// simulation of the serve tier under configurable offered load. It runs
+/// the *same* QosPolicy object the live QueryService runs — the policy
+/// path is wall-clock-free, so it composes with virtual time — against a
+/// cost model calibrated from real engine dispatches (modeled seconds,
+/// deterministic per the PR-2 contract). That combination lets a million
+/// requests replay in milliseconds while every admission, eviction, and
+/// quota decision is exactly what the real service would have made for
+/// the same submission sequence.
+
+/// Modeled dispatch cost of one graph at the batch-size extremes; costs
+/// for intermediate batch sizes interpolate linearly.
+struct GraphCost {
+  double batch1_seconds = 0.0;   ///< solo BFS dispatch
+  double batchmax_seconds = 0.0; ///< coalesced MS-BFS at max batch
+};
+
+struct CostModel {
+  uint32_t max_batch = 64;
+  std::vector<GraphCost> graphs;
+
+  /// Modeled seconds of one dispatch of `batch` coalesced requests on
+  /// graph `g`.
+  double DispatchSeconds(uint32_t g, uint32_t batch) const;
+};
+
+/// Runs real engine dispatches (BFS at batch 1, MS-BFS at max_batch) on
+/// each graph and records their modeled seconds. Modeled time is
+/// bit-identical across host speeds and engine host_threads — which is
+/// what makes the whole simulation's shed set replayable (bench_load
+/// gates on it).
+util::StatusOr<CostModel> CalibrateCostModel(
+    const std::vector<const graph::Csr*>& graphs,
+    const core::EngineOptions& engine_options, const sim::DeviceSpec& spec,
+    uint32_t max_batch);
+
+/// One load scenario. Offered rate is `overload` × the modeled full-batch
+/// capacity of the simulated server fleet, so "2.0" means twice what the
+/// tier can possibly serve.
+struct LoadOptions {
+  /// Requests to generate (the bench drives ≥1M across its scenarios).
+  uint64_t requests = 100000;
+  /// Offered load as a multiple of modeled capacity.
+  double overload = 1.0;
+  /// Simulated dispatch servers (one warm engine each).
+  uint32_t servers = 4;
+  uint32_t max_batch = 64;
+  uint64_t seed = 0x53414745u;  // "SAGE"
+  /// Popularity skew: graphs, sources, and tenants are all drawn
+  /// zipf(alpha) — a few hot graphs and one heavy tenant, like real
+  /// multi-tenant traffic.
+  uint32_t num_tenants = 16;
+  double zipf_alpha = 0.9;
+  /// Fraction of traffic per class (interactive, batch, best-effort).
+  std::array<double, kNumPriorities> class_mix{0.30, 0.40, 0.30};
+  /// Admission-queue capacity. Sized so one ON-phase burst (see
+  /// `arrival`) fits inside the standing lower-class backlog — bursts are
+  /// then absorbed by evicting batch/best-effort work instead of
+  /// rejecting interactive requests at a full queue.
+  size_t max_pending = 16384;
+  /// Policy under test. Defaults give the heaviest zipf tenant (~26% of
+  /// traffic) a 20% quota so quota rejections actually occur.
+  QosOptions qos;
+  /// Arrival shape (open-loop mode): bursty ON/OFF Poisson by default.
+  util::ArrivalOptions arrival;
+  /// Closed-loop mode: `clients` callers that each submit, wait for the
+  /// response, think, and resubmit — backpressure reaches the caller
+  /// instead of the queue. Open loop (false) is what the overload gates
+  /// use; closed loop is the smoke-test / CLI mode.
+  bool closed_loop = false;
+  uint32_t clients = 256;
+  /// Mean exponential think time between a client's requests (closed
+  /// loop; 0 = resubmit immediately).
+  double think_seconds = 0.0;
+
+  LoadOptions() {
+    qos.tenant_rate_per_tick = 0.2;
+    qos.tenant_burst = 64.0;
+    arrival.burst_factor = 2.5;
+    // Short cycles: a burst must be comparable to the queue, not orders
+    // of magnitude beyond it, or every ON phase floods straight through
+    // the shedder no matter what the policy does.
+    arrival.burst_period_s = 0.005;
+    arrival.burst_duty = 0.3;
+  }
+};
+
+/// Per-class slice of the SLO report. offered = admitted + quota +
+/// queue_full; completed = admitted - evicted (the sim serves everything
+/// it does not shed).
+struct ClassReport {
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t evicted = 0;     ///< shed by priority eviction
+  uint64_t queue_full = 0;  ///< refused, nothing cheaper to evict
+  uint64_t quota = 0;       ///< tenant over quota
+  double goodput = 0.0;     ///< completed / offered
+  double p50_ms = 0.0;      ///< virtual submit → completion latency
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+struct LoadReport {
+  std::string scenario;
+  std::array<ClassReport, kNumPriorities> by_class;
+  uint64_t requests = 0;
+  uint64_t dispatches = 0;
+  double mean_batch = 0.0;
+  uint64_t quota_rejections = 0;
+  uint64_t queue_full_rejections = 0;
+  uint64_t evictions = 0;
+  /// FNV-1a over every (request id, shed reason) decision in order — the
+  /// bit-identity fingerprint bench_load compares across thread counts.
+  uint64_t shed_digest = 0;
+  double capacity_rps = 0.0;  ///< modeled full-batch fleet capacity
+  double offered_rps = 0.0;
+  double virtual_seconds = 0.0;  ///< virtual time of the last completion
+
+  /// One JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+/// Runs one scenario. Pure virtual-time: no wall clock, no threads — the
+/// same (options, model) pair always produces a bit-identical report.
+LoadReport RunLoad(const LoadOptions& options, const CostModel& model);
+
+}  // namespace sage::serve
+
+#endif  // SAGE_SERVE_LOADGEN_H_

@@ -1,0 +1,101 @@
+#include "serve/qos.h"
+
+namespace sage::serve {
+
+const char* PriorityName(Priority p) {
+  switch (p) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBestEffort:
+      return "best_effort";
+  }
+  return "unknown";
+}
+
+bool ParsePriority(const std::string& text, Priority* out) {
+  if (text == "interactive") {
+    *out = Priority::kInteractive;
+  } else if (text == "batch") {
+    *out = Priority::kBatch;
+  } else if (text == "besteffort" || text == "best-effort" ||
+             text == "best_effort") {
+    *out = Priority::kBestEffort;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ShedReasonName(ShedReason r) {
+  switch (r) {
+    case ShedReason::kNone:
+      return "none";
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kPriorityEviction:
+      return "priority_eviction";
+    case ShedReason::kQuota:
+      return "quota";
+    case ShedReason::kDeadlineUnmeetable:
+      return "deadline_unmeetable";
+    case ShedReason::kDeadlineExpired:
+      return "deadline_expired";
+  }
+  return "unknown";
+}
+
+QosPolicy::QosPolicy(const QosOptions& options) : options_(options) {
+  for (int c = 0; c < kNumPriorities; ++c) credit_[c] = options_.weights[c];
+}
+
+QosPolicy::Admission QosPolicy::Admit(
+    Priority priority, const std::string& tenant,
+    const std::array<size_t, kNumPriorities>& depth, size_t max_pending) {
+  ++tick_;
+  if (options_.tenant_rate_per_tick > 0.0) {
+    auto [it, inserted] = buckets_.try_emplace(
+        tenant, options_.tenant_rate_per_tick, options_.tenant_burst);
+    (void)inserted;
+    if (!it->second.TryAcquire(tick_)) {
+      return {false, ShedReason::kQuota, -1};
+    }
+  }
+  size_t total = 0;
+  for (size_t d : depth) total += d;
+  if (total < max_pending) return {true, ShedReason::kNone, -1};
+  // Full: make room by shedding from the cheapest-to-lose class that is
+  // strictly less important than the newcomer. Equal-or-higher classes are
+  // never evicted, so an interactive flood cannot starve other
+  // interactive requests by churning the queue.
+  for (int c = kNumPriorities - 1; c > static_cast<int>(priority); --c) {
+    if (depth[c] > 0) return {true, ShedReason::kPriorityEviction, c};
+  }
+  return {false, ShedReason::kQueueFull, -1};
+}
+
+int QosPolicy::NextClass(const std::array<size_t, kNumPriorities>& depth) {
+  bool any = false;
+  for (size_t d : depth) any |= d > 0;
+  if (!any) return -1;
+  // Two credit passes: the first spends leftover credit, the second runs
+  // after a refresh so a class that just exhausted its weight gets another
+  // chance within the same call.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int c = 0; c < kNumPriorities; ++c) {
+      if (depth[c] > 0 && credit_[c] > 0) {
+        --credit_[c];
+        return c;
+      }
+    }
+    for (int c = 0; c < kNumPriorities; ++c) credit_[c] = options_.weights[c];
+  }
+  // Only weight-0 classes are non-empty: fall back to strict priority.
+  for (int c = 0; c < kNumPriorities; ++c) {
+    if (depth[c] > 0) return c;
+  }
+  return -1;
+}
+
+}  // namespace sage::serve

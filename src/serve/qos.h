@@ -1,0 +1,112 @@
+#ifndef SAGE_SERVE_QOS_H_
+#define SAGE_SERVE_QOS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/token_bucket.h"
+
+namespace sage::serve {
+
+/// Admission classes, ordered from most to least important. The numeric
+/// value doubles as the shed order: under pressure the policy evicts the
+/// highest-valued non-empty class first.
+enum class Priority : uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+  kBestEffort = 2,
+};
+
+inline constexpr int kNumPriorities = 3;
+
+const char* PriorityName(Priority p);
+
+/// Parses "interactive" / "batch" / "besteffort" (also "best-effort",
+/// "best_effort"). Returns false on anything else.
+bool ParsePriority(const std::string& text, Priority* out);
+
+/// Machine-readable reason a request was shed instead of served. Encoded
+/// verbatim into the response status message as "[shed=<name>]" so callers
+/// can dispatch on it without string-matching prose.
+enum class ShedReason : uint8_t {
+  kNone = 0,
+  /// Admission queue full and nothing lower-priority to evict.
+  kQueueFull,
+  /// Evicted from the queue to admit a higher-priority request.
+  kPriorityEviction,
+  /// Tenant exceeded its token-bucket quota.
+  kQuota,
+  /// Modeled cost says the deadline cannot be met; dropped at dequeue.
+  kDeadlineUnmeetable,
+  /// Absolute wall deadline already passed at dequeue.
+  kDeadlineExpired,
+};
+
+const char* ShedReasonName(ShedReason r);
+
+struct QosOptions {
+  /// Weighted-round-robin dequeue weights per class (interactive, batch,
+  /// best-effort). A class with weight 0 is served only when every
+  /// positive-weight class is empty.
+  std::array<uint32_t, kNumPriorities> weights{16, 4, 1};
+
+  /// Per-tenant token-bucket refill per admission tick. The policy ticks
+  /// once per submission, so this is the share of total traffic one tenant
+  /// may consume (0.12 = 12%). 0 disables quotas.
+  double tenant_rate_per_tick = 0.0;
+
+  /// Credit a tenant may bank for bursts.
+  double tenant_burst = 32.0;
+
+  /// Longest accepted tenant id; longer ids are rejected at Submit.
+  size_t max_tenant_chars = 64;
+};
+
+/// The admission/dequeue policy shared by the live QueryService and the
+/// virtual-time load simulator. Everything here is driven by logical
+/// ticks and queue depths — no wall clock, no randomness — so the same
+/// submission sequence always sheds the same set of requests, regardless
+/// of host speed or `--host-threads`.
+///
+/// Not thread-safe: the service calls it under its admission mutex, the
+/// simulator is single-threaded.
+class QosPolicy {
+ public:
+  explicit QosPolicy(const QosOptions& options);
+
+  struct Admission {
+    bool admit = false;
+    ShedReason reason = ShedReason::kNone;
+    /// When `reason == kPriorityEviction`: the class whose newest queued
+    /// request must be evicted to make room. -1 otherwise.
+    int evict = -1;
+  };
+
+  /// Decides the fate of one submission given current per-class queue
+  /// depths. Advances the logical clock (quota refill) by one tick.
+  /// Outcomes: plain admit; admit-with-eviction (a strictly lower-priority
+  /// queued request is shed to make room); deny (quota, or queue full with
+  /// nothing cheaper to evict).
+  Admission Admit(Priority priority, const std::string& tenant,
+                  const std::array<size_t, kNumPriorities>& depth,
+                  size_t max_pending);
+
+  /// Weighted-round-robin pick of the next class to dequeue from, or -1 if
+  /// all queues are empty. Consumes one credit from the chosen class.
+  int NextClass(const std::array<size_t, kNumPriorities>& depth);
+
+  uint64_t ticks() const { return tick_; }
+
+ private:
+  QosOptions options_;
+  uint64_t tick_ = 0;
+  std::array<uint64_t, kNumPriorities> credit_;
+  std::map<std::string, util::TokenBucket> buckets_;
+};
+
+}  // namespace sage::serve
+
+#endif  // SAGE_SERVE_QOS_H_

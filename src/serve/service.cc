@@ -7,6 +7,7 @@
 
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace sage::serve {
 
@@ -21,6 +22,15 @@ util::Status TagStatus(const util::Status& status, const Request& request) {
                       "request " + std::to_string(request.id) + " (" +
                           request.app + "@" + request.graph + "): " +
                           status.message());
+}
+
+/// Key of the modeled-cost estimate map: one entry per (graph, app) pair.
+std::string CostKey(const Request& request) {
+  return request.graph + '\n' + request.app;
+}
+
+int ClassOf(const Request& request) {
+  return static_cast<int>(request.priority);
 }
 
 double MsBetween(std::chrono::steady_clock::time_point a,
@@ -40,7 +50,8 @@ constexpr uint32_t kEngineTracePidBase = 1000;
 QueryService::QueryService(GraphRegistry* registry, ServeOptions options)
     : registry_(registry),
       options_(std::move(options)),
-      pool_(options_.worker_threads) {
+      pool_(options_.worker_threads),
+      qos_(options_.qos) {
   SAGE_CHECK(registry_ != nullptr);
   options_.engines_per_graph = std::max<uint32_t>(
       options_.engines_per_graph, 1);
@@ -63,6 +74,14 @@ QueryService::QueryService(GraphRegistry* registry, ServeOptions options)
   m_.deadline_misses = metrics_.counter("serve.deadline_misses");
   m_.cancelled = metrics_.counter("serve.cancelled");
   m_.shard_replications = metrics_.counter("serve.shard.replications");
+  for (int c = 0; c < kNumPriorities; ++c) {
+    const std::string name = PriorityName(static_cast<Priority>(c));
+    m_.submitted_by_class[c] = metrics_.counter("serve.submitted." + name);
+    m_.completed_by_class[c] = metrics_.counter("serve.completed." + name);
+    m_.shed_by_class[c] = metrics_.counter("serve.shed." + name);
+  }
+  m_.quota_rejections = metrics_.counter("serve.quota_rejections");
+  m_.deadline_drops = metrics_.counter("serve.deadline_drops");
   m_.backoff_ms = metrics_.gauge("serve.backoff_ms");
   m_shard_dispatches_.reserve(registry_->num_shards());
   for (uint32_t i = 0; i < registry_->num_shards(); ++i) {
@@ -123,8 +142,29 @@ util::Status QueryService::ValidateRequest(const Request& request) const {
     return util::Status::InvalidArgument("msbfs takes 1..64 sources");
   }
   if (request.deadline_modeled_seconds < 0.0 ||
-      request.deadline_wall_seconds < 0.0) {
+      request.deadline_wall_seconds < 0.0 ||
+      request.deadline_wall_until_seconds < 0.0) {
     return util::Status::InvalidArgument("deadlines must be >= 0");
+  }
+  if (request.deadline_wall_until_seconds > 0.0 &&
+      request.deadline_wall_until_seconds <= util::MonotonicSeconds()) {
+    return util::Status::InvalidArgument(
+        "deadline already expired (deadline_wall_until_seconds is in the "
+        "past)");
+  }
+  if (static_cast<int>(request.priority) >= kNumPriorities) {
+    return util::Status::InvalidArgument(
+        "unknown priority " +
+        std::to_string(static_cast<int>(request.priority)) +
+        " (valid: interactive=0, batch=1, best_effort=2)");
+  }
+  if (request.tenant.empty()) {
+    return util::Status::InvalidArgument("tenant id must be non-empty");
+  }
+  if (request.tenant.size() > options_.qos.max_tenant_chars) {
+    return util::Status::InvalidArgument(
+        "tenant id too long (" + std::to_string(request.tenant.size()) +
+        " chars; max " + std::to_string(options_.qos.max_tenant_chars) + ")");
   }
   if (request.shard_hint != Placement::kNoShard &&
       request.shard_hint >= registry_->num_shards()) {
@@ -164,20 +204,48 @@ util::Status QueryService::VetForAdmission(const std::string& app) const {
 util::StatusOr<std::future<Response>> QueryService::Submit(Request request) {
   SAGE_RETURN_IF_ERROR(ValidateRequest(request));
   std::future<Response> future;
+  // A priority eviction resolves the victim's promise outside mu_ (promise
+  // continuations may re-enter the service).
+  Pending victim;
+  bool have_victim = false;
+  Clock::time_point now;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       return util::Status::FailedPrecondition("service is shut down");
     }
-    if (queue_.size() >= options_.max_pending) {
+    const int cls = ClassOf(request);
+    std::array<size_t, kNumPriorities> depth;
+    for (int c = 0; c < kNumPriorities; ++c) depth[c] = queues_[c].size();
+    const QosPolicy::Admission verdict = qos_.Admit(
+        request.priority, request.tenant, depth, options_.max_pending);
+    if (!verdict.admit) {
+      if (verdict.reason == ShedReason::kQuota) {
+        m_.quota_rejections->Add(1);
+        return util::Status::ResourceExhausted(
+            "[shed=quota] tenant '" + request.tenant +
+            "' over its admission quota; retry later");
+      }
       m_.rejected->Add(1);
       return util::Status::ResourceExhausted(
-          "admission queue full (" + std::to_string(options_.max_pending) +
-          " pending); retry later");
+          "[shed=queue_full] admission queue full (" +
+          std::to_string(options_.max_pending) +
+          " pending, nothing lower-priority to evict); retry later");
+    }
+    now = Clock::now();
+    if (verdict.evict >= 0) {
+      // Make room by shedding the newest queued request of the chosen
+      // (strictly lower) class — newest, so the oldest waiters keep their
+      // positions and FIFO fairness within the class survives overload.
+      std::deque<Pending>& q = queues_[verdict.evict];
+      SAGE_CHECK(!q.empty());
+      victim = std::move(q.back());
+      q.pop_back();
+      have_victim = true;
     }
     Pending pending;
     pending.request = std::move(request);
-    pending.submitted_at = Clock::now();
+    pending.submitted_at = now;
     pending.span_id = span_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     future = pending.promise.get_future();
     if (util::TraceLog* trace = options_.trace) {
@@ -188,37 +256,103 @@ util::StatusOr<std::future<Response>> QueryService::Submit(Request request) {
       e.ts_us = trace->NowUs();
       e.id = pending.span_id;
       e.ArgStr("graph", pending.request.graph)
-          .ArgU64("request_id", pending.request.id);
+          .ArgU64("request_id", pending.request.id)
+          .ArgStr("priority", PriorityName(pending.request.priority))
+          .ArgStr("tenant", pending.request.tenant);
       trace->Add(std::move(e));
     }
-    queue_.push_back(std::move(pending));
+    queues_[cls].push_back(std::move(pending));
     m_.submitted->Add(1);
+    m_.submitted_by_class[cls]->Add(1);
+  }
+  if (have_victim) {
+    ResolveShed(std::move(victim), ShedReason::kPriorityEviction, now);
   }
   queue_cv_.notify_one();
   return future;
 }
 
-std::vector<QueryService::Pending> QueryService::TakeBatchLocked() {
-  std::vector<Pending> batch;
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  if (!options_.batching) return batch;
+void QueryService::ResolveShed(Pending pending, ShedReason reason,
+                               Clock::time_point taken_at) {
+  const int cls = ClassOf(pending.request);
+  m_.shed_by_class[cls]->Add(1);
+  const bool deadline = reason == ShedReason::kDeadlineExpired ||
+                        reason == ShedReason::kDeadlineUnmeetable;
+  if (deadline) m_.deadline_drops->Add(1);
+  const std::string tag = std::string("[shed=") + ShedReasonName(reason) + "] ";
+  Response r;
+  r.shed_reason = reason;
+  r.status = TagStatus(
+      deadline
+          ? util::Status::DeadlineExceeded(
+                tag + (reason == ShedReason::kDeadlineExpired
+                           ? "wall deadline passed while queued"
+                           : "modeled cost exceeds the modeled deadline; "
+                             "dropped without dispatch"))
+          : util::Status::ResourceExhausted(
+                tag + "evicted from the queue for a higher-priority request"),
+      pending.request);
+  Resolve(std::move(pending), std::move(r), taken_at, 0.0, 0.0);
+}
+
+ShedReason QueryService::DequeueShedReasonLocked(
+    const Request& request) const {
+  if (request.deadline_wall_until_seconds > 0.0 &&
+      util::MonotonicSeconds() >= request.deadline_wall_until_seconds) {
+    return ShedReason::kDeadlineExpired;
+  }
+  if (request.deadline_modeled_seconds > 0.0) {
+    auto it = cost_estimate_.find(CostKey(request));
+    if (it != cost_estimate_.end() &&
+        it->second > request.deadline_modeled_seconds) {
+      // The last clean dispatch of this graph+app cost more modeled time
+      // than this request's whole budget — dispatching it would burn an
+      // engine run just to miss. Modeled time is deterministic, so this
+      // decision replays identically across thread counts.
+      return ShedReason::kDeadlineUnmeetable;
+    }
+  }
+  return ShedReason::kNone;
+}
+
+QueryService::Taken QueryService::TakeBatchLocked() {
+  Taken taken;
+  taken.taken_at = Clock::now();
+  std::array<size_t, kNumPriorities> depth;
+  for (int c = 0; c < kNumPriorities; ++c) depth[c] = queues_[c].size();
+  const int cls = qos_.NextClass(depth);
+  if (cls < 0) return taken;
+  std::deque<Pending>& queue = queues_[cls];
+
+  // Pop a leader, shedding hopeless-deadline requests as they surface.
+  while (!queue.empty()) {
+    ShedReason reason = DequeueShedReasonLocked(queue.front().request);
+    if (reason == ShedReason::kNone) break;
+    taken.shed.push_back(std::move(queue.front()));
+    taken.shed_reasons.push_back(reason);
+    queue.pop_front();
+  }
+  if (queue.empty()) return taken;  // every candidate shed
+  taken.batch.push_back(std::move(queue.front()));
+  queue.pop_front();
+  if (!options_.batching) return taken;
 
   // Copy the leader's compatibility key: push_back below may reallocate
   // the batch vector, so a reference into it would dangle.
-  const Request lead = batch.front().request;
+  const Request lead = taken.batch.front().request;
   const bool bfs_coalesce = lead.app == "bfs";
   const bool dedupe = lead.app == "pagerank" || lead.app == "kcore";
-  if (!bfs_coalesce && !dedupe) return batch;  // sssp / msbfs run alone
+  if (!bfs_coalesce && !dedupe) return taken;  // sssp / msbfs run alone
 
   // The adaptive cap: deadline misses shrink it, clean dispatches grow it
-  // back toward options_.max_batch (see ExecuteBatch).
+  // back toward options_.max_batch (see ExecuteBatch). Coalescing stays
+  // within the leader's class — one dispatch, one priority.
   size_t limit = effective_max_batch_;
   if (bfs_coalesce) {
     limit = std::min<size_t>(limit, apps::MultiSourceBfsProgram::kMaxSources);
   }
-  for (auto it = queue_.begin();
-       it != queue_.end() && batch.size() < limit;) {
+  for (auto it = queue.begin();
+       it != queue.end() && taken.batch.size() < limit;) {
     const Request& r = it->request;
     // shard_hint is part of the compatibility key: members of one dispatch
     // share an engine, so they must agree on where it should run.
@@ -229,14 +363,22 @@ std::vector<QueryService::Pending> QueryService::TakeBatchLocked() {
     } else if (match && lead.app == "kcore") {
       match = r.params.k == lead.params.k;
     }
-    if (match) {
-      batch.push_back(std::move(*it));
-      it = queue_.erase(it);
-    } else {
+    if (!match) {
       ++it;
+      continue;
     }
+    // A claimed member with a hopeless deadline sheds here instead of
+    // riding along just to miss.
+    ShedReason reason = DequeueShedReasonLocked(r);
+    if (reason != ShedReason::kNone) {
+      taken.shed.push_back(std::move(*it));
+      taken.shed_reasons.push_back(reason);
+    } else {
+      taken.batch.push_back(std::move(*it));
+    }
+    it = queue.erase(it);
   }
-  return batch;
+  return taken;
 }
 
 core::FilterProgram* QueryService::Program(WarmEngine* engine,
@@ -411,6 +553,14 @@ QueryService::DispatchOutcome QueryService::RunOnEngine(
                     w < guard.deadline_wall_seconds)) {
       guard.deadline_wall_seconds = w;
     }
+    // Absolute wall deadlines pin the guard's until-field directly (it
+    // wins over the relative duration): the clock kept running while the
+    // request queued, and the engine must honor what is left of it.
+    double until = p.request.deadline_wall_until_seconds;
+    if (until > 0.0 && (guard.deadline_wall_until_seconds == 0.0 ||
+                        until < guard.deadline_wall_until_seconds)) {
+      guard.deadline_wall_until_seconds = until;
+    }
   }
   if (options_.checkpoint_interval > 0) {
     guard.checkpoint_sink = &sink;
@@ -580,6 +730,13 @@ void QueryService::ExecuteBatch(std::vector<Pending> batch) {
   m_.retries->Add(out.retries);
   m_.resumes->Add(out.resumes);
   m_.checkpoint_fallbacks->Add(out.checkpoint_fallbacks);
+  if (out.status.ok()) {
+    // Feed the deadline-infeasibility estimator: the modeled cost of the
+    // last clean dispatch of this graph+app. Only clean runs count — a
+    // deadline-tripped run's partial cost would understate the estimate.
+    std::lock_guard<std::mutex> lock(mu_);
+    cost_estimate_[CostKey(lead)] = out.stats.seconds;
+  }
   if (!out.status.ok() &&
       out.status.code() == util::StatusCode::kDeadlineExceeded) {
     m_.deadline_misses->Add(1);
@@ -629,6 +786,12 @@ void QueryService::Resolve(Pending pending, Response response,
   m_.latency_queue_us->Add(static_cast<uint64_t>(t.queue_wait_ms * 1e3));
   m_.latency_run_us->Add(static_cast<uint64_t>(t.run_ms * 1e3));
   m_.completed->Add(1);
+  // Shed responses are accounted in shed_by_class (inside ResolveShed);
+  // the two per-class counters stay disjoint so submitted = completed +
+  // shed holds per class when nothing else fails.
+  if (response.shed_reason == ShedReason::kNone) {
+    m_.completed_by_class[ClassOf(pending.request)]->Add(1);
+  }
   if (util::TraceLog* trace = options_.trace) {
     util::TraceEvent e;
     e.name = pending.request.app;
@@ -741,26 +904,35 @@ void QueryService::RecordShardDispatch(const std::string& graph,
 
 void QueryService::WorkerLoop() {
   for (;;) {
-    std::vector<Pending> batch;
+    Taken taken;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and fully drained
-      batch = TakeBatchLocked();
+      queue_cv_.wait(lock,
+                     [this] { return stopping_ || TotalQueuedLocked() > 0; });
+      if (TotalQueuedLocked() == 0) return;  // stopping_ and fully drained
+      taken = TakeBatchLocked();
     }
-    ExecuteBatch(std::move(batch));
+    for (size_t i = 0; i < taken.shed.size(); ++i) {
+      ResolveShed(std::move(taken.shed[i]), taken.shed_reasons[i],
+                  taken.taken_at);
+    }
+    if (!taken.batch.empty()) ExecuteBatch(std::move(taken.batch));
   }
 }
 
 void QueryService::ProcessAllPending() {
   for (;;) {
-    std::vector<Pending> batch;
+    Taken taken;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (queue_.empty()) return;
-      batch = TakeBatchLocked();
+      if (TotalQueuedLocked() == 0) return;
+      taken = TakeBatchLocked();
     }
-    ExecuteBatch(std::move(batch));
+    for (size_t i = 0; i < taken.shed.size(); ++i) {
+      ResolveShed(std::move(taken.shed[i]), taken.shed_reasons[i],
+                  taken.taken_at);
+    }
+    if (!taken.batch.empty()) ExecuteBatch(std::move(taken.batch));
   }
 }
 
@@ -774,10 +946,13 @@ void QueryService::Shutdown() {
   pool_.Drain();  // workers drain the queue, then exit
   // Synchronous mode (no workers) may leave requests queued; fail them
   // loudly rather than dropping their promises.
-  std::deque<Pending> leftover;
+  std::vector<Pending> leftover;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    leftover.swap(queue_);
+    for (auto& queue : queues_) {
+      for (Pending& pending : queue) leftover.push_back(std::move(pending));
+      queue.clear();
+    }
   }
   for (Pending& pending : leftover) {
     Response response;
@@ -804,6 +979,13 @@ ServiceStats QueryService::stats() const {
   s.deadline_misses = m_.deadline_misses->value();
   s.cancelled = m_.cancelled->value();
   s.shard_replications = m_.shard_replications->value();
+  for (int c = 0; c < kNumPriorities; ++c) {
+    s.submitted_by_class[c] = m_.submitted_by_class[c]->value();
+    s.completed_by_class[c] = m_.completed_by_class[c]->value();
+    s.shed_by_class[c] = m_.shed_by_class[c]->value();
+  }
+  s.quota_rejections = m_.quota_rejections->value();
+  s.deadline_drops = m_.deadline_drops->value();
   s.backoff_ms = m_.backoff_ms->value();
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -12,8 +12,11 @@
 #include <string>
 #include <vector>
 
+#include <array>
+
 #include "serve/circuit_breaker.h"
 #include "serve/graph_registry.h"
+#include "serve/qos.h"
 #include "serve/types.h"
 #include "sim/fault_injector.h"
 #include "util/metrics.h"
@@ -70,6 +73,20 @@ namespace sage::serve {
 /// ServeOptions::replicate_hot_after set, hot graphs are replicated to the
 /// least-loaded shard via GraphRegistry::AddReplica — which is why the
 /// registry pointer is mutable.
+///
+/// SageFlood QoS (DESIGN.md §11): the single FIFO is now one queue per
+/// Priority class. Admission runs the wall-clock-free QosPolicy under mu_:
+/// per-tenant token buckets ticked once per submission (quota denials →
+/// kResourceExhausted "[shed=quota]"), then capacity — when all queues
+/// together hold max_pending, a newcomer either evicts the newest queued
+/// request of a strictly lower class ("[shed=priority_eviction]") or, with
+/// nothing cheaper to lose, is itself refused ("[shed=queue_full]").
+/// Dequeue picks the class by weighted round-robin and sheds requests
+/// whose deadline is already hopeless — wall-expired, or modeled-cost
+/// estimate (last clean dispatch of the same graph+app) exceeding the
+/// modeled deadline — before they burn a dispatch. Every policy decision
+/// depends only on the submission sequence, so the shed set is
+/// bit-identical across host speeds and --host-threads values.
 class QueryService {
  public:
   /// The registry must outlive the service. Options are validated here;
@@ -153,6 +170,15 @@ class QueryService {
     double backoff_ms = 0.0;        ///< computed backoff across retries
   };
 
+  /// What TakeBatchLocked hands the dispatcher: the batch to run plus any
+  /// requests shed at dequeue (hopeless deadlines), with their reasons.
+  struct Taken {
+    std::vector<Pending> batch;
+    std::vector<Pending> shed;
+    std::vector<ShedReason> shed_reasons;
+    Clock::time_point taken_at;
+  };
+
   util::Status ValidateRequest(const Request& request) const;
   /// SageVet program admission: the app's pre-flight vet verdict at
   /// options_.engine_options.vet_level, computed once per app name and
@@ -160,9 +186,20 @@ class QueryService {
   /// footprints cannot change between requests). kFailedPrecondition for
   /// unsound programs; OK at kOff or for clean/warning verdicts.
   util::Status VetForAdmission(const std::string& app) const;
-  /// Pops the front request plus every compatible pending one (mu_ held,
-  /// queue non-empty).
-  std::vector<Pending> TakeBatchLocked();
+  /// Picks the next class by WRR, pops its front request plus every
+  /// compatible pending one from that class's queue, shedding
+  /// hopeless-deadline requests along the way (mu_ held, some queue
+  /// non-empty). May return an empty batch when every candidate shed.
+  Taken TakeBatchLocked();
+  /// Why `request` should shed at dequeue instead of dispatching: its
+  /// absolute wall deadline already passed, or the modeled-cost estimate
+  /// for its graph+app exceeds its modeled deadline. kNone = dispatch it.
+  ShedReason DequeueShedReasonLocked(const Request& request) const;
+  /// Resolves one policy-shed request: kDeadlineExceeded for deadline
+  /// drops, kResourceExhausted for evictions, with the machine-readable
+  /// "[shed=<reason>]" token, and bumps the per-class shed counters.
+  void ResolveShed(Pending pending, ShedReason reason,
+                   Clock::time_point taken_at);
   /// Runs one batch on a pooled engine and fulfills its promises. The
   /// SageGuard dispatch path: sweeps pre-cancelled members, consults the
   /// graph's circuit breaker, runs with retries via RunOnEngine, bisects
@@ -249,6 +286,12 @@ class QueryService {
     util::Counter* deadline_misses;
     util::Counter* cancelled;
     util::Counter* shard_replications;
+    // SageFlood (indexed by Priority).
+    std::array<util::Counter*, kNumPriorities> submitted_by_class;
+    std::array<util::Counter*, kNumPriorities> completed_by_class;
+    std::array<util::Counter*, kNumPriorities> shed_by_class;
+    util::Counter* quota_rejections;
+    util::Counter* deadline_drops;
     util::Gauge* backoff_ms;
     /// Request-latency spans in microseconds (totals are what the p50/p95/
     /// p99 in ServiceStats come from).
@@ -266,14 +309,30 @@ class QueryService {
   mutable std::mutex vet_mu_;
   mutable std::map<std::string, util::Status> vet_cache_;
 
-  mutable std::mutex mu_;  // guards queue_, pools_, stopping_, batch cap
+  mutable std::mutex mu_;  // guards queues_, pools_, stopping_, batch cap,
+                           // qos_, cost_estimate_
   std::condition_variable queue_cv_;
   std::condition_variable engine_cv_;
-  std::deque<Pending> queue_;
+  /// One admission queue per Priority class (SageFlood).
+  std::array<std::deque<Pending>, kNumPriorities> queues_;
   std::map<std::string, GraphPool> pools_;
+  /// The QoS policy (quota buckets, WRR credit). Wall-clock-free; shared
+  /// logic with the bench_load simulator.
+  QosPolicy qos_;
+  /// Modeled seconds of the last clean dispatch per "graph\napp" — the
+  /// deadline-infeasibility estimate DequeueShedReasonLocked consults.
+  /// Modeled time is deterministic (PR-2), so this map evolves identically
+  /// across host speeds and thread counts in synchronous mode.
+  std::map<std::string, double> cost_estimate_;
   /// Adaptive batch cap (<= options_.max_batch); guarded by mu_.
   uint32_t effective_max_batch_ = 1;
   bool stopping_ = false;
+
+  size_t TotalQueuedLocked() const {
+    size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
 };
 
 }  // namespace sage::serve

@@ -6,12 +6,15 @@
 #include <string>
 #include <vector>
 
+#include <array>
+
 #include "apps/msbfs.h"
 #include "apps/registry.h"
 #include "core/engine.h"
 #include "core/filter.h"
 #include "core/guard.h"
 #include "serve/circuit_breaker.h"
+#include "serve/qos.h"
 #include "sim/device_spec.h"
 #include "util/trace.h"
 
@@ -122,6 +125,14 @@ struct ServeOptions {
   /// slices on one track per warm engine.
   util::TraceLog* trace = nullptr;
 
+  // --- SageFlood (DESIGN.md §11) ---
+
+  /// QoS policy: per-class WRR weights, per-tenant token-bucket quotas,
+  /// tenant-id limits. Defaults keep quotas off and — with every request
+  /// left at the default kInteractive priority — reproduce the old
+  /// single-FIFO behavior exactly.
+  QosOptions qos;
+
   ServeOptions() { engine_options.host_threads = 1; }
 };
 
@@ -151,6 +162,23 @@ struct Request {
   /// shard when one is idle; a hint outside [0, num_shards) is rejected at
   /// validation. Requests batch only with requests sharing their hint.
   uint32_t shard_hint = Placement::kNoShard;
+
+  // --- SageFlood (DESIGN.md §11) ---
+
+  /// Admission class. Under overload, lower classes (higher enum values)
+  /// are shed first; dequeue order is weighted round-robin
+  /// (ServeOptions::qos.weights). Requests coalesce only within a class.
+  Priority priority = Priority::kInteractive;
+  /// Billing principal for per-tenant quotas. Must be non-empty and at
+  /// most qos.max_tenant_chars long (validated at Submit).
+  std::string tenant = "default";
+  /// Absolute wall deadline on the util::MonotonicSeconds() time base,
+  /// 0 = none. Rejected at Submit if already in the past; checked again at
+  /// dequeue, where an expired request sheds (kDeadlineExceeded,
+  /// [shed=deadline_expired]) instead of burning a dispatch. Unlike the
+  /// relative deadline_wall_seconds above, this one keeps counting while
+  /// the request waits in the queue.
+  double deadline_wall_until_seconds = 0.0;
 };
 
 /// Wall-clock span of one request through the service (SageScope). All
@@ -196,12 +224,17 @@ struct Response {
   /// Shard of the warm engine that served the dispatch
   /// (Placement::kNoShard if the request never reached an engine).
   uint32_t served_by_shard = Placement::kNoShard;
+  /// Why the request was shed, if it was (SageFlood). kNone for served
+  /// requests and non-shed failures. The same token appears verbatim in
+  /// the status message as "[shed=<name>]".
+  ShedReason shed_reason = ShedReason::kNone;
 };
 
 /// Monotonic service counters (see QueryService::stats).
 struct ServiceStats {
   uint64_t submitted = 0;        ///< accepted into the queue
-  uint64_t rejected = 0;         ///< refused with kResourceExhausted
+  uint64_t rejected = 0;         ///< queue-full refusals only (sheds and
+                                 ///< quota denials are counted separately)
   uint64_t completed = 0;        ///< responses delivered
   uint64_t batches = 0;          ///< dispatches executed
   uint64_t coalesced = 0;        ///< requests served by a >1 dispatch
@@ -219,6 +252,16 @@ struct ServiceStats {
   uint32_t current_max_batch = 0;  ///< adaptive batch cap right now
   // --- SageShard ---
   uint64_t shard_replications = 0;  ///< hot-graph replicas added
+  // --- SageFlood (indexed by Priority) ---
+  std::array<uint64_t, kNumPriorities> submitted_by_class{};
+  /// Responses delivered that were not shed — disjoint from shed_by_class,
+  /// so submitted = completed + shed per class when nothing else fails.
+  std::array<uint64_t, kNumPriorities> completed_by_class{};
+  /// Requests shed by policy (priority eviction + deadline drops),
+  /// per class. Disjoint from `rejected` and `quota_rejections`.
+  std::array<uint64_t, kNumPriorities> shed_by_class{};
+  uint64_t quota_rejections = 0;  ///< tenant token-bucket denials
+  uint64_t deadline_drops = 0;    ///< shed at dequeue for a hopeless deadline
   // --- SageScope (request-latency distribution, util::Histogram-backed) ---
   uint64_t latency_samples = 0;    ///< responses folded into the histogram
   double latency_p50_ms = 0.0;     ///< submit → response percentiles

@@ -1,0 +1,58 @@
+#include "util/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sage::util {
+
+ArrivalProcess::ArrivalProcess(const ArrivalOptions& options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  SAGE_CHECK(options_.rate > 0.0);
+  const bool modulated =
+      options_.burst_period_s > 0.0 && options_.burst_factor != 1.0;
+  if (modulated) {
+    SAGE_CHECK(options_.burst_duty > 0.0 && options_.burst_duty < 1.0);
+    on_rate_ = options_.rate * options_.burst_factor;
+    // Solve duty*on + (1-duty)*off = rate for the OFF rate; a burst factor
+    // large enough to concentrate all mass in the ON phase clamps OFF to a
+    // tiny trickle instead of going negative.
+    off_rate_ = options_.rate *
+                (1.0 - options_.burst_duty * options_.burst_factor) /
+                (1.0 - options_.burst_duty);
+    off_rate_ = std::max(off_rate_, options_.rate * 1e-6);
+  } else {
+    options_.burst_period_s = 0.0;
+    on_rate_ = off_rate_ = options_.rate;
+  }
+}
+
+double ArrivalProcess::Next() {
+  // Exp(1) "work" is spent crossing piecewise-constant-rate segments:
+  // a segment of length L at rate r absorbs L*r of it.
+  double work = -std::log(1.0 - rng_.UniformDouble());
+  if (options_.burst_period_s <= 0.0) {
+    now_ += work / on_rate_;
+    return now_;
+  }
+  const double period = options_.burst_period_s;
+  for (;;) {
+    const double cycle_start = static_cast<double>(cycle_) * period;
+    const double on_end = cycle_start + options_.burst_duty * period;
+    const double cycle_end = cycle_start + period;
+    const bool in_on = now_ < on_end;
+    const double rate = in_on ? on_rate_ : off_rate_;
+    const double end = in_on ? on_end : cycle_end;
+    const double capacity = (end - now_) * rate;
+    if (work <= capacity) {
+      now_ += work / rate;
+      return now_;
+    }
+    work -= capacity;
+    now_ = end;
+    if (!in_on) ++cycle_;
+  }
+}
+
+}  // namespace sage::util

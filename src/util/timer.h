@@ -27,6 +27,15 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// Monotonic-clock "now" in seconds — the time base absolute wall
+/// deadlines (core::RunGuard::deadline_wall_until_seconds,
+/// serve::Request::deadline_wall_until_seconds) are expressed in.
+inline double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace sage::util
 
 #endif  // SAGE_UTIL_TIMER_H_

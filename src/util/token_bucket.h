@@ -1,0 +1,50 @@
+#ifndef SAGE_UTIL_TOKEN_BUCKET_H_
+#define SAGE_UTIL_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace sage::util {
+
+/// Deterministic token bucket: refill is driven by an external monotone
+/// logical clock ("ticks") instead of wall time, so rate decisions made
+/// with it are replayable — the same admission sequence always produces
+/// the same accept/deny pattern regardless of host speed or thread count.
+/// The serving layer ticks it once per submission, which turns `rate` into
+/// "share of total submissions this principal may consume" and `burst`
+/// into the credit it may save up for spikes.
+///
+/// Not thread-safe; callers serialize access (the service holds its
+/// admission mutex, the load simulator is single-threaded).
+class TokenBucket {
+ public:
+  /// `rate` tokens accrue per tick, capped at `burst`. A bucket starts
+  /// full — a fresh principal gets its burst immediately.
+  TokenBucket(double rate, double burst)
+      : rate_(rate), burst_(burst), tokens_(burst) {}
+
+  /// Refills for the ticks elapsed since the last call, then tries to take
+  /// `cost` tokens. `tick` must be monotone non-decreasing across calls.
+  bool TryAcquire(uint64_t tick, double cost = 1.0) {
+    if (tick > last_tick_) {
+      tokens_ = std::min(
+          burst_, tokens_ + rate_ * static_cast<double>(tick - last_tick_));
+      last_tick_ = tick;
+    }
+    if (tokens_ < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  uint64_t last_tick_ = 0;
+};
+
+}  // namespace sage::util
+
+#endif  // SAGE_UTIL_TOKEN_BUCKET_H_

@@ -1,0 +1,516 @@
+// SageFlood tests: token-bucket quotas, bursty arrival generation, the
+// QosPolicy admission/dequeue rules, Submit-time validation of the QoS
+// request fields, graceful shedding through the live service, and the
+// thread-count bit-identity of shed decisions.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "serve/graph_registry.h"
+#include "serve/qos.h"
+#include "serve/service.h"
+#include "util/arrival.h"
+#include "util/timer.h"
+#include "util/token_bucket.h"
+
+namespace sage::serve {
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+using util::StatusCode;
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;
+  spec.l2_bytes = 128 << 10;
+  return spec;
+}
+
+Csr TestGraph() { return graph::GenerateRmat(10, 8192, 0.57, 0.19, 0.19, 7); }
+
+ServeOptions SyncOptions() {
+  ServeOptions options;
+  options.worker_threads = 0;
+  options.device_spec = TestSpec();
+  return options;
+}
+
+Request MakeRequest(NodeId source, Priority priority = Priority::kInteractive,
+                    const std::string& tenant = "default") {
+  Request request;
+  request.graph = "g";
+  request.app = "bfs";
+  request.params.sources = {source};
+  request.priority = priority;
+  request.tenant = tenant;
+  return request;
+}
+
+// --- util::TokenBucket ------------------------------------------------------
+
+TEST(TokenBucketTest, RefillPatternIsDeterministic) {
+  // rate 0.5/tick, burst 1: odd ticks admit, even ticks deny.
+  util::TokenBucket bucket(0.5, 1.0);
+  EXPECT_TRUE(bucket.TryAcquire(1));
+  EXPECT_FALSE(bucket.TryAcquire(2));
+  EXPECT_TRUE(bucket.TryAcquire(3));
+  EXPECT_FALSE(bucket.TryAcquire(4));
+}
+
+TEST(TokenBucketTest, BurstCapsBankedCredit) {
+  util::TokenBucket bucket(1.0, 3.0);
+  // A long idle stretch banks at most `burst` tokens.
+  EXPECT_TRUE(bucket.TryAcquire(100));
+  EXPECT_TRUE(bucket.TryAcquire(100));
+  EXPECT_TRUE(bucket.TryAcquire(100));
+  EXPECT_FALSE(bucket.TryAcquire(100));
+}
+
+// --- util::ArrivalProcess ---------------------------------------------------
+
+TEST(ArrivalTest, SameSeedSameSequence) {
+  util::ArrivalOptions shape;
+  shape.rate = 500.0;
+  shape.burst_factor = 3.0;
+  shape.burst_period_s = 0.01;
+  util::ArrivalProcess a(shape, 42), b(shape, 42), c(shape, 43);
+  bool any_difference = false;
+  double prev = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    double ta = a.Next();
+    EXPECT_EQ(ta, b.Next());
+    EXPECT_GT(ta, prev);  // strictly increasing
+    prev = ta;
+    any_difference |= ta != c.Next();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ArrivalTest, BurstyProcessKeepsTheLongRunMeanRate) {
+  util::ArrivalOptions shape;
+  shape.rate = 1000.0;
+  shape.burst_factor = 3.0;
+  shape.burst_period_s = 0.01;
+  shape.burst_duty = 0.3;
+  util::ArrivalProcess process(shape, 7);
+  const int n = 20000;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) last = process.Next();
+  double mean_rate = n / last;
+  EXPECT_NEAR(mean_rate, shape.rate, 0.1 * shape.rate);
+}
+
+// --- Priority / ShedReason names --------------------------------------------
+
+TEST(QosNamesTest, PriorityParsingRoundTrips) {
+  Priority p = Priority::kInteractive;
+  EXPECT_TRUE(ParsePriority("batch", &p));
+  EXPECT_EQ(p, Priority::kBatch);
+  EXPECT_TRUE(ParsePriority("besteffort", &p));
+  EXPECT_EQ(p, Priority::kBestEffort);
+  EXPECT_TRUE(ParsePriority("best-effort", &p));
+  EXPECT_TRUE(ParsePriority("best_effort", &p));
+  EXPECT_TRUE(ParsePriority("interactive", &p));
+  EXPECT_EQ(p, Priority::kInteractive);
+  EXPECT_FALSE(ParsePriority("urgent", &p));
+  EXPECT_FALSE(ParsePriority("", &p));
+  for (int c = 0; c < kNumPriorities; ++c) {
+    Priority parsed = Priority::kBestEffort;
+    EXPECT_TRUE(ParsePriority(PriorityName(static_cast<Priority>(c)),
+                              &parsed));
+    EXPECT_EQ(static_cast<int>(parsed), c);
+  }
+  EXPECT_STREQ(ShedReasonName(ShedReason::kQueueFull), "queue_full");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kPriorityEviction),
+               "priority_eviction");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kQuota), "quota");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kDeadlineUnmeetable),
+               "deadline_unmeetable");
+  EXPECT_STREQ(ShedReasonName(ShedReason::kDeadlineExpired),
+               "deadline_expired");
+}
+
+// --- QosPolicy --------------------------------------------------------------
+
+TEST(QosPolicyTest, EvictsStrictlyLowerClassesOnly) {
+  QosPolicy policy(QosOptions{});
+  // Queue full, best-effort present: an interactive arrival evicts it.
+  auto a = policy.Admit(Priority::kInteractive, "t", {4, 0, 4}, 8);
+  EXPECT_TRUE(a.admit);
+  EXPECT_EQ(a.reason, ShedReason::kPriorityEviction);
+  EXPECT_EQ(a.evict, static_cast<int>(Priority::kBestEffort));
+  // Best-effort exhausted: batch is next on the chopping block.
+  a = policy.Admit(Priority::kInteractive, "t", {4, 4, 0}, 8);
+  EXPECT_TRUE(a.admit);
+  EXPECT_EQ(a.evict, static_cast<int>(Priority::kBatch));
+  // Queue full of interactive: nothing below it to evict.
+  a = policy.Admit(Priority::kInteractive, "t", {8, 0, 0}, 8);
+  EXPECT_FALSE(a.admit);
+  EXPECT_EQ(a.reason, ShedReason::kQueueFull);
+  // A class never evicts its own kind or better.
+  a = policy.Admit(Priority::kBestEffort, "t", {0, 0, 8}, 8);
+  EXPECT_FALSE(a.admit);
+  EXPECT_EQ(a.reason, ShedReason::kQueueFull);
+  a = policy.Admit(Priority::kBatch, "t", {4, 0, 4}, 8);
+  EXPECT_TRUE(a.admit);
+  EXPECT_EQ(a.evict, static_cast<int>(Priority::kBestEffort));
+  // Room available: plain admit, nobody shed.
+  a = policy.Admit(Priority::kBestEffort, "t", {1, 1, 1}, 8);
+  EXPECT_TRUE(a.admit);
+  EXPECT_EQ(a.reason, ShedReason::kNone);
+  EXPECT_EQ(a.evict, -1);
+}
+
+TEST(QosPolicyTest, WeightedRoundRobinHonorsWeights) {
+  QosPolicy policy(QosOptions{});  // weights {16, 4, 1}
+  std::array<size_t, kNumPriorities> deep{100, 100, 100};
+  std::array<int, kNumPriorities> served{};
+  for (int i = 0; i < 21; ++i) {
+    int c = policy.NextClass(deep);
+    ASSERT_GE(c, 0);
+    ++served[c];
+  }
+  EXPECT_EQ(served[0], 16);
+  EXPECT_EQ(served[1], 4);
+  EXPECT_EQ(served[2], 1);
+  // Empty classes cede their slots; all-empty returns -1.
+  std::array<size_t, kNumPriorities> only_best{0, 0, 5};
+  EXPECT_EQ(policy.NextClass(only_best),
+            static_cast<int>(Priority::kBestEffort));
+  std::array<size_t, kNumPriorities> empty{0, 0, 0};
+  EXPECT_EQ(policy.NextClass(empty), -1);
+}
+
+TEST(QosPolicyTest, TenantQuotaIsPerTenantAndDeterministic) {
+  QosOptions options;
+  options.tenant_rate_per_tick = 0.5;
+  options.tenant_burst = 1.0;
+  QosPolicy policy(options);
+  std::array<size_t, kNumPriorities> depth{0, 0, 0};
+  // One tenant submitting every tick gets every other request.
+  EXPECT_TRUE(policy.Admit(Priority::kBatch, "a", depth, 100).admit);
+  auto denied = policy.Admit(Priority::kBatch, "a", depth, 100);
+  EXPECT_FALSE(denied.admit);
+  EXPECT_EQ(denied.reason, ShedReason::kQuota);
+  EXPECT_TRUE(policy.Admit(Priority::kBatch, "a", depth, 100).admit);
+  // A different tenant has its own untouched bucket.
+  EXPECT_TRUE(policy.Admit(Priority::kBatch, "b", depth, 100).admit);
+}
+
+// --- Submit-time validation of the QoS fields -------------------------------
+
+TEST(QosValidationTest, RejectsMalformedQosRequestFields) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", TestGraph()).ok());
+  QueryService service(&registry, SyncOptions());
+
+  Request bad_priority = MakeRequest(0);
+  bad_priority.priority = static_cast<Priority>(7);
+  auto s = service.Submit(bad_priority);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.status().ToString().find("unknown priority"),
+            std::string::npos);
+
+  Request no_tenant = MakeRequest(0);
+  no_tenant.tenant.clear();
+  EXPECT_EQ(service.Submit(no_tenant).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Request long_tenant = MakeRequest(0);
+  long_tenant.tenant.assign(65, 'x');  // max_tenant_chars = 64
+  EXPECT_EQ(service.Submit(long_tenant).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Request expired = MakeRequest(0);
+  expired.deadline_wall_until_seconds = util::MonotonicSeconds() - 1.0;
+  auto e = service.Submit(expired);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(e.status().ToString().find("already expired"), std::string::npos);
+
+  Request negative = MakeRequest(0);
+  negative.deadline_wall_until_seconds = -1.0;
+  EXPECT_EQ(service.Submit(negative).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // None of the rejects were admitted.
+  EXPECT_EQ(service.stats().submitted, 0u);
+
+  // A tenant id exactly at the cap is fine.
+  Request max_tenant = MakeRequest(0);
+  max_tenant.tenant.assign(64, 'x');
+  EXPECT_TRUE(service.Submit(max_tenant).ok());
+}
+
+// --- Graceful shedding through the live service -----------------------------
+
+TEST(QosServiceTest, InteractiveEvictsNewestBestEffort) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", TestGraph()).ok());
+  ServeOptions options = SyncOptions();
+  options.max_pending = 2;
+  QueryService service(&registry, options);
+
+  auto be1 = service.Submit(MakeRequest(0, Priority::kBestEffort));
+  auto be2 = service.Submit(MakeRequest(1, Priority::kBestEffort));
+  ASSERT_TRUE(be1.ok() && be2.ok());
+  // Queue full — the interactive arrival evicts the NEWEST best-effort
+  // request instead of being refused.
+  auto inter = service.Submit(MakeRequest(2, Priority::kInteractive));
+  ASSERT_TRUE(inter.ok()) << inter.status().ToString();
+
+  Response victim = be2->get();  // resolved immediately at eviction
+  EXPECT_EQ(victim.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(victim.shed_reason, ShedReason::kPriorityEviction);
+  EXPECT_NE(victim.status.ToString().find("[shed=priority_eviction]"),
+            std::string::npos);
+
+  service.ProcessAllPending();
+  EXPECT_TRUE(be1->get().status.ok());
+  EXPECT_TRUE(inter->get().status.ok());
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected, 0u);  // eviction is not a queue-full refusal
+  const int be = static_cast<int>(Priority::kBestEffort);
+  const int in = static_cast<int>(Priority::kInteractive);
+  EXPECT_EQ(stats.shed_by_class[be], 1u);
+  EXPECT_EQ(stats.completed_by_class[be], 1u);
+  EXPECT_EQ(stats.submitted_by_class[be], 2u);
+  EXPECT_EQ(stats.completed_by_class[in], 1u);
+  // The per-class shed counters are exported through the registry too.
+  std::string json = service.metrics().ToJson();
+  EXPECT_NE(json.find("\"serve.shed.best_effort\": 1"), std::string::npos)
+      << json;
+}
+
+TEST(QosServiceTest, QueueFullIsDistinctFromShedding) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", TestGraph()).ok());
+  ServeOptions options = SyncOptions();
+  options.max_pending = 2;
+  QueryService service(&registry, options);
+
+  ASSERT_TRUE(service.Submit(MakeRequest(0, Priority::kInteractive)).ok());
+  ASSERT_TRUE(service.Submit(MakeRequest(1, Priority::kInteractive)).ok());
+  // Nothing below interactive queued: the best-effort arrival is refused
+  // outright, and the refusal is labeled queue_full, not an eviction.
+  auto refused = service.Submit(MakeRequest(2, Priority::kBestEffort));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(refused.status().ToString().find("[shed=queue_full]"),
+            std::string::npos);
+
+  service.ProcessAllPending();
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<int>(Priority::kBestEffort)],
+            0u);
+}
+
+TEST(QosServiceTest, TenantQuotaRejectionsAreCountedSeparately) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", TestGraph()).ok());
+  ServeOptions options = SyncOptions();
+  options.qos.tenant_rate_per_tick = 0.5;
+  options.qos.tenant_burst = 1.0;
+  QueryService service(&registry, options);
+
+  // Tenant "hog" submits every tick: every other request is over quota.
+  ASSERT_TRUE(
+      service.Submit(MakeRequest(0, Priority::kBatch, "hog")).ok());
+  auto denied = service.Submit(MakeRequest(1, Priority::kBatch, "hog"));
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(denied.status().ToString().find("[shed=quota]"),
+            std::string::npos);
+  ASSERT_TRUE(
+      service.Submit(MakeRequest(2, Priority::kBatch, "hog")).ok());
+  // Another tenant is unaffected by hog's bucket.
+  ASSERT_TRUE(
+      service.Submit(MakeRequest(3, Priority::kBatch, "quiet")).ok());
+
+  service.ProcessAllPending();
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.quota_rejections, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.submitted, 3u);
+  std::string json = service.metrics().ToJson();
+  EXPECT_NE(json.find("\"serve.quota_rejections\": 1"), std::string::npos)
+      << json;
+}
+
+TEST(QosServiceTest, HopelessModeledDeadlineShedsAtDequeue) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", TestGraph()).ok());
+  QueryService service(&registry, SyncOptions());
+
+  // First dispatch seeds the modeled-cost estimate for (g, bfs).
+  auto warm = service.Submit(MakeRequest(0));
+  ASSERT_TRUE(warm.ok());
+  service.ProcessAllPending();
+  ASSERT_TRUE(warm->get().status.ok());
+
+  // The estimate says this deadline cannot be met; the request is dropped
+  // at dequeue without burning a dispatch.
+  Request hopeless = MakeRequest(1);
+  hopeless.deadline_modeled_seconds = 1e-12;
+  auto f = service.Submit(hopeless);
+  ASSERT_TRUE(f.ok());
+  uint64_t batches_before = service.stats().batches;
+  service.ProcessAllPending();
+  Response r = f->get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.shed_reason, ShedReason::kDeadlineUnmeetable);
+  EXPECT_NE(r.status.ToString().find("[shed=deadline_unmeetable]"),
+            std::string::npos);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.deadline_drops, 1u);
+  EXPECT_EQ(stats.batches, batches_before);  // no dispatch spent on it
+}
+
+TEST(QosServiceTest, WallDeadlineExpiredWhileQueuedSheds) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", TestGraph()).ok());
+  QueryService service(&registry, SyncOptions());
+
+  Request request = MakeRequest(0);
+  request.deadline_wall_until_seconds = util::MonotonicSeconds() + 0.02;
+  auto f = service.Submit(request);
+  ASSERT_TRUE(f.ok());
+  // Let the deadline lapse while the request sits in the queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  service.ProcessAllPending();
+  Response r = f->get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.shed_reason, ShedReason::kDeadlineExpired);
+  EXPECT_NE(r.status.ToString().find("[shed=deadline_expired]"),
+            std::string::npos);
+  EXPECT_EQ(service.stats().deadline_drops, 1u);
+}
+
+// --- Shed decisions are bit-identical across --host-threads -----------------
+
+/// Runs a fixed overload scenario (tight queue, quotas on, mixed classes)
+/// and fingerprints every shed decision: FNV-1a over (submission index,
+/// shed reason) in submission order.
+uint64_t ShedDigest(uint32_t host_threads) {
+  GraphRegistry registry;
+  SAGE_CHECK(registry.Add("g", TestGraph()).ok());
+  ServeOptions options = SyncOptions();
+  options.engine_options.host_threads = host_threads;
+  options.max_pending = 4;
+  options.qos.tenant_rate_per_tick = 0.3;
+  options.qos.tenant_burst = 2.0;
+  QueryService service(&registry, options);
+
+  auto fnv = [](uint64_t h, uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+  uint64_t digest = 1469598103934665603ull;
+  std::vector<std::future<Response>> futures;
+  std::vector<size_t> future_index;
+  for (size_t i = 0; i < 64; ++i) {
+    Priority cls = static_cast<Priority>((i * 7 + i / 3) % kNumPriorities);
+    std::string tenant = (i % 5 == 0) ? "hog" : "t" + std::to_string(i % 3);
+    auto f = service.Submit(
+        MakeRequest(static_cast<NodeId>(i % 16), cls, tenant));
+    if (!f.ok()) {
+      // Immediate refusal (quota / queue full): fold it in right away.
+      ShedReason reason =
+          f.status().ToString().find("[shed=quota]") != std::string::npos
+              ? ShedReason::kQuota
+              : ShedReason::kQueueFull;
+      digest = fnv(fnv(digest, i), static_cast<uint64_t>(reason));
+      continue;
+    }
+    futures.push_back(std::move(*f));
+    future_index.push_back(i);
+    if (i % 8 == 7) service.ProcessAllPending();
+  }
+  service.ProcessAllPending();
+  for (size_t k = 0; k < futures.size(); ++k) {
+    Response r = futures[k].get();
+    if (r.shed_reason != ShedReason::kNone) {
+      digest = fnv(fnv(digest, future_index[k]),
+                   static_cast<uint64_t>(r.shed_reason));
+    }
+  }
+  return digest;
+}
+
+TEST(QosDeterminismTest, ShedSetIsBitIdenticalAcrossHostThreads) {
+  uint64_t serial = ShedDigest(1);
+  uint64_t parallel = ShedDigest(4);
+  EXPECT_EQ(serial, parallel);
+  // The scenario actually sheds something, or the digest proves nothing.
+  EXPECT_NE(serial, 1469598103934665603ull);
+}
+
+// --- TSan target: concurrent mixed-class submit storm -----------------------
+
+// run_checks.sh runs this under TSan: admission (Submit + QosPolicy under
+// the mutex), dispatch workers, and the stats reader all race; per-class
+// accounting must survive it without losing a request.
+TEST(QosServiceTest, ConcurrentMixedClassStormKeepsPerClassAccounting) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add("g", TestGraph()).ok());
+  ServeOptions options = SyncOptions();
+  options.worker_threads = 2;
+  options.max_pending = 4096;  // nothing sheds: accounting must balance
+  QueryService service(&registry, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30;
+  std::array<std::atomic<uint64_t>, kNumPriorities> sent{};
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<Response>>> futures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Priority cls = static_cast<Priority>((t + i) % kNumPriorities);
+        auto f = service.Submit(MakeRequest(
+            static_cast<NodeId>((t * kPerThread + i) % 32), cls,
+            "tenant" + std::to_string(t)));
+        ASSERT_TRUE(f.ok()) << f.status().ToString();
+        sent[static_cast<int>(cls)].fetch_add(1);
+        futures[t].push_back(std::move(*f));
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      EXPECT_TRUE(f.get().status.ok());
+    }
+  }
+  service.Shutdown();
+
+  ServiceStats stats = service.stats();
+  uint64_t total = 0;
+  for (int c = 0; c < kNumPriorities; ++c) {
+    EXPECT_EQ(stats.submitted_by_class[c], sent[c].load());
+    EXPECT_EQ(stats.completed_by_class[c], sent[c].load());
+    EXPECT_EQ(stats.shed_by_class[c], 0u);
+    total += stats.submitted_by_class[c];
+  }
+  EXPECT_EQ(total, stats.submitted);
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace sage::serve

@@ -12,6 +12,11 @@
 #    devices (digests must be bit-identical; the delta-compressed frontier
 #    exchange must ship <= 0.5x the dense-bitmap bytes) plus serve-level
 #    req/s scaling with placement shards -> BENCH_multigpu.json
+#  - bench_load: SageFlood — 1.5M simulated requests through the QoS
+#    admission policy (virtual-time, engine-calibrated costs) under
+#    uncontended and 2x-overload scenarios; gates interactive goodput,
+#    zero interactive sheds, and shed-set bit-identity across
+#    --host-threads (DESIGN.md §11) -> BENCH_load.json
 # All emit their JSON into the repo root and assert that every measured
 # mode produces bit-identical outputs before reporting a number.
 #
@@ -33,7 +38,7 @@ build_dir="${1:-"${repo_root}/build"}"
 
 echo "== configure + build (RelWithDebInfo) =="
 cmake -S "${repo_root}" -B "${build_dir}" >/dev/null
-cmake --build "${build_dir}" -j "$(nproc)" --target bench_sim_throughput bench_serve bench_guard bench_multigpu
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_sim_throughput bench_serve bench_guard bench_multigpu bench_load
 
 echo "== bench_sim_throughput ($(nproc) hardware threads) =="
 cd "${repo_root}"
@@ -51,4 +56,11 @@ echo "== bench_multigpu (sharded engine + serve-level shard scaling) =="
 # placement shards lose serve throughput.
 "${build_dir}/bench/bench_multigpu"
 
-echo "== wrote ${repo_root}/BENCH_sim_throughput.json, BENCH_serve.json, BENCH_guard.json and BENCH_multigpu.json =="
+echo "== bench_load (SageFlood million-request SLO harness) =="
+# Exits nonzero when interactive goodput at 2x overload drops below 0.9x
+# its uncontended value, when any interactive request is shed while
+# best-effort demand exists, or when the shed set is not bit-identical
+# across host-thread counts.
+"${build_dir}/bench/bench_load"
+
+echo "== wrote ${repo_root}/BENCH_sim_throughput.json, BENCH_serve.json, BENCH_guard.json, BENCH_multigpu.json and BENCH_load.json =="

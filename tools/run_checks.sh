@@ -43,7 +43,7 @@ tsan_dir="${build_dir}-tsan"
 cmake -S "${repo_root}" -B "${tsan_dir}" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DSAGE_SANITIZE="thread"
-cmake --build "${tsan_dir}" -j "$(nproc)" --target parallel_test serve_test guard_serve_test shard_serve_test
+cmake --build "${tsan_dir}" -j "$(nproc)" --target parallel_test serve_test guard_serve_test shard_serve_test qos_test
 
 echo "== parallel/equivalence tests under TSan =="
 TSAN_OPTIONS="halt_on_error=1" \
@@ -70,6 +70,15 @@ echo "== SageShard serving tests under TSan =="
 # (ShardServeTest.ConcurrentShardedDispatchIsRaceFree).
 TSAN_OPTIONS="halt_on_error=1" \
   "${tsan_dir}/tests/shard_serve_test" \
+  --gtest_filter='-*DeathTest*'
+
+echo "== SageFlood QoS tests under TSan =="
+# The concurrent mixed-class Submit storm: 4 submitter threads racing 2
+# dispatch workers through the QosPolicy under the admission mutex, with
+# per-class accounting checked after the drain
+# (QosServiceTest.ConcurrentMixedClassStormKeepsPerClassAccounting).
+TSAN_OPTIONS="halt_on_error=1" \
+  "${tsan_dir}/tests/qos_test" \
   --gtest_filter='-*DeathTest*'
 
 echo "== fault matrix (sage_cli faults, ASan/UBSan build) =="
@@ -145,6 +154,18 @@ ASAN_OPTIONS="detect_leaks=1" \
 python3 -m json.tool "${obs_dir}/serve_trace.json" > /dev/null
 python3 -m json.tool "${obs_dir}/serve_metrics.json" > /dev/null
 echo "observability: profile/trace/metrics/serve JSON all valid"
+
+echo "== SageFlood load smoke (sage_cli load, ASan/UBSan build) =="
+# A 10k-request bursty QoS replay at 2x modeled capacity through the
+# virtual-time simulator, with the sanitizers watching the policy and
+# report paths; the machine-readable SLO report must parse. bench_load
+# (tools/run_bench.sh) owns the million-request gates.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  "${build_dir}/tools/sage_cli" load 10000 2.0 --json \
+  > "${obs_dir}/load.json"
+python3 -m json.tool "${obs_dir}/load.json" > /dev/null
+echo "SageFlood: 10k-request load smoke clean, SLO report valid JSON"
 
 echo "== perf smoke (tiny graph, parallel vs serial wall clock) =="
 # Not a benchmark — the sanitizer build distorts absolute timing — just a
