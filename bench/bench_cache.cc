@@ -1,0 +1,290 @@
+// SageCache benchmark (DESIGN.md §12), three gates in one binary:
+//
+//  1. Out-of-core correctness: with a memory budget forcing the adjacency
+//     host-side, every app x strategy x host-thread-count run must produce
+//     an output digest bit-identical to the in-core run.
+//  2. Hot-tile cache effectiveness: a zipf-skewed access stream against a
+//     cache holding 25% of the tile universe, protected section pre-filled
+//     by popularity rank, must sustain a warm hit rate >= 0.8.
+//  3. Serve-tier admission: a graph load that fails against a full memory
+//     budget must succeed once the service is attached as pool evictor
+//     (cold warm-engine pools are shed LRU-by-last-dispatch).
+//
+// Emits BENCH_cache.json into the working directory; exits nonzero when
+// any gate fails.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "bench_common.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "serve/graph_registry.h"
+#include "serve/service.h"
+#include "sim/gpu_device.h"
+#include "sim/tile_cache.h"
+#include "util/random.h"
+
+namespace sage::bench {
+namespace {
+
+// --- Gate 1: out-of-core digest parity --------------------------------------
+
+struct DigestMatrix {
+  int cases = 0;
+  int identical = 0;
+  double in_core_seconds = 0.0;      // kSage bfs, in-core
+  double out_of_core_seconds = 0.0;  // kSage bfs, budget = bytes/4
+};
+
+apps::AppParams ParamsFor(const std::string& app) {
+  apps::AppParams params;
+  if (app == "bfs" || app == "sssp") {
+    params.sources = {1};
+  } else if (app == "msbfs") {
+    params.sources = {1, 2, 3, 4};
+  }
+  params.iterations = kPrIterations;
+  params.k = 2;
+  return params;
+}
+
+uint64_t RunDigest(const graph::Csr& csr, const std::string& app,
+                   const core::EngineOptions& options, double* seconds) {
+  sim::GpuDevice device(BenchSpec());
+  auto engine = core::Engine::Create(&device, csr, options);
+  SAGE_CHECK(engine.ok()) << engine.status().ToString();
+  auto program = apps::CreateProgram(app);
+  SAGE_CHECK(program.ok());
+  auto stats = apps::RunApp(**engine, **program, ParamsFor(app));
+  SAGE_CHECK(stats.ok()) << stats.status().ToString();
+  if (seconds != nullptr) *seconds = stats->seconds;
+  return apps::OutputDigest(**engine, **program);
+}
+
+DigestMatrix RunDigestMatrix(const graph::Csr& csr) {
+  DigestMatrix matrix;
+  const uint64_t budget = csr.MemoryBytes() / 4;
+  const core::ExpandStrategy strategies[] = {
+      core::ExpandStrategy::kSage, core::ExpandStrategy::kB40c,
+      core::ExpandStrategy::kWarpCentric};
+  const char* strategy_names[] = {"sage", "b40c", "warp"};
+  std::printf("%-10s %-6s in-core digest   ooc(t=1) ooc(t=4)\n", "app",
+              "sched");
+  for (const char* app_name : {"bfs", "pagerank", "kcore", "sssp", "msbfs"}) {
+    const std::string app = app_name;
+    for (int s = 0; s < 3; ++s) {
+      core::EngineOptions in_core;
+      in_core.strategy = strategies[s];
+      in_core.host_threads = 1;
+      const bool record = app == "bfs" && s == 0;
+      const uint64_t want =
+          RunDigest(csr, app, in_core,
+                    record ? &matrix.in_core_seconds : nullptr);
+      bool ok[2] = {false, false};
+      int i = 0;
+      for (uint32_t threads : {1u, 4u}) {
+        core::EngineOptions ooc = in_core;
+        ooc.memory_budget_bytes = budget;
+        ooc.host_threads = threads;
+        const uint64_t got =
+            RunDigest(csr, app, ooc,
+                      record && threads == 1 ? &matrix.out_of_core_seconds
+                                             : nullptr);
+        ok[i++] = got == want;
+        ++matrix.cases;
+        if (got == want) ++matrix.identical;
+      }
+      std::printf("%-10s %-6s %016llx %8s %8s\n", app.c_str(),
+                  strategy_names[s], static_cast<unsigned long long>(want),
+                  ok[0] ? "ok" : "DIVERGED", ok[1] ? "ok" : "DIVERGED");
+    }
+  }
+  return matrix;
+}
+
+// --- Gate 2: zipf hot-tile hit rate -----------------------------------------
+
+struct ZipfResult {
+  uint64_t accesses = 0;
+  double hit_rate = 0.0;
+  uint64_t capacity_tiles = 0;
+  uint64_t universe_tiles = 0;
+};
+
+ZipfResult RunZipfMicrobench() {
+  // A 4096-tile universe with a cache holding a quarter of it — the
+  // out-of-core regime where most of the adjacency cannot be resident.
+  constexpr uint64_t kTiles = 4096;
+  constexpr double kAlpha = 1.05;
+  sim::HostTileCache cache;
+  sim::HostTileCache::Config config;
+  config.sectors_per_tile = 8;
+  config.sector_bytes = 32;
+  config.capacity_bytes = (kTiles / 4) * 8 * 32;
+  cache.Configure(config);
+  SAGE_CHECK(cache.enabled());
+
+  // Degree-ranked pre-fill stand-in: Rng::Zipf favors small ids, so
+  // popularity rank == tile id. Fill the protected section with the
+  // hottest tiles.
+  for (uint64_t t = 0; !cache.PrefillFull(); ++t) cache.Prefill(t);
+
+  util::Rng rng(0x5361676543616368ull);  // "SageCach"
+  std::vector<uint64_t> sectors, fetch;
+  auto access_one = [&] {
+    const uint64_t tile = rng.Zipf(kTiles, kAlpha);
+    sectors.clear();
+    for (uint32_t s = 0; s < config.sectors_per_tile; ++s) {
+      sectors.push_back(tile * config.sectors_per_tile + s);
+    }
+    cache.Access(sectors, &fetch);
+  };
+  // Warm window: demand traffic sorts itself into the sections.
+  for (int i = 0; i < 50000; ++i) access_one();
+  cache.ResetStats();  // counters only — residency survives
+  ZipfResult result;
+  result.accesses = 200000;
+  for (uint64_t i = 0; i < result.accesses; ++i) access_one();
+  result.hit_rate = cache.stats().HitRate();
+  result.capacity_tiles = cache.capacity_tiles();
+  result.universe_tiles = kTiles;
+  std::printf(
+      "\nzipf(%.2f) over %llu tiles, cache %llu tiles: warm hit rate %.3f "
+      "(gate >= 0.80)\n",
+      kAlpha, static_cast<unsigned long long>(kTiles),
+      static_cast<unsigned long long>(result.capacity_tiles),
+      result.hit_rate);
+  return result;
+}
+
+// --- Gate 3: serve-tier eviction admits a previously failing load -----------
+
+struct EvictionResult {
+  bool failed_without_evictor = false;
+  bool admitted_with_evictor = false;
+  uint64_t evictions = 0;
+};
+
+EvictionResult RunEvictionScenario() {
+  const graph::Csr a = graph::GenerateRmat(11, 16384, 0.57, 0.19, 0.19, 7);
+  const graph::Csr b = graph::GenerateUniform(1200, 6000, 3);
+  const uint64_t a_bytes = a.MemoryBytes();
+  const uint64_t b_bytes = b.MemoryBytes();
+
+  serve::GraphRegistry registry;
+  // Both CSRs fit with half an a of slack; a's warm engine (a full extra
+  // a_bytes of pool) is what pushes the load of b over budget.
+  registry.set_memory_budget_bytes(a_bytes + b_bytes + a_bytes / 2);
+  SAGE_CHECK(registry.Add("a", a).ok());
+
+  serve::ServeOptions options;
+  options.worker_threads = 0;
+  options.engines_per_graph = 1;
+  options.device_spec = BenchSpec();
+  serve::QueryService service(&registry, options);
+
+  serve::Request request;
+  request.graph = "a";
+  request.app = "bfs";
+  request.params.sources = {1};
+  auto submitted = service.Submit(request);
+  SAGE_CHECK(submitted.ok());
+  service.ProcessAllPending();
+  SAGE_CHECK(submitted->get().status.ok());
+
+  EvictionResult result;
+  result.failed_without_evictor =
+      registry.Add("b", b).code() == util::StatusCode::kResourceExhausted;
+
+  registry.set_evictor(&service);
+  result.admitted_with_evictor = registry.Add("b", b).ok();
+  for (const auto& [name, value] : service.metrics().Snapshot().counters) {
+    if (name == "serve.cache.evictions") result.evictions = value;
+  }
+  std::printf(
+      "registry budget: load of 'b' %s without evictor, %s with evictor "
+      "(%llu warm engines shed)\n",
+      result.failed_without_evictor ? "failed" : "UNEXPECTEDLY FIT",
+      result.admitted_with_evictor ? "admitted" : "STILL REFUSED",
+      static_cast<unsigned long long>(result.evictions));
+  return result;
+}
+
+// --- JSON + gates -----------------------------------------------------------
+
+void WriteJson(const DigestMatrix& matrix, const ZipfResult& zipf,
+               const EvictionResult& eviction, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"out_of_core\": {\"cases\": %d, \"identical\": %d,\n"
+      "    \"in_core_modeled_seconds\": %.6f,"
+      " \"out_of_core_modeled_seconds\": %.6f},\n"
+      "  \"zipf_cache\": {\"universe_tiles\": %llu, \"capacity_tiles\":"
+      " %llu,\n"
+      "    \"accesses\": %llu, \"hit_rate\": %.4f, \"gate\": 0.8},\n"
+      "  \"registry_eviction\": {\"failed_without_evictor\": %s,\n"
+      "    \"admitted_with_evictor\": %s, \"evictions\": %llu}\n"
+      "}\n",
+      matrix.cases, matrix.identical, matrix.in_core_seconds,
+      matrix.out_of_core_seconds,
+      static_cast<unsigned long long>(zipf.universe_tiles),
+      static_cast<unsigned long long>(zipf.capacity_tiles),
+      static_cast<unsigned long long>(zipf.accesses), zipf.hit_rate,
+      eviction.failed_without_evictor ? "true" : "false",
+      eviction.admitted_with_evictor ? "true" : "false",
+      static_cast<unsigned long long>(eviction.evictions));
+  std::fclose(f);
+}
+
+int Main() {
+  graph::Csr csr = graph::GenerateRmat(12, 49152, 0.57, 0.19, 0.19, 42);
+  std::printf("SageCache bench: rmat scale 12 (%u nodes, %llu edges, "
+              "%llu CSR bytes)\n\n",
+              csr.num_nodes(),
+              static_cast<unsigned long long>(csr.num_edges()),
+              static_cast<unsigned long long>(csr.MemoryBytes()));
+
+  DigestMatrix matrix = RunDigestMatrix(csr);
+  ZipfResult zipf = RunZipfMicrobench();
+  EvictionResult eviction = RunEvictionScenario();
+
+  std::printf("\nout-of-core digests: %d/%d identical; paging cost: "
+              "%.6fs in-core -> %.6fs out-of-core (bfs/sage)\n",
+              matrix.identical, matrix.cases, matrix.in_core_seconds,
+              matrix.out_of_core_seconds);
+
+  WriteJson(matrix, zipf, eviction, "BENCH_cache.json");
+  std::printf("wrote BENCH_cache.json\n");
+
+  int rc = 0;
+  if (matrix.identical != matrix.cases) {
+    std::fprintf(stderr, "GATE FAILED: out-of-core digests diverged\n");
+    rc = 1;
+  }
+  if (zipf.hit_rate < 0.8) {
+    std::fprintf(stderr, "GATE FAILED: zipf hit rate %.3f < 0.8\n",
+                 zipf.hit_rate);
+    rc = 1;
+  }
+  if (!eviction.failed_without_evictor || !eviction.admitted_with_evictor) {
+    std::fprintf(stderr,
+                 "GATE FAILED: registry eviction scenario did not "
+                 "fail-then-admit\n");
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() { return sage::bench::Main(); }

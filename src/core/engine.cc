@@ -114,13 +114,19 @@ Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
 
   const NodeId n = csr_.num_nodes();
   const uint64_t m = csr_.num_edges();
+  // SageCache (DESIGN.md §12): a memory budget smaller than the CSR forces
+  // the adjacency out-of-core exactly like adjacency_on_host; the budget
+  // then also sizes the device-resident host-tile cache.
+  const bool paged =
+      options_.adjacency_on_host ||
+      (options_.memory_budget_bytes > 0 &&
+       csr_.MemoryBytes() > options_.memory_budget_bytes);
   auto& mem = device_->mem();
   offsets_buf_ = mem.Register("csr.u_offsets", static_cast<uint64_t>(n) + 1,
                               sizeof(EdgeId));
   v_buf_ = mem.Register(
       "csr.v", std::max<uint64_t>(m, 1), sizeof(NodeId),
-      options_.adjacency_on_host ? sim::MemSpace::kHost
-                                 : sim::MemSpace::kDevice);
+      paged ? sim::MemSpace::kHost : sim::MemSpace::kDevice);
   uint64_t frontier_cap = std::max<uint64_t>(m + n, 1);
   frontier_buf_[0] = mem.Register("frontier.a", frontier_cap, sizeof(NodeId));
   frontier_buf_[1] = mem.Register("frontier.b", frontier_cap, sizeof(NodeId));
@@ -139,8 +145,7 @@ Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
     udt_v_buf_ = mem.Register(
         "udt.v", std::max<uint64_t>(udt_->virtual_csr.num_edges(), 1),
         sizeof(NodeId),
-        options_.adjacency_on_host ? sim::MemSpace::kHost
-                                   : sim::MemSpace::kDevice);
+        paged ? sim::MemSpace::kHost : sim::MemSpace::kDevice);
     udt_map_buf_ = mem.Register("udt.real_of_virtual",
                                 std::max<uint64_t>(vn, 1), sizeof(NodeId));
     udt_group_buf_ = mem.Register("udt.group_offsets",
@@ -151,6 +156,31 @@ Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
     ctx_.set_frontier_map(&udt_->real_of_virtual, &udt_map_buf_);
   } else {
     ctx_ = ExpandContext(device_, &csr_, &v_buf_, &offsets_buf_);
+  }
+
+  if (paged && options_.memory_budget_bytes > 0) {
+    // Size the host-tile cache to the budget left once the always-resident
+    // offsets array is paid for, floored at one tile so paging always has
+    // a cache in front of it. One tile = one maximum PCIe payload, so a
+    // missed tile pages in as a single full frame.
+    sim::HostTileCache::Config cache_cfg;
+    cache_cfg.sector_bytes = spec.sector_bytes;
+    cache_cfg.sectors_per_tile = std::max<uint32_t>(
+        1, spec.pcie_max_payload_bytes / spec.sector_bytes);
+    const uint64_t tile_bytes =
+        static_cast<uint64_t>(cache_cfg.sectors_per_tile) * spec.sector_bytes;
+    const uint64_t offsets_bytes =
+        offsets_buf_.num_elems * offsets_buf_.elem_bytes;
+    cache_cfg.capacity_bytes =
+        options_.memory_budget_bytes > offsets_bytes + tile_bytes
+            ? options_.memory_budget_bytes - offsets_bytes
+            : tile_bytes;
+    device_->tile_cache().Configure(cache_cfg);
+    if (udt_ != nullptr) {
+      PrefillTileCache(udt_->virtual_csr, udt_v_buf_);
+    } else {
+      PrefillTileCache(csr_, v_buf_);
+    }
   }
 
   orig_to_int_ = reorder::IdentityPermutation(n);
@@ -167,6 +197,16 @@ Engine::Engine(sim::GpuDevice* device, graph::Csr csr,
   // they are deliberately kept out of every modeled/deterministic export.
   m_arena_reused_ = metrics_.counter("util.arena.bytes_reused");
   m_replay_slice_us_ = metrics_.histogram("sim.replay.slice_us");
+  // SageCache counters mirror the device cache stats at run boundaries;
+  // only materialized for out-of-core engines so in-core metric snapshots
+  // keep their exact historical key set.
+  if (device_->tile_cache().enabled()) {
+    m_cache_hits_ = metrics_.counter("cache.hits");
+    m_cache_misses_ = metrics_.counter("cache.misses");
+    m_cache_evictions_ = metrics_.counter("cache.evictions");
+    m_cache_prefill_bytes_ = metrics_.counter("cache.prefill_bytes");
+    m_cache_prefill_bytes_->Set(device_->tile_cache().stats().prefill_bytes);
+  }
 
   if (options_.sampling_reorder) {
     SamplingReorderer::Options sopts;
@@ -446,12 +486,58 @@ util::StatusOr<RunStats> Engine::RunLoop(std::vector<NodeId> frontier,
   return total;
 }
 
+void Engine::PrefillTileCache(const graph::Csr& g, const sim::Buffer& vbuf) {
+  sim::HostTileCache& cache = device_->tile_cache();
+  if (!cache.enabled()) return;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return;
+  // Degree-ranked static pre-fill: hottest adjacency first. stable_sort on
+  // descending degree keeps node id as the tie-break, so the pre-fill set
+  // is a pure function of (graph, budget) — identical across runs, thread
+  // counts, and processes.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
+    return g.OutDegree(a) > g.OutDegree(b);
+  });
+  const uint32_t sector_bytes = device_->spec().sector_bytes;
+  const uint32_t spt = cache.config().sectors_per_tile;
+  const std::vector<EdgeId>& off = g.u_offsets();
+  for (NodeId u : order) {
+    if (cache.PrefillFull()) break;
+    if (off[u] == off[u + 1]) break;  // degree-sorted: the rest are isolated
+    const uint64_t t0 = vbuf.Addr(off[u]) / sector_bytes / spt;
+    const uint64_t t1 = vbuf.Addr(off[u + 1] - 1) / sector_bytes / spt;
+    for (uint64_t t = t0; t <= t1 && !cache.PrefillFull(); ++t) {
+      cache.Prefill(t);
+    }
+  }
+  // The pre-fill ships as one planned bulk DMA (headers amortize over
+  // maximal frames) and its synchronous cost lands in the pipeline totals,
+  // not in any kernel.
+  const uint64_t bytes = cache.stats().prefill_bytes;
+  if (bytes > 0) {
+    sim::LinkModel::Transfer t = device_->BulkHostTransfer(bytes);
+    device_->AddExternalSeconds(device_->CyclesToSeconds(t.cycles));
+  }
+}
+
 void Engine::PublishHostPerfMetrics() {
   uint64_t reused = ctx_.arena().bytes_reused();
   for (const ExpandContext& cx : worker_ctx_) {
     reused += cx.arena().bytes_reused();
   }
   m_arena_reused_->Set(reused);
+  // SageCache stats are modeled quantities (deterministic across thread
+  // counts); published here because run boundaries are the natural export
+  // point, not because they are host-side like the rest.
+  if (m_cache_hits_ != nullptr) {
+    const sim::HostTileCache::Stats& cs = device_->tile_cache().stats();
+    m_cache_hits_->Set(cs.hits);
+    m_cache_misses_->Set(cs.misses);
+    m_cache_evictions_->Set(cs.evictions);
+    m_cache_prefill_bytes_->Set(cs.prefill_bytes);
+  }
   // Mirror the memory system's replay-slice histogram bucket by bucket
   // (publish-style: rebuild from the source of truth on every export).
   m_replay_slice_us_->Reset();

@@ -71,6 +71,17 @@ struct EngineOptions {
   /// Out-of-core: keep the adjacency array csr.v in host memory and access
   /// it through the PCIe link (Figure 8's scenario).
   bool adjacency_on_host = false;
+  /// SageCache (DESIGN.md §12): cap on resident CSR bytes; 0 = unlimited.
+  /// A graph whose CSR exceeds the budget goes out-of-core automatically —
+  /// the adjacency array lives host-side and pages over the PCIe link in
+  /// tile-aligned merged requests, fronted by the device's HostTileCache
+  /// (multi-section LRU with a degree-ranked static pre-fill) sized to the
+  /// budget left after the device-resident offsets array. Outputs are
+  /// bit-identical to in-core execution (only modeled cost changes);
+  /// "cache.*" metrics appear in sim::ExportDeviceMetrics and
+  /// Engine::metrics(). Also honoured with adjacency_on_host = true, where
+  /// it sizes the cache for the explicitly host-resident adjacency.
+  uint64_t memory_budget_bytes = 0;
   /// SageCheck level. Anything above kOff makes the engine own an
   /// AccessChecker and attach it to the device for the engine's lifetime
   /// (see checker()). kOff records nothing — zero hot-path overhead.
@@ -287,7 +298,15 @@ class Engine {
   /// main thread. These are wall-clock / allocator quantities — never part
   /// of modeled results, digests, or the serial-vs-parallel bit-identity
   /// contract (which only covers device exports and modeled counters).
+  /// Out-of-core engines additionally mirror the (modeled, deterministic)
+  /// SageCache stats here.
   void PublishHostPerfMetrics();
+
+  /// SageCache static pre-fill: walks `g`'s nodes in (degree desc, id asc)
+  /// order, admitting their adjacency tiles in `vbuf` into the device tile
+  /// cache's protected section until it is full, then charges the whole
+  /// pre-fill as one bulk host transfer of synchronous pipeline seconds.
+  void PrefillTileCache(const graph::Csr& g, const sim::Buffer& vbuf);
 
   /// True when stages may run on the thread pool: a pool exists and no
   /// order-sensitive observer (SageCheck sink, sampling reorderer) is
@@ -349,6 +368,12 @@ class Engine {
   util::HistogramMetric* m_iter_edges_ = nullptr;
   util::Counter* m_arena_reused_ = nullptr;
   util::HistogramMetric* m_replay_slice_us_ = nullptr;
+  /// SageCache counters (null for in-core engines — the keys only exist
+  /// when the device tile cache is enabled).
+  util::Counter* m_cache_hits_ = nullptr;
+  util::Counter* m_cache_misses_ = nullptr;
+  util::Counter* m_cache_evictions_ = nullptr;
+  util::Counter* m_cache_prefill_bytes_ = nullptr;
   std::vector<graph::NodeId> orig_to_int_;
   std::vector<graph::NodeId> int_to_orig_;
   double reorder_seconds_total_ = 0.0;

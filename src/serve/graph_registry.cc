@@ -1,5 +1,7 @@
 #include "serve/graph_registry.h"
 
+#include "util/logging.h"
+
 namespace sage::serve {
 
 util::Status GraphRegistry::Add(const std::string& name, graph::Csr csr) {
@@ -15,19 +17,53 @@ util::Status GraphRegistry::Add(const std::string& name, graph::Csr csr) {
                                          "' failed CSR validation: " +
                                          valid.message());
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  Entry entry;
-  entry.csr = std::move(csr);
-  entry.placement.primary = next_primary_;
-  entry.placement.shards = {next_primary_};
-  auto [it, inserted] = graphs_.emplace(name, std::move(entry));
-  (void)it;
-  if (!inserted) {
-    return util::Status::InvalidArgument("graph '" + name +
-                                         "' already registered");
+  const uint64_t need = csr.MemoryBytes();
+  bool evicted_once = false;
+  for (;;) {
+    uint64_t deficit = 0;
+    PoolEvictor* evictor = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (graphs_.find(name) != graphs_.end()) {
+        return util::Status::InvalidArgument("graph '" + name +
+                                             "' already registered");
+      }
+      if (memory_budget_bytes_ == 0 ||
+          tracked_bytes_ + need <= memory_budget_bytes_) {
+        // The round-robin cursor is modular by construction; the invariant
+        // that every primary placement lands in [0, num_shards) is cheap
+        // enough to assert on every Add, forever.
+        SAGE_CHECK(next_primary_ < num_shards_)
+            << "round-robin primary cursor " << next_primary_
+            << " out of range [0, " << num_shards_ << ")";
+        Entry entry;
+        entry.csr = std::move(csr);
+        entry.csr_bytes = need;
+        entry.placement.primary = next_primary_;
+        entry.placement.shards = {next_primary_};
+        graphs_.emplace(name, std::move(entry));
+        tracked_bytes_ += need;
+        next_primary_ = (next_primary_ + 1) % num_shards_;
+        return util::Status::OK();
+      }
+      if (evictor_ == nullptr || evicted_once) {
+        return util::Status::ResourceExhausted(
+            "graph '" + name + "' does not fit the memory budget: " +
+            std::to_string(tracked_bytes_) + " tracked + " +
+            std::to_string(need) + " needed > " +
+            std::to_string(memory_budget_bytes_) + " budget" +
+            (evictor_ == nullptr ? " (no pool evictor attached)"
+                                 : " (after pool eviction)"));
+      }
+      deficit = tracked_bytes_ + need - memory_budget_bytes_;
+      evictor = evictor_;
+    }
+    // Outside the registry lock: the evictor takes the service lock and
+    // calls back into NotePoolBytes (service -> registry is the one legal
+    // lock order; holding mu_ here would invert it).
+    evictor->ReleasePoolMemory(deficit);
+    evicted_once = true;
   }
-  next_primary_ = (next_primary_ + 1) % num_shards_;
-  return util::Status::OK();
 }
 
 const graph::Csr* GraphRegistry::Find(const std::string& name) const {
@@ -57,6 +93,40 @@ util::Status GraphRegistry::AddReplica(const std::string& name,
   Placement& placement = it->second.placement;
   if (!placement.OnShard(shard)) placement.shards.push_back(shard);
   return util::Status::OK();
+}
+
+void GraphRegistry::set_memory_budget_bytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  memory_budget_bytes_ = bytes;
+}
+
+uint64_t GraphRegistry::memory_budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_budget_bytes_;
+}
+
+void GraphRegistry::set_evictor(PoolEvictor* evictor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  evictor_ = evictor;
+}
+
+void GraphRegistry::ClearEvictor(PoolEvictor* evictor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (evictor_ == evictor) evictor_ = nullptr;
+}
+
+void GraphRegistry::NotePoolBytes(const std::string& name, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) return;
+  tracked_bytes_ -= it->second.pool_bytes;
+  it->second.pool_bytes = bytes;
+  tracked_bytes_ += bytes;
+}
+
+uint64_t GraphRegistry::tracked_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tracked_bytes_;
 }
 
 std::vector<std::string> GraphRegistry::Names() const {

@@ -23,10 +23,31 @@ namespace sage::serve {
 /// shards round-robin in registration order) and grows placements via
 /// AddReplica when the service decides a graph is hot.
 ///
+/// SageCache (DESIGN.md §12): the registry is additionally the memory-
+/// budget authority. With set_memory_budget_bytes > 0 it tracks every
+/// graph's CSR bytes plus the warm-engine pool bytes the service reports
+/// (NotePoolBytes), and an Add that would exceed the budget first asks the
+/// attached PoolEvictor to shed cold warm-engine pools (LRU by last
+/// dispatch) before giving up with kResourceExhausted. Only pools are ever
+/// shed — graph entries are never removed, so Find pointers stay stable.
+///
 /// Thread-safe. Find returns a stable pointer: entries are never removed
 /// and std::map nodes do not move on insert.
 class GraphRegistry {
  public:
+  /// Releases warm-engine pool memory on the registry's behalf
+  /// (implemented by QueryService). Called by Add WITHOUT the registry
+  /// lock held; the implementation may take its own locks and call back
+  /// into NotePoolBytes. It must only release idle resources — in-flight
+  /// dispatches keep their engines.
+  class PoolEvictor {
+   public:
+    virtual ~PoolEvictor() = default;
+    /// Frees at least `bytes_needed` bytes of pool memory if possible,
+    /// coldest pools first. Returns the bytes actually freed (possibly 0).
+    virtual uint64_t ReleasePoolMemory(uint64_t bytes_needed) = 0;
+  };
+
   /// A registry spanning `num_shards` placement shards (0 is clamped to
   /// 1). The default single-shard registry makes every placement
   /// {primary=0} — the pre-shard behavior.
@@ -38,6 +59,8 @@ class GraphRegistry {
   /// duplicate registration (graphs are immutable once registered), or a
   /// CSR that fails structural validation (graph::ValidateCsr) — corrupt
   /// graphs are rejected at load time, not traversal time.
+  /// kResourceExhausted when a memory budget is set and the graph does not
+  /// fit even after the evictor shed every cold pool it could.
   util::Status Add(const std::string& name, graph::Csr csr);
 
   /// The registered graph, or nullptr.
@@ -55,6 +78,29 @@ class GraphRegistry {
 
   uint32_t num_shards() const { return num_shards_; }
 
+  /// Shared memory budget over graph CSRs + reported pool bytes; 0 (the
+  /// default) disables budget enforcement entirely.
+  void set_memory_budget_bytes(uint64_t bytes);
+  uint64_t memory_budget_bytes() const;
+
+  /// Attaches the pool evictor consulted by over-budget Adds (nullptr
+  /// detaches). The evictor must outlive the registry or detach first.
+  void set_evictor(PoolEvictor* evictor);
+
+  /// Detaches `evictor` iff it is the currently attached one (no-op
+  /// otherwise). QueryService::Shutdown calls this so the registry never
+  /// holds a dangling evictor past the service's lifetime.
+  void ClearEvictor(PoolEvictor* evictor);
+
+  /// The service reports each graph's current warm-engine pool bytes here
+  /// whenever a pool grows or shrinks. Unknown names are ignored (the pool
+  /// may outlive interest in accounting during shutdown races).
+  void NotePoolBytes(const std::string& name, uint64_t bytes);
+
+  /// Currently tracked bytes: every registered CSR plus every reported
+  /// pool. What Add compares against the budget.
+  uint64_t tracked_bytes() const;
+
   std::vector<std::string> Names() const;
   size_t size() const;
 
@@ -62,12 +108,17 @@ class GraphRegistry {
   struct Entry {
     graph::Csr csr;
     Placement placement;
+    uint64_t csr_bytes = 0;
+    uint64_t pool_bytes = 0;
   };
 
   const uint32_t num_shards_;
   mutable std::mutex mu_;
   std::map<std::string, Entry> graphs_;
   uint32_t next_primary_ = 0;  ///< round-robin cursor, guarded by mu_
+  uint64_t memory_budget_bytes_ = 0;  ///< guarded by mu_
+  uint64_t tracked_bytes_ = 0;        ///< guarded by mu_
+  PoolEvictor* evictor_ = nullptr;    ///< guarded by mu_
 };
 
 }  // namespace sage::serve

@@ -237,6 +237,13 @@ struct Sim {
         cr.p50_ms = util::PercentileOfSorted(lat, 50.0);
         cr.p99_ms = util::PercentileOfSorted(lat, 99.0);
         cr.p999_ms = util::PercentileOfSorted(lat, 99.9);
+      } else {
+        // A class with zero completions under extreme overload has no
+        // latency distribution: report explicit zeros. PercentileOfSorted
+        // asserts on an empty vector — never call it here.
+        cr.p50_ms = 0.0;
+        cr.p99_ms = 0.0;
+        cr.p999_ms = 0.0;
       }
     }
   }

@@ -74,6 +74,7 @@ QueryService::QueryService(GraphRegistry* registry, ServeOptions options)
   m_.deadline_misses = metrics_.counter("serve.deadline_misses");
   m_.cancelled = metrics_.counter("serve.cancelled");
   m_.shard_replications = metrics_.counter("serve.shard.replications");
+  m_.cache_evictions = metrics_.counter("serve.cache.evictions");
   for (int c = 0; c < kNumPriorities; ++c) {
     const std::string name = PriorityName(static_cast<Priority>(c));
     m_.submitted_by_class[c] = metrics_.counter("serve.submitted." + name);
@@ -403,6 +404,10 @@ QueryService::WarmEngine* QueryService::AcquireEngine(
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     GraphPool& pool = pools_[graph];
+    // Recency stamp for SageCache eviction ordering: every acquisition
+    // (including retries after a wait) marks this pool as the most
+    // recently dispatched.
+    pool.last_dispatch = ++lru_clock_;
     // First pass honors the hint; second takes any idle engine. A hint is
     // a preference, not an isolation guarantee — correctness never depends
     // on which shard serves (warm state cannot change answers). While the
@@ -434,6 +439,11 @@ QueryService::WarmEngine* QueryService::AcquireEngine(
                                              placement.shards.size()];
       pool.engines.push_back(std::move(warm));
       m_.engines_created->Add(1);
+      // SageCache accounting: each warm engine copies the CSR, so the
+      // pool's footprint is engines * csr bytes. Reported under mu_ —
+      // service -> registry is the one legal lock order.
+      registry_->NotePoolBytes(
+          graph, uint64_t{pool.engines.size()} * csr->MemoryBytes());
       // Engine construction copies the CSR — do the expensive part
       // unlocked. The slot is marked busy, so no other dispatcher can
       // observe the half-built engine.
@@ -464,6 +474,51 @@ QueryService::WarmEngine* QueryService::AcquireEngine(
     // Pool at capacity and everything busy: wait for a release.
     engine_cv_.wait(lock);
   }
+}
+
+uint64_t QueryService::ReleasePoolMemory(uint64_t bytes_needed) {
+  uint64_t freed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Coldest pools first, name-tiebroken so the victim order is
+    // deterministic even before any dispatch has stamped a recency.
+    std::vector<std::pair<uint64_t, const std::string*>> order;
+    order.reserve(pools_.size());
+    for (const auto& [name, pool] : pools_) {
+      if (!pool.engines.empty()) order.emplace_back(pool.last_dispatch, &name);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : *a.second < *b.second;
+              });
+    for (const auto& [stamp, name] : order) {
+      if (freed >= bytes_needed) break;
+      const graph::Csr* csr = registry_->Find(*name);
+      const uint64_t per_engine = csr != nullptr ? csr->MemoryBytes() : 0;
+      GraphPool& pool = pools_[*name];
+      auto& engines = pool.engines;
+      // Only idle, fully built engines are victims: busy slots belong to an
+      // in-flight dispatch (possibly still constructing the engine), and
+      // erasing unique_ptrs never moves the WarmEngine objects other
+      // dispatchers hold raw pointers to.
+      for (auto it = engines.begin();
+           it != engines.end() && freed < bytes_needed;) {
+        if ((*it)->busy || (*it)->engine == nullptr) {
+          ++it;
+          continue;
+        }
+        it = engines.erase(it);
+        freed += per_engine;
+        m_.cache_evictions->Add(1);
+      }
+      registry_->NotePoolBytes(*name,
+                               uint64_t{engines.size()} * per_engine);
+    }
+  }
+  // Waiters blocked on a saturated pool can now grow it again.
+  engine_cv_.notify_all();
+  return freed;
 }
 
 void QueryService::ReleaseEngine(WarmEngine* engine) {
@@ -937,6 +992,9 @@ void QueryService::ProcessAllPending() {
 }
 
 void QueryService::Shutdown() {
+  // Detach from the registry first (no-op if never attached) so a
+  // concurrent over-budget Add cannot call back into a dying service.
+  registry_->ClearEvictor(this);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;

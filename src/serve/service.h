@@ -87,7 +87,14 @@ namespace sage::serve {
 /// modeled deadline — before they burn a dispatch. Every policy decision
 /// depends only on the submission sequence, so the shed set is
 /// bit-identical across host speeds and --host-threads values.
-class QueryService {
+/// SageCache (DESIGN.md §12): the service doubles as the registry's
+/// PoolEvictor. When an over-budget GraphRegistry::Add needs room, it
+/// calls ReleasePoolMemory, which tears down idle warm engines from the
+/// coldest pools (LRU by last dispatch) and reports the shrunken pool
+/// bytes back via NotePoolBytes. Attach explicitly with
+/// registry->set_evictor(&service) — eviction is opt-in so loads still
+/// fail fast when shedding warm state is not acceptable.
+class QueryService : public GraphRegistry::PoolEvictor {
  public:
   /// The registry must outlive the service. Options are validated here;
   /// an invalid engine_options combo surfaces as the error every Submit
@@ -120,6 +127,14 @@ class QueryService {
   /// The service's SageScope metrics registry ("serve.*" counters, the
   /// latency histograms). Snapshot/ToJson are safe from any thread.
   const util::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// GraphRegistry::PoolEvictor: frees warm-engine pool memory, coldest
+  /// pools first (LRU by last dispatch, name-tiebroken), evicting only
+  /// idle engines — in-flight dispatches keep theirs. Returns the bytes
+  /// freed; bumps "serve.cache.evictions" once per engine torn down.
+  /// Called by the registry without its lock held (service -> registry is
+  /// the one legal lock order).
+  uint64_t ReleasePoolMemory(uint64_t bytes_needed) override;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -156,6 +171,9 @@ class QueryService {
     std::unique_ptr<CircuitBreaker> breaker;
     /// Dispatches executed for this graph (feeds hot-graph replication).
     uint64_t dispatches = 0;
+    /// lru_clock_ stamp of the last engine acquisition for this graph —
+    /// the recency key ReleasePoolMemory orders eviction victims by.
+    uint64_t last_dispatch = 0;
   };
 
   /// What one guarded engine run of a batch produced (see RunOnEngine).
@@ -286,6 +304,8 @@ class QueryService {
     util::Counter* deadline_misses;
     util::Counter* cancelled;
     util::Counter* shard_replications;
+    /// Warm engines torn down by ReleasePoolMemory (SageCache).
+    util::Counter* cache_evictions;
     // SageFlood (indexed by Priority).
     std::array<util::Counter*, kNumPriorities> submitted_by_class;
     std::array<util::Counter*, kNumPriorities> completed_by_class;
@@ -326,6 +346,10 @@ class QueryService {
   std::map<std::string, double> cost_estimate_;
   /// Adaptive batch cap (<= options_.max_batch); guarded by mu_.
   uint32_t effective_max_batch_ = 1;
+  /// Monotonic engine-acquisition clock stamping GraphPool::last_dispatch
+  /// (guarded by mu_). Deterministic in synchronous mode: it advances in
+  /// dispatch order, not wall-clock order.
+  uint64_t lru_clock_ = 0;
   bool stopping_ = false;
 
   size_t TotalQueuedLocked() const {

@@ -164,6 +164,22 @@ AccessResult GpuDevice::ChargeSectorBatch(uint32_t sm, MemSpace space,
   AccessResult result = mem_.AccessSectors(space, sectors, useful_bytes);
   if (space == MemSpace::kDevice) {
     ApplyDeviceCounters(sm, result);
+  } else if (tile_cache_.enabled() && !sectors.empty()) {
+    // SageCache: resident tiles are served from device memory at DRAM
+    // cost; missing tiles page in as full aligned sector ranges, which the
+    // frame model merges into maximal payloads.
+    SmCounters& c = sms_[sm];
+    uint64_t hits = tile_cache_.Access(sectors, &cache_fetch_scratch_);
+    if (hits > 0) {
+      c.miss_sectors += hits;  // device DRAM service, not L2
+      ++c.dram_latency_events;
+    }
+    if (!cache_fetch_scratch_.empty()) {
+      LinkModel::Transfer t =
+          host_link_.RequestSectors(cache_fetch_scratch_, spec_.sector_bytes);
+      c.host_link_cycles += t.cycles - spec_.pcie_latency_cycles;
+      ++c.host_latency_events;
+    }
   } else {
     // On-demand host access: run the sorted distinct sector list through
     // the frame model.

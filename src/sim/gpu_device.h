@@ -12,6 +12,7 @@
 #include "sim/kernel_stats.h"
 #include "sim/link.h"
 #include "sim/memory_sim.h"
+#include "sim/tile_cache.h"
 
 namespace sage::util {
 class ThreadPool;
@@ -49,6 +50,15 @@ class GpuDevice {
   const MemorySim& mem() const { return mem_; }
   LinkModel& host_link() { return host_link_; }
   const LinkModel& host_link() const { return host_link_; }
+
+  /// SageCache: the device-resident host-tile cache (DESIGN.md §12).
+  /// Disabled until configured (HostTileCache::Configure); while enabled it
+  /// fronts every host-space sector charge — hits cost a device DRAM read,
+  /// misses page the full aligned tile over the PCIe frame model. Driven
+  /// only from the canonical host-charge order, so its state and stats are
+  /// bit-identical across --host-threads values.
+  HostTileCache& tile_cache() { return tile_cache_; }
+  const HostTileCache& tile_cache() const { return tile_cache_; }
 
   /// Resets per-kernel counters; must bracket every kernel.
   void BeginKernel();
@@ -225,6 +235,8 @@ class GpuDevice {
   DeviceSpec spec_;
   MemorySim mem_;
   LinkModel host_link_;
+  HostTileCache tile_cache_;
+  std::vector<uint64_t> cache_fetch_scratch_;  ///< tile-expanded miss list
   std::vector<SmCounters> sms_;
   bool in_kernel_ = false;
   DeviceTotals totals_;

@@ -119,6 +119,16 @@ void ExportDeviceMetrics(const GpuDevice& device,
   registry->counter("link.frames")->Set(link.frames);
   registry->counter("link.wire_bytes")->Set(link.wire_bytes);
   registry->gauge("link.payload_ratio")->Set(link.Efficiency());
+  // SageCache (DESIGN.md §12): only exported when the host-tile cache is
+  // configured, so in-core exports are byte-for-byte what they always were.
+  if (device.tile_cache().enabled()) {
+    const HostTileCache::Stats& cache = device.tile_cache().stats();
+    registry->counter("cache.hits")->Set(cache.hits);
+    registry->counter("cache.misses")->Set(cache.misses);
+    registry->counter("cache.evictions")->Set(cache.evictions);
+    registry->counter("cache.prefill_bytes")->Set(cache.prefill_bytes);
+    registry->gauge("cache.hit_rate")->Set(cache.HitRate());
+  }
   // Kernel-duration histogram in modeled microseconds: rebuilt from the
   // per-kernel record on every export so repeated exports stay exact.
   util::HistogramMetric* h = registry->histogram("device.kernel_us");

@@ -1,0 +1,198 @@
+#include "sim/tile_cache.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sage::sim {
+
+void HostTileCache::Configure(const Config& config) {
+  SAGE_CHECK(config.sectors_per_tile > 0);
+  SAGE_CHECK(config.sector_bytes > 0);
+  config_ = config;
+  const uint64_t tile = tile_bytes();
+  capacity_tiles_ = config_.capacity_bytes / tile;
+  // Split the capacity between the sections. Degenerate capacities keep the
+  // cache functional: one tile total means a plain LRU (no protected
+  // section); a protected_fraction of 0 or 1 clamps to leave at least one
+  // probationary slot so demand misses always have somewhere to land.
+  double frac = std::clamp(config_.protected_fraction, 0.0, 1.0);
+  protected_capacity_ =
+      static_cast<uint64_t>(static_cast<double>(capacity_tiles_) * frac);
+  if (protected_capacity_ >= capacity_tiles_ && capacity_tiles_ > 0) {
+    protected_capacity_ = capacity_tiles_ - 1;
+  }
+  probationary_capacity_ = capacity_tiles_ - protected_capacity_;
+  stats_ = Stats();
+  map_.clear();
+  nodes_.clear();
+  free_nodes_.clear();
+  protected_ = List();
+  probationary_ = List();
+}
+
+uint32_t HostTileCache::AllocNode(uint64_t tile) {
+  uint32_t idx;
+  if (!free_nodes_.empty()) {
+    idx = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    idx = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& n = nodes_[idx];
+  n.tile = tile;
+  n.prev = kNil;
+  n.next = kNil;
+  n.protected_section = false;
+  return idx;
+}
+
+void HostTileCache::FreeNode(uint32_t idx) { free_nodes_.push_back(idx); }
+
+void HostTileCache::PushFront(List* list, uint32_t idx) {
+  Node& n = nodes_[idx];
+  n.prev = kNil;
+  n.next = list->head;
+  if (list->head != kNil) nodes_[list->head].prev = idx;
+  list->head = idx;
+  if (list->tail == kNil) list->tail = idx;
+  ++list->size;
+}
+
+void HostTileCache::Unlink(List* list, uint32_t idx) {
+  Node& n = nodes_[idx];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    list->head = n.next;
+  }
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    list->tail = n.prev;
+  }
+  n.prev = kNil;
+  n.next = kNil;
+  --list->size;
+}
+
+void HostTileCache::Touch(uint32_t idx) {
+  Node& n = nodes_[idx];
+  if (n.protected_section) {
+    // Already proven hot: refresh its protected MRU position.
+    if (protected_.head != idx) {
+      Unlink(&protected_, idx);
+      PushFront(&protected_, idx);
+    }
+    return;
+  }
+  if (protected_capacity_ == 0) {
+    // Plain-LRU degenerate mode: a hit refreshes probationary MRU.
+    if (probationary_.head != idx) {
+      Unlink(&probationary_, idx);
+      PushFront(&probationary_, idx);
+    }
+    return;
+  }
+  // Reuse observed: promote probationary -> protected.
+  Unlink(&probationary_, idx);
+  n.protected_section = true;
+  PushFront(&protected_, idx);
+  ++stats_.promotions;
+  if (protected_.size > protected_capacity_) {
+    // Demote protected LRU back to probationary MRU — it gets one more
+    // chance before eviction rather than being dropped outright.
+    uint32_t victim = protected_.tail;
+    Unlink(&protected_, victim);
+    nodes_[victim].protected_section = false;
+    PushFront(&probationary_, victim);
+    if (probationary_.size > probationary_capacity_) {
+      uint32_t evicted = probationary_.tail;
+      Unlink(&probationary_, evicted);
+      map_.erase(nodes_[evicted].tile);
+      FreeNode(evicted);
+      ++stats_.evictions;
+    }
+  }
+}
+
+void HostTileCache::AdmitProbationary(uint64_t tile) {
+  uint32_t idx = AllocNode(tile);
+  map_.emplace(tile, idx);
+  PushFront(&probationary_, idx);
+  if (probationary_.size > probationary_capacity_) {
+    uint32_t evicted = probationary_.tail;
+    Unlink(&probationary_, evicted);
+    map_.erase(nodes_[evicted].tile);
+    FreeNode(evicted);
+    ++stats_.evictions;
+  }
+}
+
+uint64_t HostTileCache::Access(std::span<const uint64_t> sectors,
+                               std::vector<uint64_t>* fetch) {
+  fetch->clear();
+  if (!enabled()) {
+    fetch->assign(sectors.begin(), sectors.end());
+    stats_.misses += sectors.size();
+    return 0;
+  }
+  const uint32_t spt = config_.sectors_per_tile;
+  uint64_t hits = 0;
+  size_t i = 0;
+  while (i < sectors.size()) {
+    const uint64_t tile = sectors[i] / spt;
+    // The batch is sorted, so one tile's sectors are consecutive.
+    size_t j = i + 1;
+    while (j < sectors.size() && sectors[j] / spt == tile) ++j;
+    const uint64_t batch_sectors = j - i;
+    auto it = map_.find(tile);
+    if (it != map_.end()) {
+      hits += batch_sectors;
+      Touch(it->second);
+    } else {
+      stats_.misses += batch_sectors;
+      // Page the whole aligned tile over the link: consecutive missed
+      // tiles produce consecutive sector ids, which the frame model merges
+      // into maximal payloads.
+      const uint64_t first = tile * spt;
+      for (uint32_t s = 0; s < spt; ++s) fetch->push_back(first + s);
+      AdmitProbationary(tile);
+    }
+    i = j;
+  }
+  stats_.hits += hits;
+  return hits;
+}
+
+bool HostTileCache::PrefillFull() const {
+  if (!enabled()) return true;
+  return protected_capacity_ > 0
+             ? protected_.size >= protected_capacity_
+             : probationary_.size >= probationary_capacity_;
+}
+
+bool HostTileCache::Prefill(uint64_t tile) {
+  if (!enabled() || PrefillFull()) return false;
+  if (map_.count(tile) != 0) return false;
+  uint32_t idx = AllocNode(tile);
+  if (protected_capacity_ > 0) {
+    // Pre-filled tiles start protected: the degree ranking is the
+    // admission evidence a demand miss would have to earn by reuse.
+    nodes_[idx].protected_section = true;
+    PushFront(&protected_, idx);
+  } else {
+    PushFront(&probationary_, idx);
+  }
+  map_.emplace(tile, idx);
+  stats_.prefill_bytes += tile_bytes();
+  return true;
+}
+
+bool HostTileCache::Contains(uint64_t sector) const {
+  if (!enabled()) return false;
+  return map_.count(TileOf(sector)) != 0;
+}
+
+}  // namespace sage::sim

@@ -1,0 +1,152 @@
+#ifndef SAGE_SIM_TILE_CACHE_H_
+#define SAGE_SIM_TILE_CACHE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace sage::sim {
+
+/// SageCache: device-resident cache of host-memory tiles (DESIGN.md §12).
+///
+/// When a graph's adjacency lives host-side (out-of-core mode), every
+/// on-demand access would otherwise pay the PCIe frame model. This cache
+/// fronts the link at *tile* granularity — a tile is a fixed, aligned group
+/// of consecutive sectors, sized so one tile fills one maximum-payload
+/// frame — so hot adjacency stays device-resident and only cold tiles page
+/// in as merged, tile-aligned link requests.
+///
+/// Admission is a multi-section (segmented) LRU:
+///   - a demand-missed tile enters the *probationary* section at MRU;
+///   - a hit on a probationary tile promotes it to the *protected* section
+///     (proven reuse), demoting protected-LRU tiles back to probationary
+///     MRU when protected overflows;
+///   - probationary overflow evicts its LRU tile (counted in
+///     stats().evictions) — scan-heavy cold streams churn probationary
+///     without ever displacing the protected hot set.
+/// A degree-ranked static pre-fill (Prefill) seeds the protected section
+/// before the first traversal.
+///
+/// Determinism: the cache is driven exclusively from the device's canonical
+/// host-charge order (GpuDevice::ChargeSectorBatch — the same serial
+/// statement sequence in immediate mode and trace replay), and every
+/// operation here is a pure function of the access sequence. Cache state,
+/// stats, and the resulting link charges are therefore bit-identical across
+/// --host-threads values.
+class HostTileCache {
+ public:
+  struct Config {
+    /// Total cache capacity in bytes; 0 disables the cache.
+    uint64_t capacity_bytes = 0;
+    /// Sectors per tile (the paging granularity). The engine sizes this so
+    /// one tile = one maximum PCIe payload.
+    uint32_t sectors_per_tile = 8;
+    uint32_t sector_bytes = 32;
+    /// Fraction of the tile capacity reserved for the protected section.
+    double protected_fraction = 0.8;
+  };
+
+  /// Cumulative counters ("cache.*" in SageScope exports). All modeled
+  /// quantities — deterministic across host speeds and thread counts.
+  struct Stats {
+    uint64_t hits = 0;           ///< sectors served from the cache
+    uint64_t misses = 0;         ///< sectors that paged over the link
+    uint64_t evictions = 0;      ///< tiles evicted from probationary
+    uint64_t prefill_bytes = 0;  ///< bytes admitted by static pre-fill
+    uint64_t promotions = 0;     ///< probationary -> protected moves
+    double HitRate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// (Re)configures the cache: computes section capacities and drops all
+  /// resident tiles and stats. capacity_bytes < one tile disables it.
+  void Configure(const Config& config);
+
+  bool enabled() const { return capacity_tiles_ > 0; }
+  const Config& config() const { return config_; }
+  uint64_t capacity_tiles() const { return capacity_tiles_; }
+  uint64_t tile_bytes() const {
+    return static_cast<uint64_t>(config_.sectors_per_tile) *
+           config_.sector_bytes;
+  }
+
+  /// Services one sorted-distinct sector batch: counts sectors whose tile
+  /// is resident as hits (promoting their tiles), and expands each missing
+  /// tile to its full aligned sector range in *fetch (sorted — consecutive
+  /// tiles merge into maximal link frames) while admitting it to
+  /// probationary. Returns the number of hit sectors.
+  uint64_t Access(std::span<const uint64_t> sectors,
+                  std::vector<uint64_t>* fetch);
+
+  /// Admits `tile` directly into the protected section (static pre-fill;
+  /// falls back to probationary only in the no-protected-section degenerate
+  /// mode). Returns false when the tile is already resident or the section
+  /// is full — pre-fill never evicts. Admitted tiles count into
+  /// stats().prefill_bytes; the caller charges the bulk transfer.
+  bool Prefill(uint64_t tile);
+
+  /// True when Prefill has no capacity left (its target section is full).
+  bool PrefillFull() const;
+
+  /// True when `sector`'s tile is resident (no stats, no LRU movement).
+  bool Contains(uint64_t sector) const;
+
+  uint64_t TileOf(uint64_t sector) const {
+    return sector / config_.sectors_per_tile;
+  }
+
+  const Stats& stats() const { return stats_; }
+  /// Clears counters only — resident tiles keep their sections and order
+  /// (warm-cache measurement windows rely on this).
+  void ResetStats() { stats_ = Stats(); }
+
+  uint64_t resident_tiles() const { return map_.size(); }
+
+ private:
+  /// Intrusive doubly-linked LRU node, one per resident tile. Nodes live in
+  /// a free-listed arena so steady-state churn allocates nothing.
+  struct Node {
+    uint64_t tile = 0;
+    uint32_t prev = kNil;
+    uint32_t next = kNil;
+    bool protected_section = false;
+  };
+  /// One LRU list: head = MRU, tail = LRU.
+  struct List {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+    uint64_t size = 0;
+  };
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  uint32_t AllocNode(uint64_t tile);
+  void FreeNode(uint32_t idx);
+  void PushFront(List* list, uint32_t idx);
+  void Unlink(List* list, uint32_t idx);
+  /// Moves `idx` to its section's MRU position, promoting probationary
+  /// tiles into protected (with demotion on overflow).
+  void Touch(uint32_t idx);
+  /// Admits a missed tile to probationary MRU, evicting probationary LRU
+  /// on overflow.
+  void AdmitProbationary(uint64_t tile);
+
+  Config config_;
+  uint64_t capacity_tiles_ = 0;
+  uint64_t protected_capacity_ = 0;
+  uint64_t probationary_capacity_ = 0;
+  Stats stats_;
+  std::unordered_map<uint64_t, uint32_t> map_;  ///< tile -> node index
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> free_nodes_;
+  List protected_;
+  List probationary_;
+};
+
+}  // namespace sage::sim
+
+#endif  // SAGE_SIM_TILE_CACHE_H_

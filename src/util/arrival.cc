@@ -38,9 +38,8 @@ double ArrivalProcess::Next() {
   }
   const double period = options_.burst_period_s;
   for (;;) {
-    const double cycle_start = static_cast<double>(cycle_) * period;
-    const double on_end = cycle_start + options_.burst_duty * period;
-    const double cycle_end = cycle_start + period;
+    const double on_end = cycle_start_ + options_.burst_duty * period;
+    const double cycle_end = cycle_start_ + period;
     const bool in_on = now_ < on_end;
     const double rate = in_on ? on_rate_ : off_rate_;
     const double end = in_on ? on_end : cycle_end;
@@ -51,7 +50,10 @@ double ArrivalProcess::Next() {
     }
     work -= capacity;
     now_ = end;
-    if (!in_on) ++cycle_;
+    if (!in_on) {
+      ++cycle_;
+      cycle_start_ = end;  // the boundary now_ just stepped onto, exactly
+    }
   }
 }
 

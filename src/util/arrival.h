@@ -39,6 +39,26 @@ class ArrivalProcess {
 
   double now() const { return now_; }
 
+  /// Complete process state at an arrival boundary. Restoring it into any
+  /// ArrivalProcess with the same ArrivalOptions continues the exact
+  /// arrival sequence — bit-identical to never having stopped — which is
+  /// what lets long-horizon load runs checkpoint and resume.
+  struct State {
+    Rng::State rng;
+    double now = 0.0;
+    uint64_t cycle = 0;
+    double cycle_start = 0.0;
+  };
+  State Save() const {
+    return State{rng_.state(), now_, cycle_, cycle_start_};
+  }
+  void Restore(const State& state) {
+    rng_.set_state(state.rng);
+    now_ = state.now;
+    cycle_ = state.cycle;
+    cycle_start_ = state.cycle_start;
+  }
+
  private:
   ArrivalOptions options_;
   Rng rng_;
@@ -47,6 +67,13 @@ class ArrivalProcess {
   /// fmod(now_, period): float disagreement between the two at a phase
   /// boundary can yield a zero-length segment and a stuck loop.
   uint64_t cycle_ = 0;
+  /// Start time of cycle_, accumulated one period per cycle advance rather
+  /// than recomputed as double(cycle_) * period — the product loses ulps
+  /// once cycle_ is large, and a cycle_start drifting past now_ on a long
+  /// horizon yields negative segment capacities. Incremental accumulation
+  /// keeps every phase boundary consistent with the boundary the previous
+  /// iteration stepped now_ onto (now_ = end uses the same value).
+  double cycle_start_ = 0.0;
   double on_rate_ = 0.0;
   double off_rate_ = 0.0;
 };

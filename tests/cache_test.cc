@@ -1,0 +1,448 @@
+// SageCache tests (DESIGN.md §12): the multi-section LRU tile cache, the
+// engine's out-of-core paging mode (budget-triggered, bit-identical
+// outputs), the degree-ranked static pre-fill, and the serve tier's
+// registry memory budget with warm-pool eviction.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/registry.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "serve/graph_registry.h"
+#include "serve/service.h"
+#include "sim/gpu_device.h"
+#include "sim/tile_cache.h"
+
+namespace sage {
+namespace {
+
+using core::EngineOptions;
+using core::ExpandStrategy;
+using graph::Csr;
+using sim::HostTileCache;
+using util::StatusCode;
+
+// --- HostTileCache (segmented LRU) ------------------------------------------
+
+HostTileCache::Config SmallConfig(uint64_t tiles, double protected_fraction) {
+  HostTileCache::Config config;
+  config.sectors_per_tile = 8;
+  config.sector_bytes = 32;
+  config.capacity_bytes = tiles * 8 * 32;
+  config.protected_fraction = protected_fraction;
+  return config;
+}
+
+/// One sector in tile `t` (its first sector).
+uint64_t Sector(uint64_t t) { return t * 8; }
+
+/// Accesses tile `t` (one sector) and returns the number of hit sectors.
+uint64_t Touch(HostTileCache* cache, uint64_t t) {
+  std::vector<uint64_t> fetch;
+  const uint64_t sectors[] = {Sector(t)};
+  return cache->Access(sectors, &fetch);
+}
+
+TEST(HostTileCacheTest, MissAdmitsAndExpandsToAlignedTile) {
+  HostTileCache cache;
+  cache.Configure(SmallConfig(4, 0.5));
+  ASSERT_TRUE(cache.enabled());
+  EXPECT_EQ(cache.capacity_tiles(), 4u);
+
+  std::vector<uint64_t> fetch;
+  const uint64_t sectors[] = {17};  // tile 2, mid-tile sector
+  EXPECT_EQ(cache.Access(sectors, &fetch), 0u);
+  // The miss pages the whole aligned tile, not just the touched sector.
+  ASSERT_EQ(fetch.size(), 8u);
+  for (uint64_t s = 0; s < 8; ++s) EXPECT_EQ(fetch[s], 16 + s);
+  EXPECT_TRUE(cache.Contains(17));
+  EXPECT_TRUE(cache.Contains(16));
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Re-access: a hit, nothing to fetch.
+  EXPECT_EQ(Touch(&cache, 2), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(HostTileCacheTest, ProbationaryEvictsLruWithoutTouchingProtected) {
+  HostTileCache cache;
+  cache.Configure(SmallConfig(4, 0.5));  // 2 protected + 2 probationary
+
+  // Promote tiles 0 and 1 into protected (miss, then hit).
+  Touch(&cache, 0);
+  Touch(&cache, 1);
+  Touch(&cache, 0);
+  Touch(&cache, 1);
+  EXPECT_EQ(cache.stats().promotions, 2u);
+
+  // A cold scan through 3 fresh tiles churns probationary only: tile 2 is
+  // the probationary LRU when 3 and 4 arrive, so it goes first.
+  Touch(&cache, 2);
+  Touch(&cache, 3);
+  Touch(&cache, 4);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.Contains(Sector(2)));
+  EXPECT_TRUE(cache.Contains(Sector(3)));
+  EXPECT_TRUE(cache.Contains(Sector(4)));
+  // The protected hot set survived the scan.
+  EXPECT_TRUE(cache.Contains(Sector(0)));
+  EXPECT_TRUE(cache.Contains(Sector(1)));
+}
+
+TEST(HostTileCacheTest, ProtectedOverflowDemotesInsteadOfEvicting) {
+  HostTileCache cache;
+  cache.Configure(SmallConfig(4, 0.5));  // protected capacity 2
+
+  // Miss-then-hit each tile so all three earn promotion.
+  for (uint64_t t : {0, 1, 2}) {
+    Touch(&cache, t);
+    Touch(&cache, t);
+  }
+  EXPECT_EQ(cache.stats().promotions, 3u);
+  // Promoting tile 2 overflowed protected; its LRU (tile 0) was demoted to
+  // probationary, not evicted.
+  EXPECT_TRUE(cache.Contains(Sector(0)));
+  EXPECT_TRUE(cache.Contains(Sector(1)));
+  EXPECT_TRUE(cache.Contains(Sector(2)));
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.resident_tiles(), 3u);
+}
+
+TEST(HostTileCacheTest, PrefillFillsProtectedOnlyAndNeverEvicts) {
+  HostTileCache cache;
+  cache.Configure(SmallConfig(4, 0.5));  // protected capacity 2
+
+  EXPECT_FALSE(cache.PrefillFull());
+  EXPECT_TRUE(cache.Prefill(10));
+  EXPECT_FALSE(cache.Prefill(10));  // duplicate
+  EXPECT_TRUE(cache.Prefill(11));
+  EXPECT_TRUE(cache.PrefillFull());
+  EXPECT_FALSE(cache.Prefill(12));  // section full: pre-fill never evicts
+  EXPECT_EQ(cache.stats().prefill_bytes, 2 * cache.tile_bytes());
+  EXPECT_TRUE(cache.Contains(Sector(10)));
+  EXPECT_TRUE(cache.Contains(Sector(11)));
+  EXPECT_FALSE(cache.Contains(Sector(12)));
+
+  // Demand traffic still has the probationary half to itself.
+  Touch(&cache, 20);
+  Touch(&cache, 21);
+  EXPECT_EQ(cache.resident_tiles(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(HostTileCacheTest, ResetStatsKeepsResidency) {
+  HostTileCache cache;
+  cache.Configure(SmallConfig(4, 0.5));
+  Touch(&cache, 5);
+  Touch(&cache, 5);
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  // The tile stayed resident: the next access is a pure hit.
+  EXPECT_EQ(Touch(&cache, 5), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(HostTileCacheTest, DisabledCachePassesEverythingThrough) {
+  HostTileCache cache;  // never configured
+  EXPECT_FALSE(cache.enabled());
+  std::vector<uint64_t> fetch;
+  const uint64_t sectors[] = {3, 4, 100};
+  EXPECT_EQ(cache.Access(sectors, &fetch), 0u);
+  EXPECT_EQ(fetch.size(), 3u);
+  EXPECT_EQ(cache.resident_tiles(), 0u);
+}
+
+// --- Engine out-of-core mode ------------------------------------------------
+
+sim::DeviceSpec TestSpec() {
+  sim::DeviceSpec spec;
+  spec.num_sms = 8;
+  spec.l2_bytes = 128 << 10;
+  return spec;
+}
+
+Csr TestGraph() { return graph::GenerateRmat(9, 4096, 0.57, 0.19, 0.19, 7); }
+
+apps::AppParams ParamsFor(const std::string& app) {
+  apps::AppParams params;
+  if (app == "bfs" || app == "sssp") {
+    params.sources = {0};
+  } else if (app == "msbfs") {
+    params.sources = {0, 1, 2, 3};
+  }
+  params.iterations = 5;
+  params.k = 2;
+  return params;
+}
+
+uint64_t RunDigest(const Csr& csr, const std::string& app,
+                   const EngineOptions& options) {
+  sim::GpuDevice device(TestSpec());
+  auto engine = core::Engine::Create(&device, csr, options);
+  SAGE_CHECK(engine.ok()) << engine.status().ToString();
+  auto program = apps::CreateProgram(app);
+  SAGE_CHECK(program.ok());
+  auto stats = apps::RunApp(**engine, **program, ParamsFor(app));
+  SAGE_CHECK(stats.ok()) << stats.status().ToString();
+  return apps::OutputDigest(**engine, **program);
+}
+
+TEST(OutOfCoreTest, DigestsMatchInCoreForEveryAppStrategyAndThreadCount) {
+  const Csr csr = TestGraph();
+  const uint64_t budget = csr.MemoryBytes() / 4;  // forces paging
+  const ExpandStrategy strategies[] = {ExpandStrategy::kSage,
+                                       ExpandStrategy::kB40c,
+                                       ExpandStrategy::kWarpCentric};
+  for (const char* app : {"bfs", "pagerank", "kcore", "sssp", "msbfs"}) {
+    for (ExpandStrategy strategy : strategies) {
+      EngineOptions in_core;
+      in_core.strategy = strategy;
+      in_core.host_threads = 1;
+      const uint64_t want = RunDigest(csr, app, in_core);
+      for (uint32_t threads : {1u, 4u}) {
+        EngineOptions ooc = in_core;
+        ooc.memory_budget_bytes = budget;
+        ooc.host_threads = threads;
+        EXPECT_EQ(RunDigest(csr, app, ooc), want)
+            << app << " strategy=" << static_cast<int>(strategy)
+            << " host_threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(OutOfCoreTest, GenerousBudgetStaysInCore) {
+  const Csr csr = TestGraph();
+  sim::GpuDevice device(TestSpec());
+  EngineOptions options;
+  options.host_threads = 1;
+  options.memory_budget_bytes = csr.MemoryBytes() * 2;
+  auto engine = core::Engine::Create(&device, csr, options);
+  ASSERT_TRUE(engine.ok());
+  auto program = apps::CreateProgram("bfs");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(apps::RunApp(**engine, **program, ParamsFor("bfs")).ok());
+  // The graph fits: no cache, no PCIe traffic, no cache metrics.
+  EXPECT_FALSE(device.tile_cache().enabled());
+  EXPECT_EQ(device.host_link().stats().transfers, 0u);
+  for (const auto& [name, value] : (*engine)->metrics().Snapshot().counters) {
+    EXPECT_NE(name.rfind("cache.", 0), 0u) << name;
+  }
+}
+
+TEST(OutOfCoreTest, SmallBudgetPagesThroughCacheAndExportsMetrics) {
+  const Csr csr = TestGraph();
+  sim::GpuDevice device(TestSpec());
+  EngineOptions options;
+  options.host_threads = 1;
+  options.memory_budget_bytes = csr.MemoryBytes() / 4;
+  auto engine = core::Engine::Create(&device, csr, options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(device.tile_cache().enabled());
+  // The degree-ranked pre-fill ran at construction.
+  const uint64_t prefill = device.tile_cache().stats().prefill_bytes;
+  EXPECT_GT(prefill, 0u);
+  EXPECT_GT(device.host_link().stats().transfers, 0u);  // the bulk DMA
+
+  auto program = apps::CreateProgram("bfs");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(apps::RunApp(**engine, **program, ParamsFor("bfs")).ok());
+  const HostTileCache::Stats& stats = device.tile_cache().stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+
+  uint64_t hits = 0, misses = 0, prefill_metric = 0;
+  bool saw_evictions = false;
+  for (const auto& [name, value] : (*engine)->metrics().Snapshot().counters) {
+    if (name == "cache.hits") hits = value;
+    if (name == "cache.misses") misses = value;
+    if (name == "cache.prefill_bytes") prefill_metric = value;
+    if (name == "cache.evictions") saw_evictions = true;
+  }
+  EXPECT_EQ(hits, stats.hits);
+  EXPECT_EQ(misses, stats.misses);
+  EXPECT_EQ(prefill_metric, prefill);
+  EXPECT_TRUE(saw_evictions);
+}
+
+TEST(OutOfCoreTest, PrefillAndPagingAreDeterministic) {
+  const Csr csr = TestGraph();
+  EngineOptions options;
+  options.host_threads = 1;
+  options.memory_budget_bytes = csr.MemoryBytes() / 4;
+
+  HostTileCache::Stats first;
+  uint64_t first_resident = 0;
+  for (int run = 0; run < 2; ++run) {
+    sim::GpuDevice device(TestSpec());
+    auto engine = core::Engine::Create(&device, csr, options);
+    ASSERT_TRUE(engine.ok());
+    auto program = apps::CreateProgram("pagerank");
+    ASSERT_TRUE(program.ok());
+    ASSERT_TRUE(
+        apps::RunApp(**engine, **program, ParamsFor("pagerank")).ok());
+    const HostTileCache::Stats& stats = device.tile_cache().stats();
+    if (run == 0) {
+      first = stats;
+      first_resident = device.tile_cache().resident_tiles();
+    } else {
+      EXPECT_EQ(stats.hits, first.hits);
+      EXPECT_EQ(stats.misses, first.misses);
+      EXPECT_EQ(stats.evictions, first.evictions);
+      EXPECT_EQ(stats.prefill_bytes, first.prefill_bytes);
+      EXPECT_EQ(device.tile_cache().resident_tiles(), first_resident);
+    }
+  }
+}
+
+// --- GraphRegistry memory budget / serve-tier eviction ----------------------
+
+serve::Request MakeRequest(const std::string& graph, const std::string& app) {
+  serve::Request request;
+  request.graph = graph;
+  request.app = app;
+  request.params.sources = {0};
+  return request;
+}
+
+TEST(RegistryBudgetTest, PrimaryPlacementStaysModular) {
+  serve::GraphRegistry registry(3);
+  for (int i = 0; i < 12; ++i) {
+    const std::string name = "g" + std::to_string(i);
+    ASSERT_TRUE(registry.Add(name, graph::GeneratePath(64)).ok());
+    EXPECT_EQ(registry.PlacementOf(name).primary,
+              static_cast<uint32_t>(i % 3));
+  }
+}
+
+TEST(RegistryBudgetTest, BudgetTracksCsrBytesAndRejectsWithoutEvictor) {
+  const Csr a = TestGraph();
+  const uint64_t a_bytes = a.MemoryBytes();
+  serve::GraphRegistry registry;
+  registry.set_memory_budget_bytes(a_bytes);
+  ASSERT_TRUE(registry.Add("a", a).ok());
+  EXPECT_EQ(registry.tracked_bytes(), a_bytes);
+
+  auto status = registry.Add("b", graph::GeneratePath(512));
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("no pool evictor attached"),
+            std::string::npos);
+}
+
+TEST(RegistryBudgetTest, AddEvictsColdWarmPoolToAdmitNewGraph) {
+  const Csr a = TestGraph();
+  const Csr b = graph::GenerateUniform(400, 1600, 3);
+  const uint64_t a_bytes = a.MemoryBytes();
+  const uint64_t b_bytes = b.MemoryBytes();
+  ASSERT_LT(b_bytes, a_bytes);
+
+  serve::GraphRegistry registry;
+  // Fits both CSRs with half an a of slack: graph a's warm engine (a full
+  // extra a_bytes, reported via NotePoolBytes) pushes an Add of b over.
+  registry.set_memory_budget_bytes(a_bytes + b_bytes + a_bytes / 2);
+  ASSERT_TRUE(registry.Add("a", a).ok());
+
+  serve::ServeOptions options;
+  options.worker_threads = 0;  // synchronous: ProcessAllPending drives
+  options.engines_per_graph = 1;
+  options.device_spec = TestSpec();
+  serve::QueryService service(&registry, options);
+
+  // Two dispatches warm one engine for "a": tracked = csr + pool = 2a.
+  for (int i = 0; i < 2; ++i) {
+    auto submitted = service.Submit(MakeRequest("a", "bfs"));
+    ASSERT_TRUE(submitted.ok());
+    service.ProcessAllPending();
+    ASSERT_TRUE(submitted->get().status.ok());
+  }
+  EXPECT_EQ(registry.tracked_bytes(), 2 * a_bytes);
+
+  // Without an evictor the load fails — the exact scenario the budget is
+  // for: memory full of warm state, a new tenant graph arriving.
+  auto status = registry.Add("b", b);
+  ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+
+  // With the service attached as evictor, the same load succeeds by
+  // shedding the idle warm engine.
+  registry.set_evictor(&service);
+  ASSERT_TRUE(registry.Add("b", b).ok());
+  EXPECT_EQ(registry.tracked_bytes(), a_bytes + b_bytes);
+
+  uint64_t evictions = 0;
+  for (const auto& [name, value] : service.metrics().Snapshot().counters) {
+    if (name == "serve.cache.evictions") evictions = value;
+  }
+  EXPECT_EQ(evictions, 1u);
+
+  // Both graphs keep serving after the eviction (the shed pool re-warms).
+  for (const char* graph : {"a", "b"}) {
+    auto submitted = service.Submit(MakeRequest(graph, "bfs"));
+    ASSERT_TRUE(submitted.ok());
+    service.ProcessAllPending();
+    EXPECT_TRUE(submitted->get().status.ok()) << graph;
+  }
+}
+
+TEST(RegistryBudgetTest, EvictionIsSafeUnderInFlightDispatches) {
+  // TSan'd in run_checks.sh: concurrent dispatch traffic on one graph
+  // while over-budget Adds keep evicting its idle engines. Every request
+  // must still complete cleanly and every graph must eventually load.
+  const Csr a = TestGraph();
+  const uint64_t a_bytes = a.MemoryBytes();
+  serve::GraphRegistry registry;
+  registry.set_memory_budget_bytes(4 * a_bytes);
+  ASSERT_TRUE(registry.Add("a", a).ok());
+
+  serve::ServeOptions options;
+  options.worker_threads = 2;
+  options.engines_per_graph = 2;
+  options.device_spec = TestSpec();
+  serve::QueryService service(&registry, options);
+  registry.set_evictor(&service);
+
+  std::atomic<bool> failed{false};
+  std::thread traffic([&] {
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < 40; ++i) {
+      auto submitted = service.Submit(MakeRequest("a", "bfs"));
+      if (!submitted.ok()) {
+        failed = true;
+        return;
+      }
+      futures.push_back(std::move(*submitted));
+    }
+    for (auto& f : futures) {
+      if (!f.get().status.ok()) failed = true;
+    }
+  });
+
+  // Loads racing the traffic: eviction can only reclaim idle engines, so
+  // an Add may need several attempts while every engine is busy.
+  for (int g = 0; g < 3; ++g) {
+    const std::string name = "g" + std::to_string(g);
+    util::Status status;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      status = registry.Add(name, a);
+      if (status.ok() ||
+          status.code() != StatusCode::kResourceExhausted) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(status.ok()) << name << ": " << status.ToString();
+  }
+  traffic.join();
+  EXPECT_FALSE(failed);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace sage

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <future>
 #include <string>
@@ -15,6 +16,7 @@
 
 #include "graph/generators.h"
 #include "serve/graph_registry.h"
+#include "serve/loadgen.h"
 #include "serve/qos.h"
 #include "serve/service.h"
 #include "util/arrival.h"
@@ -107,6 +109,82 @@ TEST(ArrivalTest, BurstyProcessKeepsTheLongRunMeanRate) {
   for (int i = 0; i < n; ++i) last = process.Next();
   double mean_rate = n / last;
   EXPECT_NEAR(mean_rate, shape.rate, 0.1 * shape.rate);
+}
+
+TEST(ArrivalTest, SaveRestoreResumesExactSequence) {
+  util::ArrivalOptions shape;
+  shape.rate = 2000.0;
+  shape.burst_factor = 4.0;
+  shape.burst_period_s = 0.002;
+  shape.burst_duty = 0.25;
+  util::ArrivalProcess fresh(shape, 99);
+  util::ArrivalProcess first_half(shape, 99);
+  for (int i = 0; i < 2500; ++i) {
+    EXPECT_EQ(fresh.Next(), first_half.Next());
+  }
+  // A brand-new process (different seed — Restore overwrites the RNG)
+  // resumed from the checkpoint must continue bit-identically to the
+  // process that never stopped.
+  const util::ArrivalProcess::State checkpoint = first_half.Save();
+  util::ArrivalProcess resumed(shape, 12345);
+  resumed.Restore(checkpoint);
+  for (int i = 0; i < 2500; ++i) {
+    EXPECT_EQ(fresh.Next(), resumed.Next());
+  }
+}
+
+TEST(ArrivalTest, LongHorizonBoundariesStayExact) {
+  // Short cycles at high rate push the cycle counter into the hundreds of
+  // thousands; the incremental cycle_start accumulation must keep phase
+  // boundaries consistent (strictly increasing arrivals, no stall) and a
+  // deep-horizon checkpoint must still resume bit-identically — the
+  // regression the old double(cycle) * period recomputation failed.
+  util::ArrivalOptions shape;
+  shape.rate = 1000.0;
+  shape.burst_factor = 5.0;
+  shape.burst_period_s = 1e-4;  // ~10 cycles per arrival at the mean rate
+  shape.burst_duty = 0.3;
+  util::ArrivalProcess fresh(shape, 7);
+  util::ArrivalProcess checkpointed(shape, 7);
+  double prev = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    const double t = fresh.Next();
+    ASSERT_GT(t, prev);
+    ASSERT_TRUE(std::isfinite(t));
+    prev = t;
+    checkpointed.Next();
+  }
+  const util::ArrivalProcess::State deep = checkpointed.Save();
+  util::ArrivalProcess resumed(shape, 1);
+  resumed.Restore(deep);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(fresh.Next(), resumed.Next());
+  }
+}
+
+// --- Load-generator report edge cases ---------------------------------------
+
+TEST(LoadGenTest, ZeroCompletionClassesReportZeroPercentiles) {
+  // All traffic interactive: the batch and best-effort classes complete
+  // nothing, so their report rows must be explicit zeros instead of
+  // asserting inside PercentileOfSorted on an empty latency vector.
+  CostModel model;
+  model.max_batch = 8;
+  model.graphs = {GraphCost{1e-4, 4e-4}};
+  LoadOptions options;
+  options.requests = 2000;
+  options.overload = 1.5;
+  options.max_batch = model.max_batch;
+  options.class_mix = {1.0, 0.0, 0.0};
+  const LoadReport report = RunLoad(options, model);
+  EXPECT_GT(report.by_class[0].completed, 0u);
+  for (int c = 1; c < kNumPriorities; ++c) {
+    const ClassReport& cr = report.by_class[c];
+    EXPECT_EQ(cr.completed, 0u);
+    EXPECT_EQ(cr.p50_ms, 0.0);
+    EXPECT_EQ(cr.p99_ms, 0.0);
+    EXPECT_EQ(cr.p999_ms, 0.0);
+  }
 }
 
 // --- Priority / ShedReason names --------------------------------------------

@@ -38,7 +38,7 @@ build_dir="${1:-"${repo_root}/build"}"
 
 echo "== configure + build (RelWithDebInfo) =="
 cmake -S "${repo_root}" -B "${build_dir}" >/dev/null
-cmake --build "${build_dir}" -j "$(nproc)" --target bench_sim_throughput bench_serve bench_guard bench_multigpu bench_load
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_sim_throughput bench_serve bench_guard bench_multigpu bench_load bench_cache
 
 echo "== bench_sim_throughput ($(nproc) hardware threads) =="
 cd "${repo_root}"
@@ -63,4 +63,11 @@ echo "== bench_load (SageFlood million-request SLO harness) =="
 # across host-thread counts.
 "${build_dir}/bench/bench_load"
 
-echo "== wrote ${repo_root}/BENCH_sim_throughput.json, BENCH_serve.json, BENCH_guard.json, BENCH_multigpu.json and BENCH_load.json =="
+echo "== bench_cache (SageCache out-of-core + hot-tile cache + eviction) =="
+# Exits nonzero when any out-of-core digest diverges from its in-core run
+# (every app x strategy x host-thread count), when the zipf warm hit rate
+# drops below 0.8, or when the registry eviction scenario fails to admit a
+# graph that could not load without the evictor.
+"${build_dir}/bench/bench_cache"
+
+echo "== wrote ${repo_root}/BENCH_sim_throughput.json, BENCH_serve.json, BENCH_guard.json, BENCH_multigpu.json, BENCH_load.json and BENCH_cache.json =="

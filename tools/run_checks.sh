@@ -43,7 +43,7 @@ tsan_dir="${build_dir}-tsan"
 cmake -S "${repo_root}" -B "${tsan_dir}" \
   -DCMAKE_BUILD_TYPE=Debug \
   -DSAGE_SANITIZE="thread"
-cmake --build "${tsan_dir}" -j "$(nproc)" --target parallel_test serve_test guard_serve_test shard_serve_test qos_test
+cmake --build "${tsan_dir}" -j "$(nproc)" --target parallel_test serve_test guard_serve_test shard_serve_test qos_test cache_test
 
 echo "== parallel/equivalence tests under TSan =="
 TSAN_OPTIONS="halt_on_error=1" \
@@ -79,6 +79,14 @@ echo "== SageFlood QoS tests under TSan =="
 # (QosServiceTest.ConcurrentMixedClassStormKeepsPerClassAccounting).
 TSAN_OPTIONS="halt_on_error=1" \
   "${tsan_dir}/tests/qos_test" \
+  --gtest_filter='-*DeathTest*'
+
+echo "== SageCache tests under TSan =="
+# Registry eviction racing in-flight dispatches: 2 dispatch workers on one
+# graph while over-budget Adds shed its idle warm engines
+# (RegistryBudgetTest.EvictionIsSafeUnderInFlightDispatches).
+TSAN_OPTIONS="halt_on_error=1" \
+  "${tsan_dir}/tests/cache_test" \
   --gtest_filter='-*DeathTest*'
 
 echo "== fault matrix (sage_cli faults, ASan/UBSan build) =="
@@ -218,6 +226,31 @@ ASAN_OPTIONS="detect_leaks=1" \
   "${build_dir}/tools/sage_cli" bfs "${obs_dir}/g.sagecsr" 0 \
     --shards=2 --partitioner=metis > /dev/null
 echo "SageShard: sharded digests match single-device across the matrix"
+
+echo "== SageCache out-of-core digest check (ASan/UBSan build) =="
+# A --memory-budget small enough to force paging (the observability
+# graph's CSR is ~70KB; 30000 bytes leaves most of the adjacency
+# host-side) must leave the output digest bit-identical to the in-core
+# run, serial and parallel, with the sanitizers watching the paging and
+# cache paths.
+ooc_ref="$(UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+  "${build_dir}/tools/sage_cli" bfs "${obs_dir}/g.sagecsr" 0 \
+  | grep '^output digest')"
+[[ -n "${ooc_ref}" ]] || { echo "no in-core digest printed" >&2; exit 1; }
+for threads in 1 4; do
+  ooc_got="$(UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    ASAN_OPTIONS="detect_leaks=1" \
+    "${build_dir}/tools/sage_cli" bfs "${obs_dir}/g.sagecsr" 0 \
+      --memory-budget=30000 --host-threads="${threads}" \
+    | grep '^output digest')"
+  if [[ "${ooc_got}" != "${ooc_ref}" ]]; then
+    echo "SageCache out-of-core digest diverged (host-threads=${threads}):" \
+         "in-core '${ooc_ref}', out-of-core '${ooc_got}'" >&2
+    exit 1
+  fi
+done
+echo "SageCache: out-of-core digests bit-identical to in-core (t=1,4)"
 
 echo "== SageVet pre-flight (sage_cli vet, ASan/UBSan build) =="
 # Vets every registered app at the deepest level (static checks plus a

@@ -85,6 +85,11 @@ uint32_t g_shards = 1;
 graph::PartitionerKind g_partitioner = graph::PartitionerKind::kHash;
 /// SageShard: inter-device synchronization model (--multi-gpu-strategy).
 core::MultiGpuStrategy g_mg_strategy = core::MultiGpuStrategy::kSage;
+/// SageCache: resident-memory budget in bytes (--memory-budget; 0 = off).
+/// Engines page adjacency out-of-core through the hot-tile cache when the
+/// CSR exceeds it; serve additionally uses it as the registry-wide budget
+/// under which cold warm-engine pools are evicted.
+uint64_t g_memory_budget = 0;
 
 bool ParseU32(const std::string& value, uint32_t* out) {
   if (value.empty()) return false;
@@ -92,6 +97,15 @@ bool ParseU32(const std::string& value, uint32_t* out) {
   unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return false;
   *out = static_cast<uint32_t>(parsed);
+  return true;
+}
+
+bool ParseU64(const std::string& value, uint64_t* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = parsed;
   return true;
 }
 
@@ -189,6 +203,14 @@ const FlagDef kFlags[] = {
      "run bfs/pagerank/msbfs across K simulated devices (ShardedEngine);\n"
      "                     serve: placement shards for the graph registry",
      [](const std::string& v) { return ParseU32(v, &g_shards); }},
+    {"memory-budget", "=BYTES",
+     "SageCache: cap resident graph memory (0 = unlimited). Engines page\n"
+     "                     adjacency out-of-core through the hot-tile cache "
+     "when the CSR\n"
+     "                     exceeds the budget; serve: shared registry budget "
+     "— over-budget\n"
+     "                     loads evict cold warm-engine pools before failing",
+     [](const std::string& v) { return ParseU64(v, &g_memory_budget); }},
     {"partitioner", "=hash|range|metis",
      "sharded runs: how the CSR splits across devices (default hash;\n"
      "                     legacy spelling metis-like accepted)",
@@ -258,6 +280,7 @@ core::EngineOptions BaseOptions() {
   core::EngineOptions options;
   options.check_level = g_check_level;
   options.host_threads = g_host_threads;
+  options.memory_budget_bytes = g_memory_budget;
   return options;
 }
 
@@ -434,6 +457,10 @@ int CmdBfs(const std::vector<std::string>& args) {
   std::printf("reached %llu nodes in %u iterations; %.3f GTEPS\n",
               static_cast<unsigned long long>(reached), stats->iterations,
               stats->GTeps());
+  // The bit-identity fingerprint scripts compare across --host-threads /
+  // --memory-budget runs (tools/run_checks.sh's out-of-core stage).
+  std::printf("output digest %016llx\n",
+              static_cast<unsigned long long>(apps::OutputDigest(engine, bfs)));
   std::printf("%s", sim::FormatDeviceProfile(device).c_str());
   return FinishChecked(engine, 0);
 }
@@ -925,6 +952,7 @@ int CmdServe(const std::vector<std::string>& args) {
   }
 
   serve::GraphRegistry registry(g_shards);
+  registry.set_memory_budget_bytes(g_memory_budget);
   std::vector<serve::Request> requests;
   std::string line;
   size_t lineno = 0;
@@ -1005,9 +1033,14 @@ int CmdServe(const std::vector<std::string>& args) {
   options.max_pending = std::max<size_t>(g_serve_queue, requests.size());
   options.batching = g_serve_batching;
   options.engine_options.host_threads = 1;
+  options.engine_options.memory_budget_bytes = g_memory_budget;
   util::TraceLog trace_log;
   if (!g_trace_out.empty()) options.trace = &trace_log;
   serve::QueryService service(&registry, options);
+  // With a budget set, the service sheds cold warm-engine pools when the
+  // registry needs room (graphs registered above already fit or failed
+  // loudly — the evictor covers loads made while the service is live).
+  if (g_memory_budget > 0) registry.set_evictor(&service);
 
   util::WallTimer timer;
   std::vector<std::future<serve::Response>> futures;
